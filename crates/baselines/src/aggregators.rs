@@ -1,0 +1,143 @@
+//! Predefined score-aggregation strategies and the adaptor that turns an
+//! individual recommender into a group recommender.
+//!
+//! The paper's memory-based comparison points combine an individual
+//! scorer with one of three classic strategies: *average satisfaction*
+//! [4], *least misery* [5] and *maximum pleasure* [4]. They treat every
+//! member identically — exactly the limitation KGAG's attention is built
+//! to remove.
+
+use kgag_eval::GroupScorer;
+
+/// A model that scores items for a single user.
+pub trait IndividualScorer {
+    /// Scores aligned with `items` for `user` (higher = better).
+    fn score_user(&self, user: u32, items: &[u32]) -> Vec<f32>;
+}
+
+/// A predefined static aggregation strategy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum ScoreAggregator {
+    /// Mean of member scores (AVG).
+    Average,
+    /// Minimum of member scores (LM) — the group is only as happy as its
+    /// least happy member.
+    LeastMisery,
+    /// Maximum of member scores (MP).
+    MaxPleasure,
+}
+
+impl ScoreAggregator {
+    /// Aggregate one item's member scores.
+    ///
+    /// # Panics
+    /// Panics on an empty score list.
+    pub fn aggregate(&self, member_scores: &[f32]) -> f32 {
+        assert!(!member_scores.is_empty(), "cannot aggregate zero members");
+        match self {
+            ScoreAggregator::Average => {
+                member_scores.iter().sum::<f32>() / member_scores.len() as f32
+            }
+            ScoreAggregator::LeastMisery => {
+                member_scores.iter().copied().fold(f32::INFINITY, f32::min)
+            }
+            ScoreAggregator::MaxPleasure => {
+                member_scores.iter().copied().fold(f32::NEG_INFINITY, f32::max)
+            }
+        }
+    }
+
+    /// Short label used in tables ("AVG" / "LM" / "MP").
+    pub fn label(&self) -> &'static str {
+        match self {
+            ScoreAggregator::Average => "AVG",
+            ScoreAggregator::LeastMisery => "LM",
+            ScoreAggregator::MaxPleasure => "MP",
+        }
+    }
+
+    /// All three strategies, in the paper's order of discussion.
+    pub fn all() -> [ScoreAggregator; 3] {
+        [ScoreAggregator::LeastMisery, ScoreAggregator::MaxPleasure, ScoreAggregator::Average]
+    }
+}
+
+/// Turns an [`IndividualScorer`] plus a static aggregator into a
+/// [`GroupScorer`] for the shared evaluation protocol.
+pub struct AggregatedGroupScorer<'a, S: IndividualScorer> {
+    model: &'a S,
+    groups: &'a [Vec<u32>],
+    aggregator: ScoreAggregator,
+}
+
+impl<'a, S: IndividualScorer> AggregatedGroupScorer<'a, S> {
+    /// Wrap `model` for the given group membership table.
+    pub fn new(model: &'a S, groups: &'a [Vec<u32>], aggregator: ScoreAggregator) -> Self {
+        AggregatedGroupScorer { model, groups, aggregator }
+    }
+}
+
+impl<S: IndividualScorer> GroupScorer for AggregatedGroupScorer<'_, S> {
+    fn score(&self, group: u32, items: &[u32]) -> Vec<f32> {
+        let members = &self.groups[group as usize];
+        assert!(!members.is_empty(), "group {group} has no members");
+        let per_member: Vec<Vec<f32>> =
+            members.iter().map(|&u| self.model.score_user(u, items)).collect();
+        (0..items.len())
+            .map(|i| {
+                let col: Vec<f32> = per_member.iter().map(|row| row[i]).collect();
+                self.aggregator.aggregate(&col)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregation_semantics() {
+        let s = [0.2f32, 0.8, 0.5];
+        assert!((ScoreAggregator::Average.aggregate(&s) - 0.5).abs() < 1e-6);
+        assert_eq!(ScoreAggregator::LeastMisery.aggregate(&s), 0.2);
+        assert_eq!(ScoreAggregator::MaxPleasure.aggregate(&s), 0.8);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(ScoreAggregator::Average.label(), "AVG");
+        assert_eq!(ScoreAggregator::LeastMisery.label(), "LM");
+        assert_eq!(ScoreAggregator::MaxPleasure.label(), "MP");
+        assert_eq!(ScoreAggregator::all().len(), 3);
+    }
+
+    struct Fake;
+    impl IndividualScorer for Fake {
+        fn score_user(&self, user: u32, items: &[u32]) -> Vec<f32> {
+            // user 0 loves item 0, user 1 loves item 1
+            items
+                .iter()
+                .map(|&v| if v == user { 1.0 } else { 0.1 })
+                .collect()
+        }
+    }
+
+    #[test]
+    fn aggregated_group_scorer_combines_members() {
+        let groups = vec![vec![0u32, 1]];
+        let items = [0u32, 1, 2];
+        let lm = AggregatedGroupScorer::new(&Fake, &groups, ScoreAggregator::LeastMisery);
+        assert_eq!(lm.score(0, &items), vec![0.1, 0.1, 0.1]);
+        let mp = AggregatedGroupScorer::new(&Fake, &groups, ScoreAggregator::MaxPleasure);
+        assert_eq!(mp.score(0, &items), vec![1.0, 1.0, 0.1]);
+        let avg = AggregatedGroupScorer::new(&Fake, &groups, ScoreAggregator::Average);
+        assert!((avg.score(0, &items)[0] - 0.55).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero members")]
+    fn empty_members_panic() {
+        ScoreAggregator::Average.aggregate(&[]);
+    }
+}

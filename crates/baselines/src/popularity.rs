@@ -1,0 +1,71 @@
+//! Popularity baseline: score every item by its training interaction
+//! count, identically for every user and group.
+//!
+//! Not part of the paper's Table II — included as a non-learned sanity
+//! floor: any trained model that fails to beat popularity on the
+//! synthetic datasets indicates a data-generation or training bug.
+
+use crate::aggregators::IndividualScorer;
+use kgag_data::Interactions;
+use kgag_eval::GroupScorer;
+
+/// Item popularity scores normalised to `[0, 1]`.
+#[derive(Clone, Debug)]
+pub struct Popularity {
+    scores: Vec<f32>,
+}
+
+impl Popularity {
+    /// Count interactions per item in `train`.
+    pub fn fit(train: &Interactions) -> Self {
+        let mut counts = vec![0u32; train.num_items() as usize];
+        for (_, v) in train.pairs() {
+            counts[v as usize] += 1;
+        }
+        let max = counts.iter().copied().max().unwrap_or(0).max(1) as f32;
+        Popularity { scores: counts.into_iter().map(|c| c as f32 / max).collect() }
+    }
+
+    /// Popularity of one item.
+    pub fn of(&self, item: u32) -> f32 {
+        self.scores[item as usize]
+    }
+}
+
+impl IndividualScorer for Popularity {
+    fn score_user(&self, _user: u32, items: &[u32]) -> Vec<f32> {
+        items.iter().map(|&v| self.of(v)).collect()
+    }
+}
+
+impl GroupScorer for Popularity {
+    fn score(&self, _group: u32, items: &[u32]) -> Vec<f32> {
+        items.iter().map(|&v| self.of(v)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_and_normalises() {
+        let mut y = Interactions::new(3, 4);
+        y.insert(0, 1);
+        y.insert(1, 1);
+        y.insert(2, 1);
+        y.insert(0, 2);
+        let p = Popularity::fit(&y);
+        assert_eq!(p.of(1), 1.0);
+        assert!((p.of(2) - 1.0 / 3.0).abs() < 1e-6);
+        assert_eq!(p.of(0), 0.0);
+        assert_eq!(p.score_user(9, &[1, 2]), p.score(5, &[1, 2]));
+    }
+
+    #[test]
+    fn empty_train_is_all_zero() {
+        let y = Interactions::new(2, 3);
+        let p = Popularity::fit(&y);
+        assert!(p.score(0, &[0, 1, 2]).iter().all(|&s| s == 0.0));
+    }
+}

@@ -1,0 +1,66 @@
+//! Figure 6 / RQ4 — case study: can KGAG explain its recommendations?
+//!
+//! Trains KGAG on MovieLens-20M-Simi, picks the test groups with the
+//! most skewed attention, and prints the per-member α/SP/PI
+//! decomposition — the paper's "a few people influence group decision
+//! making and others just follow" phenomenon.
+
+use kgag::harness::{eval_cases, EvalBucket};
+use kgag::Kgag;
+use kgag_bench::{dataset_trio, kgag_config_for, scale_from_env, write_json};
+use kgag_data::split::split_dataset;
+use kgag_bench::SPLIT_SEED;
+
+fn main() {
+    let scale = scale_from_env();
+    println!("== Case study (Fig. 6): attention as explanation (scale {scale:?}) ==\n");
+    let (_, simi, _) = dataset_trio(scale);
+    let split = split_dataset(&simi, SPLIT_SEED);
+    let mut model = Kgag::new(&simi, &split, kgag_config_for(&simi));
+    model.fit(&split);
+
+    let cases = eval_cases(&simi, &split.group, EvalBucket::Test);
+    // explain the top-scored test item of each case; keep the most
+    // skewed explanations (max alpha)
+    let mut explanations: Vec<_> = cases
+        .iter()
+        .take(200)
+        .map(|c| {
+            let scores = model.score_group_items(c.group, &c.test_items);
+            let best = scores
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .map(|(i, _)| c.test_items[i])
+                .unwrap();
+            model.explain(c.group, best)
+        })
+        .collect();
+    explanations.sort_by(|a, b| {
+        let ma = a.alpha.iter().cloned().fold(0.0f32, f32::max);
+        let mb = b.alpha.iter().cloned().fold(0.0f32, f32::max);
+        mb.partial_cmp(&ma).unwrap()
+    });
+
+    println!("three most-skewed group decisions (dominant member leads):\n");
+    for e in explanations.iter().take(3) {
+        assert!(e.is_well_formed(), "malformed explanation");
+        println!("{e}");
+    }
+
+    // aggregate skew statistic: how concentrated is influence?
+    let mean_max_alpha: f32 = explanations
+        .iter()
+        .map(|e| e.alpha.iter().cloned().fold(0.0f32, f32::max))
+        .sum::<f32>()
+        / explanations.len().max(1) as f32;
+    let uniform = 1.0 / simi.group_size as f32;
+    println!(
+        "mean max-α across {} groups: {:.3} (uniform would be {:.3}) — \
+         influence concentrates on a few members, as in the paper's example",
+        explanations.len(),
+        mean_max_alpha,
+        uniform
+    );
+    write_json("case_study", &explanations.iter().take(10).collect::<Vec<_>>());
+}

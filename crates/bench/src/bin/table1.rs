@@ -1,0 +1,23 @@
+//! Table I — dataset statistics.
+//!
+//! Regenerates the paper's Table I for the three synthetic stand-in
+//! datasets. Absolute counts differ from the paper (smaller worlds, see
+//! DESIGN.md §2); the structural relations the paper highlights should
+//! hold: Rand has the largest groups (8) and fewer interactions per
+//! group than Simi, Yelp has tiny friend groups (3) with ~1 interaction.
+
+use kgag_bench::{dataset_trio, scale_from_env, write_json};
+use kgag_data::DatasetStats;
+
+fn main() {
+    let scale = scale_from_env();
+    println!("== Table I: dataset statistics (scale {scale:?}) ==\n");
+    let (rand, simi, yelp) = dataset_trio(scale);
+    let stats = [rand.stats(), simi.stats(), yelp.stats()];
+    println!("{}", DatasetStats::table_rows(&stats));
+    println!(
+        "paper reference   Rand: 49472 groups, size 8, 5.05 inter/group | \
+         Simi: 29670, size 5, 11.19 | Yelp: 19322, size 3, 1.00"
+    );
+    write_json("table1", &stats);
+}

@@ -1,0 +1,29 @@
+//! # kgag-bench
+//!
+//! Experiment harness regenerating every table and figure of the KGAG
+//! paper (see DESIGN.md §4 for the index), plus Criterion
+//! micro-benchmarks of the building blocks.
+//!
+//! Each table/figure is a binary under `src/bin/`:
+//!
+//! | paper artifact | binary |
+//! |---|---|
+//! | Table I (dataset statistics) | `table1` |
+//! | Table II (overall comparison) | `table2` |
+//! | Table III (ablations) | `table3` |
+//! | Table IV (GCN vs GraphSage) | `table4` |
+//! | Fig. 4 (margin M, layers H) | `figure4` |
+//! | Fig. 5 (β, dimension d) | `figure5` |
+//! | Fig. 6 (case study / RQ4) | `case_study` |
+//!
+//! Binaries honour two environment variables: `KGAG_SCALE`
+//! (`tiny`/`small`/`medium`, default `small`) and `KGAG_EPOCHS`
+//! (override training epochs). Every binary prints a human-readable
+//! table and writes machine-readable JSON under `results/`.
+
+pub mod runner;
+
+pub use runner::{
+    dataset_trio, epochs_from_env, eval_config, kgag_config_for, prepare, print_grid, run_kgag,
+    scale_from_env, write_json, Prepared, ResultRow, SPLIT_SEED,
+};

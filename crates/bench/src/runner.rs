@@ -1,0 +1,194 @@
+//! Shared machinery for the experiment binaries.
+
+use kgag::harness::{eval_cases, EvalBucket};
+use kgag::{Kgag, KgagConfig};
+use kgag_data::movielens::{movielens_pair, MovieLensConfig, Scale};
+use kgag_data::split::{split_dataset, DatasetSplit};
+use kgag_data::yelp::{yelp, YelpConfig};
+use kgag_data::GroupDataset;
+use kgag_eval::{EvalConfig, GroupEvalCase, MetricSummary};
+
+/// The split seed used by every experiment (fixed for comparability).
+pub const SPLIT_SEED: u64 = 0x5eed;
+
+/// Read the experiment scale from `KGAG_SCALE` (default `small`).
+pub fn scale_from_env() -> Scale {
+    match std::env::var("KGAG_SCALE").unwrap_or_default().to_lowercase().as_str() {
+        "tiny" => Scale::Tiny,
+        "medium" => Scale::Medium,
+        _ => Scale::Small,
+    }
+}
+
+/// Epochs override from `KGAG_EPOCHS`, if set and parseable.
+pub fn epochs_from_env() -> Option<usize> {
+    std::env::var("KGAG_EPOCHS").ok()?.parse().ok()
+}
+
+/// Generate the three evaluation datasets of Table I at the given scale.
+pub fn dataset_trio(scale: Scale) -> (GroupDataset, GroupDataset, GroupDataset) {
+    let (_, rand, simi) = movielens_pair(&MovieLensConfig::at_scale(scale));
+    let yelp_ds = yelp(&YelpConfig::at_scale(scale));
+    (rand, simi, yelp_ds)
+}
+
+/// The evaluation protocol used for every reported number: k = 5 with
+/// 100 sampled negatives (see DESIGN.md §3 on the candidate regime).
+pub fn eval_config() -> EvalConfig {
+    EvalConfig { k: 5, num_negatives: Some(100), seed: 0xe7a1 }
+}
+
+/// Default KGAG configuration for experiments, with the `KGAG_EPOCHS`
+/// override applied.
+pub fn kgag_config_for(_ds: &GroupDataset) -> KgagConfig {
+    let mut cfg = KgagConfig::default();
+    if let Some(e) = epochs_from_env() {
+        cfg.epochs = e;
+    }
+    cfg
+}
+
+/// Prepared split + test cases for one dataset.
+pub struct Prepared {
+    /// The 60/20/20 split.
+    pub split: DatasetSplit,
+    /// Test-bucket evaluation cases.
+    pub test_cases: Vec<GroupEvalCase>,
+    /// Validation-bucket evaluation cases.
+    pub val_cases: Vec<GroupEvalCase>,
+}
+
+/// Split a dataset with the experiment seed and prepare its cases.
+pub fn prepare(ds: &GroupDataset) -> Prepared {
+    let split = split_dataset(ds, SPLIT_SEED);
+    let test_cases = eval_cases(ds, &split.group, EvalBucket::Test);
+    let val_cases = eval_cases(ds, &split.group, EvalBucket::Validation);
+    Prepared { split, test_cases, val_cases }
+}
+
+/// Train a KGAG model and return its test summary.
+pub fn run_kgag(ds: &GroupDataset, prep: &Prepared, config: KgagConfig) -> MetricSummary {
+    let mut model = Kgag::new(ds, &prep.split, config);
+    model.fit(&prep.split);
+    model.evaluate(&prep.test_cases, &eval_config())
+}
+
+/// One row of a results table.
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct ResultRow {
+    /// Method label ("KGAG", "CF+LM", …).
+    pub method: String,
+    /// Dataset label.
+    pub dataset: String,
+    /// rec@5.
+    pub rec5: f64,
+    /// hit@5.
+    pub hit5: f64,
+    /// ndcg@5 (extension metric).
+    pub ndcg5: f64,
+    /// Groups evaluated.
+    pub evaluated: usize,
+}
+
+impl ResultRow {
+    /// Build from a summary.
+    pub fn new(method: &str, dataset: &str, s: &MetricSummary) -> Self {
+        ResultRow {
+            method: method.to_owned(),
+            dataset: dataset.to_owned(),
+            rec5: s.recall,
+            hit5: s.hit,
+            ndcg5: s.ndcg,
+            evaluated: s.evaluated,
+        }
+    }
+}
+
+/// Print rows as a Table-II-style grid: methods down, datasets across.
+pub fn print_grid(rows: &[ResultRow]) {
+    let mut datasets: Vec<String> = Vec::new();
+    let mut methods: Vec<String> = Vec::new();
+    for r in rows {
+        if !datasets.contains(&r.dataset) {
+            datasets.push(r.dataset.clone());
+        }
+        if !methods.contains(&r.method) {
+            methods.push(r.method.clone());
+        }
+    }
+    print!("{:<12}", "");
+    for d in &datasets {
+        print!("{:>24}", d);
+    }
+    println!();
+    print!("{:<12}", "");
+    for _ in &datasets {
+        print!("{:>12}{:>12}", "rec@5", "hit@5");
+    }
+    println!();
+    for m in &methods {
+        print!("{m:<12}");
+        for d in &datasets {
+            match rows.iter().find(|r| &r.method == m && &r.dataset == d) {
+                Some(r) => print!("{:>12.4}{:>12.4}", r.rec5, r.hit5),
+                None => print!("{:>12}{:>12}", "-", "-"),
+            }
+        }
+        println!();
+    }
+}
+
+/// Write a JSON artifact under `results/` (created on demand).
+pub fn write_json<T: serde::Serialize>(name: &str, value: &T) {
+    let dir = std::path::Path::new("results");
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("warning: cannot create results/: {e}");
+        return;
+    }
+    let path = dir.join(format!("{name}.json"));
+    match serde_json::to_string_pretty(value) {
+        Ok(s) => {
+            if let Err(e) = std::fs::write(&path, s) {
+                eprintln!("warning: cannot write {}: {e}", path.display());
+            } else {
+                println!("\n[results written to {}]", path.display());
+            }
+        }
+        Err(e) => eprintln!("warning: cannot serialise {name}: {e}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_parsing_defaults_to_small() {
+        // can't mutate env safely in parallel tests; just check default
+        assert_eq!(scale_from_env(), Scale::Small);
+    }
+
+    #[test]
+    fn prepare_produces_cases_at_tiny_scale() {
+        let (rand, _, _) = dataset_trio(Scale::Tiny);
+        let prep = prepare(&rand);
+        assert!(!prep.test_cases.is_empty());
+        assert!(!prep.split.group.train.is_empty());
+    }
+
+    #[test]
+    fn result_row_roundtrip() {
+        let s = MetricSummary {
+            hit: 0.5,
+            recall: 0.25,
+            precision: 0.1,
+            ndcg: 0.3,
+            mrr: 0.2,
+            evaluated: 10,
+        };
+        let r = ResultRow::new("KGAG", "Yelp", &s);
+        assert_eq!(r.method, "KGAG");
+        assert_eq!(r.rec5, 0.25);
+        assert_eq!(r.evaluated, 10);
+    }
+}

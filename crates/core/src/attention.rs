@@ -1,0 +1,235 @@
+//! The preference aggregation block (§III-D).
+//!
+//! Member importance combines two signals:
+//!
+//! * **self persistence** (Eq. 9): `α_SP = u_i · v` — how much the
+//!   member likes the candidate, hence how firmly she holds her ground;
+//! * **peer influence** (Eq. 10):
+//!   `α_PI = v_cᵀ ReLU(W₁ u_i + W₂ CONCAT(peers) + b)` — how much her
+//!   peers amplify her voice.
+//!
+//! `α = α_SP + α_PI` (Eq. 11) is softmax-normalised within the group
+//! (Eq. 12) and the group representation is the α-weighted sum of member
+//! representations (Eq. 13). Both terms can be ablated (KGAG-SP /
+//! KGAG-PI); with both off the weights degenerate to the uniform
+//! average, which is exactly the AVG static aggregator.
+
+use crate::config::KgagConfig;
+use crate::model::ModelParams;
+use kgag_tensor::{NodeId, Tape, Tensor};
+
+/// Outputs of the preference aggregation block for a batch of `B`
+/// group–item instances with fixed group size `L`.
+#[derive(Clone, Copy, Debug)]
+pub struct AttentionOut {
+    /// Normalised member weights `α̃` — `[B·L, 1]`, each block sums to 1.
+    pub alpha: NodeId,
+    /// Group representations `g` — `[B, d]`.
+    pub group_rep: NodeId,
+    /// Raw self-persistence scores (`None` under KGAG-SP).
+    pub sp: Option<NodeId>,
+    /// Raw peer-influence scores (`None` under KGAG-PI).
+    pub pi: Option<NodeId>,
+}
+
+/// Run preference aggregation. `members` is `[B·L, d]` (knowledge-aware
+/// member representations, instance-major), `item` is `[B, d]`.
+///
+/// # Panics
+/// Panics when shapes are inconsistent with `group_size`.
+pub fn group_attention(
+    tape: &mut Tape<'_>,
+    params: &ModelParams,
+    config: &KgagConfig,
+    members: NodeId,
+    item: NodeId,
+    group_size: usize,
+) -> AttentionOut {
+    assert!(group_size >= 1, "empty groups are not meaningful");
+    let bl = tape.value(members).rows();
+    let b = tape.value(item).rows();
+    assert_eq!(bl, b * group_size, "members rows {bl} != batch {b} x group {group_size}");
+
+    let sp = if config.use_sp {
+        let item_rep = tape.repeat_rows(item, group_size);
+        let raw = tape.row_dot(members, item_rep); // Eq. 9
+        // scaled dot-product (1/√d): an unscaled inner product saturates
+        // the group softmax into an argmax, collapsing the group onto its
+        // single most enthusiastic member
+        let inv_sqrt_d = 1.0 / (tape.value(item).cols() as f32).sqrt();
+        Some(tape.scale(raw, inv_sqrt_d))
+    } else {
+        None
+    };
+    let pi = if config.use_pi && group_size >= 2 {
+        let peers = tape.peer_concat(members, group_size);
+        let w1 = tape.param(params.att_w1);
+        let w2 = tape.param(params.att_w2);
+        let b_att = tape.param(params.att_b);
+        let vc = tape.param(params.att_v);
+        let h1 = tape.matmul(members, w1);
+        let h2 = tape.matmul(peers, w2);
+        let sum = tape.add(h1, h2);
+        let biased = tape.add_row(sum, b_att);
+        let act = tape.relu(biased);
+        let raw = tape.matmul(act, vc); // Eq. 10
+        // same 1/√d tempering as the SP term so neither signal can
+        // saturate the group softmax on its own
+        let inv_sqrt_d = 1.0 / (tape.value(item).cols() as f32).sqrt();
+        Some(tape.scale(raw, inv_sqrt_d))
+    } else {
+        None
+    };
+    let raw = match (sp, pi) {
+        (Some(s), Some(p)) => tape.add(s, p), // Eq. 11
+        (Some(s), None) => s,
+        (None, Some(p)) => p,
+        (None, None) => tape.constant(Tensor::zeros(bl, 1)), // uniform fallback
+    };
+    let alpha = tape.softmax_groups(raw, group_size); // Eq. 12
+    let group_rep = tape.group_weighted_sum(alpha, members, group_size); // Eq. 13
+    AttentionOut { alpha, group_rep, sp, pi }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kgag_kg::triple::{EntityId, TripleStore};
+    use kgag_kg::CollaborativeKg;
+    use kgag_tensor::ParamStore;
+
+    fn fixture(group_size: usize) -> (ParamStore, ModelParams, KgagConfig) {
+        let mut s = TripleStore::with_capacity(3, 1);
+        s.add_raw(0, 0, 2);
+        let ckg = CollaborativeKg::build(&s, &[EntityId(0)], 2, &[(0, 0)]);
+        let config = KgagConfig { dim: 4, ..Default::default() };
+        let mut store = ParamStore::new();
+        let params = ModelParams::register(&mut store, &ckg, &config, group_size);
+        (store, params, config)
+    }
+
+    fn members_tensor(b: usize, l: usize, d: usize) -> Tensor {
+        Tensor::from_vec(
+            b * l,
+            d,
+            (0..b * l * d).map(|i| ((i % 7) as f32 - 3.0) * 0.2).collect(),
+        )
+    }
+
+    #[test]
+    fn alpha_is_a_distribution_per_group() {
+        let (store, params, config) = fixture(3);
+        let mut tape = Tape::new(&store);
+        let m = tape.constant(members_tensor(2, 3, 4));
+        let v = tape.constant(Tensor::from_vec(2, 4, vec![0.3; 8]));
+        let out = group_attention(&mut tape, &params, &config, m, v, 3);
+        let alpha = tape.value(out.alpha);
+        assert_eq!(alpha.rows(), 6);
+        for blk in 0..2 {
+            let sum: f32 = (0..3).map(|i| alpha.data()[blk * 3 + i]).sum();
+            assert!((sum - 1.0).abs() < 1e-5, "block {blk} sums to {sum}");
+            assert!((0..3).all(|i| alpha.data()[blk * 3 + i] >= 0.0));
+        }
+    }
+
+    #[test]
+    fn group_rep_is_convex_combination_of_members() {
+        let (store, params, config) = fixture(2);
+        let mut tape = Tape::new(&store);
+        let m = tape.constant(Tensor::from_rows(&[
+            &[1.0, 0.0, 0.0, 0.0],
+            &[0.0, 1.0, 0.0, 0.0],
+        ]));
+        let v = tape.constant(Tensor::from_vec(1, 4, vec![0.5; 4]));
+        let out = group_attention(&mut tape, &params, &config, m, v, 2);
+        let g = tape.value(out.group_rep);
+        // each coordinate of g must be within the convex hull (here each
+        // coordinate is one member's alpha)
+        let a = tape.value(out.alpha);
+        assert!((g.get(0, 0) - a.data()[0]).abs() < 1e-6);
+        assert!((g.get(0, 1) - a.data()[1]).abs() < 1e-6);
+    }
+
+    #[test]
+    fn no_sp_no_pi_is_uniform_average() {
+        let (store, params, mut config) = fixture(2);
+        config.use_sp = false;
+        config.use_pi = false;
+        let mut tape = Tape::new(&store);
+        let m = tape.constant(members_tensor(1, 2, 4));
+        let v = tape.constant(Tensor::zeros(1, 4));
+        let out = group_attention(&mut tape, &params, &config, m, v, 2);
+        let alpha = tape.value(out.alpha);
+        assert!((alpha.data()[0] - 0.5).abs() < 1e-6);
+        assert!((alpha.data()[1] - 0.5).abs() < 1e-6);
+        assert!(out.sp.is_none() && out.pi.is_none());
+    }
+
+    #[test]
+    fn sp_favors_the_member_who_likes_the_item() {
+        let (store, params, mut config) = fixture(2);
+        config.use_pi = false;
+        let mut tape = Tape::new(&store);
+        // member 0 aligned with the item, member 1 anti-aligned
+        let m = tape.constant(Tensor::from_rows(&[
+            &[1.0, 1.0, 0.0, 0.0],
+            &[-1.0, -1.0, 0.0, 0.0],
+        ]));
+        let v = tape.constant(Tensor::from_rows(&[&[1.0, 1.0, 0.0, 0.0]]));
+        let out = group_attention(&mut tape, &params, &config, m, v, 2);
+        let alpha = tape.value(out.alpha);
+        assert!(
+            alpha.data()[0] > alpha.data()[1],
+            "aligned member should dominate: {:?}",
+            alpha.data()
+        );
+    }
+
+    #[test]
+    fn ablations_expose_only_active_terms() {
+        let (store, params, config) = fixture(3);
+        let mut tape = Tape::new(&store);
+        let m = tape.constant(members_tensor(1, 3, 4));
+        let v = tape.constant(Tensor::zeros(1, 4));
+        let both = group_attention(&mut tape, &params, &config, m, v, 3);
+        assert!(both.sp.is_some() && both.pi.is_some());
+
+        let cfg_nosp = config.clone().ablate_sp();
+        let out = group_attention(&mut tape, &params, &cfg_nosp, m, v, 3);
+        assert!(out.sp.is_none() && out.pi.is_some());
+
+        let cfg_nopi = config.clone().ablate_pi();
+        let out = group_attention(&mut tape, &params, &cfg_nopi, m, v, 3);
+        assert!(out.sp.is_some() && out.pi.is_none());
+    }
+
+    #[test]
+    fn gradients_reach_attention_parameters() {
+        let (store, params, config) = fixture(3);
+        let mut tape = Tape::new(&store);
+        let m = tape.constant(members_tensor(2, 3, 4));
+        let v = tape.constant(Tensor::from_vec(2, 4, vec![0.1; 8]));
+        let out = group_attention(&mut tape, &params, &config, m, v, 3);
+        let sq = tape.mul(out.group_rep, out.group_rep);
+        let loss = tape.mean_all(sq);
+        let grads = tape.backward(loss);
+        for (id, name) in [
+            (params.att_w1, "att_w1"),
+            (params.att_w2, "att_w2"),
+            (params.att_b, "att_b"),
+            (params.att_v, "att_v"),
+        ] {
+            assert!(grads.get(id).is_some(), "no gradient for {name}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "members rows")]
+    fn shape_mismatch_panics() {
+        let (store, params, config) = fixture(3);
+        let mut tape = Tape::new(&store);
+        let m = tape.constant(members_tensor(1, 2, 4)); // wrong: 2 rows for L=3
+        let v = tape.constant(Tensor::zeros(1, 4));
+        group_attention(&mut tape, &params, &config, m, v, 3);
+    }
+}

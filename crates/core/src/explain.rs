@@ -1,0 +1,144 @@
+//! Interpretability read-out (RQ4, Fig. 6).
+//!
+//! KGAG's attention weights *are* its explanation: for a candidate item,
+//! each member's normalised influence `α̃` decomposes into self
+//! persistence (how much she likes the item) and peer influence (how
+//! much her peers amplify her). [`GroupExplanation`] carries all three
+//! plus the final score, and renders as the bar-style report used in the
+//! paper's case study.
+
+/// The attention values behind one group–item prediction.
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+pub struct GroupExplanation {
+    /// Group id.
+    pub group: u32,
+    /// Candidate item id.
+    pub item: u32,
+    /// Member user ids, aligned with the vectors below.
+    pub members: Vec<u32>,
+    /// Normalised influence `α̃` per member (sums to 1).
+    pub alpha: Vec<f32>,
+    /// Raw self-persistence scores (absent under KGAG-SP).
+    pub sp: Option<Vec<f32>>,
+    /// Raw peer-influence scores (absent under KGAG-PI).
+    pub pi: Option<Vec<f32>>,
+    /// Final prediction score `σ(g · v)`.
+    pub score: f32,
+}
+
+impl GroupExplanation {
+    /// Index of the most influential member.
+    pub fn dominant_member(&self) -> usize {
+        self.alpha
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+
+    /// Members ordered by decreasing influence.
+    pub fn ranking(&self) -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..self.members.len()).collect();
+        idx.sort_by(|&a, &b| {
+            self.alpha[b]
+                .partial_cmp(&self.alpha[a])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        idx
+    }
+
+    /// Sanity checks on the explanation invariants.
+    pub fn is_well_formed(&self) -> bool {
+        let n = self.members.len();
+        if self.alpha.len() != n || n == 0 {
+            return false;
+        }
+        let sum: f32 = self.alpha.iter().sum();
+        if (sum - 1.0).abs() > 1e-3 || self.alpha.iter().any(|&a| !(0.0..=1.0).contains(&a)) {
+            return false;
+        }
+        if let Some(sp) = &self.sp {
+            if sp.len() != n {
+                return false;
+            }
+        }
+        if let Some(pi) = &self.pi {
+            if pi.len() != n {
+                return false;
+            }
+        }
+        (0.0..=1.0).contains(&self.score)
+    }
+}
+
+impl std::fmt::Display for GroupExplanation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "group g_{} x item v_{} -> score {:.4}",
+            self.group, self.item, self.score
+        )?;
+        for (i, &u) in self.members.iter().enumerate() {
+            let bar_len = (self.alpha[i] * 40.0).round() as usize;
+            write!(f, "  u_{u:<8} α={:.3} {}", self.alpha[i], "#".repeat(bar_len))?;
+            if let Some(sp) = &self.sp {
+                write!(f, "  SP={:+.3}", sp[i])?;
+            }
+            if let Some(pi) = &self.pi {
+                write!(f, "  PI={:+.3}", pi[i])?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> GroupExplanation {
+        GroupExplanation {
+            group: 41,
+            item: 1085,
+            members: vec![18345, 14514, 52644],
+            alpha: vec![0.3, 0.6, 0.1],
+            sp: Some(vec![0.5, 1.2, -0.3]),
+            pi: Some(vec![0.2, 0.4, 0.0]),
+            score: 0.85,
+        }
+    }
+
+    #[test]
+    fn dominant_and_ranking() {
+        let e = sample();
+        assert_eq!(e.dominant_member(), 1);
+        assert_eq!(e.ranking(), vec![1, 0, 2]);
+    }
+
+    #[test]
+    fn well_formedness() {
+        assert!(sample().is_well_formed());
+        let mut bad = sample();
+        bad.alpha = vec![0.9, 0.9, 0.9];
+        assert!(!bad.is_well_formed());
+        let mut bad = sample();
+        bad.score = 2.0;
+        assert!(!bad.is_well_formed());
+        let mut bad = sample();
+        bad.sp = Some(vec![0.1]);
+        assert!(!bad.is_well_formed());
+    }
+
+    #[test]
+    fn display_mentions_every_member() {
+        let text = sample().to_string();
+        for u in [18345u32, 14514, 52644] {
+            assert!(text.contains(&format!("u_{u}")), "{text}");
+        }
+        assert!(text.contains("SP="));
+        assert!(text.contains("PI="));
+        assert!(text.contains("0.8500"));
+    }
+}

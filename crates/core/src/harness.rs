@@ -1,0 +1,85 @@
+//! Glue between datasets, splits and the evaluation protocol.
+
+use kgag_data::split::GroupSplit;
+use kgag_data::GroupDataset;
+use kgag_eval::GroupEvalCase;
+
+/// Which held-out bucket to evaluate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EvalBucket {
+    /// The 20% validation bucket (hyper-parameter tuning).
+    Validation,
+    /// The 20% test bucket (reported numbers).
+    Test,
+}
+
+/// Build the protocol's evaluation cases for every group that has
+/// held-out positives in the chosen bucket. `known_positives` covers
+/// train ∪ val ∪ test so negatives are true negatives.
+pub fn eval_cases(
+    ds: &GroupDataset,
+    split: &GroupSplit,
+    bucket: EvalBucket,
+) -> Vec<GroupEvalCase> {
+    let mut out = Vec::new();
+    for g in 0..ds.num_groups() {
+        let held = match bucket {
+            EvalBucket::Validation => split.val_items(g),
+            EvalBucket::Test => split.test_items(g),
+        };
+        if held.is_empty() {
+            continue;
+        }
+        out.push(GroupEvalCase {
+            group: g,
+            test_items: held.to_vec(),
+            known_positives: ds.group_pos.items_of(g).to_vec(),
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kgag_data::movielens::{movielens_rand, MovieLensConfig, Scale};
+    use kgag_data::split::split_dataset;
+
+    #[test]
+    fn cases_cover_groups_with_holdout() {
+        let ds = movielens_rand(&MovieLensConfig::at_scale(Scale::Tiny));
+        let split = split_dataset(&ds, 7);
+        let test_cases = eval_cases(&ds, &split.group, EvalBucket::Test);
+        assert!(!test_cases.is_empty(), "no test cases at tiny scale");
+        for c in &test_cases {
+            assert!(!c.test_items.is_empty());
+            // every test item is a known positive
+            for v in &c.test_items {
+                assert!(c.known_positives.binary_search(v).is_ok());
+            }
+            // and a real dataset positive
+            for v in &c.test_items {
+                assert!(ds.group_pos.contains(c.group, *v));
+            }
+        }
+    }
+
+    #[test]
+    fn val_and_test_buckets_are_disjoint() {
+        let ds = movielens_rand(&MovieLensConfig::at_scale(Scale::Tiny));
+        let split = split_dataset(&ds, 11);
+        let val = eval_cases(&ds, &split.group, EvalBucket::Validation);
+        let test = eval_cases(&ds, &split.group, EvalBucket::Test);
+        for vc in &val {
+            if let Some(tc) = test.iter().find(|t| t.group == vc.group) {
+                for v in &vc.test_items {
+                    assert!(
+                        tc.test_items.binary_search(v).is_err(),
+                        "item {v} in both val and test of group {}",
+                        vc.group
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,159 @@
+//! Model parameters and their registration.
+
+use crate::config::{Aggregator, KgagConfig};
+use kgag_kg::CollaborativeKg;
+use kgag_tensor::rng::derive_seed;
+use kgag_tensor::{init, ParamId, ParamStore, Tensor};
+
+/// Handles to the parameters of the information propagation block alone.
+/// Shared with the KGCN baseline, which propagates over the plain item
+/// KG without the attention tower.
+#[derive(Clone, Debug)]
+pub struct PropagationParams {
+    /// Entity embeddings `[|E'|, d]` — items, attributes *and* users
+    /// (zero-order representations `e⁰`).
+    pub entity_emb: ParamId,
+    /// Relation embeddings `[R_slots, d]` (forward + inverse +
+    /// self-loop relations).
+    pub relation_emb: ParamId,
+    /// Per-layer aggregator weights `W_h` (`[d, d]` for GCN,
+    /// `[2d, d]` for GraphSage).
+    pub layer_w: Vec<ParamId>,
+    /// Per-layer aggregator biases `[1, d]`.
+    pub layer_b: Vec<ParamId>,
+}
+
+impl PropagationParams {
+    /// Register propagation parameters for a graph with `num_entities`
+    /// nodes and `num_relation_slots` relation ids.
+    pub fn register_for_graph(
+        store: &mut ParamStore,
+        num_entities: usize,
+        num_relation_slots: usize,
+        config: &KgagConfig,
+    ) -> Self {
+        let d = config.dim;
+        let seed = |label: &str| derive_seed(config.seed, label);
+        let entity_emb = store.register(
+            "entity_emb",
+            init::xavier_uniform(num_entities, d, seed("entity_emb")),
+        );
+        let relation_emb = store.register(
+            "relation_emb",
+            init::xavier_uniform(num_relation_slots, d, seed("relation_emb")),
+        );
+        let mut layer_w = Vec::with_capacity(config.layers);
+        let mut layer_b = Vec::with_capacity(config.layers);
+        for h in 0..config.layers {
+            let rows = match config.aggregator {
+                Aggregator::Gcn => d,
+                Aggregator::GraphSage => 2 * d,
+            };
+            layer_w.push(store.register(
+                &format!("layer_{h}_w"),
+                init::xavier_uniform(rows, d, seed(&format!("layer_{h}_w"))),
+            ));
+            layer_b.push(store.register(&format!("layer_{h}_b"), Tensor::zeros(1, d)));
+        }
+        PropagationParams { entity_emb, relation_emb, layer_w, layer_b }
+    }
+}
+
+/// Handles to every trainable tensor of a KGAG model.
+#[derive(Clone, Debug)]
+pub struct ModelParams {
+    /// The information propagation block.
+    pub prop: PropagationParams,
+    /// Peer-influence `W_{c1}` of Eq. 10: `[d, d]`.
+    pub att_w1: ParamId,
+    /// Peer-influence `W_{c2}` of Eq. 10: `[(L−1)·d, d]`.
+    pub att_w2: ParamId,
+    /// Peer-influence bias `b`: `[1, d]`.
+    pub att_b: ParamId,
+    /// Peer-influence projection `v_c`: `[d, 1]`.
+    pub att_v: ParamId,
+}
+
+impl ModelParams {
+    /// Register all parameters for a model over `ckg` with fixed group
+    /// size `group_size`, initialised deterministically from the config
+    /// seed.
+    pub fn register(
+        store: &mut ParamStore,
+        ckg: &CollaborativeKg,
+        config: &KgagConfig,
+        group_size: usize,
+    ) -> Self {
+        let d = config.dim;
+        let seed = |label: &str| derive_seed(config.seed, label);
+        let prop = PropagationParams::register_for_graph(
+            store,
+            ckg.num_entities(),
+            ckg.num_relation_slots(),
+            config,
+        );
+        let peers = group_size.saturating_sub(1).max(1);
+        let att_w1 = store.register("att_w1", init::xavier_uniform(d, d, seed("att_w1")));
+        let att_w2 =
+            store.register("att_w2", init::xavier_uniform(peers * d, d, seed("att_w2")));
+        let att_b = store.register("att_b", Tensor::zeros(1, d));
+        // zero-initialised projection: the peer-influence term starts at
+        // exactly zero (uniform attention prior) and only departs from it
+        // when the group loss pushes it to — the last-layer-zero trick.
+        let att_v = store.register("att_v", Tensor::zeros(d, 1));
+        ModelParams { prop, att_w1, att_w2, att_b, att_v }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kgag_kg::triple::{EntityId, TripleStore};
+
+    fn tiny_ckg() -> CollaborativeKg {
+        let mut s = TripleStore::with_capacity(3, 1);
+        s.add_raw(0, 0, 2);
+        s.add_raw(1, 0, 2);
+        CollaborativeKg::build(&s, &[EntityId(0), EntityId(1)], 2, &[(0, 0), (1, 1)])
+    }
+
+    #[test]
+    fn registers_expected_shapes() {
+        let ckg = tiny_ckg();
+        let cfg = KgagConfig { dim: 8, layers: 2, ..Default::default() };
+        let mut store = ParamStore::new();
+        let p = ModelParams::register(&mut store, &ckg, &cfg, 4);
+        assert_eq!(store.shape(p.prop.entity_emb).rows, ckg.num_entities());
+        assert_eq!(store.shape(p.prop.entity_emb).cols, 8);
+        assert_eq!(store.shape(p.prop.relation_emb).rows, ckg.num_relation_slots());
+        assert_eq!(p.prop.layer_w.len(), 2);
+        assert_eq!(store.shape(p.prop.layer_w[0]), (8, 8).into());
+        assert_eq!(store.shape(p.att_w2), (3 * 8, 8).into());
+        assert_eq!(store.shape(p.att_v), (8, 1).into());
+    }
+
+    #[test]
+    fn graphsage_layers_are_wider() {
+        let ckg = tiny_ckg();
+        let cfg = KgagConfig {
+            dim: 8,
+            aggregator: Aggregator::GraphSage,
+            ..Default::default()
+        };
+        let mut store = ParamStore::new();
+        let p = ModelParams::register(&mut store, &ckg, &cfg, 3);
+        assert_eq!(store.shape(p.prop.layer_w[0]), (16, 8).into());
+    }
+
+    #[test]
+    fn deterministic_initialization() {
+        let ckg = tiny_ckg();
+        let cfg = KgagConfig::default();
+        let mut s1 = ParamStore::new();
+        let p1 = ModelParams::register(&mut s1, &ckg, &cfg, 3);
+        let mut s2 = ParamStore::new();
+        let p2 = ModelParams::register(&mut s2, &ckg, &cfg, 3);
+        assert_eq!(s1.value(p1.prop.entity_emb), s2.value(p2.prop.entity_emb));
+        assert_eq!(s1.value(p1.att_w2), s2.value(p2.att_w2));
+    }
+}

@@ -1,0 +1,249 @@
+//! The information propagation block (§III-C).
+//!
+//! Given a batch of target entities and a per-target *query* vector
+//! (the representation `i_e` of each target's interaction object), this
+//! module computes knowledge-aware representations by stacking `H`
+//! propagation layers over a fixed-`K` receptive field:
+//!
+//! * **neighbor aggregation** (Eq. 1–3, 7): every sampled neighbor is
+//!   weighted by `softmax(i_e · r)` over its sibling set, and the
+//!   weighted sum forms `e_N`;
+//! * **representation update** (Eq. 4–6, 8): `e` and `e_N` combine
+//!   through the GCN or GraphSage aggregator with per-layer weights.
+//!
+//! ReLU activates hidden layers; the last layer uses tanh so scores stay
+//! in range for the sigmoid-margin loss (the usual KGCN convention).
+
+use crate::config::Aggregator;
+use crate::model::PropagationParams;
+use kgag_kg::ReceptiveField;
+use kgag_tensor::{NodeId, Tape};
+
+/// Run the propagation block for the receptive field `rf` with
+/// per-target query vectors `query` (`[targets, d]`). Returns the
+/// `[targets, d]` final representations.
+///
+/// # Panics
+/// Panics when `rf.depth` does not match the registered layer count or the query
+/// row count does not match the number of targets.
+pub fn propagate(
+    tape: &mut Tape<'_>,
+    params: &PropagationParams,
+    aggregator: Aggregator,
+    rf: &ReceptiveField,
+    query: NodeId,
+) -> NodeId {
+    propagate_with(tape, params, aggregator, rf, query, 1.0)
+}
+
+/// [`propagate`] with an explicit residual weight: the result is
+/// `e⁰ + γ·e^H` for `residual_weight = γ > 0`, or the paper's verbatim
+/// Eq. 8 (`e^H` alone) for `residual_weight = 0`.
+pub fn propagate_with(
+    tape: &mut Tape<'_>,
+    params: &PropagationParams,
+    aggregator: Aggregator,
+    rf: &ReceptiveField,
+    query: NodeId,
+    residual_weight: f32,
+) -> NodeId {
+    let h_layers = params.layer_w.len();
+    assert_eq!(rf.depth, h_layers, "receptive field depth {} != layers {}", rf.depth, h_layers);
+    assert_eq!(
+        tape.value(query).rows(),
+        rf.entities[0].len(),
+        "query rows must match targets"
+    );
+    let k = rf.k;
+    let inv_sqrt_d = 1.0 / (tape.value(query).cols() as f32).sqrt();
+
+    // zero-order representations of every level
+    let mut reps: Vec<NodeId> = rf
+        .entities
+        .iter()
+        .map(|level| tape.gather(params.entity_emb, level))
+        .collect();
+
+    // relation-attention weights are query- and level- but not
+    // iteration-dependent: precompute per level
+    let mut level_weights: Vec<NodeId> = Vec::with_capacity(h_layers);
+    for rels in rf.relations.iter() {
+        let rel_emb = tape.gather(params.relation_emb, rels);
+        // each level-(lvl+1) node needs its target's query vector
+        let times = rels.len() / rf.entities[0].len();
+        let q_rep = tape.repeat_rows(query, times);
+        let pi_raw = tape.row_dot(q_rep, rel_emb); // Eq. 2
+        // scaled dot-product: keeps the softmax soft as ‖i_e‖,‖r‖ grow
+        let pi = tape.scale(pi_raw, inv_sqrt_d);
+        level_weights.push(tape.softmax_groups(pi, k)); // Eq. 3
+    }
+
+    // iterate H times; after iteration h, reps[0..H-h] hold (h+1)-order
+    // representations (Eq. 7–8)
+    let e0 = reps[0];
+    for h in 0..h_layers {
+        let is_last = h + 1 == h_layers;
+        for lvl in 0..(h_layers - h) {
+            let e_n = tape.group_weighted_sum(level_weights[lvl], reps[lvl + 1], k);
+            reps[lvl] = aggregate(tape, params, aggregator, h, reps[lvl], e_n, is_last);
+        }
+    }
+    if residual_weight > 0.0 {
+        let scaled = tape.scale(reps[0], residual_weight);
+        tape.add(e0, scaled)
+    } else {
+        reps[0]
+    }
+}
+
+/// One representation update `e' = f_aggregate(e, e_N)` with layer-`h`
+/// parameters.
+fn aggregate(
+    tape: &mut Tape<'_>,
+    params: &PropagationParams,
+    aggregator: Aggregator,
+    layer: usize,
+    e: NodeId,
+    e_n: NodeId,
+    is_last: bool,
+) -> NodeId {
+    let w = tape.param(params.layer_w[layer]);
+    let b = tape.param(params.layer_b[layer]);
+    let pre = match aggregator {
+        Aggregator::Gcn => {
+            let sum = tape.add(e, e_n);
+            tape.matmul(sum, w)
+        }
+        Aggregator::GraphSage => {
+            let cat = tape.concat_cols(e, e_n);
+            tape.matmul(cat, w)
+        }
+    };
+    let biased = tape.add_row(pre, b);
+    if is_last {
+        tape.tanh(biased)
+    } else {
+        tape.relu(biased)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kgag_kg::sampler::NeighborSampler;
+    use kgag_kg::triple::{EntityId, TripleStore};
+    use kgag_kg::CollaborativeKg;
+    use kgag_tensor::{ParamStore, Tensor};
+    use crate::config::KgagConfig;
+    use crate::model::ModelParams;
+
+    fn fixture(aggregator: Aggregator) -> (CollaborativeKg, ParamStore, PropagationParams, KgagConfig) {
+        let mut s = TripleStore::with_capacity(6, 2);
+        s.add_raw(0, 0, 4); // item 0 —genre— 4
+        s.add_raw(1, 0, 4);
+        s.add_raw(2, 0, 5);
+        s.add_raw(3, 1, 5);
+        let items: Vec<EntityId> = (0..4).map(EntityId).collect();
+        let ckg = CollaborativeKg::build(&s, &items, 3, &[(0, 0), (1, 1), (2, 2), (0, 2)]);
+        let config = KgagConfig { dim: 6, layers: 2, neighbor_k: 3, aggregator, ..Default::default() };
+        let mut store = ParamStore::new();
+        let params = ModelParams::register(&mut store, &ckg, &config, 3);
+        (ckg, store, params.prop, config)
+    }
+
+    #[test]
+    fn output_shape_matches_targets() {
+        let (ckg, store, params, config) = fixture(Aggregator::Gcn);
+        let sampler = NeighborSampler::new(config.neighbor_k, 1);
+        let targets = [ckg.user_entity(0).0, ckg.user_entity(1).0, ckg.item_entity(2).0];
+        let rf = sampler.receptive_field(ckg.graph(), &targets, config.layers, 0);
+        let mut tape = Tape::new(&store);
+        let q = tape.constant(Tensor::full(3, 6, 0.1));
+        let out = propagate(&mut tape, &params, config.aggregator, &rf, q);
+        assert_eq!(tape.value(out).rows(), 3);
+        assert_eq!(tape.value(out).cols(), 6);
+        // without the residual, the tanh output is bounded
+        let bare = propagate_with(&mut tape, &params, config.aggregator, &rf, q, 0.0);
+        assert!(tape.value(bare).data().iter().all(|x| x.abs() <= 1.0));
+        // the residual variant differs from the bare one by exactly e0
+        let diff: Vec<f32> = tape
+            .value(out)
+            .data()
+            .iter()
+            .zip(tape.value(bare).data())
+            .map(|(a, b)| a - b)
+            .collect();
+        for (i, &e) in rf.entities[0].iter().enumerate() {
+            let row = store.value(params.entity_emb).row(e as usize);
+            for (j, &x) in row.iter().enumerate() {
+                assert!((diff[i * 6 + j] - x).abs() < 1e-5, "residual mismatch");
+            }
+        }
+    }
+
+    #[test]
+    fn graphsage_also_runs() {
+        let (ckg, store, params, config) = fixture(Aggregator::GraphSage);
+        let sampler = NeighborSampler::new(config.neighbor_k, 1);
+        let rf = sampler.receptive_field(ckg.graph(), &[0, 1], config.layers, 0);
+        let mut tape = Tape::new(&store);
+        let q = tape.constant(Tensor::full(2, 6, -0.2));
+        let out = propagate(&mut tape, &params, config.aggregator, &rf, q);
+        assert_eq!(tape.value(out).rows(), 2);
+        assert!(!tape.value(out).has_non_finite());
+    }
+
+    #[test]
+    fn gradients_flow_to_all_parameter_groups() {
+        let (ckg, store, params, config) = fixture(Aggregator::Gcn);
+        let sampler = NeighborSampler::new(config.neighbor_k, 2);
+        let rf = sampler.receptive_field(ckg.graph(), &[0, 2], config.layers, 0);
+        let mut tape = Tape::new(&store);
+        let q = tape.constant(Tensor::full(2, 6, 0.3));
+        let out = propagate(&mut tape, &params, config.aggregator, &rf, q);
+        let loss = {
+            let sq = tape.mul(out, out);
+            tape.mean_all(sq)
+        };
+        let grads = tape.backward(loss);
+        assert!(grads.get(params.entity_emb).is_some(), "no entity grad");
+        for h in 0..config.layers {
+            assert!(grads.get(params.layer_w[h]).is_some(), "no W_{h} grad");
+            assert!(grads.get(params.layer_b[h]).is_some(), "no b_{h} grad");
+        }
+        // relation embeddings participate through attention weights even
+        // though the query is a constant here
+        assert!(grads.get(params.relation_emb).is_some(), "no relation grad");
+    }
+
+    #[test]
+    fn different_queries_give_different_representations() {
+        // query-dependence is the point of Eq. 2: the same entity must
+        // read differently for different interaction objects
+        let (ckg, store, params, config) = fixture(Aggregator::Gcn);
+        let sampler = NeighborSampler::new(config.neighbor_k, 3);
+        let rf = sampler.receptive_field(ckg.graph(), &[0], config.layers, 0);
+        let run = |qval: f32| -> Tensor {
+            let mut tape = Tape::new(&store);
+            let q = tape.constant(
+                Tensor::from_vec(1, 6, (0..6).map(|i| qval * (i as f32 + 1.0)).collect()),
+            );
+            let out = propagate(&mut tape, &params, config.aggregator, &rf, q);
+            tape.value(out).clone()
+        };
+        let a = run(0.5);
+        let b = run(-0.5);
+        assert_ne!(a, b, "representation should depend on the query");
+    }
+
+    #[test]
+    #[should_panic(expected = "depth")]
+    fn depth_mismatch_panics() {
+        let (ckg, store, params, config) = fixture(Aggregator::Gcn);
+        let sampler = NeighborSampler::new(config.neighbor_k, 1);
+        let rf = sampler.receptive_field(ckg.graph(), &[0], 1, 0); // depth 1, layers 2
+        let mut tape = Tape::new(&store);
+        let q = tape.constant(Tensor::zeros(1, 6));
+        propagate(&mut tape, &params, config.aggregator, &rf, q);
+    }
+}

@@ -1,0 +1,439 @@
+//! The KGAG model façade: construction, training, scoring.
+//!
+//! [`Kgag`] owns the collaborative KG, the parameter store and the
+//! neighbor sampler, and exposes:
+//!
+//! * [`Kgag::fit`] — mini-batch Adam training on the combined loss
+//!   `β·L_group + (1−β)·L_user + λ‖Θ‖²` (Eq. 20). Every step draws one
+//!   group batch *and* one user batch, matching the paper's "each
+//!   mini-batch contains both user–item and group–item interactions";
+//! * [`Kgag::score_group_items`] / [`Kgag::score_user_items`] —
+//!   inference (also the [`GroupScorer`] impl used by the evaluation
+//!   protocol);
+//! * [`Kgag::explain`] — the attention read-out behind RQ4.
+
+use crate::attention::{group_attention, AttentionOut};
+use crate::config::{GroupLoss, KgagConfig};
+use crate::explain::GroupExplanation;
+use crate::loss::{bpr_group_loss, margin_group_loss, user_log_loss};
+use crate::model::ModelParams;
+use kgag_data::split::{DatasetSplit, NegativeSampler};
+use kgag_data::GroupDataset;
+use kgag_eval::{EvalConfig, GroupEvalCase, GroupScorer, MetricSummary};
+use kgag_kg::{CollaborativeKg, NeighborSampler};
+use kgag_tensor::optim::{Adam, Optimizer};
+use kgag_tensor::rng::{derive_seed, SplitMix64};
+use kgag_tensor::{NodeId, ParamStore, Tape, Tensor};
+
+/// Per-epoch training losses.
+#[derive(Clone, Copy, Debug, serde::Serialize, serde::Deserialize)]
+pub struct EpochLoss {
+    /// Mean group ranking loss over the epoch's batches.
+    pub group: f32,
+    /// Mean user log loss.
+    pub user: f32,
+}
+
+/// Training summary returned by [`Kgag::fit`].
+#[derive(Clone, Debug, Default, serde::Serialize, serde::Deserialize)]
+pub struct TrainReport {
+    /// One entry per epoch.
+    pub epochs: Vec<EpochLoss>,
+}
+
+impl TrainReport {
+    /// Final combined loss `β·group + (1−β)·user`, if any epoch ran.
+    pub fn final_loss(&self, beta: f32) -> Option<f32> {
+        self.epochs.last().map(|e| beta * e.group + (1.0 - beta) * e.user)
+    }
+}
+
+/// A KGAG model bound to one dataset.
+pub struct Kgag {
+    config: KgagConfig,
+    ckg: CollaborativeKg,
+    sampler: NeighborSampler,
+    eval_sampler: NeighborSampler,
+    store: ParamStore,
+    params: ModelParams,
+    groups: Vec<Vec<u32>>,
+    group_size: usize,
+    num_items: u32,
+}
+
+struct GroupForward {
+    attention: AttentionOut,
+    /// Raw prediction scores `[B, 1]` (Eq. 14).
+    score: NodeId,
+}
+
+impl Kgag {
+    /// Build an untrained model over `ds`, propagating over the
+    /// collaborative KG induced by the split's training interactions.
+    ///
+    /// # Panics
+    /// Panics on an invalid configuration or a dataset that fails
+    /// [`GroupDataset::validate`].
+    pub fn new(ds: &GroupDataset, split: &DatasetSplit, config: KgagConfig) -> Self {
+        let cfg_errs = config.validate();
+        assert!(cfg_errs.is_empty(), "invalid config: {cfg_errs:?}");
+        let ds_errs = ds.validate();
+        assert!(ds_errs.is_empty(), "invalid dataset: {ds_errs:?}");
+        // the collaborative KG carries only training-time interactions —
+        // an `Interact` edge encoding a held-out group decision would
+        // leak it into the propagated representations
+        let ckg = ds.collaborative_kg_from(&split.user_train);
+        let mut store = ParamStore::new();
+        let params = ModelParams::register(&mut store, &ckg, &config, ds.group_size);
+        let sampler =
+            NeighborSampler::new(config.neighbor_k, derive_seed(config.seed, "sampler"));
+        let eval_sampler = NeighborSampler::new(
+            config.eval_neighbor_k.unwrap_or(config.neighbor_k),
+            derive_seed(config.seed, "eval-sampler"),
+        );
+        Kgag {
+            config,
+            ckg,
+            sampler,
+            eval_sampler,
+            store,
+            params,
+            groups: ds.groups.clone(),
+            group_size: ds.group_size,
+            num_items: ds.num_items,
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &KgagConfig {
+        &self.config
+    }
+
+    /// The parameter store (read access, e.g. for checkpoints/analysis).
+    pub fn store(&self) -> &ParamStore {
+        &self.store
+    }
+
+    /// The collaborative KG the model propagates over.
+    pub fn collaborative_kg(&self) -> &CollaborativeKg {
+        &self.ckg
+    }
+
+    /// Number of items in the catalog.
+    pub fn num_items(&self) -> u32 {
+        self.num_items
+    }
+
+    // ------------------------------------------------------------------
+    // Forward passes
+    // ------------------------------------------------------------------
+
+    /// Knowledge-aware representation of `targets` (entity ids) under
+    /// per-target `query` vectors. Under the KGAG-KG ablation this is
+    /// the plain zero-order embedding.
+    fn represent(
+        &self,
+        tape: &mut Tape<'_>,
+        targets: &[u32],
+        query: NodeId,
+        salt: u64,
+        train: bool,
+    ) -> NodeId {
+        if !self.config.use_kg {
+            return tape.gather(self.params.prop.entity_emb, targets);
+        }
+        let sampler = if train { &self.sampler } else { &self.eval_sampler };
+        let rf = sampler.receptive_field(self.ckg.graph(), targets, self.config.layers, salt);
+        crate::propagation::propagate_with(
+            tape,
+            &self.params.prop,
+            self.config.aggregator,
+            &rf,
+            query,
+            if self.config.residual { self.config.propagation_weight } else { 0.0 },
+        )
+    }
+
+    /// Forward a batch of `B` group–item instances.
+    ///
+    /// `flat_members` holds `B · L` member *entity* ids (instance-major);
+    /// `item_ents` holds `B` item entity ids. Queries follow §III-C: the
+    /// item propagates under the mean of the members' zero-order
+    /// embeddings, each member under the candidate item's zero-order
+    /// embedding.
+    fn forward_group(
+        &self,
+        tape: &mut Tape<'_>,
+        flat_members: &[u32],
+        item_ents: &[u32],
+        salt: u64,
+        train: bool,
+    ) -> GroupForward {
+        let l = self.group_size;
+        debug_assert_eq!(flat_members.len(), item_ents.len() * l);
+        let m0 = tape.gather(self.params.prop.entity_emb, flat_members);
+        let i0 = tape.gather(self.params.prop.entity_emb, item_ents);
+        let q_item = tape.group_mean(m0, l);
+        let item_rep = self.represent(tape, item_ents, q_item, salt ^ 0x17e3, train);
+        let q_members = tape.repeat_rows(i0, l);
+        let member_rep = self.represent(tape, flat_members, q_members, salt ^ 0x3e2b, train);
+        let attention =
+            group_attention(tape, &self.params, &self.config, member_rep, item_rep, l);
+        let score = tape.row_dot(attention.group_rep, item_rep);
+        GroupForward { attention, score }
+    }
+
+    /// Forward a batch of user–item instances, returning `[B, 1]` logits
+    /// (Eq. 19).
+    fn forward_user(
+        &self,
+        tape: &mut Tape<'_>,
+        user_ents: &[u32],
+        item_ents: &[u32],
+        salt: u64,
+        train: bool,
+    ) -> NodeId {
+        debug_assert_eq!(user_ents.len(), item_ents.len());
+        let u0 = tape.gather(self.params.prop.entity_emb, user_ents);
+        let v0 = tape.gather(self.params.prop.entity_emb, item_ents);
+        let u_rep = self.represent(tape, user_ents, v0, salt ^ 0x5a11, train);
+        let v_rep = self.represent(tape, item_ents, u0, salt ^ 0x77d9, train);
+        tape.row_dot(u_rep, v_rep)
+    }
+
+    fn member_entities(&self, group: u32) -> Vec<u32> {
+        self.groups[group as usize]
+            .iter()
+            .map(|&u| self.ckg.user_entity(u).0)
+            .collect()
+    }
+
+    fn item_entities(&self, items: &[u32]) -> Vec<u32> {
+        items.iter().map(|&v| self.ckg.item_entity(v).0).collect()
+    }
+
+    // ------------------------------------------------------------------
+    // Training
+    // ------------------------------------------------------------------
+
+    /// Train on a split with the paper's combined objective.
+    pub fn fit(&mut self, split: &DatasetSplit) -> TrainReport {
+        let cfg = self.config.clone();
+        let mut adam = Adam::with_decay(cfg.learning_rate, cfg.lambda);
+        let mut rng = SplitMix64::new(derive_seed(cfg.seed, "fit"));
+
+        // negatives are rejected against train∪val positives (test stays
+        // unseen in every sense)
+        let group_known: Vec<(u32, u32)> = split
+            .group
+            .train
+            .iter()
+            .chain(&split.group.val)
+            .copied()
+            .collect();
+        let group_neg = NegativeSampler::new(group_known, self.num_items);
+        let user_neg = NegativeSampler::from_interactions(&split.user_train);
+
+        let mut group_pairs = split.group.train.clone();
+        let mut user_pairs = split.user_train.pairs();
+        assert!(!group_pairs.is_empty(), "no group training data");
+        assert!(!user_pairs.is_empty(), "no user training data");
+        let mut user_cursor = 0usize;
+        let mut report = TrainReport::default();
+
+        for epoch in 0..cfg.epochs {
+            rng.shuffle(&mut group_pairs);
+            rng.shuffle(&mut user_pairs);
+            let mut g_sum = 0.0f64;
+            let mut u_sum = 0.0f64;
+            let mut batches = 0usize;
+            for (bi, chunk) in group_pairs.chunks(cfg.batch_size).enumerate() {
+                let salt = derive_seed(cfg.seed, "step")
+                    ^ (epoch as u64).wrapping_mul(1_000_003)
+                    ^ (bi as u64).wrapping_mul(97);
+
+                // ---- group instances -------------------------------
+                let mut flat_members = Vec::with_capacity(chunk.len() * self.group_size);
+                let mut pos_items = Vec::with_capacity(chunk.len());
+                let mut neg_items = Vec::with_capacity(chunk.len());
+                for &(g, v_pos) in chunk {
+                    flat_members.extend(self.member_entities(g));
+                    pos_items.push(v_pos);
+                    neg_items.push(group_neg.sample(g, &mut rng));
+                }
+                let pos_ents = self.item_entities(&pos_items);
+                let neg_ents = self.item_entities(&neg_items);
+
+                // ---- user instances --------------------------------
+                let half = cfg.user_batch_size / 2;
+                let mut u_users = Vec::with_capacity(2 * half);
+                let mut u_items = Vec::with_capacity(2 * half);
+                let mut u_targets = Vec::with_capacity(2 * half);
+                for _ in 0..half {
+                    let (u, v) = user_pairs[user_cursor % user_pairs.len()];
+                    user_cursor += 1;
+                    u_users.push(self.ckg.user_entity(u).0);
+                    u_items.push(self.ckg.item_entity(v).0);
+                    u_targets.push(1.0);
+                    let vn = user_neg.sample(u, &mut rng);
+                    u_users.push(self.ckg.user_entity(u).0);
+                    u_items.push(self.ckg.item_entity(vn).0);
+                    u_targets.push(0.0);
+                }
+
+                // ---- combined loss ---------------------------------
+                let (mut grads, g_loss, u_loss) = {
+                    let mut tape = Tape::new(&self.store);
+                    // same salt for both branches: the members' sampled
+                    // subtrees coincide, so the margin compares the two
+                    // items under identical group inputs
+                    let fwd_pos =
+                        self.forward_group(&mut tape, &flat_members, &pos_ents, salt, true);
+                    let fwd_neg =
+                        self.forward_group(&mut tape, &flat_members, &neg_ents, salt, true);
+                    let lg = match cfg.group_loss {
+                        GroupLoss::Margin => margin_group_loss(
+                            &mut tape,
+                            fwd_pos.score,
+                            fwd_neg.score,
+                            cfg.margin,
+                        ),
+                        GroupLoss::Bpr => {
+                            bpr_group_loss(&mut tape, fwd_pos.score, fwd_neg.score)
+                        }
+                    };
+                    let logits = self.forward_user(&mut tape, &u_users, &u_items, salt, true);
+                    let lu = user_log_loss(
+                        &mut tape,
+                        logits,
+                        Tensor::col_vector(&u_targets),
+                    );
+                    let lg_w = tape.scale(lg, cfg.beta);
+                    let lu_w = tape.scale(lu, 1.0 - cfg.beta);
+                    let total = tape.add(lg_w, lu_w);
+                    let grads = tape.backward(total);
+                    (grads, tape.value(lg).item(), tape.value(lu).item())
+                };
+                // extra decay on the attention tower (see config docs)
+                if cfg.attention_decay > 0.0 {
+                    for id in [
+                        self.params.att_w1,
+                        self.params.att_w2,
+                        self.params.att_b,
+                        self.params.att_v,
+                    ] {
+                        let shape = self.store.shape(id);
+                        let theta = self.store.value(id).clone();
+                        grads.accumulate(id, shape, |g| {
+                            g.axpy(cfg.attention_decay, &theta);
+                        });
+                    }
+                }
+                adam.step(&mut self.store, &grads);
+                g_sum += g_loss as f64;
+                u_sum += u_loss as f64;
+                batches += 1;
+            }
+            report.epochs.push(EpochLoss {
+                group: (g_sum / batches.max(1) as f64) as f32,
+                user: (u_sum / batches.max(1) as f64) as f32,
+            });
+            debug_assert!(!self.store.has_non_finite(), "parameters diverged at epoch {epoch}");
+        }
+        report
+    }
+
+    // ------------------------------------------------------------------
+    // Inference
+    // ------------------------------------------------------------------
+
+    /// Prediction scores `σ(g · v)` for every item in `items` for the
+    /// given group (higher = more recommended).
+    pub fn score_group_items(&self, group: u32, items: &[u32]) -> Vec<f32> {
+        let member_ents = self.member_entities(group);
+        let mut out = Vec::with_capacity(items.len());
+        for chunk in items.chunks(128) {
+            let mut flat_members = Vec::with_capacity(chunk.len() * self.group_size);
+            for _ in chunk {
+                flat_members.extend_from_slice(&member_ents);
+            }
+            let item_ents = self.item_entities(chunk);
+            let mut tape = Tape::new(&self.store);
+            // fixed salt: deterministic eval-time sampling
+            let salt = derive_seed(self.config.seed, "score") ^ group as u64;
+            let fwd = self.forward_group(&mut tape, &flat_members, &item_ents, salt, false);
+            out.extend(
+                tape.value(fwd.score)
+                    .data()
+                    .iter()
+                    .map(|&s| kgag_tensor::tensor::sigmoid(s)),
+            );
+        }
+        out
+    }
+
+    /// Individual prediction scores `σ(u · v)` (Eq. 19) for a user.
+    pub fn score_user_items(&self, user: u32, items: &[u32]) -> Vec<f32> {
+        let u_ent = self.ckg.user_entity(user).0;
+        let mut out = Vec::with_capacity(items.len());
+        for chunk in items.chunks(256) {
+            let users = vec![u_ent; chunk.len()];
+            let item_ents = self.item_entities(chunk);
+            let mut tape = Tape::new(&self.store);
+            let salt = derive_seed(self.config.seed, "score-user") ^ user as u64;
+            let logits = self.forward_user(&mut tape, &users, &item_ents, salt, false);
+            out.extend(
+                tape.value(logits)
+                    .data()
+                    .iter()
+                    .map(|&s| kgag_tensor::tensor::sigmoid(s)),
+            );
+        }
+        out
+    }
+
+    /// Attention read-out for one `(group, item)` pair — the RQ4
+    /// interpretability interface.
+    pub fn explain(&self, group: u32, item: u32) -> GroupExplanation {
+        let flat_members = self.member_entities(group);
+        let item_ents = self.item_entities(&[item]);
+        let mut tape = Tape::new(&self.store);
+        let salt = derive_seed(self.config.seed, "explain") ^ group as u64;
+        let fwd = self.forward_group(&mut tape, &flat_members, &item_ents, salt, false);
+        let read = |n: Option<NodeId>| n.map(|id| tape.value(id).data().to_vec());
+        GroupExplanation {
+            group,
+            item,
+            members: self.groups[group as usize].clone(),
+            alpha: tape.value(fwd.attention.alpha).data().to_vec(),
+            sp: read(fwd.attention.sp),
+            pi: read(fwd.attention.pi),
+            score: kgag_tensor::tensor::sigmoid(tape.value(fwd.score).data()[0]),
+        }
+    }
+
+    /// Serialise the trained parameters to a checkpoint buffer.
+    pub fn save_checkpoint(&self) -> bytes::Bytes {
+        kgag_tensor::checkpoint::save(&self.store)
+    }
+
+    /// Restore parameters from a checkpoint produced by a model with the
+    /// same configuration and dataset (names and shapes must match).
+    pub fn load_checkpoint(
+        &mut self,
+        bytes: &[u8],
+    ) -> Result<usize, kgag_tensor::checkpoint::CheckpointError> {
+        kgag_tensor::checkpoint::load(&mut self.store, bytes)
+    }
+
+    /// Evaluate against prepared cases with the shared protocol.
+    pub fn evaluate(&self, cases: &[GroupEvalCase], config: &EvalConfig) -> MetricSummary {
+        kgag_eval::evaluate_group_ranking(self, self.num_items, cases, config)
+    }
+}
+
+impl GroupScorer for Kgag {
+    fn score(&self, group: u32, items: &[u32]) -> Vec<f32> {
+        self.score_group_items(group, items)
+    }
+}

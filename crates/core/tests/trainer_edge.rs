@@ -1,0 +1,91 @@
+//! Trainer edge cases: extreme loss weights, degenerate epoch counts,
+//! and configuration validation at the API boundary.
+
+use kgag::{Kgag, KgagConfig};
+use kgag_data::movielens::{movielens_rand, MovieLensConfig, Scale};
+use kgag_data::split::{split_dataset, DatasetSplit};
+use kgag_data::GroupDataset;
+
+fn fixture() -> (GroupDataset, DatasetSplit) {
+    let ds = movielens_rand(&MovieLensConfig::at_scale(Scale::Tiny));
+    let split = split_dataset(&ds, 77);
+    (ds, split)
+}
+
+#[test]
+fn beta_one_trains_group_tower_only() {
+    let (ds, split) = fixture();
+    let mut model = Kgag::new(
+        &ds,
+        &split,
+        KgagConfig { beta: 1.0, epochs: 3, ..Default::default() },
+    );
+    let report = model.fit(&split);
+    // the group loss still improves even with zero user-loss weight
+    assert!(report.epochs.last().unwrap().group <= report.epochs.first().unwrap().group + 1e-3);
+    assert!(report.epochs.iter().all(|e| e.group.is_finite() && e.user.is_finite()));
+}
+
+#[test]
+fn beta_zero_trains_user_tower_only() {
+    let (ds, split) = fixture();
+    let mut model = Kgag::new(
+        &ds,
+        &split,
+        KgagConfig { beta: 0.0, epochs: 3, ..Default::default() },
+    );
+    let report = model.fit(&split);
+    assert!(report.epochs.iter().all(|e| e.user.is_finite()));
+    // scoring still works (group tower parameters exist, just untrained
+    // by the group loss)
+    let scores = model.score_group_items(0, &[0, 1, 2]);
+    assert!(scores.iter().all(|s| (0.0..=1.0).contains(s)));
+}
+
+#[test]
+fn zero_epochs_is_a_noop_fit() {
+    let (ds, split) = fixture();
+    let mut model = Kgag::new(&ds, &split, KgagConfig { epochs: 0, ..Default::default() });
+    let items: Vec<u32> = (0..10).collect();
+    let before = model.score_group_items(0, &items);
+    let report = model.fit(&split);
+    assert!(report.epochs.is_empty());
+    assert_eq!(model.score_group_items(0, &items), before);
+}
+
+#[test]
+#[should_panic(expected = "invalid config")]
+fn invalid_config_is_rejected_at_construction() {
+    let (ds, split) = fixture();
+    let _ = Kgag::new(&ds, &split, KgagConfig { dim: 0, ..Default::default() });
+}
+
+#[test]
+fn final_loss_combines_with_beta() {
+    let (ds, split) = fixture();
+    let mut model =
+        Kgag::new(&ds, &split, KgagConfig { epochs: 2, ..Default::default() });
+    let report = model.fit(&split);
+    let last = report.epochs.last().unwrap();
+    let combined = report.final_loss(0.7).unwrap();
+    assert!((combined - (0.7 * last.group + 0.3 * last.user)).abs() < 1e-6);
+    assert!(kgag::TrainReport::default().final_loss(0.7).is_none());
+}
+
+#[test]
+fn refitting_continues_from_current_parameters() {
+    let (ds, split) = fixture();
+    let mut model =
+        Kgag::new(&ds, &split, KgagConfig { epochs: 2, ..Default::default() });
+    let first = model.fit(&split);
+    let second = model.fit(&split);
+    // the second fit starts from trained parameters, so its first epoch
+    // should not be worse than the cold start's first epoch
+    assert!(
+        second.epochs.first().unwrap().group
+            <= first.epochs.first().unwrap().group + 0.05,
+        "warm restart regressed: {:?} vs {:?}",
+        second.epochs.first(),
+        first.epochs.first()
+    );
+}

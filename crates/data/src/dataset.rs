@@ -1,0 +1,224 @@
+//! The assembled group-recommendation dataset.
+
+use crate::groups::FormedGroup;
+use crate::interactions::Interactions;
+use crate::stats::DatasetStats;
+use kgag_kg::collab::CollaborativeKg;
+use kgag_kg::triple::{EntityId, TripleStore};
+
+/// A complete group-recommendation dataset: catalog, knowledge graph,
+/// implicit user feedback, groups and their positive items — the inputs
+/// of the problem formulation in §III-A.
+#[derive(Clone, Debug)]
+pub struct GroupDataset {
+    /// Human-readable name ("MovieLens-20M-Rand", …).
+    pub name: String,
+    /// Number of users `m`.
+    pub num_users: u32,
+    /// Number of items `n`.
+    pub num_items: u32,
+    /// The item knowledge graph `G`.
+    pub kg: TripleStore,
+    /// Item → entity mapping `f`.
+    pub item_entity: Vec<EntityId>,
+    /// Implicit user–item feedback `Y^U`.
+    pub user_pos: Interactions,
+    /// Group membership: `groups[g]` is the sorted member list.
+    pub groups: Vec<Vec<u32>>,
+    /// Group–item positives `Y^G` (rows indexed by group).
+    pub group_pos: Interactions,
+    /// Fixed group size of this dataset (8 / 5 / 3 in the paper).
+    pub group_size: usize,
+}
+
+impl GroupDataset {
+    /// Assemble a dataset from formed groups. Groups that have at least
+    /// one positive are kept; membership order is preserved.
+    #[allow(clippy::too_many_arguments)] // one argument per dataset facet
+    pub fn from_parts(
+        name: &str,
+        num_users: u32,
+        num_items: u32,
+        kg: TripleStore,
+        item_entity: Vec<EntityId>,
+        user_pos: Interactions,
+        formed: Vec<FormedGroup>,
+        group_size: usize,
+    ) -> Self {
+        let kept: Vec<FormedGroup> =
+            formed.into_iter().filter(|g| !g.positives.is_empty()).collect();
+        let mut group_pos = Interactions::new(kept.len() as u32, num_items);
+        let mut groups = Vec::with_capacity(kept.len());
+        for (gi, g) in kept.into_iter().enumerate() {
+            for &v in &g.positives {
+                group_pos.insert(gi as u32, v);
+            }
+            groups.push(g.members);
+        }
+        GroupDataset {
+            name: name.to_owned(),
+            num_users,
+            num_items,
+            kg,
+            item_entity,
+            user_pos,
+            groups,
+            group_pos,
+            group_size,
+        }
+    }
+
+    /// Number of groups `k`.
+    pub fn num_groups(&self) -> u32 {
+        self.groups.len() as u32
+    }
+
+    /// Members of one group.
+    pub fn members(&self, group: u32) -> &[u32] {
+        &self.groups[group as usize]
+    }
+
+    /// Build the collaborative knowledge graph `G'` from the item KG and
+    /// the implicit user feedback (§III-A).
+    ///
+    /// Training code should prefer [`Self::collaborative_kg_from`] with
+    /// the leakage-filtered `user_train` of a
+    /// [`crate::split::DatasetSplit`].
+    pub fn collaborative_kg(&self) -> CollaborativeKg {
+        self.collaborative_kg_from(&self.user_pos)
+    }
+
+    /// Build the collaborative KG from an explicit interaction matrix
+    /// (normally the split's `user_train`).
+    pub fn collaborative_kg_from(&self, interactions: &Interactions) -> CollaborativeKg {
+        CollaborativeKg::build(
+            &self.kg,
+            &self.item_entity,
+            self.num_users,
+            &interactions.pairs(),
+        )
+    }
+
+    /// Table-I-style statistics.
+    pub fn stats(&self) -> DatasetStats {
+        DatasetStats::of(self)
+    }
+
+    /// Internal-consistency checks; returns the list of violations
+    /// (empty = valid). Used by tests and the generators.
+    pub fn validate(&self) -> Vec<String> {
+        let mut errs = Vec::new();
+        if self.item_entity.len() != self.num_items as usize {
+            errs.push(format!(
+                "item_entity has {} rows for {} items",
+                self.item_entity.len(),
+                self.num_items
+            ));
+        }
+        for (e, i) in self.item_entity.iter().zip(0u32..) {
+            if e.0 >= self.kg.num_entities() {
+                errs.push(format!("item {i} maps to out-of-KG entity {}", e.0));
+            }
+        }
+        for (gi, members) in self.groups.iter().enumerate() {
+            if members.len() != self.group_size {
+                errs.push(format!(
+                    "group {gi} has {} members, dataset group size is {}",
+                    members.len(),
+                    self.group_size
+                ));
+            }
+            if members.iter().any(|&u| u >= self.num_users) {
+                errs.push(format!("group {gi} references an out-of-range user"));
+            }
+            let mut sorted = members.clone();
+            sorted.dedup();
+            if sorted.len() != members.len() {
+                errs.push(format!("group {gi} has duplicate members"));
+            }
+            if self.group_pos.items_of(gi as u32).is_empty() {
+                errs.push(format!("group {gi} has no positive items"));
+            }
+        }
+        if self.group_pos.num_users() != self.groups.len() as u32 {
+            errs.push("group_pos row count != number of groups".to_owned());
+        }
+        errs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::groups::FormedGroup;
+
+    fn tiny() -> GroupDataset {
+        let mut kg = TripleStore::with_capacity(4, 1);
+        kg.add_raw(0, 0, 3);
+        kg.add_raw(1, 0, 3);
+        kg.add_raw(2, 0, 3);
+        let mut user_pos = Interactions::new(4, 3);
+        user_pos.insert(0, 0);
+        user_pos.insert(1, 0);
+        user_pos.insert(2, 1);
+        user_pos.insert(3, 2);
+        let formed = vec![
+            FormedGroup { members: vec![0, 1], positives: vec![0] },
+            FormedGroup { members: vec![2, 3], positives: vec![] }, // dropped
+            FormedGroup { members: vec![1, 2], positives: vec![0, 1] },
+        ];
+        GroupDataset::from_parts(
+            "tiny",
+            4,
+            3,
+            kg,
+            vec![EntityId(0), EntityId(1), EntityId(2)],
+            user_pos,
+            formed,
+            2,
+        )
+    }
+
+    #[test]
+    fn groups_without_positives_are_dropped() {
+        let ds = tiny();
+        assert_eq!(ds.num_groups(), 2);
+        assert_eq!(ds.members(0), &[0, 1]);
+        assert_eq!(ds.members(1), &[1, 2]);
+        assert_eq!(ds.group_pos.items_of(1), &[0, 1]);
+    }
+
+    #[test]
+    fn validate_accepts_well_formed() {
+        assert!(tiny().validate().is_empty());
+    }
+
+    #[test]
+    fn validate_flags_bad_group_size() {
+        let mut ds = tiny();
+        ds.groups[0].push(3);
+        let errs = ds.validate();
+        assert!(errs.iter().any(|e| e.contains("members")), "{errs:?}");
+    }
+
+    #[test]
+    fn validate_flags_out_of_range_user() {
+        let mut ds = tiny();
+        ds.groups[0] = vec![0, 99];
+        assert!(!ds.validate().is_empty());
+    }
+
+    #[test]
+    fn collaborative_kg_has_user_nodes() {
+        let ds = tiny();
+        let ckg = ds.collaborative_kg();
+        assert_eq!(ckg.num_users(), 4);
+        assert_eq!(ckg.num_entities(), 4 + 4); // 4 base entities + 4 users
+        // user 0 interacted with item 0 → edge exists
+        let u0 = ckg.user_entity(0);
+        assert!(ckg
+            .graph()
+            .neighbors(u0)
+            .any(|(n, _)| n == ckg.item_entity(0)));
+    }
+}

@@ -1,0 +1,284 @@
+//! Loading real datasets from plain-text files.
+//!
+//! The synthetic generators make the repository self-contained, but a
+//! downstream user will want to run KGAG on *their* data. This module
+//! reads the three artifacts of §III-A from simple whitespace/TSV
+//! files, mirroring the formats used by the public KGCN/KGAT datasets:
+//!
+//! * **interactions**: `user_id \t item_id` per line (implicit feedback);
+//! * **knowledge graph**: `head \t relation \t tail` per line, with
+//!   item ids occupying `0..num_items` of the entity space (the
+//!   identity mapping `f`) — the convention of the KGCN data releases;
+//! * **groups**: `member,member,... \t item,item,...` per line
+//!   (membership and that group's positive items).
+//!
+//! Lines starting with `#` and blank lines are ignored. Ids are dense
+//! `u32`; the loader validates ranges and reports the first offence.
+
+use crate::dataset::GroupDataset;
+use crate::groups::FormedGroup;
+use crate::interactions::Interactions;
+use kgag_kg::triple::{EntityId, TripleStore};
+
+/// Errors produced by the loaders.
+#[derive(Debug, PartialEq, Eq)]
+pub enum ImportError {
+    /// A line could not be parsed; holds (line number, description).
+    Parse(usize, String),
+    /// An id was out of the declared range; holds (line number, description).
+    Range(usize, String),
+    /// The combination of files is inconsistent.
+    Inconsistent(String),
+}
+
+impl std::fmt::Display for ImportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ImportError::Parse(line, what) => write!(f, "line {line}: cannot parse {what}"),
+            ImportError::Range(line, what) => write!(f, "line {line}: {what}"),
+            ImportError::Inconsistent(what) => write!(f, "inconsistent inputs: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ImportError {}
+
+fn fields(line: &str) -> Vec<&str> {
+    line.split(['\t', ' ']).filter(|s| !s.is_empty()).collect()
+}
+
+fn is_skippable(line: &str) -> bool {
+    let t = line.trim();
+    t.is_empty() || t.starts_with('#')
+}
+
+/// Parse `user \t item` interaction lines into an [`Interactions`]
+/// matrix of the given dimensions.
+pub fn parse_interactions(
+    text: &str,
+    num_users: u32,
+    num_items: u32,
+) -> Result<Interactions, ImportError> {
+    let mut y = Interactions::new(num_users, num_items);
+    for (ln, line) in text.lines().enumerate() {
+        if is_skippable(line) {
+            continue;
+        }
+        let f = fields(line);
+        if f.len() != 2 {
+            return Err(ImportError::Parse(ln + 1, format!("expected 2 fields, got {}", f.len())));
+        }
+        let u: u32 = f[0]
+            .parse()
+            .map_err(|_| ImportError::Parse(ln + 1, format!("user id {:?}", f[0])))?;
+        let v: u32 = f[1]
+            .parse()
+            .map_err(|_| ImportError::Parse(ln + 1, format!("item id {:?}", f[1])))?;
+        if u >= num_users {
+            return Err(ImportError::Range(ln + 1, format!("user {u} >= {num_users}")));
+        }
+        if v >= num_items {
+            return Err(ImportError::Range(ln + 1, format!("item {v} >= {num_items}")));
+        }
+        y.insert(u, v);
+    }
+    Ok(y)
+}
+
+/// Parse `head \t relation \t tail` triple lines into a [`TripleStore`].
+pub fn parse_triples(text: &str) -> Result<TripleStore, ImportError> {
+    let mut store = TripleStore::new();
+    for (ln, line) in text.lines().enumerate() {
+        if is_skippable(line) {
+            continue;
+        }
+        let f = fields(line);
+        if f.len() != 3 {
+            return Err(ImportError::Parse(ln + 1, format!("expected 3 fields, got {}", f.len())));
+        }
+        let parse = |s: &str, what: &str| -> Result<u32, ImportError> {
+            s.parse()
+                .map_err(|_| ImportError::Parse(ln + 1, format!("{what} {s:?}")))
+        };
+        let h = parse(f[0], "head")?;
+        let r = parse(f[1], "relation")?;
+        let t = parse(f[2], "tail")?;
+        store.add_raw(h, r, t);
+    }
+    Ok(store)
+}
+
+/// Parse `members \t items` group lines (both comma-separated id lists).
+pub fn parse_groups(
+    text: &str,
+    num_users: u32,
+    num_items: u32,
+) -> Result<Vec<FormedGroup>, ImportError> {
+    let mut out = Vec::new();
+    for (ln, line) in text.lines().enumerate() {
+        if is_skippable(line) {
+            continue;
+        }
+        let f = fields(line);
+        if f.len() != 2 {
+            return Err(ImportError::Parse(
+                ln + 1,
+                format!("expected 'members<TAB>items', got {} fields", f.len()),
+            ));
+        }
+        let parse_list = |s: &str, bound: u32, what: &str| -> Result<Vec<u32>, ImportError> {
+            let mut ids = Vec::new();
+            for part in s.split(',').filter(|p| !p.is_empty()) {
+                let id: u32 = part
+                    .parse()
+                    .map_err(|_| ImportError::Parse(ln + 1, format!("{what} {part:?}")))?;
+                if id >= bound {
+                    return Err(ImportError::Range(ln + 1, format!("{what} {id} >= {bound}")));
+                }
+                ids.push(id);
+            }
+            ids.sort_unstable();
+            ids.dedup();
+            Ok(ids)
+        };
+        let members = parse_list(f[0], num_users, "member")?;
+        let positives = parse_list(f[1], num_items, "item")?;
+        if members.is_empty() {
+            return Err(ImportError::Parse(ln + 1, "empty member list".into()));
+        }
+        out.push(FormedGroup { members, positives });
+    }
+    Ok(out)
+}
+
+/// Assemble a [`GroupDataset`] from the three parsed artifacts. Item `v`
+/// maps to entity `v` (the KGCN convention); the KG must therefore have
+/// at least `num_items` entities. All groups must share one size (the
+/// model's `W_{c2}` is sized for it).
+#[allow(clippy::too_many_arguments)]
+pub fn assemble(
+    name: &str,
+    num_users: u32,
+    num_items: u32,
+    kg: TripleStore,
+    user_pos: Interactions,
+    groups: Vec<FormedGroup>,
+) -> Result<GroupDataset, ImportError> {
+    if kg.num_entities() < num_items {
+        return Err(ImportError::Inconsistent(format!(
+            "KG has {} entities but the catalog needs {num_items} item entities",
+            kg.num_entities()
+        )));
+    }
+    let sizes: std::collections::HashSet<usize> =
+        groups.iter().map(|g| g.members.len()).collect();
+    if sizes.len() > 1 {
+        return Err(ImportError::Inconsistent(format!(
+            "groups have mixed sizes {sizes:?}; KGAG requires a fixed size per dataset"
+        )));
+    }
+    let group_size = sizes.into_iter().next().unwrap_or(0);
+    if group_size == 0 {
+        return Err(ImportError::Inconsistent("no groups".into()));
+    }
+    let item_entity: Vec<EntityId> = (0..num_items).map(EntityId).collect();
+    let ds = GroupDataset::from_parts(
+        name, num_users, num_items, kg, item_entity, user_pos, groups, group_size,
+    );
+    let errs = ds.validate();
+    if !errs.is_empty() {
+        return Err(ImportError::Inconsistent(errs.join("; ")));
+    }
+    Ok(ds)
+}
+
+/// One-call loader from file contents (not paths, so callers control IO
+/// and the function stays trivially testable).
+pub fn load_dataset(
+    name: &str,
+    num_users: u32,
+    num_items: u32,
+    interactions_text: &str,
+    kg_text: &str,
+    groups_text: &str,
+) -> Result<GroupDataset, ImportError> {
+    let user_pos = parse_interactions(interactions_text, num_users, num_items)?;
+    let kg = parse_triples(kg_text)?;
+    let groups = parse_groups(groups_text, num_users, num_items)?;
+    assemble(name, num_users, num_items, kg, user_pos, groups)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const INTERACTIONS: &str = "# user item\n0\t0\n0\t1\n1\t1\n2\t2\n";
+    const KG: &str = "# h r t — items are entities 0..3\n0\t0\t3\n1\t0\t3\n2\t1\t4\n";
+    const GROUPS: &str = "0,1\t0,1\n1,2\t1\n";
+
+    #[test]
+    fn load_dataset_happy_path() {
+        let ds = load_dataset("mine", 3, 3, INTERACTIONS, KG, GROUPS).unwrap();
+        assert_eq!(ds.num_users, 3);
+        assert_eq!(ds.num_items, 3);
+        assert_eq!(ds.num_groups(), 2);
+        assert_eq!(ds.group_size, 2);
+        assert_eq!(ds.user_pos.len(), 4);
+        assert!(ds.group_pos.contains(0, 1));
+        assert!(ds.validate().is_empty());
+        // and it can build the collaborative KG
+        let ckg = ds.collaborative_kg();
+        assert_eq!(ckg.num_users(), 3);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_skipped() {
+        let y = parse_interactions("\n# comment\n0 1\n\n", 1, 2).unwrap();
+        assert_eq!(y.len(), 1);
+        assert!(y.contains(0, 1));
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let err = parse_interactions("0\t0\nnot a line\n", 1, 1).unwrap_err();
+        assert!(matches!(err, ImportError::Parse(2, _)), "{err:?}");
+        let err = parse_triples("0\t0\n").unwrap_err();
+        assert!(matches!(err, ImportError::Parse(1, _)));
+    }
+
+    #[test]
+    fn range_errors_are_detected() {
+        let err = parse_interactions("5\t0\n", 3, 3).unwrap_err();
+        assert!(matches!(err, ImportError::Range(1, _)));
+        let err = parse_groups("0,9\t0\n", 3, 3).unwrap_err();
+        assert!(matches!(err, ImportError::Range(1, _)));
+    }
+
+    #[test]
+    fn mixed_group_sizes_are_rejected() {
+        let err = load_dataset("x", 3, 3, INTERACTIONS, KG, "0,1\t0\n0,1,2\t1\n").unwrap_err();
+        assert!(matches!(err, ImportError::Inconsistent(_)), "{err}");
+    }
+
+    #[test]
+    fn kg_must_cover_the_catalog() {
+        // KG with only 2 entities for 3 items
+        let err = load_dataset("x", 3, 3, INTERACTIONS, "0\t0\t1\n", GROUPS).unwrap_err();
+        assert!(matches!(err, ImportError::Inconsistent(_)));
+    }
+
+    #[test]
+    fn whitespace_variants_parse() {
+        let y = parse_interactions("0 1\n1\t2\n", 2, 3).unwrap();
+        assert_eq!(y.len(), 2);
+    }
+
+    #[test]
+    fn loaded_dataset_trains() {
+        // the loaded dataset flows through the whole split machinery
+        let ds = load_dataset("mine", 3, 3, INTERACTIONS, KG, GROUPS).unwrap();
+        let split = crate::split::split_dataset(&ds, 1);
+        let total = split.group.train.len() + split.group.val.len() + split.group.test.len();
+        assert_eq!(total, ds.group_pos.len());
+    }
+}

@@ -1,0 +1,274 @@
+//! Sparse user–item interaction structures.
+//!
+//! [`RatingTable`] holds explicit 1–5 ratings (the raw signal the
+//! generators produce); [`Interactions`] holds binary implicit feedback
+//! (the `Y^U` of the paper, derived by thresholding ratings at 4).
+//! Both store per-user rows sorted by item id so membership checks are
+//! binary searches.
+
+/// Explicit ratings, one sorted `(item, rating)` row per user.
+#[derive(Clone, Debug, Default)]
+pub struct RatingTable {
+    by_user: Vec<Vec<(u32, f32)>>,
+    num_items: u32,
+    total: usize,
+}
+
+impl RatingTable {
+    /// An empty table over `num_users × num_items`.
+    pub fn new(num_users: u32, num_items: u32) -> Self {
+        RatingTable {
+            by_user: vec![Vec::new(); num_users as usize],
+            num_items,
+            total: 0,
+        }
+    }
+
+    /// Insert or overwrite a rating.
+    ///
+    /// # Panics
+    /// Panics on out-of-range user/item.
+    pub fn set(&mut self, user: u32, item: u32, rating: f32) {
+        assert!(item < self.num_items, "item {item} out of range");
+        let row = &mut self.by_user[user as usize];
+        match row.binary_search_by_key(&item, |&(i, _)| i) {
+            Ok(pos) => row[pos].1 = rating,
+            Err(pos) => {
+                row.insert(pos, (item, rating));
+                self.total += 1;
+            }
+        }
+    }
+
+    /// Rating of `(user, item)`, when present.
+    pub fn get(&self, user: u32, item: u32) -> Option<f32> {
+        let row = &self.by_user[user as usize];
+        row.binary_search_by_key(&item, |&(i, _)| i).ok().map(|p| row[p].1)
+    }
+
+    /// All `(item, rating)` pairs of a user, sorted by item.
+    pub fn user_ratings(&self, user: u32) -> &[(u32, f32)] {
+        &self.by_user[user as usize]
+    }
+
+    /// Mean rating of a user (`None` when the user rated nothing).
+    pub fn user_mean(&self, user: u32) -> Option<f32> {
+        let row = &self.by_user[user as usize];
+        if row.is_empty() {
+            return None;
+        }
+        Some(row.iter().map(|&(_, r)| r).sum::<f32>() / row.len() as f32)
+    }
+
+    /// Number of users.
+    pub fn num_users(&self) -> u32 {
+        self.by_user.len() as u32
+    }
+
+    /// Number of items.
+    pub fn num_items(&self) -> u32 {
+        self.num_items
+    }
+
+    /// Total stored ratings.
+    pub fn len(&self) -> usize {
+        self.total
+    }
+
+    /// True when no ratings are stored.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Binary implicit feedback: `y = 1` iff `rating ≥ threshold`.
+    pub fn to_implicit(&self, threshold: f32) -> Interactions {
+        let mut out = Interactions::new(self.num_users(), self.num_items);
+        for (u, row) in self.by_user.iter().enumerate() {
+            for &(i, r) in row {
+                if r >= threshold {
+                    out.insert(u as u32, i);
+                }
+            }
+        }
+        out
+    }
+
+    /// Users who rated `item` at or above `threshold`.
+    pub fn raters_at_least(&self, item: u32, threshold: f32) -> Vec<u32> {
+        let mut out = Vec::new();
+        for (u, row) in self.by_user.iter().enumerate() {
+            if let Ok(pos) = row.binary_search_by_key(&item, |&(i, _)| i) {
+                if row[pos].1 >= threshold {
+                    out.push(u as u32);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Binary implicit feedback, one sorted item row per user — the `Y^U`
+/// (or a group-indexed `Y^G`) of §III-A.
+#[derive(Clone, Debug, Default)]
+pub struct Interactions {
+    by_user: Vec<Vec<u32>>,
+    num_items: u32,
+    total: usize,
+}
+
+impl Interactions {
+    /// An empty matrix over `num_users × num_items`.
+    pub fn new(num_users: u32, num_items: u32) -> Self {
+        Interactions {
+            by_user: vec![Vec::new(); num_users as usize],
+            num_items,
+            total: 0,
+        }
+    }
+
+    /// Mark `(user, item)` as observed; returns `false` when already set.
+    ///
+    /// # Panics
+    /// Panics on out-of-range item.
+    pub fn insert(&mut self, user: u32, item: u32) -> bool {
+        assert!(item < self.num_items, "item {item} out of range");
+        let row = &mut self.by_user[user as usize];
+        match row.binary_search(&item) {
+            Ok(_) => false,
+            Err(pos) => {
+                row.insert(pos, item);
+                self.total += 1;
+                true
+            }
+        }
+    }
+
+    /// Membership test.
+    pub fn contains(&self, user: u32, item: u32) -> bool {
+        self.by_user[user as usize].binary_search(&item).is_ok()
+    }
+
+    /// Sorted items of a user.
+    pub fn items_of(&self, user: u32) -> &[u32] {
+        &self.by_user[user as usize]
+    }
+
+    /// Number of rows (users or groups).
+    pub fn num_users(&self) -> u32 {
+        self.by_user.len() as u32
+    }
+
+    /// Number of items.
+    pub fn num_items(&self) -> u32 {
+        self.num_items
+    }
+
+    /// Total observed pairs.
+    pub fn len(&self) -> usize {
+        self.total
+    }
+
+    /// True when nothing is observed.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// All `(user, item)` pairs, row-major.
+    pub fn pairs(&self) -> Vec<(u32, u32)> {
+        let mut out = Vec::with_capacity(self.total);
+        for (u, row) in self.by_user.iter().enumerate() {
+            for &i in row {
+                out.push((u as u32, i));
+            }
+        }
+        out
+    }
+
+    /// Density `total / (users · items)`.
+    pub fn density(&self) -> f64 {
+        let cells = self.by_user.len() as f64 * self.num_items as f64;
+        if cells == 0.0 {
+            0.0
+        } else {
+            self.total as f64 / cells
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rating_set_get_overwrite() {
+        let mut t = RatingTable::new(2, 5);
+        t.set(0, 3, 4.0);
+        t.set(0, 1, 2.0);
+        assert_eq!(t.get(0, 3), Some(4.0));
+        assert_eq!(t.get(0, 0), None);
+        t.set(0, 3, 5.0);
+        assert_eq!(t.get(0, 3), Some(5.0));
+        assert_eq!(t.len(), 2);
+        // rows stay sorted
+        assert_eq!(t.user_ratings(0).iter().map(|&(i, _)| i).collect::<Vec<_>>(), vec![1, 3]);
+    }
+
+    #[test]
+    fn user_mean() {
+        let mut t = RatingTable::new(1, 5);
+        assert_eq!(t.user_mean(0), None);
+        t.set(0, 0, 2.0);
+        t.set(0, 1, 4.0);
+        assert_eq!(t.user_mean(0), Some(3.0));
+    }
+
+    #[test]
+    fn to_implicit_thresholds() {
+        let mut t = RatingTable::new(2, 4);
+        t.set(0, 0, 5.0);
+        t.set(0, 1, 3.0);
+        t.set(1, 2, 4.0);
+        let y = t.to_implicit(4.0);
+        assert!(y.contains(0, 0));
+        assert!(!y.contains(0, 1));
+        assert!(y.contains(1, 2));
+        assert_eq!(y.len(), 2);
+    }
+
+    #[test]
+    fn raters_at_least_finds_users() {
+        let mut t = RatingTable::new(3, 2);
+        t.set(0, 1, 4.5);
+        t.set(1, 1, 3.0);
+        t.set(2, 1, 4.0);
+        assert_eq!(t.raters_at_least(1, 4.0), vec![0, 2]);
+        assert_eq!(t.raters_at_least(0, 1.0), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn interactions_insert_dedups() {
+        let mut y = Interactions::new(2, 10);
+        assert!(y.insert(0, 5));
+        assert!(!y.insert(0, 5));
+        assert!(y.insert(0, 2));
+        assert_eq!(y.items_of(0), &[2, 5]);
+        assert_eq!(y.len(), 2);
+        assert_eq!(y.pairs(), vec![(0, 2), (0, 5)]);
+    }
+
+    #[test]
+    fn density() {
+        let mut y = Interactions::new(2, 2);
+        y.insert(0, 0);
+        assert!((y.density() - 0.25).abs() < 1e-12);
+        let empty = Interactions::new(0, 0);
+        assert_eq!(empty.density(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_item_panics() {
+        let mut y = Interactions::new(1, 3);
+        y.insert(0, 3);
+    }
+}

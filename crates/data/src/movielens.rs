@@ -1,0 +1,225 @@
+//! Synthetic MovieLens-20M-Rand and MovieLens-20M-Simi stand-ins.
+//!
+//! Both datasets share one world (the paper derives both from the same
+//! MovieLens-20M subset: 5802 users, 3413 items) and differ only in
+//! group formation: Rand draws 8 users uniformly at random (no social
+//! relation), Simi draws 5 users with pairwise Pearson correlation
+//! ≥ 0.27. Group positives come from simulated *group decision events*
+//! (see [`crate::groups::simulate_group_choices`]): an
+//! influence-weighted, veto-filtered choice among a popularity-biased
+//! candidate pool — the decision process the paper's model hypothesises.
+
+use crate::dataset::GroupDataset;
+use crate::groups::{
+    random_member_sets, similar_member_sets, simulate_group_choices, GroupDecisionConfig,
+};
+use crate::world::{generate, World, WorldConfig};
+use kgag_tensor::rng::derive_seed;
+
+/// Scale presets trading fidelity for runtime.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// Unit-test scale (seconds end-to-end).
+    Tiny,
+    /// Experiment scale used by the bench binaries (minutes end-to-end).
+    Small,
+    /// Larger runs for when more statistical resolution is wanted.
+    Medium,
+}
+
+/// Configuration of the MovieLens-style generators.
+#[derive(Clone, Debug)]
+pub struct MovieLensConfig {
+    /// World (catalog/users/ratings) configuration.
+    pub world: WorldConfig,
+    /// Groups to form for the Rand variant.
+    pub rand_groups: usize,
+    /// Group size for the Rand variant (paper: 8).
+    pub rand_group_size: usize,
+    /// Groups to form for the Simi variant.
+    pub simi_groups: usize,
+    /// Group size for the Simi variant (paper: 5).
+    pub simi_group_size: usize,
+    /// Pairwise PCC threshold for Simi (paper: 0.27).
+    pub pcc_threshold: f32,
+    /// Decision-event parameters for Rand groups.
+    pub rand_decisions: GroupDecisionConfig,
+    /// Decision-event parameters for Simi groups (similar people agree
+    /// more, so more choices survive — Table I's 11.19 vs 5.05).
+    pub simi_decisions: GroupDecisionConfig,
+}
+
+impl MovieLensConfig {
+    /// Preset for a scale.
+    pub fn at_scale(scale: Scale) -> Self {
+        let (users, items, ratings, rand_groups, simi_groups) = match scale {
+            Scale::Tiny => (120, 100, (30, 60), 60, 40),
+            Scale::Small => (800, 600, (25, 60), 1500, 1000),
+            Scale::Medium => (2000, 1500, (40, 100), 4000, 2500),
+        };
+        MovieLensConfig {
+            world: WorldConfig {
+                num_users: users,
+                num_items: items,
+                ratings_per_user: ratings,
+                // long-tailed activity: a third of users carry most of
+                // the signal, the rest are near-cold (the sparsity KGAG
+                // is designed to survive)
+                heavy_fraction: 0.35,
+                light_ratings_per_user: (4, 12),
+                noise_std: 0.6,
+                ..WorldConfig::default()
+            },
+            rand_groups,
+            rand_group_size: 8,
+            simi_groups,
+            simi_group_size: 5,
+            pcc_threshold: 0.27,
+            rand_decisions: GroupDecisionConfig {
+                choices_per_group: (3, 8),
+                ..GroupDecisionConfig::default()
+            },
+            simi_decisions: GroupDecisionConfig {
+                choices_per_group: (8, 16),
+                ..GroupDecisionConfig::default()
+            },
+        }
+    }
+}
+
+impl Default for MovieLensConfig {
+    fn default() -> Self {
+        Self::at_scale(Scale::Small)
+    }
+}
+
+/// Generate the shared world plus both group datasets.
+pub fn movielens_pair(config: &MovieLensConfig) -> (World, GroupDataset, GroupDataset) {
+    let mut world = generate(&config.world);
+    // membership first (Simi similarity is judged on the organic,
+    // pre-event ratings)
+    let rand_members = random_member_sets(
+        config.world.num_users,
+        config.rand_group_size,
+        config.rand_groups,
+        derive_seed(config.world.seed, "ml-rand-members"),
+    );
+    let simi_members = similar_member_sets(
+        &world.ratings,
+        config.simi_group_size,
+        config.simi_groups,
+        config.pcc_threshold,
+        derive_seed(config.world.seed, "ml-simi-members"),
+    );
+    // decision events mutate the rating table (attendance ratings)
+    let rand_formed = simulate_group_choices(
+        &mut world,
+        &rand_members,
+        &config.rand_decisions,
+        derive_seed(config.world.seed, "ml-rand-events"),
+    );
+    let simi_formed = simulate_group_choices(
+        &mut world,
+        &simi_members,
+        &config.simi_decisions,
+        derive_seed(config.world.seed, "ml-simi-events"),
+    );
+    let implicit = world.ratings.to_implicit(crate::groups::POSITIVE_THRESHOLD);
+    let rand = GroupDataset::from_parts(
+        "MovieLens-20M-Rand",
+        config.world.num_users,
+        config.world.num_items,
+        world.kg.clone(),
+        world.item_entity.clone(),
+        implicit.clone(),
+        rand_formed,
+        config.rand_group_size,
+    );
+    let simi = GroupDataset::from_parts(
+        "MovieLens-20M-Simi",
+        config.world.num_users,
+        config.world.num_items,
+        world.kg.clone(),
+        world.item_entity.clone(),
+        implicit,
+        simi_formed,
+        config.simi_group_size,
+    );
+    (world, rand, simi)
+}
+
+/// Generate only the Rand variant (same world and events as
+/// [`movielens_pair`]).
+pub fn movielens_rand(config: &MovieLensConfig) -> GroupDataset {
+    movielens_pair(config).1
+}
+
+/// Generate only the Simi variant (same world and events as
+/// [`movielens_pair`]).
+pub fn movielens_simi(config: &MovieLensConfig) -> GroupDataset {
+    movielens_pair(config).2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_pair_builds_and_validates() {
+        let cfg = MovieLensConfig::at_scale(Scale::Tiny);
+        let (_, rand, simi) = movielens_pair(&cfg);
+        assert!(rand.validate().is_empty(), "{:?}", rand.validate());
+        assert!(simi.validate().is_empty(), "{:?}", simi.validate());
+        assert!(rand.num_groups() > 0);
+        assert!(simi.num_groups() > 0);
+        assert_eq!(rand.group_size, 8);
+        assert_eq!(simi.group_size, 5);
+    }
+
+    #[test]
+    fn variants_share_the_catalog() {
+        let cfg = MovieLensConfig::at_scale(Scale::Tiny);
+        let (_, rand, simi) = movielens_pair(&cfg);
+        assert_eq!(rand.num_items, simi.num_items);
+        assert_eq!(rand.num_users, simi.num_users);
+        assert_eq!(rand.kg.len(), simi.kg.len());
+        assert_eq!(rand.user_pos.len(), simi.user_pos.len());
+    }
+
+    #[test]
+    fn simi_has_more_interactions_per_group() {
+        // Table I: Simi 11.19 vs Rand 5.05 interactions/group.
+        let cfg = MovieLensConfig::at_scale(Scale::Tiny);
+        let (_, rand, simi) = movielens_pair(&cfg);
+        let r = rand.stats().inter_per_group;
+        let s = simi.stats().inter_per_group;
+        assert!(s > r, "simi {s:.2} should exceed rand {r:.2}");
+    }
+
+    #[test]
+    fn individual_builders_match_pair() {
+        let cfg = MovieLensConfig::at_scale(Scale::Tiny);
+        let (_, rand_a, _) = movielens_pair(&cfg);
+        let rand_b = movielens_rand(&cfg);
+        assert_eq!(rand_a.num_groups(), rand_b.num_groups());
+        assert_eq!(rand_a.group_pos.len(), rand_b.group_pos.len());
+    }
+
+    #[test]
+    fn group_positives_were_rated_by_members() {
+        // attendance ratings: every chosen item ends up rated by every
+        // member of the group
+        let cfg = MovieLensConfig::at_scale(Scale::Tiny);
+        let (world, rand, _) = movielens_pair(&cfg);
+        for g in 0..rand.num_groups().min(10) {
+            for &v in rand.group_pos.items_of(g) {
+                for &m in rand.members(g) {
+                    assert!(
+                        world.ratings.get(m, v).is_some(),
+                        "member {m} never rated chosen item {v}"
+                    );
+                }
+            }
+        }
+    }
+}

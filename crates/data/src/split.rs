@@ -1,0 +1,281 @@
+//! Train/validation/test splitting and negative sampling.
+//!
+//! The paper splits each dataset 60/20/20 (§IV-B). Group–item
+//! interactions are split *per group* so every group keeps a share of
+//! its positives in each bucket; groups with a single positive are
+//! assigned to one bucket at the split ratios.
+
+use crate::dataset::GroupDataset;
+use crate::interactions::Interactions;
+use kgag_tensor::rng::{derive_seed, SplitMix64};
+use std::collections::HashSet;
+
+/// A 60/20/20-style split of group–item positives.
+#[derive(Clone, Debug)]
+pub struct GroupSplit {
+    /// Training pairs `(group, item)`.
+    pub train: Vec<(u32, u32)>,
+    /// Validation pairs.
+    pub val: Vec<(u32, u32)>,
+    /// Test pairs.
+    pub test: Vec<(u32, u32)>,
+    train_by_group: Vec<Vec<u32>>,
+    val_by_group: Vec<Vec<u32>>,
+    test_by_group: Vec<Vec<u32>>,
+}
+
+impl GroupSplit {
+    /// Training positives of one group (sorted).
+    pub fn train_items(&self, group: u32) -> &[u32] {
+        &self.train_by_group[group as usize]
+    }
+
+    /// Validation positives of one group (sorted).
+    pub fn val_items(&self, group: u32) -> &[u32] {
+        &self.val_by_group[group as usize]
+    }
+
+    /// Test positives of one group (sorted).
+    pub fn test_items(&self, group: u32) -> &[u32] {
+        &self.test_by_group[group as usize]
+    }
+
+    /// Number of groups covered.
+    pub fn num_groups(&self) -> usize {
+        self.train_by_group.len()
+    }
+}
+
+/// Split group positives per group at `(train, val)` ratios (the rest is
+/// test). Deterministic given the seed.
+pub fn split_group_interactions(
+    group_pos: &Interactions,
+    ratios: (f64, f64),
+    seed: u64,
+) -> GroupSplit {
+    let (tr, va) = ratios;
+    assert!(tr > 0.0 && va >= 0.0 && tr + va < 1.0, "bad split ratios ({tr}, {va})");
+    let mut rng = SplitMix64::new(derive_seed(seed, "group-split"));
+    let n_groups = group_pos.num_users() as usize;
+    let mut split = GroupSplit {
+        train: Vec::new(),
+        val: Vec::new(),
+        test: Vec::new(),
+        train_by_group: vec![Vec::new(); n_groups],
+        val_by_group: vec![Vec::new(); n_groups],
+        test_by_group: vec![Vec::new(); n_groups],
+    };
+    for g in 0..n_groups as u32 {
+        let mut items: Vec<u32> = group_pos.items_of(g).to_vec();
+        rng.shuffle(&mut items);
+        let n = items.len();
+        if n == 0 {
+            continue; // group without positives: nothing to split
+        }
+        let (n_tr, n_va);
+        if n == 1 {
+            // single positive: send it to one bucket at the split ratios
+            let x = rng.next_f64();
+            if x < tr {
+                n_tr = 1;
+                n_va = 0;
+            } else if x < tr + va {
+                n_tr = 0;
+                n_va = 1;
+            } else {
+                n_tr = 0;
+                n_va = 0;
+            }
+        } else {
+            // at least one training item so the group is learnable
+            n_tr = ((n as f64 * tr).round() as usize).clamp(1, n);
+            n_va = ((n as f64 * va).round() as usize).min(n - n_tr);
+        }
+        for (idx, &v) in items.iter().enumerate() {
+            if idx < n_tr {
+                split.train.push((g, v));
+                split.train_by_group[g as usize].push(v);
+            } else if idx < n_tr + n_va {
+                split.val.push((g, v));
+                split.val_by_group[g as usize].push(v);
+            } else {
+                split.test.push((g, v));
+                split.test_by_group[g as usize].push(v);
+            }
+        }
+    }
+    for rows in [
+        &mut split.train_by_group,
+        &mut split.val_by_group,
+        &mut split.test_by_group,
+    ] {
+        for row in rows.iter_mut() {
+            row.sort_unstable();
+        }
+    }
+    split
+}
+
+/// Everything a trainer needs: the group split plus the user–item
+/// training interactions (the paper feeds `Y^U` as the auxiliary loss).
+#[derive(Clone, Debug)]
+pub struct DatasetSplit {
+    /// Group–item split.
+    pub group: GroupSplit,
+    /// User–item positives available for the auxiliary user loss and the
+    /// collaborative KG.
+    pub user_train: Interactions,
+}
+
+/// Split a [`GroupDataset`] with the paper's 60/20/20 protocol.
+///
+/// The user–item matrix handed to trainers is *leakage-filtered*: for
+/// every held-out (validation/test) pair `(g, v)`, the interactions of
+/// `g`'s members with `v` are removed. Members of a group typically
+/// interacted with the items their group selected (they attended), so
+/// without this filter the individual towers of every model can read
+/// held-out group decisions straight out of `Y^U`. At the paper's scale
+/// the group-derived share of `Y^U` is negligible; at laptop scale it
+/// is not, and the filter restores the paper's regime.
+pub fn split_dataset(ds: &GroupDataset, seed: u64) -> DatasetSplit {
+    let group = split_group_interactions(&ds.group_pos, (0.6, 0.2), seed);
+    let mut blocked: HashSet<(u32, u32)> = HashSet::new();
+    for &(g, v) in group.val.iter().chain(&group.test) {
+        for &m in ds.members(g) {
+            blocked.insert((m, v));
+        }
+    }
+    let mut user_train = Interactions::new(ds.num_users, ds.num_items);
+    for (u, v) in ds.user_pos.pairs() {
+        if !blocked.contains(&(u, v)) {
+            user_train.insert(u, v);
+        }
+    }
+    DatasetSplit { group, user_train }
+}
+
+/// Uniform negative sampler over items, rejecting known positives.
+#[derive(Clone, Debug)]
+pub struct NegativeSampler {
+    known: HashSet<(u32, u32)>,
+    num_items: u32,
+}
+
+/// Alias kept for discoverability from the user side.
+pub type UserSplit = Interactions;
+
+impl NegativeSampler {
+    /// Build from all known positive `(row, item)` pairs (train *and*
+    /// held-out, so negatives are true negatives).
+    pub fn new(known: impl IntoIterator<Item = (u32, u32)>, num_items: u32) -> Self {
+        assert!(num_items > 0, "cannot sample from an empty catalog");
+        NegativeSampler { known: known.into_iter().collect(), num_items }
+    }
+
+    /// Build from an [`Interactions`] matrix.
+    pub fn from_interactions(y: &Interactions) -> Self {
+        Self::new(y.pairs(), y.num_items())
+    }
+
+    /// Sample one item not positively associated with `row`.
+    ///
+    /// Falls back to an arbitrary item after 100 rejections (only
+    /// possible when a row is positive on nearly the whole catalog).
+    pub fn sample(&self, row: u32, rng: &mut SplitMix64) -> u32 {
+        for _ in 0..100 {
+            let v = rng.next_below(self.num_items as usize) as u32;
+            if !self.known.contains(&(row, v)) {
+                return v;
+            }
+        }
+        rng.next_below(self.num_items as usize) as u32
+    }
+
+    /// True when `(row, item)` is a known positive.
+    pub fn is_positive(&self, row: u32, item: u32) -> bool {
+        self.known.contains(&(row, item))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_pos() -> Interactions {
+        let mut y = Interactions::new(3, 20);
+        for v in 0..10 {
+            y.insert(0, v);
+        }
+        for v in 0..5 {
+            y.insert(1, v);
+        }
+        y.insert(2, 7);
+        y
+    }
+
+    #[test]
+    fn ratios_are_respected_per_group() {
+        let split = split_group_interactions(&toy_pos(), (0.6, 0.2), 1);
+        assert_eq!(split.train_items(0).len(), 6);
+        assert_eq!(split.val_items(0).len(), 2);
+        assert_eq!(split.test_items(0).len(), 2);
+        assert_eq!(split.train_items(1).len(), 3);
+        // group 2 has a single positive: exactly one bucket holds it
+        let total2 = split.train_items(2).len() + split.val_items(2).len()
+            + split.test_items(2).len();
+        assert_eq!(total2, 1);
+    }
+
+    #[test]
+    fn buckets_partition_the_positives() {
+        let pos = toy_pos();
+        let split = split_group_interactions(&pos, (0.6, 0.2), 9);
+        let mut all: Vec<(u32, u32)> = split
+            .train
+            .iter()
+            .chain(&split.val)
+            .chain(&split.test)
+            .copied()
+            .collect();
+        all.sort_unstable();
+        let mut expected = pos.pairs();
+        expected.sort_unstable();
+        assert_eq!(all, expected);
+    }
+
+    #[test]
+    fn every_multi_positive_group_keeps_a_training_item() {
+        let split = split_group_interactions(&toy_pos(), (0.6, 0.2), 5);
+        for g in [0u32, 1] {
+            assert!(!split.train_items(g).is_empty());
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let pos = toy_pos();
+        let a = split_group_interactions(&pos, (0.6, 0.2), 3);
+        let b = split_group_interactions(&pos, (0.6, 0.2), 3);
+        assert_eq!(a.train, b.train);
+        assert_eq!(a.test, b.test);
+    }
+
+    #[test]
+    fn negative_sampler_avoids_positives() {
+        let y = toy_pos();
+        let sampler = NegativeSampler::from_interactions(&y);
+        let mut rng = SplitMix64::new(2);
+        for _ in 0..200 {
+            let v = sampler.sample(0, &mut rng);
+            assert!(!y.contains(0, v), "sampled positive {v}");
+        }
+        assert!(sampler.is_positive(2, 7));
+        assert!(!sampler.is_positive(2, 8));
+    }
+
+    #[test]
+    #[should_panic(expected = "bad split ratios")]
+    fn bad_ratios_panic() {
+        split_group_interactions(&toy_pos(), (0.9, 0.2), 0);
+    }
+}

@@ -1,0 +1,133 @@
+//! Dataset statistics — the rows of the paper's Table I.
+
+use crate::dataset::GroupDataset;
+
+/// Table-I statistics of a [`GroupDataset`].
+#[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct DatasetStats {
+    /// Dataset name.
+    pub name: String,
+    /// Total groups.
+    pub total_groups: usize,
+    /// Total items.
+    pub total_items: usize,
+    /// Total users.
+    pub total_users: usize,
+    /// Fixed group size.
+    pub group_size: usize,
+    /// Total group–item interactions.
+    pub interactions: usize,
+    /// Interactions per group.
+    pub inter_per_group: f64,
+    /// KG entities.
+    pub kg_entities: usize,
+    /// KG relation types.
+    pub kg_relations: usize,
+    /// KG triples.
+    pub kg_triples: usize,
+    /// User–item interactions (implicit `Y^U`).
+    pub user_interactions: usize,
+}
+
+impl DatasetStats {
+    /// Compute the statistics of a dataset.
+    pub fn of(ds: &GroupDataset) -> Self {
+        let interactions = ds.group_pos.len();
+        let total_groups = ds.num_groups() as usize;
+        DatasetStats {
+            name: ds.name.clone(),
+            total_groups,
+            total_items: ds.num_items as usize,
+            total_users: ds.num_users as usize,
+            group_size: ds.group_size,
+            interactions,
+            inter_per_group: interactions as f64 / total_groups.max(1) as f64,
+            kg_entities: ds.kg.num_entities() as usize,
+            kg_relations: ds.kg.num_relations() as usize,
+            kg_triples: ds.kg.len(),
+            user_interactions: ds.user_pos.len(),
+        }
+    }
+
+    /// Render as a fixed-width table row (label column + value columns),
+    /// matching the layout of Table I.
+    pub fn table_rows(stats: &[DatasetStats]) -> String {
+        let mut out = String::new();
+        let label_w = 14usize;
+        let col_w = 22usize;
+        let header: String = std::iter::once(format!("{:label_w$}", ""))
+            .chain(stats.iter().map(|s| format!("{:>col_w$}", s.name)))
+            .collect();
+        out.push_str(&header);
+        out.push('\n');
+        let mut row = |label: &str, f: &dyn Fn(&DatasetStats) -> String| {
+            let line: String = std::iter::once(format!("{label:label_w$}"))
+                .chain(stats.iter().map(|s| format!("{:>col_w$}", f(s))))
+                .collect();
+            out.push_str(&line);
+            out.push('\n');
+        };
+        row("Total groups", &|s| s.total_groups.to_string());
+        row("Total items", &|s| s.total_items.to_string());
+        row("Total users", &|s| s.total_users.to_string());
+        row("Group size", &|s| s.group_size.to_string());
+        row("Interactions", &|s| s.interactions.to_string());
+        row("Inter./group", &|s| format!("{:.2}", s.inter_per_group));
+        row("KG entities", &|s| s.kg_entities.to_string());
+        row("KG relations", &|s| s.kg_relations.to_string());
+        row("KG triples", &|s| s.kg_triples.to_string());
+        row("User inter.", &|s| s.user_interactions.to_string());
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::groups::FormedGroup;
+    use crate::interactions::Interactions;
+    use kgag_kg::triple::{EntityId, TripleStore};
+
+    fn ds() -> GroupDataset {
+        let mut kg = TripleStore::with_capacity(3, 2);
+        kg.add_raw(0, 0, 2);
+        kg.add_raw(1, 1, 2);
+        let mut user_pos = Interactions::new(3, 2);
+        user_pos.insert(0, 0);
+        user_pos.insert(1, 1);
+        GroupDataset::from_parts(
+            "t",
+            3,
+            2,
+            kg,
+            vec![EntityId(0), EntityId(1)],
+            user_pos,
+            vec![
+                FormedGroup { members: vec![0, 1], positives: vec![0, 1] },
+                FormedGroup { members: vec![1, 2], positives: vec![1] },
+            ],
+            2,
+        )
+    }
+
+    #[test]
+    fn stats_counts() {
+        let s = DatasetStats::of(&ds());
+        assert_eq!(s.total_groups, 2);
+        assert_eq!(s.interactions, 3);
+        assert!((s.inter_per_group - 1.5).abs() < 1e-12);
+        assert_eq!(s.kg_triples, 2);
+        assert_eq!(s.kg_relations, 2);
+        assert_eq!(s.user_interactions, 2);
+    }
+
+    #[test]
+    fn table_rendering_contains_all_rows() {
+        let s = DatasetStats::of(&ds());
+        let table = DatasetStats::table_rows(&[s.clone(), s]);
+        for label in ["Total groups", "Inter./group", "KG triples"] {
+            assert!(table.contains(label), "missing {label}");
+        }
+        assert_eq!(table.lines().count(), 11);
+    }
+}

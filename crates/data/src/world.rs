@@ -1,0 +1,471 @@
+//! Latent preference world model.
+//!
+//! The generator draws a catalog of items with discrete attributes, a
+//! knowledge graph over those attributes, a population of users with
+//! attribute-level preferences, and a noisy rating for every observed
+//! user–item exposure. The crucial property (argued in DESIGN.md §2) is
+//! that *ratings are explained by KG structure*: a user who rates one
+//! film of a director highly will tend to rate the director's other
+//! films highly, and two such users are close in the collaborative KG.
+
+use crate::interactions::RatingTable;
+use kgag_kg::triple::{EntityId, TripleStore};
+use kgag_tensor::rng::{derive_seed, SplitMix64};
+
+/// Configuration of the world generator.
+#[derive(Clone, Debug)]
+pub struct WorldConfig {
+    /// Number of users.
+    pub num_users: u32,
+    /// Number of items.
+    pub num_items: u32,
+    /// Number of primary attribute values (genres/categories).
+    pub num_genres: usize,
+    /// Number of secondary attribute values (directors/cities).
+    pub num_directors: usize,
+    /// Number of tertiary attribute values (actors/ambiences).
+    pub num_actors: usize,
+    /// Number of bucketed scalar attributes (decades/price levels).
+    pub num_decades: usize,
+    /// Ratings each *heavy* user produces, drawn uniformly from this range.
+    pub ratings_per_user: (usize, usize),
+    /// Fraction of heavy users; the rest are light users (real rating
+    /// data is strongly long-tailed in user activity).
+    pub heavy_fraction: f64,
+    /// Ratings each *light* user produces.
+    pub light_ratings_per_user: (usize, usize),
+    /// How many genres a user strongly likes.
+    pub liked_genres_per_user: (usize, usize),
+    /// Zipf popularity exponent for item exposure.
+    pub popularity_exponent: f64,
+    /// Rating noise standard deviation.
+    pub noise_std: f32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for WorldConfig {
+    fn default() -> Self {
+        WorldConfig {
+            num_users: 800,
+            num_items: 600,
+            num_genres: 16,
+            num_directors: 80,
+            num_actors: 160,
+            num_decades: 8,
+            ratings_per_user: (40, 80),
+            heavy_fraction: 1.0,
+            light_ratings_per_user: (8, 20),
+            liked_genres_per_user: (2, 4),
+            popularity_exponent: 0.8,
+            noise_std: 0.45,
+            seed: 0xdeb5,
+        }
+    }
+}
+
+/// Attribute bundle of one item.
+#[derive(Clone, Debug)]
+pub struct ItemAttrs {
+    /// Genre indices (1–3 per item).
+    pub genres: Vec<usize>,
+    /// Director index.
+    pub director: usize,
+    /// Actor indices (2–4 per item).
+    pub actors: Vec<usize>,
+    /// Decade bucket.
+    pub decade: usize,
+    /// Latent quality in roughly `[-1, 1]`.
+    pub quality: f32,
+}
+
+/// Latent preference profile of one user.
+#[derive(Clone, Debug)]
+pub struct UserPrefs {
+    /// Per-genre preference weight (sparse: a few strong likes).
+    pub genre_weights: Vec<f32>,
+    /// Rating generosity offset.
+    pub generosity: f32,
+    /// Personal hash seed for per-director/actor affinities.
+    pub affinity_seed: u64,
+    /// Heavy (opinion-leader) user: rates a lot, and tends to carry
+    /// more weight in group decisions.
+    pub heavy: bool,
+    /// Latent social influence (z-score-ish; correlated with activity).
+    pub influence: f32,
+}
+
+impl UserPrefs {
+    /// Deterministic per-director affinity in `[-0.5, 0.5]`.
+    pub fn director_affinity(&self, director: usize) -> f32 {
+        hashed_affinity(self.affinity_seed, 0xd1, director)
+    }
+
+    /// Deterministic per-actor affinity in `[-0.5, 0.5]`.
+    pub fn actor_affinity(&self, actor: usize) -> f32 {
+        hashed_affinity(self.affinity_seed, 0xac, actor)
+    }
+}
+
+fn hashed_affinity(seed: u64, tag: u64, idx: usize) -> f32 {
+    let mut r = SplitMix64::new(seed ^ (tag << 32) ^ idx as u64);
+    r.next_f32() - 0.5
+}
+
+/// A fully-generated world: catalog, users, ratings, knowledge graph.
+#[derive(Clone, Debug)]
+pub struct World {
+    /// Generator configuration used.
+    pub config: WorldConfig,
+    /// Per-item attributes.
+    pub items: Vec<ItemAttrs>,
+    /// Per-user latent preferences.
+    pub users: Vec<UserPrefs>,
+    /// Observed explicit ratings (1–5).
+    pub ratings: RatingTable,
+    /// The item knowledge graph.
+    pub kg: TripleStore,
+    /// Item index → entity id (the mapping `f: V → E`).
+    pub item_entity: Vec<EntityId>,
+    /// Cumulative Zipf exposure weights (for popularity-biased item
+    /// draws, e.g. the candidate pools of simulated group events).
+    pub exposure_cumulative: Vec<f64>,
+}
+
+/// Named relation ids of the generated movie-style KG, in order of
+/// registration.
+pub mod relations {
+    /// `(item, has_genre, genre)`
+    pub const HAS_GENRE: u32 = 0;
+    /// `(item, directed_by, director)`
+    pub const DIRECTED_BY: u32 = 1;
+    /// `(item, stars, actor)`
+    pub const STARS: u32 = 2;
+    /// `(item, released_in, decade)`
+    pub const RELEASED_IN: u32 = 3;
+    /// `(director, works_in, genre)` — densifies attribute-attribute links
+    pub const WORKS_IN: u32 = 4;
+}
+
+impl World {
+    /// Latent affinity of `user` for `item` (before noise), roughly in
+    /// `[-1.5, 2.5]`; ratings are an affine map of this.
+    pub fn affinity(&self, user: u32, item: u32) -> f32 {
+        let u = &self.users[user as usize];
+        let v = &self.items[item as usize];
+        let genre: f32 = v.genres.iter().map(|&g| u.genre_weights[g]).sum::<f32>()
+            / v.genres.len() as f32;
+        let director = u.director_affinity(v.director);
+        let actors: f32 = v.actors.iter().map(|&a| u.actor_affinity(a)).sum::<f32>()
+            / v.actors.len() as f32;
+        1.2 * genre + 0.7 * director + 0.5 * actors + 0.2 * v.quality + u.generosity
+    }
+
+    /// The noiseless rating scale mapping used by the generator.
+    pub fn affinity_to_rating(affinity: f32) -> f32 {
+        (3.0 + 1.4 * affinity).clamp(1.0, 5.0)
+    }
+
+    /// Draw an item with probability proportional to its Zipf exposure
+    /// weight (popular items come up more often, as in real catalogs).
+    pub fn sample_item_by_popularity(&self, rng: &mut SplitMix64) -> u32 {
+        let total = *self.exposure_cumulative.last().expect("non-empty catalog");
+        let x = rng.next_f64() * total;
+        (self.exposure_cumulative.partition_point(|&c| c < x) as u32)
+            .min(self.config.num_items - 1)
+    }
+}
+
+/// Generate a world.
+///
+/// # Panics
+/// Panics on degenerate configurations (no users/items/genres).
+pub fn generate(config: &WorldConfig) -> World {
+    assert!(config.num_users > 0 && config.num_items > 0, "empty world");
+    assert!(config.num_genres >= 2, "need at least two genres");
+    let mut rng = SplitMix64::new(derive_seed(config.seed, "world"));
+
+    // ---- catalog ------------------------------------------------------
+    let mut items = Vec::with_capacity(config.num_items as usize);
+    // popularity-rank permutation: item ids are shuffled so popularity is
+    // not correlated with id order
+    let mut pop_rank: Vec<usize> = (0..config.num_items as usize).collect();
+    rng.shuffle(&mut pop_rank);
+    for &rank in pop_rank.iter() {
+        let n_genres = 1 + rng.next_below(3);
+        let genres = rng.sample_distinct(config.num_genres, n_genres);
+        let director = rng.next_below(config.num_directors);
+        let n_actors = 2 + rng.next_below(3);
+        let actors = rng.sample_distinct(config.num_actors, n_actors);
+        let decade = rng.next_below(config.num_decades);
+        // quality gently correlated with popularity (blockbuster effect)
+        let rank_frac = rank as f64 / config.num_items as f64;
+        let quality = (0.5 - rank_frac) as f32 * 0.3 + rng.next_normal() * 0.3;
+        items.push(ItemAttrs { genres, director, actors, decade, quality });
+    }
+
+    // Zipf exposure weights by popularity rank
+    let weights: Vec<f64> = pop_rank
+        .iter()
+        .map(|&rank| 1.0 / ((rank + 1) as f64).powf(config.popularity_exponent))
+        .collect();
+    let cumulative: Vec<f64> = weights
+        .iter()
+        .scan(0.0, |acc, w| {
+            *acc += w;
+            Some(*acc)
+        })
+        .collect();
+    let total_w = *cumulative.last().unwrap();
+
+    // ---- users --------------------------------------------------------
+    let mut users = Vec::with_capacity(config.num_users as usize);
+    for _ in 0..config.num_users {
+        let (lo, hi) = config.liked_genres_per_user;
+        let n_liked = lo + rng.next_below(hi - lo + 1);
+        let liked = rng.sample_distinct(config.num_genres, n_liked);
+        let mut genre_weights = vec![-0.25f32; config.num_genres];
+        for g in liked {
+            genre_weights[g] = 0.9 + rng.next_f32() * 0.4;
+        }
+        let heavy = rng.next_f64() < config.heavy_fraction;
+        // opinion leadership correlates with activity: people who watch
+        // everything are listened to when the group picks a movie
+        let influence = if heavy { 0.8 } else { -0.3 } + rng.next_normal() * 0.4;
+        users.push(UserPrefs {
+            genre_weights,
+            generosity: rng.next_normal() * 0.25,
+            affinity_seed: rng.next_u64(),
+            heavy,
+            influence,
+        });
+    }
+
+    // ---- ratings ------------------------------------------------------
+    let mut world = World {
+        config: config.clone(),
+        items,
+        users,
+        ratings: RatingTable::new(config.num_users, config.num_items),
+        kg: TripleStore::new(),
+        item_entity: Vec::new(),
+        exposure_cumulative: cumulative.clone(),
+    };
+    for u in 0..config.num_users {
+        let (r_lo, r_hi) = if world.users[u as usize].heavy {
+            config.ratings_per_user
+        } else {
+            config.light_ratings_per_user
+        };
+        let n = r_lo + rng.next_below(r_hi - r_lo + 1);
+        let prefs = world.users[u as usize].clone();
+        // liked genres of this user, for preference-biased exposure
+        let liked: Vec<usize> = prefs
+            .genre_weights
+            .iter()
+            .enumerate()
+            .filter(|&(_, &w)| w > 0.0)
+            .map(|(g, _)| g)
+            .collect();
+        let mut rated = 0usize;
+        let mut attempts = 0usize;
+        while rated < n && attempts < n * 20 {
+            attempts += 1;
+            let v = if rng.next_f32() < 0.55 {
+                // popularity-weighted draw
+                let x = rng.next_f64() * total_w;
+                cumulative.partition_point(|&c| c < x) as u32
+            } else {
+                // preference-biased: a random item from a liked genre
+                let g = liked[rng.next_below(liked.len())];
+                match random_item_with_genre(&world, g, &mut rng) {
+                    Some(v) => v,
+                    None => continue,
+                }
+            };
+            let v = v.min(config.num_items - 1);
+            if world.ratings.get(u, v).is_some() {
+                continue;
+            }
+            let noiseless = World::affinity_to_rating(world.affinity(u, v));
+            let rating = (noiseless + rng.next_normal() * config.noise_std)
+                .round()
+                .clamp(1.0, 5.0);
+            world.ratings.set(u, v, rating);
+            rated += 1;
+        }
+    }
+
+    // ---- knowledge graph ----------------------------------------------
+    let (kg, item_entity) = build_movie_kg(&world);
+    world.kg = kg;
+    world.item_entity = item_entity;
+    world
+}
+
+fn random_item_with_genre(world: &World, genre: usize, rng: &mut SplitMix64) -> Option<u32> {
+    // rejection-sample a handful of times; genres cover items densely
+    for _ in 0..16 {
+        let v = rng.next_below(world.items.len());
+        if world.items[v].genres.contains(&genre) {
+            return Some(v as u32);
+        }
+    }
+    None
+}
+
+/// Build the movie-style KG: entities are items, then genres, directors,
+/// actors, decades. Items map to their own entity (identity prefix).
+fn build_movie_kg(world: &World) -> (TripleStore, Vec<EntityId>) {
+    let n_items = world.items.len() as u32;
+    let cfg = &world.config;
+    let genre_base = n_items;
+    let director_base = genre_base + cfg.num_genres as u32;
+    let actor_base = director_base + cfg.num_directors as u32;
+    let decade_base = actor_base + cfg.num_actors as u32;
+    let num_entities = decade_base + cfg.num_decades as u32;
+
+    let mut kg = TripleStore::with_capacity(num_entities, 5);
+    for (v, attrs) in world.items.iter().enumerate() {
+        let v = v as u32;
+        for &g in &attrs.genres {
+            kg.add_raw(v, relations::HAS_GENRE, genre_base + g as u32);
+        }
+        kg.add_raw(v, relations::DIRECTED_BY, director_base + attrs.director as u32);
+        for &a in &attrs.actors {
+            kg.add_raw(v, relations::STARS, actor_base + a as u32);
+        }
+        kg.add_raw(v, relations::RELEASED_IN, decade_base + attrs.decade as u32);
+        // attribute-attribute densification: a director works in the
+        // genres of their films
+        for &g in &attrs.genres {
+            kg.add_raw(
+                director_base + attrs.director as u32,
+                relations::WORKS_IN,
+                genre_base + g as u32,
+            );
+        }
+    }
+    let item_entity: Vec<EntityId> = (0..n_items).map(EntityId).collect();
+    (kg, item_entity)
+}
+
+impl World {
+    /// Entity id of genre `g` in the generated KG.
+    pub fn genre_entity(&self, g: usize) -> EntityId {
+        EntityId(self.config.num_items + g as u32)
+    }
+
+    /// Entity id of director `d` in the generated KG.
+    pub fn director_entity(&self, d: usize) -> EntityId {
+        EntityId(self.config.num_items + self.config.num_genres as u32 + d as u32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config() -> WorldConfig {
+        WorldConfig {
+            num_users: 60,
+            num_items: 80,
+            num_genres: 8,
+            num_directors: 12,
+            num_actors: 20,
+            num_decades: 4,
+            ratings_per_user: (15, 25),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn generates_requested_shapes() {
+        let w = generate(&small_config());
+        assert_eq!(w.items.len(), 80);
+        assert_eq!(w.users.len(), 60);
+        assert_eq!(w.item_entity.len(), 80);
+        assert!(w.ratings.len() >= 60 * 10, "too few ratings: {}", w.ratings.len());
+    }
+
+    #[test]
+    fn ratings_are_in_scale() {
+        let w = generate(&small_config());
+        for u in 0..60 {
+            for &(_, r) in w.ratings.user_ratings(u) {
+                assert!((1.0..=5.0).contains(&r), "rating {r} out of scale");
+                assert_eq!(r, r.round(), "ratings should be integral");
+            }
+        }
+    }
+
+    #[test]
+    fn kg_links_every_item() {
+        let w = generate(&small_config());
+        // each item has ≥ 1 genre + director + ≥2 actors + decade ≥ 5 facts
+        let heads: std::collections::HashSet<u32> =
+            w.kg.triples().iter().map(|t| t.head.0).collect();
+        for v in 0..80u32 {
+            assert!(heads.contains(&v), "item {v} has no KG facts");
+        }
+    }
+
+    #[test]
+    fn preferred_genres_rate_higher_on_average() {
+        let w = generate(&small_config());
+        let mut liked_sum = 0.0f64;
+        let mut liked_n = 0usize;
+        let mut other_sum = 0.0f64;
+        let mut other_n = 0usize;
+        for u in 0..60u32 {
+            let prefs = &w.users[u as usize];
+            for &(v, r) in w.ratings.user_ratings(u) {
+                let liked = w.items[v as usize]
+                    .genres
+                    .iter()
+                    .any(|&g| prefs.genre_weights[g] > 0.0);
+                if liked {
+                    liked_sum += r as f64;
+                    liked_n += 1;
+                } else {
+                    other_sum += r as f64;
+                    other_n += 1;
+                }
+            }
+        }
+        let liked_mean = liked_sum / liked_n.max(1) as f64;
+        let other_mean = other_sum / other_n.max(1) as f64;
+        assert!(
+            liked_mean > other_mean + 0.4,
+            "liked {liked_mean:.2} vs other {other_mean:.2}"
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = generate(&small_config());
+        let b = generate(&small_config());
+        assert_eq!(a.ratings.len(), b.ratings.len());
+        assert_eq!(a.kg.len(), b.kg.len());
+        assert_eq!(a.ratings.user_ratings(5), b.ratings.user_ratings(5));
+    }
+
+    #[test]
+    fn positive_rate_is_reasonable() {
+        // group construction needs a healthy share of ≥4 ratings
+        let w = generate(&small_config());
+        let pos = w.ratings.to_implicit(4.0).len() as f64;
+        let frac = pos / w.ratings.len() as f64;
+        assert!(
+            (0.2..0.8).contains(&frac),
+            "fraction of ≥4 ratings {frac:.2} outside sane band"
+        );
+    }
+
+    #[test]
+    fn affinity_scale_maps_to_rating_bounds() {
+        assert_eq!(World::affinity_to_rating(10.0), 5.0);
+        assert_eq!(World::affinity_to_rating(-10.0), 1.0);
+        assert!((World::affinity_to_rating(0.0) - 3.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,151 @@
+//! Property-based tests of the data substrate: splits partition, the
+//! negative sampler rejects positives, quorum semantics, and PCC bounds.
+
+use kgag_data::groups::{quorum_positives, unanimous_positives};
+use kgag_data::interactions::{Interactions, RatingTable};
+use kgag_data::similarity::pearson;
+use kgag_data::split::{split_group_interactions, NegativeSampler};
+use kgag_tensor::rng::SplitMix64;
+use proptest::prelude::*;
+
+/// Random interaction matrix.
+fn interactions_strategy() -> impl Strategy<Value = Interactions> {
+    proptest::collection::vec((0u32..8, 0u32..30), 1..80).prop_map(|pairs| {
+        let mut y = Interactions::new(8, 30);
+        for (u, v) in pairs {
+            y.insert(u, v);
+        }
+        y
+    })
+}
+
+/// Random rating table.
+fn ratings_strategy() -> impl Strategy<Value = RatingTable> {
+    proptest::collection::vec((0u32..6, 0u32..20, 1u32..=5), 1..80).prop_map(|trip| {
+        let mut t = RatingTable::new(6, 20);
+        for (u, v, r) in trip {
+            t.set(u, v, r as f32);
+        }
+        t
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The split is an exact partition of the positives, per group.
+    #[test]
+    fn split_partitions(y in interactions_strategy(), seed in 0u64..100) {
+        let split = split_group_interactions(&y, (0.6, 0.2), seed);
+        let mut got: Vec<(u32, u32)> = split
+            .train
+            .iter()
+            .chain(&split.val)
+            .chain(&split.test)
+            .copied()
+            .collect();
+        got.sort_unstable();
+        let mut expect = y.pairs();
+        expect.sort_unstable();
+        prop_assert_eq!(got, expect);
+        // per-group views agree with the flat lists
+        for g in 0..y.num_users() {
+            for &v in split.train_items(g) {
+                prop_assert!(split.train.contains(&(g, v)));
+            }
+        }
+        // groups with 2+ positives always keep at least one training item
+        for g in 0..y.num_users() {
+            if y.items_of(g).len() >= 2 {
+                prop_assert!(!split.train_items(g).is_empty());
+            }
+        }
+    }
+
+    /// The split is deterministic in its seed.
+    #[test]
+    fn split_is_deterministic(y in interactions_strategy(), seed in 0u64..100) {
+        let a = split_group_interactions(&y, (0.6, 0.2), seed);
+        let b = split_group_interactions(&y, (0.6, 0.2), seed);
+        prop_assert_eq!(a.train, b.train);
+        prop_assert_eq!(a.val, b.val);
+        prop_assert_eq!(a.test, b.test);
+    }
+
+    /// The negative sampler never returns a known positive (when any
+    /// negative exists for the row).
+    #[test]
+    fn negative_sampler_rejects_positives(
+        y in interactions_strategy(),
+        seed in 0u64..100,
+        row in 0u32..8,
+    ) {
+        let sampler = NegativeSampler::from_interactions(&y);
+        let mut rng = SplitMix64::new(seed);
+        if y.items_of(row).len() < y.num_items() as usize {
+            for _ in 0..30 {
+                let v = sampler.sample(row, &mut rng);
+                prop_assert!(!y.contains(row, v), "sampled positive {v}");
+            }
+        }
+    }
+
+    /// Quorum semantics: results shrink as the quorum rises; the full
+    /// quorum equals strict unanimity; every returned item passes both
+    /// rules manually.
+    #[test]
+    fn quorum_monotone_and_consistent(
+        t in ratings_strategy(),
+        members_raw in proptest::collection::vec(0u32..6, 1..5),
+    ) {
+        let mut members = members_raw;
+        members.sort_unstable();
+        members.dedup();
+        let mut prev: Option<Vec<u32>> = None;
+        for q in 1..=members.len() {
+            let got = quorum_positives(&t, &members, 4.0, q);
+            if let Some(p) = &prev {
+                // higher quorum ⇒ subset
+                for v in &got {
+                    prop_assert!(p.contains(v), "quorum {q} added item {v}");
+                }
+            }
+            for &v in &got {
+                let raters = members
+                    .iter()
+                    .filter(|&&m| t.get(m, v).is_some())
+                    .count();
+                prop_assert!(raters >= q);
+                for &m in &members {
+                    if let Some(r) = t.get(m, v) {
+                        prop_assert!(r >= 4.0, "item {v} kept despite rating {r}");
+                    }
+                }
+            }
+            prev = Some(got);
+        }
+        let full = quorum_positives(&t, &members, 4.0, members.len());
+        let strict = unanimous_positives(&t, &members, 4.0);
+        prop_assert_eq!(full, strict);
+    }
+
+    /// Pearson correlation is bounded and symmetric.
+    #[test]
+    fn pearson_bounded_and_symmetric(t in ratings_strategy(), a in 0u32..6, b in 0u32..6) {
+        let ab = pearson(&t, a, b);
+        let ba = pearson(&t, b, a);
+        match (ab, ba) {
+            (Some(x), Some(y)) => {
+                prop_assert!((x - y).abs() < 1e-5, "asymmetric: {x} vs {y}");
+                prop_assert!((-1.0 - 1e-5..=1.0 + 1e-5).contains(&x));
+            }
+            (None, None) => {}
+            _ => prop_assert!(false, "definedness not symmetric"),
+        }
+        if a == b {
+            if let Some(x) = ab {
+                prop_assert!((x - 1.0).abs() < 1e-5, "self-PCC {x}");
+            }
+        }
+    }
+}

@@ -1,0 +1,213 @@
+//! Per-list ranking metrics and their aggregation.
+
+/// Metrics of a single ranked list against a relevant set.
+#[derive(Clone, Copy, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct RankingMetrics {
+    /// 1.0 when at least one relevant item appears in the top-k.
+    pub hit: f64,
+    /// `|top-k ∩ relevant| / |relevant|` — the paper's `rec@k`.
+    pub recall: f64,
+    /// `|top-k ∩ relevant| / k`.
+    pub precision: f64,
+    /// Binary-relevance NDCG@k.
+    pub ndcg: f64,
+    /// Reciprocal rank of the first relevant item within the top-k
+    /// (0 when none appears).
+    pub mrr: f64,
+}
+
+/// Compute metrics for one ranked list.
+///
+/// `ranked` is the top-k item list (descending by score); `relevant`
+/// must be sorted ascending. `k` is the cutoff the list was produced
+/// with (needed for precision when `ranked` is shorter than `k`).
+///
+/// # Panics
+/// Panics when `relevant` is empty (an unevaluable case the caller
+/// should have filtered) or `k == 0`.
+pub fn ranking_metrics(ranked: &[u32], relevant: &[u32], k: usize) -> RankingMetrics {
+    assert!(k > 0, "k must be positive");
+    assert!(!relevant.is_empty(), "cannot evaluate a list with no relevant items");
+    debug_assert!(relevant.windows(2).all(|w| w[0] < w[1]), "relevant must be sorted and unique");
+    let mut hits = 0usize;
+    let mut dcg = 0.0f64;
+    let mut first_rank: Option<usize> = None;
+    for (pos, &item) in ranked.iter().take(k).enumerate() {
+        if relevant.binary_search(&item).is_ok() {
+            hits += 1;
+            dcg += 1.0 / ((pos + 2) as f64).log2();
+            if first_rank.is_none() {
+                first_rank = Some(pos + 1);
+            }
+        }
+    }
+    let ideal_hits = relevant.len().min(k);
+    let idcg: f64 = (0..ideal_hits).map(|p| 1.0 / ((p + 2) as f64).log2()).sum();
+    RankingMetrics {
+        hit: if hits > 0 { 1.0 } else { 0.0 },
+        recall: hits as f64 / relevant.len() as f64,
+        precision: hits as f64 / k as f64,
+        ndcg: if idcg > 0.0 { dcg / idcg } else { 0.0 },
+        mrr: first_rank.map_or(0.0, |r| 1.0 / r as f64),
+    }
+}
+
+/// Streaming mean of [`RankingMetrics`] across groups/users.
+#[derive(Clone, Debug, Default)]
+pub struct MetricAccumulator {
+    sum: [f64; 5],
+    n: usize,
+}
+
+impl MetricAccumulator {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add one list's metrics.
+    pub fn add(&mut self, m: RankingMetrics) {
+        self.sum[0] += m.hit;
+        self.sum[1] += m.recall;
+        self.sum[2] += m.precision;
+        self.sum[3] += m.ndcg;
+        self.sum[4] += m.mrr;
+        self.n += 1;
+    }
+
+    /// Number of lists accumulated.
+    pub fn count(&self) -> usize {
+        self.n
+    }
+
+    /// Final averaged summary.
+    ///
+    /// # Panics
+    /// Panics when nothing was accumulated.
+    pub fn finish(&self) -> MetricSummary {
+        assert!(self.n > 0, "no lists were evaluated");
+        let n = self.n as f64;
+        MetricSummary {
+            hit: self.sum[0] / n,
+            recall: self.sum[1] / n,
+            precision: self.sum[2] / n,
+            ndcg: self.sum[3] / n,
+            mrr: self.sum[4] / n,
+            evaluated: self.n,
+        }
+    }
+}
+
+/// Dataset-level averages — one cell group of Table II.
+#[derive(Clone, Copy, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct MetricSummary {
+    /// Mean hit@k — the paper's `hit@k` (Eq. 21).
+    pub hit: f64,
+    /// Mean recall@k — the paper's `rec@k`.
+    pub recall: f64,
+    /// Mean precision@k.
+    pub precision: f64,
+    /// Mean NDCG@k.
+    pub ndcg: f64,
+    /// Mean MRR@k.
+    pub mrr: f64,
+    /// Number of groups (or users) evaluated.
+    pub evaluated: usize,
+}
+
+impl std::fmt::Display for MetricSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "rec@k {:.4}  hit@k {:.4}  ndcg@k {:.4}  prec@k {:.4}  mrr@k {:.4}  (n={})",
+            self.recall, self.hit, self.ndcg, self.precision, self.mrr, self.evaluated
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_ranking() {
+        let m = ranking_metrics(&[3, 7], &[3, 7], 2);
+        assert_eq!(m.hit, 1.0);
+        assert_eq!(m.recall, 1.0);
+        assert_eq!(m.precision, 1.0);
+        assert!((m.ndcg - 1.0).abs() < 1e-12);
+        assert_eq!(m.mrr, 1.0);
+    }
+
+    #[test]
+    fn complete_miss() {
+        let m = ranking_metrics(&[1, 2, 4], &[9], 3);
+        assert_eq!(m.hit, 0.0);
+        assert_eq!(m.recall, 0.0);
+        assert_eq!(m.precision, 0.0);
+        assert_eq!(m.ndcg, 0.0);
+        assert_eq!(m.mrr, 0.0);
+    }
+
+    #[test]
+    fn partial_hit_positions_matter_for_ndcg() {
+        // relevant item first vs last of a 3-list
+        let first = ranking_metrics(&[9, 1, 2], &[9], 3);
+        let last = ranking_metrics(&[1, 2, 9], &[9], 3);
+        assert_eq!(first.hit, last.hit);
+        assert_eq!(first.recall, last.recall);
+        assert!(first.ndcg > last.ndcg);
+        assert_eq!(first.mrr, 1.0);
+        assert!((last.mrr - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn recall_counts_fraction_of_relevant() {
+        let m = ranking_metrics(&[1, 2, 3, 4, 5], &[2, 4, 8, 9], 5);
+        assert_eq!(m.recall, 0.5);
+        assert!((m.precision - 2.0 / 5.0).abs() < 1e-12);
+        assert_eq!(m.hit, 1.0);
+    }
+
+    #[test]
+    fn short_list_precision_uses_k() {
+        // catalog smaller than k: only 2 items ranked but k=5
+        let m = ranking_metrics(&[0, 1], &[1], 5);
+        assert!((m.precision - 0.2).abs() < 1e-12);
+        assert_eq!(m.recall, 1.0);
+    }
+
+    #[test]
+    fn single_relevant_makes_recall_equal_hit() {
+        // the Yelp regime: |relevant| = 1 ⇒ rec@k == hit@k
+        for ranked in [&[5, 1, 2][..], &[1, 2, 3][..]] {
+            let m = ranking_metrics(ranked, &[5], 3);
+            assert_eq!(m.recall, m.hit);
+        }
+    }
+
+    #[test]
+    fn accumulator_averages() {
+        let mut acc = MetricAccumulator::new();
+        acc.add(ranking_metrics(&[1], &[1], 1)); // all ones
+        acc.add(ranking_metrics(&[2], &[1], 1)); // all zeros
+        let s = acc.finish();
+        assert_eq!(s.evaluated, 2);
+        assert_eq!(s.hit, 0.5);
+        assert_eq!(s.recall, 0.5);
+        let txt = s.to_string();
+        assert!(txt.contains("rec@k 0.5000"), "{txt}");
+    }
+
+    #[test]
+    #[should_panic(expected = "no relevant items")]
+    fn empty_relevant_panics() {
+        ranking_metrics(&[1], &[], 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "no lists")]
+    fn empty_accumulator_panics() {
+        MetricAccumulator::new().finish();
+    }
+}

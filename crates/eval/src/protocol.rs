@@ -1,0 +1,263 @@
+//! The shared group-ranking evaluation protocol.
+//!
+//! Every model in the workspace (KGAG, its ablations, and all baselines)
+//! is evaluated identically: for each group with held-out positives,
+//! build a candidate list, ask the model to score it, rank, and average
+//! [`crate::RankingMetrics`] over groups. Centralising the protocol here
+//! guarantees Table II compares models and nothing else.
+//!
+//! Two candidate regimes are supported:
+//!
+//! * **Full catalog** (`num_negatives: None`) — rank every item except
+//!   the group's non-test known positives. Exact but O(groups · items)
+//!   model calls.
+//! * **Sampled negatives** (`num_negatives: Some(n)`) — rank the test
+//!   positives among `n` sampled true negatives (the NCF/AGREE
+//!   protocol). This is what the experiment binaries use; it preserves
+//!   orderings at a fraction of the cost.
+
+use crate::metrics::{ranking_metrics, MetricAccumulator, MetricSummary};
+use crate::ranking::top_k;
+use kgag_tensor::rng::{derive_seed, SplitMix64};
+
+/// A model that can score a list of items for a group.
+pub trait GroupScorer {
+    /// Scores aligned with `items` (higher = more recommended) for the
+    /// group with id `group`.
+    fn score(&self, group: u32, items: &[u32]) -> Vec<f32>;
+}
+
+impl<F> GroupScorer for F
+where
+    F: Fn(u32, &[u32]) -> Vec<f32>,
+{
+    fn score(&self, group: u32, items: &[u32]) -> Vec<f32> {
+        self(group, items)
+    }
+}
+
+/// One group's evaluation inputs.
+#[derive(Clone, Debug)]
+pub struct GroupEvalCase {
+    /// Group id handed to the scorer.
+    pub group: u32,
+    /// Held-out positives (sorted, non-empty).
+    pub test_items: Vec<u32>,
+    /// All *known* positives of the group — train, validation and test —
+    /// sorted. Used to exclude non-test positives from ranking and to
+    /// reject false negatives during sampling.
+    pub known_positives: Vec<u32>,
+}
+
+/// Protocol parameters.
+#[derive(Clone, Debug)]
+pub struct EvalConfig {
+    /// Ranking cutoff `k` (the paper reports k = 5).
+    pub k: usize,
+    /// `Some(n)`: sampled-negative regime with `n` negatives per group;
+    /// `None`: full-catalog regime.
+    pub num_negatives: Option<usize>,
+    /// Seed for negative sampling.
+    pub seed: u64,
+}
+
+impl Default for EvalConfig {
+    fn default() -> Self {
+        EvalConfig { k: 5, num_negatives: Some(100), seed: 0xe7a1 }
+    }
+}
+
+/// Run the protocol over `cases` and average the metrics. Cases with no
+/// test items are skipped (callers usually pre-filter).
+///
+/// # Panics
+/// Panics when no case is evaluable.
+pub fn evaluate_group_ranking(
+    scorer: &dyn GroupScorer,
+    num_items: u32,
+    cases: &[GroupEvalCase],
+    config: &EvalConfig,
+) -> MetricSummary {
+    evaluate_group_ranking_detailed(scorer, num_items, cases, config).0
+}
+
+/// Like [`evaluate_group_ranking`] but also returns the per-case
+/// metrics (aligned with the evaluable cases in order), for paired
+/// significance testing — see [`crate::significance`].
+pub fn evaluate_group_ranking_detailed(
+    scorer: &dyn GroupScorer,
+    num_items: u32,
+    cases: &[GroupEvalCase],
+    config: &EvalConfig,
+) -> (MetricSummary, Vec<crate::RankingMetrics>) {
+    let mut acc = MetricAccumulator::new();
+    let mut per_case = Vec::with_capacity(cases.len());
+    let mut rng = SplitMix64::new(derive_seed(config.seed, "protocol"));
+    for case in cases {
+        if case.test_items.is_empty() {
+            continue;
+        }
+        let m = match config.num_negatives {
+            Some(n) => {
+                let candidates = sample_candidates(case, num_items, n, &mut rng);
+                let scores = scorer.score(case.group, &candidates);
+                assert_eq!(scores.len(), candidates.len(), "scorer returned wrong length");
+                let ranked_local = top_k(&scores, config.k);
+                // map candidate positions back to item ids
+                let ranked: Vec<u32> =
+                    ranked_local.iter().map(|&p| candidates[p as usize]).collect();
+                ranking_metrics(&ranked, &case.test_items, config.k)
+            }
+            None => {
+                let all: Vec<u32> = (0..num_items).collect();
+                let scores = scorer.score(case.group, &all);
+                assert_eq!(scores.len(), all.len(), "scorer returned wrong length");
+                // exclude known positives that are NOT test items
+                let exclude: Vec<u32> = case
+                    .known_positives
+                    .iter()
+                    .copied()
+                    .filter(|v| case.test_items.binary_search(v).is_err())
+                    .collect();
+                let ranked = crate::ranking::top_k_excluding(&scores, config.k, &exclude);
+                ranking_metrics(&ranked, &case.test_items, config.k)
+            }
+        };
+        acc.add(m);
+        per_case.push(m);
+    }
+    (acc.finish(), per_case)
+}
+
+/// Candidate list: the test positives plus `n` sampled true negatives,
+/// deduplicated, in a deterministic shuffled order.
+fn sample_candidates(
+    case: &GroupEvalCase,
+    num_items: u32,
+    n: usize,
+    rng: &mut SplitMix64,
+) -> Vec<u32> {
+    let mut out = case.test_items.clone();
+    let mut tries = 0usize;
+    while out.len() < case.test_items.len() + n && tries < n * 50 {
+        tries += 1;
+        let v = rng.next_below(num_items as usize) as u32;
+        if case.known_positives.binary_search(&v).is_ok() {
+            continue;
+        }
+        if out.contains(&v) {
+            continue;
+        }
+        out.push(v);
+    }
+    rng.shuffle(&mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Oracle {
+        liked: Vec<u32>,
+    }
+
+    impl GroupScorer for Oracle {
+        fn score(&self, _group: u32, items: &[u32]) -> Vec<f32> {
+            items
+                .iter()
+                .map(|v| if self.liked.contains(v) { 1.0 } else { 0.0 })
+                .collect()
+        }
+    }
+
+    fn case(test: &[u32], known: &[u32]) -> GroupEvalCase {
+        GroupEvalCase {
+            group: 0,
+            test_items: test.to_vec(),
+            known_positives: known.to_vec(),
+        }
+    }
+
+    #[test]
+    fn oracle_scores_perfectly_in_sampled_regime() {
+        let scorer = Oracle { liked: vec![3, 4] };
+        let cases = vec![case(&[3, 4], &[3, 4])];
+        let cfg = EvalConfig { k: 5, num_negatives: Some(50), seed: 1 };
+        let s = evaluate_group_ranking(&scorer, 200, &cases, &cfg);
+        assert_eq!(s.hit, 1.0);
+        assert_eq!(s.recall, 1.0);
+    }
+
+    #[test]
+    fn anti_oracle_scores_zero() {
+        // scores everything except the positives
+        let scorer = |_: u32, items: &[u32]| -> Vec<f32> {
+            items.iter().map(|&v| if v >= 100 { 0.0 } else { 1.0 }).collect()
+        };
+        let cases = vec![case(&[150], &[150])];
+        let cfg = EvalConfig { k: 5, num_negatives: Some(30), seed: 2 };
+        let s = evaluate_group_ranking(&scorer, 200, &cases, &cfg);
+        assert_eq!(s.hit, 0.0);
+    }
+
+    #[test]
+    fn full_catalog_excludes_train_positives_from_ranking() {
+        // items 0..=4 are train positives with sky-high scores; test item
+        // is 5. Excluding 0..=4 must let 5 into the top-5.
+        let scorer = |_: u32, items: &[u32]| -> Vec<f32> {
+            items
+                .iter()
+                .map(|&v| match v {
+                    0..=4 => 100.0,
+                    5 => 50.0,
+                    _ => 0.0,
+                })
+                .collect()
+        };
+        let cases = vec![case(&[5], &[0, 1, 2, 3, 4, 5])];
+        let cfg = EvalConfig { k: 5, num_negatives: None, seed: 3 };
+        let s = evaluate_group_ranking(&scorer, 50, &cases, &cfg);
+        assert_eq!(s.hit, 1.0);
+        assert_eq!(s.mrr, 1.0, "item 5 should rank first once train positives are excluded");
+    }
+
+    #[test]
+    fn negatives_never_include_known_positives() {
+        // a scorer that fails the test if asked about a known positive
+        // that is not a test item
+        let known: Vec<u32> = (0..50).collect();
+        let test = vec![49u32];
+        let known_c = known.clone();
+        let scorer = move |_: u32, items: &[u32]| -> Vec<f32> {
+            for &v in items {
+                if v != 49 {
+                    assert!(!known_c.contains(&v), "sampled known positive {v}");
+                }
+            }
+            vec![0.0; items.len()]
+        };
+        let cases = vec![GroupEvalCase { group: 0, test_items: test, known_positives: known }];
+        let cfg = EvalConfig { k: 5, num_negatives: Some(40), seed: 4 };
+        let _ = evaluate_group_ranking(&scorer, 500, &cases, &cfg);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let scorer = Oracle { liked: vec![7] };
+        let cases = vec![case(&[7], &[7]), case(&[7], &[7])];
+        let cfg = EvalConfig { k: 3, num_negatives: Some(20), seed: 9 };
+        let a = evaluate_group_ranking(&scorer, 100, &cases, &cfg);
+        let b = evaluate_group_ranking(&scorer, 100, &cases, &cfg);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn closure_scorers_work() {
+        let f = |_: u32, items: &[u32]| vec![0.5; items.len()];
+        let cases = vec![case(&[1], &[1])];
+        let cfg = EvalConfig { k: 5, num_negatives: Some(10), seed: 5 };
+        let s = evaluate_group_ranking(&f, 50, &cases, &cfg);
+        assert_eq!(s.evaluated, 1);
+    }
+}

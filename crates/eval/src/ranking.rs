@@ -1,0 +1,132 @@
+//! Top-k selection over score vectors.
+
+/// Indices of the `k` highest-scoring entries, descending by score.
+/// Ties break toward the lower index (deterministic).
+pub fn top_k(scores: &[f32], k: usize) -> Vec<u32> {
+    top_k_excluding(scores, k, &[])
+}
+
+/// Like [`top_k`], skipping `exclude` (must be sorted ascending — the
+/// usual "training positives of this group" slice).
+///
+/// # Panics
+/// Panics in debug builds when `exclude` is unsorted.
+pub fn top_k_excluding(scores: &[f32], k: usize, exclude: &[u32]) -> Vec<u32> {
+    debug_assert!(exclude.windows(2).all(|w| w[0] < w[1]), "exclude must be sorted and unique");
+    let mut heap: Vec<(f32, u32)> = Vec::with_capacity(k + 1);
+    for (i, &s) in scores.iter().enumerate() {
+        let i = i as u32;
+        if exclude.binary_search(&i).is_ok() {
+            continue;
+        }
+        if heap.len() < k {
+            heap.push((s, i));
+            if heap.len() == k {
+                // establish a min-heap by score (ties: max index = weakest)
+                heap.sort_unstable_by(cmp_weakest_first);
+            }
+            continue;
+        }
+        if k == 0 {
+            break;
+        }
+        // heap[0] is the current weakest
+        if better(s, i, heap[0].0, heap[0].1) {
+            heap[0] = (s, i);
+            // restore order: single sift via sort of small k is fine
+            heap.sort_unstable_by(cmp_weakest_first);
+        }
+    }
+    heap.sort_unstable_by(|a, b| {
+        b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal).then(a.1.cmp(&b.1))
+    });
+    heap.into_iter().map(|(_, i)| i).collect()
+}
+
+/// Is candidate (s, i) stronger than incumbent (ws, wi)? Higher score
+/// wins; on ties the lower index wins.
+#[inline]
+fn better(s: f32, i: u32, ws: f32, wi: u32) -> bool {
+    s > ws || (s == ws && i < wi)
+}
+
+#[inline]
+fn cmp_weakest_first(a: &(f32, u32), b: &(f32, u32)) -> std::cmp::Ordering {
+    a.0.partial_cmp(&b.0)
+        .unwrap_or(std::cmp::Ordering::Equal)
+        .then(b.1.cmp(&a.1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn selects_highest_scores_descending() {
+        let scores = [0.1, 0.9, 0.5, 0.7, 0.2];
+        assert_eq!(top_k(&scores, 3), vec![1, 3, 2]);
+    }
+
+    #[test]
+    fn k_larger_than_catalog_returns_everything() {
+        let scores = [0.3, 0.1];
+        assert_eq!(top_k(&scores, 10), vec![0, 1]);
+    }
+
+    #[test]
+    fn k_zero_is_empty() {
+        assert_eq!(top_k(&[1.0, 2.0], 0), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn exclusion_skips_items() {
+        let scores = [0.9, 0.8, 0.7, 0.6];
+        assert_eq!(top_k_excluding(&scores, 2, &[0, 2]), vec![1, 3]);
+    }
+
+    #[test]
+    fn ties_break_toward_lower_index() {
+        let scores = [0.5, 0.5, 0.5, 0.5];
+        assert_eq!(top_k(&scores, 2), vec![0, 1]);
+    }
+
+    #[test]
+    fn matches_full_sort_reference() {
+        use kgag_shim_rand::SplitMix64;
+        let mut rng = SplitMix64::new(99);
+        for trial in 0..50 {
+            let n = 1 + (trial % 37);
+            let scores: Vec<f32> = (0..n).map(|_| rng.next_f32()).collect();
+            let k = trial % 7;
+            let got = top_k(&scores, k);
+            // reference: stable sort desc, take k
+            let mut idx: Vec<u32> = (0..n as u32).collect();
+            idx.sort_by(|&a, &b| {
+                scores[b as usize]
+                    .partial_cmp(&scores[a as usize])
+                    .unwrap()
+                    .then(a.cmp(&b))
+            });
+            idx.truncate(k);
+            assert_eq!(got, idx, "trial {trial}");
+        }
+    }
+
+    // tiny local shim so this test file has a deterministic rng without a
+    // dev-dependency on kgag-tensor
+    mod kgag_shim_rand {
+        pub struct SplitMix64(u64);
+        impl SplitMix64 {
+            pub fn new(s: u64) -> Self {
+                SplitMix64(s)
+            }
+            pub fn next_f32(&mut self) -> f32 {
+                self.0 = self.0.wrapping_add(0x9e3779b97f4a7c15);
+                let mut z = self.0;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+                ((z ^ (z >> 31)) >> 40) as f32 / (1u64 << 24) as f32
+            }
+        }
+    }
+}

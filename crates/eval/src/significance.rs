@@ -1,0 +1,129 @@
+//! Paired bootstrap significance testing for model comparisons.
+//!
+//! Table-II-style comparisons on a few hundred groups have real sampling
+//! noise; a difference of a point or two of hit@5 may not be meaningful.
+//! [`paired_bootstrap`] resamples the evaluation groups with replacement
+//! and reports how often model A beats model B, giving a defensible
+//! "A > B" claim (or not) for EXPERIMENTS.md.
+
+use kgag_tensor::rng::SplitMix64;
+
+/// Result of a paired bootstrap comparison of per-group scores.
+#[derive(Clone, Copy, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct BootstrapComparison {
+    /// Mean of A's per-group metric.
+    pub mean_a: f64,
+    /// Mean of B's per-group metric.
+    pub mean_b: f64,
+    /// Fraction of bootstrap resamples where mean(A) > mean(B).
+    pub prob_a_beats_b: f64,
+    /// Central 95% interval of the mean difference A − B.
+    pub diff_ci95: (f64, f64),
+    /// Resamples drawn.
+    pub resamples: usize,
+}
+
+impl BootstrapComparison {
+    /// True when the 95% interval of the difference excludes zero.
+    pub fn significant(&self) -> bool {
+        self.diff_ci95.0 > 0.0 || self.diff_ci95.1 < 0.0
+    }
+}
+
+/// Paired bootstrap over per-group metric values (one entry per
+/// evaluated group, aligned between the two models).
+///
+/// # Panics
+/// Panics when the slices are empty or of different lengths.
+pub fn paired_bootstrap(
+    per_group_a: &[f64],
+    per_group_b: &[f64],
+    resamples: usize,
+    seed: u64,
+) -> BootstrapComparison {
+    assert_eq!(per_group_a.len(), per_group_b.len(), "unpaired inputs");
+    assert!(!per_group_a.is_empty(), "nothing to compare");
+    assert!(resamples > 0, "need at least one resample");
+    let n = per_group_a.len();
+    let mut rng = SplitMix64::new(seed);
+    let mut diffs = Vec::with_capacity(resamples);
+    let mut wins = 0usize;
+    for _ in 0..resamples {
+        let mut sum_a = 0.0f64;
+        let mut sum_b = 0.0f64;
+        for _ in 0..n {
+            let i = rng.next_below(n);
+            sum_a += per_group_a[i];
+            sum_b += per_group_b[i];
+        }
+        if sum_a > sum_b {
+            wins += 1;
+        }
+        diffs.push((sum_a - sum_b) / n as f64);
+    }
+    diffs.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let lo = diffs[((resamples as f64) * 0.025) as usize];
+    let hi = diffs[(((resamples as f64) * 0.975) as usize).min(resamples - 1)];
+    BootstrapComparison {
+        mean_a: per_group_a.iter().sum::<f64>() / n as f64,
+        mean_b: per_group_b.iter().sum::<f64>() / n as f64,
+        prob_a_beats_b: wins as f64 / resamples as f64,
+        diff_ci95: (lo, hi),
+        resamples,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clearly_better_model_is_significant() {
+        let a: Vec<f64> = (0..200).map(|i| if i % 2 == 0 { 1.0 } else { 0.8 }).collect();
+        let b: Vec<f64> = (0..200).map(|i| if i % 3 == 0 { 0.5 } else { 0.2 }).collect();
+        let c = paired_bootstrap(&a, &b, 1000, 1);
+        assert!(c.prob_a_beats_b > 0.99);
+        assert!(c.significant());
+        assert!(c.mean_a > c.mean_b);
+        assert!(c.diff_ci95.0 > 0.0);
+    }
+
+    #[test]
+    fn identical_models_are_never_significant() {
+        let a: Vec<f64> = (0..100).map(|i| (i % 5) as f64 / 5.0).collect();
+        let c = paired_bootstrap(&a, &a, 500, 2);
+        assert_eq!(c.prob_a_beats_b, 0.0); // strict '>' never fires on ties
+        assert!(!c.significant());
+        assert_eq!(c.mean_a, c.mean_b);
+        assert!(c.diff_ci95.0 <= 0.0 && c.diff_ci95.1 >= 0.0);
+    }
+
+    #[test]
+    fn noisy_tie_is_not_significant() {
+        // two models whose per-group scores differ by symmetric noise
+        let mut rng = SplitMix64::new(3);
+        let a: Vec<f64> = (0..150).map(|_| 0.5 + (rng.next_f32() as f64 - 0.5) * 0.2).collect();
+        let b: Vec<f64> = (0..150).map(|_| 0.5 + (rng.next_f32() as f64 - 0.5) * 0.2).collect();
+        let c = paired_bootstrap(&a, &b, 800, 4);
+        assert!(
+            c.prob_a_beats_b > 0.01 && c.prob_a_beats_b < 0.99,
+            "prob {:.3}",
+            c.prob_a_beats_b
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = vec![1.0, 0.0, 1.0, 1.0];
+        let b = vec![0.0, 0.0, 1.0, 0.0];
+        let x = paired_bootstrap(&a, &b, 200, 7);
+        let y = paired_bootstrap(&a, &b, 200, 7);
+        assert_eq!(x, y);
+    }
+
+    #[test]
+    #[should_panic(expected = "unpaired")]
+    fn unpaired_inputs_panic() {
+        paired_bootstrap(&[1.0], &[1.0, 2.0], 10, 0);
+    }
+}

@@ -1,0 +1,114 @@
+//! Property-based tests of the ranking metrics and top-k selection.
+
+use kgag_eval::metrics::ranking_metrics;
+use kgag_eval::{top_k, top_k_excluding};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// All metrics live in [0, 1]; hit ≥ recall; hit ≥ ndcg; mrr ≤ hit.
+    #[test]
+    fn metrics_are_bounded_and_ordered(
+        ranked in proptest::collection::vec(0u32..50, 0..10),
+        relevant_raw in proptest::collection::vec(0u32..50, 1..8),
+        k in 1usize..10,
+    ) {
+        let mut relevant = relevant_raw;
+        relevant.sort_unstable();
+        relevant.dedup();
+        let mut seen = std::collections::HashSet::new();
+        let ranked: Vec<u32> = ranked.into_iter().filter(|v| seen.insert(*v)).collect();
+        let m = ranking_metrics(&ranked, &relevant, k);
+        for (name, v) in [("hit", m.hit), ("recall", m.recall), ("precision", m.precision), ("ndcg", m.ndcg), ("mrr", m.mrr)] {
+            prop_assert!((0.0..=1.0).contains(&v), "{name} = {v}");
+        }
+        prop_assert!(m.hit >= m.recall - 1e-12);
+        prop_assert!(m.hit >= m.ndcg - 1e-12);
+        prop_assert!(m.hit >= m.mrr - 1e-12);
+        // hit is 1 iff any metric is positive
+        let any_positive = m.recall > 0.0 || m.ndcg > 0.0 || m.mrr > 0.0;
+        prop_assert_eq!(m.hit == 1.0, any_positive);
+    }
+
+    /// Single relevant item ⇒ recall == hit (the Yelp identity).
+    #[test]
+    fn single_relevant_recall_equals_hit(
+        ranked in proptest::collection::vec(0u32..30, 1..8),
+        relevant in 0u32..30,
+        k in 1usize..8,
+    ) {
+        let mut seen = std::collections::HashSet::new();
+        let ranked: Vec<u32> = ranked.into_iter().filter(|v| seen.insert(*v)).collect();
+        let m = ranking_metrics(&ranked, &[relevant], k);
+        prop_assert_eq!(m.recall, m.hit);
+    }
+
+    /// top_k matches a full stable sort.
+    #[test]
+    fn top_k_matches_reference_sort(
+        scores in proptest::collection::vec(-10.0f32..10.0, 1..60),
+        k in 0usize..12,
+    ) {
+        let got = top_k(&scores, k);
+        let mut idx: Vec<u32> = (0..scores.len() as u32).collect();
+        idx.sort_by(|&a, &b| {
+            scores[b as usize]
+                .partial_cmp(&scores[a as usize])
+                .unwrap()
+                .then(a.cmp(&b))
+        });
+        idx.truncate(k);
+        prop_assert_eq!(got, idx);
+    }
+
+    /// Exclusion removes exactly the excluded items and keeps order.
+    #[test]
+    fn exclusion_is_exact(
+        scores in proptest::collection::vec(-5.0f32..5.0, 1..40),
+        exclude_raw in proptest::collection::vec(0u32..40, 0..10),
+        k in 1usize..10,
+    ) {
+        let mut exclude: Vec<u32> = exclude_raw
+            .into_iter()
+            .filter(|&v| (v as usize) < scores.len())
+            .collect();
+        exclude.sort_unstable();
+        exclude.dedup();
+        let got = top_k_excluding(&scores, k, &exclude);
+        for v in &got {
+            prop_assert!(exclude.binary_search(v).is_err(), "excluded item {v} returned");
+        }
+        // equivalence: top_k over the filtered index set
+        let mut idx: Vec<u32> = (0..scores.len() as u32)
+            .filter(|v| exclude.binary_search(v).is_err())
+            .collect();
+        idx.sort_by(|&a, &b| {
+            scores[b as usize]
+                .partial_cmp(&scores[a as usize])
+                .unwrap()
+                .then(a.cmp(&b))
+        });
+        idx.truncate(k);
+        prop_assert_eq!(got, idx);
+    }
+
+    /// Perfect ranking gives all-ones; adversarial ranking gives zeros.
+    #[test]
+    fn oracle_extremes(
+        relevant_raw in proptest::collection::vec(0u32..20, 1..6),
+        junk in 20u32..40,
+    ) {
+        let mut relevant = relevant_raw;
+        relevant.sort_unstable();
+        relevant.dedup();
+        let k = relevant.len();
+        let perfect = ranking_metrics(&relevant, &relevant, k);
+        prop_assert_eq!(perfect.hit, 1.0);
+        prop_assert_eq!(perfect.recall, 1.0);
+        prop_assert!((perfect.ndcg - 1.0).abs() < 1e-9);
+        let miss = ranking_metrics(&[junk], &relevant, k);
+        prop_assert_eq!(miss.hit, 0.0);
+        prop_assert_eq!(miss.recall, 0.0);
+    }
+}

@@ -1,0 +1,208 @@
+//! The collaborative knowledge graph of §III-A.
+//!
+//! Starting from an item knowledge graph `G` and implicit user–item
+//! feedback `Y^U`, the paper builds `G' = G ∪ {(u, Interact, f(v))}` for
+//! every `y^U_{u,v} = 1`, with `E' = E ∪ U`. This module owns the id
+//! arithmetic: base entities keep their ids, users are appended after
+//! them, and `Interact` is appended after the base relations.
+
+use crate::graph::KgGraph;
+use crate::triple::{EntityId, RelationId, TripleStore};
+
+/// A collaborative knowledge graph: item KG + user nodes + `Interact`
+/// edges, with the id mapping needed to go between user/item indices and
+/// entity ids.
+#[derive(Clone, Debug)]
+pub struct CollaborativeKg {
+    graph: KgGraph,
+    num_base_entities: u32,
+    num_users: u32,
+    interact: RelationId,
+    /// item index → entity id (the paper's mapping function `f`)
+    item_entity: Vec<EntityId>,
+}
+
+impl CollaborativeKg {
+    /// Build from a base item KG, a mapping from item index to entity id
+    /// (`f: V → E`), the number of users, and the observed interactions
+    /// as `(user_index, item_index)` pairs.
+    ///
+    /// # Panics
+    /// Panics when an item maps to an out-of-range entity or an
+    /// interaction references an out-of-range user/item.
+    pub fn build(
+        base: &TripleStore,
+        item_entity: &[EntityId],
+        num_users: u32,
+        interactions: &[(u32, u32)],
+    ) -> Self {
+        let num_base_entities = base.num_entities();
+        for (i, e) in item_entity.iter().enumerate() {
+            assert!(
+                e.0 < num_base_entities,
+                "item {i} maps to entity {} outside the base KG ({num_base_entities} entities)",
+                e.0
+            );
+        }
+        let mut store = base.clone();
+        let interact = store.add_relation(Some("Interact"));
+        // reserve user entity ids
+        for u in 0..num_users {
+            let id = store.add_entity(None);
+            debug_assert_eq!(id.0, num_base_entities + u);
+        }
+        for &(u, v) in interactions {
+            assert!(u < num_users, "interaction references user {u} >= {num_users}");
+            let item = item_entity
+                .get(v as usize)
+                .unwrap_or_else(|| panic!("interaction references item {v} with no entity mapping"));
+            store.add(crate::triple::Triple {
+                head: EntityId(num_base_entities + u),
+                relation: interact,
+                tail: *item,
+            });
+        }
+        CollaborativeKg {
+            graph: KgGraph::from_store(&store),
+            num_base_entities,
+            num_users,
+            interact,
+            item_entity: item_entity.to_vec(),
+        }
+    }
+
+    /// The underlying CSR graph (entities = base ∪ users).
+    pub fn graph(&self) -> &KgGraph {
+        &self.graph
+    }
+
+    /// Total entities in `E' = E ∪ U`.
+    pub fn num_entities(&self) -> usize {
+        self.graph.num_entities()
+    }
+
+    /// Entities of the base (item-side) KG.
+    pub fn num_base_entities(&self) -> u32 {
+        self.num_base_entities
+    }
+
+    /// Number of user nodes.
+    pub fn num_users(&self) -> u32 {
+        self.num_users
+    }
+
+    /// Relation-embedding table size required by the propagation block.
+    pub fn num_relation_slots(&self) -> usize {
+        self.graph.num_relation_slots()
+    }
+
+    /// The `Interact` relation id (forward direction).
+    pub fn interact_relation(&self) -> RelationId {
+        self.interact
+    }
+
+    /// Entity id of user `u`.
+    #[inline]
+    pub fn user_entity(&self, u: u32) -> EntityId {
+        debug_assert!(u < self.num_users);
+        EntityId(self.num_base_entities + u)
+    }
+
+    /// Entity id of item `v` (the mapping `f`).
+    #[inline]
+    pub fn item_entity(&self, v: u32) -> EntityId {
+        self.item_entity[v as usize]
+    }
+
+    /// Inverse mapping: the user index of an entity, if it is a user node.
+    pub fn entity_user(&self, e: EntityId) -> Option<u32> {
+        (e.0 >= self.num_base_entities).then(|| e.0 - self.num_base_entities)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::triple::TripleStore;
+
+    fn base() -> (TripleStore, Vec<EntityId>) {
+        // entities: 0,1 are items; 2 is an attribute
+        let mut s = TripleStore::with_capacity(3, 1);
+        s.add_raw(0, 0, 2);
+        s.add_raw(1, 0, 2);
+        (s, vec![EntityId(0), EntityId(1)])
+    }
+
+    #[test]
+    fn users_are_appended_after_base_entities() {
+        let (s, map) = base();
+        let ckg = CollaborativeKg::build(&s, &map, 2, &[(0, 0), (1, 1)]);
+        assert_eq!(ckg.num_entities(), 5);
+        assert_eq!(ckg.user_entity(0), EntityId(3));
+        assert_eq!(ckg.user_entity(1), EntityId(4));
+        assert_eq!(ckg.entity_user(EntityId(3)), Some(0));
+        assert_eq!(ckg.entity_user(EntityId(2)), None);
+    }
+
+    #[test]
+    fn interact_edges_connect_users_and_items() {
+        let (s, map) = base();
+        let ckg = CollaborativeKg::build(&s, &map, 2, &[(0, 1)]);
+        let u0 = ckg.user_entity(0);
+        let nbrs: Vec<_> = ckg.graph().neighbors(u0).collect();
+        assert_eq!(nbrs, vec![(EntityId(1), ckg.interact_relation())]);
+        // inverse direction: item 1 sees user 0
+        let back = ckg
+            .graph()
+            .neighbors(EntityId(1))
+            .any(|(n, _)| n == u0);
+        assert!(back);
+    }
+
+    #[test]
+    fn user_with_no_interactions_gets_self_loop() {
+        let (s, map) = base();
+        let ckg = CollaborativeKg::build(&s, &map, 2, &[(0, 0)]);
+        let u1 = ckg.user_entity(1);
+        let nbrs: Vec<_> = ckg.graph().neighbors(u1).collect();
+        assert_eq!(nbrs.len(), 1);
+        assert_eq!(nbrs[0].0, u1);
+    }
+
+    #[test]
+    fn duplicate_interactions_are_single_edges() {
+        let (s, map) = base();
+        let ckg = CollaborativeKg::build(&s, &map, 1, &[(0, 0), (0, 0), (0, 0)]);
+        assert_eq!(ckg.graph().degree(ckg.user_entity(0)), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the base KG")]
+    fn bad_item_mapping_panics() {
+        let (s, _) = base();
+        CollaborativeKg::build(&s, &[EntityId(99)], 1, &[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "references user")]
+    fn bad_user_panics() {
+        let (s, map) = base();
+        CollaborativeKg::build(&s, &map, 1, &[(5, 0)]);
+    }
+
+    #[test]
+    fn two_hop_user_user_connectivity_exists() {
+        // two users interacting with the same item are 2 hops apart —
+        // the high-order connectivity the paper's GCN exploits.
+        let (s, map) = base();
+        let ckg = CollaborativeKg::build(&s, &map, 2, &[(0, 0), (1, 0)]);
+        let u0 = ckg.user_entity(0);
+        let u1 = ckg.user_entity(1);
+        let via_item = ckg
+            .graph()
+            .neighbors(u0)
+            .flat_map(|(n, _)| ckg.graph().neighbors(n))
+            .any(|(n, _)| n == u1);
+        assert!(via_item);
+    }
+}

@@ -1,0 +1,230 @@
+//! Compressed sparse row adjacency over a [`TripleStore`].
+//!
+//! The propagation block needs fast "neighbors of e" queries. A
+//! [`KgGraph`] lays all `(neighbor, relation)` pairs out in two parallel
+//! flat arrays indexed by a per-entity offset table (classic CSR).
+//!
+//! Two normalisations are applied when building from triples, both
+//! standard in KG-GNN implementations (KGAT adds inverse relations; KGCN
+//! assumes non-empty neighborhoods):
+//!
+//! * every fact `(h, r, t)` also yields the inverse edge `t →(r⁻¹)→ h`,
+//!   where `r⁻¹` is a distinct relation id (`r + num_relations`). Without
+//!   this, `Interact` edges would let users see items but not vice versa.
+//! * entities with no edges receive a single self-loop under a dedicated
+//!   `self_loop` relation, so fixed-K sampling is total.
+
+use crate::triple::{EntityId, RelationId, TripleStore};
+
+/// CSR adjacency of a knowledge graph.
+#[derive(Clone, Debug)]
+pub struct KgGraph {
+    offsets: Vec<u32>,
+    neighbors: Vec<u32>,
+    relations: Vec<u32>,
+    num_base_relations: u32,
+    num_relation_slots: u32,
+}
+
+impl KgGraph {
+    /// Build from a triple store, adding inverse edges and self-loops for
+    /// isolated entities.
+    pub fn from_store(store: &TripleStore) -> Self {
+        let n = store.num_entities() as usize;
+        let base_r = store.num_relations();
+        // relation id layout: [0, base_r) forward, [base_r, 2·base_r)
+        // inverse, 2·base_r self-loop.
+        let self_loop = 2 * base_r;
+
+        let mut degree = vec![0u32; n];
+        for t in store.triples() {
+            degree[t.head.index()] += 1;
+            degree[t.tail.index()] += 1;
+        }
+        for d in degree.iter_mut() {
+            if *d == 0 {
+                *d = 1; // room for the self-loop
+            }
+        }
+
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0u32);
+        for &d in &degree {
+            offsets.push(offsets.last().unwrap() + d);
+        }
+        let total = *offsets.last().unwrap() as usize;
+        let mut neighbors = vec![0u32; total];
+        let mut relations = vec![0u32; total];
+        let mut cursor: Vec<u32> = offsets[..n].to_vec();
+
+        for t in store.triples() {
+            let h = t.head.index();
+            let c = cursor[h] as usize;
+            neighbors[c] = t.tail.0;
+            relations[c] = t.relation.0;
+            cursor[h] += 1;
+
+            let tl = t.tail.index();
+            let c = cursor[tl] as usize;
+            neighbors[c] = t.head.0;
+            relations[c] = t.relation.0 + base_r;
+            cursor[tl] += 1;
+        }
+        // self-loops for entities whose cursor never moved
+        for e in 0..n {
+            if cursor[e] == offsets[e] {
+                let c = cursor[e] as usize;
+                neighbors[c] = e as u32;
+                relations[c] = self_loop;
+            }
+        }
+
+        KgGraph {
+            offsets,
+            neighbors,
+            relations,
+            num_base_relations: base_r,
+            num_relation_slots: self_loop + 1,
+        }
+    }
+
+    /// Number of entities (nodes).
+    pub fn num_entities(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of directed edges stored (forward + inverse + self-loops).
+    pub fn num_edges(&self) -> usize {
+        self.neighbors.len()
+    }
+
+    /// Number of relation ids in use, counting inverses and the
+    /// self-loop relation. This is the size the relation embedding table
+    /// must have.
+    pub fn num_relation_slots(&self) -> usize {
+        self.num_relation_slots as usize
+    }
+
+    /// Number of forward (original) relation types.
+    pub fn num_base_relations(&self) -> usize {
+        self.num_base_relations as usize
+    }
+
+    /// The id of the inverse of relation `r`.
+    pub fn inverse_relation(&self, r: RelationId) -> RelationId {
+        debug_assert!(r.0 < self.num_base_relations);
+        RelationId(r.0 + self.num_base_relations)
+    }
+
+    /// The dedicated self-loop relation id.
+    pub fn self_loop_relation(&self) -> RelationId {
+        RelationId(self.num_relation_slots - 1)
+    }
+
+    /// Degree of entity `e` (always ≥ 1 after normalisation).
+    #[inline]
+    pub fn degree(&self, e: EntityId) -> usize {
+        (self.offsets[e.index() + 1] - self.offsets[e.index()]) as usize
+    }
+
+    /// `(neighbor, relation)` id pairs of entity `e`.
+    #[inline]
+    pub fn neighbors(&self, e: EntityId) -> impl Iterator<Item = (EntityId, RelationId)> + '_ {
+        let lo = self.offsets[e.index()] as usize;
+        let hi = self.offsets[e.index() + 1] as usize;
+        self.neighbors[lo..hi]
+            .iter()
+            .zip(&self.relations[lo..hi])
+            .map(|(&n, &r)| (EntityId(n), RelationId(r)))
+    }
+
+    /// Raw CSR slices for entity `e` — the hot path used by the sampler.
+    #[inline]
+    pub fn neighbor_slices(&self, e: u32) -> (&[u32], &[u32]) {
+        let lo = self.offsets[e as usize] as usize;
+        let hi = self.offsets[e as usize + 1] as usize;
+        (&self.neighbors[lo..hi], &self.relations[lo..hi])
+    }
+
+    /// Mean degree across entities.
+    pub fn mean_degree(&self) -> f64 {
+        self.num_edges() as f64 / self.num_entities().max(1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::triple::TripleStore;
+
+    fn tiny() -> KgGraph {
+        let mut s = TripleStore::with_capacity(4, 2);
+        s.add_raw(0, 0, 1);
+        s.add_raw(0, 1, 2);
+        s.add_raw(1, 0, 2);
+        // entity 3 is isolated
+        KgGraph::from_store(&s)
+    }
+
+    #[test]
+    fn inverse_edges_exist() {
+        let g = tiny();
+        // entity 1 must see entity 0 via inverse of relation 0
+        let found = g
+            .neighbors(EntityId(1))
+            .any(|(n, r)| n == EntityId(0) && r == g.inverse_relation(RelationId(0)));
+        assert!(found);
+    }
+
+    #[test]
+    fn forward_edges_exist() {
+        let g = tiny();
+        let nbrs: Vec<_> = g.neighbors(EntityId(0)).collect();
+        assert!(nbrs.contains(&(EntityId(1), RelationId(0))));
+        assert!(nbrs.contains(&(EntityId(2), RelationId(1))));
+        assert_eq!(g.degree(EntityId(0)), 2);
+    }
+
+    #[test]
+    fn isolated_entity_gets_self_loop() {
+        let g = tiny();
+        let nbrs: Vec<_> = g.neighbors(EntityId(3)).collect();
+        assert_eq!(nbrs, vec![(EntityId(3), g.self_loop_relation())]);
+    }
+
+    #[test]
+    fn every_entity_has_neighbors() {
+        let g = tiny();
+        for e in 0..g.num_entities() {
+            assert!(g.degree(EntityId(e as u32)) >= 1, "entity {e} has no neighbors");
+        }
+    }
+
+    #[test]
+    fn edge_count_is_symmetric_plus_loops() {
+        let g = tiny();
+        // 3 facts → 6 directed edges + 1 self-loop
+        assert_eq!(g.num_edges(), 7);
+        assert_eq!(g.num_relation_slots(), 5); // 2 fwd + 2 inv + self
+        assert!((g.mean_degree() - 7.0 / 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn neighbor_slices_match_iterator() {
+        let g = tiny();
+        let (ns, rs) = g.neighbor_slices(0);
+        let from_iter: Vec<_> = g.neighbors(EntityId(0)).collect();
+        assert_eq!(ns.len(), from_iter.len());
+        for (i, (n, r)) in from_iter.iter().enumerate() {
+            assert_eq!(ns[i], n.0);
+            assert_eq!(rs[i], r.0);
+        }
+    }
+
+    #[test]
+    fn empty_store_builds_empty_graph() {
+        let g = KgGraph::from_store(&TripleStore::new());
+        assert_eq!(g.num_entities(), 0);
+        assert_eq!(g.num_edges(), 0);
+    }
+}

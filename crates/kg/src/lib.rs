@@ -1,0 +1,32 @@
+//! # kgag-kg
+//!
+//! Knowledge-graph storage and graph machinery for the KGAG reproduction:
+//!
+//! * [`TripleStore`] — deduplicated (head, relation, tail) facts with
+//!   entity/relation vocabularies;
+//! * [`KgGraph`] — compressed sparse row adjacency over a triple store,
+//!   with inverse edges and per-entity self-loops so propagation never
+//!   dead-ends;
+//! * [`CollaborativeKg`] — the paper's collaborative knowledge graph
+//!   (§III-A): the item KG plus one user node per user and an `Interact`
+//!   edge per observed user–item interaction;
+//! * [`NeighborSampler`] / [`ReceptiveField`] — fixed-size (K) neighbor
+//!   sampling producing the layered receptive-field tree that the
+//!   information propagation block consumes (and that the paper's
+//!   O(K^{H−h}·d²) complexity analysis assumes);
+//! * [`transe`] — a TransE embedding trainer used to give the MoSAN
+//!   baseline knowledge-aware user representations (§IV-D);
+//! * [`paths`] — BFS connectivity utilities backing the interpretability
+//!   analyses (user–user high-order connectivity).
+
+pub mod collab;
+pub mod graph;
+pub mod paths;
+pub mod sampler;
+pub mod transe;
+pub mod triple;
+
+pub use collab::CollaborativeKg;
+pub use graph::KgGraph;
+pub use sampler::{NeighborSampler, ReceptiveField};
+pub use triple::{EntityId, RelationId, Triple, TripleStore};

@@ -1,0 +1,211 @@
+//! Connectivity utilities over a [`KgGraph`].
+//!
+//! The paper motivates KGAG with *high-order connectivity*: "more
+//! high-order connectivities between two users imply the more similar
+//! interests the two users share" (§I). These helpers make that notion
+//! measurable — they back dataset diagnostics, the case-study example and
+//! several tests.
+
+use crate::graph::KgGraph;
+use crate::triple::{EntityId, RelationId};
+use std::collections::VecDeque;
+
+/// One hop of a path: the relation taken and the entity reached.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Hop {
+    /// Relation of the traversed edge.
+    pub relation: RelationId,
+    /// Entity reached.
+    pub entity: EntityId,
+}
+
+/// Breadth-first shortest path from `from` to `to`, as the hop sequence
+/// leaving `from`. Returns `None` when unreachable, and an empty path
+/// when `from == to`.
+pub fn shortest_path(graph: &KgGraph, from: EntityId, to: EntityId) -> Option<Vec<Hop>> {
+    let n = graph.num_entities();
+    if from.index() >= n || to.index() >= n {
+        return None;
+    }
+    if from == to {
+        return Some(Vec::new());
+    }
+    // parent[e] = (previous entity, relation) on the BFS tree
+    let mut parent: Vec<Option<(u32, u32)>> = vec![None; n];
+    let mut visited = vec![false; n];
+    visited[from.index()] = true;
+    let mut queue = VecDeque::from([from.0]);
+    while let Some(cur) = queue.pop_front() {
+        let (nbrs, rels) = graph.neighbor_slices(cur);
+        for (&nb, &rel) in nbrs.iter().zip(rels) {
+            if visited[nb as usize] {
+                continue;
+            }
+            visited[nb as usize] = true;
+            parent[nb as usize] = Some((cur, rel));
+            if nb == to.0 {
+                // rebuild path
+                let mut hops = Vec::new();
+                let mut at = nb;
+                while at != from.0 {
+                    let (prev, rel) = parent[at as usize].expect("BFS tree broken");
+                    hops.push(Hop { relation: RelationId(rel), entity: EntityId(at) });
+                    at = prev;
+                }
+                hops.reverse();
+                return Some(hops);
+            }
+            queue.push_back(nb);
+        }
+    }
+    None
+}
+
+/// Length (hop count) of the shortest path, or `None` when unreachable.
+pub fn distance(graph: &KgGraph, from: EntityId, to: EntityId) -> Option<usize> {
+    shortest_path(graph, from, to).map(|p| p.len())
+}
+
+/// Number of distinct entities reachable from `from` within `hops` hops
+/// (excluding `from` itself). Self-loops do not extend reach.
+pub fn k_hop_reach(graph: &KgGraph, from: EntityId, hops: usize) -> usize {
+    let n = graph.num_entities();
+    if from.index() >= n {
+        return 0;
+    }
+    let mut dist = vec![usize::MAX; n];
+    dist[from.index()] = 0;
+    let mut queue = VecDeque::from([from.0]);
+    let mut count = 0usize;
+    while let Some(cur) = queue.pop_front() {
+        let d = dist[cur as usize];
+        if d == hops {
+            continue;
+        }
+        let (nbrs, _) = graph.neighbor_slices(cur);
+        for &nb in nbrs {
+            if dist[nb as usize] == usize::MAX {
+                dist[nb as usize] = d + 1;
+                count += 1;
+                queue.push_back(nb);
+            }
+        }
+    }
+    count
+}
+
+/// Count the simple paths of length exactly `len` (2 or 3 hops) between
+/// two entities — a cheap proxy for the "number of high-order
+/// connectivities" the paper appeals to. Self-loop edges are skipped.
+pub fn count_paths(graph: &KgGraph, from: EntityId, to: EntityId, len: usize) -> usize {
+    assert!((2..=3).contains(&len), "count_paths supports lengths 2 and 3");
+    let mut count = 0usize;
+    let (n1s, _) = graph.neighbor_slices(from.0);
+    for &a in n1s {
+        if a == from.0 {
+            continue;
+        }
+        if len == 2 {
+            let (n2s, _) = graph.neighbor_slices(a);
+            count += n2s.iter().filter(|&&b| b == to.0 && b != a).count();
+        } else {
+            let (n2s, _) = graph.neighbor_slices(a);
+            for &b in n2s {
+                if b == a || b == from.0 {
+                    continue;
+                }
+                let (n3s, _) = graph.neighbor_slices(b);
+                count += n3s.iter().filter(|&&c| c == to.0 && c != b).count();
+            }
+        }
+    }
+    count
+}
+
+/// Connectivity-based similarity of two entities: `Σ_L γ^L · paths_L`
+/// over path lengths 2 and 3 with decay `γ`. Higher means the entities
+/// are more densely connected through the KG.
+pub fn connectivity_score(graph: &KgGraph, a: EntityId, b: EntityId, gamma: f64) -> f64 {
+    let p2 = count_paths(graph, a, b, 2) as f64;
+    let p3 = count_paths(graph, a, b, 3) as f64;
+    gamma.powi(2) * p2 + gamma.powi(3) * p3
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::triple::TripleStore;
+
+    /// 0 -r0- 1 -r0- 2 and a shortcut 0 -r1- 2; 3 isolated.
+    fn g() -> KgGraph {
+        let mut s = TripleStore::with_capacity(4, 2);
+        s.add_raw(0, 0, 1);
+        s.add_raw(1, 0, 2);
+        s.add_raw(0, 1, 2);
+        KgGraph::from_store(&s)
+    }
+
+    #[test]
+    fn shortest_path_prefers_shortcut() {
+        let g = g();
+        let p = shortest_path(&g, EntityId(0), EntityId(2)).unwrap();
+        assert_eq!(p.len(), 1);
+        assert_eq!(p[0].entity, EntityId(2));
+        assert_eq!(p[0].relation, RelationId(1));
+    }
+
+    #[test]
+    fn path_to_self_is_empty() {
+        let g = g();
+        assert_eq!(shortest_path(&g, EntityId(1), EntityId(1)), Some(vec![]));
+        assert_eq!(distance(&g, EntityId(1), EntityId(1)), Some(0));
+    }
+
+    #[test]
+    fn unreachable_returns_none() {
+        let g = g();
+        assert_eq!(shortest_path(&g, EntityId(0), EntityId(3)), None);
+        assert_eq!(distance(&g, EntityId(3), EntityId(0)), None);
+    }
+
+    #[test]
+    fn path_hops_are_consecutive_edges() {
+        let g = g();
+        let p = shortest_path(&g, EntityId(1), EntityId(0)).unwrap();
+        assert_eq!(p.len(), 1);
+        // inverse edge 1 → 0
+        assert_eq!(p[0].entity, EntityId(0));
+    }
+
+    #[test]
+    fn k_hop_reach_expands_with_hops() {
+        let g = g();
+        assert_eq!(k_hop_reach(&g, EntityId(0), 0), 0);
+        assert_eq!(k_hop_reach(&g, EntityId(0), 1), 2); // 1 and 2
+        assert_eq!(k_hop_reach(&g, EntityId(0), 2), 2); // nothing new
+        assert_eq!(k_hop_reach(&g, EntityId(3), 5), 0); // self-loop only
+    }
+
+    #[test]
+    fn count_paths_length_two() {
+        let g = g();
+        // 0→1→2 is one 2-path; 0→2→... to 2 excluded (b != a, c != b)
+        assert_eq!(count_paths(&g, EntityId(0), EntityId(2), 2), 1);
+    }
+
+    #[test]
+    fn connectivity_score_monotone_in_paths() {
+        let mut s = TripleStore::with_capacity(6, 1);
+        // a=0 and b=1 share two common neighbors (2, 3); c=4 shares one (5)
+        s.add_raw(0, 0, 2);
+        s.add_raw(1, 0, 2);
+        s.add_raw(0, 0, 3);
+        s.add_raw(1, 0, 3);
+        s.add_raw(0, 0, 5);
+        s.add_raw(4, 0, 5);
+        let g = KgGraph::from_store(&s);
+        let ab = connectivity_score(&g, EntityId(0), EntityId(1), 0.5);
+        let ac = connectivity_score(&g, EntityId(0), EntityId(4), 0.5);
+        assert!(ab > ac, "more shared neighbors should score higher: {ab} vs {ac}");
+    }
+}

@@ -1,0 +1,224 @@
+//! Entity-relation-entity triples and their store.
+//!
+//! A knowledge graph `G = {(h, r, t)}` is kept as a deduplicated list of
+//! [`Triple`]s together with entity/relation vocabularies. Entities and
+//! relations are dense `u32` ids; named vocabularies are optional (the
+//! synthetic generators name everything, tests often don't bother).
+
+use std::collections::{HashMap, HashSet};
+
+/// Dense id of an entity in a knowledge graph.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+pub struct EntityId(pub u32);
+
+/// Dense id of a relation type.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+pub struct RelationId(pub u32);
+
+impl EntityId {
+    /// The raw index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl RelationId {
+    /// The raw index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A single fact `(head, relation, tail)`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, serde::Serialize, serde::Deserialize)]
+pub struct Triple {
+    /// Head entity.
+    pub head: EntityId,
+    /// Relation type.
+    pub relation: RelationId,
+    /// Tail entity.
+    pub tail: EntityId,
+}
+
+impl Triple {
+    /// Construct a triple from raw ids.
+    pub fn new(head: u32, relation: u32, tail: u32) -> Self {
+        Triple { head: EntityId(head), relation: RelationId(relation), tail: EntityId(tail) }
+    }
+}
+
+/// A deduplicated triple store with entity/relation vocabularies.
+#[derive(Clone, Debug, Default)]
+pub struct TripleStore {
+    triples: Vec<Triple>,
+    seen: HashSet<Triple>,
+    num_entities: u32,
+    num_relations: u32,
+    entity_names: HashMap<EntityId, String>,
+    relation_names: HashMap<RelationId, String>,
+}
+
+impl TripleStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pre-size the store for `n` entities and `r` relation types. Ids up
+    /// to those bounds become valid immediately; `add` still grows the
+    /// bounds on demand.
+    pub fn with_capacity(n_entities: u32, n_relations: u32) -> Self {
+        TripleStore { num_entities: n_entities, num_relations: n_relations, ..Self::default() }
+    }
+
+    /// Allocate a fresh entity id (optionally named).
+    pub fn add_entity(&mut self, name: Option<&str>) -> EntityId {
+        let id = EntityId(self.num_entities);
+        self.num_entities += 1;
+        if let Some(n) = name {
+            self.entity_names.insert(id, n.to_owned());
+        }
+        id
+    }
+
+    /// Allocate a fresh relation id (optionally named).
+    pub fn add_relation(&mut self, name: Option<&str>) -> RelationId {
+        let id = RelationId(self.num_relations);
+        self.num_relations += 1;
+        if let Some(n) = name {
+            self.relation_names.insert(id, n.to_owned());
+        }
+        id
+    }
+
+    /// Insert a fact; returns `false` when it was already present.
+    /// Entity/relation bounds grow to cover the ids.
+    pub fn add(&mut self, triple: Triple) -> bool {
+        if !self.seen.insert(triple) {
+            return false;
+        }
+        self.num_entities = self.num_entities.max(triple.head.0 + 1).max(triple.tail.0 + 1);
+        self.num_relations = self.num_relations.max(triple.relation.0 + 1);
+        self.triples.push(triple);
+        true
+    }
+
+    /// Insert a fact from raw ids; returns `false` on duplicates.
+    pub fn add_raw(&mut self, head: u32, relation: u32, tail: u32) -> bool {
+        self.add(Triple::new(head, relation, tail))
+    }
+
+    /// All facts, in insertion order.
+    pub fn triples(&self) -> &[Triple] {
+        &self.triples
+    }
+
+    /// Membership test.
+    pub fn contains(&self, triple: &Triple) -> bool {
+        self.seen.contains(triple)
+    }
+
+    /// Number of facts.
+    pub fn len(&self) -> usize {
+        self.triples.len()
+    }
+
+    /// True when the store holds no facts.
+    pub fn is_empty(&self) -> bool {
+        self.triples.is_empty()
+    }
+
+    /// Upper bound (exclusive) on entity ids.
+    pub fn num_entities(&self) -> u32 {
+        self.num_entities
+    }
+
+    /// Upper bound (exclusive) on relation ids.
+    pub fn num_relations(&self) -> u32 {
+        self.num_relations
+    }
+
+    /// Name of an entity, when one was recorded.
+    pub fn entity_name(&self, id: EntityId) -> Option<&str> {
+        self.entity_names.get(&id).map(String::as_str)
+    }
+
+    /// Name of a relation, when one was recorded.
+    pub fn relation_name(&self, id: RelationId) -> Option<&str> {
+        self.relation_names.get(&id).map(String::as_str)
+    }
+
+    /// Out-degree histogram: `hist[d]` = number of entities with `d`
+    /// outgoing facts (capped at `max_degree`, the last bucket collects
+    /// the tail). Useful for dataset statistics and docs.
+    pub fn degree_histogram(&self, max_degree: usize) -> Vec<usize> {
+        let mut deg = vec![0usize; self.num_entities as usize];
+        for t in &self.triples {
+            deg[t.head.index()] += 1;
+        }
+        let mut hist = vec![0usize; max_degree + 1];
+        for d in deg {
+            hist[d.min(max_degree)] += 1;
+        }
+        hist
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_dedup() {
+        let mut s = TripleStore::new();
+        assert!(s.add_raw(0, 0, 1));
+        assert!(!s.add_raw(0, 0, 1));
+        assert!(s.add_raw(1, 0, 0));
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(&Triple::new(0, 0, 1)));
+        assert!(!s.contains(&Triple::new(0, 1, 1)));
+    }
+
+    #[test]
+    fn bounds_grow_with_ids() {
+        let mut s = TripleStore::new();
+        s.add_raw(5, 2, 9);
+        assert_eq!(s.num_entities(), 10);
+        assert_eq!(s.num_relations(), 3);
+    }
+
+    #[test]
+    fn vocabulary_allocation() {
+        let mut s = TripleStore::new();
+        let e0 = s.add_entity(Some("Psycho"));
+        let e1 = s.add_entity(Some("Hitchcock"));
+        let r = s.add_relation(Some("directed_by"));
+        s.add(Triple { head: e0, relation: r, tail: e1 });
+        assert_eq!(s.entity_name(e0), Some("Psycho"));
+        assert_eq!(s.relation_name(r), Some("directed_by"));
+        assert_eq!(s.entity_name(EntityId(99)), None);
+        assert_eq!(s.num_entities(), 2);
+    }
+
+    #[test]
+    fn with_capacity_reserves_id_space() {
+        let s = TripleStore::with_capacity(100, 5);
+        assert_eq!(s.num_entities(), 100);
+        assert_eq!(s.num_relations(), 5);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn degree_histogram_counts_heads() {
+        let mut s = TripleStore::new();
+        s.add_raw(0, 0, 1);
+        s.add_raw(0, 1, 2);
+        s.add_raw(1, 0, 2);
+        let hist = s.degree_histogram(4);
+        assert_eq!(hist[0], 1); // entity 2 has no outgoing facts
+        assert_eq!(hist[1], 1); // entity 1
+        assert_eq!(hist[2], 1); // entity 0
+    }
+}

@@ -1,0 +1,148 @@
+//! Property-based tests of the KG substrate: CSR construction, sampling
+//! totality, and path utilities over random graphs.
+
+use kgag_kg::paths::{distance, k_hop_reach, shortest_path};
+use kgag_kg::triple::{EntityId, TripleStore};
+use kgag_kg::{KgGraph, NeighborSampler};
+use proptest::prelude::*;
+
+/// Random triple list over a bounded id space.
+fn triples_strategy() -> impl Strategy<Value = Vec<(u32, u32, u32)>> {
+    proptest::collection::vec((0u32..30, 0u32..4, 0u32..30), 1..60)
+}
+
+fn build(triples: &[(u32, u32, u32)]) -> (TripleStore, KgGraph) {
+    let mut s = TripleStore::new();
+    for &(h, r, t) in triples {
+        s.add_raw(h, r, t);
+    }
+    let g = KgGraph::from_store(&s);
+    (s, g)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every entity has at least one neighbor after normalisation, and
+    /// every stored edge's endpoints/relations are in range.
+    #[test]
+    fn graph_is_total_and_in_range(triples in triples_strategy()) {
+        let (store, g) = build(&triples);
+        prop_assert_eq!(g.num_entities(), store.num_entities() as usize);
+        for e in 0..g.num_entities() as u32 {
+            let (nbrs, rels) = g.neighbor_slices(e);
+            prop_assert!(!nbrs.is_empty(), "entity {e} isolated");
+            for (&n, &r) in nbrs.iter().zip(rels) {
+                prop_assert!((n as usize) < g.num_entities());
+                prop_assert!((r as usize) < g.num_relation_slots());
+            }
+        }
+    }
+
+    /// Forward edges imply inverse edges.
+    #[test]
+    fn edges_are_symmetric(triples in triples_strategy()) {
+        let (_, g) = build(&triples);
+        for &(h, _, t) in &triples {
+            let fwd = g.neighbor_slices(h).0.contains(&t);
+            let bwd = g.neighbor_slices(t).0.contains(&h);
+            prop_assert!(fwd && bwd, "edge {h}->{t} not symmetric");
+        }
+    }
+
+    /// The sampler always returns exactly K in-graph neighbors per node
+    /// and is deterministic in (seed, salt).
+    #[test]
+    fn sampler_is_total_and_deterministic(
+        triples in triples_strategy(),
+        k in 1usize..6,
+        depth in 0usize..3,
+        salt in 0u64..100,
+    ) {
+        let (_, g) = build(&triples);
+        let targets: Vec<u32> = (0..g.num_entities().min(8) as u32).collect();
+        let sampler = NeighborSampler::new(k, 42);
+        let a = sampler.receptive_field(&g, &targets, depth, salt);
+        let b = sampler.receptive_field(&g, &targets, depth, salt);
+        prop_assert_eq!(&a, &b);
+        for (lvl, level) in a.entities.iter().enumerate() {
+            prop_assert_eq!(level.len(), targets.len() * k.pow(lvl as u32));
+            for &e in level {
+                prop_assert!((e as usize) < g.num_entities());
+            }
+        }
+        // sampled edges exist in the graph
+        for (lvl, rels) in a.relations.iter().enumerate() {
+            for (i, (&child, &rel)) in a.entities[lvl + 1].iter().zip(rels).enumerate() {
+                let parent = a.entities[lvl][i / k];
+                let (nbrs, rls) = g.neighbor_slices(parent);
+                let ok = nbrs.iter().zip(rls).any(|(&n, &r)| n == child && r == rel);
+                prop_assert!(ok, "edge {parent}->{child} (rel {rel}) not in graph");
+            }
+        }
+    }
+
+    /// Repeated targets get identical subtrees (the variance-reduction
+    /// property the trainer relies on).
+    #[test]
+    fn repeated_targets_share_subtrees(
+        triples in triples_strategy(),
+        k in 1usize..5,
+        salt in 0u64..50,
+    ) {
+        let (_, g) = build(&triples);
+        let t0 = (g.num_entities() as u32 - 1).min(1);
+        let sampler = NeighborSampler::new(k, 7);
+        let rf = sampler.receptive_field(&g, &[t0, t0], 2, salt);
+        let half = |v: &Vec<u32>| (v[..v.len() / 2].to_vec(), v[v.len() / 2..].to_vec());
+        for level in &rf.entities {
+            let (a, b) = half(level);
+            prop_assert_eq!(a, b, "repeated target produced different subtree");
+        }
+    }
+
+    /// Shortest-path output is consistent: the path length equals the
+    /// distance, consecutive hops are edges, and distance satisfies the
+    /// triangle-ish property dist(a,c) ≤ dist(a,b) + dist(b,c).
+    #[test]
+    fn shortest_paths_are_consistent(triples in triples_strategy()) {
+        let (_, g) = build(&triples);
+        let n = g.num_entities() as u32;
+        let pairs = [(0, n - 1), (0, n / 2), (n / 2, n - 1)];
+        for &(a, b) in &pairs {
+            if let Some(p) = shortest_path(&g, EntityId(a), EntityId(b)) {
+                prop_assert_eq!(Some(p.len()), distance(&g, EntityId(a), EntityId(b)));
+                // verify each hop is a real edge
+                let mut cur = a;
+                for hop in &p {
+                    let (nbrs, _) = g.neighbor_slices(cur);
+                    prop_assert!(nbrs.contains(&hop.entity.0));
+                    cur = hop.entity.0;
+                }
+                prop_assert_eq!(cur, b);
+            }
+        }
+        let (a, b, c) = (0, n / 2, n - 1);
+        if let (Some(ab), Some(bc), Some(ac)) = (
+            distance(&g, EntityId(a), EntityId(b)),
+            distance(&g, EntityId(b), EntityId(c)),
+            distance(&g, EntityId(a), EntityId(c)),
+        ) {
+            prop_assert!(ac <= ab + bc, "triangle violated: {ac} > {ab}+{bc}");
+        }
+    }
+
+    /// k-hop reach is monotone in k and bounded by the graph size.
+    #[test]
+    fn reach_is_monotone(triples in triples_strategy(), e in 0u32..30) {
+        let (_, g) = build(&triples);
+        if (e as usize) >= g.num_entities() { return Ok(()); }
+        let mut prev = 0;
+        for hops in 0..5 {
+            let r = k_hop_reach(&g, EntityId(e), hops);
+            prop_assert!(r >= prev, "reach shrank: {prev} -> {r}");
+            prop_assert!(r < g.num_entities());
+            prev = r;
+        }
+    }
+}

@@ -1,0 +1,212 @@
+//! Parameter-store checkpointing.
+//!
+//! A compact binary format for saving and restoring trained parameters:
+//!
+//! ```text
+//! magic "KGCP" | version u32 | param count u32 |
+//!   per param: name len u32 | name bytes | rows u32 | cols u32 | f32 LE data
+//! ```
+//!
+//! Loading restores values *into an existing store by name*, so a model
+//! can be rebuilt from its config + dataset and then rehydrated — the
+//! structural metadata (graph, sampler seeds) never needs serialising.
+
+use crate::params::ParamStore;
+use crate::tensor::Tensor;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Format magic bytes.
+const MAGIC: &[u8; 4] = b"KGCP";
+/// Current format version.
+const VERSION: u32 = 1;
+
+/// Errors from checkpoint decoding.
+#[derive(Debug, PartialEq, Eq)]
+pub enum CheckpointError {
+    /// Buffer does not start with the format magic.
+    BadMagic,
+    /// Unsupported format version.
+    BadVersion(u32),
+    /// Buffer ended before the declared content.
+    Truncated,
+    /// A parameter name is not valid UTF-8.
+    BadName,
+    /// The target store is missing a named parameter.
+    MissingParam(String),
+    /// A parameter's stored shape disagrees with the target store.
+    ShapeMismatch(String),
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::BadMagic => write!(f, "not a KGCP checkpoint"),
+            CheckpointError::BadVersion(v) => write!(f, "unsupported checkpoint version {v}"),
+            CheckpointError::Truncated => write!(f, "checkpoint is truncated"),
+            CheckpointError::BadName => write!(f, "parameter name is not valid UTF-8"),
+            CheckpointError::MissingParam(n) => {
+                write!(f, "store has no parameter named {n:?}")
+            }
+            CheckpointError::ShapeMismatch(n) => {
+                write!(f, "shape mismatch for parameter {n:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+/// Serialise every parameter of a store.
+pub fn save(store: &ParamStore) -> Bytes {
+    let mut buf = BytesMut::with_capacity(64 + store.num_weights() * 4);
+    buf.put_slice(MAGIC);
+    buf.put_u32_le(VERSION);
+    buf.put_u32_le(store.len() as u32);
+    for (_, name, value) in store.iter() {
+        buf.put_u32_le(name.len() as u32);
+        buf.put_slice(name.as_bytes());
+        buf.put_u32_le(value.rows() as u32);
+        buf.put_u32_le(value.cols() as u32);
+        for &x in value.data() {
+            buf.put_f32_le(x);
+        }
+    }
+    buf.freeze()
+}
+
+/// Restore parameter values into `store` by name. Every parameter in the
+/// checkpoint must exist in the store with the same shape; parameters of
+/// the store absent from the checkpoint keep their current values.
+pub fn load(store: &mut ParamStore, bytes: &[u8]) -> Result<usize, CheckpointError> {
+    let mut buf = bytes;
+    if buf.remaining() < 4 || &buf[..4] != MAGIC {
+        return Err(CheckpointError::BadMagic);
+    }
+    buf.advance(4);
+    if buf.remaining() < 8 {
+        return Err(CheckpointError::Truncated);
+    }
+    let version = buf.get_u32_le();
+    if version != VERSION {
+        return Err(CheckpointError::BadVersion(version));
+    }
+    let count = buf.get_u32_le() as usize;
+    let mut restored = 0usize;
+    for _ in 0..count {
+        if buf.remaining() < 4 {
+            return Err(CheckpointError::Truncated);
+        }
+        let name_len = buf.get_u32_le() as usize;
+        if buf.remaining() < name_len {
+            return Err(CheckpointError::Truncated);
+        }
+        let name = std::str::from_utf8(&buf[..name_len])
+            .map_err(|_| CheckpointError::BadName)?
+            .to_owned();
+        buf.advance(name_len);
+        if buf.remaining() < 8 {
+            return Err(CheckpointError::Truncated);
+        }
+        let rows = buf.get_u32_le() as usize;
+        let cols = buf.get_u32_le() as usize;
+        let n = rows * cols;
+        if buf.remaining() < n * 4 {
+            return Err(CheckpointError::Truncated);
+        }
+        let mut data = Vec::with_capacity(n);
+        for _ in 0..n {
+            data.push(buf.get_f32_le());
+        }
+        let id = store
+            .id(&name)
+            .ok_or_else(|| CheckpointError::MissingParam(name.clone()))?;
+        let shape = store.shape(id);
+        if shape.rows != rows || shape.cols != cols {
+            return Err(CheckpointError::ShapeMismatch(name));
+        }
+        *store.value_mut(id) = Tensor::from_vec(rows, cols, data);
+        restored += 1;
+    }
+    Ok(restored)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init;
+
+    fn store() -> ParamStore {
+        let mut s = ParamStore::new();
+        s.register("emb", init::uniform(7, 3, 1.0, 1));
+        s.register("w", init::uniform(3, 3, 1.0, 2));
+        s.register("b", Tensor::zeros(1, 3));
+        s
+    }
+
+    #[test]
+    fn round_trip_restores_exact_values() {
+        let original = store();
+        let bytes = save(&original);
+        let mut fresh = ParamStore::new();
+        fresh.register("emb", Tensor::zeros(7, 3));
+        fresh.register("w", Tensor::zeros(3, 3));
+        fresh.register("b", Tensor::full(1, 3, 9.0));
+        let restored = load(&mut fresh, &bytes).unwrap();
+        assert_eq!(restored, 3);
+        for (_, name, value) in original.iter() {
+            let id = fresh.id(name).unwrap();
+            assert_eq!(fresh.value(id), value, "param {name}");
+        }
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let mut s = store();
+        assert_eq!(load(&mut s, b"NOPE1234"), Err(CheckpointError::BadMagic));
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let s = store();
+        let bytes = save(&s);
+        for cut in [5usize, 10, bytes.len() / 2, bytes.len() - 1] {
+            let mut fresh = store();
+            assert_eq!(
+                load(&mut fresh, &bytes[..cut]),
+                Err(CheckpointError::Truncated),
+                "cut at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn missing_param_is_reported() {
+        let s = store();
+        let bytes = save(&s);
+        let mut other = ParamStore::new();
+        other.register("emb", Tensor::zeros(7, 3));
+        let err = load(&mut other, &bytes).unwrap_err();
+        assert!(matches!(err, CheckpointError::MissingParam(n) if n == "w"));
+    }
+
+    #[test]
+    fn shape_mismatch_is_reported() {
+        let s = store();
+        let bytes = save(&s);
+        let mut other = ParamStore::new();
+        other.register("emb", Tensor::zeros(7, 4)); // wrong cols
+        other.register("w", Tensor::zeros(3, 3));
+        other.register("b", Tensor::zeros(1, 3));
+        let err = load(&mut other, &bytes).unwrap_err();
+        assert!(matches!(err, CheckpointError::ShapeMismatch(n) if n == "emb"));
+    }
+
+    #[test]
+    fn version_is_checked() {
+        let s = store();
+        let mut bytes = save(&s).to_vec();
+        bytes[4] = 99; // clobber version
+        let mut fresh = store();
+        assert_eq!(load(&mut fresh, &bytes), Err(CheckpointError::BadVersion(99)));
+    }
+}

@@ -1,0 +1,87 @@
+//! Weight initializers.
+//!
+//! All initializers are deterministic given a seed; the KGAG trainer
+//! derives one child seed per parameter name so adding a parameter never
+//! perturbs the initialization of the others.
+
+use crate::rng::SplitMix64;
+use crate::tensor::Tensor;
+
+/// Uniform initialization in `[-limit, limit]`.
+pub fn uniform(rows: usize, cols: usize, limit: f32, seed: u64) -> Tensor {
+    let mut rng = SplitMix64::new(seed);
+    let data = (0..rows * cols).map(|_| (rng.next_f32() * 2.0 - 1.0) * limit).collect();
+    Tensor::from_vec(rows, cols, data)
+}
+
+/// Normal initialization with the given standard deviation.
+pub fn normal(rows: usize, cols: usize, std: f32, seed: u64) -> Tensor {
+    let mut rng = SplitMix64::new(seed);
+    let data = (0..rows * cols).map(|_| rng.next_normal() * std).collect();
+    Tensor::from_vec(rows, cols, data)
+}
+
+/// Xavier/Glorot uniform: `limit = sqrt(6 / (fan_in + fan_out))`.
+///
+/// The default for every dense layer and embedding table in the KGAG
+/// model, matching the common initialization of the KGCN/KGAT reference
+/// implementations.
+pub fn xavier_uniform(rows: usize, cols: usize, seed: u64) -> Tensor {
+    let limit = (6.0 / (rows + cols) as f32).sqrt();
+    uniform(rows, cols, limit, seed)
+}
+
+/// He/Kaiming normal: `std = sqrt(2 / fan_in)`; suited to ReLU layers
+/// (the peer-influence MLP).
+pub fn he_normal(rows: usize, cols: usize, seed: u64) -> Tensor {
+    let std = (2.0 / rows as f32).sqrt();
+    normal(rows, cols, std, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_respects_limit() {
+        let t = uniform(50, 20, 0.3, 1);
+        assert!(t.data().iter().all(|x| x.abs() <= 0.3));
+        // not degenerate
+        assert!(t.data().iter().any(|x| x.abs() > 0.01));
+    }
+
+    #[test]
+    fn xavier_limit_formula() {
+        let t = xavier_uniform(64, 64, 2);
+        let limit = (6.0f32 / 128.0).sqrt();
+        assert!(t.data().iter().all(|x| x.abs() <= limit + 1e-6));
+    }
+
+    #[test]
+    fn normal_std_is_close() {
+        let t = normal(100, 100, 0.5, 3);
+        let mean = t.mean();
+        let var = t.data().iter().map(|x| (x - mean) * (x - mean)).sum::<f32>()
+            / t.data().len() as f32;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var.sqrt() - 0.5).abs() < 0.03, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn he_normal_scales_with_fan_in() {
+        let narrow = he_normal(4, 1000, 4);
+        let wide = he_normal(400, 1000, 4);
+        let std = |t: &Tensor| {
+            let m = t.mean();
+            (t.data().iter().map(|x| (x - m) * (x - m)).sum::<f32>() / t.data().len() as f32)
+                .sqrt()
+        };
+        assert!(std(&narrow) > std(&wide) * 5.0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        assert_eq!(xavier_uniform(8, 8, 7), xavier_uniform(8, 8, 7));
+        assert_ne!(xavier_uniform(8, 8, 7), xavier_uniform(8, 8, 8));
+    }
+}

@@ -1,0 +1,237 @@
+//! Named parameter storage and gradient maps.
+//!
+//! A [`ParamStore`] owns every trainable tensor of a model. Tapes read
+//! values through it and [`Gradients`] accumulates dense per-parameter
+//! gradients during the backward pass; optimizers then consume both.
+
+use crate::shape::Shape;
+use crate::tensor::Tensor;
+use std::collections::HashMap;
+
+/// Cheap handle to a parameter inside a [`ParamStore`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct ParamId(pub(crate) u32);
+
+impl ParamId {
+    /// The raw index (stable for the lifetime of the store).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A named collection of trainable tensors.
+#[derive(Clone, Debug, Default)]
+pub struct ParamStore {
+    names: Vec<String>,
+    values: Vec<Tensor>,
+    by_name: HashMap<String, ParamId>,
+}
+
+impl ParamStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a parameter with a unique name.
+    ///
+    /// # Panics
+    /// Panics when the name is already taken.
+    pub fn register(&mut self, name: &str, value: Tensor) -> ParamId {
+        assert!(!self.by_name.contains_key(name), "duplicate parameter name {name:?}");
+        let id = ParamId(self.values.len() as u32);
+        self.names.push(name.to_owned());
+        self.values.push(value);
+        self.by_name.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Look up a parameter by name.
+    pub fn id(&self, name: &str) -> Option<ParamId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// The parameter's name.
+    pub fn name(&self, id: ParamId) -> &str {
+        &self.names[id.index()]
+    }
+
+    /// Current value.
+    pub fn value(&self, id: ParamId) -> &Tensor {
+        &self.values[id.index()]
+    }
+
+    /// Mutable value (used by optimizers).
+    pub fn value_mut(&mut self, id: ParamId) -> &mut Tensor {
+        &mut self.values[id.index()]
+    }
+
+    /// Shape of a parameter.
+    pub fn shape(&self, id: ParamId) -> Shape {
+        self.values[id.index()].shape()
+    }
+
+    /// Number of registered parameters.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when no parameters are registered.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Total number of scalar weights across all parameters.
+    pub fn num_weights(&self) -> usize {
+        self.values.iter().map(|t| t.shape().len()).sum()
+    }
+
+    /// Iterate over `(id, name, value)`.
+    pub fn iter(&self) -> impl Iterator<Item = (ParamId, &str, &Tensor)> {
+        self.values
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (ParamId(i as u32), self.names[i].as_str(), v))
+    }
+
+    /// Sum of squared weights over all parameters: ‖Θ‖² of Eq. 20.
+    pub fn sq_norm(&self) -> f32 {
+        self.values.iter().map(Tensor::sq_norm).sum()
+    }
+
+    /// True if any parameter contains NaN/inf (training-health check).
+    pub fn has_non_finite(&self) -> bool {
+        self.values.iter().any(Tensor::has_non_finite)
+    }
+}
+
+/// Dense per-parameter gradients produced by [`crate::Tape::backward`].
+///
+/// Only parameters actually touched by the tape appear; optimizers skip
+/// the rest, which makes alternating user-batch/group-batch training cheap.
+#[derive(Clone, Debug, Default)]
+pub struct Gradients {
+    grads: HashMap<ParamId, Tensor>,
+}
+
+impl Gradients {
+    /// An empty gradient map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Gradient for `id`, if the parameter participated in the tape.
+    pub fn get(&self, id: ParamId) -> Option<&Tensor> {
+        self.grads.get(&id)
+    }
+
+    /// Accumulate `delta` into the gradient of `id` (creating zeros first
+    /// if absent).
+    pub fn accumulate(&mut self, id: ParamId, shape: Shape, f: impl FnOnce(&mut Tensor)) {
+        let g = self
+            .grads
+            .entry(id)
+            .or_insert_with(|| Tensor::zeros(shape.rows, shape.cols));
+        f(g);
+    }
+
+    /// Number of parameters with gradients.
+    pub fn len(&self) -> usize {
+        self.grads.len()
+    }
+
+    /// True when no gradients were produced.
+    pub fn is_empty(&self) -> bool {
+        self.grads.is_empty()
+    }
+
+    /// Iterate over `(id, grad)` pairs (unordered).
+    pub fn iter(&self) -> impl Iterator<Item = (ParamId, &Tensor)> {
+        self.grads.iter().map(|(&id, g)| (id, g))
+    }
+
+    /// Global gradient L2 norm (diagnostics / clipping).
+    pub fn global_norm(&self) -> f32 {
+        self.grads.values().map(Tensor::sq_norm).sum::<f32>().sqrt()
+    }
+
+    /// Scale every gradient so the global norm is at most `max_norm`.
+    pub fn clip_global_norm(&mut self, max_norm: f32) {
+        let norm = self.global_norm();
+        if norm > max_norm && norm > 0.0 {
+            let k = max_norm / norm;
+            for g in self.grads.values_mut() {
+                g.map_inplace(|x| x * k);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_and_lookup() {
+        let mut s = ParamStore::new();
+        let a = s.register("emb", Tensor::zeros(4, 2));
+        let b = s.register("w", Tensor::identity(2));
+        assert_eq!(s.id("emb"), Some(a));
+        assert_eq!(s.id("w"), Some(b));
+        assert_eq!(s.id("nope"), None);
+        assert_eq!(s.name(a), "emb");
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.num_weights(), 8 + 4);
+        assert_eq!(s.shape(a), Shape::new(4, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate parameter name")]
+    fn duplicate_name_panics() {
+        let mut s = ParamStore::new();
+        s.register("x", Tensor::zeros(1, 1));
+        s.register("x", Tensor::zeros(1, 1));
+    }
+
+    #[test]
+    fn sq_norm_sums_params() {
+        let mut s = ParamStore::new();
+        s.register("a", Tensor::full(1, 2, 2.0)); // 8
+        s.register("b", Tensor::full(1, 1, 3.0)); // 9
+        assert_eq!(s.sq_norm(), 17.0);
+    }
+
+    #[test]
+    fn gradients_accumulate() {
+        let mut g = Gradients::new();
+        let id = ParamId(0);
+        let shape = Shape::new(2, 2);
+        g.accumulate(id, shape, |t| t.data_mut()[0] += 1.0);
+        g.accumulate(id, shape, |t| t.data_mut()[0] += 2.0);
+        assert_eq!(g.get(id).unwrap().data()[0], 3.0);
+        assert_eq!(g.len(), 1);
+    }
+
+    #[test]
+    fn clip_global_norm() {
+        let mut g = Gradients::new();
+        g.accumulate(ParamId(0), Shape::new(1, 2), |t| {
+            t.data_mut().copy_from_slice(&[3.0, 4.0]);
+        });
+        assert_eq!(g.global_norm(), 5.0);
+        g.clip_global_norm(1.0);
+        assert!((g.global_norm() - 1.0).abs() < 1e-6);
+        // no-op below the threshold
+        g.clip_global_norm(10.0);
+        assert!((g.global_norm() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn non_finite_check() {
+        let mut s = ParamStore::new();
+        let id = s.register("a", Tensor::zeros(1, 1));
+        assert!(!s.has_non_finite());
+        s.value_mut(id).data_mut()[0] = f32::INFINITY;
+        assert!(s.has_non_finite());
+    }
+}

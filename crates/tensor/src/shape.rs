@@ -1,0 +1,119 @@
+//! Two-dimensional shapes.
+//!
+//! Everything in this crate is a dense row-major matrix; column vectors are
+//! `[n, 1]` and scalars are `[1, 1]`. A fixed rank keeps the autodiff tape
+//! simple and is all the KGAG computation graph needs.
+
+use std::fmt;
+
+/// The shape of a [`crate::Tensor`]: `rows × cols`, row-major.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub struct Shape {
+    /// Number of rows.
+    pub rows: usize,
+    /// Number of columns.
+    pub cols: usize,
+}
+
+impl Shape {
+    /// Create a shape.
+    #[inline]
+    pub const fn new(rows: usize, cols: usize) -> Self {
+        Shape { rows, cols }
+    }
+
+    /// Total number of elements.
+    #[inline]
+    pub const fn len(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// True when the shape holds no elements.
+    #[inline]
+    pub const fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// True for a `[1, 1]` shape.
+    #[inline]
+    pub const fn is_scalar(&self) -> bool {
+        self.rows == 1 && self.cols == 1
+    }
+
+    /// True for a column vector (`cols == 1`).
+    #[inline]
+    pub const fn is_col_vector(&self) -> bool {
+        self.cols == 1
+    }
+
+    /// Flat index of element `(r, c)`.
+    #[inline]
+    pub const fn index(&self, r: usize, c: usize) -> usize {
+        r * self.cols + c
+    }
+
+    /// Shape of `self × rhs` matrix product, or `None` when the inner
+    /// dimensions disagree.
+    #[inline]
+    pub fn matmul(&self, rhs: &Shape) -> Option<Shape> {
+        (self.cols == rhs.rows).then(|| Shape::new(self.rows, rhs.cols))
+    }
+}
+
+impl fmt::Debug for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {}]", self.rows, self.cols)
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{}", self.rows, self.cols)
+    }
+}
+
+impl From<(usize, usize)> for Shape {
+    fn from((rows, cols): (usize, usize)) -> Self {
+        Shape::new(rows, cols)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn len_and_index() {
+        let s = Shape::new(3, 4);
+        assert_eq!(s.len(), 12);
+        assert_eq!(s.index(0, 0), 0);
+        assert_eq!(s.index(1, 0), 4);
+        assert_eq!(s.index(2, 3), 11);
+        assert!(!s.is_empty());
+        assert!(!s.is_scalar());
+    }
+
+    #[test]
+    fn scalar_and_vector_predicates() {
+        assert!(Shape::new(1, 1).is_scalar());
+        assert!(Shape::new(5, 1).is_col_vector());
+        assert!(!Shape::new(1, 5).is_col_vector());
+        assert!(Shape::new(0, 7).is_empty());
+    }
+
+    #[test]
+    fn matmul_shapes() {
+        let a = Shape::new(2, 3);
+        let b = Shape::new(3, 5);
+        assert_eq!(a.matmul(&b), Some(Shape::new(2, 5)));
+        assert_eq!(b.matmul(&a), None);
+    }
+
+    #[test]
+    fn from_tuple_and_display() {
+        let s: Shape = (2, 7).into();
+        assert_eq!(s, Shape::new(2, 7));
+        assert_eq!(format!("{s}"), "2x7");
+        assert_eq!(format!("{s:?}"), "[2, 7]");
+    }
+}

@@ -1,0 +1,502 @@
+//! Dense row-major 2-D `f32` tensors with plain (non-differentiable) math.
+//!
+//! The [`crate::Tape`] builds on these for autodiff; substrates that train
+//! with hand-written gradients (e.g. TransE in `kgag-kg`) use them directly.
+
+use crate::shape::Shape;
+
+/// A dense, row-major, 2-D `f32` tensor.
+#[derive(Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Tensor {
+    shape: Shape,
+    data: Vec<f32>,
+}
+
+impl std::fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Tensor{:?}", self.shape)?;
+        if self.shape.len() <= 16 {
+            write!(f, " {:?}", self.data)
+        } else {
+            write!(f, " [{} elements]", self.shape.len())
+        }
+    }
+}
+
+impl Tensor {
+    /// A tensor of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Tensor { shape: Shape::new(rows, cols), data: vec![0.0; rows * cols] }
+    }
+
+    /// A tensor filled with `value`.
+    pub fn full(rows: usize, cols: usize, value: f32) -> Self {
+        Tensor { shape: Shape::new(rows, cols), data: vec![value; rows * cols] }
+    }
+
+    /// A `[1, 1]` scalar tensor.
+    pub fn scalar(value: f32) -> Self {
+        Tensor::full(1, 1, value)
+    }
+
+    /// Build from a flat row-major buffer.
+    ///
+    /// # Panics
+    /// Panics when `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "buffer of {} elements cannot fill a {}x{} tensor",
+            data.len(),
+            rows,
+            cols
+        );
+        Tensor { shape: Shape::new(rows, cols), data }
+    }
+
+    /// Build from row slices (all rows must have equal length).
+    pub fn from_rows(rows: &[&[f32]]) -> Self {
+        assert!(!rows.is_empty(), "from_rows needs at least one row");
+        let cols = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for r in rows {
+            assert_eq!(r.len(), cols, "ragged rows");
+            data.extend_from_slice(r);
+        }
+        Tensor { shape: Shape::new(rows.len(), cols), data }
+    }
+
+    /// A column vector `[n, 1]` from a slice.
+    pub fn col_vector(values: &[f32]) -> Self {
+        Tensor::from_vec(values.len(), 1, values.to_vec())
+    }
+
+    /// The `rows × cols` identity matrix (square).
+    pub fn identity(n: usize) -> Self {
+        let mut t = Tensor::zeros(n, n);
+        for i in 0..n {
+            t.data[i * n + i] = 1.0;
+        }
+        t
+    }
+
+    /// Shape accessor.
+    #[inline]
+    pub fn shape(&self) -> Shape {
+        self.shape
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.shape.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.shape.cols
+    }
+
+    /// Flat row-major data.
+    #[inline]
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable flat row-major data.
+    #[inline]
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consume into the flat buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Element at `(r, c)`.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        debug_assert!(r < self.rows() && c < self.cols());
+        self.data[self.shape.index(r, c)]
+    }
+
+    /// Set element at `(r, c)`.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        debug_assert!(r < self.rows() && c < self.cols());
+        let i = self.shape.index(r, c);
+        self.data[i] = v;
+    }
+
+    /// Row `r` as a slice.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f32] {
+        let c = self.cols();
+        &self.data[r * c..(r + 1) * c]
+    }
+
+    /// Row `r` as a mutable slice.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        let c = self.cols();
+        &mut self.data[r * c..(r + 1) * c]
+    }
+
+    /// The single element of a `[1, 1]` tensor.
+    ///
+    /// # Panics
+    /// Panics when the tensor is not scalar-shaped.
+    pub fn item(&self) -> f32 {
+        assert!(self.shape.is_scalar(), "item() on non-scalar tensor {:?}", self.shape);
+        self.data[0]
+    }
+
+    /// Matrix product `self × rhs`.
+    ///
+    /// # Panics
+    /// Panics on inner-dimension mismatch.
+    pub fn matmul(&self, rhs: &Tensor) -> Tensor {
+        let out_shape = self
+            .shape
+            .matmul(&rhs.shape)
+            .unwrap_or_else(|| panic!("matmul shape mismatch: {:?} x {:?}", self.shape, rhs.shape));
+        let (m, k, n) = (self.rows(), self.cols(), rhs.cols());
+        let mut out = vec![0.0f32; out_shape.len()];
+        // i-k-j loop order: the inner loop walks both `rhs` and `out`
+        // contiguously, which the compiler can vectorise.
+        for i in 0..m {
+            let a_row = &self.data[i * k..(i + 1) * k];
+            let out_row = &mut out[i * n..(i + 1) * n];
+            for (kk, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let b_row = &rhs.data[kk * n..(kk + 1) * n];
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        Tensor { shape: out_shape, data: out }
+    }
+
+    /// `selfᵀ × rhs` without materialising the transpose.
+    pub fn matmul_tn(&self, rhs: &Tensor) -> Tensor {
+        assert_eq!(self.rows(), rhs.rows(), "matmul_tn shape mismatch: {:?}ᵀ x {:?}", self.shape, rhs.shape);
+        let (m, k, n) = (self.cols(), self.rows(), rhs.cols());
+        let mut out = vec![0.0f32; m * n];
+        for kk in 0..k {
+            let a_row = &self.data[kk * m..(kk + 1) * m];
+            let b_row = &rhs.data[kk * n..(kk + 1) * n];
+            for (i, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let out_row = &mut out[i * n..(i + 1) * n];
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        Tensor { shape: Shape::new(m, n), data: out }
+    }
+
+    /// `self × rhsᵀ` without materialising the transpose.
+    pub fn matmul_nt(&self, rhs: &Tensor) -> Tensor {
+        assert_eq!(self.cols(), rhs.cols(), "matmul_nt shape mismatch: {:?} x {:?}ᵀ", self.shape, rhs.shape);
+        let (m, k, n) = (self.rows(), self.cols(), rhs.rows());
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            let a_row = &self.data[i * k..(i + 1) * k];
+            let out_row = &mut out[i * n..(i + 1) * n];
+            for (j, o) in out_row.iter_mut().enumerate() {
+                let b_row = &rhs.data[j * k..(j + 1) * k];
+                *o = dot(a_row, b_row);
+            }
+        }
+        Tensor { shape: Shape::new(m, n), data: out }
+    }
+
+    /// Transposed copy.
+    pub fn transpose(&self) -> Tensor {
+        let (m, n) = (self.rows(), self.cols());
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                out[j * m + i] = self.data[i * n + j];
+            }
+        }
+        Tensor { shape: Shape::new(n, m), data: out }
+    }
+
+    /// Elementwise map into a new tensor.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        Tensor { shape: self.shape, data: self.data.iter().map(|&x| f(x)).collect() }
+    }
+
+    /// In-place elementwise map.
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
+        for x in &mut self.data {
+            *x = f(*x);
+        }
+    }
+
+    /// Elementwise binary zip into a new tensor.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn zip(&self, rhs: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
+        assert_eq!(self.shape, rhs.shape, "zip shape mismatch");
+        Tensor {
+            shape: self.shape,
+            data: self.data.iter().zip(&rhs.data).map(|(&a, &b)| f(a, b)).collect(),
+        }
+    }
+
+    /// `self + rhs` elementwise.
+    pub fn add(&self, rhs: &Tensor) -> Tensor {
+        self.zip(rhs, |a, b| a + b)
+    }
+
+    /// `self - rhs` elementwise.
+    pub fn sub(&self, rhs: &Tensor) -> Tensor {
+        self.zip(rhs, |a, b| a - b)
+    }
+
+    /// `self * rhs` elementwise (Hadamard).
+    pub fn mul(&self, rhs: &Tensor) -> Tensor {
+        self.zip(rhs, |a, b| a * b)
+    }
+
+    /// `self * k` elementwise.
+    pub fn scale(&self, k: f32) -> Tensor {
+        self.map(|x| x * k)
+    }
+
+    /// `self += rhs * k` in place (axpy).
+    pub fn axpy(&mut self, k: f32, rhs: &Tensor) {
+        assert_eq!(self.shape, rhs.shape, "axpy shape mismatch");
+        for (a, &b) in self.data.iter_mut().zip(&rhs.data) {
+            *a += k * b;
+        }
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of all elements (0 for the empty tensor).
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.data.len() as f32
+        }
+    }
+
+    /// Squared Frobenius norm.
+    pub fn sq_norm(&self) -> f32 {
+        self.data.iter().map(|&x| x * x).sum()
+    }
+
+    /// Frobenius (L2) norm.
+    pub fn norm(&self) -> f32 {
+        self.sq_norm().sqrt()
+    }
+
+    /// Inner product of two row slices of equal length taken from two
+    /// tensors: `self.row(i) · rhs.row(j)`.
+    pub fn row_dot(&self, i: usize, rhs: &Tensor, j: usize) -> f32 {
+        assert_eq!(self.cols(), rhs.cols(), "row_dot width mismatch");
+        dot(self.row(i), rhs.row(j))
+    }
+
+    /// Set every element to zero, keeping the allocation.
+    pub fn fill_zero(&mut self) {
+        self.data.iter_mut().for_each(|x| *x = 0.0);
+    }
+
+    /// True if any element is NaN or infinite.
+    pub fn has_non_finite(&self) -> bool {
+        self.data.iter().any(|x| !x.is_finite())
+    }
+
+    /// Row-wise softmax (each row sums to 1). Numerically stable.
+    pub fn softmax_rows(&self) -> Tensor {
+        let mut out = self.clone();
+        for r in 0..out.rows() {
+            softmax_inplace(out.row_mut(r));
+        }
+        out
+    }
+}
+
+/// Dot product of two equal-length slices.
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(&x, &y)| x * y).sum()
+}
+
+/// Numerically-stable in-place softmax of a slice.
+pub fn softmax_inplace(xs: &mut [f32]) {
+    if xs.is_empty() {
+        return;
+    }
+    let max = xs.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let mut sum = 0.0;
+    for x in xs.iter_mut() {
+        *x = (*x - max).exp();
+        sum += *x;
+    }
+    if sum > 0.0 {
+        for x in xs.iter_mut() {
+            *x /= sum;
+        }
+    }
+}
+
+/// Numerically-stable logistic sigmoid.
+#[inline]
+pub fn sigmoid(x: f32) -> f32 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        let z = Tensor::zeros(2, 3);
+        assert_eq!(z.shape(), Shape::new(2, 3));
+        assert!(z.data().iter().all(|&x| x == 0.0));
+        let f = Tensor::full(2, 2, 3.5);
+        assert_eq!(f.sum(), 14.0);
+        let s = Tensor::scalar(7.0);
+        assert_eq!(s.item(), 7.0);
+        let v = Tensor::col_vector(&[1.0, 2.0, 3.0]);
+        assert_eq!(v.shape(), Shape::new(3, 1));
+        let i = Tensor::identity(3);
+        assert_eq!(i.get(1, 1), 1.0);
+        assert_eq!(i.get(0, 1), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot fill")]
+    fn from_vec_wrong_len_panics() {
+        let _ = Tensor::from_vec(2, 2, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn matmul_small() {
+        let a = Tensor::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Tensor::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        let c = a.matmul(&b);
+        assert_eq!(c.data(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = Tensor::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        let i = Tensor::identity(3);
+        assert_eq!(a.matmul(&i), a);
+    }
+
+    #[test]
+    fn matmul_tn_matches_explicit_transpose() {
+        let a = Tensor::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
+        let b = Tensor::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[1.0, 1.0]]);
+        assert_eq!(a.matmul_tn(&b), a.transpose().matmul(&b));
+    }
+
+    #[test]
+    fn matmul_nt_matches_explicit_transpose() {
+        let a = Tensor::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Tensor::from_rows(&[&[5.0, 6.0], &[7.0, 8.0], &[9.0, 1.0]]);
+        assert_eq!(a.matmul_nt(&b), a.matmul(&b.transpose()));
+    }
+
+    #[test]
+    fn transpose_round_trip() {
+        let a = Tensor::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let a = Tensor::from_rows(&[&[1.0, 2.0]]);
+        let b = Tensor::from_rows(&[&[3.0, 5.0]]);
+        assert_eq!(a.add(&b).data(), &[4.0, 7.0]);
+        assert_eq!(b.sub(&a).data(), &[2.0, 3.0]);
+        assert_eq!(a.mul(&b).data(), &[3.0, 10.0]);
+        assert_eq!(a.scale(2.0).data(), &[2.0, 4.0]);
+        let mut c = a.clone();
+        c.axpy(2.0, &b);
+        assert_eq!(c.data(), &[7.0, 12.0]);
+    }
+
+    #[test]
+    fn reductions() {
+        let a = Tensor::from_rows(&[&[3.0, 4.0]]);
+        assert_eq!(a.sum(), 7.0);
+        assert_eq!(a.mean(), 3.5);
+        assert_eq!(a.sq_norm(), 25.0);
+        assert_eq!(a.norm(), 5.0);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let a = Tensor::from_rows(&[&[1.0, 2.0, 3.0], &[-1.0, 0.0, 1.0]]);
+        let s = a.softmax_rows();
+        for r in 0..2 {
+            let sum: f32 = s.row(r).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-6);
+        }
+        // larger logits get larger probabilities
+        assert!(s.get(0, 2) > s.get(0, 1));
+    }
+
+    #[test]
+    fn softmax_is_stable_for_large_values() {
+        let a = Tensor::from_rows(&[&[1000.0, 1001.0]]);
+        let s = a.softmax_rows();
+        assert!(!s.has_non_finite());
+        assert!((s.row(0).iter().sum::<f32>() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sigmoid_stability_and_values() {
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-7);
+        assert!(sigmoid(100.0) <= 1.0 && sigmoid(100.0) > 0.999);
+        assert!(sigmoid(-100.0) >= 0.0 && sigmoid(-100.0) < 1e-3);
+        assert!(sigmoid(-1000.0).is_finite());
+        assert!(sigmoid(1000.0).is_finite());
+    }
+
+    #[test]
+    fn row_access() {
+        let mut a = Tensor::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        assert_eq!(a.row(1), &[3.0, 4.0]);
+        a.row_mut(0)[1] = 9.0;
+        assert_eq!(a.get(0, 1), 9.0);
+        assert_eq!(a.row_dot(0, &a, 1), 1.0 * 3.0 + 9.0 * 4.0);
+    }
+
+    #[test]
+    fn non_finite_detection() {
+        let mut a = Tensor::zeros(1, 2);
+        assert!(!a.has_non_finite());
+        a.set(0, 1, f32::NAN);
+        assert!(a.has_non_finite());
+    }
+}

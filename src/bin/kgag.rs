@@ -1,0 +1,239 @@
+//! `kgag` — command-line interface to the KGAG reproduction.
+//!
+//! ```text
+//! kgag stats   [--scale tiny|small|medium] [--dataset rand|simi|yelp]
+//! kgag train   [--scale ..] [--dataset ..] [--epochs N] [--seed N]
+//!              [--checkpoint PATH] [--json]
+//! kgag explain [--scale ..] [--dataset ..] [--epochs N] --group G [--item V]
+//! kgag import  --name NAME --users N --items M \
+//!              --interactions FILE --kg FILE --groups FILE [--epochs N]
+//! ```
+//!
+//! `train` reports validation and test metrics under the shared
+//! protocol and can persist the trained parameters; `import` runs the
+//! same pipeline on user-provided TSV files (see
+//! `kgag_data::import` for the formats).
+
+use kgag::harness::{eval_cases, EvalBucket};
+use kgag::{Kgag, KgagConfig};
+use kgag_data::movielens::{movielens_pair, MovieLensConfig, Scale};
+use kgag_data::split::split_dataset;
+use kgag_data::yelp::{yelp, YelpConfig};
+use kgag_data::{DatasetStats, GroupDataset};
+use kgag_eval::EvalConfig;
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = args.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let opts = match parse_flags(rest) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match command.as_str() {
+        "stats" => cmd_stats(&opts),
+        "train" => cmd_train(&opts),
+        "explain" => cmd_explain(&opts),
+        "import" => cmd_import(&opts),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+kgag — knowledge-aware group recommendation (ICDE 2021 reproduction)
+
+USAGE:
+    kgag stats   [--scale tiny|small|medium] [--dataset rand|simi|yelp]
+    kgag train   [--scale S] [--dataset D] [--epochs N] [--seed N]
+                 [--checkpoint PATH] [--json]
+    kgag explain [--scale S] [--dataset D] [--epochs N] --group G [--item V]
+    kgag import  --name NAME --users N --items M --interactions FILE
+                 --kg FILE --groups FILE [--epochs N] [--json]
+
+Formats for `import` are documented in kgag_data::import: interactions
+as `user<TAB>item`, KG as `head<TAB>rel<TAB>tail` (items = entities
+0..M), groups as `m1,m2,...<TAB>v1,v2,...`.";
+
+type Flags = HashMap<String, String>;
+
+fn parse_flags(args: &[String]) -> Result<Flags, String> {
+    let mut out = Flags::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let Some(key) = a.strip_prefix("--") else {
+            return Err(format!("unexpected argument {a:?}"));
+        };
+        if key == "json" {
+            out.insert("json".into(), "true".into());
+            continue;
+        }
+        let Some(value) = it.next() else {
+            return Err(format!("flag --{key} needs a value"));
+        };
+        out.insert(key.to_owned(), value.clone());
+    }
+    Ok(out)
+}
+
+fn scale(opts: &Flags) -> Result<Scale, String> {
+    match opts.get("scale").map(String::as_str).unwrap_or("tiny") {
+        "tiny" => Ok(Scale::Tiny),
+        "small" => Ok(Scale::Small),
+        "medium" => Ok(Scale::Medium),
+        other => Err(format!("unknown scale {other:?}")),
+    }
+}
+
+fn dataset(opts: &Flags) -> Result<GroupDataset, String> {
+    let s = scale(opts)?;
+    match opts.get("dataset").map(String::as_str).unwrap_or("rand") {
+        "rand" => Ok(movielens_pair(&MovieLensConfig::at_scale(s)).1),
+        "simi" => Ok(movielens_pair(&MovieLensConfig::at_scale(s)).2),
+        "yelp" => Ok(yelp(&YelpConfig::at_scale(s))),
+        other => Err(format!("unknown dataset {other:?}")),
+    }
+}
+
+fn num_flag<T: std::str::FromStr>(opts: &Flags, key: &str) -> Result<Option<T>, String> {
+    opts.get(key)
+        .map(|v| v.parse().map_err(|_| format!("--{key}: cannot parse {v:?}")))
+        .transpose()
+}
+
+fn config(opts: &Flags) -> Result<KgagConfig, String> {
+    let mut cfg = KgagConfig::default();
+    if let Some(e) = num_flag::<usize>(opts, "epochs")? {
+        cfg.epochs = e;
+    }
+    if let Some(s) = num_flag::<u64>(opts, "seed")? {
+        cfg.seed = s;
+    }
+    Ok(cfg)
+}
+
+fn cmd_stats(opts: &Flags) -> Result<(), String> {
+    let ds = dataset(opts)?;
+    let stats = ds.stats();
+    if opts.contains_key("json") {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&stats).map_err(|e| e.to_string())?
+        );
+    } else {
+        print!("{}", DatasetStats::table_rows(&[stats]));
+    }
+    Ok(())
+}
+
+fn train_and_report(ds: &GroupDataset, opts: &Flags) -> Result<Kgag, String> {
+    let cfg = config(opts)?;
+    let split = split_dataset(ds, 0x5eed);
+    let mut model = Kgag::new(ds, &split, cfg);
+    eprintln!(
+        "training on {} ({} groups, {} train pairs)...",
+        ds.name,
+        ds.num_groups(),
+        split.group.train.len()
+    );
+    let report = model.fit(&split);
+    eprintln!(
+        "done: group loss {:.4} -> {:.4}",
+        report.epochs.first().map(|e| e.group).unwrap_or(0.0),
+        report.epochs.last().map(|e| e.group).unwrap_or(0.0),
+    );
+    let ecfg = EvalConfig::default();
+    let val = eval_cases(ds, &split.group, EvalBucket::Validation);
+    let test = eval_cases(ds, &split.group, EvalBucket::Test);
+    let val_summary = model.evaluate(&val, &ecfg);
+    let test_summary = model.evaluate(&test, &ecfg);
+    if opts.contains_key("json") {
+        let payload = serde_json::json!({
+            "dataset": ds.name,
+            "validation": val_summary,
+            "test": test_summary,
+        });
+        println!("{}", serde_json::to_string_pretty(&payload).map_err(|e| e.to_string())?);
+    } else {
+        println!("validation  {val_summary}");
+        println!("test        {test_summary}");
+    }
+    if let Some(path) = opts.get("checkpoint") {
+        std::fs::write(path, model.save_checkpoint()).map_err(|e| e.to_string())?;
+        eprintln!("checkpoint written to {path}");
+    }
+    Ok(model)
+}
+
+fn cmd_train(opts: &Flags) -> Result<(), String> {
+    let ds = dataset(opts)?;
+    train_and_report(&ds, opts)?;
+    Ok(())
+}
+
+fn cmd_explain(opts: &Flags) -> Result<(), String> {
+    let ds = dataset(opts)?;
+    let group = num_flag::<u32>(opts, "group")?.ok_or("--group is required")?;
+    if group >= ds.num_groups() {
+        return Err(format!("group {group} out of range ({} groups)", ds.num_groups()));
+    }
+    let model = train_and_report(&ds, opts)?;
+    let item = match num_flag::<u32>(opts, "item")? {
+        Some(v) => v,
+        None => {
+            // default: the group's top-ranked item over the full catalog
+            let all: Vec<u32> = (0..ds.num_items).collect();
+            let scores = model.score_group_items(group, &all);
+            kgag_eval::top_k(&scores, 1)[0]
+        }
+    };
+    println!("\n{}", model.explain(group, item));
+    Ok(())
+}
+
+fn cmd_import(opts: &Flags) -> Result<(), String> {
+    let name = opts.get("name").cloned().unwrap_or_else(|| "imported".into());
+    let users = num_flag::<u32>(opts, "users")?.ok_or("--users is required")?;
+    let items = num_flag::<u32>(opts, "items")?.ok_or("--items is required")?;
+    let read = |key: &str| -> Result<String, String> {
+        let path = opts.get(key).ok_or(format!("--{key} is required"))?;
+        std::fs::read_to_string(path).map_err(|e| format!("--{key} {path}: {e}"))
+    };
+    let ds = kgag_data::import::load_dataset(
+        &name,
+        users,
+        items,
+        &read("interactions")?,
+        &read("kg")?,
+        &read("groups")?,
+    )
+    .map_err(|e| e.to_string())?;
+    eprintln!(
+        "loaded {}: {} users, {} items, {} groups (size {}), {} KG triples",
+        ds.name,
+        ds.num_users,
+        ds.num_items,
+        ds.num_groups(),
+        ds.group_size,
+        ds.kg.len()
+    );
+    train_and_report(&ds, opts)?;
+    Ok(())
+}

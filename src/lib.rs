@@ -1,0 +1,16 @@
+//! # kgag-suite
+//!
+//! Umbrella crate for the KGAG reproduction (ICDE 2021, "Knowledge-Aware
+//! Group Representation Learning for Group Recommendation"). Re-exports
+//! every workspace crate under one roof and hosts the runnable examples
+//! (`examples/`) and cross-crate integration tests (`tests/`).
+//!
+//! Start with the [`kgag`] crate docs for the model, [`kgag_data`] for
+//! the synthetic datasets, and `cargo run --example quickstart`.
+
+pub use kgag;
+pub use kgag_baselines;
+pub use kgag_data;
+pub use kgag_eval;
+pub use kgag_kg;
+pub use kgag_tensor;

@@ -1,0 +1,137 @@
+//! Cross-crate integration of the baseline models with the shared
+//! evaluation protocol.
+
+use kgag::harness::{eval_cases, EvalBucket};
+use kgag_baselines::{
+    AggregatedGroupScorer, BaselineConfig, Kgcn, KgcnConfig, MatrixFactorization, MfConfig, Mosan,
+    MosanConfig, Popularity, ScoreAggregator,
+};
+use kgag_data::movielens::{movielens_pair, MovieLensConfig, Scale};
+use kgag_data::split::{split_dataset, DatasetSplit};
+use kgag_data::GroupDataset;
+use kgag_eval::{evaluate_group_ranking, EvalConfig, GroupEvalCase};
+
+fn fixture() -> (GroupDataset, DatasetSplit, Vec<GroupEvalCase>) {
+    let (_, ds, _) = movielens_pair(&MovieLensConfig::at_scale(Scale::Tiny));
+    let split = split_dataset(&ds, 17);
+    let cases = eval_cases(&ds, &split.group, EvalBucket::Test);
+    (ds, split, cases)
+}
+
+#[test]
+fn all_baselines_beat_random_guessing_with_enough_epochs() {
+    let (ds, split, cases) = fixture();
+    let ecfg = EvalConfig::default();
+    // ~5 of 100+ candidates hit by chance; a weakly trained model should
+    // beat a clearly-below-chance floor
+    let chance = 0.02;
+
+    let mut mf = MatrixFactorization::new(
+        &ds,
+        MfConfig { epochs: 25, learning_rate: 0.03, ..Default::default() },
+    );
+    mf.fit(&split);
+    let s = evaluate_group_ranking(
+        &AggregatedGroupScorer::new(&mf, &ds.groups, ScoreAggregator::Average),
+        ds.num_items,
+        &cases,
+        &ecfg,
+    );
+    assert!(s.hit > chance, "CF+AVG hit {:.4}", s.hit);
+
+    let mut kgcn = Kgcn::new(
+        &ds,
+        KgcnConfig {
+            base: BaselineConfig { epochs: 15, learning_rate: 0.03, ..Default::default() },
+            ..Default::default()
+        },
+    );
+    kgcn.fit(&split);
+    let s = evaluate_group_ranking(
+        &AggregatedGroupScorer::new(&kgcn, &ds.groups, ScoreAggregator::Average),
+        ds.num_items,
+        &cases,
+        &ecfg,
+    );
+    assert!(s.hit > chance, "KGCN+AVG hit {:.4}", s.hit);
+
+    let mut mosan = Mosan::new(
+        &ds,
+        &split,
+        MosanConfig {
+            base: BaselineConfig { epochs: 15, learning_rate: 0.03, ..Default::default() },
+            transe: None,
+        },
+    );
+    mosan.fit(&split);
+    let s = evaluate_group_ranking(&mosan, ds.num_items, &cases, &ecfg);
+    assert!(s.hit > chance, "MoSAN hit {:.4}", s.hit);
+}
+
+#[test]
+fn aggregators_order_min_avg_max_pointwise() {
+    let (ds, split, _) = fixture();
+    let mut mf = MatrixFactorization::new(&ds, MfConfig { epochs: 3, ..Default::default() });
+    mf.fit(&split);
+    let items: Vec<u32> = (0..ds.num_items).step_by(13).collect();
+    let lm = AggregatedGroupScorer::new(&mf, &ds.groups, ScoreAggregator::LeastMisery);
+    let avg = AggregatedGroupScorer::new(&mf, &ds.groups, ScoreAggregator::Average);
+    let mp = AggregatedGroupScorer::new(&mf, &ds.groups, ScoreAggregator::MaxPleasure);
+    use kgag_eval::GroupScorer;
+    for g in 0..ds.num_groups().min(5) {
+        let (lo, mid, hi) = (lm.score(g, &items), avg.score(g, &items), mp.score(g, &items));
+        for i in 0..items.len() {
+            assert!(lo[i] <= mid[i] + 1e-6 && mid[i] <= hi[i] + 1e-6,
+                "LM ≤ AVG ≤ MP violated at group {g} item {i}");
+        }
+    }
+}
+
+#[test]
+fn popularity_is_group_invariant() {
+    let (ds, split, _) = fixture();
+    let pop = Popularity::fit(&split.user_train);
+    use kgag_eval::GroupScorer;
+    let items: Vec<u32> = (0..ds.num_items).collect();
+    assert_eq!(pop.score(0, &items), pop.score(1, &items));
+}
+
+#[test]
+fn mosan_transe_pretraining_changes_results() {
+    let (ds, split, cases) = fixture();
+    let ecfg = EvalConfig::default();
+    let base = BaselineConfig { epochs: 5, ..Default::default() };
+    let mut with = Mosan::new(
+        &ds,
+        &split,
+        MosanConfig {
+            base: base.clone(),
+            transe: Some(kgag_kg::transe::TransEConfig {
+                dim: base.dim,
+                epochs: 5,
+                ..Default::default()
+            }),
+        },
+    );
+    with.fit(&split);
+    let mut without = Mosan::new(&ds, &split, MosanConfig { base, transe: None });
+    without.fit(&split);
+    let a = evaluate_group_ranking(&with, ds.num_items, &cases, &ecfg);
+    let b = evaluate_group_ranking(&without, ds.num_items, &cases, &ecfg);
+    // not asserting which is better at tiny scale — only that the
+    // knowledge-aware initialization actually flows through
+    assert_ne!(a, b);
+}
+
+#[test]
+fn same_protocol_same_candidates_for_all_models() {
+    // two scorers that return identical scores must get identical metrics
+    // (the protocol's sampling must not depend on the scorer)
+    let (ds, _, cases) = fixture();
+    let ecfg = EvalConfig::default();
+    let constant_a = |_: u32, items: &[u32]| vec![0.5; items.len()];
+    let constant_b = |_: u32, items: &[u32]| vec![0.5; items.len()];
+    let a = evaluate_group_ranking(&constant_a, ds.num_items, &cases, &ecfg);
+    let b = evaluate_group_ranking(&constant_b, ds.num_items, &cases, &ecfg);
+    assert_eq!(a, b);
+}

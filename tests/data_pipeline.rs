@@ -1,0 +1,120 @@
+//! Integration of the dataset generators with splits, samplers and the
+//! collaborative KG.
+
+use kgag_data::movielens::{movielens_pair, MovieLensConfig, Scale};
+use kgag_data::split::{split_dataset, NegativeSampler};
+use kgag_data::yelp::{yelp, YelpConfig};
+use kgag_kg::paths::distance;
+use kgag_tensor::rng::SplitMix64;
+
+#[test]
+fn trio_reproduces_table1_orderings() {
+    let (_, rand, simi) = movielens_pair(&MovieLensConfig::at_scale(Scale::Tiny));
+    let yl = yelp(&YelpConfig::at_scale(Scale::Tiny));
+    let (r, s, y) = (rand.stats(), simi.stats(), yl.stats());
+    // group sizes 8 / 5 / 3
+    assert_eq!(r.group_size, 8);
+    assert_eq!(s.group_size, 5);
+    assert_eq!(y.group_size, 3);
+    // interactions per group: Simi > Rand > Yelp ≈ 1
+    assert!(s.inter_per_group > r.inter_per_group);
+    assert!(r.inter_per_group > y.inter_per_group);
+    assert!(y.inter_per_group < 2.0);
+}
+
+#[test]
+fn split_partitions_group_positives_exactly() {
+    let (_, ds, _) = movielens_pair(&MovieLensConfig::at_scale(Scale::Tiny));
+    let split = split_dataset(&ds, 23);
+    let total = split.group.train.len() + split.group.val.len() + split.group.test.len();
+    assert_eq!(total, ds.group_pos.len());
+    // every pair is a real positive
+    for &(g, v) in split.group.train.iter().chain(&split.group.val).chain(&split.group.test) {
+        assert!(ds.group_pos.contains(g, v));
+    }
+}
+
+#[test]
+fn leakage_filter_removes_member_edges_to_heldout_items() {
+    let (_, ds, _) = movielens_pair(&MovieLensConfig::at_scale(Scale::Tiny));
+    let split = split_dataset(&ds, 29);
+    for &(g, v) in split.group.val.iter().chain(&split.group.test) {
+        for &m in ds.members(g) {
+            assert!(
+                !split.user_train.contains(m, v),
+                "user {m} keeps an interaction with held-out item {v} of group {g}"
+            );
+        }
+    }
+    // but the filter is minimal: it only removes blocked pairs
+    let removed = ds.user_pos.len() - split.user_train.len();
+    let max_removable: usize = split
+        .group
+        .val
+        .iter()
+        .chain(&split.group.test)
+        .map(|&(g, _)| ds.members(g).len())
+        .sum();
+    assert!(removed <= max_removable, "filter removed more than it could have");
+}
+
+#[test]
+fn negative_sampler_never_returns_positives() {
+    let (_, ds, _) = movielens_pair(&MovieLensConfig::at_scale(Scale::Tiny));
+    let sampler = NegativeSampler::from_interactions(&ds.group_pos);
+    let mut rng = SplitMix64::new(31);
+    for g in 0..ds.num_groups().min(20) {
+        for _ in 0..50 {
+            let v = sampler.sample(g, &mut rng);
+            assert!(!ds.group_pos.contains(g, v));
+        }
+    }
+}
+
+#[test]
+fn group_members_are_connected_in_collaborative_kg() {
+    // the premise of the whole model: co-preferring users are close in
+    // the collaborative KG. Members of a group share at least one chosen
+    // item, so they must be within a few hops of each other.
+    let (_, ds, _) = movielens_pair(&MovieLensConfig::at_scale(Scale::Tiny));
+    let ckg = ds.collaborative_kg();
+    let mut within_4 = 0usize;
+    let mut total = 0usize;
+    for g in 0..ds.num_groups().min(15) {
+        let m = ds.members(g);
+        let a = ckg.user_entity(m[0]);
+        let b = ckg.user_entity(m[1]);
+        total += 1;
+        if distance(ckg.graph(), a, b).is_some_and(|d| d <= 4) {
+            within_4 += 1;
+        }
+    }
+    assert!(
+        within_4 * 10 >= total * 8,
+        "only {within_4}/{total} member pairs within 4 hops"
+    );
+}
+
+#[test]
+fn yelp_groups_have_mostly_single_positives() {
+    let ds = yelp(&YelpConfig::at_scale(Scale::Tiny));
+    let singles = (0..ds.num_groups())
+        .filter(|&g| ds.group_pos.items_of(g).len() == 1)
+        .count();
+    assert!(
+        singles * 10 >= ds.num_groups() as usize * 7,
+        "only {singles}/{} Yelp groups have a single positive",
+        ds.num_groups()
+    );
+}
+
+#[test]
+fn generation_is_reproducible_across_calls() {
+    let cfg = MovieLensConfig::at_scale(Scale::Tiny);
+    let (_, a, _) = movielens_pair(&cfg);
+    let (_, b, _) = movielens_pair(&cfg);
+    assert_eq!(a.num_groups(), b.num_groups());
+    assert_eq!(a.group_pos.pairs(), b.group_pos.pairs());
+    assert_eq!(a.user_pos.pairs(), b.user_pos.pairs());
+    assert_eq!(a.kg.len(), b.kg.len());
+}
