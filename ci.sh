@@ -1,0 +1,29 @@
+#!/usr/bin/env sh
+# Offline tier-1 gate for the KGAG workspace.
+#
+# The workspace has zero external dependencies (see DESIGN.md §8), so the
+# whole gate runs with --offline: if anyone reintroduces a crates.io
+# dependency, this script fails on the first cargo invocation instead of
+# only on a network-less machine.
+#
+# Usage:
+#   ./ci.sh          # build (release) + full test suite
+#   ./ci.sh --bench  # additionally smoke-run the micro-benchmarks
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "==> cargo build --release --offline"
+cargo build --release --offline --workspace
+
+echo "==> cargo test --offline"
+cargo test -q --offline --workspace
+
+if [ "${1:-}" = "--bench" ]; then
+    # one measured iteration per benchmark: checks the harness and the
+    # bench code paths, not the timings
+    echo "==> bench smoke (KGAG_BENCH_ITERS=1)"
+    KGAG_BENCH_ITERS=1 KGAG_BENCH_WARMUP=0 cargo bench --offline -p kgag-bench
+fi
+
+echo "==> tier-1 gate passed"

@@ -16,7 +16,7 @@ pub trait IndividualScorer {
 }
 
 /// A predefined static aggregation strategy.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum ScoreAggregator {
     /// Mean of member scores (AVG).
     Average,

@@ -31,7 +31,7 @@ use kgag_tensor::{init, NodeId, ParamId, ParamStore, Tape, Tensor};
 
 /// KGCN hyper-parameters: the shared baseline set plus the propagation
 /// depth/breadth.
-#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Debug)]
 pub struct KgcnConfig {
     /// Shared baseline hyper-parameters.
     pub base: BaselineConfig,

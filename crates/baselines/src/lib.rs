@@ -35,7 +35,7 @@ pub use popularity::Popularity;
 pub use pseudo_user::PseudoUserGroups;
 
 /// Hyper-parameters shared by the trained baselines.
-#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Debug)]
 pub struct BaselineConfig {
     /// Embedding dimension.
     pub dim: usize,

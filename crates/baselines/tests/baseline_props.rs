@@ -1,0 +1,155 @@
+//! Property-based tests of the static score-aggregation strategies: the
+//! aggregate stays in the members' hull, is permutation-invariant and
+//! monotone, and the group-scorer adaptor matches per-item manual
+//! aggregation.
+
+use kgag_baselines::aggregators::{
+    AggregatedGroupScorer, IndividualScorer, ScoreAggregator,
+};
+use kgag_eval::GroupScorer;
+use kgag_tensor::rng::{derive_seed, SplitMix64};
+use kgag_testkit::check::Runner;
+use kgag_testkit::gen::{f32_in, u64_in, usize_in, vec_of};
+use kgag_testkit::{prop_assert, prop_assert_eq};
+
+/// Deterministic individual scorer: score(u, v) is a pure function of
+/// (seed, u, v), so every property run is reproducible.
+struct HashScorer {
+    seed: u64,
+}
+
+impl IndividualScorer for HashScorer {
+    fn score_user(&self, user: u32, items: &[u32]) -> Vec<f32> {
+        items
+            .iter()
+            .map(|&v| {
+                let s = derive_seed(self.seed, &format!("u{user}-v{v}"));
+                SplitMix64::new(s).next_f32()
+            })
+            .collect()
+    }
+}
+
+/// The aggregate of member scores always lies inside the coordinate
+/// hull: LM is the min, MP is the max, AVG between the two.
+#[test]
+fn aggregate_stays_in_member_hull() {
+    let gen = vec_of(f32_in(-5.0..5.0), 1..12);
+    Runner::new("aggregate_stays_in_member_hull").cases(64).run(&gen, |scores| {
+        let lo = scores.iter().copied().fold(f32::INFINITY, f32::min);
+        let hi = scores.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        prop_assert_eq!(ScoreAggregator::LeastMisery.aggregate(scores), lo);
+        prop_assert_eq!(ScoreAggregator::MaxPleasure.aggregate(scores), hi);
+        let avg = ScoreAggregator::Average.aggregate(scores);
+        prop_assert!(avg >= lo - 1e-5 && avg <= hi + 1e-5, "AVG {avg} outside [{lo}, {hi}]");
+        Ok(())
+    });
+}
+
+/// Aggregation is invariant under any permutation of the members.
+#[test]
+fn aggregate_is_permutation_invariant() {
+    let gen = (vec_of(f32_in(-5.0..5.0), 1..10), u64_in(0..1000));
+    Runner::new("aggregate_is_permutation_invariant").cases(64).run(
+        &gen,
+        |(scores, seed)| {
+            let mut shuffled = scores.clone();
+            SplitMix64::new(*seed).shuffle(&mut shuffled);
+            for agg in ScoreAggregator::all() {
+                let a = agg.aggregate(scores);
+                let b = agg.aggregate(&shuffled);
+                // AVG reorders a float sum; allow rounding slack
+                prop_assert!(
+                    (a - b).abs() < 1e-5,
+                    "{} not permutation-invariant: {a} vs {b}",
+                    agg.label()
+                );
+            }
+            Ok(())
+        },
+    );
+}
+
+/// Raising every member's score never lowers any aggregate.
+#[test]
+fn aggregate_is_monotone_in_member_scores() {
+    let gen = (vec_of(f32_in(-5.0..5.0), 1..10), vec_of(f32_in(0.0..2.0), 1..10));
+    Runner::new("aggregate_is_monotone_in_member_scores").cases(64).run(
+        &gen,
+        |(scores, deltas)| {
+            let n = scores.len().min(deltas.len());
+            let base = &scores[..n];
+            let raised: Vec<f32> =
+                base.iter().zip(&deltas[..n]).map(|(s, d)| s + d).collect();
+            for agg in ScoreAggregator::all() {
+                let a = agg.aggregate(base);
+                let b = agg.aggregate(&raised);
+                prop_assert!(
+                    b >= a - 1e-5,
+                    "{} decreased after raising scores: {a} -> {b}",
+                    agg.label()
+                );
+            }
+            Ok(())
+        },
+    );
+}
+
+/// The group-scorer adaptor equals manual per-item aggregation of the
+/// individual scorer's outputs, for every strategy.
+#[test]
+fn adaptor_matches_manual_aggregation() {
+    let gen = (u64_in(0..1000), usize_in(1..6), usize_in(1..8));
+    Runner::new("adaptor_matches_manual_aggregation").cases(64).run(
+        &gen,
+        |&(seed, group_size, num_items)| {
+            let model = HashScorer { seed };
+            let members: Vec<u32> = (0..group_size as u32).collect();
+            let groups = vec![members.clone()];
+            let items: Vec<u32> = (0..num_items as u32).collect();
+            for agg in ScoreAggregator::all() {
+                let scorer = AggregatedGroupScorer::new(&model, &groups, agg);
+                let got = scorer.score(0, &items);
+                prop_assert_eq!(got.len(), items.len());
+                for (i, &v) in items.iter().enumerate() {
+                    let col: Vec<f32> = members
+                        .iter()
+                        .map(|&u| model.score_user(u, &[v])[0])
+                        .collect();
+                    let want = agg.aggregate(&col);
+                    prop_assert!(
+                        (got[i] - want).abs() < 1e-6,
+                        "{} item {v}: {} vs manual {want}",
+                        agg.label(),
+                        got[i]
+                    );
+                }
+            }
+            Ok(())
+        },
+    );
+}
+
+/// AVG scales linearly: aggregating `c * scores` gives `c * AVG` —
+/// and LM/MP commute with positive scaling too.
+#[test]
+fn aggregate_commutes_with_positive_scaling() {
+    let gen = (vec_of(f32_in(-5.0..5.0), 1..10), f32_in(0.1..4.0));
+    Runner::new("aggregate_commutes_with_positive_scaling").cases(64).run(
+        &gen,
+        |(scores, c)| {
+            let c = *c;
+            let scaled: Vec<f32> = scores.iter().map(|s| s * c).collect();
+            for agg in ScoreAggregator::all() {
+                let a = agg.aggregate(&scaled);
+                let b = c * agg.aggregate(scores);
+                prop_assert!(
+                    (a - b).abs() < 1e-4 * (1.0 + b.abs()),
+                    "{}: {a} vs {b}",
+                    agg.label()
+                );
+            }
+            Ok(())
+        },
+    );
+}

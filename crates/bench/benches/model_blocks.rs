@@ -2,7 +2,6 @@
 //! training step, group scoring, and the baselines' steps for scale
 //! comparison.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use kgag::attention::group_attention;
 use kgag::model::ModelParams;
 use kgag::{Kgag, KgagConfig};
@@ -11,6 +10,7 @@ use kgag_data::movielens::{movielens_rand, MovieLensConfig, Scale};
 use kgag_data::split::{split_dataset, DatasetSplit};
 use kgag_data::GroupDataset;
 use kgag_tensor::{init, ParamStore, Tape};
+use kgag_testkit::bench::{black_box, BenchSuite};
 
 fn tiny() -> (GroupDataset, DatasetSplit) {
     let ds = movielens_rand(&MovieLensConfig::at_scale(Scale::Tiny));
@@ -18,9 +18,7 @@ fn tiny() -> (GroupDataset, DatasetSplit) {
     (ds, split)
 }
 
-fn bench_attention(c: &mut Criterion) {
-    let mut g = c.benchmark_group("attention_block");
-    g.sample_size(20);
+fn bench_attention(suite: &mut BenchSuite) {
     let (ds, split) = tiny();
     let ckg = ds.collaborative_kg_from(&split.user_train);
     let config = KgagConfig::default();
@@ -28,57 +26,48 @@ fn bench_attention(c: &mut Criterion) {
     let params = ModelParams::register(&mut store, &ckg, &config, 8);
     let members = init::uniform(128 * 8, config.dim, 0.5, 2);
     let items = init::uniform(128, config.dim, 0.5, 3);
-    g.bench_function("SP+PI fwd+bwd b128 L8", |bench| {
-        bench.iter(|| {
-            let mut tape = Tape::new(&store);
-            let m = tape.constant(members.clone());
-            let v = tape.constant(items.clone());
-            let out = group_attention(&mut tape, &params, &config, m, v, 8);
-            let sq = tape.mul(out.group_rep, out.group_rep);
-            let loss = tape.mean_all(sq);
-            black_box(tape.backward(loss))
-        });
+    suite.bench("attention SP+PI fwd+bwd b128 L8", || {
+        let mut tape = Tape::new(&store);
+        let m = tape.constant(members.clone());
+        let v = tape.constant(items.clone());
+        let out = group_attention(&mut tape, &params, &config, m, v, 8);
+        let sq = tape.mul(out.group_rep, out.group_rep);
+        let loss = tape.mean_all(sq);
+        black_box(tape.backward(loss));
     });
-    g.finish();
 }
 
-fn bench_training_epoch(c: &mut Criterion) {
-    let mut g = c.benchmark_group("training");
-    g.sample_size(10);
+fn bench_training_epoch(suite: &mut BenchSuite) {
     let (ds, split) = tiny();
-    g.bench_function("KGAG 1 epoch (tiny)", |bench| {
-        bench.iter(|| {
-            let mut model =
-                Kgag::new(&ds, &split, KgagConfig { epochs: 1, ..Default::default() });
-            black_box(model.fit(&split))
-        });
+    suite.bench_iters("KGAG 1 epoch (tiny)", 5, || {
+        let mut model = Kgag::new(&ds, &split, KgagConfig { epochs: 1, ..Default::default() });
+        black_box(model.fit(&split));
     });
-    g.bench_function("MF 1 epoch (tiny)", |bench| {
-        bench.iter(|| {
-            let mut model =
-                MatrixFactorization::new(&ds, MfConfig { epochs: 1, ..Default::default() });
-            black_box(model.fit(&split))
-        });
+    suite.bench_iters("MF 1 epoch (tiny)", 5, || {
+        let mut model =
+            MatrixFactorization::new(&ds, MfConfig { epochs: 1, ..Default::default() });
+        black_box(model.fit(&split));
     });
-    g.finish();
 }
 
-fn bench_scoring(c: &mut Criterion) {
-    let mut g = c.benchmark_group("inference");
-    g.sample_size(10);
+fn bench_scoring(suite: &mut BenchSuite) {
     let (ds, split) = tiny();
     let mut model = Kgag::new(&ds, &split, KgagConfig { epochs: 1, ..Default::default() });
     model.fit(&split);
     let items: Vec<u32> = (0..ds.num_items).collect();
-    g.bench_function(format!("score 1 group x {} items", ds.num_items), |bench| {
-        bench.iter(|| black_box(model.score_group_items(0, &items)));
+    suite.bench_iters(&format!("score 1 group x {} items", ds.num_items), 10, || {
+        black_box(model.score_group_items(0, &items));
     });
-    g.bench_function("explain 1 pair", |bench| {
-        let v = ds.group_pos.items_of(0)[0];
-        bench.iter(|| black_box(model.explain(0, v)));
+    let v = ds.group_pos.items_of(0)[0];
+    suite.bench_iters("explain 1 pair", 10, || {
+        black_box(model.explain(0, v));
     });
-    g.finish();
 }
 
-criterion_group!(benches, bench_attention, bench_training_epoch, bench_scoring);
-criterion_main!(benches);
+fn main() {
+    let mut suite = BenchSuite::new("model_blocks");
+    bench_attention(&mut suite);
+    bench_training_epoch(&mut suite);
+    bench_scoring(&mut suite);
+    suite.finish();
+}

@@ -4,7 +4,6 @@
 //! GCN and GraphSage aggregators (Table IV's cost side) and the
 //! receptive-field sampler.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use kgag::config::Aggregator;
 use kgag::model::PropagationParams;
 use kgag::propagation::propagate;
@@ -13,8 +12,13 @@ use kgag_data::movielens::{movielens_rand, MovieLensConfig, Scale};
 use kgag_data::split::split_dataset;
 use kgag_kg::{CollaborativeKg, NeighborSampler};
 use kgag_tensor::{init, ParamStore, Tape};
+use kgag_testkit::bench::{black_box, BenchSuite};
 
-fn fixture(dim: usize, layers: usize, aggregator: Aggregator) -> (CollaborativeKg, ParamStore, PropagationParams) {
+fn fixture(
+    dim: usize,
+    layers: usize,
+    aggregator: Aggregator,
+) -> (CollaborativeKg, ParamStore, PropagationParams) {
     let ds = movielens_rand(&MovieLensConfig::at_scale(Scale::Tiny));
     let split = split_dataset(&ds, 1);
     let ckg = ds.collaborative_kg_from(&split.user_train);
@@ -29,63 +33,55 @@ fn fixture(dim: usize, layers: usize, aggregator: Aggregator) -> (CollaborativeK
     (ckg, store, params)
 }
 
-fn bench_sampler(c: &mut Criterion) {
-    let mut g = c.benchmark_group("receptive_field");
-    g.sample_size(20);
+fn bench_sampler(suite: &mut BenchSuite) {
     let (ckg, _, _) = fixture(16, 2, Aggregator::Gcn);
     let targets: Vec<u32> = (0..256u32).map(|i| i % ckg.num_entities() as u32).collect();
     for &k in &[4usize, 8] {
         let sampler = NeighborSampler::new(k, 5);
-        g.bench_function(format!("256 targets K={k} H=2"), |bench| {
-            bench.iter(|| black_box(sampler.receptive_field(ckg.graph(), &targets, 2, 0)));
+        suite.bench(&format!("receptive_field 256 targets K={k} H=2"), || {
+            black_box(sampler.receptive_field(ckg.graph(), &targets, 2, 0));
         });
     }
-    g.finish();
 }
 
-fn bench_depth_sweep(c: &mut Criterion) {
+fn bench_depth_sweep(suite: &mut BenchSuite) {
     // the O(K^H) blow-up of the paper's complexity analysis
-    let mut g = c.benchmark_group("propagate_depth");
-    g.sample_size(10);
     for &h in &[1usize, 2, 3] {
         let (ckg, store, params) = fixture(16, h, Aggregator::Gcn);
         let sampler = NeighborSampler::new(4, 5);
         let targets: Vec<u32> = (0..128u32).collect();
         let rf = sampler.receptive_field(ckg.graph(), &targets, h, 0);
         let query = init::uniform(128, 16, 0.5, 3);
-        g.bench_function(format!("H={h} fwd+bwd b128 d16 K4"), |bench| {
-            bench.iter(|| {
-                let mut tape = Tape::new(&store);
-                let q = tape.constant(query.clone());
-                let out = propagate(&mut tape, &params, Aggregator::Gcn, &rf, q);
-                let sq = tape.mul(out, out);
-                let loss = tape.mean_all(sq);
-                black_box(tape.backward(loss))
-            });
+        suite.bench_iters(&format!("propagate H={h} fwd+bwd b128 d16 K4"), 10, || {
+            let mut tape = Tape::new(&store);
+            let q = tape.constant(query.clone());
+            let out = propagate(&mut tape, &params, Aggregator::Gcn, &rf, q);
+            let sq = tape.mul(out, out);
+            let loss = tape.mean_all(sq);
+            black_box(tape.backward(loss));
         });
     }
-    g.finish();
 }
 
-fn bench_aggregators(c: &mut Criterion) {
-    let mut g = c.benchmark_group("aggregator_cost");
-    g.sample_size(10);
+fn bench_aggregators(suite: &mut BenchSuite) {
     for (name, agg) in [("GCN", Aggregator::Gcn), ("GraphSage", Aggregator::GraphSage)] {
         let (ckg, store, params) = fixture(16, 2, agg);
         let sampler = NeighborSampler::new(4, 5);
         let targets: Vec<u32> = (0..128u32).collect();
         let rf = sampler.receptive_field(ckg.graph(), &targets, 2, 0);
         let query = init::uniform(128, 16, 0.5, 3);
-        g.bench_function(name, |bench| {
-            bench.iter(|| {
-                let mut tape = Tape::new(&store);
-                let q = tape.constant(query.clone());
-                black_box(propagate(&mut tape, &params, agg, &rf, q))
-            });
+        suite.bench_iters(&format!("aggregator {name}"), 10, || {
+            let mut tape = Tape::new(&store);
+            let q = tape.constant(query.clone());
+            black_box(propagate(&mut tape, &params, agg, &rf, q));
         });
     }
-    g.finish();
 }
 
-criterion_group!(benches, bench_sampler, bench_depth_sweep, bench_aggregators);
-criterion_main!(benches);
+fn main() {
+    let mut suite = BenchSuite::new("propagation");
+    bench_sampler(&mut suite);
+    bench_depth_sweep(&mut suite);
+    bench_aggregators(&mut suite);
+    suite.finish();
+}

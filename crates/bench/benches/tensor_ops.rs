@@ -1,102 +1,84 @@
 //! Micro-benchmarks of the tensor/autodiff substrate: the hot ops of
 //! the propagation and attention blocks, forward and backward.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use kgag_tensor::{init, ParamStore, Tape, Tensor};
+use kgag_testkit::bench::{black_box, BenchSuite};
 
-fn bench_matmul(c: &mut Criterion) {
-    let mut g = c.benchmark_group("matmul");
-    g.sample_size(20);
+fn bench_matmul(suite: &mut BenchSuite) {
     for &n in &[32usize, 128, 512] {
         let a = init::uniform(n, 32, 1.0, 1);
         let b = init::uniform(32, 32, 1.0, 2);
-        g.bench_function(format!("{n}x32 * 32x32"), |bench| {
-            bench.iter(|| black_box(a.matmul(&b)));
+        suite.bench(&format!("matmul {n}x32 * 32x32"), || {
+            black_box(a.matmul(&b));
         });
     }
-    g.finish();
 }
 
-fn bench_gather_backward(c: &mut Criterion) {
-    let mut g = c.benchmark_group("gather+backward");
-    g.sample_size(20);
+fn bench_gather_backward(suite: &mut BenchSuite) {
     let mut store = ParamStore::new();
     let emb = store.register("emb", init::uniform(10_000, 32, 0.1, 3));
     for &rows in &[256usize, 2048] {
         let idx: Vec<u32> = (0..rows as u32).map(|i| (i * 37) % 10_000).collect();
-        g.bench_function(format!("{rows} rows of 10k x 32"), |bench| {
-            bench.iter(|| {
-                let mut tape = Tape::new(&store);
-                let x = tape.gather(emb, &idx);
-                let s = tape.sum_all(x);
-                black_box(tape.backward(s))
-            });
+        suite.bench(&format!("gather+backward {rows} rows of 10k x 32"), || {
+            let mut tape = Tape::new(&store);
+            let x = tape.gather(emb, &idx);
+            let s = tape.sum_all(x);
+            black_box(tape.backward(s));
         });
     }
-    g.finish();
 }
 
-fn bench_grouped_ops(c: &mut Criterion) {
-    let mut g = c.benchmark_group("grouped_ops");
-    g.sample_size(20);
+fn bench_grouped_ops(suite: &mut BenchSuite) {
     let store = ParamStore::new();
     let rows = 4096usize;
     let k = 4usize;
     let logits = Tensor::from_vec(rows, 1, (0..rows).map(|i| (i % 13) as f32 * 0.1).collect());
     let values = init::uniform(rows, 32, 1.0, 7);
-    g.bench_function("softmax_groups 4096/4", |bench| {
-        bench.iter(|| {
-            let mut tape = Tape::new(&store);
-            let l = tape.constant(logits.clone());
-            black_box(tape.softmax_groups(l, k))
-        });
+    suite.bench("softmax_groups 4096/4", || {
+        let mut tape = Tape::new(&store);
+        let l = tape.constant(logits.clone());
+        black_box(tape.softmax_groups(l, k));
     });
-    g.bench_function("group_weighted_sum 4096x32/4", |bench| {
-        bench.iter(|| {
-            let mut tape = Tape::new(&store);
-            let l = tape.constant(logits.clone());
-            let w = tape.softmax_groups(l, k);
-            let v = tape.constant(values.clone());
-            black_box(tape.group_weighted_sum(w, v, k))
-        });
+    suite.bench("group_weighted_sum 4096x32/4", || {
+        let mut tape = Tape::new(&store);
+        let l = tape.constant(logits.clone());
+        let w = tape.softmax_groups(l, k);
+        let v = tape.constant(values.clone());
+        black_box(tape.group_weighted_sum(w, v, k));
     });
-    g.bench_function("peer_concat 1024x32/8", |bench| {
-        let members = init::uniform(1024, 32, 1.0, 9);
-        bench.iter(|| {
-            let mut tape = Tape::new(&store);
-            let m = tape.constant(members.clone());
-            black_box(tape.peer_concat(m, 8))
-        });
+    let members = init::uniform(1024, 32, 1.0, 9);
+    suite.bench("peer_concat 1024x32/8", || {
+        let mut tape = Tape::new(&store);
+        let m = tape.constant(members.clone());
+        black_box(tape.peer_concat(m, 8));
     });
-    g.finish();
 }
 
-fn bench_losses(c: &mut Criterion) {
-    let mut g = c.benchmark_group("losses");
-    g.sample_size(30);
+fn bench_losses(suite: &mut BenchSuite) {
     let store = ParamStore::new();
     let pos = init::uniform(512, 1, 2.0, 11);
     let neg = init::uniform(512, 1, 2.0, 12);
-    g.bench_function("margin_loss fwd+bwd b512", |bench| {
-        bench.iter(|| {
-            let mut tape = Tape::new(&store);
-            let p = tape.constant(pos.clone());
-            let n = tape.constant(neg.clone());
-            let l = kgag::loss::margin_group_loss(&mut tape, p, n, 0.4);
-            black_box(tape.backward(l))
-        });
+    suite.bench("margin_loss fwd+bwd b512", || {
+        let mut tape = Tape::new(&store);
+        let p = tape.constant(pos.clone());
+        let n = tape.constant(neg.clone());
+        let l = kgag::loss::margin_group_loss(&mut tape, p, n, 0.4);
+        black_box(tape.backward(l));
     });
-    g.bench_function("bpr_loss fwd+bwd b512", |bench| {
-        bench.iter(|| {
-            let mut tape = Tape::new(&store);
-            let p = tape.constant(pos.clone());
-            let n = tape.constant(neg.clone());
-            let l = kgag::loss::bpr_group_loss(&mut tape, p, n);
-            black_box(tape.backward(l))
-        });
+    suite.bench("bpr_loss fwd+bwd b512", || {
+        let mut tape = Tape::new(&store);
+        let p = tape.constant(pos.clone());
+        let n = tape.constant(neg.clone());
+        let l = kgag::loss::bpr_group_loss(&mut tape, p, n);
+        black_box(tape.backward(l));
     });
-    g.finish();
 }
 
-criterion_group!(benches, bench_matmul, bench_gather_backward, bench_grouped_ops, bench_losses);
-criterion_main!(benches);
+fn main() {
+    let mut suite = BenchSuite::new("tensor_ops");
+    bench_matmul(&mut suite);
+    bench_gather_backward(&mut suite);
+    bench_grouped_ops(&mut suite);
+    bench_losses(&mut suite);
+    suite.finish();
+}

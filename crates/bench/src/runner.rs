@@ -7,6 +7,7 @@ use kgag_data::split::{split_dataset, DatasetSplit};
 use kgag_data::yelp::{yelp, YelpConfig};
 use kgag_data::GroupDataset;
 use kgag_eval::{EvalConfig, GroupEvalCase, MetricSummary};
+use kgag_testkit::json::{write_json_file, Json, ToJson};
 
 /// The split seed used by every experiment (fixed for comparability).
 pub const SPLIT_SEED: u64 = 0x5eed;
@@ -74,7 +75,7 @@ pub fn run_kgag(ds: &GroupDataset, prep: &Prepared, config: KgagConfig) -> Metri
 }
 
 /// One row of a results table.
-#[derive(Clone, Debug, serde::Serialize)]
+#[derive(Clone, Debug)]
 pub struct ResultRow {
     /// Method label ("KGAG", "CF+LM", …).
     pub method: String,
@@ -88,6 +89,19 @@ pub struct ResultRow {
     pub ndcg5: f64,
     /// Groups evaluated.
     pub evaluated: usize,
+}
+
+impl ToJson for ResultRow {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("method", self.method.to_json()),
+            ("dataset", self.dataset.to_json()),
+            ("rec5", self.rec5.to_json()),
+            ("hit5", self.hit5.to_json()),
+            ("ndcg5", self.ndcg5.to_json()),
+            ("evaluated", self.evaluated.to_json()),
+        ])
+    }
 }
 
 impl ResultRow {
@@ -139,22 +153,10 @@ pub fn print_grid(rows: &[ResultRow]) {
 }
 
 /// Write a JSON artifact under `results/` (created on demand).
-pub fn write_json<T: serde::Serialize>(name: &str, value: &T) {
-    let dir = std::path::Path::new("results");
-    if let Err(e) = std::fs::create_dir_all(dir) {
-        eprintln!("warning: cannot create results/: {e}");
-        return;
-    }
-    let path = dir.join(format!("{name}.json"));
-    match serde_json::to_string_pretty(value) {
-        Ok(s) => {
-            if let Err(e) = std::fs::write(&path, s) {
-                eprintln!("warning: cannot write {}: {e}", path.display());
-            } else {
-                println!("\n[results written to {}]", path.display());
-            }
-        }
-        Err(e) => eprintln!("warning: cannot serialise {name}: {e}"),
+pub fn write_json<T: ToJson>(name: &str, value: &T) {
+    match write_json_file(std::path::Path::new("results"), name, value) {
+        Ok(path) => println!("\n[results written to {}]", path.display()),
+        Err(e) => eprintln!("warning: cannot write results/{name}.json: {e}"),
     }
 }
 

@@ -1,7 +1,9 @@
 //! KGAG hyper-parameters and ablation switches.
 
+use kgag_testkit::json::{Json, ToJson};
+
 /// Aggregation function of the representation-update step (Eq. 4–6).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Aggregator {
     /// `σ(W(e + e_N) + b)` — Eq. 5. The paper's best (Table IV).
     Gcn,
@@ -10,7 +12,7 @@ pub enum Aggregator {
 }
 
 /// Pairwise group ranking loss (optimization block).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum GroupLoss {
     /// The paper's margin loss (Eq. 17): requires
     /// `σ(ŷ_pos) − σ(ŷ_neg) ≥ M`.
@@ -19,8 +21,32 @@ pub enum GroupLoss {
     Bpr,
 }
 
+impl ToJson for Aggregator {
+    fn to_json(&self) -> Json {
+        Json::Str(
+            match self {
+                Aggregator::Gcn => "Gcn",
+                Aggregator::GraphSage => "GraphSage",
+            }
+            .to_owned(),
+        )
+    }
+}
+
+impl ToJson for GroupLoss {
+    fn to_json(&self) -> Json {
+        Json::Str(
+            match self {
+                GroupLoss::Margin => "Margin",
+                GroupLoss::Bpr => "Bpr",
+            }
+            .to_owned(),
+        )
+    }
+}
+
 /// Full configuration of a KGAG model and its trainer.
-#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Debug)]
 pub struct KgagConfig {
     /// Representation dimension `d` (paper sweeps 16–64, Fig. 5).
     pub dim: usize,
@@ -104,6 +130,33 @@ impl Default for KgagConfig {
             residual: true,
             seed: 0x4a6,
         }
+    }
+}
+
+impl ToJson for KgagConfig {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("dim", self.dim.to_json()),
+            ("layers", self.layers.to_json()),
+            ("neighbor_k", self.neighbor_k.to_json()),
+            ("aggregator", self.aggregator.to_json()),
+            ("group_loss", self.group_loss.to_json()),
+            ("margin", self.margin.to_json()),
+            ("beta", self.beta.to_json()),
+            ("lambda", self.lambda.to_json()),
+            ("attention_decay", self.attention_decay.to_json()),
+            ("learning_rate", self.learning_rate.to_json()),
+            ("epochs", self.epochs.to_json()),
+            ("batch_size", self.batch_size.to_json()),
+            ("user_batch_size", self.user_batch_size.to_json()),
+            ("use_kg", self.use_kg.to_json()),
+            ("use_sp", self.use_sp.to_json()),
+            ("use_pi", self.use_pi.to_json()),
+            ("eval_neighbor_k", self.eval_neighbor_k.to_json()),
+            ("propagation_weight", self.propagation_weight.to_json()),
+            ("residual", self.residual.to_json()),
+            ("seed", self.seed.to_json()),
+        ])
     }
 }
 

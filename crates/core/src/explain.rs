@@ -7,8 +7,10 @@
 //! plus the final score, and renders as the bar-style report used in the
 //! paper's case study.
 
+use kgag_testkit::json::{Json, ToJson};
+
 /// The attention values behind one group–item prediction.
-#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Debug)]
 pub struct GroupExplanation {
     /// Group id.
     pub group: u32,
@@ -24,6 +26,20 @@ pub struct GroupExplanation {
     pub pi: Option<Vec<f32>>,
     /// Final prediction score `σ(g · v)`.
     pub score: f32,
+}
+
+impl ToJson for GroupExplanation {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("group", self.group.to_json()),
+            ("item", self.item.to_json()),
+            ("members", self.members.to_json()),
+            ("alpha", self.alpha.to_json()),
+            ("sp", self.sp.to_json()),
+            ("pi", self.pi.to_json()),
+            ("score", self.score.to_json()),
+        ])
+    }
 }
 
 impl GroupExplanation {

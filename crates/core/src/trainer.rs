@@ -24,9 +24,10 @@ use kgag_kg::{CollaborativeKg, NeighborSampler};
 use kgag_tensor::optim::{Adam, Optimizer};
 use kgag_tensor::rng::{derive_seed, SplitMix64};
 use kgag_tensor::{NodeId, ParamStore, Tape, Tensor};
+use kgag_testkit::json::{Json, ToJson};
 
 /// Per-epoch training losses.
-#[derive(Clone, Copy, Debug, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct EpochLoss {
     /// Mean group ranking loss over the epoch's batches.
     pub group: f32,
@@ -34,11 +35,23 @@ pub struct EpochLoss {
     pub user: f32,
 }
 
+impl ToJson for EpochLoss {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![("group", self.group.to_json()), ("user", self.user.to_json())])
+    }
+}
+
 /// Training summary returned by [`Kgag::fit`].
-#[derive(Clone, Debug, Default, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct TrainReport {
     /// One entry per epoch.
     pub epochs: Vec<EpochLoss>,
+}
+
+impl ToJson for TrainReport {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![("epochs", self.epochs.to_json())])
+    }
 }
 
 impl TrainReport {
@@ -413,7 +426,7 @@ impl Kgag {
     }
 
     /// Serialise the trained parameters to a checkpoint buffer.
-    pub fn save_checkpoint(&self) -> bytes::Bytes {
+    pub fn save_checkpoint(&self) -> Vec<u8> {
         kgag_tensor::checkpoint::save(&self.store)
     }
 

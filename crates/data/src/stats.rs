@@ -1,9 +1,10 @@
 //! Dataset statistics — the rows of the paper's Table I.
 
 use crate::dataset::GroupDataset;
+use kgag_testkit::json::{Json, ToJson};
 
 /// Table-I statistics of a [`GroupDataset`].
-#[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct DatasetStats {
     /// Dataset name.
     pub name: String,
@@ -27,6 +28,24 @@ pub struct DatasetStats {
     pub kg_triples: usize,
     /// User–item interactions (implicit `Y^U`).
     pub user_interactions: usize,
+}
+
+impl ToJson for DatasetStats {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("name", self.name.to_json()),
+            ("total_groups", self.total_groups.to_json()),
+            ("total_items", self.total_items.to_json()),
+            ("total_users", self.total_users.to_json()),
+            ("group_size", self.group_size.to_json()),
+            ("interactions", self.interactions.to_json()),
+            ("inter_per_group", self.inter_per_group.to_json()),
+            ("kg_entities", self.kg_entities.to_json()),
+            ("kg_relations", self.kg_relations.to_json()),
+            ("kg_triples", self.kg_triples.to_json()),
+            ("user_interactions", self.user_interactions.to_json()),
+        ])
+    }
 }
 
 impl DatasetStats {

@@ -6,132 +6,170 @@ use kgag_data::interactions::{Interactions, RatingTable};
 use kgag_data::similarity::pearson;
 use kgag_data::split::{split_group_interactions, NegativeSampler};
 use kgag_tensor::rng::SplitMix64;
-use proptest::prelude::*;
+use kgag_testkit::check::Runner;
+use kgag_testkit::gen::{u32_in, u64_in, vec_of, IntGen, VecGen};
+use kgag_testkit::{prop_assert, prop_assert_eq};
 
-/// Random interaction matrix.
-fn interactions_strategy() -> impl Strategy<Value = Interactions> {
-    proptest::collection::vec((0u32..8, 0u32..30), 1..80).prop_map(|pairs| {
-        let mut y = Interactions::new(8, 30);
-        for (u, v) in pairs {
-            y.insert(u, v);
-        }
-        y
-    })
+/// Raw pairs for a random interaction matrix (shrinking operates on the
+/// plain pair list; the matrix is built inside the property body).
+fn pairs_gen() -> VecGen<(IntGen<u32>, IntGen<u32>)> {
+    vec_of((u32_in(0..8), u32_in(0..30)), 1..80)
 }
 
-/// Random rating table.
-fn ratings_strategy() -> impl Strategy<Value = RatingTable> {
-    proptest::collection::vec((0u32..6, 0u32..20, 1u32..=5), 1..80).prop_map(|trip| {
-        let mut t = RatingTable::new(6, 20);
-        for (u, v, r) in trip {
-            t.set(u, v, r as f32);
-        }
-        t
-    })
+fn interactions(pairs: &[(u32, u32)]) -> Interactions {
+    let mut y = Interactions::new(8, 30);
+    for &(u, v) in pairs {
+        y.insert(u, v);
+    }
+    y
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+/// Raw triples for a random rating table.
+fn ratings_gen() -> VecGen<(IntGen<u32>, IntGen<u32>, IntGen<u32>)> {
+    vec_of((u32_in(0..6), u32_in(0..20), u32_in(1..6)), 1..80)
+}
 
-    /// The split is an exact partition of the positives, per group.
-    #[test]
-    fn split_partitions(y in interactions_strategy(), seed in 0u64..100) {
-        let split = split_group_interactions(&y, (0.6, 0.2), seed);
-        let mut got: Vec<(u32, u32)> = split
-            .train
-            .iter()
-            .chain(&split.val)
-            .chain(&split.test)
-            .copied()
-            .collect();
-        got.sort_unstable();
-        let mut expect = y.pairs();
-        expect.sort_unstable();
-        prop_assert_eq!(got, expect);
-        // per-group views agree with the flat lists
-        for g in 0..y.num_users() {
-            for &v in split.train_items(g) {
-                prop_assert!(split.train.contains(&(g, v)));
-            }
-        }
-        // groups with 2+ positives always keep at least one training item
-        for g in 0..y.num_users() {
-            if y.items_of(g).len() >= 2 {
-                prop_assert!(!split.train_items(g).is_empty());
-            }
+fn ratings(trip: &[(u32, u32, u32)]) -> RatingTable {
+    let mut t = RatingTable::new(6, 20);
+    for &(u, v, r) in trip {
+        t.set(u, v, r as f32);
+    }
+    t
+}
+
+fn check_split_partitions(y: &Interactions, seed: u64) -> Result<(), String> {
+    let split = split_group_interactions(y, (0.6, 0.2), seed);
+    let mut got: Vec<(u32, u32)> = split
+        .train
+        .iter()
+        .chain(&split.val)
+        .chain(&split.test)
+        .copied()
+        .collect();
+    got.sort_unstable();
+    let mut expect = y.pairs();
+    expect.sort_unstable();
+    prop_assert_eq!(got, expect);
+    // per-group views agree with the flat lists
+    for g in 0..y.num_users() {
+        for &v in split.train_items(g) {
+            prop_assert!(split.train.contains(&(g, v)));
         }
     }
+    // groups with 2+ positives always keep at least one training item
+    for g in 0..y.num_users() {
+        if y.items_of(g).len() >= 2 {
+            prop_assert!(!split.train_items(g).is_empty());
+        }
+    }
+    Ok(())
+}
 
-    /// The split is deterministic in its seed.
-    #[test]
-    fn split_is_deterministic(y in interactions_strategy(), seed in 0u64..100) {
-        let a = split_group_interactions(&y, (0.6, 0.2), seed);
-        let b = split_group_interactions(&y, (0.6, 0.2), seed);
+/// The split is an exact partition of the positives, per group.
+#[test]
+fn split_partitions() {
+    let gen = (pairs_gen(), u64_in(0..100));
+    Runner::new("split_partitions").cases(64).run(&gen, |(pairs, seed)| {
+        check_split_partitions(&interactions(pairs), *seed)
+    });
+}
+
+/// Regression: the minimal counter-example persisted by an earlier
+/// proptest run (`data_props.proptest-regressions`) — a single positive
+/// `(0, 0)` in an 8×30 matrix, split with seed 0 — must stay fixed.
+#[test]
+fn split_partitions_single_positive_seed_zero_regression() {
+    let mut y = Interactions::new(8, 30);
+    y.insert(0, 0);
+    check_split_partitions(&y, 0).unwrap();
+}
+
+/// The split is deterministic in its seed.
+#[test]
+fn split_is_deterministic() {
+    let gen = (pairs_gen(), u64_in(0..100));
+    Runner::new("split_is_deterministic").cases(64).run(&gen, |(pairs, seed)| {
+        let y = interactions(pairs);
+        let a = split_group_interactions(&y, (0.6, 0.2), *seed);
+        let b = split_group_interactions(&y, (0.6, 0.2), *seed);
         prop_assert_eq!(a.train, b.train);
         prop_assert_eq!(a.val, b.val);
         prop_assert_eq!(a.test, b.test);
-    }
+        Ok(())
+    });
+}
 
-    /// The negative sampler never returns a known positive (when any
-    /// negative exists for the row).
-    #[test]
-    fn negative_sampler_rejects_positives(
-        y in interactions_strategy(),
-        seed in 0u64..100,
-        row in 0u32..8,
-    ) {
-        let sampler = NegativeSampler::from_interactions(&y);
-        let mut rng = SplitMix64::new(seed);
-        if y.items_of(row).len() < y.num_items() as usize {
-            for _ in 0..30 {
-                let v = sampler.sample(row, &mut rng);
-                prop_assert!(!y.contains(row, v), "sampled positive {v}");
-            }
-        }
-    }
-
-    /// Quorum semantics: results shrink as the quorum rises; the full
-    /// quorum equals strict unanimity; every returned item passes both
-    /// rules manually.
-    #[test]
-    fn quorum_monotone_and_consistent(
-        t in ratings_strategy(),
-        members_raw in proptest::collection::vec(0u32..6, 1..5),
-    ) {
-        let mut members = members_raw;
-        members.sort_unstable();
-        members.dedup();
-        let mut prev: Option<Vec<u32>> = None;
-        for q in 1..=members.len() {
-            let got = quorum_positives(&t, &members, 4.0, q);
-            if let Some(p) = &prev {
-                // higher quorum ⇒ subset
-                for v in &got {
-                    prop_assert!(p.contains(v), "quorum {q} added item {v}");
+/// The negative sampler never returns a known positive (when any
+/// negative exists for the row).
+#[test]
+fn negative_sampler_rejects_positives() {
+    let gen = (pairs_gen(), u64_in(0..100), u32_in(0..8));
+    Runner::new("negative_sampler_rejects_positives").cases(64).run(
+        &gen,
+        |(pairs, seed, row)| {
+            let (seed, row) = (*seed, *row);
+            let y = interactions(pairs);
+            let sampler = NegativeSampler::from_interactions(&y);
+            let mut rng = SplitMix64::new(seed);
+            if y.items_of(row).len() < y.num_items() as usize {
+                for _ in 0..30 {
+                    let v = sampler.sample(row, &mut rng);
+                    prop_assert!(!y.contains(row, v), "sampled positive {v}");
                 }
             }
-            for &v in &got {
-                let raters = members
-                    .iter()
-                    .filter(|&&m| t.get(m, v).is_some())
-                    .count();
-                prop_assert!(raters >= q);
-                for &m in &members {
-                    if let Some(r) = t.get(m, v) {
-                        prop_assert!(r >= 4.0, "item {v} kept despite rating {r}");
+            Ok(())
+        },
+    );
+}
+
+/// Quorum semantics: results shrink as the quorum rises; the full
+/// quorum equals strict unanimity; every returned item passes both
+/// rules manually.
+#[test]
+fn quorum_monotone_and_consistent() {
+    let gen = (ratings_gen(), vec_of(u32_in(0..6), 1..5));
+    Runner::new("quorum_monotone_and_consistent").cases(64).run(
+        &gen,
+        |(trip, members_raw)| {
+            let t = ratings(trip);
+            let mut members = members_raw.clone();
+            members.sort_unstable();
+            members.dedup();
+            let mut prev: Option<Vec<u32>> = None;
+            for q in 1..=members.len() {
+                let got = quorum_positives(&t, &members, 4.0, q);
+                if let Some(p) = &prev {
+                    // higher quorum ⇒ subset
+                    for v in &got {
+                        prop_assert!(p.contains(v), "quorum {q} added item {v}");
                     }
                 }
+                for &v in &got {
+                    let raters = members.iter().filter(|&&m| t.get(m, v).is_some()).count();
+                    prop_assert!(raters >= q);
+                    for &m in &members {
+                        if let Some(r) = t.get(m, v) {
+                            prop_assert!(r >= 4.0, "item {v} kept despite rating {r}");
+                        }
+                    }
+                }
+                prev = Some(got);
             }
-            prev = Some(got);
-        }
-        let full = quorum_positives(&t, &members, 4.0, members.len());
-        let strict = unanimous_positives(&t, &members, 4.0);
-        prop_assert_eq!(full, strict);
-    }
+            let full = quorum_positives(&t, &members, 4.0, members.len());
+            let strict = unanimous_positives(&t, &members, 4.0);
+            prop_assert_eq!(full, strict);
+            Ok(())
+        },
+    );
+}
 
-    /// Pearson correlation is bounded and symmetric.
-    #[test]
-    fn pearson_bounded_and_symmetric(t in ratings_strategy(), a in 0u32..6, b in 0u32..6) {
+/// Pearson correlation is bounded and symmetric.
+#[test]
+fn pearson_bounded_and_symmetric() {
+    let gen = (ratings_gen(), u32_in(0..6), u32_in(0..6));
+    Runner::new("pearson_bounded_and_symmetric").cases(64).run(&gen, |(trip, a, b)| {
+        let (a, b) = (*a, *b);
+        let t = ratings(trip);
         let ab = pearson(&t, a, b);
         let ba = pearson(&t, b, a);
         match (ab, ba) {
@@ -147,5 +185,6 @@ proptest! {
                 prop_assert!((x - 1.0).abs() < 1e-5, "self-PCC {x}");
             }
         }
-    }
+        Ok(())
+    });
 }

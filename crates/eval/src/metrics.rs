@@ -1,7 +1,9 @@
 //! Per-list ranking metrics and their aggregation.
 
+use kgag_testkit::json::{Json, ToJson};
+
 /// Metrics of a single ranked list against a relevant set.
-#[derive(Clone, Copy, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct RankingMetrics {
     /// 1.0 when at least one relevant item appears in the top-k.
     pub hit: f64,
@@ -98,8 +100,20 @@ impl MetricAccumulator {
     }
 }
 
+impl ToJson for RankingMetrics {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("hit", self.hit.to_json()),
+            ("recall", self.recall.to_json()),
+            ("precision", self.precision.to_json()),
+            ("ndcg", self.ndcg.to_json()),
+            ("mrr", self.mrr.to_json()),
+        ])
+    }
+}
+
 /// Dataset-level averages — one cell group of Table II.
-#[derive(Clone, Copy, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct MetricSummary {
     /// Mean hit@k — the paper's `hit@k` (Eq. 21).
     pub hit: f64,
@@ -113,6 +127,19 @@ pub struct MetricSummary {
     pub mrr: f64,
     /// Number of groups (or users) evaluated.
     pub evaluated: usize,
+}
+
+impl ToJson for MetricSummary {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("hit", self.hit.to_json()),
+            ("recall", self.recall.to_json()),
+            ("precision", self.precision.to_json()),
+            ("ndcg", self.ndcg.to_json()),
+            ("mrr", self.mrr.to_json()),
+            ("evaluated", self.evaluated.to_json()),
+        ])
+    }
 }
 
 impl std::fmt::Display for MetricSummary {

@@ -92,7 +92,7 @@ mod tests {
 
     #[test]
     fn matches_full_sort_reference() {
-        use kgag_shim_rand::SplitMix64;
+        use kgag_tensor::rng::SplitMix64;
         let mut rng = SplitMix64::new(99);
         for trial in 0..50 {
             let n = 1 + (trial % 37);
@@ -112,21 +112,4 @@ mod tests {
         }
     }
 
-    // tiny local shim so this test file has a deterministic rng without a
-    // dev-dependency on kgag-tensor
-    mod kgag_shim_rand {
-        pub struct SplitMix64(u64);
-        impl SplitMix64 {
-            pub fn new(s: u64) -> Self {
-                SplitMix64(s)
-            }
-            pub fn next_f32(&mut self) -> f32 {
-                self.0 = self.0.wrapping_add(0x9e3779b97f4a7c15);
-                let mut z = self.0;
-                z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
-                z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
-                ((z ^ (z >> 31)) >> 40) as f32 / (1u64 << 24) as f32
-            }
-        }
-    }
 }

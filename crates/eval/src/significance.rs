@@ -7,9 +7,10 @@
 //! "A > B" claim (or not) for EXPERIMENTS.md.
 
 use kgag_tensor::rng::SplitMix64;
+use kgag_testkit::json::{Json, ToJson};
 
 /// Result of a paired bootstrap comparison of per-group scores.
-#[derive(Clone, Copy, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct BootstrapComparison {
     /// Mean of A's per-group metric.
     pub mean_a: f64,
@@ -21,6 +22,18 @@ pub struct BootstrapComparison {
     pub diff_ci95: (f64, f64),
     /// Resamples drawn.
     pub resamples: usize,
+}
+
+impl ToJson for BootstrapComparison {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("mean_a", self.mean_a.to_json()),
+            ("mean_b", self.mean_b.to_json()),
+            ("prob_a_beats_b", self.prob_a_beats_b.to_json()),
+            ("diff_ci95", self.diff_ci95.to_json()),
+            ("resamples", self.resamples.to_json()),
+        ])
+    }
 }
 
 impl BootstrapComparison {

@@ -2,55 +2,72 @@
 
 use kgag_eval::metrics::ranking_metrics;
 use kgag_eval::{top_k, top_k_excluding};
-use proptest::prelude::*;
+use kgag_testkit::check::Runner;
+use kgag_testkit::gen::{f32_in, u32_in, usize_in, vec_of};
+use kgag_testkit::{prop_assert, prop_assert_eq};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+/// All metrics live in [0, 1]; hit ≥ recall; hit ≥ ndcg; mrr ≤ hit.
+#[test]
+fn metrics_are_bounded_and_ordered() {
+    let gen = (
+        vec_of(u32_in(0..50), 0..10),
+        vec_of(u32_in(0..50), 1..8),
+        usize_in(1..10),
+    );
+    Runner::new("metrics_are_bounded_and_ordered").cases(128).run(
+        &gen,
+        |(ranked_raw, relevant_raw, k)| {
+            let k = *k;
+            let mut relevant = relevant_raw.clone();
+            relevant.sort_unstable();
+            relevant.dedup();
+            let mut seen = std::collections::HashSet::new();
+            let ranked: Vec<u32> =
+                ranked_raw.iter().copied().filter(|v| seen.insert(*v)).collect();
+            let m = ranking_metrics(&ranked, &relevant, k);
+            for (name, v) in [
+                ("hit", m.hit),
+                ("recall", m.recall),
+                ("precision", m.precision),
+                ("ndcg", m.ndcg),
+                ("mrr", m.mrr),
+            ] {
+                prop_assert!((0.0..=1.0).contains(&v), "{name} = {v}");
+            }
+            prop_assert!(m.hit >= m.recall - 1e-12);
+            prop_assert!(m.hit >= m.ndcg - 1e-12);
+            prop_assert!(m.hit >= m.mrr - 1e-12);
+            // hit is 1 iff any metric is positive
+            let any_positive = m.recall > 0.0 || m.ndcg > 0.0 || m.mrr > 0.0;
+            prop_assert_eq!(m.hit == 1.0, any_positive);
+            Ok(())
+        },
+    );
+}
 
-    /// All metrics live in [0, 1]; hit ≥ recall; hit ≥ ndcg; mrr ≤ hit.
-    #[test]
-    fn metrics_are_bounded_and_ordered(
-        ranked in proptest::collection::vec(0u32..50, 0..10),
-        relevant_raw in proptest::collection::vec(0u32..50, 1..8),
-        k in 1usize..10,
-    ) {
-        let mut relevant = relevant_raw;
-        relevant.sort_unstable();
-        relevant.dedup();
-        let mut seen = std::collections::HashSet::new();
-        let ranked: Vec<u32> = ranked.into_iter().filter(|v| seen.insert(*v)).collect();
-        let m = ranking_metrics(&ranked, &relevant, k);
-        for (name, v) in [("hit", m.hit), ("recall", m.recall), ("precision", m.precision), ("ndcg", m.ndcg), ("mrr", m.mrr)] {
-            prop_assert!((0.0..=1.0).contains(&v), "{name} = {v}");
-        }
-        prop_assert!(m.hit >= m.recall - 1e-12);
-        prop_assert!(m.hit >= m.ndcg - 1e-12);
-        prop_assert!(m.hit >= m.mrr - 1e-12);
-        // hit is 1 iff any metric is positive
-        let any_positive = m.recall > 0.0 || m.ndcg > 0.0 || m.mrr > 0.0;
-        prop_assert_eq!(m.hit == 1.0, any_positive);
-    }
+/// Single relevant item ⇒ recall == hit (the Yelp identity).
+#[test]
+fn single_relevant_recall_equals_hit() {
+    let gen = (vec_of(u32_in(0..30), 1..8), u32_in(0..30), usize_in(1..8));
+    Runner::new("single_relevant_recall_equals_hit").cases(128).run(
+        &gen,
+        |(ranked_raw, relevant, k)| {
+            let mut seen = std::collections::HashSet::new();
+            let ranked: Vec<u32> =
+                ranked_raw.iter().copied().filter(|v| seen.insert(*v)).collect();
+            let m = ranking_metrics(&ranked, &[*relevant], *k);
+            prop_assert_eq!(m.recall, m.hit);
+            Ok(())
+        },
+    );
+}
 
-    /// Single relevant item ⇒ recall == hit (the Yelp identity).
-    #[test]
-    fn single_relevant_recall_equals_hit(
-        ranked in proptest::collection::vec(0u32..30, 1..8),
-        relevant in 0u32..30,
-        k in 1usize..8,
-    ) {
-        let mut seen = std::collections::HashSet::new();
-        let ranked: Vec<u32> = ranked.into_iter().filter(|v| seen.insert(*v)).collect();
-        let m = ranking_metrics(&ranked, &[relevant], k);
-        prop_assert_eq!(m.recall, m.hit);
-    }
-
-    /// top_k matches a full stable sort.
-    #[test]
-    fn top_k_matches_reference_sort(
-        scores in proptest::collection::vec(-10.0f32..10.0, 1..60),
-        k in 0usize..12,
-    ) {
-        let got = top_k(&scores, k);
+/// top_k matches a full stable sort.
+#[test]
+fn top_k_matches_reference_sort() {
+    let gen = (vec_of(f32_in(-10.0..10.0), 1..60), usize_in(0..12));
+    Runner::new("top_k_matches_reference_sort").cases(128).run(&gen, |(scores, k)| {
+        let got = top_k(scores, *k);
         let mut idx: Vec<u32> = (0..scores.len() as u32).collect();
         idx.sort_by(|&a, &b| {
             scores[b as usize]
@@ -58,24 +75,29 @@ proptest! {
                 .unwrap()
                 .then(a.cmp(&b))
         });
-        idx.truncate(k);
+        idx.truncate(*k);
         prop_assert_eq!(got, idx);
-    }
+        Ok(())
+    });
+}
 
-    /// Exclusion removes exactly the excluded items and keeps order.
-    #[test]
-    fn exclusion_is_exact(
-        scores in proptest::collection::vec(-5.0f32..5.0, 1..40),
-        exclude_raw in proptest::collection::vec(0u32..40, 0..10),
-        k in 1usize..10,
-    ) {
+/// Exclusion removes exactly the excluded items and keeps order.
+#[test]
+fn exclusion_is_exact() {
+    let gen = (
+        vec_of(f32_in(-5.0..5.0), 1..40),
+        vec_of(u32_in(0..40), 0..10),
+        usize_in(1..10),
+    );
+    Runner::new("exclusion_is_exact").cases(128).run(&gen, |(scores, exclude_raw, k)| {
         let mut exclude: Vec<u32> = exclude_raw
-            .into_iter()
+            .iter()
+            .copied()
             .filter(|&v| (v as usize) < scores.len())
             .collect();
         exclude.sort_unstable();
         exclude.dedup();
-        let got = top_k_excluding(&scores, k, &exclude);
+        let got = top_k_excluding(scores, *k, &exclude);
         for v in &got {
             prop_assert!(exclude.binary_search(v).is_err(), "excluded item {v} returned");
         }
@@ -89,17 +111,18 @@ proptest! {
                 .unwrap()
                 .then(a.cmp(&b))
         });
-        idx.truncate(k);
+        idx.truncate(*k);
         prop_assert_eq!(got, idx);
-    }
+        Ok(())
+    });
+}
 
-    /// Perfect ranking gives all-ones; adversarial ranking gives zeros.
-    #[test]
-    fn oracle_extremes(
-        relevant_raw in proptest::collection::vec(0u32..20, 1..6),
-        junk in 20u32..40,
-    ) {
-        let mut relevant = relevant_raw;
+/// Perfect ranking gives all-ones; adversarial ranking gives zeros.
+#[test]
+fn oracle_extremes() {
+    let gen = (vec_of(u32_in(0..20), 1..6), u32_in(20..40));
+    Runner::new("oracle_extremes").cases(128).run(&gen, |(relevant_raw, junk)| {
+        let mut relevant = relevant_raw.clone();
         relevant.sort_unstable();
         relevant.dedup();
         let k = relevant.len();
@@ -107,8 +130,9 @@ proptest! {
         prop_assert_eq!(perfect.hit, 1.0);
         prop_assert_eq!(perfect.recall, 1.0);
         prop_assert!((perfect.ndcg - 1.0).abs() < 1e-9);
-        let miss = ranking_metrics(&[junk], &relevant, k);
+        let miss = ranking_metrics(&[*junk], &relevant, k);
         prop_assert_eq!(miss.hit, 0.0);
         prop_assert_eq!(miss.recall, 0.0);
-    }
+        Ok(())
+    });
 }

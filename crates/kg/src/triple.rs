@@ -8,11 +8,11 @@
 use std::collections::{HashMap, HashSet};
 
 /// Dense id of an entity in a knowledge graph.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
 pub struct EntityId(pub u32);
 
 /// Dense id of a relation type.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
 pub struct RelationId(pub u32);
 
 impl EntityId {
@@ -32,7 +32,7 @@ impl RelationId {
 }
 
 /// A single fact `(head, relation, tail)`.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct Triple {
     /// Head entity.
     pub head: EntityId,

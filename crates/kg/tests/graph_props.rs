@@ -4,11 +4,17 @@
 use kgag_kg::paths::{distance, k_hop_reach, shortest_path};
 use kgag_kg::triple::{EntityId, TripleStore};
 use kgag_kg::{KgGraph, NeighborSampler};
-use proptest::prelude::*;
+use kgag_testkit::check::Runner;
+use kgag_testkit::gen::{u32_in, u64_in, usize_in, vec_of, VecGen};
+use kgag_testkit::{prop_assert, prop_assert_eq};
 
 /// Random triple list over a bounded id space.
-fn triples_strategy() -> impl Strategy<Value = Vec<(u32, u32, u32)>> {
-    proptest::collection::vec((0u32..30, 0u32..4, 0u32..30), 1..60)
+fn triples_gen() -> VecGen<(
+    kgag_testkit::gen::IntGen<u32>,
+    kgag_testkit::gen::IntGen<u32>,
+    kgag_testkit::gen::IntGen<u32>,
+)> {
+    vec_of((u32_in(0..30), u32_in(0..4), u32_in(0..30)), 1..60)
 }
 
 fn build(triples: &[(u32, u32, u32)]) -> (TripleStore, KgGraph) {
@@ -20,14 +26,12 @@ fn build(triples: &[(u32, u32, u32)]) -> (TripleStore, KgGraph) {
     (s, g)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Every entity has at least one neighbor after normalisation, and
-    /// every stored edge's endpoints/relations are in range.
-    #[test]
-    fn graph_is_total_and_in_range(triples in triples_strategy()) {
-        let (store, g) = build(&triples);
+/// Every entity has at least one neighbor after normalisation, and
+/// every stored edge's endpoints/relations are in range.
+#[test]
+fn graph_is_total_and_in_range() {
+    Runner::new("graph_is_total_and_in_range").cases(64).run(&triples_gen(), |triples| {
+        let (store, g) = build(triples);
         prop_assert_eq!(g.num_entities(), store.num_entities() as usize);
         for e in 0..g.num_entities() as u32 {
             let (nbrs, rels) = g.neighbor_slices(e);
@@ -37,76 +41,89 @@ proptest! {
                 prop_assert!((r as usize) < g.num_relation_slots());
             }
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Forward edges imply inverse edges.
-    #[test]
-    fn edges_are_symmetric(triples in triples_strategy()) {
-        let (_, g) = build(&triples);
-        for &(h, _, t) in &triples {
+/// Forward edges imply inverse edges.
+#[test]
+fn edges_are_symmetric() {
+    Runner::new("edges_are_symmetric").cases(64).run(&triples_gen(), |triples| {
+        let (_, g) = build(triples);
+        for &(h, _, t) in triples {
             let fwd = g.neighbor_slices(h).0.contains(&t);
             let bwd = g.neighbor_slices(t).0.contains(&h);
             prop_assert!(fwd && bwd, "edge {h}->{t} not symmetric");
         }
-    }
+        Ok(())
+    });
+}
 
-    /// The sampler always returns exactly K in-graph neighbors per node
-    /// and is deterministic in (seed, salt).
-    #[test]
-    fn sampler_is_total_and_deterministic(
-        triples in triples_strategy(),
-        k in 1usize..6,
-        depth in 0usize..3,
-        salt in 0u64..100,
-    ) {
-        let (_, g) = build(&triples);
-        let targets: Vec<u32> = (0..g.num_entities().min(8) as u32).collect();
-        let sampler = NeighborSampler::new(k, 42);
-        let a = sampler.receptive_field(&g, &targets, depth, salt);
-        let b = sampler.receptive_field(&g, &targets, depth, salt);
-        prop_assert_eq!(&a, &b);
-        for (lvl, level) in a.entities.iter().enumerate() {
-            prop_assert_eq!(level.len(), targets.len() * k.pow(lvl as u32));
-            for &e in level {
-                prop_assert!((e as usize) < g.num_entities());
+/// The sampler always returns exactly K in-graph neighbors per node
+/// and is deterministic in (seed, salt).
+#[test]
+fn sampler_is_total_and_deterministic() {
+    let gen = (triples_gen(), usize_in(1..6), usize_in(0..3), u64_in(0..100));
+    Runner::new("sampler_is_total_and_deterministic").cases(64).run(
+        &gen,
+        |(triples, k, depth, salt)| {
+            let (k, depth, salt) = (*k, *depth, *salt);
+            let (_, g) = build(triples);
+            let targets: Vec<u32> = (0..g.num_entities().min(8) as u32).collect();
+            let sampler = NeighborSampler::new(k, 42);
+            let a = sampler.receptive_field(&g, &targets, depth, salt);
+            let b = sampler.receptive_field(&g, &targets, depth, salt);
+            prop_assert_eq!(&a, &b);
+            for (lvl, level) in a.entities.iter().enumerate() {
+                prop_assert_eq!(level.len(), targets.len() * k.pow(lvl as u32));
+                for &e in level {
+                    prop_assert!((e as usize) < g.num_entities());
+                }
             }
-        }
-        // sampled edges exist in the graph
-        for (lvl, rels) in a.relations.iter().enumerate() {
-            for (i, (&child, &rel)) in a.entities[lvl + 1].iter().zip(rels).enumerate() {
-                let parent = a.entities[lvl][i / k];
-                let (nbrs, rls) = g.neighbor_slices(parent);
-                let ok = nbrs.iter().zip(rls).any(|(&n, &r)| n == child && r == rel);
-                prop_assert!(ok, "edge {parent}->{child} (rel {rel}) not in graph");
+            // sampled edges exist in the graph
+            for (lvl, rels) in a.relations.iter().enumerate() {
+                for (i, (&child, &rel)) in a.entities[lvl + 1].iter().zip(rels).enumerate() {
+                    let parent = a.entities[lvl][i / k];
+                    let (nbrs, rls) = g.neighbor_slices(parent);
+                    let ok = nbrs.iter().zip(rls).any(|(&n, &r)| n == child && r == rel);
+                    prop_assert!(ok, "edge {parent}->{child} (rel {rel}) not in graph");
+                }
             }
-        }
-    }
+            Ok(())
+        },
+    );
+}
 
-    /// Repeated targets get identical subtrees (the variance-reduction
-    /// property the trainer relies on).
-    #[test]
-    fn repeated_targets_share_subtrees(
-        triples in triples_strategy(),
-        k in 1usize..5,
-        salt in 0u64..50,
-    ) {
-        let (_, g) = build(&triples);
-        let t0 = (g.num_entities() as u32 - 1).min(1);
-        let sampler = NeighborSampler::new(k, 7);
-        let rf = sampler.receptive_field(&g, &[t0, t0], 2, salt);
-        let half = |v: &Vec<u32>| (v[..v.len() / 2].to_vec(), v[v.len() / 2..].to_vec());
-        for level in &rf.entities {
-            let (a, b) = half(level);
-            prop_assert_eq!(a, b, "repeated target produced different subtree");
-        }
-    }
+/// Repeated targets get identical subtrees (the variance-reduction
+/// property the trainer relies on).
+#[test]
+fn repeated_targets_share_subtrees() {
+    let gen = (triples_gen(), usize_in(1..5), u64_in(0..50));
+    Runner::new("repeated_targets_share_subtrees").cases(64).run(
+        &gen,
+        |(triples, k, salt)| {
+            let (k, salt) = (*k, *salt);
+            let (_, g) = build(triples);
+            let t0 = (g.num_entities() as u32 - 1).min(1);
+            let sampler = NeighborSampler::new(k, 7);
+            let rf = sampler.receptive_field(&g, &[t0, t0], 2, salt);
+            let half = |v: &Vec<u32>| (v[..v.len() / 2].to_vec(), v[v.len() / 2..].to_vec());
+            for level in &rf.entities {
+                let (a, b) = half(level);
+                prop_assert_eq!(a, b, "repeated target produced different subtree");
+            }
+            Ok(())
+        },
+    );
+}
 
-    /// Shortest-path output is consistent: the path length equals the
-    /// distance, consecutive hops are edges, and distance satisfies the
-    /// triangle-ish property dist(a,c) ≤ dist(a,b) + dist(b,c).
-    #[test]
-    fn shortest_paths_are_consistent(triples in triples_strategy()) {
-        let (_, g) = build(&triples);
+/// Shortest-path output is consistent: the path length equals the
+/// distance, consecutive hops are edges, and distance satisfies the
+/// triangle-ish property dist(a,c) ≤ dist(a,b) + dist(b,c).
+#[test]
+fn shortest_paths_are_consistent() {
+    Runner::new("shortest_paths_are_consistent").cases(64).run(&triples_gen(), |triples| {
+        let (_, g) = build(triples);
         let n = g.num_entities() as u32;
         let pairs = [(0, n - 1), (0, n / 2), (n / 2, n - 1)];
         for &(a, b) in &pairs {
@@ -130,13 +147,20 @@ proptest! {
         ) {
             prop_assert!(ac <= ab + bc, "triangle violated: {ac} > {ab}+{bc}");
         }
-    }
+        Ok(())
+    });
+}
 
-    /// k-hop reach is monotone in k and bounded by the graph size.
-    #[test]
-    fn reach_is_monotone(triples in triples_strategy(), e in 0u32..30) {
-        let (_, g) = build(&triples);
-        if (e as usize) >= g.num_entities() { return Ok(()); }
+/// k-hop reach is monotone in k and bounded by the graph size.
+#[test]
+fn reach_is_monotone() {
+    let gen = (triples_gen(), u32_in(0..30));
+    Runner::new("reach_is_monotone").cases(64).run(&gen, |(triples, e)| {
+        let e = *e;
+        let (_, g) = build(triples);
+        if (e as usize) >= g.num_entities() {
+            return Ok(());
+        }
         let mut prev = 0;
         for hops in 0..5 {
             let r = k_hop_reach(&g, EntityId(e), hops);
@@ -144,5 +168,6 @@ proptest! {
             prop_assert!(r < g.num_entities());
             prev = r;
         }
-    }
+        Ok(())
+    });
 }

@@ -13,7 +13,33 @@
 
 use crate::params::ParamStore;
 use crate::tensor::Tensor;
-use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Cursor over a checkpoint byte slice with bounds-checked LE reads.
+struct Reader<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> Reader<'a> {
+    fn remaining(&self) -> usize {
+        self.buf.len()
+    }
+
+    fn advance(&mut self, n: usize) {
+        self.buf = &self.buf[n..];
+    }
+
+    fn get_u32_le(&mut self) -> u32 {
+        let (head, rest) = self.buf.split_at(4);
+        self.buf = rest;
+        u32::from_le_bytes(head.try_into().unwrap())
+    }
+
+    fn get_f32_le(&mut self) -> f32 {
+        let (head, rest) = self.buf.split_at(4);
+        self.buf = rest;
+        f32::from_le_bytes(head.try_into().unwrap())
+    }
+}
 
 /// Format magic bytes.
 const MAGIC: &[u8; 4] = b"KGCP";
@@ -57,29 +83,29 @@ impl std::fmt::Display for CheckpointError {
 impl std::error::Error for CheckpointError {}
 
 /// Serialise every parameter of a store.
-pub fn save(store: &ParamStore) -> Bytes {
-    let mut buf = BytesMut::with_capacity(64 + store.num_weights() * 4);
-    buf.put_slice(MAGIC);
-    buf.put_u32_le(VERSION);
-    buf.put_u32_le(store.len() as u32);
+pub fn save(store: &ParamStore) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(64 + store.num_weights() * 4);
+    buf.extend_from_slice(MAGIC);
+    buf.extend_from_slice(&VERSION.to_le_bytes());
+    buf.extend_from_slice(&(store.len() as u32).to_le_bytes());
     for (_, name, value) in store.iter() {
-        buf.put_u32_le(name.len() as u32);
-        buf.put_slice(name.as_bytes());
-        buf.put_u32_le(value.rows() as u32);
-        buf.put_u32_le(value.cols() as u32);
+        buf.extend_from_slice(&(name.len() as u32).to_le_bytes());
+        buf.extend_from_slice(name.as_bytes());
+        buf.extend_from_slice(&(value.rows() as u32).to_le_bytes());
+        buf.extend_from_slice(&(value.cols() as u32).to_le_bytes());
         for &x in value.data() {
-            buf.put_f32_le(x);
+            buf.extend_from_slice(&x.to_le_bytes());
         }
     }
-    buf.freeze()
+    buf
 }
 
 /// Restore parameter values into `store` by name. Every parameter in the
 /// checkpoint must exist in the store with the same shape; parameters of
 /// the store absent from the checkpoint keep their current values.
 pub fn load(store: &mut ParamStore, bytes: &[u8]) -> Result<usize, CheckpointError> {
-    let mut buf = bytes;
-    if buf.remaining() < 4 || &buf[..4] != MAGIC {
+    let mut buf = Reader { buf: bytes };
+    if buf.remaining() < 4 || &bytes[..4] != MAGIC {
         return Err(CheckpointError::BadMagic);
     }
     buf.advance(4);
@@ -100,7 +126,7 @@ pub fn load(store: &mut ParamStore, bytes: &[u8]) -> Result<usize, CheckpointErr
         if buf.remaining() < name_len {
             return Err(CheckpointError::Truncated);
         }
-        let name = std::str::from_utf8(&buf[..name_len])
+        let name = std::str::from_utf8(&buf.buf[..name_len])
             .map_err(|_| CheckpointError::BadName)?
             .to_owned();
         buf.advance(name_len);
@@ -204,7 +230,7 @@ mod tests {
     #[test]
     fn version_is_checked() {
         let s = store();
-        let mut bytes = save(&s).to_vec();
+        let mut bytes = save(&s);
         bytes[4] = 99; // clobber version
         let mut fresh = store();
         assert_eq!(load(&mut fresh, &bytes), Err(CheckpointError::BadVersion(99)));

@@ -1,18 +1,12 @@
 //! Deterministic random-number helpers.
 //!
 //! Every stochastic component in the workspace (initializers, samplers,
-//! dataset generators, training shuffles) takes an explicit seed so that
-//! experiments are reproducible run-to-run. [`SplitMix64`] provides cheap,
-//! allocation-free streams for hot paths such as neighbor sampling;
-//! [`seeded`] yields a `rand::StdRng` for code that prefers the `rand` API.
-
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-
-/// A `rand::StdRng` seeded from a `u64`.
-pub fn seeded(seed: u64) -> StdRng {
-    StdRng::seed_from_u64(seed)
-}
+//! dataset generators, training shuffles, property tests) takes an
+//! explicit seed so that experiments are reproducible run-to-run.
+//! [`SplitMix64`] is the single RNG of the entire workspace — cheap and
+//! allocation-free for hot paths such as neighbor sampling, and with no
+//! external `rand` dependency the stream is identical on every platform
+//! and toolchain. [`derive_seed`] namespaces child streams by label.
 
 /// Derive a child seed from a parent seed and a stream label, so that
 /// independent components never share a random stream by accident.
@@ -203,10 +197,14 @@ mod tests {
     }
 
     #[test]
-    fn seeded_std_rng_is_deterministic() {
-        use rand::Rng;
-        let x: u64 = seeded(99).gen();
-        let y: u64 = seeded(99).gen();
-        assert_eq!(x, y);
+    fn stream_is_stable_across_versions() {
+        // pin the first draws of a known seed: checkpointed experiments
+        // and reported property-failure seeds rely on this stream never
+        // changing (see DESIGN.md §"Hermetic builds & determinism")
+        let mut r = SplitMix64::new(0);
+        assert_eq!(r.next_u64(), 0xe220a8397b1dcdaf);
+        assert_eq!(r.next_u64(), 0x6e789e6aa1b965f4);
+        let mut r = SplitMix64::new(42);
+        assert_eq!(r.next_u64(), 0xbdd732262feb6e95);
     }
 }

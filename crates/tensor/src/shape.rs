@@ -7,7 +7,7 @@
 use std::fmt;
 
 /// The shape of a [`crate::Tensor`]: `rows × cols`, row-major.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Shape {
     /// Number of rows.
     pub rows: usize,

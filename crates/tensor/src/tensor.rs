@@ -6,7 +6,7 @@
 use crate::shape::Shape;
 
 /// A dense, row-major, 2-D `f32` tensor.
-#[derive(Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, PartialEq)]
 pub struct Tensor {
     shape: Shape,
     data: Vec<f32>,

@@ -4,7 +4,9 @@
 //! shapes.
 
 use kgag_tensor::{init, ParamId, ParamStore, Tape, Tensor};
-use proptest::prelude::*;
+use kgag_testkit::check::Runner;
+use kgag_testkit::gen::{boolean, choice, f32_in, u64_in, usize_in, vec_of};
+use kgag_testkit::{prop_assert, prop_assert_eq};
 
 /// Numeric gradient of `f` w.r.t. `pid` via central differences.
 fn numeric_grad(
@@ -37,7 +39,7 @@ fn close(a: &Tensor, b: &Tensor, tol: f32) -> Result<(), String> {
 }
 
 /// Ops chosen per pipeline stage of the random graph.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 enum UnaryOp {
     Sigmoid,
     Relu,
@@ -46,121 +48,126 @@ enum UnaryOp {
     AddScalar,
 }
 
-fn unary_strategy() -> impl Strategy<Value = UnaryOp> {
-    prop_oneof![
-        Just(UnaryOp::Sigmoid),
-        Just(UnaryOp::Relu),
-        Just(UnaryOp::Tanh),
-        Just(UnaryOp::Scale),
-        Just(UnaryOp::AddScalar),
-    ]
+const UNARY_OPS: [UnaryOp; 5] = [
+    UnaryOp::Sigmoid,
+    UnaryOp::Relu,
+    UnaryOp::Tanh,
+    UnaryOp::Scale,
+    UnaryOp::AddScalar,
+];
+
+fn apply(tape: &mut Tape<'_>, x: kgag_tensor::NodeId, op: UnaryOp) -> kgag_tensor::NodeId {
+    match op {
+        UnaryOp::Sigmoid => tape.sigmoid(x),
+        UnaryOp::Relu => tape.relu(x),
+        UnaryOp::Tanh => tape.tanh(x),
+        UnaryOp::Scale => tape.scale(x, 0.7),
+        UnaryOp::AddScalar => tape.add_scalar(x, 0.3),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// matmul → unary chain → reduction: analytic == numeric.
-    #[test]
-    fn random_chain_gradients_match(
-        seed in 0u64..1000,
-        rows in 1usize..5,
-        inner in 1usize..5,
-        cols in 1usize..4,
-        ops in proptest::collection::vec(unary_strategy(), 0..3),
-        use_mean in proptest::bool::ANY,
-    ) {
-        let mut store = ParamStore::new();
-        let a = store.register("a", init::uniform(rows, inner, 0.8, seed));
-        let b = store.register("b", init::uniform(inner, cols, 0.8, seed ^ 1));
-        let ops2 = ops.clone();
-        let run = move |s: &ParamStore| -> f32 {
-            let mut tape = Tape::new(s);
+/// matmul → unary chain → reduction: analytic == numeric.
+#[test]
+fn random_chain_gradients_match() {
+    let gen = (
+        u64_in(0..1000),
+        usize_in(1..5),
+        usize_in(1..5),
+        usize_in(1..4),
+        vec_of(choice(&UNARY_OPS), 0..3),
+        boolean(),
+    );
+    Runner::new("random_chain_gradients_match").cases(64).run(
+        &gen,
+        |&(seed, rows, inner, cols, ref ops, use_mean)| {
+            let mut store = ParamStore::new();
+            let a = store.register("a", init::uniform(rows, inner, 0.8, seed));
+            let b = store.register("b", init::uniform(inner, cols, 0.8, seed ^ 1));
+            let ops2 = ops.clone();
+            let run = move |s: &ParamStore| -> f32 {
+                let mut tape = Tape::new(s);
+                let an = tape.param(a);
+                let bn = tape.param(b);
+                let mut x = tape.matmul(an, bn);
+                for &op in &ops2 {
+                    x = apply(&mut tape, x, op);
+                }
+                let l = if use_mean { tape.mean_all(x) } else { tape.sum_all(x) };
+                tape.value(l).item()
+            };
+            let mut tape = Tape::new(&store);
             let an = tape.param(a);
             let bn = tape.param(b);
             let mut x = tape.matmul(an, bn);
-            for op in &ops2 {
-                x = match op {
-                    UnaryOp::Sigmoid => tape.sigmoid(x),
-                    UnaryOp::Relu => tape.relu(x),
-                    UnaryOp::Tanh => tape.tanh(x),
-                    UnaryOp::Scale => tape.scale(x, 0.7),
-                    UnaryOp::AddScalar => tape.add_scalar(x, 0.3),
-                };
+            for &op in ops {
+                x = apply(&mut tape, x, op);
             }
             let l = if use_mean { tape.mean_all(x) } else { tape.sum_all(x) };
-            tape.value(l).item()
-        };
-        let mut tape = Tape::new(&store);
-        let an = tape.param(a);
-        let bn = tape.param(b);
-        let mut x = tape.matmul(an, bn);
-        for op in &ops {
-            x = match op {
-                UnaryOp::Sigmoid => tape.sigmoid(x),
-                UnaryOp::Relu => tape.relu(x),
-                UnaryOp::Tanh => tape.tanh(x),
-                UnaryOp::Scale => tape.scale(x, 0.7),
-                UnaryOp::AddScalar => tape.add_scalar(x, 0.3),
-            };
-        }
-        let l = if use_mean { tape.mean_all(x) } else { tape.sum_all(x) };
-        let grads = tape.backward(l);
-        // ReLU kinks can make numeric gradients disagree at the boundary;
-        // tolerance is loose but catches sign/shape/scale bugs.
-        if let Some(g) = grads.get(a) {
-            let n = numeric_grad(&mut store.clone(), a, &run);
-            prop_assert!(close(g, &n, 0.05).is_ok(), "dA: {:?}", close(g, &n, 0.05));
-        }
-        if let Some(g) = grads.get(b) {
-            let n = numeric_grad(&mut store.clone(), b, &run);
-            prop_assert!(close(g, &n, 0.05).is_ok(), "dB: {:?}", close(g, &n, 0.05));
-        }
-    }
+            let grads = tape.backward(l);
+            // ReLU kinks can make numeric gradients disagree at the boundary;
+            // tolerance is loose but catches sign/shape/scale bugs.
+            if let Some(g) = grads.get(a) {
+                let n = numeric_grad(&mut store.clone(), a, &run);
+                prop_assert!(close(g, &n, 0.05).is_ok(), "dA: {:?}", close(g, &n, 0.05));
+            }
+            if let Some(g) = grads.get(b) {
+                let n = numeric_grad(&mut store.clone(), b, &run);
+                prop_assert!(close(g, &n, 0.05).is_ok(), "dB: {:?}", close(g, &n, 0.05));
+            }
+            Ok(())
+        },
+    );
+}
 
-    /// Grouped attention pipeline gradients match numerically.
-    #[test]
-    fn grouped_pipeline_gradients_match(
-        seed in 0u64..500,
-        blocks in 1usize..4,
-        group in 2usize..5,
-        d in 1usize..5,
-    ) {
-        let mut store = ParamStore::new();
-        let logits = store.register("logits", init::uniform(blocks * group, 1, 1.0, seed));
-        let values = store.register("values", init::uniform(blocks * group, d, 1.0, seed ^ 7));
-        let run = move |s: &ParamStore| -> f32 {
-            let mut tape = Tape::new(s);
+/// Grouped attention pipeline gradients match numerically.
+#[test]
+fn grouped_pipeline_gradients_match() {
+    let gen = (u64_in(0..500), usize_in(1..4), usize_in(2..5), usize_in(1..5));
+    Runner::new("grouped_pipeline_gradients_match").cases(64).run(
+        &gen,
+        |&(seed, blocks, group, d)| {
+            let mut store = ParamStore::new();
+            let logits = store.register("logits", init::uniform(blocks * group, 1, 1.0, seed));
+            let values =
+                store.register("values", init::uniform(blocks * group, d, 1.0, seed ^ 7));
+            let run = move |s: &ParamStore| -> f32 {
+                let mut tape = Tape::new(s);
+                let l = tape.param(logits);
+                let v = tape.param(values);
+                let w = tape.softmax_groups(l, group);
+                let g = tape.group_weighted_sum(w, v, group);
+                let sq = tape.mul(g, g);
+                let out = tape.mean_all(sq);
+                tape.value(out).item()
+            };
+            let mut tape = Tape::new(&store);
             let l = tape.param(logits);
             let v = tape.param(values);
             let w = tape.softmax_groups(l, group);
             let g = tape.group_weighted_sum(w, v, group);
             let sq = tape.mul(g, g);
             let out = tape.mean_all(sq);
-            tape.value(out).item()
-        };
-        let mut tape = Tape::new(&store);
-        let l = tape.param(logits);
-        let v = tape.param(values);
-        let w = tape.softmax_groups(l, group);
-        let g = tape.group_weighted_sum(w, v, group);
-        let sq = tape.mul(g, g);
-        let out = tape.mean_all(sq);
-        let grads = tape.backward(out);
-        let nl = numeric_grad(&mut store.clone(), logits, &run);
-        let nv = numeric_grad(&mut store.clone(), values, &run);
-        prop_assert!(close(grads.get(logits).unwrap(), &nl, 0.05).is_ok());
-        prop_assert!(close(grads.get(values).unwrap(), &nv, 0.05).is_ok());
-    }
+            let grads = tape.backward(out);
+            let nl = numeric_grad(&mut store.clone(), logits, &run);
+            let nv = numeric_grad(&mut store.clone(), values, &run);
+            prop_assert!(close(grads.get(logits).unwrap(), &nl, 0.05).is_ok());
+            prop_assert!(close(grads.get(values).unwrap(), &nv, 0.05).is_ok());
+            Ok(())
+        },
+    );
+}
 
-    /// softmax_groups always produces per-block distributions.
-    #[test]
-    fn softmax_groups_is_distribution(
-        data in proptest::collection::vec(-20.0f32..20.0, 2..40),
-        group in 1usize..6,
-    ) {
+/// softmax_groups always produces per-block distributions.
+#[test]
+fn softmax_groups_is_distribution() {
+    let gen = (vec_of(f32_in(-20.0..20.0), 2..40), usize_in(1..6));
+    Runner::new("softmax_groups_is_distribution").cases(64).run(&gen, |(data, group)| {
+        let group = *group;
         let n = (data.len() / group).max(1) * group;
         let data = &data[..n.min(data.len())];
-        if data.len() % group != 0 { return Ok(()); }
+        if data.len() % group != 0 {
+            return Ok(());
+        }
         let store = ParamStore::new();
         let mut tape = Tape::new(&store);
         let x = tape.constant(Tensor::from_vec(data.len(), 1, data.to_vec()));
@@ -170,48 +177,55 @@ proptest! {
             prop_assert!((sum - 1.0).abs() < 1e-4, "block sums to {sum}");
             prop_assert!(chunk.iter().all(|&p| (0.0..=1.0).contains(&p)));
         }
-    }
+        Ok(())
+    });
+}
 
-    /// peer_concat is a pure permutation of the input: the multiset of
-    /// values in each output block equals (group-1) copies of the input
-    /// block values.
-    #[test]
-    fn peer_concat_preserves_values(
-        seed in 0u64..1000,
-        blocks in 1usize..4,
-        group in 2usize..5,
-        d in 1usize..4,
-    ) {
-        let input = init::uniform(blocks * group, d, 1.0, seed);
-        let store = ParamStore::new();
-        let mut tape = Tape::new(&store);
-        let x = tape.constant(input.clone());
-        let pc = tape.peer_concat(x, group);
-        let out = tape.value(pc);
-        prop_assert_eq!(out.rows(), blocks * group);
-        prop_assert_eq!(out.cols(), (group - 1) * d);
-        // total sums: each input row appears in exactly group-1 outputs
-        let in_sum: f32 = input.data().iter().sum();
-        let out_sum: f32 = out.data().iter().sum();
-        prop_assert!((out_sum - in_sum * (group - 1) as f32).abs() < 1e-3 * (1.0 + in_sum.abs()));
-    }
+/// peer_concat is a pure permutation of the input: the multiset of
+/// values in each output block equals (group-1) copies of the input
+/// block values.
+#[test]
+fn peer_concat_preserves_values() {
+    let gen = (u64_in(0..1000), usize_in(1..4), usize_in(2..5), usize_in(1..4));
+    Runner::new("peer_concat_preserves_values").cases(64).run(
+        &gen,
+        |&(seed, blocks, group, d)| {
+            let input = init::uniform(blocks * group, d, 1.0, seed);
+            let store = ParamStore::new();
+            let mut tape = Tape::new(&store);
+            let x = tape.constant(input.clone());
+            let pc = tape.peer_concat(x, group);
+            let out = tape.value(pc);
+            prop_assert_eq!(out.rows(), blocks * group);
+            prop_assert_eq!(out.cols(), (group - 1) * d);
+            // total sums: each input row appears in exactly group-1 outputs
+            let in_sum: f32 = input.data().iter().sum();
+            let out_sum: f32 = out.data().iter().sum();
+            prop_assert!(
+                (out_sum - in_sum * (group - 1) as f32).abs() < 1e-3 * (1.0 + in_sum.abs())
+            );
+            Ok(())
+        },
+    );
+}
 
-    /// repeat_rows then group_mean is the identity.
-    #[test]
-    fn repeat_then_mean_is_identity(
-        seed in 0u64..1000,
-        rows in 1usize..6,
-        d in 1usize..5,
-        times in 1usize..5,
-    ) {
-        let input = init::uniform(rows, d, 1.0, seed);
-        let store = ParamStore::new();
-        let mut tape = Tape::new(&store);
-        let x = tape.constant(input.clone());
-        let r = tape.repeat_rows(x, times);
-        let m = tape.group_mean(r, times);
-        for (a, b) in tape.value(m).data().iter().zip(input.data()) {
-            prop_assert!((a - b).abs() < 1e-5);
-        }
-    }
+/// repeat_rows then group_mean is the identity.
+#[test]
+fn repeat_then_mean_is_identity() {
+    let gen = (u64_in(0..1000), usize_in(1..6), usize_in(1..5), usize_in(1..5));
+    Runner::new("repeat_then_mean_is_identity").cases(64).run(
+        &gen,
+        |&(seed, rows, d, times)| {
+            let input = init::uniform(rows, d, 1.0, seed);
+            let store = ParamStore::new();
+            let mut tape = Tape::new(&store);
+            let x = tape.constant(input.clone());
+            let r = tape.repeat_rows(x, times);
+            let m = tape.group_mean(r, times);
+            for (a, b) in tape.value(m).data().iter().zip(input.data()) {
+                prop_assert!((a - b).abs() < 1e-5);
+            }
+            Ok(())
+        },
+    );
 }

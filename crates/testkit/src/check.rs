@@ -1,0 +1,281 @@
+//! The property-test runner.
+//!
+//! [`Runner::run`] draws `cases` inputs from a [`Gen`], each from its own
+//! deterministic case seed (`derive_seed(property_seed, case index)`),
+//! and applies the property. On failure it greedily shrinks the input
+//! and panics with the *case seed*, so any failure is reproducible with
+//!
+//! ```text
+//! KGAG_PROP_REPRO=0x<seed> cargo test -q <test name>
+//! ```
+//!
+//! Environment knobs:
+//!
+//! * `KGAG_PROP_CASES` — cases per property (default 64);
+//! * `KGAG_PROP_SEED`  — override the base seed of every property;
+//! * `KGAG_PROP_REPRO` — run only the case with this seed (hex with
+//!   `0x` prefix, or decimal), e.g. to replay a reported failure.
+
+use crate::gen::Gen;
+use kgag_tensor::rng::{derive_seed, SplitMix64};
+
+/// Default number of cases per property.
+pub const DEFAULT_CASES: usize = 64;
+
+/// Workspace-wide base seed; per-property seeds are derived from it and
+/// the property name, so properties never share input streams.
+pub const BASE_SEED: u64 = 0x4a6_5eed;
+
+/// A property outcome: `Ok(())` or an explanation of the violation.
+pub type PropResult = Result<(), String>;
+
+/// Configured runner for one named property.
+pub struct Runner {
+    name: String,
+    cases: usize,
+    seed: u64,
+}
+
+fn parse_seed(s: &str) -> Option<u64> {
+    let s = s.trim();
+    match s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        Some(hex) => u64::from_str_radix(hex, 16).ok(),
+        None => s.parse().ok(),
+    }
+}
+
+impl Runner {
+    /// A runner for the property `name` with the default case count and
+    /// a seed derived from the workspace base seed and the name.
+    pub fn new(name: &str) -> Self {
+        let cases = std::env::var("KGAG_PROP_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(DEFAULT_CASES);
+        let base = std::env::var("KGAG_PROP_SEED")
+            .ok()
+            .and_then(|v| parse_seed(&v))
+            .unwrap_or(BASE_SEED);
+        Runner { name: name.to_owned(), cases, seed: derive_seed(base, name) }
+    }
+
+    /// Override the case count (an explicit count also overrides
+    /// `KGAG_PROP_CASES`).
+    pub fn cases(mut self, n: usize) -> Self {
+        assert!(n > 0, "need at least one case");
+        self.cases = n;
+        self
+    }
+
+    /// Run the property over generated inputs; panics on the first
+    /// (shrunk) counter-example with its reproduction seed.
+    pub fn run<T, G, P>(&self, gen: &G, prop: P)
+    where
+        T: std::fmt::Debug + Clone,
+        G: Gen<T>,
+        P: Fn(&T) -> PropResult,
+    {
+        if let Some(repro) = std::env::var("KGAG_PROP_REPRO").ok().and_then(|v| parse_seed(&v)) {
+            eprintln!("[kgag-testkit] {}: replaying case seed {repro:#x}", self.name);
+            self.run_case(gen, &prop, repro, 0);
+            return;
+        }
+        for case in 0..self.cases {
+            let case_seed = derive_seed(self.seed, &format!("case-{case}"));
+            self.run_case(gen, &prop, case_seed, case);
+        }
+    }
+
+    fn run_case<T, G, P>(&self, gen: &G, prop: &P, case_seed: u64, case: usize)
+    where
+        T: std::fmt::Debug + Clone,
+        G: Gen<T>,
+        P: Fn(&T) -> PropResult,
+    {
+        let mut rng = SplitMix64::new(case_seed);
+        let input = gen.generate(&mut rng);
+        if let Err(err) = prop(&input) {
+            let (shrunk, final_err, steps) = shrink_loop(gen, prop, input.clone(), err);
+            panic!(
+                "property '{name}' failed at case {case}/{total} (seed {seed:#x})\n\
+                 original input: {input:?}\n\
+                 shrunk input ({steps} steps): {shrunk:?}\n\
+                 error: {final_err}\n\
+                 reproduce with: KGAG_PROP_REPRO={seed:#x} cargo test -q {name}",
+                name = self.name,
+                total = self.cases,
+                seed = case_seed,
+            );
+        }
+    }
+}
+
+/// Greedy shrinking: repeatedly adopt the first candidate that still
+/// fails, until no candidate fails or the step budget runs out.
+fn shrink_loop<T, G, P>(gen: &G, prop: &P, mut current: T, mut err: String) -> (T, String, usize)
+where
+    T: std::fmt::Debug + Clone,
+    G: Gen<T>,
+    P: Fn(&T) -> PropResult,
+{
+    let mut steps = 0usize;
+    'outer: while steps < 500 {
+        for candidate in gen.shrink(&current) {
+            // a candidate that panics (rather than returning Err) is
+            // treated as a failure too — properties may call code with
+            // internal assertions
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                prop(&candidate)
+            }));
+            let failed = match outcome {
+                Ok(Ok(())) => None,
+                Ok(Err(e)) => Some(e),
+                Err(cause) => Some(panic_message(&cause)),
+            };
+            if let Some(e) = failed {
+                current = candidate;
+                err = e;
+                steps += 1;
+                continue 'outer;
+            }
+        }
+        break;
+    }
+    (current, err, steps)
+}
+
+fn panic_message(cause: &Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = cause.downcast_ref::<&str>() {
+        format!("panic: {s}")
+    } else if let Some(s) = cause.downcast_ref::<String>() {
+        format!("panic: {s}")
+    } else {
+        "panic (non-string payload)".to_owned()
+    }
+}
+
+/// One-shot convenience: `check(name, gen, prop)` with defaults.
+pub fn check<T, G, P>(name: &str, gen: &G, prop: P)
+where
+    T: std::fmt::Debug + Clone,
+    G: Gen<T>,
+    P: Fn(&T) -> PropResult,
+{
+    Runner::new(name).run(gen, prop);
+}
+
+/// Assert a condition inside a property body, returning `Err` with a
+/// formatted message (or the stringified condition) on violation.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err(format!("assertion failed: {}", stringify!($cond)));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// Assert equality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (__a, __b) = (&$a, &$b);
+        if __a != __b {
+            return Err(format!(
+                "{} != {}: {:?} vs {:?}",
+                stringify!($a),
+                stringify!($b),
+                __a,
+                __b
+            ));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (__a, __b) = (&$a, &$b);
+        if __a != __b {
+            return Err(format!($($fmt)+));
+        }
+    }};
+}
+
+/// Assert inequality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (__a, __b) = (&$a, &$b);
+        if __a == __b {
+            return Err(format!(
+                "{} == {}: both {:?}",
+                stringify!($a),
+                stringify!($b),
+                __a
+            ));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{u32_in, vec_of};
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let counted = std::cell::Cell::new(0usize);
+        Runner::new("always-true").cases(64).run(&u32_in(0..100), |_| {
+            counted.set(counted.get() + 1);
+            Ok(())
+        });
+        assert_eq!(counted.get(), 64);
+    }
+
+    #[test]
+    fn forced_failure_reports_reproducible_seed_and_shrinks() {
+        let result = std::panic::catch_unwind(|| {
+            check("forced-failure", &vec_of(u32_in(0..100), 1..30), |v: &Vec<u32>| {
+                if v.iter().any(|&x| x >= 10) {
+                    Err(format!("contains a value >= 10: {v:?}"))
+                } else {
+                    Ok(())
+                }
+            });
+        });
+        let msg = panic_message(&result.unwrap_err());
+        assert!(msg.contains("seed 0x"), "no seed in: {msg}");
+        assert!(msg.contains("KGAG_PROP_REPRO=0x"), "no repro line in: {msg}");
+        // greedy shrinking should reduce the counter-example to a single
+        // minimal element: [10]
+        assert!(msg.contains("shrunk input"), "{msg}");
+        assert!(msg.contains("[10]"), "not minimal: {msg}");
+    }
+
+    #[test]
+    fn failures_are_deterministic() {
+        let fail_on = |limit: u32| {
+            std::panic::catch_unwind(move || {
+                check("det-failure", &u32_in(0..1000), move |&v| {
+                    if v < limit {
+                        Ok(())
+                    } else {
+                        Err(format!("{v} >= {limit}"))
+                    }
+                });
+            })
+        };
+        let a = panic_message(&fail_on(5).unwrap_err());
+        let b = panic_message(&fail_on(5).unwrap_err());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn seed_parsing_accepts_hex_and_decimal() {
+        assert_eq!(parse_seed("0x10"), Some(16));
+        assert_eq!(parse_seed("42"), Some(42));
+        assert_eq!(parse_seed("bogus"), None);
+    }
+}

@@ -1,0 +1,328 @@
+//! Composable deterministic value generators with greedy shrinking.
+//!
+//! A [`Gen<T>`] produces values from an explicit [`SplitMix64`] stream
+//! (never from ambient randomness) and can propose *shrink candidates*
+//! for a failing value: simpler inputs that the runner re-tests to
+//! minimise a counter-example. Shrinking is greedy — the runner takes
+//! the first candidate that still fails and repeats — which finds small
+//! counter-examples quickly without proptest's full search machinery.
+//!
+//! Generators compose structurally: tuples of generators generate
+//! tuples, [`vec_of`] generates vectors, [`choice`] picks from a fixed
+//! set. Properties that need a domain object (an `Interactions` table, a
+//! `TripleStore`) generate the raw `Vec` of parts and build the object
+//! inside the property body, so shrinking always operates on plain data.
+
+use kgag_tensor::rng::SplitMix64;
+use std::ops::Range;
+
+/// A deterministic generator of `T` values with optional shrinking.
+pub trait Gen<T> {
+    /// Produce one value from the stream.
+    fn generate(&self, rng: &mut SplitMix64) -> T;
+
+    /// Simpler candidate replacements for a failing value, best first.
+    /// An empty vector means the value is fully shrunk.
+    fn shrink(&self, _value: &T) -> Vec<T> {
+        Vec::new()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Scalar generators
+// ---------------------------------------------------------------------
+
+/// Uniform `usize` in a half-open range.
+pub fn usize_in(range: Range<usize>) -> IntGen<usize> {
+    assert!(range.start < range.end, "empty range");
+    IntGen { lo: range.start as u64, hi: range.end as u64, _marker: std::marker::PhantomData }
+}
+
+/// Uniform `u32` in a half-open range.
+pub fn u32_in(range: Range<u32>) -> IntGen<u32> {
+    assert!(range.start < range.end, "empty range");
+    IntGen { lo: range.start as u64, hi: range.end as u64, _marker: std::marker::PhantomData }
+}
+
+/// Uniform `u64` in a half-open range.
+pub fn u64_in(range: Range<u64>) -> IntGen<u64> {
+    assert!(range.start < range.end, "empty range");
+    IntGen { lo: range.start, hi: range.end, _marker: std::marker::PhantomData }
+}
+
+/// Integer generator over `[lo, hi)`, shrinking toward `lo`.
+#[derive(Clone, Debug)]
+pub struct IntGen<T> {
+    lo: u64,
+    hi: u64,
+    _marker: std::marker::PhantomData<T>,
+}
+
+macro_rules! int_gen_impl {
+    ($($t:ty),*) => {$(
+        impl Gen<$t> for IntGen<$t> {
+            fn generate(&self, rng: &mut SplitMix64) -> $t {
+                let span = self.hi - self.lo;
+                (self.lo + rng.next_u64() % span) as $t
+            }
+
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                let v = *value as u64;
+                let mut out = Vec::new();
+                if v > self.lo {
+                    out.push(self.lo as $t); // smallest first: biggest jump
+                    let mid = self.lo + (v - self.lo) / 2;
+                    if mid != self.lo && mid != v {
+                        out.push(mid as $t);
+                    }
+                    out.push((v - 1) as $t);
+                }
+                out.dedup();
+                out
+            }
+        }
+    )*};
+}
+
+int_gen_impl!(usize, u32, u64);
+
+/// Uniform `f32` in a half-open range, shrinking toward the low bound
+/// (and toward zero when the range contains it).
+pub fn f32_in(range: Range<f32>) -> F32Gen {
+    assert!(range.start < range.end, "empty range");
+    F32Gen { lo: range.start, hi: range.end }
+}
+
+/// See [`f32_in`].
+#[derive(Clone, Debug)]
+pub struct F32Gen {
+    lo: f32,
+    hi: f32,
+}
+
+impl Gen<f32> for F32Gen {
+    fn generate(&self, rng: &mut SplitMix64) -> f32 {
+        self.lo + rng.next_f32() * (self.hi - self.lo)
+    }
+
+    fn shrink(&self, value: &f32) -> Vec<f32> {
+        let mut out = Vec::new();
+        let v = *value;
+        if (0.0 >= self.lo && 0.0 < self.hi) && v != 0.0 {
+            out.push(0.0);
+        }
+        if v > self.lo {
+            out.push(self.lo);
+            let mid = self.lo + (v - self.lo) / 2.0;
+            if mid != self.lo && mid != v {
+                out.push(mid);
+            }
+        }
+        out
+    }
+}
+
+/// Uniform boolean; `true` shrinks to `false`.
+pub fn boolean() -> BoolGen {
+    BoolGen
+}
+
+/// See [`boolean`].
+#[derive(Clone, Debug)]
+pub struct BoolGen;
+
+impl Gen<bool> for BoolGen {
+    fn generate(&self, rng: &mut SplitMix64) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+
+    fn shrink(&self, value: &bool) -> Vec<bool> {
+        if *value {
+            vec![false]
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+/// Uniform choice from a fixed list; values shrink toward earlier
+/// entries (put the simplest variant first).
+pub fn choice<T: Clone + PartialEq>(values: &[T]) -> ChoiceGen<T> {
+    assert!(!values.is_empty(), "choice of nothing");
+    ChoiceGen { values: values.to_vec() }
+}
+
+/// See [`choice`].
+#[derive(Clone, Debug)]
+pub struct ChoiceGen<T> {
+    values: Vec<T>,
+}
+
+impl<T: Clone + PartialEq> Gen<T> for ChoiceGen<T> {
+    fn generate(&self, rng: &mut SplitMix64) -> T {
+        self.values[rng.next_below(self.values.len())].clone()
+    }
+
+    fn shrink(&self, value: &T) -> Vec<T> {
+        match self.values.iter().position(|v| v == value) {
+            Some(i) => self.values[..i].to_vec(),
+            None => Vec::new(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Structural generators
+// ---------------------------------------------------------------------
+
+/// Vector of values from `element`, with a length drawn from
+/// `len` (half-open). Shrinks by dropping elements (never below the
+/// minimum length) and then by shrinking individual elements.
+pub fn vec_of<T, G: Gen<T>>(element: G, len: Range<usize>) -> VecGen<G> {
+    assert!(len.start < len.end, "empty length range");
+    VecGen { element, min_len: len.start, max_len: len.end }
+}
+
+/// See [`vec_of`].
+#[derive(Clone, Debug)]
+pub struct VecGen<G> {
+    element: G,
+    min_len: usize,
+    max_len: usize,
+}
+
+impl<T: Clone, G: Gen<T>> Gen<Vec<T>> for VecGen<G> {
+    fn generate(&self, rng: &mut SplitMix64) -> Vec<T> {
+        let len = self.min_len + rng.next_below(self.max_len - self.min_len);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+
+    fn shrink(&self, value: &Vec<T>) -> Vec<Vec<T>> {
+        let mut out = Vec::new();
+        let n = value.len();
+        // drop chunks first (fast length reduction), then single
+        // elements, then shrink elements in place
+        if n / 2 >= self.min_len && n >= 2 {
+            out.push(value[..n / 2].to_vec());
+            out.push(value[n / 2..].to_vec());
+        }
+        if n > self.min_len {
+            for i in 0..n.min(16) {
+                let mut v = value.clone();
+                v.remove(i);
+                out.push(v);
+            }
+        }
+        for i in 0..n.min(16) {
+            for candidate in self.element.shrink(&value[i]) {
+                let mut v = value.clone();
+                v[i] = candidate;
+                out.push(v);
+            }
+        }
+        out
+    }
+}
+
+macro_rules! tuple_gen_impl {
+    ($(($($g:ident $t:ident $idx:tt),+))*) => {$(
+        impl<$($t: Clone,)+ $($g: Gen<$t>,)+> Gen<($($t,)+)> for ($($g,)+) {
+            fn generate(&self, rng: &mut SplitMix64) -> ($($t,)+) {
+                ($(self.$idx.generate(rng),)+)
+            }
+
+            fn shrink(&self, value: &($($t,)+)) -> Vec<($($t,)+)> {
+                let mut out = Vec::new();
+                $(
+                    for candidate in self.$idx.shrink(&value.$idx) {
+                        let mut v = value.clone();
+                        v.$idx = candidate;
+                        out.push(v);
+                    }
+                )+
+                out
+            }
+        }
+    )*};
+}
+
+tuple_gen_impl! {
+    (G0 T0 0, G1 T1 1)
+    (G0 T0 0, G1 T1 1, G2 T2 2)
+    (G0 T0 0, G1 T1 1, G2 T2 2, G3 T3 3)
+    (G0 T0 0, G1 T1 1, G2 T2 2, G3 T3 3, G4 T4 4)
+    (G0 T0 0, G1 T1 1, G2 T2 2, G3 T3 3, G4 T4 4, G5 T5 5)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_gen_respects_bounds_and_shrinks_down() {
+        let g = u32_in(3..17);
+        let mut rng = SplitMix64::new(1);
+        for _ in 0..500 {
+            let v = g.generate(&mut rng);
+            assert!((3..17).contains(&v));
+        }
+        let shrinks = g.shrink(&10);
+        assert!(shrinks.contains(&3));
+        assert!(shrinks.iter().all(|&s| s < 10));
+        assert!(g.shrink(&3).is_empty());
+    }
+
+    #[test]
+    fn f32_gen_respects_bounds() {
+        let g = f32_in(-2.0..2.0);
+        let mut rng = SplitMix64::new(2);
+        for _ in 0..500 {
+            let v = g.generate(&mut rng);
+            assert!((-2.0..2.0).contains(&v));
+        }
+        assert!(g.shrink(&1.5).contains(&0.0));
+    }
+
+    #[test]
+    fn vec_gen_respects_length_and_shrinks_shorter() {
+        let g = vec_of(u32_in(0..5), 2..9);
+        let mut rng = SplitMix64::new(3);
+        for _ in 0..200 {
+            let v = g.generate(&mut rng);
+            assert!((2..9).contains(&v.len()));
+        }
+        let v = g.generate(&mut rng);
+        for s in g.shrink(&v) {
+            assert!(s.len() >= 2, "shrank below min length: {s:?}");
+        }
+    }
+
+    #[test]
+    fn tuple_gen_shrinks_one_component_at_a_time() {
+        let g = (u32_in(0..10), boolean());
+        let shrinks = g.shrink(&(5, true));
+        assert!(shrinks.iter().any(|&(a, b)| a < 5 && b));
+        assert!(shrinks.contains(&(5, false)));
+    }
+
+    #[test]
+    fn choice_shrinks_toward_front() {
+        let g = choice(&[10u32, 20, 30]);
+        assert_eq!(g.shrink(&30), vec![10, 20]);
+        assert!(g.shrink(&10).is_empty());
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let g = vec_of((u32_in(0..100), f32_in(0.0..1.0)), 1..20);
+        let a: Vec<_> = {
+            let mut rng = SplitMix64::new(7);
+            (0..10).map(|_| g.generate(&mut rng)).collect()
+        };
+        let b: Vec<_> = {
+            let mut rng = SplitMix64::new(7);
+            (0..10).map(|_| g.generate(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,311 @@
+//! Minimal JSON model and writer — the workspace's replacement for
+//! `serde`/`serde_json`.
+//!
+//! Artifact-producing code implements [`ToJson`] (a handful of lines per
+//! struct instead of a derive) and hands the value to
+//! [`to_string_pretty`] or [`write_json_file`]. Only *serialization* is
+//! provided: nothing in the workspace parses JSON, it only emits
+//! experiment artifacts for external tooling.
+
+/// A JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null` (also used for non-finite floats).
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A signed integer.
+    Int(i64),
+    /// An unsigned integer (kept separate so `u64` seeds round-trip).
+    UInt(u64),
+    /// A finite float.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object with insertion-ordered keys.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Build an object from `(key, value)` pairs.
+    pub fn obj(fields: Vec<(&str, Json)>) -> Json {
+        Json::Obj(fields.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
+    }
+
+    /// Render with two-space indentation and a trailing newline-free
+    /// final line (matching `serde_json::to_string_pretty` conventions).
+    pub fn to_string_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Int(i) => out.push_str(&i.to_string()),
+            Json::UInt(u) => out.push_str(&u.to_string()),
+            Json::Float(x) => {
+                if x.is_finite() {
+                    // `{}` prints the shortest representation that
+                    // round-trips; integral floats get a ".0" so the
+                    // value stays typed as a float downstream
+                    if x.fract() == 0.0 && x.abs() < 1e15 {
+                        out.push_str(&format!("{x:.1}"));
+                    } else {
+                        out.push_str(&x.to_string());
+                    }
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    push_indent(out, indent + 1);
+                    item.write(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    push_indent(out, indent + 1);
+                    write_escaped(out, k);
+                    out.push_str(": ");
+                    v.write(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn push_indent(out: &mut String, levels: usize) {
+    for _ in 0..levels {
+        out.push_str("  ");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Conversion into a [`Json`] value.
+pub trait ToJson {
+    /// The JSON representation of `self`.
+    fn to_json(&self) -> Json;
+}
+
+impl ToJson for Json {
+    fn to_json(&self) -> Json {
+        self.clone()
+    }
+}
+
+impl ToJson for bool {
+    fn to_json(&self) -> Json {
+        Json::Bool(*self)
+    }
+}
+
+macro_rules! to_json_int {
+    ($($t:ty),*) => {$(
+        impl ToJson for $t {
+            fn to_json(&self) -> Json {
+                Json::Int(*self as i64)
+            }
+        }
+    )*};
+}
+
+to_json_int!(i8, i16, i32, i64, u8, u16, u32);
+
+impl ToJson for u64 {
+    fn to_json(&self) -> Json {
+        Json::UInt(*self)
+    }
+}
+
+impl ToJson for usize {
+    fn to_json(&self) -> Json {
+        Json::UInt(*self as u64)
+    }
+}
+
+impl ToJson for f32 {
+    fn to_json(&self) -> Json {
+        Json::Float(*self as f64)
+    }
+}
+
+impl ToJson for f64 {
+    fn to_json(&self) -> Json {
+        Json::Float(*self)
+    }
+}
+
+impl ToJson for str {
+    fn to_json(&self) -> Json {
+        Json::Str(self.to_owned())
+    }
+}
+
+impl ToJson for String {
+    fn to_json(&self) -> Json {
+        Json::Str(self.clone())
+    }
+}
+
+impl<T: ToJson + ?Sized> ToJson for &T {
+    fn to_json(&self) -> Json {
+        (**self).to_json()
+    }
+}
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn to_json(&self) -> Json {
+        match self {
+            Some(v) => v.to_json(),
+            None => Json::Null,
+        }
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson> ToJson for [T] {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson, const N: usize> ToJson for [T; N] {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<A: ToJson, B: ToJson> ToJson for (A, B) {
+    fn to_json(&self) -> Json {
+        Json::Arr(vec![self.0.to_json(), self.1.to_json()])
+    }
+}
+
+impl<A: ToJson, B: ToJson, C: ToJson> ToJson for (A, B, C) {
+    fn to_json(&self) -> Json {
+        Json::Arr(vec![self.0.to_json(), self.1.to_json(), self.2.to_json()])
+    }
+}
+
+/// Serialise a value and write it to `<dir>/<name>.json`, creating the
+/// directory on demand. Returns the path written.
+pub fn write_json_file<T: ToJson + ?Sized>(
+    dir: &std::path::Path,
+    name: &str,
+    value: &T,
+) -> std::io::Result<std::path::PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{name}.json"));
+    std::fs::write(&path, value.to_json().to_string_pretty())?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_render() {
+        assert_eq!(Json::Null.to_string_pretty(), "null");
+        assert_eq!(true.to_json().to_string_pretty(), "true");
+        assert_eq!(42u32.to_json().to_string_pretty(), "42");
+        assert_eq!((-7i64).to_json().to_string_pretty(), "-7");
+        assert_eq!(u64::MAX.to_json().to_string_pretty(), "18446744073709551615");
+        assert_eq!(0.5f64.to_json().to_string_pretty(), "0.5");
+        assert_eq!(3.0f64.to_json().to_string_pretty(), "3.0");
+        assert_eq!(f64::NAN.to_json().to_string_pretty(), "null");
+        assert_eq!("hi".to_json().to_string_pretty(), "\"hi\"");
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let s = "line\nwith \"quotes\" and \\slash\u{1}";
+        let out = s.to_json().to_string_pretty();
+        assert_eq!(out, "\"line\\nwith \\\"quotes\\\" and \\\\slash\\u0001\"");
+    }
+
+    #[test]
+    fn nested_structures_are_indented() {
+        let v = Json::obj(vec![
+            ("name", "kgag".to_json()),
+            ("scores", vec![1.0f64, 0.25].to_json()),
+            ("empty", Json::Arr(vec![])),
+            ("nested", Json::obj(vec![("ok", true.to_json())])),
+        ]);
+        let expected = "{\n  \"name\": \"kgag\",\n  \"scores\": [\n    1.0,\n    0.25\n  ],\n  \"empty\": [],\n  \"nested\": {\n    \"ok\": true\n  }\n}";
+        assert_eq!(v.to_string_pretty(), expected);
+    }
+
+    #[test]
+    fn options_and_tuples() {
+        assert_eq!(None::<u32>.to_json(), Json::Null);
+        assert_eq!(Some(3u32).to_json(), Json::Int(3));
+        let pair = ("a".to_owned(), 1.5f64);
+        assert_eq!(
+            pair.to_json(),
+            Json::Arr(vec![Json::Str("a".into()), Json::Float(1.5)])
+        );
+    }
+
+    #[test]
+    fn write_json_file_round_trip() {
+        let dir = std::env::temp_dir().join("kgag-testkit-json-test");
+        let path = write_json_file(&dir, "sample", &vec![1u32, 2, 3]).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text, "[\n  1,\n  2,\n  3\n]");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,32 @@
+//! # kgag-testkit
+//!
+//! The workspace's self-contained test substrate, replacing the external
+//! `proptest`, `criterion` and `serde`/`serde_json` dependencies so that
+//! `cargo build && cargo test` work with **zero network access**:
+//!
+//! * [`gen`] — composable, deterministic value generators with greedy
+//!   input shrinking;
+//! * [`check`] — a `SplitMix64`-driven property-test runner with
+//!   configurable case counts and failure-seed reporting (every failure
+//!   prints the exact seed that reproduces it);
+//! * [`bench`] — a wall-clock micro-benchmark harness (warmup + timed
+//!   iterations, median/p95) that writes JSON artifacts;
+//! * [`json`] — a minimal JSON value model, [`json::ToJson`] trait and
+//!   pretty writer for experiment artifacts.
+//!
+//! Everything is seeded through `kgag_tensor::rng` (`SplitMix64` +
+//! `derive_seed`), so test inputs are identical run-to-run and across
+//! machines. See DESIGN.md §"Hermetic builds & determinism".
+
+pub mod bench;
+pub mod check;
+pub mod gen;
+pub mod json;
+
+pub use bench::{BenchConfig, BenchResult, BenchSuite};
+pub use check::{check, Runner};
+pub use gen::Gen;
+pub use json::{Json, ToJson};
+
+/// Re-export of the shared deterministic RNG for test authors.
+pub use kgag_tensor::rng::{derive_seed, SplitMix64};

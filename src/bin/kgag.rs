@@ -21,6 +21,7 @@ use kgag_data::split::split_dataset;
 use kgag_data::yelp::{yelp, YelpConfig};
 use kgag_data::{DatasetStats, GroupDataset};
 use kgag_eval::EvalConfig;
+use kgag_testkit::json::{Json, ToJson};
 use std::collections::HashMap;
 use std::process::ExitCode;
 
@@ -133,10 +134,7 @@ fn cmd_stats(opts: &Flags) -> Result<(), String> {
     let ds = dataset(opts)?;
     let stats = ds.stats();
     if opts.contains_key("json") {
-        println!(
-            "{}",
-            serde_json::to_string_pretty(&stats).map_err(|e| e.to_string())?
-        );
+        println!("{}", stats.to_json().to_string_pretty());
     } else {
         print!("{}", DatasetStats::table_rows(&[stats]));
     }
@@ -165,12 +163,12 @@ fn train_and_report(ds: &GroupDataset, opts: &Flags) -> Result<Kgag, String> {
     let val_summary = model.evaluate(&val, &ecfg);
     let test_summary = model.evaluate(&test, &ecfg);
     if opts.contains_key("json") {
-        let payload = serde_json::json!({
-            "dataset": ds.name,
-            "validation": val_summary,
-            "test": test_summary,
-        });
-        println!("{}", serde_json::to_string_pretty(&payload).map_err(|e| e.to_string())?);
+        let payload = Json::obj(vec![
+            ("dataset", ds.name.to_json()),
+            ("validation", val_summary.to_json()),
+            ("test", test_summary.to_json()),
+        ]);
+        println!("{}", payload.to_string_pretty());
     } else {
         println!("validation  {val_summary}");
         println!("test        {test_summary}");

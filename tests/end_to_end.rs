@@ -39,6 +39,48 @@ fn training_beats_untrained_on_rand() {
     assert!(after.hit > 0.0, "trained model should hit at least once");
 }
 
+/// Workspace smoke test: the whole offline stack — synthetic dataset,
+/// split, KGAG training, ranking evaluation, JSON rendering — works
+/// end to end with no external dependency anywhere.
+#[test]
+fn workspace_smoke_train_and_rank() {
+    use kgag_testkit::json::ToJson;
+
+    let ds = yelp(&YelpConfig::at_scale(Scale::Tiny));
+    let split = split_dataset(&ds, 11);
+    let cases = eval_cases(&ds, &split.group, EvalBucket::Test);
+    assert!(!cases.is_empty(), "tiny world must produce test cases");
+
+    let mut model = Kgag::new(&ds, &split, tiny_cfg(6));
+    let report = model.fit(&split);
+    assert_eq!(report.epochs.len(), 6);
+    let first = report.epochs.first().unwrap();
+    let last = report.epochs.last().unwrap();
+    assert!(
+        last.group < first.group,
+        "group loss should decrease: {:.4} -> {:.4}",
+        first.group,
+        last.group
+    );
+
+    let summary = model.evaluate(&cases, &EvalConfig::default());
+    for (name, v) in [
+        ("hit", summary.hit),
+        ("recall", summary.recall),
+        ("precision", summary.precision),
+        ("ndcg", summary.ndcg),
+        ("mrr", summary.mrr),
+    ] {
+        assert!((0.0..=1.0).contains(&v), "{name} = {v} outside [0, 1]");
+    }
+
+    // the report and summary serialise through the in-workspace writer
+    let text = summary.to_json().to_string_pretty();
+    assert!(text.contains("\"hit\""), "{text}");
+    let text = report.to_json().to_string_pretty();
+    assert!(text.contains("\"epochs\""), "{text}");
+}
+
 #[test]
 fn every_ablation_trains_and_evaluates() {
     let (_, ds, _) = movielens_pair(&MovieLensConfig::at_scale(Scale::Tiny));
