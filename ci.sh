@@ -1,29 +1,72 @@
 #!/usr/bin/env sh
-# Offline tier-1 gate for the KGAG workspace.
+# Offline multi-stage CI gate for the KGAG workspace.
 #
-# The workspace has zero external dependencies (see DESIGN.md §8), so the
-# whole gate runs with --offline: if anyone reintroduces a crates.io
-# dependency, this script fails on the first cargo invocation instead of
+# The workspace has zero external dependencies (see DESIGN.md §8), so
+# every cargo invocation runs with --offline: if anyone reintroduces a
+# crates.io dependency, the gate fails on the first stage instead of
 # only on a network-less machine.
 #
+# Stages (each fails fast):
+#   1. fmt        — cargo fmt --check
+#   2. build      — release build with RUSTFLAGS="-D warnings"
+#   3. test x2    — full suite at KGAG_THREADS=1 and KGAG_THREADS=4;
+#                   the determinism suite additionally compares both
+#                   thread counts bit-for-bit inside one process
+#                   (DESIGN.md §9)
+#   4. bench gate — only with --bench: regenerate the micro-benchmark
+#                   JSON artifacts and compare medians against the
+#                   committed results/bench_baseline.json; fails on
+#                   regressions beyond KGAG_BENCH_TOLERANCE (default
+#                   25%). Regenerate the baseline after intentional
+#                   perf changes with:
+#                     ./ci.sh --bench-baseline
+#
 # Usage:
-#   ./ci.sh          # build (release) + full test suite
-#   ./ci.sh --bench  # additionally smoke-run the micro-benchmarks
+#   ./ci.sh                   # fmt + build + determinism test matrix
+#   ./ci.sh --bench           # …plus the bench regression gate
+#   ./ci.sh --bench-baseline  # …instead rewrite results/bench_baseline.json
 set -eu
 
 cd "$(dirname "$0")"
 
-echo "==> cargo build --release --offline"
-cargo build --release --offline --workspace
+# Bench settings shared by the gate and baseline generation — the 25%
+# tolerance only means something when both sides use identical
+# iteration counts.
+BENCH_ENV="KGAG_BENCH_ITERS=5 KGAG_BENCH_WARMUP=1 KGAG_THREADS=4"
 
-echo "==> cargo test --offline"
-cargo test -q --offline --workspace
+echo "==> stage 1/4: cargo fmt --check"
+cargo fmt --check
 
-if [ "${1:-}" = "--bench" ]; then
-    # one measured iteration per benchmark: checks the harness and the
-    # bench code paths, not the timings
-    echo "==> bench smoke (KGAG_BENCH_ITERS=1)"
-    KGAG_BENCH_ITERS=1 KGAG_BENCH_WARMUP=0 cargo bench --offline -p kgag-bench
-fi
+echo "==> stage 2/4: cargo build --release --offline (deny warnings)"
+RUSTFLAGS="-D warnings" cargo build --release --offline --workspace
 
-echo "==> tier-1 gate passed"
+echo "==> stage 3/4: cargo test --offline (KGAG_THREADS=1)"
+KGAG_THREADS=1 cargo test -q --offline --workspace
+
+echo "==> stage 3/4: cargo test --offline (KGAG_THREADS=4)"
+KGAG_THREADS=4 cargo test -q --offline --workspace
+
+run_benches() {
+    rm -f crates/bench/results/bench_*.json
+    env $BENCH_ENV cargo bench --offline -p kgag-bench
+}
+
+case "${1:-}" in
+--bench)
+    echo "==> stage 4/4: bench regression gate"
+    run_benches
+    cargo run -q --release --offline -p kgag-bench --bin bench_check
+    ;;
+--bench-baseline)
+    echo "==> stage 4/4: rewriting bench baseline"
+    run_benches
+    cargo run -q --release --offline -p kgag-bench --bin bench_check -- --write-baseline
+    ;;
+"") ;;
+*)
+    echo "usage: ./ci.sh [--bench | --bench-baseline]" >&2
+    exit 2
+    ;;
+esac
+
+echo "==> CI gate passed"

@@ -116,10 +116,7 @@ mod tests {
     impl IndividualScorer for Fake {
         fn score_user(&self, user: u32, items: &[u32]) -> Vec<f32> {
             // user 0 loves item 0, user 1 loves item 1
-            items
-                .iter()
-                .map(|&v| if v == user { 1.0 } else { 0.1 })
-                .collect()
+            items.iter().map(|&v| if v == user { 1.0 } else { 0.1 }).collect()
         }
     }
 

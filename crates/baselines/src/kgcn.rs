@@ -94,10 +94,8 @@ impl Kgcn {
             graph.num_relation_slots(),
             &kcfg,
         );
-        let sampler = NeighborSampler::new(
-            config.neighbor_k,
-            derive_seed(config.base.seed, "kgcn-sampler"),
-        );
+        let sampler =
+            NeighborSampler::new(config.neighbor_k, derive_seed(config.base.seed, "kgcn-sampler"));
         Kgcn {
             config,
             graph,
@@ -113,17 +111,9 @@ impl Kgcn {
     }
 
     /// Propagated item representations under a `[B, d]` query.
-    fn item_rep(
-        &self,
-        tape: &mut Tape<'_>,
-        items: &[u32],
-        query: NodeId,
-        salt: u64,
-    ) -> NodeId {
+    fn item_rep(&self, tape: &mut Tape<'_>, items: &[u32], query: NodeId, salt: u64) -> NodeId {
         let targets: Vec<u32> = items.iter().map(|&v| self.item_entity[v as usize]).collect();
-        let rf = self
-            .sampler
-            .receptive_field(&self.graph, &targets, self.config.layers, salt);
+        let rf = self.sampler.receptive_field(&self.graph, &targets, self.config.layers, salt);
         propagate(tape, &self.prop, self.config.aggregator, &rf, query)
     }
 
@@ -215,9 +205,7 @@ impl IndividualScorer for Kgcn {
             let salt = derive_seed(self.config.base.seed, "kgcn-score") ^ user as u64;
             let v_rep = self.item_rep(&mut tape, chunk, ue, salt);
             let logits = tape.row_dot(ue, v_rep);
-            out.extend(
-                tape.value(logits).data().iter().map(|&s| kgag_tensor::tensor::sigmoid(s)),
-            );
+            out.extend(tape.value(logits).data().iter().map(|&s| kgag_tensor::tensor::sigmoid(s)));
         }
         out
     }
@@ -235,7 +223,10 @@ mod tests {
         let split = split_dataset(&ds, 5);
         let mut model = Kgcn::new(
             &ds,
-            KgcnConfig { base: BaselineConfig { epochs: 4, ..Default::default() }, ..Default::default() },
+            KgcnConfig {
+                base: BaselineConfig { epochs: 4, ..Default::default() },
+                ..Default::default()
+            },
         );
         let losses = model.fit(&split);
         assert_eq!(losses.len(), 4);
@@ -251,7 +242,10 @@ mod tests {
         let split = split_dataset(&ds, 5);
         let mut model = Kgcn::new(
             &ds,
-            KgcnConfig { base: BaselineConfig { epochs: 10, ..Default::default() }, ..Default::default() },
+            KgcnConfig {
+                base: BaselineConfig { epochs: 10, ..Default::default() },
+                ..Default::default()
+            },
         );
         let losses = model.fit(&split);
         assert!(

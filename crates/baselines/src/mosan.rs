@@ -250,10 +250,7 @@ impl GroupScorer for Mosan {
         let g_rep = self.group_rep(&mut tape, members);
         let g = tape.value(g_rep).clone();
         let v = self.store.value(self.item_emb);
-        items
-            .iter()
-            .map(|&i| kgag_tensor::tensor::sigmoid(g.row_dot(0, v, i as usize)))
-            .collect()
+        items.iter().map(|&i| kgag_tensor::tensor::sigmoid(g.row_dot(0, v, i as usize))).collect()
     }
 }
 
@@ -276,11 +273,8 @@ mod tests {
 
     fn quick_cfg(epochs: usize, transe: bool) -> MosanConfig {
         let base = BaselineConfig { epochs, ..Default::default() };
-        let transe = transe.then(|| TransEConfig {
-            dim: base.dim,
-            epochs: 3,
-            ..TransEConfig::default()
-        });
+        let transe =
+            transe.then(|| TransEConfig { dim: base.dim, epochs: 3, ..TransEConfig::default() });
         MosanConfig { base, transe }
     }
 
@@ -302,10 +296,7 @@ mod tests {
         let split = split_dataset(&ds, 9);
         let with = Mosan::new(&ds, &split, quick_cfg(1, true));
         let without = Mosan::new(&ds, &split, quick_cfg(1, false));
-        assert_ne!(
-            with.store.value(with.user_emb),
-            without.store.value(without.user_emb)
-        );
+        assert_ne!(with.store.value(with.user_emb), without.store.value(without.user_emb));
     }
 
     #[test]

@@ -71,8 +71,7 @@ impl PseudoUserGroups {
             for chunk in pairs.chunks(cfg.batch_size) {
                 let groups: Vec<u32> = chunk.iter().map(|&(g, _)| g).collect();
                 let pos: Vec<u32> = chunk.iter().map(|&(_, v)| v).collect();
-                let negs: Vec<u32> =
-                    chunk.iter().map(|&(g, _)| neg.sample(g, &mut rng)).collect();
+                let negs: Vec<u32> = chunk.iter().map(|&(g, _)| neg.sample(g, &mut rng)).collect();
                 let (grads, loss) = {
                     let mut tape = Tape::new(&self.store);
                     let g_rep = tape.gather(self.group_emb, &groups);
@@ -84,8 +83,10 @@ impl PseudoUserGroups {
                     // pointwise anchor so scores stay calibrated
                     let b = chunk.len();
                     let point = {
-                        let t_pos = user_log_loss(&mut tape, s_pos, Tensor::col_vector(&vec![1.0; b]));
-                        let t_neg = user_log_loss(&mut tape, s_neg, Tensor::col_vector(&vec![0.0; b]));
+                        let t_pos =
+                            user_log_loss(&mut tape, s_pos, Tensor::col_vector(&vec![1.0; b]));
+                        let t_neg =
+                            user_log_loss(&mut tape, s_neg, Tensor::col_vector(&vec![0.0; b]));
                         tape.add(t_pos, t_neg)
                     };
                     let point_w = tape.scale(point, 0.25);

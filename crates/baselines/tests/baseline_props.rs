@@ -3,9 +3,7 @@
 //! monotone, and the group-scorer adaptor matches per-item manual
 //! aggregation.
 
-use kgag_baselines::aggregators::{
-    AggregatedGroupScorer, IndividualScorer, ScoreAggregator,
-};
+use kgag_baselines::aggregators::{AggregatedGroupScorer, IndividualScorer, ScoreAggregator};
 use kgag_eval::GroupScorer;
 use kgag_tensor::rng::{derive_seed, SplitMix64};
 use kgag_testkit::check::Runner;
@@ -50,24 +48,21 @@ fn aggregate_stays_in_member_hull() {
 #[test]
 fn aggregate_is_permutation_invariant() {
     let gen = (vec_of(f32_in(-5.0..5.0), 1..10), u64_in(0..1000));
-    Runner::new("aggregate_is_permutation_invariant").cases(64).run(
-        &gen,
-        |(scores, seed)| {
-            let mut shuffled = scores.clone();
-            SplitMix64::new(*seed).shuffle(&mut shuffled);
-            for agg in ScoreAggregator::all() {
-                let a = agg.aggregate(scores);
-                let b = agg.aggregate(&shuffled);
-                // AVG reorders a float sum; allow rounding slack
-                prop_assert!(
-                    (a - b).abs() < 1e-5,
-                    "{} not permutation-invariant: {a} vs {b}",
-                    agg.label()
-                );
-            }
-            Ok(())
-        },
-    );
+    Runner::new("aggregate_is_permutation_invariant").cases(64).run(&gen, |(scores, seed)| {
+        let mut shuffled = scores.clone();
+        SplitMix64::new(*seed).shuffle(&mut shuffled);
+        for agg in ScoreAggregator::all() {
+            let a = agg.aggregate(scores);
+            let b = agg.aggregate(&shuffled);
+            // AVG reorders a float sum; allow rounding slack
+            prop_assert!(
+                (a - b).abs() < 1e-5,
+                "{} not permutation-invariant: {a} vs {b}",
+                agg.label()
+            );
+        }
+        Ok(())
+    });
 }
 
 /// Raising every member's score never lowers any aggregate.
@@ -79,8 +74,7 @@ fn aggregate_is_monotone_in_member_scores() {
         |(scores, deltas)| {
             let n = scores.len().min(deltas.len());
             let base = &scores[..n];
-            let raised: Vec<f32> =
-                base.iter().zip(&deltas[..n]).map(|(s, d)| s + d).collect();
+            let raised: Vec<f32> = base.iter().zip(&deltas[..n]).map(|(s, d)| s + d).collect();
             for agg in ScoreAggregator::all() {
                 let a = agg.aggregate(base);
                 let b = agg.aggregate(&raised);
@@ -112,10 +106,8 @@ fn adaptor_matches_manual_aggregation() {
                 let got = scorer.score(0, &items);
                 prop_assert_eq!(got.len(), items.len());
                 for (i, &v) in items.iter().enumerate() {
-                    let col: Vec<f32> = members
-                        .iter()
-                        .map(|&u| model.score_user(u, &[v])[0])
-                        .collect();
+                    let col: Vec<f32> =
+                        members.iter().map(|&u| model.score_user(u, &[v])[0]).collect();
                     let want = agg.aggregate(&col);
                     prop_assert!(
                         (got[i] - want).abs() < 1e-6,
@@ -135,21 +127,14 @@ fn adaptor_matches_manual_aggregation() {
 #[test]
 fn aggregate_commutes_with_positive_scaling() {
     let gen = (vec_of(f32_in(-5.0..5.0), 1..10), f32_in(0.1..4.0));
-    Runner::new("aggregate_commutes_with_positive_scaling").cases(64).run(
-        &gen,
-        |(scores, c)| {
-            let c = *c;
-            let scaled: Vec<f32> = scores.iter().map(|s| s * c).collect();
-            for agg in ScoreAggregator::all() {
-                let a = agg.aggregate(&scaled);
-                let b = c * agg.aggregate(scores);
-                prop_assert!(
-                    (a - b).abs() < 1e-4 * (1.0 + b.abs()),
-                    "{}: {a} vs {b}",
-                    agg.label()
-                );
-            }
-            Ok(())
-        },
-    );
+    Runner::new("aggregate_commutes_with_positive_scaling").cases(64).run(&gen, |(scores, c)| {
+        let c = *c;
+        let scaled: Vec<f32> = scores.iter().map(|s| s * c).collect();
+        for agg in ScoreAggregator::all() {
+            let a = agg.aggregate(&scaled);
+            let b = c * agg.aggregate(scores);
+            prop_assert!((a - b).abs() < 1e-4 * (1.0 + b.abs()), "{}: {a} vs {b}", agg.label());
+        }
+        Ok(())
+    });
 }

@@ -44,8 +44,7 @@ fn bench_training_epoch(suite: &mut BenchSuite) {
         black_box(model.fit(&split));
     });
     suite.bench_iters("MF 1 epoch (tiny)", 5, || {
-        let mut model =
-            MatrixFactorization::new(&ds, MfConfig { epochs: 1, ..Default::default() });
+        let mut model = MatrixFactorization::new(&ds, MfConfig { epochs: 1, ..Default::default() });
         black_box(model.fit(&split));
     });
 }

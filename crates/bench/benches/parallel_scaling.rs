@@ -1,0 +1,92 @@
+//! Thread-scaling benchmark of the pool-parallel hot paths (DESIGN.md
+//! §9): matmul and receptive-field sampling are timed at 1, 2 and 4
+//! logical threads through the `with_threads` override, so one process
+//! measures the whole scaling curve regardless of `KGAG_THREADS`. The
+//! JSON artifact records one result per (kernel, thread count) pair plus
+//! `speedup_*` annotations (t1 median / t4 median) — the numbers the
+//! acceptance gate reads.
+//!
+//! Determinism note: the same inputs are used at every thread count, and
+//! the kernels are bit-identical by construction, so any divergence here
+//! is a pool bug, not benchmark noise.
+
+use kgag_data::movielens::{movielens_rand, MovieLensConfig, Scale};
+use kgag_kg::NeighborSampler;
+use kgag_tensor::pool::with_threads;
+use kgag_tensor::{init, ParamStore, Tape};
+use kgag_testkit::bench::{black_box, BenchSuite};
+use kgag_testkit::json::Json;
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 4];
+
+/// Median time of `bench` at each thread count, recorded into `suite`
+/// as `"<label> t<n>"`; returns `(threads, median_ns)` pairs.
+fn sweep(suite: &mut BenchSuite, label: &str, mut bench: impl FnMut()) -> Vec<(usize, f64)> {
+    let mut medians = Vec::new();
+    for &t in &THREAD_COUNTS {
+        with_threads(t, || suite.bench(&format!("{label} t{t}"), &mut bench));
+        let r = suite.results().last().expect("bench just recorded a result");
+        medians.push((t, r.median_ns));
+    }
+    medians
+}
+
+/// Annotate `speedup_<key>` with `{threads: t1_median/tN_median}`.
+fn annotate_speedup(suite: &mut BenchSuite, key: &str, medians: &[(usize, f64)]) {
+    let t1 = medians
+        .iter()
+        .find(|&&(t, _)| t == 1)
+        .map(|&(_, ns)| ns)
+        .expect("sweep always includes 1 thread");
+    let fields: Vec<(String, Json)> =
+        medians.iter().map(|&(t, ns)| (format!("t{t}"), Json::Float(t1 / ns))).collect();
+    suite.annotate(&format!("speedup_{key}"), Json::Obj(fields));
+}
+
+fn bench_matmul(suite: &mut BenchSuite) {
+    // 512x256 * 256x256 ≈ 33.5M MACs — far above PAR_MIN_WORK so the
+    // row bands actually fan out
+    let a = init::uniform(512, 256, 1.0, 1);
+    let b = init::uniform(256, 256, 1.0, 2);
+    let medians = sweep(suite, "matmul 512x256*256x256", || {
+        black_box(a.matmul(&b));
+    });
+    annotate_speedup(suite, "matmul", &medians);
+}
+
+fn bench_backward(suite: &mut BenchSuite) {
+    // a propagation-shaped tape step: gather + matmul forward & backward
+    let mut store = ParamStore::new();
+    let emb = store.register("emb", init::uniform(20_000, 64, 0.1, 3));
+    let w = store.register("w", init::uniform(64, 64, 0.3, 4));
+    let idx: Vec<u32> = (0..4096u32).map(|i| (i * 37) % 20_000).collect();
+    let medians = sweep(suite, "gather+matmul fwd+bwd 4096x64", || {
+        let mut tape = Tape::new(&store);
+        let x = tape.gather(emb, &idx);
+        let ww = tape.param(w);
+        let h = tape.matmul(x, ww);
+        let s = tape.sum_all(h);
+        black_box(tape.backward(s));
+    });
+    annotate_speedup(suite, "backward", &medians);
+}
+
+fn bench_sampler(suite: &mut BenchSuite) {
+    let ds = movielens_rand(&MovieLensConfig::at_scale(Scale::Small));
+    let split = kgag_data::split::split_dataset(&ds, 1);
+    let ckg = ds.collaborative_kg_from(&split.user_train);
+    let targets: Vec<u32> = (0..1024u32).map(|i| i % ckg.num_entities() as u32).collect();
+    let sampler = NeighborSampler::new(8, 5);
+    let medians = sweep(suite, "receptive_field 1024 targets K=8 H=3", || {
+        black_box(sampler.receptive_field(ckg.graph(), &targets, 3, 0));
+    });
+    annotate_speedup(suite, "sampler", &medians);
+}
+
+fn main() {
+    let mut suite = BenchSuite::new("parallel_scaling");
+    bench_matmul(&mut suite);
+    bench_backward(&mut suite);
+    bench_sampler(&mut suite);
+    suite.finish();
+}

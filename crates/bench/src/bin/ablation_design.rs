@@ -10,7 +10,9 @@
 //! here and why the paper's setting did not need them).
 
 use kgag::KgagConfig;
-use kgag_bench::{dataset_trio, kgag_config_for, prepare, run_kgag, scale_from_env, write_json, ResultRow};
+use kgag_bench::{
+    dataset_trio, kgag_config_for, prepare, run_kgag, scale_from_env, write_json, ResultRow,
+};
 
 fn main() {
     let scale = scale_from_env();

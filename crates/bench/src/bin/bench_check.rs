@@ -1,0 +1,209 @@
+//! CI bench-regression gate: compare the freshly written
+//! `bench_*.json` artifacts against the committed baseline and fail on
+//! meaningful slowdowns.
+//!
+//! ```text
+//! bench_check [--baseline PATH] [--current DIR] [--write-baseline]
+//! ```
+//!
+//! * `--baseline` — committed reference file (default
+//!   `results/bench_baseline.json`, resolved from the invocation
+//!   directory — ci.sh runs this from the repo root);
+//! * `--current`  — directory holding the run's `bench_*.json`
+//!   artifacts (default `crates/bench/results`, where `cargo bench`
+//!   writes them);
+//! * `--write-baseline` — regenerate the baseline from the current
+//!   artifacts instead of comparing (use after intentional perf
+//!   changes, with the same `KGAG_BENCH_ITERS`/`KGAG_BENCH_WARMUP`
+//!   ci.sh uses).
+//!
+//! A benchmark regresses when `current_median > baseline_median * (1 +
+//! tol)` with `tol` from `KGAG_BENCH_TOLERANCE` (default 0.25).
+//! Benchmarks present only on one side are reported but never fail the
+//! gate — adding or retiring a benchmark shouldn't need a lockstep
+//! baseline edit to keep CI green.
+
+use kgag_testkit::bench::fmt_ns;
+use kgag_testkit::json::Json;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+struct Args {
+    baseline: PathBuf,
+    current: PathBuf,
+    write_baseline: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        baseline: PathBuf::from("results/bench_baseline.json"),
+        current: PathBuf::from("crates/bench/results"),
+        write_baseline: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--baseline" => {
+                args.baseline = it.next().ok_or("--baseline needs a path")?.into();
+            }
+            "--current" => {
+                args.current = it.next().ok_or("--current needs a directory")?.into();
+            }
+            "--write-baseline" => args.write_baseline = true,
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn tolerance() -> f64 {
+    std::env::var("KGAG_BENCH_TOLERANCE").ok().and_then(|v| v.parse().ok()).unwrap_or(0.25)
+}
+
+/// `suite/name -> median_ns` across every `bench_*.json` in `dir`,
+/// sorted by key so baselines diff cleanly.
+fn collect_medians(dir: &Path) -> Result<Vec<(String, f64)>, String> {
+    let mut medians = Vec::new();
+    let entries =
+        std::fs::read_dir(dir).map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+    for entry in entries {
+        let path = entry.map_err(|e| e.to_string())?.path();
+        let file = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if !file.starts_with("bench_") || !file.ends_with(".json") || file == "bench_baseline.json"
+        {
+            continue;
+        }
+        let text = std::fs::read_to_string(&path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        let json = Json::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+        let suite = json
+            .get("suite")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("{}: missing \"suite\"", path.display()))?
+            .to_owned();
+        let results = json
+            .get("results")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| format!("{}: missing \"results\"", path.display()))?;
+        for r in results {
+            let name = r
+                .get("name")
+                .and_then(Json::as_str)
+                .ok_or_else(|| format!("{}: result missing \"name\"", path.display()))?;
+            let median = r
+                .get("median_ns")
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("{}: result missing \"median_ns\"", path.display()))?;
+            medians.push((format!("{suite}/{name}"), median));
+        }
+    }
+    if medians.is_empty() {
+        return Err(format!(
+            "no bench_*.json artifacts in {} — run `cargo bench` first",
+            dir.display()
+        ));
+    }
+    medians.sort_by(|a, b| a.0.cmp(&b.0));
+    Ok(medians)
+}
+
+fn write_baseline(path: &Path, medians: &[(String, f64)]) -> Result<(), String> {
+    let entries = Json::Obj(medians.iter().map(|(k, v)| (k.clone(), Json::Float(*v))).collect());
+    let payload = Json::obj(vec![
+        ("git_sha", kgag_testkit::bench::git_sha().map(Json::Str).unwrap_or(Json::Null)),
+        ("entries", entries),
+    ]);
+    let dir = path.parent().unwrap_or(Path::new("."));
+    let stem = path
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .ok_or_else(|| format!("bad baseline path {}", path.display()))?;
+    let written = kgag_testkit::json::write_json_file(dir, stem, &payload)
+        .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+    println!("baseline with {} entries written to {}", medians.len(), written.display());
+    Ok(())
+}
+
+fn load_baseline(path: &Path) -> Result<Vec<(String, f64)>, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read baseline {}: {e}", path.display()))?;
+    let json = Json::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+    let Some(Json::Obj(entries)) = json.get("entries") else {
+        return Err(format!("{}: missing \"entries\" object", path.display()));
+    };
+    entries
+        .iter()
+        .map(|(k, v)| {
+            v.as_f64()
+                .map(|ns| (k.clone(), ns))
+                .ok_or_else(|| format!("{}: non-numeric entry {k}", path.display()))
+        })
+        .collect()
+}
+
+fn compare(baseline: &[(String, f64)], current: &[(String, f64)], tol: f64) -> bool {
+    let mut failures = 0usize;
+    for (key, base_ns) in baseline {
+        let Some((_, cur_ns)) = current.iter().find(|(k, _)| k == key) else {
+            println!("  [gone]  {key} — in baseline but not in this run");
+            continue;
+        };
+        let ratio = cur_ns / base_ns;
+        let verdict = if ratio > 1.0 + tol {
+            failures += 1;
+            "REGRESSED"
+        } else {
+            "ok"
+        };
+        println!(
+            "  [{verdict:>9}] {key}: {} -> {} ({:+.1}%)",
+            fmt_ns(*base_ns),
+            fmt_ns(*cur_ns),
+            (ratio - 1.0) * 100.0
+        );
+    }
+    for (key, _) in current {
+        if !baseline.iter().any(|(k, _)| k == key) {
+            println!("  [new]   {key} — not in baseline (rerun --write-baseline to track)");
+        }
+    }
+    if failures > 0 {
+        eprintln!(
+            "\nbench_check: {failures} benchmark(s) regressed beyond {:.0}% \
+             (KGAG_BENCH_TOLERANCE={tol})",
+            tol * 100.0
+        );
+        return false;
+    }
+    println!("\nbench_check: all {} baseline benchmarks within tolerance", baseline.len());
+    true
+}
+
+fn run() -> Result<bool, String> {
+    let args = parse_args()?;
+    let current = collect_medians(&args.current)?;
+    if args.write_baseline {
+        write_baseline(&args.baseline, &current)?;
+        return Ok(true);
+    }
+    let baseline = load_baseline(&args.baseline)?;
+    let tol = tolerance();
+    println!(
+        "comparing {} current benchmarks against {} (tolerance {:.0}%)\n",
+        current.len(),
+        args.baseline.display(),
+        tol * 100.0
+    );
+    Ok(compare(&baseline, &current, tol))
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(e) => {
+            eprintln!("bench_check: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

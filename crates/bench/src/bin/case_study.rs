@@ -7,9 +7,9 @@
 
 use kgag::harness::{eval_cases, EvalBucket};
 use kgag::Kgag;
+use kgag_bench::SPLIT_SEED;
 use kgag_bench::{dataset_trio, kgag_config_for, scale_from_env, write_json};
 use kgag_data::split::split_dataset;
-use kgag_bench::SPLIT_SEED;
 
 fn main() {
     let scale = scale_from_env();
@@ -49,11 +49,9 @@ fn main() {
     }
 
     // aggregate skew statistic: how concentrated is influence?
-    let mean_max_alpha: f32 = explanations
-        .iter()
-        .map(|e| e.alpha.iter().cloned().fold(0.0f32, f32::max))
-        .sum::<f32>()
-        / explanations.len().max(1) as f32;
+    let mean_max_alpha: f32 =
+        explanations.iter().map(|e| e.alpha.iter().cloned().fold(0.0f32, f32::max)).sum::<f32>()
+            / explanations.len().max(1) as f32;
     let uniform = 1.0 / simi.group_size as f32;
     println!(
         "mean max-α across {} groups: {:.3} (uniform would be {:.3}) — \

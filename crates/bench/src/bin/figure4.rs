@@ -6,7 +6,9 @@
 //! single layer misses high-order connectivity, three layers inject
 //! noise.
 
-use kgag_bench::{dataset_trio, kgag_config_for, prepare, run_kgag, scale_from_env, write_json, ResultRow};
+use kgag_bench::{
+    dataset_trio, kgag_config_for, prepare, run_kgag, scale_from_env, write_json, ResultRow,
+};
 
 fn main() {
     let scale = scale_from_env();

@@ -6,11 +6,15 @@
 //! of user–item data; a small d under-fits, a large d over-fits the
 //! sparse group interactions.
 
-use kgag_bench::{dataset_trio, kgag_config_for, prepare, run_kgag, scale_from_env, write_json, ResultRow};
+use kgag_bench::{
+    dataset_trio, kgag_config_for, prepare, run_kgag, scale_from_env, write_json, ResultRow,
+};
 
 fn main() {
     let scale = scale_from_env();
-    println!("== Figure 5: loss weight β and dimension d on MovieLens-20M-Simi (scale {scale:?}) ==\n");
+    println!(
+        "== Figure 5: loss weight β and dimension d on MovieLens-20M-Simi (scale {scale:?}) ==\n"
+    );
     let (_, simi, _) = dataset_trio(scale);
     let prep = prepare(&simi);
     let base = kgag_config_for(&simi);

@@ -5,13 +5,13 @@
 //! groups can be sampling noise; this binary quantifies that before
 //! EXPERIMENTS.md makes any "A beats B" claim.
 
+use kgag::Kgag;
 use kgag_baselines::{AggregatedGroupScorer, MatrixFactorization, MfConfig, ScoreAggregator};
 use kgag_bench::{
     dataset_trio, epochs_from_env, eval_config, kgag_config_for, prepare, scale_from_env,
     write_json,
 };
 use kgag_eval::{evaluate_group_ranking_detailed, paired_bootstrap};
-use kgag::Kgag;
 
 fn main() {
     let scale = scale_from_env();
@@ -25,12 +25,8 @@ fn main() {
 
         let mut kgag_model = Kgag::new(ds, &prep.split, kgag_config_for(ds));
         kgag_model.fit(&prep.split);
-        let (s_kgag, per_kgag) = evaluate_group_ranking_detailed(
-            &kgag_model,
-            ds.num_items,
-            &prep.test_cases,
-            &ecfg,
-        );
+        let (s_kgag, per_kgag) =
+            evaluate_group_ranking_detailed(&kgag_model, ds.num_items, &prep.test_cases, &ecfg);
 
         let mut mf_cfg = MfConfig::default();
         if let Some(e) = epochs_from_env() {

@@ -8,7 +8,9 @@
 //! −PI above −SP; −KG the weakest attention-bearing variant; BPR below
 //! the margin loss.
 
-use kgag_bench::{dataset_trio, kgag_config_for, prepare, run_kgag, scale_from_env, write_json, ResultRow};
+use kgag_bench::{
+    dataset_trio, kgag_config_for, prepare, run_kgag, scale_from_env, write_json, ResultRow,
+};
 
 fn main() {
     let scale = scale_from_env();

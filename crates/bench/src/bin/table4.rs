@@ -5,17 +5,16 @@
 //! the interaction between `e` and `e_N`; GraphSage only concatenates).
 
 use kgag::Aggregator;
-use kgag_bench::{dataset_trio, kgag_config_for, prepare, run_kgag, scale_from_env, write_json, ResultRow};
+use kgag_bench::{
+    dataset_trio, kgag_config_for, prepare, run_kgag, scale_from_env, write_json, ResultRow,
+};
 
 fn main() {
     let scale = scale_from_env();
     println!("== Table IV: aggregation function (scale {scale:?}) ==\n");
     let (rand, simi, _) = dataset_trio(scale);
     let mut rows = Vec::new();
-    println!(
-        "{:<12}{:>10}{:>10}{:>12}{:>10}",
-        "", "Rand rec@5", "hit@5", "Simi rec@5", "hit@5"
-    );
+    println!("{:<12}{:>10}{:>10}{:>12}{:>10}", "", "Rand rec@5", "hit@5", "Simi rec@5", "hit@5");
     for (name, agg) in [("GCN", Aggregator::Gcn), ("GraphSage", Aggregator::GraphSage)] {
         let mut line = format!("{name:<12}");
         for ds in [&rand, &simi] {

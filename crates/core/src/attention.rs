@@ -13,6 +13,12 @@
 //! representations (Eq. 13). Both terms can be ablated (KGAG-SP /
 //! KGAG-PI); with both off the weights degenerate to the uniform
 //! average, which is exactly the AVG static aggregator.
+//!
+//! Parallelism: the per-member weight computation and the α-weighted
+//! aggregation run on the tape's grouped ops, which band their
+//! independent blocks over `kgag_tensor::pool` (DESIGN.md §9) —
+//! deterministic at any `KGAG_THREADS` because each block writes a
+//! preallocated slot with unchanged accumulation order.
 
 use crate::config::KgagConfig;
 use crate::model::ModelParams;
@@ -53,9 +59,9 @@ pub fn group_attention(
     let sp = if config.use_sp {
         let item_rep = tape.repeat_rows(item, group_size);
         let raw = tape.row_dot(members, item_rep); // Eq. 9
-        // scaled dot-product (1/√d): an unscaled inner product saturates
-        // the group softmax into an argmax, collapsing the group onto its
-        // single most enthusiastic member
+                                                   // scaled dot-product (1/√d): an unscaled inner product saturates
+                                                   // the group softmax into an argmax, collapsing the group onto its
+                                                   // single most enthusiastic member
         let inv_sqrt_d = 1.0 / (tape.value(item).cols() as f32).sqrt();
         Some(tape.scale(raw, inv_sqrt_d))
     } else {
@@ -73,8 +79,8 @@ pub fn group_attention(
         let biased = tape.add_row(sum, b_att);
         let act = tape.relu(biased);
         let raw = tape.matmul(act, vc); // Eq. 10
-        // same 1/√d tempering as the SP term so neither signal can
-        // saturate the group softmax on its own
+                                        // same 1/√d tempering as the SP term so neither signal can
+                                        // saturate the group softmax on its own
         let inv_sqrt_d = 1.0 / (tape.value(item).cols() as f32).sqrt();
         Some(tape.scale(raw, inv_sqrt_d))
     } else {
@@ -109,11 +115,7 @@ mod tests {
     }
 
     fn members_tensor(b: usize, l: usize, d: usize) -> Tensor {
-        Tensor::from_vec(
-            b * l,
-            d,
-            (0..b * l * d).map(|i| ((i % 7) as f32 - 3.0) * 0.2).collect(),
-        )
+        Tensor::from_vec(b * l, d, (0..b * l * d).map(|i| ((i % 7) as f32 - 3.0) * 0.2).collect())
     }
 
     #[test]
@@ -136,10 +138,7 @@ mod tests {
     fn group_rep_is_convex_combination_of_members() {
         let (store, params, config) = fixture(2);
         let mut tape = Tape::new(&store);
-        let m = tape.constant(Tensor::from_rows(&[
-            &[1.0, 0.0, 0.0, 0.0],
-            &[0.0, 1.0, 0.0, 0.0],
-        ]));
+        let m = tape.constant(Tensor::from_rows(&[&[1.0, 0.0, 0.0, 0.0], &[0.0, 1.0, 0.0, 0.0]]));
         let v = tape.constant(Tensor::from_vec(1, 4, vec![0.5; 4]));
         let out = group_attention(&mut tape, &params, &config, m, v, 2);
         let g = tape.value(out.group_rep);
@@ -171,10 +170,7 @@ mod tests {
         config.use_pi = false;
         let mut tape = Tape::new(&store);
         // member 0 aligned with the item, member 1 anti-aligned
-        let m = tape.constant(Tensor::from_rows(&[
-            &[1.0, 1.0, 0.0, 0.0],
-            &[-1.0, -1.0, 0.0, 0.0],
-        ]));
+        let m = tape.constant(Tensor::from_rows(&[&[1.0, 1.0, 0.0, 0.0], &[-1.0, -1.0, 0.0, 0.0]]));
         let v = tape.constant(Tensor::from_rows(&[&[1.0, 1.0, 0.0, 0.0]]));
         let out = group_attention(&mut tape, &params, &config, m, v, 2);
         let alpha = tape.value(out.alpha);

@@ -57,9 +57,7 @@ impl GroupExplanation {
     pub fn ranking(&self) -> Vec<usize> {
         let mut idx: Vec<usize> = (0..self.members.len()).collect();
         idx.sort_by(|&a, &b| {
-            self.alpha[b]
-                .partial_cmp(&self.alpha[a])
-                .unwrap_or(std::cmp::Ordering::Equal)
+            self.alpha[b].partial_cmp(&self.alpha[a]).unwrap_or(std::cmp::Ordering::Equal)
         });
         idx
     }
@@ -90,11 +88,7 @@ impl GroupExplanation {
 
 impl std::fmt::Display for GroupExplanation {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        writeln!(
-            f,
-            "group g_{} x item v_{} -> score {:.4}",
-            self.group, self.item, self.score
-        )?;
+        writeln!(f, "group g_{} x item v_{} -> score {:.4}", self.group, self.item, self.score)?;
         for (i, &u) in self.members.iter().enumerate() {
             let bar_len = (self.alpha[i] * 40.0).round() as usize;
             write!(f, "  u_{u:<8} α={:.3} {}", self.alpha[i], "#".repeat(bar_len))?;

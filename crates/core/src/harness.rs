@@ -16,11 +16,7 @@ pub enum EvalBucket {
 /// Build the protocol's evaluation cases for every group that has
 /// held-out positives in the chosen bucket. `known_positives` covers
 /// train ∪ val ∪ test so negatives are true negatives.
-pub fn eval_cases(
-    ds: &GroupDataset,
-    split: &GroupSplit,
-    bucket: EvalBucket,
-) -> Vec<GroupEvalCase> {
+pub fn eval_cases(ds: &GroupDataset, split: &GroupSplit, bucket: EvalBucket) -> Vec<GroupEvalCase> {
     let mut out = Vec::new();
     for g in 0..ds.num_groups() {
         let held = match bucket {

@@ -34,10 +34,8 @@ impl PropagationParams {
     ) -> Self {
         let d = config.dim;
         let seed = |label: &str| derive_seed(config.seed, label);
-        let entity_emb = store.register(
-            "entity_emb",
-            init::xavier_uniform(num_entities, d, seed("entity_emb")),
-        );
+        let entity_emb =
+            store.register("entity_emb", init::xavier_uniform(num_entities, d, seed("entity_emb")));
         let relation_emb = store.register(
             "relation_emb",
             init::xavier_uniform(num_relation_slots, d, seed("relation_emb")),
@@ -94,8 +92,7 @@ impl ModelParams {
         );
         let peers = group_size.saturating_sub(1).max(1);
         let att_w1 = store.register("att_w1", init::xavier_uniform(d, d, seed("att_w1")));
-        let att_w2 =
-            store.register("att_w2", init::xavier_uniform(peers * d, d, seed("att_w2")));
+        let att_w2 = store.register("att_w2", init::xavier_uniform(peers * d, d, seed("att_w2")));
         let att_b = store.register("att_b", Tensor::zeros(1, d));
         // zero-initialised projection: the peer-influence term starts at
         // exactly zero (uniform attention prior) and only departs from it
@@ -135,11 +132,7 @@ mod tests {
     #[test]
     fn graphsage_layers_are_wider() {
         let ckg = tiny_ckg();
-        let cfg = KgagConfig {
-            dim: 8,
-            aggregator: Aggregator::GraphSage,
-            ..Default::default()
-        };
+        let cfg = KgagConfig { dim: 8, aggregator: Aggregator::GraphSage, ..Default::default() };
         let mut store = ParamStore::new();
         let p = ModelParams::register(&mut store, &ckg, &cfg, 3);
         assert_eq!(store.shape(p.prop.layer_w[0]), (16, 8).into());

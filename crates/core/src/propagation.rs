@@ -13,6 +13,13 @@
 //!
 //! ReLU activates hidden layers; the last layer uses tanh so scores stay
 //! in range for the sigmoid-margin loss (the usual KGCN convention).
+//!
+//! Parallelism: the tape stays sequential at the op level, but every
+//! grouped op this block leans on (gather, `softmax_groups`,
+//! `group_weighted_sum`, matmul) parallelises *within* the op through
+//! `kgag_tensor::pool` with bit-identical results at any thread count
+//! (DESIGN.md §9). Per-group aggregation batches therefore scale with
+//! `KGAG_THREADS` without this module holding any threading code.
 
 use crate::config::Aggregator;
 use crate::model::PropagationParams;
@@ -49,20 +56,13 @@ pub fn propagate_with(
 ) -> NodeId {
     let h_layers = params.layer_w.len();
     assert_eq!(rf.depth, h_layers, "receptive field depth {} != layers {}", rf.depth, h_layers);
-    assert_eq!(
-        tape.value(query).rows(),
-        rf.entities[0].len(),
-        "query rows must match targets"
-    );
+    assert_eq!(tape.value(query).rows(), rf.entities[0].len(), "query rows must match targets");
     let k = rf.k;
     let inv_sqrt_d = 1.0 / (tape.value(query).cols() as f32).sqrt();
 
     // zero-order representations of every level
-    let mut reps: Vec<NodeId> = rf
-        .entities
-        .iter()
-        .map(|level| tape.gather(params.entity_emb, level))
-        .collect();
+    let mut reps: Vec<NodeId> =
+        rf.entities.iter().map(|level| tape.gather(params.entity_emb, level)).collect();
 
     // relation-attention weights are query- and level- but not
     // iteration-dependent: precompute per level
@@ -73,7 +73,7 @@ pub fn propagate_with(
         let times = rels.len() / rf.entities[0].len();
         let q_rep = tape.repeat_rows(query, times);
         let pi_raw = tape.row_dot(q_rep, rel_emb); // Eq. 2
-        // scaled dot-product: keeps the softmax soft as ‖i_e‖,‖r‖ grow
+                                                   // scaled dot-product: keeps the softmax soft as ‖i_e‖,‖r‖ grow
         let pi = tape.scale(pi_raw, inv_sqrt_d);
         level_weights.push(tape.softmax_groups(pi, k)); // Eq. 3
     }
@@ -130,14 +130,16 @@ fn aggregate(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::KgagConfig;
+    use crate::model::ModelParams;
     use kgag_kg::sampler::NeighborSampler;
     use kgag_kg::triple::{EntityId, TripleStore};
     use kgag_kg::CollaborativeKg;
     use kgag_tensor::{ParamStore, Tensor};
-    use crate::config::KgagConfig;
-    use crate::model::ModelParams;
 
-    fn fixture(aggregator: Aggregator) -> (CollaborativeKg, ParamStore, PropagationParams, KgagConfig) {
+    fn fixture(
+        aggregator: Aggregator,
+    ) -> (CollaborativeKg, ParamStore, PropagationParams, KgagConfig) {
         let mut s = TripleStore::with_capacity(6, 2);
         s.add_raw(0, 0, 4); // item 0 —genre— 4
         s.add_raw(1, 0, 4);
@@ -145,7 +147,8 @@ mod tests {
         s.add_raw(3, 1, 5);
         let items: Vec<EntityId> = (0..4).map(EntityId).collect();
         let ckg = CollaborativeKg::build(&s, &items, 3, &[(0, 0), (1, 1), (2, 2), (0, 2)]);
-        let config = KgagConfig { dim: 6, layers: 2, neighbor_k: 3, aggregator, ..Default::default() };
+        let config =
+            KgagConfig { dim: 6, layers: 2, neighbor_k: 3, aggregator, ..Default::default() };
         let mut store = ParamStore::new();
         let params = ModelParams::register(&mut store, &ckg, &config, 3);
         (ckg, store, params.prop, config)
@@ -225,9 +228,11 @@ mod tests {
         let rf = sampler.receptive_field(ckg.graph(), &[0], config.layers, 0);
         let run = |qval: f32| -> Tensor {
             let mut tape = Tape::new(&store);
-            let q = tape.constant(
-                Tensor::from_vec(1, 6, (0..6).map(|i| qval * (i as f32 + 1.0)).collect()),
-            );
+            let q = tape.constant(Tensor::from_vec(
+                1,
+                6,
+                (0..6).map(|i| qval * (i as f32 + 1.0)).collect(),
+            ));
             let out = propagate(&mut tape, &params, config.aggregator, &rf, q);
             tape.value(out).clone()
         };

@@ -22,6 +22,7 @@ use kgag_data::GroupDataset;
 use kgag_eval::{EvalConfig, GroupEvalCase, GroupScorer, MetricSummary};
 use kgag_kg::{CollaborativeKg, NeighborSampler};
 use kgag_tensor::optim::{Adam, Optimizer};
+use kgag_tensor::pool;
 use kgag_tensor::rng::{derive_seed, SplitMix64};
 use kgag_tensor::{NodeId, ParamStore, Tape, Tensor};
 use kgag_testkit::json::{Json, ToJson};
@@ -98,8 +99,7 @@ impl Kgag {
         let ckg = ds.collaborative_kg_from(&split.user_train);
         let mut store = ParamStore::new();
         let params = ModelParams::register(&mut store, &ckg, &config, ds.group_size);
-        let sampler =
-            NeighborSampler::new(config.neighbor_k, derive_seed(config.seed, "sampler"));
+        let sampler = NeighborSampler::new(config.neighbor_k, derive_seed(config.seed, "sampler"));
         let eval_sampler = NeighborSampler::new(
             config.eval_neighbor_k.unwrap_or(config.neighbor_k),
             derive_seed(config.seed, "eval-sampler"),
@@ -190,8 +190,7 @@ impl Kgag {
         let item_rep = self.represent(tape, item_ents, q_item, salt ^ 0x17e3, train);
         let q_members = tape.repeat_rows(i0, l);
         let member_rep = self.represent(tape, flat_members, q_members, salt ^ 0x3e2b, train);
-        let attention =
-            group_attention(tape, &self.params, &self.config, member_rep, item_rep, l);
+        let attention = group_attention(tape, &self.params, &self.config, member_rep, item_rep, l);
         let score = tape.row_dot(attention.group_rep, item_rep);
         GroupForward { attention, score }
     }
@@ -215,10 +214,7 @@ impl Kgag {
     }
 
     fn member_entities(&self, group: u32) -> Vec<u32> {
-        self.groups[group as usize]
-            .iter()
-            .map(|&u| self.ckg.user_entity(u).0)
-            .collect()
+        self.groups[group as usize].iter().map(|&u| self.ckg.user_entity(u).0).collect()
     }
 
     fn item_entities(&self, items: &[u32]) -> Vec<u32> {
@@ -237,13 +233,8 @@ impl Kgag {
 
         // negatives are rejected against train∪val positives (test stays
         // unseen in every sense)
-        let group_known: Vec<(u32, u32)> = split
-            .group
-            .train
-            .iter()
-            .chain(&split.group.val)
-            .copied()
-            .collect();
+        let group_known: Vec<(u32, u32)> =
+            split.group.train.iter().chain(&split.group.val).copied().collect();
         let group_neg = NegativeSampler::new(group_known, self.num_items);
         let user_neg = NegativeSampler::from_interactions(&split.user_train);
 
@@ -305,22 +296,13 @@ impl Kgag {
                     let fwd_neg =
                         self.forward_group(&mut tape, &flat_members, &neg_ents, salt, true);
                     let lg = match cfg.group_loss {
-                        GroupLoss::Margin => margin_group_loss(
-                            &mut tape,
-                            fwd_pos.score,
-                            fwd_neg.score,
-                            cfg.margin,
-                        ),
-                        GroupLoss::Bpr => {
-                            bpr_group_loss(&mut tape, fwd_pos.score, fwd_neg.score)
+                        GroupLoss::Margin => {
+                            margin_group_loss(&mut tape, fwd_pos.score, fwd_neg.score, cfg.margin)
                         }
+                        GroupLoss::Bpr => bpr_group_loss(&mut tape, fwd_pos.score, fwd_neg.score),
                     };
                     let logits = self.forward_user(&mut tape, &u_users, &u_items, salt, true);
-                    let lu = user_log_loss(
-                        &mut tape,
-                        logits,
-                        Tensor::col_vector(&u_targets),
-                    );
+                    let lu = user_log_loss(&mut tape, logits, Tensor::col_vector(&u_targets));
                     let lg_w = tape.scale(lg, cfg.beta);
                     let lu_w = tape.scale(lu, 1.0 - cfg.beta);
                     let total = tape.add(lg_w, lu_w);
@@ -364,45 +346,48 @@ impl Kgag {
     /// given group (higher = more recommended).
     pub fn score_group_items(&self, group: u32, items: &[u32]) -> Vec<f32> {
         let member_ents = self.member_entities(group);
-        let mut out = Vec::with_capacity(items.len());
-        for chunk in items.chunks(128) {
+        // fixed salt: deterministic eval-time sampling
+        let salt = derive_seed(self.config.seed, "score") ^ group as u64;
+        // chunks are independent instances — the receptive-field draw for
+        // an entity depends on (seed, salt, entity, level), never on batch
+        // position, and every tape op is per-instance — so scoring chunks
+        // in parallel is bit-identical to one sequential pass
+        let chunks: Vec<&[u32]> = items.chunks(128).collect();
+        let scored = pool::par_map(&chunks, |_, chunk| {
             let mut flat_members = Vec::with_capacity(chunk.len() * self.group_size);
-            for _ in chunk {
+            for _ in *chunk {
                 flat_members.extend_from_slice(&member_ents);
             }
             let item_ents = self.item_entities(chunk);
             let mut tape = Tape::new(&self.store);
-            // fixed salt: deterministic eval-time sampling
-            let salt = derive_seed(self.config.seed, "score") ^ group as u64;
             let fwd = self.forward_group(&mut tape, &flat_members, &item_ents, salt, false);
-            out.extend(
-                tape.value(fwd.score)
-                    .data()
-                    .iter()
-                    .map(|&s| kgag_tensor::tensor::sigmoid(s)),
-            );
-        }
-        out
+            tape.value(fwd.score)
+                .data()
+                .iter()
+                .map(|&s| kgag_tensor::tensor::sigmoid(s))
+                .collect::<Vec<f32>>()
+        });
+        scored.into_iter().flatten().collect()
     }
 
     /// Individual prediction scores `σ(u · v)` (Eq. 19) for a user.
     pub fn score_user_items(&self, user: u32, items: &[u32]) -> Vec<f32> {
         let u_ent = self.ckg.user_entity(user).0;
-        let mut out = Vec::with_capacity(items.len());
-        for chunk in items.chunks(256) {
+        let salt = derive_seed(self.config.seed, "score-user") ^ user as u64;
+        // independent chunks, same argument as score_group_items
+        let chunks: Vec<&[u32]> = items.chunks(256).collect();
+        let scored = pool::par_map(&chunks, |_, chunk| {
             let users = vec![u_ent; chunk.len()];
             let item_ents = self.item_entities(chunk);
             let mut tape = Tape::new(&self.store);
-            let salt = derive_seed(self.config.seed, "score-user") ^ user as u64;
             let logits = self.forward_user(&mut tape, &users, &item_ents, salt, false);
-            out.extend(
-                tape.value(logits)
-                    .data()
-                    .iter()
-                    .map(|&s| kgag_tensor::tensor::sigmoid(s)),
-            );
-        }
-        out
+            tape.value(logits)
+                .data()
+                .iter()
+                .map(|&s| kgag_tensor::tensor::sigmoid(s))
+                .collect::<Vec<f32>>()
+        });
+        scored.into_iter().flatten().collect()
     }
 
     /// Attention read-out for one `(group, item)` pair — the RQ4

@@ -1,0 +1,83 @@
+//! Thread-count determinism matrix (the CI gate behind DESIGN.md §9).
+//!
+//! Every parallel kernel in the workspace is built so that each chunk
+//! writes a preallocated output slot with unchanged per-element
+//! accumulation order — results must therefore be *bit-identical* at any
+//! `KGAG_THREADS`. This suite trains the smoke model end to end at 1 and
+//! 4 logical threads (via the thread-local `with_threads` override, so
+//! one process covers both CI matrix legs regardless of the ambient env)
+//! and asserts exact equality of every per-epoch loss, every evaluation
+//! metric and every inference score.
+
+use kgag::harness::{eval_cases, EvalBucket};
+use kgag::{Kgag, KgagConfig};
+use kgag_data::movielens::Scale;
+use kgag_data::split::split_dataset;
+use kgag_data::yelp::{yelp, YelpConfig};
+use kgag_eval::{EvalConfig, MetricSummary};
+use kgag_tensor::pool::with_threads;
+
+struct SmokeRun {
+    losses: Vec<(f32, f32)>,
+    metrics: MetricSummary,
+    group_scores: Vec<f32>,
+    user_scores: Vec<f32>,
+}
+
+/// Train the tiny-Yelp smoke model and capture everything the CI gate
+/// compares across thread counts.
+fn smoke_run() -> SmokeRun {
+    let ds = yelp(&YelpConfig::at_scale(Scale::Tiny));
+    let split = split_dataset(&ds, 11);
+    let cases = eval_cases(&ds, &split.group, EvalBucket::Test);
+    assert!(!cases.is_empty(), "tiny world must produce test cases");
+
+    let mut model = Kgag::new(&ds, &split, KgagConfig { epochs: 6, ..Default::default() });
+    let report = model.fit(&split);
+    let metrics = model.evaluate(&cases, &EvalConfig::default());
+    let items: Vec<u32> = (0..ds.num_items).collect();
+    SmokeRun {
+        losses: report.epochs.iter().map(|e| (e.group, e.user)).collect(),
+        metrics,
+        group_scores: model.score_group_items(0, &items),
+        user_scores: model.score_user_items(0, &items),
+    }
+}
+
+#[test]
+fn smoke_training_is_bit_identical_across_thread_counts() {
+    let single = with_threads(1, smoke_run);
+    let multi = with_threads(4, smoke_run);
+
+    assert_eq!(single.losses, multi.losses, "per-epoch losses diverged between 1 and 4 threads");
+    for (name, a, b) in [
+        ("hit", single.metrics.hit, multi.metrics.hit),
+        ("recall", single.metrics.recall, multi.metrics.recall),
+        ("precision", single.metrics.precision, multi.metrics.precision),
+        ("ndcg", single.metrics.ndcg, multi.metrics.ndcg),
+        ("mrr", single.metrics.mrr, multi.metrics.mrr),
+    ] {
+        assert!(
+            a.to_bits() == b.to_bits(),
+            "metric {name} diverged: {a} (1 thread) vs {b} (4 threads)"
+        );
+    }
+    assert_eq!(single.group_scores, multi.group_scores, "group scores diverged");
+    assert_eq!(single.user_scores, multi.user_scores, "user scores diverged");
+}
+
+#[test]
+fn inference_is_bit_identical_across_thread_counts() {
+    // cheaper companion check: a 2-epoch model's full-catalog scores at
+    // 1, 2 and 3 threads (odd counts exercise ragged band splits)
+    let ds = yelp(&YelpConfig::at_scale(Scale::Tiny));
+    let split = split_dataset(&ds, 7);
+    let mut model = Kgag::new(&ds, &split, KgagConfig { epochs: 2, ..Default::default() });
+    with_threads(1, || model.fit(&split));
+    let items: Vec<u32> = (0..ds.num_items).collect();
+    let reference = with_threads(1, || model.score_group_items(0, &items));
+    for threads in [2usize, 3, 4] {
+        let scores = with_threads(threads, || model.score_group_items(0, &items));
+        assert_eq!(scores, reference, "scores diverged at {threads} threads");
+    }
+}

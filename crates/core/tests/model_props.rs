@@ -20,10 +20,7 @@ fn random_ckg(n_items: u32, n_attrs: u32, n_users: u32, edges: &[(u32, u32)]) ->
         s.add_raw(v, 0, n_items + (v % n_attrs));
     }
     let items: Vec<EntityId> = (0..n_items).map(EntityId).collect();
-    let inter: Vec<(u32, u32)> = edges
-        .iter()
-        .map(|&(u, v)| (u % n_users, v % n_items))
-        .collect();
+    let inter: Vec<(u32, u32)> = edges.iter().map(|&(u, v)| (u % n_users, v % n_items)).collect();
     CollaborativeKg::build(&s, &items, n_users, &inter)
 }
 
@@ -32,14 +29,8 @@ fn random_ckg(n_items: u32, n_attrs: u32, n_users: u32, edges: &[(u32, u32)]) ->
 /// the members' coordinate-wise hull.
 #[test]
 fn attention_always_yields_distribution() {
-    let gen = (
-        u64_in(0..1000),
-        usize_in(1..4),
-        usize_in(2..6),
-        usize_in(2..8),
-        boolean(),
-        boolean(),
-    );
+    let gen =
+        (u64_in(0..1000), usize_in(1..4), usize_in(2..6), usize_in(2..8), boolean(), boolean());
     Runner::new("attention_always_yields_distribution").cases(64).run(
         &gen,
         |&(seed, batch, group, d, use_sp, use_pi)| {
@@ -62,8 +53,7 @@ fn attention_always_yields_distribution() {
             let m_val = tape.value(members);
             for b in 0..batch {
                 for c in 0..d {
-                    let col: Vec<f32> =
-                        (0..group).map(|j| m_val.get(b * group + j, c)).collect();
+                    let col: Vec<f32> = (0..group).map(|j| m_val.get(b * group + j, c)).collect();
                     let lo = col.iter().cloned().fold(f32::INFINITY, f32::min);
                     let hi = col.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
                     let x = g_rep.get(b, c);
@@ -82,19 +72,15 @@ fn attention_always_yields_distribution() {
 /// pair; it is non-negative and monotone in the margin.
 #[test]
 fn margin_loss_matches_its_definition() {
-    let gen = (
-        vec_of(f32_in(-5.0..5.0), 1..20),
-        vec_of(f32_in(-3.0..3.0), 1..20),
-        f32_in(0.05..0.9),
-    );
+    let gen =
+        (vec_of(f32_in(-5.0..5.0), 1..20), vec_of(f32_in(-3.0..3.0), 1..20), f32_in(0.05..0.9));
     Runner::new("margin_loss_matches_its_definition").cases(64).run(
         &gen,
         |(pos_raw, neg_offset, margin)| {
             let margin = *margin;
             let n = pos_raw.len().min(neg_offset.len());
             let pos = &pos_raw[..n];
-            let neg: Vec<f32> =
-                pos.iter().zip(&neg_offset[..n]).map(|(p, o)| p + o).collect();
+            let neg: Vec<f32> = pos.iter().zip(&neg_offset[..n]).map(|(p, o)| p + o).collect();
             let store = ParamStore::new();
             let mut tape = Tape::new(&store);
             let p = tape.constant(Tensor::col_vector(pos));
@@ -107,8 +93,8 @@ fn margin_loss_matches_its_definition() {
                 .iter()
                 .zip(&neg)
                 .map(|(&a, &b)| {
-                    let s = kgag_tensor::tensor::sigmoid(b) - kgag_tensor::tensor::sigmoid(a)
-                        + margin;
+                    let s =
+                        kgag_tensor::tensor::sigmoid(b) - kgag_tensor::tensor::sigmoid(a) + margin;
                     s.max(0.0)
                 })
                 .sum::<f32>()

@@ -15,11 +15,8 @@ fn fixture() -> (GroupDataset, DatasetSplit) {
 #[test]
 fn beta_one_trains_group_tower_only() {
     let (ds, split) = fixture();
-    let mut model = Kgag::new(
-        &ds,
-        &split,
-        KgagConfig { beta: 1.0, epochs: 3, ..Default::default() },
-    );
+    let mut model =
+        Kgag::new(&ds, &split, KgagConfig { beta: 1.0, epochs: 3, ..Default::default() });
     let report = model.fit(&split);
     // the group loss still improves even with zero user-loss weight
     assert!(report.epochs.last().unwrap().group <= report.epochs.first().unwrap().group + 1e-3);
@@ -29,11 +26,8 @@ fn beta_one_trains_group_tower_only() {
 #[test]
 fn beta_zero_trains_user_tower_only() {
     let (ds, split) = fixture();
-    let mut model = Kgag::new(
-        &ds,
-        &split,
-        KgagConfig { beta: 0.0, epochs: 3, ..Default::default() },
-    );
+    let mut model =
+        Kgag::new(&ds, &split, KgagConfig { beta: 0.0, epochs: 3, ..Default::default() });
     let report = model.fit(&split);
     assert!(report.epochs.iter().all(|e| e.user.is_finite()));
     // scoring still works (group tower parameters exist, just untrained
@@ -63,8 +57,7 @@ fn invalid_config_is_rejected_at_construction() {
 #[test]
 fn final_loss_combines_with_beta() {
     let (ds, split) = fixture();
-    let mut model =
-        Kgag::new(&ds, &split, KgagConfig { epochs: 2, ..Default::default() });
+    let mut model = Kgag::new(&ds, &split, KgagConfig { epochs: 2, ..Default::default() });
     let report = model.fit(&split);
     let last = report.epochs.last().unwrap();
     let combined = report.final_loss(0.7).unwrap();
@@ -75,15 +68,13 @@ fn final_loss_combines_with_beta() {
 #[test]
 fn refitting_continues_from_current_parameters() {
     let (ds, split) = fixture();
-    let mut model =
-        Kgag::new(&ds, &split, KgagConfig { epochs: 2, ..Default::default() });
+    let mut model = Kgag::new(&ds, &split, KgagConfig { epochs: 2, ..Default::default() });
     let first = model.fit(&split);
     let second = model.fit(&split);
     // the second fit starts from trained parameters, so its first epoch
     // should not be worse than the cold start's first epoch
     assert!(
-        second.epochs.first().unwrap().group
-            <= first.epochs.first().unwrap().group + 0.05,
+        second.epochs.first().unwrap().group <= first.epochs.first().unwrap().group + 0.05,
         "warm restart regressed: {:?} vs {:?}",
         second.epochs.first(),
         first.epochs.first()

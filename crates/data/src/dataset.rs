@@ -91,12 +91,7 @@ impl GroupDataset {
     /// Build the collaborative KG from an explicit interaction matrix
     /// (normally the split's `user_train`).
     pub fn collaborative_kg_from(&self, interactions: &Interactions) -> CollaborativeKg {
-        CollaborativeKg::build(
-            &self.kg,
-            &self.item_entity,
-            self.num_users,
-            &interactions.pairs(),
-        )
+        CollaborativeKg::build(&self.kg, &self.item_entity, self.num_users, &interactions.pairs())
     }
 
     /// Table-I-style statistics.
@@ -214,11 +209,8 @@ mod tests {
         let ckg = ds.collaborative_kg();
         assert_eq!(ckg.num_users(), 4);
         assert_eq!(ckg.num_entities(), 4 + 4); // 4 base entities + 4 users
-        // user 0 interacted with item 0 → edge exists
+                                               // user 0 interacted with item 0 → edge exists
         let u0 = ckg.user_entity(0);
-        assert!(ckg
-            .graph()
-            .neighbors(u0)
-            .any(|(n, _)| n == ckg.item_entity(0)));
+        assert!(ckg.graph().neighbors(u0).any(|(n, _)| n == ckg.item_entity(0)));
     }
 }

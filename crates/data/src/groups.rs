@@ -44,8 +44,7 @@ pub fn quorum_positives(
         return Vec::new();
     }
     // item → (number of ≥threshold raters, disqualified by a low rating)
-    let mut tally: std::collections::HashMap<u32, (usize, bool)> =
-        std::collections::HashMap::new();
+    let mut tally: std::collections::HashMap<u32, (usize, bool)> = std::collections::HashMap::new();
     for &m in members {
         for &(v, r) in ratings.user_ratings(m) {
             let e = tally.entry(v).or_insert((0, false));
@@ -100,12 +99,8 @@ pub fn random_groups(
     assert!((1..=size).contains(&min_raters), "quorum must be within the group size");
     let mut rng = SplitMix64::new(seed);
     let raters = raters_by_item(ratings);
-    let candidate_items: Vec<u32> = raters
-        .iter()
-        .enumerate()
-        .filter(|(_, r)| r.len() >= size)
-        .map(|(v, _)| v as u32)
-        .collect();
+    let candidate_items: Vec<u32> =
+        raters.iter().enumerate().filter(|(_, r)| r.len() >= size).map(|(v, _)| v as u32).collect();
     let mut out = Vec::with_capacity(count);
     let mut seen = HashSet::new();
     let mut attempts = 0usize;
@@ -113,11 +108,8 @@ pub fn random_groups(
         attempts += 1;
         let v = candidate_items[rng.next_below(candidate_items.len())];
         let pool = &raters[v as usize];
-        let mut members: Vec<u32> = rng
-            .sample_distinct(pool.len(), size)
-            .into_iter()
-            .map(|i| pool[i])
-            .collect();
+        let mut members: Vec<u32> =
+            rng.sample_distinct(pool.len(), size).into_iter().map(|i| pool[i]).collect();
         members.sort_unstable();
         if !seen.insert(members.clone()) {
             continue;
@@ -144,12 +136,8 @@ pub fn similar_groups(
     assert!((1..=size).contains(&min_raters), "quorum must be within the group size");
     let mut rng = SplitMix64::new(seed);
     let raters = raters_by_item(ratings);
-    let candidate_items: Vec<u32> = raters
-        .iter()
-        .enumerate()
-        .filter(|(_, r)| r.len() >= size)
-        .map(|(v, _)| v as u32)
-        .collect();
+    let candidate_items: Vec<u32> =
+        raters.iter().enumerate().filter(|(_, r)| r.len() >= size).map(|(v, _)| v as u32).collect();
     let mut out = Vec::with_capacity(count);
     let mut seen = HashSet::new();
     let mut attempts = 0usize;
@@ -168,9 +156,8 @@ pub fn similar_groups(
             if members.contains(&c) {
                 continue;
             }
-            let compatible = members
-                .iter()
-                .all(|&m| pearson(ratings, m, c).is_some_and(|p| p >= pcc_threshold));
+            let compatible =
+                members.iter().all(|&m| pearson(ratings, m, c).is_some_and(|p| p >= pcc_threshold));
             if compatible {
                 members.push(c);
             }
@@ -187,7 +174,6 @@ pub fn similar_groups(
     }
     out
 }
-
 
 /// Parameters of the simulated group decision process.
 ///
@@ -258,8 +244,7 @@ pub fn simulate_group_choices(
         let n_items = world.items.len();
         let mut pool: Vec<u32> = Vec::with_capacity(config.candidates_per_group);
         let mut tries = 0usize;
-        while pool.len() < config.candidates_per_group && tries < config.candidates_per_group * 10
-        {
+        while pool.len() < config.candidates_per_group && tries < config.candidates_per_group * 10 {
             tries += 1;
             let v = if tries.is_multiple_of(2) {
                 world.sample_item_by_popularity(&mut rng)
@@ -292,11 +277,7 @@ pub fn simulate_group_choices(
             let max = logits.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
             let exps: Vec<f32> = logits.iter().map(|&l| (l - max).exp()).collect();
             let z: f32 = exps.iter().sum();
-            let score: f32 = exps
-                .iter()
-                .zip(&affs)
-                .map(|(&e, &a)| (e / z) * a)
-                .sum::<f32>()
+            let score: f32 = exps.iter().zip(&affs).map(|(&e, &a)| (e / z) * a).sum::<f32>()
                 + rng.next_normal() * config.decision_noise;
             scored.push((v, score));
         }
@@ -311,8 +292,7 @@ pub fn simulate_group_choices(
     for (gi, chosen) in &planned {
         for &v in chosen {
             for &m in &member_sets[*gi] {
-                let noiseless =
-                    crate::world::World::affinity_to_rating(world.affinity(m, v));
+                let noiseless = crate::world::World::affinity_to_rating(world.affinity(m, v));
                 let rating = (noiseless + rng.next_normal() * 0.3).round().clamp(1.0, 5.0);
                 // attendance does not erase a pre-existing opinion
                 if world.ratings.get(m, v).is_none() {
@@ -333,12 +313,7 @@ pub fn simulate_group_choices(
 
 /// Uniformly random member sets (the MovieLens-20M-Rand protocol: "a
 /// set of persons without any social relations").
-pub fn random_member_sets(
-    num_users: u32,
-    size: usize,
-    count: usize,
-    seed: u64,
-) -> Vec<Vec<u32>> {
+pub fn random_member_sets(num_users: u32, size: usize, count: usize, seed: u64) -> Vec<Vec<u32>> {
     assert!(size >= 2 && num_users as usize >= size, "not enough users for groups");
     let mut rng = SplitMix64::new(seed);
     let mut out = Vec::with_capacity(count);
@@ -346,11 +321,8 @@ pub fn random_member_sets(
     let mut attempts = 0usize;
     while out.len() < count && attempts < count * 50 {
         attempts += 1;
-        let mut members: Vec<u32> = rng
-            .sample_distinct(num_users as usize, size)
-            .into_iter()
-            .map(|u| u as u32)
-            .collect();
+        let mut members: Vec<u32> =
+            rng.sample_distinct(num_users as usize, size).into_iter().map(|u| u as u32).collect();
         members.sort_unstable();
         if seen.insert(members.clone()) {
             out.push(members);
@@ -372,12 +344,8 @@ pub fn similar_member_sets(
     assert!(size >= 2, "groups need at least two members");
     let mut rng = SplitMix64::new(seed);
     let raters = raters_by_item(ratings);
-    let candidate_items: Vec<u32> = raters
-        .iter()
-        .enumerate()
-        .filter(|(_, r)| r.len() >= size)
-        .map(|(v, _)| v as u32)
-        .collect();
+    let candidate_items: Vec<u32> =
+        raters.iter().enumerate().filter(|(_, r)| r.len() >= size).map(|(v, _)| v as u32).collect();
     let mut out = Vec::with_capacity(count);
     let mut seen = HashSet::new();
     let mut attempts = 0usize;
@@ -395,10 +363,7 @@ pub fn similar_member_sets(
             if members.contains(&c) {
                 continue;
             }
-            if members
-                .iter()
-                .all(|&m| pearson(ratings, m, c).is_some_and(|p| p >= pcc_threshold))
-            {
+            if members.iter().all(|&m| pearson(ratings, m, c).is_some_and(|p| p >= pcc_threshold)) {
                 members.push(c);
             }
         }

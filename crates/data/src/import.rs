@@ -68,12 +68,10 @@ pub fn parse_interactions(
         if f.len() != 2 {
             return Err(ImportError::Parse(ln + 1, format!("expected 2 fields, got {}", f.len())));
         }
-        let u: u32 = f[0]
-            .parse()
-            .map_err(|_| ImportError::Parse(ln + 1, format!("user id {:?}", f[0])))?;
-        let v: u32 = f[1]
-            .parse()
-            .map_err(|_| ImportError::Parse(ln + 1, format!("item id {:?}", f[1])))?;
+        let u: u32 =
+            f[0].parse().map_err(|_| ImportError::Parse(ln + 1, format!("user id {:?}", f[0])))?;
+        let v: u32 =
+            f[1].parse().map_err(|_| ImportError::Parse(ln + 1, format!("item id {:?}", f[1])))?;
         if u >= num_users {
             return Err(ImportError::Range(ln + 1, format!("user {u} >= {num_users}")));
         }
@@ -97,8 +95,7 @@ pub fn parse_triples(text: &str) -> Result<TripleStore, ImportError> {
             return Err(ImportError::Parse(ln + 1, format!("expected 3 fields, got {}", f.len())));
         }
         let parse = |s: &str, what: &str| -> Result<u32, ImportError> {
-            s.parse()
-                .map_err(|_| ImportError::Parse(ln + 1, format!("{what} {s:?}")))
+            s.parse().map_err(|_| ImportError::Parse(ln + 1, format!("{what} {s:?}")))
         };
         let h = parse(f[0], "head")?;
         let r = parse(f[1], "relation")?;
@@ -170,8 +167,7 @@ pub fn assemble(
             kg.num_entities()
         )));
     }
-    let sizes: std::collections::HashSet<usize> =
-        groups.iter().map(|g| g.members.len()).collect();
+    let sizes: std::collections::HashSet<usize> = groups.iter().map(|g| g.members.len()).collect();
     if sizes.len() > 1 {
         return Err(ImportError::Inconsistent(format!(
             "groups have mixed sizes {sizes:?}; KGAG requires a fixed size per dataset"
@@ -183,7 +179,14 @@ pub fn assemble(
     }
     let item_entity: Vec<EntityId> = (0..num_items).map(EntityId).collect();
     let ds = GroupDataset::from_parts(
-        name, num_users, num_items, kg, item_entity, user_pos, groups, group_size,
+        name,
+        num_users,
+        num_items,
+        kg,
+        item_entity,
+        user_pos,
+        groups,
+        group_size,
     );
     let errs = ds.validate();
     if !errs.is_empty() {

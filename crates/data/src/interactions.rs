@@ -17,11 +17,7 @@ pub struct RatingTable {
 impl RatingTable {
     /// An empty table over `num_users × num_items`.
     pub fn new(num_users: u32, num_items: u32) -> Self {
-        RatingTable {
-            by_user: vec![Vec::new(); num_users as usize],
-            num_items,
-            total: 0,
-        }
+        RatingTable { by_user: vec![Vec::new(); num_users as usize], num_items, total: 0 }
     }
 
     /// Insert or overwrite a rating.
@@ -119,11 +115,7 @@ pub struct Interactions {
 impl Interactions {
     /// An empty matrix over `num_users × num_items`.
     pub fn new(num_users: u32, num_items: u32) -> Self {
-        Interactions {
-            by_user: vec![Vec::new(); num_users as usize],
-            num_items,
-            total: 0,
-        }
+        Interactions { by_user: vec![Vec::new(); num_users as usize], num_items, total: 0 }
     }
 
     /// Mark `(user, item)` as observed; returns `false` when already set.

@@ -74,11 +74,8 @@ mod tests {
 
     fn table(rows: &[(u32, &[(u32, f32)])]) -> RatingTable {
         let num_users = rows.iter().map(|&(u, _)| u + 1).max().unwrap_or(0);
-        let num_items = rows
-            .iter()
-            .flat_map(|&(_, r)| r.iter().map(|&(i, _)| i + 1))
-            .max()
-            .unwrap_or(0);
+        let num_items =
+            rows.iter().flat_map(|&(_, r)| r.iter().map(|&(i, _)| i + 1)).max().unwrap_or(0);
         let mut t = RatingTable::new(num_users, num_items);
         for &(u, items) in rows {
             for &(i, r) in items {
@@ -90,20 +87,16 @@ mod tests {
 
     #[test]
     fn identical_profiles_have_pcc_one() {
-        let t = table(&[
-            (0, &[(0, 1.0), (1, 3.0), (2, 5.0)]),
-            (1, &[(0, 1.0), (1, 3.0), (2, 5.0)]),
-        ]);
+        let t =
+            table(&[(0, &[(0, 1.0), (1, 3.0), (2, 5.0)]), (1, &[(0, 1.0), (1, 3.0), (2, 5.0)])]);
         let p = pearson(&t, 0, 1).unwrap();
         assert!((p - 1.0).abs() < 1e-5);
     }
 
     #[test]
     fn opposite_profiles_have_pcc_minus_one() {
-        let t = table(&[
-            (0, &[(0, 1.0), (1, 3.0), (2, 5.0)]),
-            (1, &[(0, 5.0), (1, 3.0), (2, 1.0)]),
-        ]);
+        let t =
+            table(&[(0, &[(0, 1.0), (1, 3.0), (2, 5.0)]), (1, &[(0, 5.0), (1, 3.0), (2, 1.0)])]);
         let p = pearson(&t, 0, 1).unwrap();
         assert!((p + 1.0).abs() < 1e-5);
     }
@@ -116,20 +109,16 @@ mod tests {
 
     #[test]
     fn zero_variance_is_none() {
-        let t = table(&[
-            (0, &[(0, 3.0), (1, 3.0), (2, 3.0)]),
-            (1, &[(0, 1.0), (1, 3.0), (2, 5.0)]),
-        ]);
+        let t =
+            table(&[(0, &[(0, 3.0), (1, 3.0), (2, 3.0)]), (1, &[(0, 1.0), (1, 3.0), (2, 5.0)])]);
         assert_eq!(pearson(&t, 0, 1), None);
     }
 
     #[test]
     fn shifted_profiles_still_correlate() {
         // PCC is invariant to the generosity offset
-        let t = table(&[
-            (0, &[(0, 1.0), (1, 3.0), (2, 5.0)]),
-            (1, &[(0, 2.0), (1, 4.0), (2, 5.0)]),
-        ]);
+        let t =
+            table(&[(0, &[(0, 1.0), (1, 3.0), (2, 5.0)]), (1, &[(0, 2.0), (1, 4.0), (2, 5.0)])]);
         let p = pearson(&t, 0, 1).unwrap();
         assert!(p > 0.9, "pcc {p}");
     }

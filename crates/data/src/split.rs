@@ -104,11 +104,7 @@ pub fn split_group_interactions(
             }
         }
     }
-    for rows in [
-        &mut split.train_by_group,
-        &mut split.val_by_group,
-        &mut split.test_by_group,
-    ] {
+    for rows in [&mut split.train_by_group, &mut split.val_by_group, &mut split.test_by_group] {
         for row in rows.iter_mut() {
             row.sort_unstable();
         }
@@ -221,8 +217,8 @@ mod tests {
         assert_eq!(split.test_items(0).len(), 2);
         assert_eq!(split.train_items(1).len(), 3);
         // group 2 has a single positive: exactly one bucket holds it
-        let total2 = split.train_items(2).len() + split.val_items(2).len()
-            + split.test_items(2).len();
+        let total2 =
+            split.train_items(2).len() + split.val_items(2).len() + split.test_items(2).len();
         assert_eq!(total2, 1);
     }
 
@@ -230,13 +226,8 @@ mod tests {
     fn buckets_partition_the_positives() {
         let pos = toy_pos();
         let split = split_group_interactions(&pos, (0.6, 0.2), 9);
-        let mut all: Vec<(u32, u32)> = split
-            .train
-            .iter()
-            .chain(&split.val)
-            .chain(&split.test)
-            .copied()
-            .collect();
+        let mut all: Vec<(u32, u32)> =
+            split.train.iter().chain(&split.val).chain(&split.test).copied().collect();
         all.sort_unstable();
         let mut expected = pos.pairs();
         expected.sort_unstable();

@@ -153,11 +153,11 @@ impl World {
     pub fn affinity(&self, user: u32, item: u32) -> f32 {
         let u = &self.users[user as usize];
         let v = &self.items[item as usize];
-        let genre: f32 = v.genres.iter().map(|&g| u.genre_weights[g]).sum::<f32>()
-            / v.genres.len() as f32;
+        let genre: f32 =
+            v.genres.iter().map(|&g| u.genre_weights[g]).sum::<f32>() / v.genres.len() as f32;
         let director = u.director_affinity(v.director);
-        let actors: f32 = v.actors.iter().map(|&a| u.actor_affinity(a)).sum::<f32>()
-            / v.actors.len() as f32;
+        let actors: f32 =
+            v.actors.iter().map(|&a| u.actor_affinity(a)).sum::<f32>() / v.actors.len() as f32;
         1.2 * genre + 0.7 * director + 0.5 * actors + 0.2 * v.quality + u.generosity
     }
 
@@ -171,8 +171,7 @@ impl World {
     pub fn sample_item_by_popularity(&self, rng: &mut SplitMix64) -> u32 {
         let total = *self.exposure_cumulative.last().expect("non-empty catalog");
         let x = rng.next_f64() * total;
-        (self.exposure_cumulative.partition_point(|&c| c < x) as u32)
-            .min(self.config.num_items - 1)
+        (self.exposure_cumulative.partition_point(|&c| c < x) as u32).min(self.config.num_items - 1)
     }
 }
 
@@ -288,9 +287,7 @@ pub fn generate(config: &WorldConfig) -> World {
                 continue;
             }
             let noiseless = World::affinity_to_rating(world.affinity(u, v));
-            let rating = (noiseless + rng.next_normal() * config.noise_std)
-                .round()
-                .clamp(1.0, 5.0);
+            let rating = (noiseless + rng.next_normal() * config.noise_std).round().clamp(1.0, 5.0);
             world.ratings.set(u, v, rating);
             rated += 1;
         }
@@ -420,10 +417,8 @@ mod tests {
         for u in 0..60u32 {
             let prefs = &w.users[u as usize];
             for &(v, r) in w.ratings.user_ratings(u) {
-                let liked = w.items[v as usize]
-                    .genres
-                    .iter()
-                    .any(|&g| prefs.genre_weights[g] > 0.0);
+                let liked =
+                    w.items[v as usize].genres.iter().any(|&g| prefs.genre_weights[g] > 0.0);
                 if liked {
                     liked_sum += r as f64;
                     liked_n += 1;
@@ -435,10 +430,7 @@ mod tests {
         }
         let liked_mean = liked_sum / liked_n.max(1) as f64;
         let other_mean = other_sum / other_n.max(1) as f64;
-        assert!(
-            liked_mean > other_mean + 0.4,
-            "liked {liked_mean:.2} vs other {other_mean:.2}"
-        );
+        assert!(liked_mean > other_mean + 0.4, "liked {liked_mean:.2} vs other {other_mean:.2}");
     }
 
     #[test]
@@ -456,10 +448,7 @@ mod tests {
         let w = generate(&small_config());
         let pos = w.ratings.to_implicit(4.0).len() as f64;
         let frac = pos / w.ratings.len() as f64;
-        assert!(
-            (0.2..0.8).contains(&frac),
-            "fraction of ≥4 ratings {frac:.2} outside sane band"
-        );
+        assert!((0.2..0.8).contains(&frac), "fraction of ≥4 ratings {frac:.2} outside sane band");
     }
 
     #[test]

@@ -42,10 +42,10 @@ impl YelpConfig {
             world: WorldConfig {
                 num_users: users,
                 num_items: items,
-                num_genres: 12,   // business categories
+                num_genres: 12,    // business categories
                 num_directors: 30, // cities
-                num_actors: 40,   // ambience tags
-                num_decades: 4,   // price levels
+                num_actors: 40,    // ambience tags
+                num_decades: 4,    // price levels
                 ratings_per_user: (8, 24),
                 seed: 0x9e1b,
                 ..WorldConfig::default()
@@ -133,7 +133,8 @@ fn shared_liked_genres(world: &World, a: u32, b: u32) -> usize {
 /// Generate the Yelp-style dataset.
 pub fn yelp(config: &YelpConfig) -> GroupDataset {
     let mut world = generate(&config.world);
-    let social = social_graph(&world, config.mean_friends, derive_seed(config.world.seed, "social"));
+    let social =
+        social_graph(&world, config.mean_friends, derive_seed(config.world.seed, "social"));
     let formed = friend_groups(
         &mut world,
         &social,
@@ -211,10 +212,8 @@ pub fn friend_groups(
         let mut best: Option<(u32, f32)> = None;
         for _ in 0..24 {
             let v = rng.next_below(n_items) as u32;
-            let min_aff = members
-                .iter()
-                .map(|&m| world.affinity(m, v))
-                .fold(f32::INFINITY, f32::min);
+            let min_aff =
+                members.iter().map(|&m| world.affinity(m, v)).fold(f32::INFINITY, f32::min);
             if best.is_none_or(|(_, b)| min_aff > b) {
                 best = Some((v, min_aff));
             }

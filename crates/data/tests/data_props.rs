@@ -39,13 +39,8 @@ fn ratings(trip: &[(u32, u32, u32)]) -> RatingTable {
 
 fn check_split_partitions(y: &Interactions, seed: u64) -> Result<(), String> {
     let split = split_group_interactions(y, (0.6, 0.2), seed);
-    let mut got: Vec<(u32, u32)> = split
-        .train
-        .iter()
-        .chain(&split.val)
-        .chain(&split.test)
-        .copied()
-        .collect();
+    let mut got: Vec<(u32, u32)> =
+        split.train.iter().chain(&split.val).chain(&split.test).copied().collect();
     got.sort_unstable();
     let mut expect = y.pairs();
     expect.sort_unstable();
@@ -69,9 +64,9 @@ fn check_split_partitions(y: &Interactions, seed: u64) -> Result<(), String> {
 #[test]
 fn split_partitions() {
     let gen = (pairs_gen(), u64_in(0..100));
-    Runner::new("split_partitions").cases(64).run(&gen, |(pairs, seed)| {
-        check_split_partitions(&interactions(pairs), *seed)
-    });
+    Runner::new("split_partitions")
+        .cases(64)
+        .run(&gen, |(pairs, seed)| check_split_partitions(&interactions(pairs), *seed));
 }
 
 /// Regression: the minimal counter-example persisted by an earlier
@@ -104,22 +99,19 @@ fn split_is_deterministic() {
 #[test]
 fn negative_sampler_rejects_positives() {
     let gen = (pairs_gen(), u64_in(0..100), u32_in(0..8));
-    Runner::new("negative_sampler_rejects_positives").cases(64).run(
-        &gen,
-        |(pairs, seed, row)| {
-            let (seed, row) = (*seed, *row);
-            let y = interactions(pairs);
-            let sampler = NegativeSampler::from_interactions(&y);
-            let mut rng = SplitMix64::new(seed);
-            if y.items_of(row).len() < y.num_items() as usize {
-                for _ in 0..30 {
-                    let v = sampler.sample(row, &mut rng);
-                    prop_assert!(!y.contains(row, v), "sampled positive {v}");
-                }
+    Runner::new("negative_sampler_rejects_positives").cases(64).run(&gen, |(pairs, seed, row)| {
+        let (seed, row) = (*seed, *row);
+        let y = interactions(pairs);
+        let sampler = NegativeSampler::from_interactions(&y);
+        let mut rng = SplitMix64::new(seed);
+        if y.items_of(row).len() < y.num_items() as usize {
+            for _ in 0..30 {
+                let v = sampler.sample(row, &mut rng);
+                prop_assert!(!y.contains(row, v), "sampled positive {v}");
             }
-            Ok(())
-        },
-    );
+        }
+        Ok(())
+    });
 }
 
 /// Quorum semantics: results shrink as the quorum rises; the full
@@ -128,39 +120,36 @@ fn negative_sampler_rejects_positives() {
 #[test]
 fn quorum_monotone_and_consistent() {
     let gen = (ratings_gen(), vec_of(u32_in(0..6), 1..5));
-    Runner::new("quorum_monotone_and_consistent").cases(64).run(
-        &gen,
-        |(trip, members_raw)| {
-            let t = ratings(trip);
-            let mut members = members_raw.clone();
-            members.sort_unstable();
-            members.dedup();
-            let mut prev: Option<Vec<u32>> = None;
-            for q in 1..=members.len() {
-                let got = quorum_positives(&t, &members, 4.0, q);
-                if let Some(p) = &prev {
-                    // higher quorum ⇒ subset
-                    for v in &got {
-                        prop_assert!(p.contains(v), "quorum {q} added item {v}");
-                    }
+    Runner::new("quorum_monotone_and_consistent").cases(64).run(&gen, |(trip, members_raw)| {
+        let t = ratings(trip);
+        let mut members = members_raw.clone();
+        members.sort_unstable();
+        members.dedup();
+        let mut prev: Option<Vec<u32>> = None;
+        for q in 1..=members.len() {
+            let got = quorum_positives(&t, &members, 4.0, q);
+            if let Some(p) = &prev {
+                // higher quorum ⇒ subset
+                for v in &got {
+                    prop_assert!(p.contains(v), "quorum {q} added item {v}");
                 }
-                for &v in &got {
-                    let raters = members.iter().filter(|&&m| t.get(m, v).is_some()).count();
-                    prop_assert!(raters >= q);
-                    for &m in &members {
-                        if let Some(r) = t.get(m, v) {
-                            prop_assert!(r >= 4.0, "item {v} kept despite rating {r}");
-                        }
-                    }
-                }
-                prev = Some(got);
             }
-            let full = quorum_positives(&t, &members, 4.0, members.len());
-            let strict = unanimous_positives(&t, &members, 4.0);
-            prop_assert_eq!(full, strict);
-            Ok(())
-        },
-    );
+            for &v in &got {
+                let raters = members.iter().filter(|&&m| t.get(m, v).is_some()).count();
+                prop_assert!(raters >= q);
+                for &m in &members {
+                    if let Some(r) = t.get(m, v) {
+                        prop_assert!(r >= 4.0, "item {v} kept despite rating {r}");
+                    }
+                }
+            }
+            prev = Some(got);
+        }
+        let full = quorum_positives(&t, &members, 4.0, members.len());
+        let strict = unanimous_positives(&t, &members, 4.0);
+        prop_assert_eq!(full, strict);
+        Ok(())
+    });
 }
 
 /// Pearson correlation is bounded and symmetric.

@@ -12,13 +12,12 @@
 
 pub mod metrics;
 pub mod protocol;
-pub mod significance;
 pub mod ranking;
+pub mod significance;
 
 pub use metrics::{MetricAccumulator, MetricSummary, RankingMetrics};
 pub use protocol::{
-    evaluate_group_ranking, evaluate_group_ranking_detailed, EvalConfig, GroupEvalCase,
-    GroupScorer,
+    evaluate_group_ranking, evaluate_group_ranking_detailed, EvalConfig, GroupEvalCase, GroupScorer,
 };
-pub use significance::{paired_bootstrap, BootstrapComparison};
 pub use ranking::{top_k, top_k_excluding};
+pub use significance::{paired_bootstrap, BootstrapComparison};

@@ -164,19 +164,12 @@ mod tests {
 
     impl GroupScorer for Oracle {
         fn score(&self, _group: u32, items: &[u32]) -> Vec<f32> {
-            items
-                .iter()
-                .map(|v| if self.liked.contains(v) { 1.0 } else { 0.0 })
-                .collect()
+            items.iter().map(|v| if self.liked.contains(v) { 1.0 } else { 0.0 }).collect()
         }
     }
 
     fn case(test: &[u32], known: &[u32]) -> GroupEvalCase {
-        GroupEvalCase {
-            group: 0,
-            test_items: test.to_vec(),
-            known_positives: known.to_vec(),
-        }
+        GroupEvalCase { group: 0, test_items: test.to_vec(), known_positives: known.to_vec() }
     }
 
     #[test]

@@ -52,9 +52,7 @@ fn better(s: f32, i: u32, ws: f32, wi: u32) -> bool {
 
 #[inline]
 fn cmp_weakest_first(a: &(f32, u32), b: &(f32, u32)) -> std::cmp::Ordering {
-    a.0.partial_cmp(&b.0)
-        .unwrap_or(std::cmp::Ordering::Equal)
-        .then(b.1.cmp(&a.1))
+    a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal).then(b.1.cmp(&a.1))
 }
 
 #[cfg(test)]
@@ -102,14 +100,10 @@ mod tests {
             // reference: stable sort desc, take k
             let mut idx: Vec<u32> = (0..n as u32).collect();
             idx.sort_by(|&a, &b| {
-                scores[b as usize]
-                    .partial_cmp(&scores[a as usize])
-                    .unwrap()
-                    .then(a.cmp(&b))
+                scores[b as usize].partial_cmp(&scores[a as usize]).unwrap().then(a.cmp(&b))
             });
             idx.truncate(k);
             assert_eq!(got, idx, "trial {trial}");
         }
     }
-
 }

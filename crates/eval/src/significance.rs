@@ -118,11 +118,7 @@ mod tests {
         let a: Vec<f64> = (0..150).map(|_| 0.5 + (rng.next_f32() as f64 - 0.5) * 0.2).collect();
         let b: Vec<f64> = (0..150).map(|_| 0.5 + (rng.next_f32() as f64 - 0.5) * 0.2).collect();
         let c = paired_bootstrap(&a, &b, 800, 4);
-        assert!(
-            c.prob_a_beats_b > 0.01 && c.prob_a_beats_b < 0.99,
-            "prob {:.3}",
-            c.prob_a_beats_b
-        );
+        assert!(c.prob_a_beats_b > 0.01 && c.prob_a_beats_b < 0.99, "prob {:.3}", c.prob_a_beats_b);
     }
 
     #[test]

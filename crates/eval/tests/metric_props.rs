@@ -9,11 +9,7 @@ use kgag_testkit::{prop_assert, prop_assert_eq};
 /// All metrics live in [0, 1]; hit ≥ recall; hit ≥ ndcg; mrr ≤ hit.
 #[test]
 fn metrics_are_bounded_and_ordered() {
-    let gen = (
-        vec_of(u32_in(0..50), 0..10),
-        vec_of(u32_in(0..50), 1..8),
-        usize_in(1..10),
-    );
+    let gen = (vec_of(u32_in(0..50), 0..10), vec_of(u32_in(0..50), 1..8), usize_in(1..10));
     Runner::new("metrics_are_bounded_and_ordered").cases(128).run(
         &gen,
         |(ranked_raw, relevant_raw, k)| {
@@ -22,8 +18,7 @@ fn metrics_are_bounded_and_ordered() {
             relevant.sort_unstable();
             relevant.dedup();
             let mut seen = std::collections::HashSet::new();
-            let ranked: Vec<u32> =
-                ranked_raw.iter().copied().filter(|v| seen.insert(*v)).collect();
+            let ranked: Vec<u32> = ranked_raw.iter().copied().filter(|v| seen.insert(*v)).collect();
             let m = ranking_metrics(&ranked, &relevant, k);
             for (name, v) in [
                 ("hit", m.hit),
@@ -53,8 +48,7 @@ fn single_relevant_recall_equals_hit() {
         &gen,
         |(ranked_raw, relevant, k)| {
             let mut seen = std::collections::HashSet::new();
-            let ranked: Vec<u32> =
-                ranked_raw.iter().copied().filter(|v| seen.insert(*v)).collect();
+            let ranked: Vec<u32> = ranked_raw.iter().copied().filter(|v| seen.insert(*v)).collect();
             let m = ranking_metrics(&ranked, &[*relevant], *k);
             prop_assert_eq!(m.recall, m.hit);
             Ok(())
@@ -70,10 +64,7 @@ fn top_k_matches_reference_sort() {
         let got = top_k(scores, *k);
         let mut idx: Vec<u32> = (0..scores.len() as u32).collect();
         idx.sort_by(|&a, &b| {
-            scores[b as usize]
-                .partial_cmp(&scores[a as usize])
-                .unwrap()
-                .then(a.cmp(&b))
+            scores[b as usize].partial_cmp(&scores[a as usize]).unwrap().then(a.cmp(&b))
         });
         idx.truncate(*k);
         prop_assert_eq!(got, idx);
@@ -84,17 +75,10 @@ fn top_k_matches_reference_sort() {
 /// Exclusion removes exactly the excluded items and keeps order.
 #[test]
 fn exclusion_is_exact() {
-    let gen = (
-        vec_of(f32_in(-5.0..5.0), 1..40),
-        vec_of(u32_in(0..40), 0..10),
-        usize_in(1..10),
-    );
+    let gen = (vec_of(f32_in(-5.0..5.0), 1..40), vec_of(u32_in(0..40), 0..10), usize_in(1..10));
     Runner::new("exclusion_is_exact").cases(128).run(&gen, |(scores, exclude_raw, k)| {
-        let mut exclude: Vec<u32> = exclude_raw
-            .iter()
-            .copied()
-            .filter(|&v| (v as usize) < scores.len())
-            .collect();
+        let mut exclude: Vec<u32> =
+            exclude_raw.iter().copied().filter(|&v| (v as usize) < scores.len()).collect();
         exclude.sort_unstable();
         exclude.dedup();
         let got = top_k_excluding(scores, *k, &exclude);
@@ -102,14 +86,10 @@ fn exclusion_is_exact() {
             prop_assert!(exclude.binary_search(v).is_err(), "excluded item {v} returned");
         }
         // equivalence: top_k over the filtered index set
-        let mut idx: Vec<u32> = (0..scores.len() as u32)
-            .filter(|v| exclude.binary_search(v).is_err())
-            .collect();
+        let mut idx: Vec<u32> =
+            (0..scores.len() as u32).filter(|v| exclude.binary_search(v).is_err()).collect();
         idx.sort_by(|&a, &b| {
-            scores[b as usize]
-                .partial_cmp(&scores[a as usize])
-                .unwrap()
-                .then(a.cmp(&b))
+            scores[b as usize].partial_cmp(&scores[a as usize]).unwrap().then(a.cmp(&b))
         });
         idx.truncate(*k);
         prop_assert_eq!(got, idx);

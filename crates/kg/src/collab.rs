@@ -53,9 +53,9 @@ impl CollaborativeKg {
         }
         for &(u, v) in interactions {
             assert!(u < num_users, "interaction references user {u} >= {num_users}");
-            let item = item_entity
-                .get(v as usize)
-                .unwrap_or_else(|| panic!("interaction references item {v} with no entity mapping"));
+            let item = item_entity.get(v as usize).unwrap_or_else(|| {
+                panic!("interaction references item {v} with no entity mapping")
+            });
             store.add(crate::triple::Triple {
                 head: EntityId(num_base_entities + u),
                 relation: interact,
@@ -152,10 +152,7 @@ mod tests {
         let nbrs: Vec<_> = ckg.graph().neighbors(u0).collect();
         assert_eq!(nbrs, vec![(EntityId(1), ckg.interact_relation())]);
         // inverse direction: item 1 sees user 0
-        let back = ckg
-            .graph()
-            .neighbors(EntityId(1))
-            .any(|(n, _)| n == u0);
+        let back = ckg.graph().neighbors(EntityId(1)).any(|(n, _)| n == u0);
         assert!(back);
     }
 

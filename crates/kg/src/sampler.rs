@@ -14,6 +14,7 @@
 //! seed and the batch content.
 
 use crate::graph::KgGraph;
+use kgag_tensor::pool;
 use kgag_tensor::rng::SplitMix64;
 
 /// Layered receptive field for a batch of target entities.
@@ -72,42 +73,87 @@ impl NeighborSampler {
     /// (lower-variance margins) and (b) every candidate item of an
     /// evaluation ranking see the same group representation inputs
     /// (lower-variance rankings).
-    pub fn receptive_field(&self, graph: &KgGraph, targets: &[u32], depth: usize, salt: u64) -> ReceptiveField {
+    pub fn receptive_field(
+        &self,
+        graph: &KgGraph,
+        targets: &[u32],
+        depth: usize,
+        salt: u64,
+    ) -> ReceptiveField {
         let base = self.seed ^ salt.wrapping_mul(0x9e37_79b9_7f4a_7c15);
         let mut entities = Vec::with_capacity(depth + 1);
         let mut relations = Vec::with_capacity(depth);
         entities.push(targets.to_vec());
         for l in 0..depth {
             let parents = &entities[l];
-            let mut next_e = Vec::with_capacity(parents.len() * self.k);
-            let mut next_r = Vec::with_capacity(parents.len() * self.k);
-            for &p in parents {
-                let mut rng = SplitMix64::new(
-                    base ^ (p as u64).wrapping_mul(0xd6e8_feb8_6659_fd93)
-                        ^ ((l as u64 + 1) << 56),
-                );
-                let (nbrs, rels) = graph.neighbor_slices(p);
-                debug_assert!(!nbrs.is_empty(), "graph invariant: no isolated nodes");
-                if nbrs.len() <= self.k {
-                    if nbrs.len() == self.k {
-                        next_e.extend_from_slice(nbrs);
-                        next_r.extend_from_slice(rels);
-                    } else {
-                        // with replacement (KGCN convention for small degrees)
-                        for _ in 0..self.k {
-                            let idx = rng.next_below(nbrs.len());
-                            next_e.push(nbrs[idx]);
-                            next_r.push(rels[idx]);
+            let k = self.k;
+            // Every parent emits exactly `k` (entity, relation) pairs into
+            // its own preallocated slot, and the per-parent RNG is seeded
+            // from (base, parent, level) only — never the batch position —
+            // so banding parents across threads is bit-identical to the
+            // sequential loop.
+            let mut next_e = vec![0u32; parents.len() * k];
+            let mut next_r = vec![0u32; parents.len() * k];
+            let band_parents = parents.len().div_ceil(pool::num_threads()).max(1);
+            pool::scope(|s| {
+                for ((e_band, r_band), p_band) in next_e
+                    .chunks_mut(band_parents * k)
+                    .zip(next_r.chunks_mut(band_parents * k))
+                    .zip(parents.chunks(band_parents))
+                {
+                    s.spawn(move || {
+                        for (pi, &p) in p_band.iter().enumerate() {
+                            sample_one(
+                                graph,
+                                base,
+                                l,
+                                p,
+                                k,
+                                &mut e_band[pi * k..(pi + 1) * k],
+                                &mut r_band[pi * k..(pi + 1) * k],
+                            );
                         }
-                    }
-                } else {
-                    sample_stratified(nbrs, rels, self.k, &mut rng, &mut next_e, &mut next_r);
+                    });
                 }
-            }
+            });
             entities.push(next_e);
             relations.push(next_r);
         }
         ReceptiveField { entities, relations, k: self.k, depth }
+    }
+}
+
+/// Fill one parent's `k` neighbor slots (the per-parent body of
+/// [`NeighborSampler::receptive_field`], shared by the sequential and
+/// banded paths).
+fn sample_one(
+    graph: &KgGraph,
+    base: u64,
+    l: usize,
+    p: u32,
+    k: usize,
+    out_e: &mut [u32],
+    out_r: &mut [u32],
+) {
+    let mut rng = SplitMix64::new(
+        base ^ (p as u64).wrapping_mul(0xd6e8_feb8_6659_fd93) ^ ((l as u64 + 1) << 56),
+    );
+    let (nbrs, rels) = graph.neighbor_slices(p);
+    debug_assert!(!nbrs.is_empty(), "graph invariant: no isolated nodes");
+    if nbrs.len() <= k {
+        if nbrs.len() == k {
+            out_e.copy_from_slice(nbrs);
+            out_r.copy_from_slice(rels);
+        } else {
+            // with replacement (KGCN convention for small degrees)
+            for i in 0..k {
+                let idx = rng.next_below(nbrs.len());
+                out_e[i] = nbrs[idx];
+                out_r[i] = rels[idx];
+            }
+        }
+    } else {
+        sample_stratified(nbrs, rels, k, &mut rng, out_e, out_r);
     }
 }
 
@@ -126,8 +172,8 @@ fn sample_stratified(
     rels: &[u32],
     k: usize,
     rng: &mut SplitMix64,
-    out_e: &mut Vec<u32>,
-    out_r: &mut Vec<u32>,
+    out_e: &mut [u32],
+    out_r: &mut [u32],
 ) {
     // bucket edge positions by relation id (small, node-local)
     let mut buckets: Vec<(u32, Vec<usize>)> = Vec::new();
@@ -151,8 +197,8 @@ fn sample_stratified(
                 break;
             }
             if let Some(&idx) = v.get(round) {
-                out_e.push(nbrs[idx]);
-                out_r.push(rels[idx]);
+                out_e[taken] = nbrs[idx];
+                out_r[taken] = rels[idx];
                 taken += 1;
                 advanced = true;
             }
@@ -287,12 +333,8 @@ mod stratified_tests {
         // stratified sampling must include both relations every time
         for salt in 0..20 {
             let rf = sampler.receptive_field(&g, &[0], 1, salt);
-            let rels: std::collections::HashSet<u32> =
-                rf.relations[0].iter().copied().collect();
-            assert!(
-                rels.len() >= 2,
-                "salt {salt}: sample covered only relations {rels:?}"
-            );
+            let rels: std::collections::HashSet<u32> = rf.relations[0].iter().copied().collect();
+            assert!(rels.len() >= 2, "salt {salt}: sample covered only relations {rels:?}");
         }
     }
 

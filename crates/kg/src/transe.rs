@@ -9,7 +9,8 @@
 //! tape needed for so simple a model.
 
 use crate::triple::TripleStore;
-use kgag_tensor::rng::SplitMix64;
+use kgag_tensor::pool;
+use kgag_tensor::rng::{derive_seed, SplitMix64};
 use kgag_tensor::{init, Tensor};
 
 /// TransE hyper-parameters.
@@ -78,16 +79,26 @@ pub fn train(store: &TripleStore, config: &TransEConfig) -> TransEModel {
     let mut rng = SplitMix64::new(config.seed);
     let mut order: Vec<usize> = (0..store.len()).collect();
 
-    for _ in 0..config.epochs {
+    for epoch in 0..config.epochs {
         rng.shuffle(&mut order);
-        for &ti in &order {
+        // Corrupted negatives for the whole epoch are drawn up front, in
+        // parallel: triple `ti` corrupts from its own derived RNG stream
+        // (a function of the config seed, the epoch and the triple index),
+        // so the negatives are independent of batch order and thread
+        // count. The SGD updates themselves stay sequential — they are
+        // the data-dependent part.
+        let epoch_seed = derive_seed(config.seed, "transe-negatives")
+            ^ (epoch as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        let negatives: Vec<(u32, u32)> = pool::par_map(&order, |_, &ti| {
             let t = store.triples()[ti];
+            let mut trng =
+                SplitMix64::new(epoch_seed ^ (ti as u64).wrapping_mul(0xd6e8_feb8_6659_fd93));
             // corrupt head or tail uniformly; resample until the corrupted
             // triple is not a known fact (filtered negatives)
-            let corrupt_head = rng.next_u64() & 1 == 0;
+            let corrupt_head = trng.next_u64() & 1 == 0;
             let (mut ch, mut ct) = (t.head.0, t.tail.0);
             for _ in 0..10 {
-                let cand = rng.next_below(n_e) as u32;
+                let cand = trng.next_below(n_e) as u32;
                 if corrupt_head {
                     ch = cand;
                 } else {
@@ -97,6 +108,10 @@ pub fn train(store: &TripleStore, config: &TransEConfig) -> TransEModel {
                     break;
                 }
             }
+            (ch, ct)
+        });
+        for (&ti, &(ch, ct)) in order.iter().zip(&negatives) {
+            let t = store.triples()[ti];
             sgd_step(
                 &mut entities,
                 &mut relations,
@@ -163,16 +178,20 @@ fn sgd_step(
 }
 
 /// L2-normalise each row in place (rows of zeros are left untouched).
+/// Rows are independent, so banding over them is value-neutral.
 fn normalize_rows(t: &mut Tensor) {
-    for r in 0..t.rows() {
-        let row = t.row_mut(r);
-        let norm: f32 = row.iter().map(|x| x * x).sum::<f32>().sqrt();
-        if norm > 1e-12 {
-            for x in row {
-                *x /= norm;
+    let d = t.cols();
+    let band_rows = t.rows().div_ceil(pool::num_threads()).max(1);
+    pool::par_chunks_mut(t.data_mut(), band_rows * d, |_, band| {
+        for row in band.chunks_mut(d) {
+            let norm: f32 = row.iter().map(|x| x * x).sum::<f32>().sqrt();
+            if norm > 1e-12 {
+                for x in row {
+                    *x /= norm;
+                }
             }
         }
-    }
+    });
 }
 
 #[cfg(test)]

@@ -99,22 +99,19 @@ fn sampler_is_total_and_deterministic() {
 #[test]
 fn repeated_targets_share_subtrees() {
     let gen = (triples_gen(), usize_in(1..5), u64_in(0..50));
-    Runner::new("repeated_targets_share_subtrees").cases(64).run(
-        &gen,
-        |(triples, k, salt)| {
-            let (k, salt) = (*k, *salt);
-            let (_, g) = build(triples);
-            let t0 = (g.num_entities() as u32 - 1).min(1);
-            let sampler = NeighborSampler::new(k, 7);
-            let rf = sampler.receptive_field(&g, &[t0, t0], 2, salt);
-            let half = |v: &Vec<u32>| (v[..v.len() / 2].to_vec(), v[v.len() / 2..].to_vec());
-            for level in &rf.entities {
-                let (a, b) = half(level);
-                prop_assert_eq!(a, b, "repeated target produced different subtree");
-            }
-            Ok(())
-        },
-    );
+    Runner::new("repeated_targets_share_subtrees").cases(64).run(&gen, |(triples, k, salt)| {
+        let (k, salt) = (*k, *salt);
+        let (_, g) = build(triples);
+        let t0 = (g.num_entities() as u32 - 1).min(1);
+        let sampler = NeighborSampler::new(k, 7);
+        let rf = sampler.receptive_field(&g, &[t0, t0], 2, salt);
+        let half = |v: &Vec<u32>| (v[..v.len() / 2].to_vec(), v[v.len() / 2..].to_vec());
+        for level in &rf.entities {
+            let (a, b) = half(level);
+            prop_assert_eq!(a, b, "repeated target produced different subtree");
+        }
+        Ok(())
+    });
 }
 
 /// Shortest-path output is consistent: the path length equals the

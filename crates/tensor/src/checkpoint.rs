@@ -143,9 +143,7 @@ pub fn load(store: &mut ParamStore, bytes: &[u8]) -> Result<usize, CheckpointErr
         for _ in 0..n {
             data.push(buf.get_f32_le());
         }
-        let id = store
-            .id(&name)
-            .ok_or_else(|| CheckpointError::MissingParam(name.clone()))?;
+        let id = store.id(&name).ok_or_else(|| CheckpointError::MissingParam(name.clone()))?;
         let shape = store.shape(id);
         if shape.rows != rows || shape.cols != cols {
             return Err(CheckpointError::ShapeMismatch(name));

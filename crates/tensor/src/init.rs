@@ -61,8 +61,8 @@ mod tests {
     fn normal_std_is_close() {
         let t = normal(100, 100, 0.5, 3);
         let mean = t.mean();
-        let var = t.data().iter().map(|x| (x - mean) * (x - mean)).sum::<f32>()
-            / t.data().len() as f32;
+        let var =
+            t.data().iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / t.data().len() as f32;
         assert!(mean.abs() < 0.02, "mean {mean}");
         assert!((var.sqrt() - 0.5).abs() < 0.03, "std {}", var.sqrt());
     }
@@ -73,8 +73,7 @@ mod tests {
         let wide = he_normal(400, 1000, 4);
         let std = |t: &Tensor| {
             let m = t.mean();
-            (t.data().iter().map(|x| (x - m) * (x - m)).sum::<f32>() / t.data().len() as f32)
-                .sqrt()
+            (t.data().iter().map(|x| (x - m) * (x - m)).sum::<f32>() / t.data().len() as f32).sqrt()
         };
         assert!(std(&narrow) > std(&wide) * 5.0);
     }

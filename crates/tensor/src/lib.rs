@@ -20,6 +20,10 @@
 //! * [`optim`] — `Sgd`, `Adam` and `AdaGrad` optimizers over a
 //!   `ParamStore`, with optional L2 weight decay (the λ‖Θ‖² term of the
 //!   paper's Eq. 20).
+//! * [`pool`] — a std-only deterministic thread pool (`KGAG_THREADS`)
+//!   that the hot kernels here and in the downstream crates use for
+//!   within-op parallelism with bit-identical results at any thread
+//!   count.
 //!
 //! ```
 //! use kgag_tensor::{ParamStore, Tape, Tensor, init, optim::{Adam, Optimizer}};
@@ -53,6 +57,7 @@ pub mod checkpoint;
 pub mod init;
 pub mod optim;
 pub mod params;
+pub mod pool;
 pub mod rng;
 pub mod shape;
 pub mod tape;

@@ -161,10 +161,7 @@ impl Optimizer for AdaGrad {
     fn step(&mut self, store: &mut ParamStore, grads: &Gradients) {
         for (id, g) in grads.iter() {
             let shape = store.shape(id);
-            let acc = self
-                .accum
-                .entry(id)
-                .or_insert_with(|| Tensor::zeros(shape.rows, shape.cols));
+            let acc = self.accum.entry(id).or_insert_with(|| Tensor::zeros(shape.rows, shape.cols));
             let theta = store.value_mut(id);
             for i in 0..shape.len() {
                 let gi = g.data()[i] + self.weight_decay * theta.data()[i];

@@ -88,10 +88,7 @@ impl ParamStore {
 
     /// Iterate over `(id, name, value)`.
     pub fn iter(&self) -> impl Iterator<Item = (ParamId, &str, &Tensor)> {
-        self.values
-            .iter()
-            .enumerate()
-            .map(|(i, v)| (ParamId(i as u32), self.names[i].as_str(), v))
+        self.values.iter().enumerate().map(|(i, v)| (ParamId(i as u32), self.names[i].as_str(), v))
     }
 
     /// Sum of squared weights over all parameters: ‖Θ‖² of Eq. 20.
@@ -128,10 +125,7 @@ impl Gradients {
     /// Accumulate `delta` into the gradient of `id` (creating zeros first
     /// if absent).
     pub fn accumulate(&mut self, id: ParamId, shape: Shape, f: impl FnOnce(&mut Tensor)) {
-        let g = self
-            .grads
-            .entry(id)
-            .or_insert_with(|| Tensor::zeros(shape.rows, shape.cols));
+        let g = self.grads.entry(id).or_insert_with(|| Tensor::zeros(shape.rows, shape.cols));
         f(g);
     }
 

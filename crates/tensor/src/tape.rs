@@ -19,7 +19,8 @@
 //! * [`Tape::peer_concat`] — the `CONCAT(u ∈ S^P_{g,i})` of Eq. 10.
 
 use crate::params::{Gradients, ParamId, ParamStore};
-use crate::tensor::{dot, sigmoid, softmax_inplace, Tensor};
+use crate::pool;
+use crate::tensor::{dot, par_row_bands, sigmoid, softmax_inplace, Tensor};
 
 /// Handle to a node on a [`Tape`].
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -123,17 +124,20 @@ impl<'p> Tape<'p> {
         let table = self.store.value(param);
         let d = table.cols();
         let n_rows = table.rows();
-        let mut data = Vec::with_capacity(rows.len() * d);
-        for &r in rows {
-            assert!(
-                (r as usize) < n_rows,
+        if let Some(&bad) = rows.iter().find(|&&r| (r as usize) >= n_rows) {
+            panic!(
                 "gather row {} out of bounds for parameter {:?} with {} rows",
-                r,
+                bad,
                 self.store.name(param),
                 n_rows
             );
-            data.extend_from_slice(table.row(r as usize));
         }
+        let mut data = vec![0.0f32; rows.len() * d];
+        par_row_bands(&mut data, rows.len(), d, rows.len() * d, |row0, band| {
+            for (local, dst) in band.chunks_mut(d).enumerate() {
+                dst.copy_from_slice(table.row(rows[row0 + local] as usize));
+            }
+        });
         let value = Tensor::from_vec(rows.len(), d, data);
         self.push(Op::Gather { param, rows: rows.to_vec() }, value)
     }
@@ -242,9 +246,14 @@ impl<'p> Tape<'p> {
         assert_eq!(av.cols(), 1, "softmax_groups expects a column, got {:?}", av.shape());
         assert_eq!(av.rows() % group, 0, "rows {} not divisible by group {}", av.rows(), group);
         let mut out = av.clone();
-        for chunk in out.data_mut().chunks_mut(group) {
-            softmax_inplace(chunk);
-        }
+        let n_blocks = av.rows() / group;
+        // blocks are independent; softmax_inplace per block is unchanged,
+        // so banding over blocks is bit-identical to the sequential loop
+        par_row_bands(out.data_mut(), n_blocks, group, av.rows(), |_, band| {
+            for chunk in band.chunks_mut(group) {
+                softmax_inplace(chunk);
+            }
+        });
         self.push(Op::SoftmaxGroups { a, group }, out)
     }
 
@@ -260,19 +269,21 @@ impl<'p> Tape<'p> {
         let m = vv.rows() / group;
         let d = vv.cols();
         let mut out = Tensor::zeros(m, d);
-        for i in 0..m {
-            let out_row = out.row_mut(i);
-            for k in 0..group {
-                let idx = i * group + k;
-                let wk = wv.data()[idx];
-                if wk == 0.0 {
-                    continue;
-                }
-                for (o, &x) in out_row.iter_mut().zip(vv.row(idx)) {
-                    *o += wk * x;
+        par_row_bands(out.data_mut(), m, d, vv.rows() * d, |row0, band| {
+            for (local, out_row) in band.chunks_mut(d).enumerate() {
+                let i = row0 + local;
+                for k in 0..group {
+                    let idx = i * group + k;
+                    let wk = wv.data()[idx];
+                    if wk == 0.0 {
+                        continue;
+                    }
+                    for (o, &x) in out_row.iter_mut().zip(vv.row(idx)) {
+                        *o += wk * x;
+                    }
                 }
             }
-        }
+        });
         self.push(Op::GroupWeightedSum { w, v, group }, out)
     }
 
@@ -415,15 +426,7 @@ impl<'p> Tape<'p> {
                 }
                 Op::Gather { param, rows } => {
                     let shape = self.store.shape(*param);
-                    grads.accumulate(*param, shape, |t| {
-                        for (i, &r) in rows.iter().enumerate() {
-                            let src = g.row(i);
-                            let dst = t.row_mut(r as usize);
-                            for (d, &s) in dst.iter_mut().zip(src) {
-                                *d += s;
-                            }
-                        }
-                    });
+                    grads.accumulate(*param, shape, |t| scatter_add_rows(t, rows, &g));
                 }
                 Op::MatMul { a, b } => {
                     let av = &self.nodes[a.index()].value;
@@ -506,17 +509,19 @@ impl<'p> Tape<'p> {
                     let s = &node.value;
                     let mut da = Tensor::zeros(s.rows(), 1);
                     let group = *group;
-                    for blk in 0..s.rows() / group {
-                        let base = blk * group;
-                        let mut inner = 0.0f32;
-                        for k in 0..group {
-                            inner += g.data()[base + k] * s.data()[base + k];
+                    let n_blocks = s.rows() / group;
+                    par_row_bands(da.data_mut(), n_blocks, group, s.rows(), |blk0, band| {
+                        for (local, chunk) in band.chunks_mut(group).enumerate() {
+                            let base = (blk0 + local) * group;
+                            let mut inner = 0.0f32;
+                            for k in 0..group {
+                                inner += g.data()[base + k] * s.data()[base + k];
+                            }
+                            for (k, x) in chunk.iter_mut().enumerate() {
+                                *x = s.data()[base + k] * (g.data()[base + k] - inner);
+                            }
                         }
-                        for k in 0..group {
-                            da.data_mut()[base + k] =
-                                s.data()[base + k] * (g.data()[base + k] - inner);
-                        }
-                    }
+                    });
                     accumulate_node(&mut node_grads, *a, da);
                 }
                 Op::GroupWeightedSum { w, v, group } => {
@@ -527,17 +532,29 @@ impl<'p> Tape<'p> {
                     let d = vv.cols();
                     let mut dw = Tensor::zeros(vv.rows(), 1);
                     let mut dv = Tensor::zeros(vv.rows(), d);
-                    for i in 0..m {
-                        let go = g.row(i);
-                        for k in 0..group {
-                            let idx = i * group + k;
-                            dw.data_mut()[idx] = dot(go, vv.row(idx));
-                            let wk = wv.data()[idx];
-                            for (x, &s) in dv.row_mut(idx).iter_mut().zip(go) {
-                                *x = wk * s;
+                    // both gradients partition by block; each block writes
+                    // its own group-row slice, so banding is value-neutral
+                    par_row_bands(dw.data_mut(), m, group, vv.rows() * d, |blk0, band| {
+                        for (local, wchunk) in band.chunks_mut(group).enumerate() {
+                            let i = blk0 + local;
+                            let go = g.row(i);
+                            for (k, x) in wchunk.iter_mut().enumerate() {
+                                *x = dot(go, vv.row(i * group + k));
                             }
                         }
-                    }
+                    });
+                    par_row_bands(dv.data_mut(), m, group * d, vv.rows() * d, |blk0, band| {
+                        for (local, vchunk) in band.chunks_mut(group * d).enumerate() {
+                            let i = blk0 + local;
+                            let go = g.row(i);
+                            for k in 0..group {
+                                let wk = wv.data()[i * group + k];
+                                for (x, &s) in vchunk[k * d..(k + 1) * d].iter_mut().zip(go) {
+                                    *x = wk * s;
+                                }
+                            }
+                        }
+                    });
                     accumulate_node(&mut node_grads, *w, dw);
                     accumulate_node(&mut node_grads, *v, dv);
                 }
@@ -635,6 +652,42 @@ impl<'p> Tape<'p> {
         }
         grads
     }
+}
+
+/// Gather backward: `t.row(rows[i]) += g.row(i)` for every `i`.
+///
+/// Parallelises over *destination* row bands — each task scans the full
+/// index list and accumulates only the rows in its band, so a destination
+/// row always receives its contributions in ascending `i` order, exactly
+/// like the sequential loop. The redundant scans cost O(threads · len)
+/// index comparisons, which is noise next to the O(len · d) adds.
+fn scatter_add_rows(t: &mut Tensor, rows: &[u32], g: &Tensor) {
+    let d = g.cols();
+    let threads = pool::num_threads();
+    let dest_rows = t.rows();
+    if threads == 1 || dest_rows < 2 || rows.len() * d < 16 * 1024 {
+        for (i, &r) in rows.iter().enumerate() {
+            for (x, &s) in t.row_mut(r as usize).iter_mut().zip(g.row(i)) {
+                *x += s;
+            }
+        }
+        return;
+    }
+    let band_rows = dest_rows.div_ceil(threads).max(1);
+    pool::par_chunks_mut(t.data_mut(), band_rows * d, |ci, band| {
+        let lo = ci * band_rows;
+        let hi = lo + band.len() / d;
+        for (i, &r) in rows.iter().enumerate() {
+            let r = r as usize;
+            if r < lo || r >= hi {
+                continue;
+            }
+            let dst = &mut band[(r - lo) * d..(r - lo + 1) * d];
+            for (x, &s) in dst.iter_mut().zip(g.row(i)) {
+                *x += s;
+            }
+        }
+    });
 }
 
 fn accumulate_node(node_grads: &mut [Option<Tensor>], id: NodeId, delta: Tensor) {

@@ -3,7 +3,37 @@
 //! The [`crate::Tape`] builds on these for autodiff; substrates that train
 //! with hand-written gradients (e.g. TransE in `kgag-kg`) use them directly.
 
+use crate::pool;
 use crate::shape::Shape;
+
+/// Flop threshold below which the matmul kernels stay sequential. A
+/// constant (never thread-count dependent) so the work decomposition is
+/// a pure function of the problem shape.
+const PAR_MIN_WORK: usize = 16 * 1024;
+
+/// Run `kernel(first_row, band)` over horizontal bands of a row-major
+/// `rows × cols` output buffer, in parallel when the work is large
+/// enough. The kernel must compute each output row purely from its row
+/// index, so banding cannot change any value — sequential execution is
+/// the single-band special case.
+pub(crate) fn par_row_bands(
+    out: &mut [f32],
+    rows: usize,
+    cols: usize,
+    work: usize,
+    kernel: impl Fn(usize, &mut [f32]) + Sync,
+) {
+    if out.is_empty() {
+        return;
+    }
+    let threads = pool::num_threads();
+    if threads == 1 || rows < 2 || work < PAR_MIN_WORK {
+        kernel(0, out);
+        return;
+    }
+    let band_rows = rows.div_ceil(threads).max(1);
+    pool::par_chunks_mut(out, band_rows * cols, |ci, band| kernel(ci * band_rows, band));
+}
 
 /// A dense, row-major, 2-D `f32` tensor.
 #[derive(Clone, PartialEq)]
@@ -166,57 +196,81 @@ impl Tensor {
         let (m, k, n) = (self.rows(), self.cols(), rhs.cols());
         let mut out = vec![0.0f32; out_shape.len()];
         // i-k-j loop order: the inner loop walks both `rhs` and `out`
-        // contiguously, which the compiler can vectorise.
-        for i in 0..m {
-            let a_row = &self.data[i * k..(i + 1) * k];
-            let out_row = &mut out[i * n..(i + 1) * n];
-            for (kk, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let b_row = &rhs.data[kk * n..(kk + 1) * n];
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a * b;
+        // contiguously, which the compiler can vectorise. Output rows are
+        // independent, so they parallelise as bands with bit-identical
+        // per-element accumulation order (the `a == 0.0` skip included —
+        // dropping it could turn a +0.0 sum into -0.0).
+        par_row_bands(&mut out, m, n, m * k * n, |row0, band| {
+            for (local, out_row) in band.chunks_mut(n).enumerate() {
+                let i = row0 + local;
+                let a_row = &self.data[i * k..(i + 1) * k];
+                for (kk, &a) in a_row.iter().enumerate() {
+                    if a == 0.0 {
+                        continue;
+                    }
+                    let b_row = &rhs.data[kk * n..(kk + 1) * n];
+                    for (o, &b) in out_row.iter_mut().zip(b_row) {
+                        *o += a * b;
+                    }
                 }
             }
-        }
+        });
         Tensor { shape: out_shape, data: out }
     }
 
     /// `selfᵀ × rhs` without materialising the transpose.
     pub fn matmul_tn(&self, rhs: &Tensor) -> Tensor {
-        assert_eq!(self.rows(), rhs.rows(), "matmul_tn shape mismatch: {:?}ᵀ x {:?}", self.shape, rhs.shape);
+        assert_eq!(
+            self.rows(),
+            rhs.rows(),
+            "matmul_tn shape mismatch: {:?}ᵀ x {:?}",
+            self.shape,
+            rhs.shape
+        );
         let (m, k, n) = (self.cols(), self.rows(), rhs.cols());
         let mut out = vec![0.0f32; m * n];
-        for kk in 0..k {
-            let a_row = &self.data[kk * m..(kk + 1) * m];
-            let b_row = &rhs.data[kk * n..(kk + 1) * n];
-            for (i, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let out_row = &mut out[i * n..(i + 1) * n];
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a * b;
+        // Output-row-major form of the kk-outer original: out[i] still
+        // accumulates over ascending kk, so every element sees the exact
+        // accumulation order of the sequential kernel while rows become
+        // independent units for banding.
+        par_row_bands(&mut out, m, n, m * k * n, |row0, band| {
+            for (local, out_row) in band.chunks_mut(n).enumerate() {
+                let i = row0 + local;
+                for kk in 0..k {
+                    let a = self.data[kk * m + i];
+                    if a == 0.0 {
+                        continue;
+                    }
+                    let b_row = &rhs.data[kk * n..(kk + 1) * n];
+                    for (o, &b) in out_row.iter_mut().zip(b_row) {
+                        *o += a * b;
+                    }
                 }
             }
-        }
+        });
         Tensor { shape: Shape::new(m, n), data: out }
     }
 
     /// `self × rhsᵀ` without materialising the transpose.
     pub fn matmul_nt(&self, rhs: &Tensor) -> Tensor {
-        assert_eq!(self.cols(), rhs.cols(), "matmul_nt shape mismatch: {:?} x {:?}ᵀ", self.shape, rhs.shape);
+        assert_eq!(
+            self.cols(),
+            rhs.cols(),
+            "matmul_nt shape mismatch: {:?} x {:?}ᵀ",
+            self.shape,
+            rhs.shape
+        );
         let (m, k, n) = (self.rows(), self.cols(), rhs.rows());
         let mut out = vec![0.0f32; m * n];
-        for i in 0..m {
-            let a_row = &self.data[i * k..(i + 1) * k];
-            let out_row = &mut out[i * n..(i + 1) * n];
-            for (j, o) in out_row.iter_mut().enumerate() {
-                let b_row = &rhs.data[j * k..(j + 1) * k];
-                *o = dot(a_row, b_row);
+        par_row_bands(&mut out, m, n, m * k * n, |row0, band| {
+            for (local, out_row) in band.chunks_mut(n).enumerate() {
+                let a_row = &self.data[(row0 + local) * k..(row0 + local + 1) * k];
+                for (j, o) in out_row.iter_mut().enumerate() {
+                    let b_row = &rhs.data[j * k..(j + 1) * k];
+                    *o = dot(a_row, b_row);
+                }
             }
-        }
+        });
         Tensor { shape: Shape::new(m, n), data: out }
     }
 

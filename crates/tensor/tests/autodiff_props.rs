@@ -9,11 +9,7 @@ use kgag_testkit::gen::{boolean, choice, f32_in, u64_in, usize_in, vec_of};
 use kgag_testkit::{prop_assert, prop_assert_eq};
 
 /// Numeric gradient of `f` w.r.t. `pid` via central differences.
-fn numeric_grad(
-    store: &mut ParamStore,
-    pid: ParamId,
-    f: &dyn Fn(&ParamStore) -> f32,
-) -> Tensor {
+fn numeric_grad(store: &mut ParamStore, pid: ParamId, f: &dyn Fn(&ParamStore) -> f32) -> Tensor {
     let eps = 1e-3f32;
     let shape = store.shape(pid);
     let mut out = Tensor::zeros(shape.rows, shape.cols);
@@ -48,13 +44,8 @@ enum UnaryOp {
     AddScalar,
 }
 
-const UNARY_OPS: [UnaryOp; 5] = [
-    UnaryOp::Sigmoid,
-    UnaryOp::Relu,
-    UnaryOp::Tanh,
-    UnaryOp::Scale,
-    UnaryOp::AddScalar,
-];
+const UNARY_OPS: [UnaryOp; 5] =
+    [UnaryOp::Sigmoid, UnaryOp::Relu, UnaryOp::Tanh, UnaryOp::Scale, UnaryOp::AddScalar];
 
 fn apply(tape: &mut Tape<'_>, x: kgag_tensor::NodeId, op: UnaryOp) -> kgag_tensor::NodeId {
     match op {
@@ -128,8 +119,7 @@ fn grouped_pipeline_gradients_match() {
         |&(seed, blocks, group, d)| {
             let mut store = ParamStore::new();
             let logits = store.register("logits", init::uniform(blocks * group, 1, 1.0, seed));
-            let values =
-                store.register("values", init::uniform(blocks * group, d, 1.0, seed ^ 7));
+            let values = store.register("values", init::uniform(blocks * group, d, 1.0, seed ^ 7));
             let run = move |s: &ParamStore| -> f32 {
                 let mut tape = Tape::new(s);
                 let l = tape.param(logits);
@@ -187,45 +177,37 @@ fn softmax_groups_is_distribution() {
 #[test]
 fn peer_concat_preserves_values() {
     let gen = (u64_in(0..1000), usize_in(1..4), usize_in(2..5), usize_in(1..4));
-    Runner::new("peer_concat_preserves_values").cases(64).run(
-        &gen,
-        |&(seed, blocks, group, d)| {
-            let input = init::uniform(blocks * group, d, 1.0, seed);
-            let store = ParamStore::new();
-            let mut tape = Tape::new(&store);
-            let x = tape.constant(input.clone());
-            let pc = tape.peer_concat(x, group);
-            let out = tape.value(pc);
-            prop_assert_eq!(out.rows(), blocks * group);
-            prop_assert_eq!(out.cols(), (group - 1) * d);
-            // total sums: each input row appears in exactly group-1 outputs
-            let in_sum: f32 = input.data().iter().sum();
-            let out_sum: f32 = out.data().iter().sum();
-            prop_assert!(
-                (out_sum - in_sum * (group - 1) as f32).abs() < 1e-3 * (1.0 + in_sum.abs())
-            );
-            Ok(())
-        },
-    );
+    Runner::new("peer_concat_preserves_values").cases(64).run(&gen, |&(seed, blocks, group, d)| {
+        let input = init::uniform(blocks * group, d, 1.0, seed);
+        let store = ParamStore::new();
+        let mut tape = Tape::new(&store);
+        let x = tape.constant(input.clone());
+        let pc = tape.peer_concat(x, group);
+        let out = tape.value(pc);
+        prop_assert_eq!(out.rows(), blocks * group);
+        prop_assert_eq!(out.cols(), (group - 1) * d);
+        // total sums: each input row appears in exactly group-1 outputs
+        let in_sum: f32 = input.data().iter().sum();
+        let out_sum: f32 = out.data().iter().sum();
+        prop_assert!((out_sum - in_sum * (group - 1) as f32).abs() < 1e-3 * (1.0 + in_sum.abs()));
+        Ok(())
+    });
 }
 
 /// repeat_rows then group_mean is the identity.
 #[test]
 fn repeat_then_mean_is_identity() {
     let gen = (u64_in(0..1000), usize_in(1..6), usize_in(1..5), usize_in(1..5));
-    Runner::new("repeat_then_mean_is_identity").cases(64).run(
-        &gen,
-        |&(seed, rows, d, times)| {
-            let input = init::uniform(rows, d, 1.0, seed);
-            let store = ParamStore::new();
-            let mut tape = Tape::new(&store);
-            let x = tape.constant(input.clone());
-            let r = tape.repeat_rows(x, times);
-            let m = tape.group_mean(r, times);
-            for (a, b) in tape.value(m).data().iter().zip(input.data()) {
-                prop_assert!((a - b).abs() < 1e-5);
-            }
-            Ok(())
-        },
-    );
+    Runner::new("repeat_then_mean_is_identity").cases(64).run(&gen, |&(seed, rows, d, times)| {
+        let input = init::uniform(rows, d, 1.0, seed);
+        let store = ParamStore::new();
+        let mut tape = Tape::new(&store);
+        let x = tape.constant(input.clone());
+        let r = tape.repeat_rows(x, times);
+        let m = tape.group_mean(r, times);
+        for (a, b) in tape.value(m).data().iter().zip(input.data()) {
+            prop_assert!((a - b).abs() < 1e-5);
+        }
+        Ok(())
+    });
 }

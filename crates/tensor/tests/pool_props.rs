@@ -1,0 +1,131 @@
+//! Property-based tests of the deterministic thread pool: every
+//! data-parallel primitive must produce output bit-identical to its
+//! sequential reference for random sizes, chunk splits and thread
+//! counts, and a panicking task must poison the scope (re-throw at the
+//! caller) rather than deadlock or kill sibling tasks.
+
+use kgag_tensor::pool::{self, par_chunks_mut, par_map, scope, with_threads};
+use kgag_tensor::rng::SplitMix64;
+use kgag_tensor::Tensor;
+use kgag_testkit::check::Runner;
+use kgag_testkit::gen::{f32_in, u64_in, usize_in, vec_of};
+use kgag_testkit::{prop_assert, prop_assert_eq};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+#[test]
+fn par_chunks_mut_equals_sequential_reference() {
+    // random data length, chunk length and thread count; the chunk
+    // kernel mixes the chunk index and the element offset so any slot
+    // mix-up or double-write is visible
+    let gen = (usize_in(1..2000), usize_in(1..300), usize_in(1..9), u64_in(0..u64::MAX));
+    Runner::new("pool-par-chunks-matches-seq").cases(96).run(
+        &gen,
+        |&(len, chunk_len, threads, seed)| {
+            let mut rng = SplitMix64::new(seed);
+            let base: Vec<f32> = (0..len).map(|_| rng.next_f32()).collect();
+            let kernel = |ci: usize, chunk: &mut [f32]| {
+                for (j, x) in chunk.iter_mut().enumerate() {
+                    *x = *x * (ci as f32 + 1.0) + j as f32;
+                }
+            };
+            // sequential reference at 1 thread
+            let mut expect = base.clone();
+            with_threads(1, || par_chunks_mut(&mut expect, chunk_len, kernel));
+            let mut got = base.clone();
+            with_threads(threads, || par_chunks_mut(&mut got, chunk_len, kernel));
+            prop_assert_eq!(got, expect, "len {len} chunk {chunk_len} threads {threads}");
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn par_map_equals_sequential_reference() {
+    let gen = (vec_of(f32_in(-10.0..10.0), 0..600), usize_in(1..9));
+    Runner::new("pool-par-map-matches-seq").cases(96).run(&gen, |(items, threads)| {
+        let f = |i: usize, &x: &f32| (i as f32).mul_add(0.5, x * x);
+        let expect: Vec<f32> = with_threads(1, || par_map(items, f));
+        let got: Vec<f32> = with_threads(*threads, || par_map(items, f));
+        prop_assert_eq!(&got, &expect, "threads {threads}: {got:?} vs {expect:?}");
+        Ok(())
+    });
+}
+
+#[test]
+fn matmul_is_bit_identical_at_any_thread_count() {
+    // exercises the real hot-path kernels through the pool: sizes above
+    // and below the parallel threshold, arbitrary thread counts
+    let gen =
+        (usize_in(1..48), usize_in(1..48), usize_in(1..48), usize_in(2..9), u64_in(0..u64::MAX));
+    Runner::new("pool-matmul-bit-identical").cases(64).run(&gen, |&(m, k, n, threads, seed)| {
+        let mut rng = SplitMix64::new(seed);
+        let a = Tensor::from_vec(m, k, (0..m * k).map(|_| rng.next_f32() - 0.5).collect());
+        let b = Tensor::from_vec(k, n, (0..k * n).map(|_| rng.next_f32() - 0.5).collect());
+        let seq = with_threads(1, || (a.matmul(&b), a.matmul_tn(&a), b.matmul_nt(&b)));
+        let par = with_threads(threads, || (a.matmul(&b), a.matmul_tn(&a), b.matmul_nt(&b)));
+        prop_assert_eq!(seq.0.data(), par.0.data(), "matmul diverged at {threads} threads");
+        prop_assert_eq!(seq.1.data(), par.1.data(), "matmul_tn diverged at {threads} threads");
+        prop_assert_eq!(seq.2.data(), par.2.data(), "matmul_nt diverged at {threads} threads");
+        Ok(())
+    });
+}
+
+#[test]
+fn scope_runs_every_task_exactly_once() {
+    let gen = (usize_in(0..100), usize_in(1..9));
+    Runner::new("pool-scope-task-coverage").cases(64).run(&gen, |&(tasks, threads)| {
+        let hits: Vec<AtomicUsize> = (0..tasks).map(|_| AtomicUsize::new(0)).collect();
+        with_threads(threads, || {
+            scope(|s| {
+                for h in &hits {
+                    s.spawn(|| {
+                        h.fetch_add(1, Ordering::SeqCst);
+                    });
+                }
+            });
+        });
+        for (i, h) in hits.iter().enumerate() {
+            let n = h.load(Ordering::SeqCst);
+            prop_assert!(n == 1, "task {i} ran {n} times");
+        }
+        Ok(())
+    });
+}
+
+#[test]
+fn panicking_task_poisons_scope_and_siblings_still_run() {
+    let survivors = Arc::new(AtomicUsize::new(0));
+    let sv = Arc::clone(&survivors);
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        with_threads(4, || {
+            scope(|s| {
+                for i in 0..24 {
+                    let sv = Arc::clone(&sv);
+                    s.spawn(move || {
+                        if i == 11 {
+                            panic!("poisoned task {i}");
+                        }
+                        sv.fetch_add(1, Ordering::SeqCst);
+                    });
+                }
+            });
+        });
+    }));
+    let err = outcome.expect_err("the task panic must re-throw at the caller");
+    let msg = err
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+        .unwrap_or_default();
+    assert!(msg.contains("poisoned task 11"), "unexpected panic payload: {msg}");
+    assert_eq!(survivors.load(Ordering::SeqCst), 23, "sibling tasks must complete");
+}
+
+#[test]
+fn num_threads_honours_override_and_cap() {
+    assert!(pool::num_threads() >= 1);
+    with_threads(5, || assert_eq!(pool::num_threads(), 5));
+    with_threads(100_000, || assert!(pool::num_threads() <= pool::MAX_THREADS));
+}

@@ -87,23 +87,65 @@ pub fn fmt_ns(ns: f64) -> String {
     }
 }
 
+/// Best-effort git commit of the working tree: walk up from the current
+/// directory to a `.git/HEAD`, dereference the ref (loose file first,
+/// then `packed-refs`). `None` outside a repository — artifacts then
+/// stamp `null` rather than failing.
+pub fn git_sha() -> Option<String> {
+    let mut dir = std::env::current_dir().ok()?;
+    let git = loop {
+        let candidate = dir.join(".git");
+        if candidate.join("HEAD").is_file() {
+            break candidate;
+        }
+        if !dir.pop() {
+            return None;
+        }
+    };
+    let head = std::fs::read_to_string(git.join("HEAD")).ok()?;
+    let head = head.trim();
+    let Some(refname) = head.strip_prefix("ref: ") else {
+        return (head.len() >= 7).then(|| head.to_owned()); // detached HEAD
+    };
+    if let Ok(sha) = std::fs::read_to_string(git.join(refname)) {
+        return Some(sha.trim().to_owned());
+    }
+    let packed = std::fs::read_to_string(git.join("packed-refs")).ok()?;
+    packed
+        .lines()
+        .filter(|l| !l.starts_with('#') && !l.starts_with('^'))
+        .find_map(|l| l.strip_suffix(refname).map(|sha| sha.trim().to_owned()))
+}
+
 /// A named collection of benchmarks sharing one configuration.
 pub struct BenchSuite {
     name: String,
     config: BenchConfig,
     results: Vec<BenchResult>,
+    annotations: Vec<(String, Json)>,
 }
 
 impl BenchSuite {
     /// A suite with env-derived iteration counts.
     pub fn new(name: &str) -> Self {
-        BenchSuite { name: name.to_owned(), config: BenchConfig::from_env(), results: Vec::new() }
+        BenchSuite {
+            name: name.to_owned(),
+            config: BenchConfig::from_env(),
+            results: Vec::new(),
+            annotations: Vec::new(),
+        }
     }
 
     /// Override the configuration (explicit config beats env).
     pub fn with_config(name: &str, config: BenchConfig) -> Self {
         assert!(config.iters > 0, "need at least one timed iteration");
-        BenchSuite { name: name.to_owned(), config, results: Vec::new() }
+        BenchSuite { name: name.to_owned(), config, results: Vec::new(), annotations: Vec::new() }
+    }
+
+    /// Attach an extra top-level field to the suite's JSON artifact
+    /// (e.g. computed speedup ratios).
+    pub fn annotate(&mut self, key: &str, value: Json) {
+        self.annotations.push((key.to_owned(), value));
     }
 
     /// Time `f` with the suite's iteration counts and record the result.
@@ -152,12 +194,23 @@ impl BenchSuite {
     }
 
     /// Print a closing line and write `results/bench_<suite>.json`.
+    ///
+    /// The artifact stamps run metadata — logical thread count, git
+    /// commit, iteration/warmup counts — so bench trajectories stay
+    /// comparable across machines and PRs.
     pub fn finish(self) {
-        let payload = Json::obj(vec![
+        let mut fields = vec![
             ("suite", self.name.to_json()),
+            ("threads", kgag_tensor::pool::num_threads().to_json()),
+            ("git_sha", git_sha().to_json()),
+            ("iters", self.config.iters.to_json()),
             ("warmup", self.config.warmup.to_json()),
             ("results", self.results.to_json()),
-        ]);
+        ];
+        for (k, v) in &self.annotations {
+            fields.push((k.as_str(), v.clone()));
+        }
+        let payload = Json::obj(fields);
         match crate::json::write_json_file(
             std::path::Path::new("results"),
             &format!("bench_{}", self.name),
@@ -205,6 +258,14 @@ mod tests {
         for key in ["name", "iters", "median_ns", "p95_ns", "mean_ns", "min_ns", "max_ns"] {
             assert!(text.contains(key), "missing {key}: {text}");
         }
+    }
+
+    #[test]
+    fn git_sha_resolves_inside_this_repo() {
+        // the workspace is a git repository, so a 40-hex sha must come back
+        let sha = git_sha().expect("workspace should be a git repo");
+        assert!(sha.len() >= 7, "suspicious sha: {sha}");
+        assert!(sha.chars().all(|c| c.is_ascii_hexdigit()), "non-hex sha: {sha}");
     }
 
     #[test]

@@ -52,10 +52,8 @@ impl Runner {
             .ok()
             .and_then(|v| v.parse().ok())
             .unwrap_or(DEFAULT_CASES);
-        let base = std::env::var("KGAG_PROP_SEED")
-            .ok()
-            .and_then(|v| parse_seed(&v))
-            .unwrap_or(BASE_SEED);
+        let base =
+            std::env::var("KGAG_PROP_SEED").ok().and_then(|v| parse_seed(&v)).unwrap_or(BASE_SEED);
         Runner { name: name.to_owned(), cases, seed: derive_seed(base, name) }
     }
 
@@ -124,9 +122,8 @@ where
             // a candidate that panics (rather than returning Err) is
             // treated as a failure too — properties may call code with
             // internal assertions
-            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                prop(&candidate)
-            }));
+            let outcome =
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| prop(&candidate)));
             let failed = match outcome {
                 Ok(Ok(())) => None,
                 Ok(Err(e)) => Some(e),
@@ -209,12 +206,7 @@ macro_rules! prop_assert_ne {
     ($a:expr, $b:expr) => {{
         let (__a, __b) = (&$a, &$b);
         if __a == __b {
-            return Err(format!(
-                "{} == {}: both {:?}",
-                stringify!($a),
-                stringify!($b),
-                __a
-            ));
+            return Err(format!("{} == {}: both {:?}", stringify!($a), stringify!($b), __a));
         }
     }};
 }

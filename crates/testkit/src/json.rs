@@ -3,9 +3,11 @@
 //!
 //! Artifact-producing code implements [`ToJson`] (a handful of lines per
 //! struct instead of a derive) and hands the value to
-//! [`to_string_pretty`] or [`write_json_file`]. Only *serialization* is
-//! provided: nothing in the workspace parses JSON, it only emits
-//! experiment artifacts for external tooling.
+//! [`to_string_pretty`] or [`write_json_file`]. [`Json::parse`] reads
+//! the same format back — it exists for the CI bench-regression gate,
+//! which compares freshly written bench artifacts against a committed
+//! baseline, so the parser only needs to handle what the writer emits
+//! (plus ordinary standards-conforming JSON).
 
 /// A JSON value.
 #[derive(Clone, Debug, PartialEq)]
@@ -32,6 +34,55 @@ impl Json {
     /// Build an object from `(key, value)` pairs.
     pub fn obj(fields: Vec<(&str, Json)>) -> Json {
         Json::Obj(fields.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
+    }
+
+    /// Parse a JSON document (recursive descent). Numbers without `.`,
+    /// `e` or a leading `-` parse as [`Json::UInt`], other integers as
+    /// [`Json::Int`], the rest as [`Json::Float`] — mirroring the
+    /// writer's typing so artifacts round-trip.
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing content at byte {pos}"));
+        }
+        Ok(value)
+    }
+
+    /// Fetch an object field by key (first match; `None` for non-objects).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The numeric value of an `Int` / `UInt` / `Float` node.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Int(i) => Some(*i as f64),
+            Json::UInt(u) => Some(*u as f64),
+            Json::Float(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The string value of a `Str` node.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The elements of an `Arr` node.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
     }
 
     /// Render with two-space indentation and a trailing newline-free
@@ -103,6 +154,176 @@ impl Json {
             }
         }
     }
+}
+
+// ---------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, b: u8) -> Result<(), String> {
+    if bytes.get(*pos) == Some(&b) {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected '{}' at byte {}", b as char, *pos))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err("unexpected end of input".to_owned()),
+        Some(b'n') => parse_keyword(bytes, pos, "null", Json::Null),
+        Some(b't') => parse_keyword(bytes, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_keyword(bytes, pos, "false", Json::Bool(false)),
+        Some(b'"') => parse_string(bytes, pos).map(Json::Str),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(bytes, pos)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {}", *pos)),
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut fields = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(fields));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = parse_string(bytes, pos)?;
+                skip_ws(bytes, pos);
+                expect(bytes, pos, b':')?;
+                fields.push((key, parse_value(bytes, pos)?));
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(fields));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {}", *pos)),
+                }
+            }
+        }
+        Some(_) => parse_number(bytes, pos),
+    }
+}
+
+fn parse_keyword(bytes: &[u8], pos: &mut usize, word: &str, value: Json) -> Result<Json, String> {
+    if bytes[*pos..].starts_with(word.as_bytes()) {
+        *pos += word.len();
+        Ok(value)
+    } else {
+        Err(format!("invalid literal at byte {}", *pos))
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(bytes, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err("unterminated string".to_owned()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .ok_or_else(|| format!("bad \\u escape at byte {}", *pos))?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| format!("bad \\u escape at byte {}", *pos))?;
+                        // surrogate pairs are not emitted by the writer;
+                        // map lone surrogates to the replacement char
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    _ => return Err(format!("bad escape at byte {}", *pos)),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // copy the full UTF-8 scalar starting here
+                let s = std::str::from_utf8(&bytes[*pos..])
+                    .map_err(|_| format!("invalid UTF-8 at byte {}", *pos))?;
+                let c = s.chars().next().expect("non-empty by construction");
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let mut float = false;
+    while let Some(&b) = bytes.get(*pos) {
+        match b {
+            b'0'..=b'9' => *pos += 1,
+            b'.' | b'e' | b'E' | b'+' | b'-' => {
+                float = true;
+                *pos += 1;
+            }
+            _ => break,
+        }
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos])
+        .map_err(|_| format!("invalid number at byte {start}"))?;
+    if text.is_empty() || text == "-" {
+        return Err(format!("invalid number at byte {start}"));
+    }
+    if !float {
+        if let Some(stripped) = text.strip_prefix('-') {
+            if let Ok(i) = stripped.parse::<i64>() {
+                return Ok(Json::Int(-i));
+            }
+        } else if let Ok(u) = text.parse::<u64>() {
+            return Ok(Json::UInt(u));
+        }
+    }
+    text.parse::<f64>()
+        .map(Json::Float)
+        .map_err(|_| format!("invalid number '{text}' at byte {start}"))
 }
 
 fn push_indent(out: &mut String, levels: usize) {
@@ -294,10 +515,50 @@ mod tests {
         assert_eq!(None::<u32>.to_json(), Json::Null);
         assert_eq!(Some(3u32).to_json(), Json::Int(3));
         let pair = ("a".to_owned(), 1.5f64);
-        assert_eq!(
-            pair.to_json(),
-            Json::Arr(vec![Json::Str("a".into()), Json::Float(1.5)])
-        );
+        assert_eq!(pair.to_json(), Json::Arr(vec![Json::Str("a".into()), Json::Float(1.5)]));
+    }
+
+    #[test]
+    fn parse_round_trips_writer_output() {
+        let v = Json::obj(vec![
+            ("suite", "tensor".to_json()),
+            ("threads", 4usize.to_json()),
+            ("seed", u64::MAX.to_json()),
+            ("median_ns", 1234.5f64.to_json()),
+            ("whole", 3.0f64.to_json()),
+            ("neg", (-7i64).to_json()),
+            ("flag", true.to_json()),
+            ("missing", Json::Null),
+            ("tags", vec!["a".to_owned(), "b\n\"c\"\u{1}".to_owned()].to_json()),
+            ("empty_arr", Json::Arr(vec![])),
+            ("empty_obj", Json::Obj(vec![])),
+        ]);
+        let text = v.to_string_pretty();
+        let back = Json::parse(&text).expect("parse");
+        assert_eq!(back, v, "round trip changed the value:\n{text}");
+    }
+
+    #[test]
+    fn parse_accepts_compact_json() {
+        let v = Json::parse(r#"{"a":[1,2.5,-3],"b":{"c":"x"},"d":null}"#).unwrap();
+        assert_eq!(v.get("a").unwrap().as_arr().unwrap().len(), 3);
+        assert_eq!(v.get("b").unwrap().get("c").unwrap().as_str(), Some("x"));
+        assert_eq!(v.get("d"), Some(&Json::Null));
+        assert_eq!(v.get("a").unwrap().as_arr().unwrap()[1].as_f64(), Some(2.5));
+        assert_eq!(v.get("a").unwrap().as_arr().unwrap()[2], Json::Int(-3));
+    }
+
+    #[test]
+    fn parse_rejects_malformed_documents() {
+        for bad in ["", "{", "[1,", "{\"a\" 1}", "\"unterminated", "12x", "[1] trailing"] {
+            assert!(Json::parse(bad).is_err(), "accepted malformed: {bad:?}");
+        }
+    }
+
+    #[test]
+    fn parse_handles_escapes_and_unicode() {
+        let v = Json::parse(r#""tab\there A ok — é""#).unwrap();
+        assert_eq!(v.as_str(), Some("tab\there A ok — é"));
     }
 
     #[test]

@@ -14,8 +14,13 @@ use kgag_eval::{top_k_excluding, EvalConfig};
 fn main() {
     // 1. a synthetic MovieLens-style dataset with random groups of 8
     let ds = movielens_rand(&MovieLensConfig::at_scale(Scale::Tiny));
-    println!("dataset: {} ({} groups, {} items, {} users)",
-        ds.name, ds.num_groups(), ds.num_items, ds.num_users);
+    println!(
+        "dataset: {} ({} groups, {} items, {} users)",
+        ds.name,
+        ds.num_groups(),
+        ds.num_items,
+        ds.num_users
+    );
 
     // 2. the paper's 60/20/20 split
     let split = split_dataset(&ds, 42);

@@ -13,9 +13,7 @@
 
 use kgag::harness::{eval_cases, EvalBucket};
 use kgag::{Kgag, KgagConfig};
-use kgag_baselines::{
-    AggregatedGroupScorer, MatrixFactorization, MfConfig, ScoreAggregator,
-};
+use kgag_baselines::{AggregatedGroupScorer, MatrixFactorization, MfConfig, ScoreAggregator};
 use kgag_data::movielens::Scale;
 use kgag_data::split::split_dataset;
 use kgag_data::yelp::{yelp, YelpConfig};
@@ -63,7 +61,11 @@ fn main() {
         let scores = model.score_group_items(g, &all);
         let top = kgag_eval::top_k_excluding(&scores, 3, split.group.train_items(g));
         for (rank, &v) in top.iter().enumerate() {
-            let hit = if case.test_items.binary_search(&v).is_ok() { "  <- their actual co-visit" } else { "" };
+            let hit = if case.test_items.binary_search(&v).is_ok() {
+                "  <- their actual co-visit"
+            } else {
+                ""
+            };
             println!("  {}. business v_{v} (score {:.3}){hit}", rank + 1, scores[v as usize]);
         }
     }

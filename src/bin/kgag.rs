@@ -114,9 +114,7 @@ fn dataset(opts: &Flags) -> Result<GroupDataset, String> {
 }
 
 fn num_flag<T: std::str::FromStr>(opts: &Flags, key: &str) -> Result<Option<T>, String> {
-    opts.get(key)
-        .map(|v| v.parse().map_err(|_| format!("--{key}: cannot parse {v:?}")))
-        .transpose()
+    opts.get(key).map(|v| v.parse().map_err(|_| format!("--{key}: cannot parse {v:?}"))).transpose()
 }
 
 fn config(opts: &Flags) -> Result<KgagConfig, String> {

@@ -81,8 +81,10 @@ fn aggregators_order_min_avg_max_pointwise() {
     for g in 0..ds.num_groups().min(5) {
         let (lo, mid, hi) = (lm.score(g, &items), avg.score(g, &items), mp.score(g, &items));
         for i in 0..items.len() {
-            assert!(lo[i] <= mid[i] + 1e-6 && mid[i] <= hi[i] + 1e-6,
-                "LM ≤ AVG ≤ MP violated at group {g} item {i}");
+            assert!(
+                lo[i] <= mid[i] + 1e-6 && mid[i] <= hi[i] + 1e-6,
+                "LM ≤ AVG ≤ MP violated at group {g} item {i}"
+            );
         }
     }
 }

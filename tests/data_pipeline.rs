@@ -48,13 +48,8 @@ fn leakage_filter_removes_member_edges_to_heldout_items() {
     }
     // but the filter is minimal: it only removes blocked pairs
     let removed = ds.user_pos.len() - split.user_train.len();
-    let max_removable: usize = split
-        .group
-        .val
-        .iter()
-        .chain(&split.group.test)
-        .map(|&(g, _)| ds.members(g).len())
-        .sum();
+    let max_removable: usize =
+        split.group.val.iter().chain(&split.group.test).map(|&(g, _)| ds.members(g).len()).sum();
     assert!(removed <= max_removable, "filter removed more than it could have");
 }
 
@@ -89,18 +84,13 @@ fn group_members_are_connected_in_collaborative_kg() {
             within_4 += 1;
         }
     }
-    assert!(
-        within_4 * 10 >= total * 8,
-        "only {within_4}/{total} member pairs within 4 hops"
-    );
+    assert!(within_4 * 10 >= total * 8, "only {within_4}/{total} member pairs within 4 hops");
 }
 
 #[test]
 fn yelp_groups_have_mostly_single_positives() {
     let ds = yelp(&YelpConfig::at_scale(Scale::Tiny));
-    let singles = (0..ds.num_groups())
-        .filter(|&g| ds.group_pos.items_of(g).len() == 1)
-        .count();
+    let singles = (0..ds.num_groups()).filter(|&g| ds.group_pos.items_of(g).len() == 1).count();
     assert!(
         singles * 10 >= ds.num_groups() as usize * 7,
         "only {singles}/{} Yelp groups have a single positive",

@@ -100,8 +100,10 @@ fn every_ablation_trains_and_evaluates() {
     ] {
         let mut model = Kgag::new(&ds, &split, cfg);
         let report = model.fit(&split);
-        assert!(report.epochs.iter().all(|e| e.group.is_finite() && e.user.is_finite()),
-            "{name}: non-finite loss");
+        assert!(
+            report.epochs.iter().all(|e| e.group.is_finite() && e.user.is_finite()),
+            "{name}: non-finite loss"
+        );
         let s = model.evaluate(&cases, &ecfg);
         assert!((0.0..=1.0).contains(&s.hit), "{name}: hit out of range");
         assert!(s.recall <= s.hit + 1e-9, "{name}: rec@5 can never exceed hit@5");
