@@ -13,7 +13,12 @@
 #                   the determinism suite additionally compares both
 #                   thread counts bit-for-bit inside one process
 #                   (DESIGN.md §9)
-#   4. bench gate — only with --bench: regenerate the micro-benchmark
+#   4. telemetry  — smoke training with the JSONL telemetry sink
+#                   enabled: model outputs must be bit-identical with
+#                   telemetry on vs off, and every emitted line must
+#                   pass the testkit JSON parser plus the per-kind
+#                   schema checks (DESIGN.md §10)
+#   5. bench gate — only with --bench: regenerate the micro-benchmark
 #                   JSON artifacts and compare medians against the
 #                   committed results/bench_baseline.json; fails on
 #                   regressions beyond KGAG_BENCH_TOLERANCE (default
@@ -22,7 +27,7 @@
 #                     ./ci.sh --bench-baseline
 #
 # Usage:
-#   ./ci.sh                   # fmt + build + determinism test matrix
+#   ./ci.sh                   # fmt + build + test matrix + telemetry
 #   ./ci.sh --bench           # …plus the bench regression gate
 #   ./ci.sh --bench-baseline  # …instead rewrite results/bench_baseline.json
 set -eu
@@ -34,17 +39,20 @@ cd "$(dirname "$0")"
 # iteration counts.
 BENCH_ENV="KGAG_BENCH_ITERS=5 KGAG_BENCH_WARMUP=1 KGAG_THREADS=4"
 
-echo "==> stage 1/4: cargo fmt --check"
+echo "==> stage 1/5: cargo fmt --check"
 cargo fmt --check
 
-echo "==> stage 2/4: cargo build --release --offline (deny warnings)"
+echo "==> stage 2/5: cargo build --release --offline (deny warnings)"
 RUSTFLAGS="-D warnings" cargo build --release --offline --workspace
 
-echo "==> stage 3/4: cargo test --offline (KGAG_THREADS=1)"
+echo "==> stage 3/5: cargo test --offline (KGAG_THREADS=1)"
 KGAG_THREADS=1 cargo test -q --offline --workspace
 
-echo "==> stage 3/4: cargo test --offline (KGAG_THREADS=4)"
+echo "==> stage 3/5: cargo test --offline (KGAG_THREADS=4)"
 KGAG_THREADS=4 cargo test -q --offline --workspace
+
+echo "==> stage 4/5: telemetry gate (passivity + JSONL schema)"
+KGAG_THREADS=4 cargo run -q --release --offline -p kgag-bench --bin telemetry_check
 
 run_benches() {
     rm -f crates/bench/results/bench_*.json
@@ -53,12 +61,12 @@ run_benches() {
 
 case "${1:-}" in
 --bench)
-    echo "==> stage 4/4: bench regression gate"
+    echo "==> stage 5/5: bench regression gate"
     run_benches
     cargo run -q --release --offline -p kgag-bench --bin bench_check
     ;;
 --bench-baseline)
-    echo "==> stage 4/4: rewriting bench baseline"
+    echo "==> stage 5/5: rewriting bench baseline"
     run_benches
     cargo run -q --release --offline -p kgag-bench --bin bench_check -- --write-baseline
     ;;

@@ -1,0 +1,198 @@
+//! CI telemetry gate: the smoke model is trained twice in one process —
+//! once with telemetry off, once with the JSONL sink enabled — and the
+//! gate fails unless
+//!
+//! 1. **passivity holds**: checkpoint bytes, per-epoch losses, ranking
+//!    metrics and inference scores are bit-identical between the two
+//!    runs, and
+//! 2. **the stream is well-formed**: every emitted line parses with the
+//!    testkit JSON parser, uses a known `ev` kind with that kind's
+//!    required fields, and the stream contains the events the
+//!    instrumented paths are expected to produce (trainer spans, epoch
+//!    points, eval counters).
+//!
+//! ```text
+//! telemetry_check [--keep]
+//! ```
+//!
+//! `--keep` leaves the temporary JSONL stream on disk (its path is
+//! printed) for manual inspection. Run with `KGAG_TELEMETRY` unset —
+//! the off-leg of the comparison needs a quiet process.
+
+use kgag::harness::{eval_cases, EvalBucket};
+use kgag::{Kgag, KgagConfig};
+use kgag_data::movielens::Scale;
+use kgag_data::split::split_dataset;
+use kgag_data::yelp::{yelp, YelpConfig};
+use kgag_eval::{EvalConfig, MetricSummary};
+use kgag_testkit::json::Json;
+use std::process::ExitCode;
+
+const EV_KINDS: [&str; 6] = ["meta", "span", "point", "counter", "gauge", "hist"];
+
+struct SmokeOutputs {
+    checkpoint: Vec<u8>,
+    losses: Vec<(f32, f32)>,
+    metrics: MetricSummary,
+    group_scores: Vec<f32>,
+}
+
+/// One tiny-Yelp training + evaluation + inference pass, capturing
+/// everything the passivity comparison needs.
+fn smoke() -> SmokeOutputs {
+    let ds = yelp(&YelpConfig::at_scale(Scale::Tiny));
+    let split = split_dataset(&ds, 11);
+    let cases = eval_cases(&ds, &split.group, EvalBucket::Test);
+    let mut model = Kgag::new(&ds, &split, KgagConfig { epochs: 4, ..Default::default() });
+    let report = model.fit(&split);
+    let metrics = model.evaluate(&cases, &EvalConfig::default());
+    let items: Vec<u32> = (0..ds.num_items).collect();
+    SmokeOutputs {
+        checkpoint: model.save_checkpoint(),
+        losses: report.epochs.iter().map(|e| (e.group, e.user)).collect(),
+        metrics,
+        group_scores: model.score_group_items(0, &items),
+    }
+}
+
+fn assert_identical(off: &SmokeOutputs, on: &SmokeOutputs) -> Result<(), String> {
+    if off.checkpoint != on.checkpoint {
+        return Err("checkpoint bytes differ with telemetry enabled".into());
+    }
+    if off.losses != on.losses {
+        return Err(format!(
+            "per-epoch losses differ with telemetry enabled: {:?} vs {:?}",
+            off.losses, on.losses
+        ));
+    }
+    for (name, a, b) in [
+        ("hit", off.metrics.hit, on.metrics.hit),
+        ("recall", off.metrics.recall, on.metrics.recall),
+        ("precision", off.metrics.precision, on.metrics.precision),
+        ("ndcg", off.metrics.ndcg, on.metrics.ndcg),
+        ("mrr", off.metrics.mrr, on.metrics.mrr),
+    ] {
+        if a.to_bits() != b.to_bits() {
+            return Err(format!("metric {name} differs with telemetry enabled: {a} vs {b}"));
+        }
+    }
+    if off.group_scores != on.group_scores {
+        return Err("inference scores differ with telemetry enabled".into());
+    }
+    Ok(())
+}
+
+/// Field `key` must exist; numbers and strings both count (kind-specific
+/// callers pick the key set).
+fn require(v: &Json, line: usize, key: &str) -> Result<(), String> {
+    if v.get(key).is_none() {
+        return Err(format!("line {line}: missing required field \"{key}\""));
+    }
+    Ok(())
+}
+
+fn validate_stream(text: &str) -> Result<(), String> {
+    let mut kind_counts = std::collections::HashMap::new();
+    let mut names = std::collections::HashSet::new();
+    let mut lines = 0usize;
+    for (i, line) in text.lines().enumerate() {
+        lines += 1;
+        let v = Json::parse(line).map_err(|e| format!("line {i}: invalid JSON: {e}"))?;
+        let ev = v
+            .get("ev")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("line {i}: missing \"ev\""))?
+            .to_owned();
+        if !EV_KINDS.contains(&ev.as_str()) {
+            return Err(format!("line {i}: unknown ev kind \"{ev}\""));
+        }
+        let name = v
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("line {i}: missing \"name\""))?;
+        names.insert(format!("{ev}:{name}"));
+        match ev.as_str() {
+            "meta" => {
+                require(&v, i, "version")?;
+                require(&v, i, "pid")?;
+            }
+            "span" => {
+                require(&v, i, "path")?;
+                require(&v, i, "start_ns")?;
+                require(&v, i, "dur_ns")?;
+                require(&v, i, "thread")?;
+            }
+            "counter" | "gauge" => require(&v, i, "value")?,
+            "hist" => {
+                for key in ["count", "sum", "min", "max", "p50", "p90", "p99"] {
+                    require(&v, i, key)?;
+                }
+            }
+            _ => {} // point: free-form fields by design
+        }
+        *kind_counts.entry(ev).or_insert(0usize) += 1;
+    }
+    if lines == 0 {
+        return Err("telemetry stream is empty".into());
+    }
+    // the instrumented paths the smoke run exercises, independent of
+    // thread count
+    for expected in
+        ["meta:session", "span:trainer.fit", "span:eval.protocol", "point:trainer.epoch"]
+    {
+        if !names.contains(expected) {
+            return Err(format!("stream is missing the expected event {expected}"));
+        }
+    }
+    for kind in ["counter", "gauge", "hist"] {
+        if !kind_counts.contains_key(kind) {
+            return Err(format!("stream has no {kind} snapshot — was flush() skipped?"));
+        }
+    }
+    println!("telemetry_check: {lines} lines valid; kinds: {kind_counts:?}");
+    Ok(())
+}
+
+fn run(keep: bool) -> Result<(), String> {
+    if kgag_obs::enabled() {
+        return Err(
+            "KGAG_TELEMETRY is already enabled — unset it; this gate drives the sink itself".into(),
+        );
+    }
+    println!("telemetry_check: smoke run with telemetry off...");
+    let off = smoke();
+
+    let path =
+        std::env::temp_dir().join(format!("kgag-telemetry-check-{}.jsonl", std::process::id()));
+    kgag_obs::enable_to(&path).map_err(|e| format!("cannot enable telemetry: {e}"))?;
+    println!("telemetry_check: smoke run with telemetry on ({})...", path.display());
+    let on = smoke();
+    kgag_obs::flush();
+    kgag_obs::disable();
+
+    assert_identical(&off, &on)?;
+    println!("telemetry_check: outputs bit-identical with telemetry on vs off");
+
+    let text = std::fs::read_to_string(&path).map_err(|e| format!("cannot read stream: {e}"))?;
+    let verdict = validate_stream(&text);
+    if keep {
+        println!("telemetry_check: stream kept at {}", path.display());
+    } else {
+        let _ = std::fs::remove_file(&path);
+    }
+    verdict
+}
+
+fn main() -> ExitCode {
+    let keep = std::env::args().skip(1).any(|a| a == "--keep");
+    match run(keep) {
+        Ok(()) => {
+            println!("telemetry_check: PASS");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("telemetry_check: FAIL: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -26,6 +26,7 @@ use kgag_tensor::pool;
 use kgag_tensor::rng::{derive_seed, SplitMix64};
 use kgag_tensor::{NodeId, ParamStore, Tape, Tensor};
 use kgag_testkit::json::{Json, ToJson};
+use std::time::Instant;
 
 /// Per-epoch training losses.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -59,6 +60,49 @@ impl TrainReport {
     /// Final combined loss `β·group + (1−β)·user`, if any epoch ran.
     pub fn final_loss(&self, beta: f32) -> Option<f32> {
         self.epochs.last().map(|e| beta * e.group + (1.0 - beta) * e.user)
+    }
+}
+
+/// Cycles through training pairs, reshuffled and restarted at every
+/// epoch boundary.
+///
+/// An earlier version kept a single cursor running *across* epochs while
+/// reshuffling the underlying list each epoch. Whenever an epoch drew a
+/// non-multiple of `len` pairs, the next epoch resumed mid-list over a
+/// freshly shuffled order, so within one pass some pairs were visited
+/// twice and others not at all — a sampling bias toward an RNG-dependent
+/// subset of the user interactions. Resetting the cursor together with
+/// the shuffle restores the guarantee that every full pass visits each
+/// pair exactly once (wrap-around only happens when a single epoch needs
+/// more draws than the list holds).
+struct PairCycler {
+    pairs: Vec<(u32, u32)>,
+    cursor: usize,
+}
+
+impl PairCycler {
+    /// # Panics
+    /// Panics when `pairs` is empty.
+    fn new(pairs: Vec<(u32, u32)>) -> Self {
+        assert!(!pairs.is_empty(), "no training pairs to cycle");
+        PairCycler { pairs, cursor: 0 }
+    }
+
+    #[cfg(test)]
+    fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Reshuffle and restart from the top of the list.
+    fn start_epoch(&mut self, rng: &mut SplitMix64) {
+        rng.shuffle(&mut self.pairs);
+        self.cursor = 0;
+    }
+
+    fn next(&mut self) -> (u32, u32) {
+        let pair = self.pairs[self.cursor % self.pairs.len()];
+        self.cursor += 1;
+        pair
     }
 }
 
@@ -227,6 +271,8 @@ impl Kgag {
 
     /// Train on a split with the paper's combined objective.
     pub fn fit(&mut self, split: &DatasetSplit) -> TrainReport {
+        let _fit_span = kgag_obs::span("trainer.fit");
+        let telemetry = kgag_obs::enabled();
         let cfg = self.config.clone();
         let mut adam = Adam::with_decay(cfg.learning_rate, cfg.lambda);
         let mut rng = SplitMix64::new(derive_seed(cfg.seed, "fit"));
@@ -239,19 +285,22 @@ impl Kgag {
         let user_neg = NegativeSampler::from_interactions(&split.user_train);
 
         let mut group_pairs = split.group.train.clone();
-        let mut user_pairs = split.user_train.pairs();
+        let user_pairs = split.user_train.pairs();
         assert!(!group_pairs.is_empty(), "no group training data");
         assert!(!user_pairs.is_empty(), "no user training data");
-        let mut user_cursor = 0usize;
+        let mut user_cycle = PairCycler::new(user_pairs);
         let mut report = TrainReport::default();
 
         for epoch in 0..cfg.epochs {
+            let epoch_span = kgag_obs::span("trainer.epoch");
             rng.shuffle(&mut group_pairs);
-            rng.shuffle(&mut user_pairs);
+            user_cycle.start_epoch(&mut rng);
             let mut g_sum = 0.0f64;
             let mut u_sum = 0.0f64;
             let mut batches = 0usize;
+            let mut grad_update_ns = 0u64;
             for (bi, chunk) in group_pairs.chunks(cfg.batch_size).enumerate() {
+                let batch_start = telemetry.then(Instant::now);
                 let salt = derive_seed(cfg.seed, "step")
                     ^ (epoch as u64).wrapping_mul(1_000_003)
                     ^ (bi as u64).wrapping_mul(97);
@@ -274,8 +323,7 @@ impl Kgag {
                 let mut u_items = Vec::with_capacity(2 * half);
                 let mut u_targets = Vec::with_capacity(2 * half);
                 for _ in 0..half {
-                    let (u, v) = user_pairs[user_cursor % user_pairs.len()];
-                    user_cursor += 1;
+                    let (u, v) = user_cycle.next();
                     u_users.push(self.ckg.user_entity(u).0);
                     u_items.push(self.ckg.item_entity(v).0);
                     u_targets.push(1.0);
@@ -324,15 +372,37 @@ impl Kgag {
                         });
                     }
                 }
+                let grad_start = telemetry.then(Instant::now);
                 adam.step(&mut self.store, &grads);
+                if let Some(start) = grad_start {
+                    grad_update_ns += start.elapsed().as_nanos() as u64;
+                }
+                if let Some(start) = batch_start {
+                    kgag_obs::histogram("trainer.batch_ns")
+                        .record(start.elapsed().as_nanos() as u64);
+                }
                 g_sum += g_loss as f64;
                 u_sum += u_loss as f64;
                 batches += 1;
             }
-            report.epochs.push(EpochLoss {
+            let epoch_loss = EpochLoss {
                 group: (g_sum / batches.max(1) as f64) as f32,
                 user: (u_sum / batches.max(1) as f64) as f32,
-            });
+            };
+            drop(epoch_span);
+            if telemetry {
+                kgag_obs::gauge("trainer.group_loss").set(epoch_loss.group as f64);
+                kgag_obs::gauge("trainer.user_loss").set(epoch_loss.user as f64);
+                kgag_obs::emit(
+                    &kgag_obs::Event::new("point", "trainer.epoch")
+                        .u64("epoch", epoch as u64)
+                        .f64("group_loss", epoch_loss.group as f64)
+                        .f64("user_loss", epoch_loss.user as f64)
+                        .u64("batches", batches as u64)
+                        .u64("grad_update_ns", grad_update_ns),
+                );
+            }
+            report.epochs.push(epoch_loss);
             debug_assert!(!self.store.has_non_finite(), "parameters diverged at epoch {epoch}");
         }
         report
@@ -345,6 +415,9 @@ impl Kgag {
     /// Prediction scores `σ(g · v)` for every item in `items` for the
     /// given group (higher = more recommended).
     pub fn score_group_items(&self, group: u32, items: &[u32]) -> Vec<f32> {
+        if kgag_obs::enabled() {
+            kgag_obs::counter("infer.group_items_scored").add(items.len() as u64);
+        }
         let member_ents = self.member_entities(group);
         // fixed salt: deterministic eval-time sampling
         let salt = derive_seed(self.config.seed, "score") ^ group as u64;
@@ -372,6 +445,9 @@ impl Kgag {
 
     /// Individual prediction scores `σ(u · v)` (Eq. 19) for a user.
     pub fn score_user_items(&self, user: u32, items: &[u32]) -> Vec<f32> {
+        if kgag_obs::enabled() {
+            kgag_obs::counter("infer.user_items_scored").add(items.len() as u64);
+        }
         let u_ent = self.ckg.user_entity(user).0;
         let salt = derive_seed(self.config.seed, "score-user") ^ user as u64;
         // independent chunks, same argument as score_group_items
@@ -433,5 +509,53 @@ impl Kgag {
 impl GroupScorer for Kgag {
     fn score(&self, group: u32, items: &[u32]) -> Vec<f32> {
         self.score_group_items(group, items)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Regression for the cross-epoch cursor bug: with the cursor
+    /// persisting across per-epoch reshuffles, a pass over `len` draws
+    /// could visit some pairs twice and miss others. Every full pass must
+    /// be a permutation of the pair list, no matter where the previous
+    /// epoch left off.
+    #[test]
+    fn pair_cycler_visits_every_pair_once_per_pass() {
+        let pairs: Vec<(u32, u32)> = (0..7).map(|i| (i, i + 100)).collect();
+        let mut want = pairs.clone();
+        want.sort_unstable();
+        let mut cycle = PairCycler::new(pairs);
+        let mut rng = SplitMix64::new(42);
+        for epoch in 0..5 {
+            cycle.start_epoch(&mut rng);
+            let mut seen: Vec<(u32, u32)> = (0..cycle.len()).map(|_| cycle.next()).collect();
+            seen.sort_unstable();
+            assert_eq!(seen, want, "epoch {epoch}: full pass must be a permutation");
+            // leave the cursor mid-list, like an epoch whose draw count
+            // is not a multiple of the pair count
+            for _ in 0..3 {
+                cycle.next();
+            }
+        }
+    }
+
+    #[test]
+    fn pair_cycler_wraps_within_one_epoch() {
+        let mut cycle = PairCycler::new(vec![(1, 2), (3, 4)]);
+        let mut rng = SplitMix64::new(7);
+        cycle.start_epoch(&mut rng);
+        let draws: Vec<(u32, u32)> = (0..6).map(|_| cycle.next()).collect();
+        // wrap-around repeats the same shuffled order, so each pair shows
+        // up exactly three times in six draws
+        assert_eq!(draws.iter().filter(|&&p| p == (1, 2)).count(), 3);
+        assert_eq!(draws.iter().filter(|&&p| p == (3, 4)).count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "no training pairs")]
+    fn pair_cycler_rejects_empty_input() {
+        PairCycler::new(Vec::new());
     }
 }

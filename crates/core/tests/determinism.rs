@@ -66,6 +66,41 @@ fn smoke_training_is_bit_identical_across_thread_counts() {
     assert_eq!(single.user_scores, multi.user_scores, "user scores diverged");
 }
 
+/// Telemetry must be purely passive: the exact same smoke run with the
+/// JSONL sink enabled produces bit-identical losses, metrics and
+/// inference scores. Spans and metrics only read clocks — they never
+/// touch an RNG, a parameter or a score.
+#[test]
+fn telemetry_is_passive_bit_identical_on_vs_off() {
+    let off = with_threads(2, smoke_run);
+    let path = std::env::temp_dir()
+        .join(format!("kgag-determinism-telemetry-{}.jsonl", std::process::id()));
+    kgag_obs::enable_to(&path).expect("enable telemetry");
+    let on = with_threads(2, smoke_run);
+    kgag_obs::disable();
+
+    assert_eq!(off.losses, on.losses, "per-epoch losses changed when telemetry was enabled");
+    for (name, a, b) in [
+        ("hit", off.metrics.hit, on.metrics.hit),
+        ("recall", off.metrics.recall, on.metrics.recall),
+        ("precision", off.metrics.precision, on.metrics.precision),
+        ("ndcg", off.metrics.ndcg, on.metrics.ndcg),
+        ("mrr", off.metrics.mrr, on.metrics.mrr),
+    ] {
+        assert!(
+            a.to_bits() == b.to_bits(),
+            "metric {name} changed when telemetry was enabled: {a} vs {b}"
+        );
+    }
+    assert_eq!(off.group_scores, on.group_scores, "group scores changed under telemetry");
+    assert_eq!(off.user_scores, on.user_scores, "user scores changed under telemetry");
+
+    // and the run actually produced a stream (spans, epoch points, ...)
+    let text = std::fs::read_to_string(&path).expect("telemetry file written");
+    assert!(text.lines().count() > 1, "telemetry run emitted no events");
+    let _ = std::fs::remove_file(&path);
+}
+
 #[test]
 fn inference_is_bit_identical_across_thread_counts() {
     // cheaper companion check: a 2-epoch model's full-catalog scores at

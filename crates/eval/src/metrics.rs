@@ -82,6 +82,16 @@ impl MetricAccumulator {
         self.n
     }
 
+    /// Fold another accumulator into this one. Evaluating in chunks and
+    /// merging the per-chunk accumulators gives the same totals as one
+    /// sequential pass (same additions, chunk-major order).
+    pub fn merge(&mut self, other: &MetricAccumulator) {
+        for (s, o) in self.sum.iter_mut().zip(&other.sum) {
+            *s += o;
+        }
+        self.n += other.n;
+    }
+
     /// Final averaged summary.
     ///
     /// # Panics
@@ -224,6 +234,36 @@ mod tests {
         assert_eq!(s.recall, 0.5);
         let txt = s.to_string();
         assert!(txt.contains("rec@k 0.5000"), "{txt}");
+    }
+
+    #[test]
+    fn merge_equals_sequential_accumulation() {
+        let ms = [
+            ranking_metrics(&[1, 2], &[1], 2),
+            ranking_metrics(&[3, 4], &[9], 2),
+            ranking_metrics(&[5, 6], &[6], 2),
+        ];
+        let mut seq = MetricAccumulator::new();
+        for m in ms {
+            seq.add(m);
+        }
+        let mut left = MetricAccumulator::new();
+        left.add(ms[0]);
+        let mut right = MetricAccumulator::new();
+        right.add(ms[1]);
+        right.add(ms[2]);
+        left.merge(&right);
+        assert_eq!(left.count(), seq.count());
+        assert_eq!(left.finish(), seq.finish());
+    }
+
+    #[test]
+    fn merging_an_empty_accumulator_is_identity() {
+        let mut acc = MetricAccumulator::new();
+        acc.add(ranking_metrics(&[1], &[1], 1));
+        let before = acc.finish();
+        acc.merge(&MetricAccumulator::new());
+        assert_eq!(acc.finish(), before);
     }
 
     #[test]

@@ -90,13 +90,19 @@ pub fn evaluate_group_ranking_detailed(
     cases: &[GroupEvalCase],
     config: &EvalConfig,
 ) -> (MetricSummary, Vec<crate::RankingMetrics>) {
+    let _span = kgag_obs::span("eval.protocol");
+    let telemetry = kgag_obs::enabled();
     let mut acc = MetricAccumulator::new();
     let mut per_case = Vec::with_capacity(cases.len());
     let mut rng = SplitMix64::new(derive_seed(config.seed, "protocol"));
     for case in cases {
         if case.test_items.is_empty() {
+            if telemetry {
+                kgag_obs::counter("eval.cases_skipped").add(1);
+            }
             continue;
         }
+        let case_start = telemetry.then(std::time::Instant::now);
         let m = match config.num_negatives {
             Some(n) => {
                 let candidates = sample_candidates(case, num_items, n, &mut rng);
@@ -123,6 +129,10 @@ pub fn evaluate_group_ranking_detailed(
                 ranking_metrics(&ranked, &case.test_items, config.k)
             }
         };
+        if let Some(start) = case_start {
+            kgag_obs::counter("eval.cases").add(1);
+            kgag_obs::histogram("eval.case_ns").record(start.elapsed().as_nanos() as u64);
+        }
         acc.add(m);
         per_case.push(m);
     }

@@ -1,7 +1,20 @@
 //! Top-k selection over score vectors.
+//!
+//! Selection uses a *total* strength order on `(score, index)` pairs in
+//! which every NaN score ranks below every real number (see
+//! [`score_cmp`]). A model that emits a NaN — diverged parameters, a
+//! saturated exponent — can therefore never displace a valid item from
+//! the ranking, and two NaN scores tie deterministically by index. The
+//! previous comparator mapped incomparable pairs to `Equal`, which made
+//! the sort order (and thus the reported metrics) depend on where the
+//! NaN happened to sit in the candidate list.
+
+use std::cmp::Ordering;
 
 /// Indices of the `k` highest-scoring entries, descending by score.
-/// Ties break toward the lower index (deterministic).
+/// Ties break toward the lower index (deterministic). NaN scores sort
+/// below every real score, so they appear only when `scores` has fewer
+/// than `k` non-NaN entries.
 pub fn top_k(scores: &[f32], k: usize) -> Vec<u32> {
     top_k_excluding(scores, k, &[])
 }
@@ -13,7 +26,10 @@ pub fn top_k(scores: &[f32], k: usize) -> Vec<u32> {
 /// Panics in debug builds when `exclude` is unsorted.
 pub fn top_k_excluding(scores: &[f32], k: usize, exclude: &[u32]) -> Vec<u32> {
     debug_assert!(exclude.windows(2).all(|w| w[0] < w[1]), "exclude must be sorted and unique");
-    let mut heap: Vec<(f32, u32)> = Vec::with_capacity(k + 1);
+    if k == 0 {
+        return Vec::new();
+    }
+    let mut heap: Vec<(f32, u32)> = Vec::with_capacity(k);
     for (i, &s) in scores.iter().enumerate() {
         let i = i as u32;
         if exclude.binary_search(&i).is_ok() {
@@ -22,37 +38,66 @@ pub fn top_k_excluding(scores: &[f32], k: usize, exclude: &[u32]) -> Vec<u32> {
         if heap.len() < k {
             heap.push((s, i));
             if heap.len() == k {
-                // establish a min-heap by score (ties: max index = weakest)
-                heap.sort_unstable_by(cmp_weakest_first);
+                // establish the min-heap: weakest candidate at the root
+                for n in (0..k / 2).rev() {
+                    sift_down(&mut heap, n);
+                }
             }
             continue;
         }
-        if k == 0 {
-            break;
-        }
-        // heap[0] is the current weakest
-        if better(s, i, heap[0].0, heap[0].1) {
+        // replace the weakest incumbent when the candidate beats it;
+        // one O(log k) sift restores the heap
+        if cmp_strength(&(s, i), &heap[0]) == Ordering::Greater {
             heap[0] = (s, i);
-            // restore order: single sift via sort of small k is fine
-            heap.sort_unstable_by(cmp_weakest_first);
+            sift_down(&mut heap, 0);
         }
     }
-    heap.sort_unstable_by(|a, b| {
-        b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal).then(a.1.cmp(&b.1))
-    });
+    heap.sort_unstable_by(|a, b| cmp_strength(b, a));
     heap.into_iter().map(|(_, i)| i).collect()
 }
 
-/// Is candidate (s, i) stronger than incumbent (ws, wi)? Higher score
-/// wins; on ties the lower index wins.
+/// Total order on scores: any NaN (either sign) is below every real
+/// number and all NaNs compare equal; non-NaN scores follow IEEE
+/// `total_cmp`. (`total_cmp` alone would rank a positive NaN *above*
+/// +∞ — exactly the corruption this order exists to rule out.)
 #[inline]
-fn better(s: f32, i: u32, ws: f32, wi: u32) -> bool {
-    s > ws || (s == ws && i < wi)
+fn score_cmp(x: f32, y: f32) -> Ordering {
+    match (x.is_nan(), y.is_nan()) {
+        (true, true) => Ordering::Equal,
+        (true, false) => Ordering::Less,
+        (false, true) => Ordering::Greater,
+        (false, false) => x.total_cmp(&y),
+    }
 }
 
+/// Strength order on `(score, index)`: higher score is stronger, score
+/// ties break toward the lower index. Total, so heap and sort agree on
+/// every input.
 #[inline]
-fn cmp_weakest_first(a: &(f32, u32), b: &(f32, u32)) -> std::cmp::Ordering {
-    a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal).then(b.1.cmp(&a.1))
+fn cmp_strength(a: &(f32, u32), b: &(f32, u32)) -> Ordering {
+    score_cmp(a.0, b.0).then_with(|| b.1.cmp(&a.1))
+}
+
+/// Restore the min-heap property (weakest at the root) for the subtree
+/// rooted at `root`.
+fn sift_down(heap: &mut [(f32, u32)], mut root: usize) {
+    loop {
+        let left = 2 * root + 1;
+        if left >= heap.len() {
+            return;
+        }
+        let mut weakest = left;
+        let right = left + 1;
+        if right < heap.len() && cmp_strength(&heap[right], &heap[left]) == Ordering::Less {
+            weakest = right;
+        }
+        if cmp_strength(&heap[weakest], &heap[root]) == Ordering::Less {
+            heap.swap(root, weakest);
+            root = weakest;
+        } else {
+            return;
+        }
+    }
 }
 
 #[cfg(test)]
@@ -86,6 +131,35 @@ mod tests {
     fn ties_break_toward_lower_index() {
         let scores = [0.5, 0.5, 0.5, 0.5];
         assert_eq!(top_k(&scores, 2), vec![0, 1]);
+    }
+
+    #[test]
+    fn nan_scores_never_displace_valid_items() {
+        let scores = [0.3, f32::NAN, 0.9, f32::NAN, 0.1];
+        assert_eq!(top_k(&scores, 3), vec![2, 0, 4]);
+    }
+
+    #[test]
+    fn nan_fills_only_when_valid_candidates_run_out() {
+        let scores = [f32::NAN, 0.5, f32::NAN];
+        // one valid item, then NaNs in index order
+        assert_eq!(top_k(&scores, 3), vec![1, 0, 2]);
+    }
+
+    #[test]
+    fn negative_nan_is_still_weakest() {
+        // a negative-sign NaN would sort below -inf under total_cmp
+        // alone, but a positive one would sort above +inf; both must lose
+        // to every real score
+        let neg_nan = f32::from_bits(f32::NAN.to_bits() | 0x8000_0000);
+        let scores = [f32::NAN, f32::NEG_INFINITY, neg_nan, 0.0];
+        assert_eq!(top_k(&scores, 2), vec![3, 1]);
+    }
+
+    #[test]
+    fn infinities_order_correctly() {
+        let scores = [0.0, f32::INFINITY, f32::NEG_INFINITY, 1.0];
+        assert_eq!(top_k(&scores, 4), vec![1, 3, 0, 2]);
     }
 
     #[test]

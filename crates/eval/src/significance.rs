@@ -74,9 +74,9 @@ pub fn paired_bootstrap(
         }
         diffs.push((sum_a - sum_b) / n as f64);
     }
-    diffs.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
-    let lo = diffs[((resamples as f64) * 0.025) as usize];
-    let hi = diffs[(((resamples as f64) * 0.975) as usize).min(resamples - 1)];
+    diffs.sort_by(f64::total_cmp);
+    let lo = diffs[nearest_rank(0.025, resamples)];
+    let hi = diffs[nearest_rank(0.975, resamples)];
     BootstrapComparison {
         mean_a: per_group_a.iter().sum::<f64>() / n as f64,
         mean_b: per_group_b.iter().sum::<f64>() / n as f64,
@@ -84,6 +84,20 @@ pub fn paired_bootstrap(
         diff_ci95: (lo, hi),
         resamples,
     }
+}
+
+/// Nearest-rank quantile index into a sorted sample of `n` values: the
+/// `ceil(q·n)`-th smallest, clamped into `[1, n]` at both ends (so it is
+/// well-defined for any `q` and any `n ≥ 1`).
+///
+/// The previous code truncated `(n·q) as usize` and clamped only the
+/// upper index. Truncation biases both interval ends one rank high —
+/// e.g. with `n = 40` it returned ranks 2 and 40 (the sample maximum!)
+/// for the central 95% interval instead of ranks 1 and 39 — which
+/// systematically widened `hi` and narrowed `lo`, most visibly at small
+/// resample counts.
+fn nearest_rank(q: f64, n: usize) -> usize {
+    ((q * n as f64).ceil() as usize).clamp(1, n) - 1
 }
 
 #[cfg(test)]
@@ -134,5 +148,43 @@ mod tests {
     #[should_panic(expected = "unpaired")]
     fn unpaired_inputs_panic() {
         paired_bootstrap(&[1.0], &[1.0, 2.0], 10, 0);
+    }
+
+    #[test]
+    fn nearest_rank_matches_hand_computed_values() {
+        // (q, n) -> 0-based index of the ceil(q·n)-th smallest
+        assert_eq!(nearest_rank(0.025, 1), 0);
+        assert_eq!(nearest_rank(0.975, 1), 0);
+        assert_eq!(nearest_rank(0.5, 2), 0);
+        assert_eq!(nearest_rank(0.025, 40), 0);
+        assert_eq!(nearest_rank(0.975, 40), 38);
+        assert_eq!(nearest_rank(0.025, 1000), 24);
+        assert_eq!(nearest_rank(0.975, 1000), 974);
+        // clamping keeps pathological q inside the sample
+        assert_eq!(nearest_rank(0.0, 10), 0);
+        assert_eq!(nearest_rank(1.0, 10), 9);
+    }
+
+    /// Regression: with very few resamples the old truncated indices
+    /// picked the sample maximum for `hi` (a 100th percentile posing as
+    /// a 97.5th). The interval must stay inside the resampled diffs and
+    /// be properly ordered for any resample count.
+    #[test]
+    fn small_resample_counts_yield_ordered_in_sample_intervals() {
+        let a = vec![0.9, 0.4, 0.7, 0.1, 0.6];
+        let b = vec![0.2, 0.5, 0.3, 0.8, 0.0];
+        for resamples in [1usize, 2, 3, 5, 40] {
+            let c = paired_bootstrap(&a, &b, resamples, 11);
+            assert!(
+                c.diff_ci95.0 <= c.diff_ci95.1,
+                "resamples {resamples}: lo {} > hi {}",
+                c.diff_ci95.0,
+                c.diff_ci95.1
+            );
+            // one resample: the interval collapses onto the single diff
+            if resamples == 1 {
+                assert_eq!(c.diff_ci95.0, c.diff_ci95.1);
+            }
+        }
     }
 }

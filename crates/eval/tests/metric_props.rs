@@ -1,6 +1,6 @@
 //! Property-based tests of the ranking metrics and top-k selection.
 
-use kgag_eval::metrics::ranking_metrics;
+use kgag_eval::metrics::{ranking_metrics, MetricAccumulator};
 use kgag_eval::{top_k, top_k_excluding};
 use kgag_testkit::check::Runner;
 use kgag_testkit::gen::{f32_in, u32_in, usize_in, vec_of};
@@ -95,6 +95,101 @@ fn exclusion_is_exact() {
         prop_assert_eq!(got, idx);
         Ok(())
     });
+}
+
+/// The total strength order `top_k` selects under, replicated for the
+/// reference: higher score first, any NaN below every real number, ties
+/// toward the lower index.
+fn ref_cmp_desc(scores: &[f32], a: u32, b: u32) -> std::cmp::Ordering {
+    let (x, y) = (scores[a as usize], scores[b as usize]);
+    let by_score = match (x.is_nan(), y.is_nan()) {
+        (true, true) => std::cmp::Ordering::Equal,
+        (true, false) => std::cmp::Ordering::Less,
+        (false, true) => std::cmp::Ordering::Greater,
+        (false, false) => x.total_cmp(&y),
+    };
+    by_score.reverse().then(a.cmp(&b))
+}
+
+/// NaN-laced score vectors: top_k must match the total-order reference
+/// exactly, and a NaN index may only appear once the valid candidates
+/// are exhausted.
+#[test]
+fn top_k_with_nans_matches_total_order_reference() {
+    let gen = (vec_of(f32_in(-10.0..10.0), 1..60), vec_of(usize_in(0..60), 0..20), usize_in(0..12));
+    Runner::new("top_k_with_nans_matches_total_order_reference").cases(256).run(
+        &gen,
+        |(base, nan_at, k)| {
+            let mut scores = base.clone();
+            for &p in nan_at {
+                let n = scores.len();
+                scores[p % n] = f32::NAN;
+            }
+            let got = top_k(&scores, *k);
+            let mut idx: Vec<u32> = (0..scores.len() as u32).collect();
+            idx.sort_by(|&a, &b| ref_cmp_desc(&scores, a, b));
+            idx.truncate(*k);
+            prop_assert_eq!(&got, &idx);
+            // NaN entries only after every valid score is taken
+            let valid = scores.iter().filter(|s| !s.is_nan()).count();
+            for (pos, &i) in got.iter().enumerate() {
+                if scores[i as usize].is_nan() {
+                    prop_assert!(
+                        pos >= valid,
+                        "NaN item {i} at position {pos} displaced a valid item"
+                    );
+                }
+            }
+            Ok(())
+        },
+    );
+}
+
+/// Merging per-chunk accumulators equals one sequential accumulation
+/// (counts exact, means to f64 round-off).
+#[test]
+fn accumulator_merge_of_chunks_equals_sequential() {
+    let case = (vec_of(u32_in(0..30), 1..6), u32_in(0..30));
+    let gen = (vec_of(case, 1..16), usize_in(1..6));
+    Runner::new("accumulator_merge_of_chunks_equals_sequential").cases(128).run(
+        &gen,
+        |(cases, chunk_len)| {
+            let metrics: Vec<_> = cases
+                .iter()
+                .map(|(ranked_raw, relevant)| {
+                    let mut seen = std::collections::HashSet::new();
+                    let ranked: Vec<u32> =
+                        ranked_raw.iter().copied().filter(|v| seen.insert(*v)).collect();
+                    ranking_metrics(&ranked, &[*relevant], 3)
+                })
+                .collect();
+            let mut seq = MetricAccumulator::new();
+            for &m in &metrics {
+                seq.add(m);
+            }
+            let mut merged = MetricAccumulator::new();
+            for chunk in metrics.chunks(*chunk_len) {
+                let mut part = MetricAccumulator::new();
+                for &m in chunk {
+                    part.add(m);
+                }
+                merged.merge(&part);
+            }
+            prop_assert_eq!(merged.count(), seq.count());
+            let (a, b) = (merged.finish(), seq.finish());
+            prop_assert_eq!(a.evaluated, b.evaluated);
+            for (name, x, y) in [
+                ("hit", a.hit, b.hit),
+                ("recall", a.recall, b.recall),
+                ("precision", a.precision, b.precision),
+                ("ndcg", a.ndcg, b.ndcg),
+                ("mrr", a.mrr, b.mrr),
+            ] {
+                prop_assert!((x - y).abs() <= 1e-12, "{name}: merged {x} vs sequential {y}");
+            }
+            Ok(())
+        },
+    );
 }
 
 /// Perfect ranking gives all-ones; adversarial ranking gives zeros.

@@ -119,8 +119,34 @@ impl NeighborSampler {
             entities.push(next_e);
             relations.push(next_r);
         }
+        if kgag_obs::enabled() {
+            sampler_metrics().record(&entities);
+        }
         ReceptiveField { entities, relations, k: self.k, depth }
     }
+}
+
+/// Cached metric handles for the sampler hot path (one intern per
+/// process; only touched when telemetry is on).
+struct SamplerMetrics {
+    fields: std::sync::Arc<kgag_obs::Counter>,
+    nodes: std::sync::Arc<kgag_obs::Counter>,
+}
+
+impl SamplerMetrics {
+    fn record(&self, entities: &[Vec<u32>]) {
+        self.fields.add(1);
+        let sampled: usize = entities.iter().skip(1).map(Vec::len).sum();
+        self.nodes.add(sampled as u64);
+    }
+}
+
+fn sampler_metrics() -> &'static SamplerMetrics {
+    static METRICS: std::sync::OnceLock<SamplerMetrics> = std::sync::OnceLock::new();
+    METRICS.get_or_init(|| SamplerMetrics {
+        fields: kgag_obs::counter("kg.receptive_fields"),
+        nodes: kgag_obs::counter("kg.sampled_nodes"),
+    })
 }
 
 /// Fill one parent's `k` neighbor slots (the per-parent body of

@@ -68,6 +68,8 @@ impl TransEModel {
 /// to corrupt against).
 pub fn train(store: &TripleStore, config: &TransEConfig) -> TransEModel {
     assert!(!store.is_empty(), "cannot train TransE on an empty store");
+    let _span = kgag_obs::span("transe.train");
+    let telemetry = kgag_obs::enabled();
     let n_e = store.num_entities() as usize;
     let n_r = store.num_relations() as usize;
     assert!(n_e >= 2, "need at least two entities");
@@ -80,6 +82,7 @@ pub fn train(store: &TripleStore, config: &TransEConfig) -> TransEModel {
     let mut order: Vec<usize> = (0..store.len()).collect();
 
     for epoch in 0..config.epochs {
+        let epoch_start = telemetry.then(std::time::Instant::now);
         rng.shuffle(&mut order);
         // Corrupted negatives for the whole epoch are drawn up front, in
         // parallel: triple `ti` corrupts from its own derived RNG stream
@@ -110,9 +113,10 @@ pub fn train(store: &TripleStore, config: &TransEConfig) -> TransEModel {
             }
             (ch, ct)
         });
+        let mut skipped = 0u64;
         for (&ti, &(ch, ct)) in order.iter().zip(&negatives) {
             let t = store.triples()[ti];
-            sgd_step(
+            let updated = sgd_step(
                 &mut entities,
                 &mut relations,
                 (t.head.0, t.relation.0, t.tail.0),
@@ -120,13 +124,21 @@ pub fn train(store: &TripleStore, config: &TransEConfig) -> TransEModel {
                 config.margin,
                 config.lr,
             );
+            skipped += u64::from(!updated);
         }
         normalize_rows(&mut entities);
+        if let Some(start) = epoch_start {
+            kgag_obs::histogram("transe.epoch_ns").record(start.elapsed().as_nanos() as u64);
+            kgag_obs::counter("transe.steps").add(order.len() as u64);
+            kgag_obs::counter("transe.margin_satisfied_steps").add(skipped);
+        }
     }
     TransEModel { entities, relations }
 }
 
 /// One margin-ranking SGD step on a (positive, negative) triple pair.
+/// Returns whether the parameters were updated (`false` when the margin
+/// was already satisfied).
 fn sgd_step(
     entities: &mut Tensor,
     relations: &mut Tensor,
@@ -134,7 +146,7 @@ fn sgd_step(
     neg: (u32, u32, u32),
     margin: f32,
     lr: f32,
-) {
+) -> bool {
     let dist = |e: &Tensor, r: &Tensor, (h, rel, t): (u32, u32, u32)| -> f32 {
         e.row(h as usize)
             .iter()
@@ -149,7 +161,7 @@ fn sgd_step(
     let d_pos = dist(entities, relations, pos);
     let d_neg = dist(entities, relations, neg);
     if d_pos + margin <= d_neg {
-        return; // margin satisfied: zero loss, zero gradient
+        return false; // margin satisfied: zero loss, zero gradient
     }
     let dim = entities.cols();
     // ∂‖h+r−t‖²/∂h = 2(h+r−t), ∂/∂t = −2(h+r−t), ∂/∂r = 2(h+r−t).
@@ -175,6 +187,7 @@ fn sgd_step(
         *entities.row_mut(neg.2 as usize).get_mut(i).unwrap() -= gn;
         *relations.row_mut(neg.1 as usize).get_mut(i).unwrap() += gn;
     }
+    true
 }
 
 /// L2-normalise each row in place (rows of zeros are left untouched).

@@ -1,0 +1,157 @@
+//! The telemetry event model and its JSONL encoding.
+//!
+//! Every telemetry record is one [`Event`]: an event kind (`ev`), a
+//! metric/span name, and a flat list of typed fields. [`Event::to_jsonl`]
+//! renders it as a single standards-conforming JSON object on one line —
+//! the format `kgag_testkit::json::Json::parse` reads back, which is how
+//! the CI telemetry gate validates emitted streams without this crate
+//! depending on the testkit at build time.
+//!
+//! The encoder mirrors the testkit writer's conventions so values
+//! round-trip with identical typing: integral floats get a `.0` suffix,
+//! non-finite floats become `null`, control characters are `\u`-escaped.
+
+/// A typed field value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// Unsigned integer (counts, nanosecond durations, ids).
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Float (losses, ratios). Non-finite values encode as `null`.
+    F64(f64),
+    /// String (thread names, labels).
+    Str(String),
+    /// Boolean flag.
+    Bool(bool),
+}
+
+/// One telemetry record.
+///
+/// The `ev` kind is one of the schema's closed set (`meta`, `span`,
+/// `point`, `counter`, `gauge`, `hist`) — see DESIGN.md §10 for the
+/// per-kind required fields.
+#[derive(Clone, Debug)]
+pub struct Event {
+    ev: &'static str,
+    name: String,
+    fields: Vec<(String, Value)>,
+}
+
+impl Event {
+    /// A new event of kind `ev` for the metric/span `name`.
+    pub fn new(ev: &'static str, name: impl Into<String>) -> Self {
+        Event { ev, name: name.into(), fields: Vec::new() }
+    }
+
+    /// Append a field (builder style; insertion order is preserved).
+    pub fn field(mut self, key: impl Into<String>, value: Value) -> Self {
+        self.fields.push((key.into(), value));
+        self
+    }
+
+    /// Append a `u64` field.
+    pub fn u64(self, key: impl Into<String>, value: u64) -> Self {
+        self.field(key, Value::U64(value))
+    }
+
+    /// Append an `f64` field.
+    pub fn f64(self, key: impl Into<String>, value: f64) -> Self {
+        self.field(key, Value::F64(value))
+    }
+
+    /// Append a string field.
+    pub fn str(self, key: impl Into<String>, value: impl Into<String>) -> Self {
+        self.field(key, Value::Str(value.into()))
+    }
+
+    /// The event kind.
+    pub fn kind(&self) -> &'static str {
+        self.ev
+    }
+
+    /// Render as one JSON object, no trailing newline.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::with_capacity(64 + self.fields.len() * 24);
+        out.push_str("{\"ev\": ");
+        write_str(&mut out, self.ev);
+        out.push_str(", \"name\": ");
+        write_str(&mut out, &self.name);
+        for (key, value) in &self.fields {
+            out.push_str(", ");
+            write_str(&mut out, key);
+            out.push_str(": ");
+            write_value(&mut out, value);
+        }
+        out.push('}');
+        out
+    }
+}
+
+fn write_value(out: &mut String, v: &Value) {
+    match v {
+        Value::U64(u) => out.push_str(&u.to_string()),
+        Value::I64(i) => out.push_str(&i.to_string()),
+        Value::F64(x) => {
+            if !x.is_finite() {
+                out.push_str("null");
+            } else if x.fract() == 0.0 && x.abs() < 1e15 {
+                out.push_str(&format!("{x:.1}"));
+            } else {
+                out.push_str(&x.to_string());
+            }
+        }
+        Value::Str(s) => write_str(out, s),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+    }
+}
+
+fn write_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_flat_object_in_insertion_order() {
+        let e = Event::new("point", "trainer.epoch")
+            .u64("epoch", 3)
+            .f64("group_loss", 0.5)
+            .f64("whole", 2.0)
+            .str("thread", "main")
+            .field("ok", Value::Bool(true))
+            .field("neg", Value::I64(-4));
+        assert_eq!(
+            e.to_jsonl(),
+            "{\"ev\": \"point\", \"name\": \"trainer.epoch\", \"epoch\": 3, \
+             \"group_loss\": 0.5, \"whole\": 2.0, \"thread\": \"main\", \
+             \"ok\": true, \"neg\": -4}"
+        );
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        let e = Event::new("gauge", "x").f64("v", f64::NAN).f64("w", f64::INFINITY);
+        assert_eq!(e.to_jsonl(), "{\"ev\": \"gauge\", \"name\": \"x\", \"v\": null, \"w\": null}");
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let e = Event::new("meta", "we\"ird\n\u{1}");
+        assert_eq!(e.to_jsonl(), "{\"ev\": \"meta\", \"name\": \"we\\\"ird\\n\\u0001\"}");
+    }
+}

@@ -1,0 +1,261 @@
+//! The process-wide metric registry: counters, gauges and histograms.
+//!
+//! Metrics are interned by name — [`counter`]/[`gauge`]/[`histogram`]
+//! return an `Arc` handle to the one instance with that name, creating
+//! it on first use. Hot call sites cache the handle in a `OnceLock` so
+//! the intern lock is taken once per process, not per event.
+//!
+//! All metric state is atomic: recording never blocks and is safe from
+//! pool worker threads. Values accumulate for the life of the process;
+//! [`snapshot`] renders the current totals as one [`Event`] per metric
+//! (in registration order, so streams diff cleanly), which is what
+//! [`crate::flush`] appends to the JSONL sink.
+
+use crate::event::Event;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// A monotonically increasing event count.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Add `n` to the count.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current total.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-write-wins float value (stored as bits, so updates are atomic).
+#[derive(Debug)]
+pub struct Gauge {
+    bits: AtomicU64,
+}
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Gauge { bits: AtomicU64::new(0f64.to_bits()) }
+    }
+}
+
+impl Gauge {
+    /// Set the gauge.
+    pub fn set(&self, v: f64) {
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+/// Number of log2 buckets: bucket `i ≥ 1` holds values in
+/// `[2^(i-1), 2^i)`, bucket 0 holds zero. The top bucket is open-ended,
+/// covering everything from ~9 minutes (in nanoseconds) up.
+pub const HIST_BUCKETS: usize = 40;
+
+/// A lock-free log2-bucketed histogram (nanosecond durations, sizes).
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HIST_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// Record one observation.
+    pub fn record(&self, v: u64) {
+        let idx = if v == 0 { 0 } else { (64 - v.leading_zeros() as usize).min(HIST_BUCKETS - 1) };
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Observations recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Upper bound of the bucket containing the `q`-quantile (0 when
+    /// empty). Log2 buckets make this an order-of-magnitude estimate,
+    /// which is all the overhead dashboards need.
+    pub fn quantile_upper(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let target = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (idx, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= target {
+                return bucket_upper(idx);
+            }
+        }
+        bucket_upper(HIST_BUCKETS - 1)
+    }
+}
+
+fn bucket_upper(idx: usize) -> u64 {
+    if idx == 0 {
+        0
+    } else {
+        (1u64 << idx) - 1
+    }
+}
+
+// ----------------------------------------------------------------------
+// Interning
+// ----------------------------------------------------------------------
+
+#[derive(Default)]
+struct Registry {
+    counters: Mutex<Vec<(String, Arc<Counter>)>>,
+    gauges: Mutex<Vec<(String, Arc<Gauge>)>>,
+    histograms: Mutex<Vec<(String, Arc<Histogram>)>>,
+}
+
+fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(Registry::default)
+}
+
+fn intern<T: Default>(table: &Mutex<Vec<(String, Arc<T>)>>, name: &str) -> Arc<T> {
+    let mut entries = table.lock().unwrap();
+    if let Some((_, v)) = entries.iter().find(|(n, _)| n == name) {
+        return Arc::clone(v);
+    }
+    let v = Arc::new(T::default());
+    entries.push((name.to_owned(), Arc::clone(&v)));
+    v
+}
+
+/// The counter named `name` (created on first use).
+pub fn counter(name: &str) -> Arc<Counter> {
+    intern(&registry().counters, name)
+}
+
+/// The gauge named `name` (created on first use).
+pub fn gauge(name: &str) -> Arc<Gauge> {
+    intern(&registry().gauges, name)
+}
+
+/// The histogram named `name` (created on first use).
+pub fn histogram(name: &str) -> Arc<Histogram> {
+    intern(&registry().histograms, name)
+}
+
+/// Render every registered metric's current totals as events, in
+/// registration order: `counter` then `gauge` then `hist` records.
+pub fn snapshot() -> Vec<Event> {
+    let reg = registry();
+    let mut out = Vec::new();
+    for (name, c) in reg.counters.lock().unwrap().iter() {
+        out.push(Event::new("counter", name.clone()).u64("value", c.get()));
+    }
+    for (name, g) in reg.gauges.lock().unwrap().iter() {
+        out.push(Event::new("gauge", name.clone()).f64("value", g.get()));
+    }
+    for (name, h) in reg.histograms.lock().unwrap().iter() {
+        let count = h.count();
+        let min = if count == 0 { 0 } else { h.min.load(Ordering::Relaxed) };
+        out.push(
+            Event::new("hist", name.clone())
+                .u64("count", count)
+                .u64("sum", h.sum())
+                .u64("min", min)
+                .u64("max", h.max.load(Ordering::Relaxed))
+                .u64("p50", h.quantile_upper(0.50))
+                .u64("p90", h.quantile_upper(0.90))
+                .u64("p99", h.quantile_upper(0.99)),
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_returns_the_same_instance() {
+        let a = counter("test.intern");
+        let b = counter("test.intern");
+        a.add(3);
+        b.add(4);
+        assert_eq!(a.get(), 7);
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn gauge_is_last_write_wins() {
+        let g = gauge("test.gauge");
+        g.set(1.5);
+        g.set(-2.25);
+        assert_eq!(g.get(), -2.25);
+    }
+
+    #[test]
+    fn histogram_buckets_cover_magnitudes() {
+        let h = Histogram::default();
+        for v in [0u64, 1, 2, 3, 1000, 1_000_000, u64::MAX] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 7);
+        assert_eq!(h.min.load(Ordering::Relaxed), 0);
+        assert_eq!(h.max.load(Ordering::Relaxed), u64::MAX);
+        // p50 of 7 obs = 4th smallest (3) -> bucket [2,4) upper bound 3
+        assert_eq!(h.quantile_upper(0.5), 3);
+        assert!(h.quantile_upper(0.99) >= 1_000_000);
+    }
+
+    #[test]
+    fn empty_histogram_quantiles_are_zero() {
+        let h = Histogram::default();
+        assert_eq!(h.quantile_upper(0.5), 0);
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn snapshot_contains_registered_metrics() {
+        counter("test.snap.counter").add(5);
+        gauge("test.snap.gauge").set(0.5);
+        histogram("test.snap.hist").record(100);
+        let events = snapshot();
+        for kind in ["counter", "gauge", "hist"] {
+            assert!(
+                events.iter().any(|e| e.kind() == kind && e.to_jsonl().contains("test.snap")),
+                "missing {kind} in snapshot"
+            );
+        }
+    }
+}

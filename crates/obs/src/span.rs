@@ -1,0 +1,86 @@
+//! Hierarchical timing spans.
+//!
+//! [`span`] opens a timed region; dropping the returned guard closes it,
+//! appending one `span` event to the sink and folding the duration into
+//! the histogram `span.<name>`. Spans nest per thread: the event's
+//! `path` joins every open span on the current thread with `/`, so
+//! `trainer.fit/trainer.epoch/trainer.batch` reads as a call stack.
+//! Worker threads start their own root — a span opened inside a pool
+//! task is rooted at that task, which is the honest picture of where
+//! the time was spent.
+//!
+//! When telemetry is disabled the guard is a no-op: construction costs
+//! one atomic load and drop costs a `None` check.
+
+use std::cell::RefCell;
+use std::time::Instant;
+
+thread_local! {
+    static SPAN_STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+}
+
+/// An open span; the region ends when this guard drops.
+#[must_use = "a span measures until dropped — binding it to _ closes it immediately"]
+pub struct Span {
+    data: Option<SpanData>,
+}
+
+struct SpanData {
+    name: &'static str,
+    path: String,
+    start: Instant,
+    start_ns: u64,
+}
+
+/// Open the span `name` on the current thread (no-op when telemetry is
+/// disabled).
+pub fn span(name: &'static str) -> Span {
+    if !crate::enabled() {
+        return Span { data: None };
+    }
+    let path = SPAN_STACK.with(|stack| {
+        let mut stack = stack.borrow_mut();
+        stack.push(name);
+        stack.join("/")
+    });
+    Span { data: Some(SpanData { name, path, start: Instant::now(), start_ns: crate::clock_ns() }) }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(data) = self.data.take() else {
+            return;
+        };
+        let dur_ns = data.start.elapsed().as_nanos() as u64;
+        SPAN_STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            debug_assert_eq!(stack.last(), Some(&data.name), "span guards dropped out of order");
+            stack.pop();
+        });
+        crate::registry::histogram(&format!("span.{}", data.name)).record(dur_ns);
+        let thread = std::thread::current().name().unwrap_or("unnamed").to_owned();
+        crate::emit(
+            &crate::Event::new("span", data.name)
+                .str("path", data.path)
+                .u64("start_ns", data.start_ns)
+                .u64("dur_ns", dur_ns)
+                .str("thread", thread),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_spans_do_not_touch_the_stack() {
+        let _guard = crate::test_guard();
+        if crate::enabled() {
+            return; // someone ran the suite with KGAG_TELEMETRY=1
+        }
+        let outer = span("outer");
+        SPAN_STACK.with(|s| assert!(s.borrow().is_empty()));
+        drop(outer);
+    }
+}

@@ -1,0 +1,44 @@
+//! Environment-variable activation, exercised in a clean process (an
+//! integration-test binary owns its own `INIT` state — the unit tests
+//! can't reach this path because they claim initialisation through
+//! `enable_to`).
+//!
+//! Regression: `install_sink` once wrote the session meta line through
+//! `emit`, whose `enabled()` check re-entered `INIT.call_once` from
+//! inside `init_from_env` — a re-entrant `Once` deadlocks, hanging any
+//! process launched with `KGAG_TELEMETRY=1` at its first instrumented
+//! call. The init runs on a watchdog thread here so a regression fails
+//! the test instead of wedging the suite.
+
+use kgag_testkit::json::Json;
+use std::sync::mpsc;
+use std::time::Duration;
+
+#[test]
+fn env_var_activation_initialises_without_deadlock() {
+    let path = std::env::temp_dir().join(format!("kgag-obs-env-{}.jsonl", std::process::id()));
+    std::env::set_var("KGAG_TELEMETRY", "1");
+    std::env::set_var("KGAG_TELEMETRY_PATH", &path);
+
+    let (tx, rx) = mpsc::channel();
+    std::thread::spawn(move || {
+        let _ = tx.send(kgag_obs::enabled());
+    });
+    let on = rx
+        .recv_timeout(Duration::from_secs(10))
+        .expect("enabled() deadlocked during KGAG_TELEMETRY initialisation");
+    assert!(on, "KGAG_TELEMETRY=1 must enable telemetry");
+
+    // the sink is live: the session meta line is already on disk, and
+    // explicit events land after it
+    kgag_obs::emit(&kgag_obs::Event::new("point", "env.test").u64("epoch", 0));
+    let closed = kgag_obs::disable().expect("disable returns the sink path");
+    assert_eq!(closed, path);
+
+    let text = std::fs::read_to_string(&path).expect("stream file exists");
+    let first = Json::parse(text.lines().next().expect("stream is not empty")).expect("valid JSON");
+    assert_eq!(first.get("ev").and_then(Json::as_str), Some("meta"));
+    assert_eq!(first.get("name").and_then(Json::as_str), Some("session"));
+    assert!(text.lines().any(|l| l.contains("env.test")), "emitted point missing");
+    let _ = std::fs::remove_file(&path);
+}

@@ -33,7 +33,9 @@ use std::any::Any;
 use std::cell::Cell;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::Instant;
 
 /// Hard cap on the logical thread count (sanity guard against
 /// `KGAG_THREADS=100000`).
@@ -151,6 +153,29 @@ fn pool() -> &'static Pool {
 }
 
 // ----------------------------------------------------------------------
+// Telemetry
+// ----------------------------------------------------------------------
+
+/// Metric handles are interned once per process; every later record is a
+/// plain atomic op. Nothing here runs unless `kgag_obs::enabled()`.
+struct PoolMetrics {
+    scopes: Arc<kgag_obs::Counter>,
+    tasks: Arc<kgag_obs::Counter>,
+    task_ns: Arc<kgag_obs::Histogram>,
+    scope_busy_ns: Arc<kgag_obs::Histogram>,
+}
+
+fn metrics() -> &'static PoolMetrics {
+    static METRICS: OnceLock<PoolMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| PoolMetrics {
+        scopes: kgag_obs::counter("pool.scopes"),
+        tasks: kgag_obs::counter("pool.tasks"),
+        task_ns: kgag_obs::histogram("pool.task_ns"),
+        scope_busy_ns: kgag_obs::histogram("pool.scope_busy_ns"),
+    })
+}
+
+// ----------------------------------------------------------------------
 // Scoped batches
 // ----------------------------------------------------------------------
 
@@ -158,11 +183,18 @@ struct Batch {
     remaining: Mutex<usize>,
     done: Condvar,
     panic: Mutex<Option<Box<dyn Any + Send>>>,
+    /// Summed task execution time (telemetry only; stays 0 when off).
+    busy_ns: AtomicU64,
 }
 
 impl Batch {
     fn new(tasks: usize) -> Self {
-        Batch { remaining: Mutex::new(tasks), done: Condvar::new(), panic: Mutex::new(None) }
+        Batch {
+            remaining: Mutex::new(tasks),
+            done: Condvar::new(),
+            panic: Mutex::new(None),
+            busy_ns: AtomicU64::new(0),
+        }
     }
 
     fn complete(&self, panic: Option<Box<dyn Any + Send>>) {
@@ -216,9 +248,28 @@ fn run_tasks(tasks: Vec<Box<dyn FnOnce() + Send + '_>>) {
     if tasks.is_empty() {
         return;
     }
+    let telemetry = kgag_obs::enabled();
+    if telemetry {
+        let m = metrics();
+        m.scopes.add(1);
+        m.tasks.add(tasks.len() as u64);
+    }
     if num_threads() == 1 || tasks.len() == 1 {
-        for task in tasks {
-            task();
+        if telemetry {
+            let m = metrics();
+            let mut busy = 0u64;
+            for task in tasks {
+                let start = Instant::now();
+                task();
+                let ns = start.elapsed().as_nanos() as u64;
+                m.task_ns.record(ns);
+                busy += ns;
+            }
+            m.scope_busy_ns.record(busy);
+        } else {
+            for task in tasks {
+                task();
+            }
         }
         return;
     }
@@ -235,7 +286,13 @@ fn run_tasks(tasks: Vec<Box<dyn FnOnce() + Send + '_>>) {
             let task: Box<dyn FnOnce() + Send + 'static> = unsafe { std::mem::transmute(task) };
             let b = Arc::clone(&batch);
             queue.push_back(Box::new(move || {
+                let start = telemetry.then(Instant::now);
                 let outcome = catch_unwind(AssertUnwindSafe(task));
+                if let Some(start) = start {
+                    let ns = start.elapsed().as_nanos() as u64;
+                    metrics().task_ns.record(ns);
+                    b.busy_ns.fetch_add(ns, Ordering::Relaxed);
+                }
                 b.complete(outcome.err());
             }));
         }
@@ -252,6 +309,9 @@ fn run_tasks(tasks: Vec<Box<dyn FnOnce() + Send + '_>>) {
         }
     }
     batch.wait();
+    if telemetry {
+        metrics().scope_busy_ns.record(batch.busy_ns.load(Ordering::Relaxed));
+    }
     let panic = batch.panic.lock().unwrap().take();
     if let Some(p) = panic {
         resume_unwind(p);

@@ -49,6 +49,9 @@ fn main() -> ExitCode {
         }
         other => Err(format!("unknown command {other:?}")),
     };
+    // when KGAG_TELEMETRY is active, close the stream with the
+    // cumulative metric totals (no-op otherwise)
+    kgag_obs::flush();
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {

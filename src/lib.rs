@@ -13,4 +13,5 @@ pub use kgag_baselines;
 pub use kgag_data;
 pub use kgag_eval;
 pub use kgag_kg;
+pub use kgag_obs;
 pub use kgag_tensor;
