@@ -13,12 +13,22 @@
 #                   the determinism suite additionally compares both
 #                   thread counts bit-for-bit inside one process
 #                   (DESIGN.md §9)
-#   4. telemetry  — smoke training with the JSONL telemetry sink
+#   4. cache eq   — the batched-inference oracle suite again, at both
+#                   thread counts, with the *environment* knobs forced
+#                   to their non-default paths (KGAG_RF_CACHE=0,
+#                   KGAG_EVAL_BATCH=7): batched scores must stay
+#                   bit-identical to the per-case path however the
+#                   engine is configured (DESIGN.md §11)
+#   5. telemetry  — smoke training with the JSONL telemetry sink
 #                   enabled: model outputs must be bit-identical with
 #                   telemetry on vs off, and every emitted line must
 #                   pass the testkit JSON parser plus the per-kind
 #                   schema checks (DESIGN.md §10)
-#   5. bench gate — only with --bench: regenerate the micro-benchmark
+#   6. golden     — fixed-seed smoke training compared *bit-identically*
+#                   against results/golden_smoke.json; any numeric
+#                   drift fails. After an intentional numerics change:
+#                     ./ci.sh --golden-baseline
+#   7. bench gate — only with --bench: regenerate the micro-benchmark
 #                   JSON artifacts and compare medians against the
 #                   committed results/bench_baseline.json; fails on
 #                   regressions beyond KGAG_BENCH_TOLERANCE (default
@@ -27,9 +37,10 @@
 #                     ./ci.sh --bench-baseline
 #
 # Usage:
-#   ./ci.sh                   # fmt + build + test matrix + telemetry
-#   ./ci.sh --bench           # …plus the bench regression gate
-#   ./ci.sh --bench-baseline  # …instead rewrite results/bench_baseline.json
+#   ./ci.sh                    # stages 1-6
+#   ./ci.sh --bench            # …plus the bench regression gate
+#   ./ci.sh --bench-baseline   # …instead rewrite results/bench_baseline.json
+#   ./ci.sh --golden-baseline  # stages 1-5, then rewrite results/golden_smoke.json
 set -eu
 
 cd "$(dirname "$0")"
@@ -39,20 +50,37 @@ cd "$(dirname "$0")"
 # iteration counts.
 BENCH_ENV="KGAG_BENCH_ITERS=5 KGAG_BENCH_WARMUP=1 KGAG_THREADS=4"
 
-echo "==> stage 1/5: cargo fmt --check"
+echo "==> stage 1/7: cargo fmt --check"
 cargo fmt --check
 
-echo "==> stage 2/5: cargo build --release --offline (deny warnings)"
+echo "==> stage 2/7: cargo build --release --offline (deny warnings)"
 RUSTFLAGS="-D warnings" cargo build --release --offline --workspace
 
-echo "==> stage 3/5: cargo test --offline (KGAG_THREADS=1)"
+echo "==> stage 3/7: cargo test --offline (KGAG_THREADS=1)"
 KGAG_THREADS=1 cargo test -q --offline --workspace
 
-echo "==> stage 3/5: cargo test --offline (KGAG_THREADS=4)"
+echo "==> stage 3/7: cargo test --offline (KGAG_THREADS=4)"
 KGAG_THREADS=4 cargo test -q --offline --workspace
 
-echo "==> stage 4/5: telemetry gate (passivity + JSONL schema)"
+echo "==> stage 4/7: batched-inference cache equivalence (KGAG_THREADS=1)"
+KGAG_THREADS=1 KGAG_RF_CACHE=0 KGAG_EVAL_BATCH=7 \
+    cargo test -q --offline -p kgag --test batched_oracle
+
+echo "==> stage 4/7: batched-inference cache equivalence (KGAG_THREADS=4)"
+KGAG_THREADS=4 KGAG_RF_CACHE=0 KGAG_EVAL_BATCH=7 \
+    cargo test -q --offline -p kgag --test batched_oracle
+
+echo "==> stage 5/7: telemetry gate (passivity + JSONL schema)"
 KGAG_THREADS=4 cargo run -q --release --offline -p kgag-bench --bin telemetry_check
+
+if [ "${1:-}" = "--golden-baseline" ]; then
+    echo "==> stage 6/7: rewriting golden baseline"
+    KGAG_THREADS=4 cargo run -q --release --offline -p kgag-bench --bin golden_check -- \
+        --write-baseline
+else
+    echo "==> stage 6/7: golden-file gate (bit-identical smoke metrics)"
+    KGAG_THREADS=4 cargo run -q --release --offline -p kgag-bench --bin golden_check
+fi
 
 run_benches() {
     rm -f crates/bench/results/bench_*.json
@@ -61,18 +89,18 @@ run_benches() {
 
 case "${1:-}" in
 --bench)
-    echo "==> stage 5/5: bench regression gate"
+    echo "==> stage 7/7: bench regression gate"
     run_benches
     cargo run -q --release --offline -p kgag-bench --bin bench_check
     ;;
 --bench-baseline)
-    echo "==> stage 5/5: rewriting bench baseline"
+    echo "==> stage 7/7: rewriting bench baseline"
     run_benches
     cargo run -q --release --offline -p kgag-bench --bin bench_check -- --write-baseline
     ;;
-"") ;;
+"" | --golden-baseline) ;;
 *)
-    echo "usage: ./ci.sh [--bench | --bench-baseline]" >&2
+    echo "usage: ./ci.sh [--bench | --bench-baseline | --golden-baseline]" >&2
     exit 2
     ;;
 esac

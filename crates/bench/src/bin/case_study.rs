@@ -30,7 +30,7 @@ fn main() {
             let best = scores
                 .iter()
                 .enumerate()
-                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .max_by(|a, b| kgag_tensor::cmp::score_cmp(*a.1, *b.1).then(b.0.cmp(&a.0)))
                 .map(|(i, _)| c.test_items[i])
                 .unwrap();
             model.explain(c.group, best)
@@ -39,7 +39,7 @@ fn main() {
     explanations.sort_by(|a, b| {
         let ma = a.alpha.iter().cloned().fold(0.0f32, f32::max);
         let mb = b.alpha.iter().cloned().fold(0.0f32, f32::max);
-        mb.partial_cmp(&ma).unwrap()
+        kgag_tensor::cmp::score_cmp(mb, ma)
     });
 
     println!("three most-skewed group decisions (dominant member leads):\n");

@@ -1,0 +1,171 @@
+//! Batched inference over cached receptive fields.
+//!
+//! The per-case path ([`Kgag::score_group_items`]) resamples the
+//! receptive field of every member and candidate on each call and walks
+//! the eval cases one at a time, so only within-op parallelism is
+//! available. [`BatchScorer`] removes both costs: it builds one
+//! [`RfCache`] pair per checkpoint (member-side and item-side tables,
+//! keyed on the model's fixed inference salt) and fuses the `(group,
+//! candidate)` instances of *all* cases into uniform chunks that the
+//! thread pool scores concurrently through the fused gather + matmul
+//! tape path.
+//!
+//! The contract is bit-identity: every score equals what the per-case
+//! path produces, at any `KGAG_THREADS`, any chunk size and with the
+//! cache on or off. This holds because (a) the cache reproduces live
+//! sampling exactly ([`RfCache`] docs), and (b) every tape op computes
+//! each output row purely from its own instance's rows, so chunking is
+//! value-neutral. The oracle suite in
+//! `crates/core/tests/batched_oracle.rs` and a dedicated CI stage
+//! enforce it.
+//!
+//! Knobs: `KGAG_RF_CACHE=0` disables the cache (fields sampled live,
+//! batching retained); `KGAG_EVAL_BATCH=<n>` caps the instances per
+//! chunk (default 256 — chunks shrink automatically when the batch is
+//! too small to keep every pool worker busy).
+
+use crate::trainer::{Kgag, SALT_ITEM, SALT_MEMBER};
+use kgag_eval::{BatchGroupScorer, EvalConfig, GroupEvalCase, MetricSummary};
+use kgag_kg::RfCache;
+use kgag_tensor::pool;
+use kgag_tensor::tensor::sigmoid;
+use kgag_tensor::Tape;
+
+/// Scores whole batches of evaluation cases against one trained model,
+/// amortising receptive-field sampling across every case (see the
+/// module docs).
+pub struct BatchScorer<'m> {
+    model: &'m Kgag,
+    /// `(member-side, item-side)` tables; `None` scores with live
+    /// sampling (`KGAG_RF_CACHE=0`, or the KGAG-KG ablation where no
+    /// fields exist to cache).
+    caches: Option<(RfCache, RfCache)>,
+    batch_instances: usize,
+}
+
+impl Kgag {
+    /// A [`BatchScorer`] configured from the environment:
+    /// `KGAG_RF_CACHE=0` disables the receptive-field cache and
+    /// `KGAG_EVAL_BATCH` overrides the instances-per-chunk default of
+    /// 256.
+    pub fn batch_scorer(&self) -> BatchScorer<'_> {
+        let cache = std::env::var("KGAG_RF_CACHE").map(|v| v != "0").unwrap_or(true);
+        let scorer = self.batch_scorer_with(cache);
+        match std::env::var("KGAG_EVAL_BATCH").ok().and_then(|v| v.parse().ok()) {
+            Some(n) if n > 0 => scorer.with_batch_instances(n),
+            _ => scorer,
+        }
+    }
+
+    /// A [`BatchScorer`] with the cache explicitly on or off (the knob
+    /// the equivalence tests and benches sweep).
+    pub fn batch_scorer_with(&self, cache: bool) -> BatchScorer<'_> {
+        let caches = (cache && self.config().use_kg).then(|| {
+            let salt = self.eval_salt();
+            let graph = self.collaborative_kg().graph();
+            let depth = self.config().layers;
+            (
+                RfCache::build(self.eval_sampler(), graph, depth, salt ^ SALT_MEMBER),
+                RfCache::build(self.eval_sampler(), graph, depth, salt ^ SALT_ITEM),
+            )
+        });
+        BatchScorer { model: self, caches, batch_instances: 256 }
+    }
+
+    /// Evaluate prepared cases through the batched protocol — same
+    /// metrics as [`Kgag::evaluate`], bit for bit, in one fused scoring
+    /// pass.
+    pub fn evaluate_batched(&self, cases: &[GroupEvalCase], config: &EvalConfig) -> MetricSummary {
+        let scorer = self.batch_scorer();
+        kgag_eval::evaluate_group_ranking_batched(&scorer, self.num_items(), cases, config)
+    }
+}
+
+impl<'m> BatchScorer<'m> {
+    /// Override the instances-per-chunk cap (any positive value scores
+    /// bit-identically; the size only trades scheduling overhead against
+    /// tape size). Chunks shrink below the cap automatically when the
+    /// batch is too small to give every pool worker several chunks.
+    ///
+    /// # Panics
+    /// Panics when `n == 0`.
+    pub fn with_batch_instances(mut self, n: usize) -> Self {
+        assert!(n > 0, "batch size must be positive");
+        self.batch_instances = n;
+        self
+    }
+
+    /// Whether the receptive-field cache is active.
+    pub fn cached(&self) -> bool {
+        self.caches.is_some()
+    }
+
+    /// Scores for one case — aligned with `items`, bit-identical to
+    /// [`Kgag::score_group_items`].
+    pub fn score_case(&self, group: u32, items: &[u32]) -> Vec<f32> {
+        self.score_cases(&[(group, items.to_vec())]).pop().unwrap_or_default()
+    }
+
+    /// Scores for a batch of `(group, candidate list)` cases. Instances
+    /// from different cases are fused into uniform chunks and scored in
+    /// parallel; the result is reassembled per case.
+    pub fn score_cases(&self, cases: &[(u32, Vec<u32>)]) -> Vec<Vec<f32>> {
+        let l = self.model.group_size();
+        // one member-entity lookup per case, shared by its instances
+        let member_ents: Vec<Vec<u32>> =
+            cases.iter().map(|&(g, _)| self.model.member_entities(g)).collect();
+        // flatten to (case index, item entity) instances in case order
+        let mut instances: Vec<(u32, u32)> = Vec::new();
+        for (ci, (_, items)) in cases.iter().enumerate() {
+            for ent in self.model.item_entities(items) {
+                instances.push((ci as u32, ent));
+            }
+        }
+        if kgag_obs::enabled() {
+            kgag_obs::counter("infer.batched_items_scored").add(instances.len() as u64);
+        }
+        // each chunk forwards independently: the receptive field of an
+        // entity never depends on batch position, and every tape op is
+        // per-instance, so any chunking is bit-identical — which frees
+        // us to pick the size for load balance alone: small enough that
+        // every pool worker gets several chunks, capped at
+        // `batch_instances` to bound tape size
+        let per_worker = instances.len().div_ceil(pool::num_threads() * 4).max(1);
+        let chunk_size = per_worker.min(self.batch_instances);
+        let chunks: Vec<&[(u32, u32)]> = instances.chunks(chunk_size).collect();
+        let salt = self.model.eval_salt();
+        let scored = pool::par_map(&chunks, |_, chunk| {
+            let mut flat_members = Vec::with_capacity(chunk.len() * l);
+            let mut item_ents = Vec::with_capacity(chunk.len());
+            for &(ci, ent) in *chunk {
+                flat_members.extend_from_slice(&member_ents[ci as usize]);
+                item_ents.push(ent);
+            }
+            let mut tape = Tape::new(self.model.store());
+            let fwd = match &self.caches {
+                Some((members, items)) => self.model.forward_group_cached(
+                    &mut tape,
+                    &flat_members,
+                    &item_ents,
+                    members,
+                    items,
+                ),
+                None => self.model.forward_group(&mut tape, &flat_members, &item_ents, salt, false),
+            };
+            tape.value(fwd.score).data().iter().map(|&s| sigmoid(s)).collect::<Vec<f32>>()
+        });
+        // reassemble per case, in instance order
+        let mut out: Vec<Vec<f32>> =
+            cases.iter().map(|(_, items)| Vec::with_capacity(items.len())).collect();
+        for (&(ci, _), s) in instances.iter().zip(scored.into_iter().flatten()) {
+            out[ci as usize].push(s);
+        }
+        out
+    }
+}
+
+impl BatchGroupScorer for BatchScorer<'_> {
+    fn score_batch(&self, cases: &[(u32, Vec<u32>)]) -> Vec<Vec<f32>> {
+        self.score_cases(cases)
+    }
+}

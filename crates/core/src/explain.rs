@@ -7,6 +7,7 @@
 //! plus the final score, and renders as the bar-style report used in the
 //! paper's case study.
 
+use kgag_tensor::cmp::score_cmp;
 use kgag_testkit::json::{Json, ToJson};
 
 /// The attention values behind one group–item prediction.
@@ -43,22 +44,23 @@ impl ToJson for GroupExplanation {
 }
 
 impl GroupExplanation {
-    /// Index of the most influential member.
+    /// Index of the most influential member. NaN influences can never
+    /// win ([`score_cmp`] ranks them below every real weight); ties
+    /// break toward the lower index.
     pub fn dominant_member(&self) -> usize {
         self.alpha
             .iter()
             .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .max_by(|a, b| score_cmp(*a.1, *b.1).then(b.0.cmp(&a.0)))
             .map(|(i, _)| i)
             .unwrap_or(0)
     }
 
-    /// Members ordered by decreasing influence.
+    /// Members ordered by decreasing influence; NaN influences sink to
+    /// the end.
     pub fn ranking(&self) -> Vec<usize> {
         let mut idx: Vec<usize> = (0..self.members.len()).collect();
-        idx.sort_by(|&a, &b| {
-            self.alpha[b].partial_cmp(&self.alpha[a]).unwrap_or(std::cmp::Ordering::Equal)
-        });
+        idx.sort_by(|&a, &b| score_cmp(self.alpha[b], self.alpha[a]));
         idx
     }
 
@@ -125,6 +127,22 @@ mod tests {
         let e = sample();
         assert_eq!(e.dominant_member(), 1);
         assert_eq!(e.ranking(), vec![1, 0, 2]);
+    }
+
+    #[test]
+    fn nan_influence_never_dominates() {
+        let mut e = sample();
+        e.alpha = vec![f32::NAN, 0.2, 0.8];
+        assert_eq!(e.dominant_member(), 2);
+        assert_eq!(e.ranking(), vec![2, 1, 0]);
+        // even a NaN in the would-be winner's slot cannot displace reals
+        e.alpha = vec![0.4, f32::NAN, 0.4];
+        assert_eq!(e.dominant_member(), 0, "ties break toward the lower index");
+        assert_eq!(e.ranking(), vec![0, 2, 1]);
+        // all-NaN degenerates deterministically instead of panicking
+        e.alpha = vec![f32::NAN, f32::NAN, f32::NAN];
+        assert_eq!(e.dominant_member(), 0);
+        assert_eq!(e.ranking(), vec![0, 1, 2]);
     }
 
     #[test]

@@ -39,6 +39,7 @@
 //! ```
 
 pub mod attention;
+pub mod batch;
 pub mod config;
 pub mod explain;
 pub mod harness;
@@ -47,6 +48,7 @@ pub mod model;
 pub mod propagation;
 pub mod trainer;
 
+pub use batch::BatchScorer;
 pub use config::{Aggregator, GroupLoss, KgagConfig};
 pub use explain::GroupExplanation;
 pub use trainer::{EpochLoss, Kgag, TrainReport};

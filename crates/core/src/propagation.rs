@@ -68,12 +68,13 @@ pub fn propagate_with(
     // iteration-dependent: precompute per level
     let mut level_weights: Vec<NodeId> = Vec::with_capacity(h_layers);
     for rels in rf.relations.iter() {
-        let rel_emb = tape.gather(params.relation_emb, rels);
         // each level-(lvl+1) node needs its target's query vector
         let times = rels.len() / rf.entities[0].len();
         let q_rep = tape.repeat_rows(query, times);
-        let pi_raw = tape.row_dot(q_rep, rel_emb); // Eq. 2
-                                                   // scaled dot-product: keeps the softmax soft as ‖i_e‖,‖r‖ grow
+        // Eq. 2 via the fused gather+row_dot path: bit-identical to
+        // gathering the [N·K, d] relation rows first, without the copy
+        let pi_raw = tape.gather_row_dot(params.relation_emb, rels, q_rep);
+        // scaled dot-product: keeps the softmax soft as ‖i_e‖,‖r‖ grow
         let pi = tape.scale(pi_raw, inv_sqrt_d);
         level_weights.push(tape.softmax_groups(pi, k)); // Eq. 3
     }

@@ -20,7 +20,7 @@ use crate::model::ModelParams;
 use kgag_data::split::{DatasetSplit, NegativeSampler};
 use kgag_data::GroupDataset;
 use kgag_eval::{EvalConfig, GroupEvalCase, GroupScorer, MetricSummary};
-use kgag_kg::{CollaborativeKg, NeighborSampler};
+use kgag_kg::{CollaborativeKg, NeighborSampler, RfCache};
 use kgag_tensor::optim::{Adam, Optimizer};
 use kgag_tensor::pool;
 use kgag_tensor::rng::{derive_seed, SplitMix64};
@@ -106,6 +106,16 @@ impl PairCycler {
     }
 }
 
+/// Salt domain separators keeping the four receptive-field draws of one
+/// forward pass on distinct RNG streams (item vs member side of a group
+/// instance; user vs item side of a user instance). [`RfCache`] tables
+/// are keyed on `eval_salt ^ <separator>`, so the separators are part of
+/// the serving contract.
+pub(crate) const SALT_ITEM: u64 = 0x17e3;
+pub(crate) const SALT_MEMBER: u64 = 0x3e2b;
+const SALT_USER: u64 = 0x5a11;
+const SALT_USER_ITEM: u64 = 0x77d9;
+
 /// A KGAG model bound to one dataset.
 pub struct Kgag {
     config: KgagConfig,
@@ -119,10 +129,19 @@ pub struct Kgag {
     num_items: u32,
 }
 
-struct GroupForward {
-    attention: AttentionOut,
+pub(crate) struct GroupForward {
+    pub(crate) attention: AttentionOut,
     /// Raw prediction scores `[B, 1]` (Eq. 14).
-    score: NodeId,
+    pub(crate) score: NodeId,
+}
+
+/// Where a forward pass gets its receptive fields: sampled live (the
+/// training / per-case path) or looked up in prebuilt [`RfCache`]
+/// tables (the batched inference path). Both resolve to the same draws
+/// for the same salt, so the two paths score bit-identically.
+pub(crate) enum Fields<'c> {
+    Live { salt: u64, train: bool },
+    Cached { members: &'c RfCache, items: &'c RfCache },
 }
 
 impl Kgag {
@@ -201,11 +220,37 @@ impl Kgag {
         }
         let sampler = if train { &self.sampler } else { &self.eval_sampler };
         let rf = sampler.receptive_field(self.ckg.graph(), targets, self.config.layers, salt);
+        self.propagate_rf(tape, &rf, query)
+    }
+
+    /// [`Kgag::represent`] over memoized receptive-field tables instead
+    /// of live sampling (bit-identical for a cache built on the
+    /// eval sampler at the matching salt).
+    fn represent_cached(
+        &self,
+        tape: &mut Tape<'_>,
+        targets: &[u32],
+        query: NodeId,
+        cache: &RfCache,
+    ) -> NodeId {
+        if !self.config.use_kg {
+            return tape.gather(self.params.prop.entity_emb, targets);
+        }
+        let rf = cache.receptive_field(targets);
+        self.propagate_rf(tape, &rf, query)
+    }
+
+    fn propagate_rf(
+        &self,
+        tape: &mut Tape<'_>,
+        rf: &kgag_kg::ReceptiveField,
+        query: NodeId,
+    ) -> NodeId {
         crate::propagation::propagate_with(
             tape,
             &self.params.prop,
             self.config.aggregator,
-            &rf,
+            rf,
             query,
             if self.config.residual { self.config.propagation_weight } else { 0.0 },
         )
@@ -218,7 +263,7 @@ impl Kgag {
     /// item propagates under the mean of the members' zero-order
     /// embeddings, each member under the candidate item's zero-order
     /// embedding.
-    fn forward_group(
+    pub(crate) fn forward_group(
         &self,
         tape: &mut Tape<'_>,
         flat_members: &[u32],
@@ -226,14 +271,49 @@ impl Kgag {
         salt: u64,
         train: bool,
     ) -> GroupForward {
+        self.forward_group_any(tape, flat_members, item_ents, &Fields::Live { salt, train })
+    }
+
+    /// [`Kgag::forward_group`] reading receptive fields from prebuilt
+    /// caches — the batched inference forward.
+    pub(crate) fn forward_group_cached(
+        &self,
+        tape: &mut Tape<'_>,
+        flat_members: &[u32],
+        item_ents: &[u32],
+        members: &RfCache,
+        items: &RfCache,
+    ) -> GroupForward {
+        self.forward_group_any(tape, flat_members, item_ents, &Fields::Cached { members, items })
+    }
+
+    fn forward_group_any(
+        &self,
+        tape: &mut Tape<'_>,
+        flat_members: &[u32],
+        item_ents: &[u32],
+        fields: &Fields<'_>,
+    ) -> GroupForward {
         let l = self.group_size;
         debug_assert_eq!(flat_members.len(), item_ents.len() * l);
         let m0 = tape.gather(self.params.prop.entity_emb, flat_members);
         let i0 = tape.gather(self.params.prop.entity_emb, item_ents);
         let q_item = tape.group_mean(m0, l);
-        let item_rep = self.represent(tape, item_ents, q_item, salt ^ 0x17e3, train);
+        let item_rep = match *fields {
+            Fields::Live { salt, train } => {
+                self.represent(tape, item_ents, q_item, salt ^ SALT_ITEM, train)
+            }
+            Fields::Cached { items, .. } => self.represent_cached(tape, item_ents, q_item, items),
+        };
         let q_members = tape.repeat_rows(i0, l);
-        let member_rep = self.represent(tape, flat_members, q_members, salt ^ 0x3e2b, train);
+        let member_rep = match *fields {
+            Fields::Live { salt, train } => {
+                self.represent(tape, flat_members, q_members, salt ^ SALT_MEMBER, train)
+            }
+            Fields::Cached { members, .. } => {
+                self.represent_cached(tape, flat_members, q_members, members)
+            }
+        };
         let attention = group_attention(tape, &self.params, &self.config, member_rep, item_rep, l);
         let score = tape.row_dot(attention.group_rep, item_rep);
         GroupForward { attention, score }
@@ -252,17 +332,35 @@ impl Kgag {
         debug_assert_eq!(user_ents.len(), item_ents.len());
         let u0 = tape.gather(self.params.prop.entity_emb, user_ents);
         let v0 = tape.gather(self.params.prop.entity_emb, item_ents);
-        let u_rep = self.represent(tape, user_ents, v0, salt ^ 0x5a11, train);
-        let v_rep = self.represent(tape, item_ents, u0, salt ^ 0x77d9, train);
+        let u_rep = self.represent(tape, user_ents, v0, salt ^ SALT_USER, train);
+        let v_rep = self.represent(tape, item_ents, u0, salt ^ SALT_USER_ITEM, train);
         tape.row_dot(u_rep, v_rep)
     }
 
-    fn member_entities(&self, group: u32) -> Vec<u32> {
+    pub(crate) fn member_entities(&self, group: u32) -> Vec<u32> {
         self.groups[group as usize].iter().map(|&u| self.ckg.user_entity(u).0).collect()
     }
 
-    fn item_entities(&self, items: &[u32]) -> Vec<u32> {
+    pub(crate) fn item_entities(&self, items: &[u32]) -> Vec<u32> {
         items.iter().map(|&v| self.ckg.item_entity(v).0).collect()
+    }
+
+    /// The fixed inference salt of this model. Group scoring draws
+    /// receptive fields under `eval_salt ^ SALT_ITEM` /
+    /// `eval_salt ^ SALT_MEMBER` for every group and candidate, which is
+    /// what lets [`RfCache`] tables built once per checkpoint serve every
+    /// evaluation case.
+    pub(crate) fn eval_salt(&self) -> u64 {
+        derive_seed(self.config.seed, "score")
+    }
+
+    pub(crate) fn eval_sampler(&self) -> &NeighborSampler {
+        &self.eval_sampler
+    }
+
+    /// Members per group in the bound dataset.
+    pub fn group_size(&self) -> usize {
+        self.group_size
     }
 
     // ------------------------------------------------------------------
@@ -419,8 +517,10 @@ impl Kgag {
             kgag_obs::counter("infer.group_items_scored").add(items.len() as u64);
         }
         let member_ents = self.member_entities(group);
-        // fixed salt: deterministic eval-time sampling
-        let salt = derive_seed(self.config.seed, "score") ^ group as u64;
+        // checkpoint-fixed salt: deterministic eval-time sampling, and
+        // the same receptive field for an entity no matter which group
+        // or candidate list asks — the invariant RfCache banks on
+        let salt = self.eval_salt();
         // chunks are independent instances — the receptive-field draw for
         // an entity depends on (seed, salt, entity, level), never on batch
         // position, and every tape op is per-instance — so scoring chunks
@@ -449,7 +549,8 @@ impl Kgag {
             kgag_obs::counter("infer.user_items_scored").add(items.len() as u64);
         }
         let u_ent = self.ckg.user_entity(user).0;
-        let salt = derive_seed(self.config.seed, "score-user") ^ user as u64;
+        // checkpoint-fixed for the same reason as score_group_items
+        let salt = derive_seed(self.config.seed, "score-user");
         // independent chunks, same argument as score_group_items
         let chunks: Vec<&[u32]> = items.chunks(256).collect();
         let scored = pool::par_map(&chunks, |_, chunk| {
@@ -472,7 +573,9 @@ impl Kgag {
         let flat_members = self.member_entities(group);
         let item_ents = self.item_entities(&[item]);
         let mut tape = Tape::new(&self.store);
-        let salt = derive_seed(self.config.seed, "explain") ^ group as u64;
+        // the serving salt, not a private stream: the attention weights
+        // shown here decompose exactly the score score_group_items serves
+        let salt = self.eval_salt();
         let fwd = self.forward_group(&mut tape, &flat_members, &item_ents, salt, false);
         let read = |n: Option<NodeId>| n.map(|id| tape.value(id).data().to_vec());
         GroupExplanation {

@@ -284,7 +284,7 @@ pub fn simulate_group_choices(
         if scored.is_empty() {
             continue; // nothing survived the veto: the outing never happened
         }
-        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        scored.sort_by(|a, b| kgag_tensor::cmp::score_cmp(b.1, a.1));
         let chosen: Vec<u32> = scored.iter().take(n_choices).map(|&(v, _)| v).collect();
         planned.push((gi, chosen));
     }

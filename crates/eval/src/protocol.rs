@@ -36,6 +36,29 @@ where
     }
 }
 
+/// A model that can score many `(group, candidate list)` cases in one
+/// call — the batched-inference entry point. Implementations are free
+/// to fuse cases into larger tensor passes, but the contract is strict:
+/// the result must align with `cases` (outer) and each case's items
+/// (inner), and the scores must be *bit-identical* to what the
+/// per-case [`GroupScorer`] path produces for the same model.
+pub trait BatchGroupScorer {
+    /// One score vector per case, each aligned with that case's items.
+    fn score_batch(&self, cases: &[(u32, Vec<u32>)]) -> Vec<Vec<f32>>;
+}
+
+/// Adapter running any per-case [`GroupScorer`] through the batched
+/// protocol one case at a time — the oracle the batched path is tested
+/// against, and a migration shim for models without a native batch
+/// implementation.
+pub struct PerCaseBatch<'a>(pub &'a dyn GroupScorer);
+
+impl BatchGroupScorer for PerCaseBatch<'_> {
+    fn score_batch(&self, cases: &[(u32, Vec<u32>)]) -> Vec<Vec<f32>> {
+        cases.iter().map(|(group, items)| self.0.score(*group, items)).collect()
+    }
+}
+
 /// One group's evaluation inputs.
 #[derive(Clone, Debug)]
 pub struct GroupEvalCase {
@@ -103,32 +126,9 @@ pub fn evaluate_group_ranking_detailed(
             continue;
         }
         let case_start = telemetry.then(std::time::Instant::now);
-        let m = match config.num_negatives {
-            Some(n) => {
-                let candidates = sample_candidates(case, num_items, n, &mut rng);
-                let scores = scorer.score(case.group, &candidates);
-                assert_eq!(scores.len(), candidates.len(), "scorer returned wrong length");
-                let ranked_local = top_k(&scores, config.k);
-                // map candidate positions back to item ids
-                let ranked: Vec<u32> =
-                    ranked_local.iter().map(|&p| candidates[p as usize]).collect();
-                ranking_metrics(&ranked, &case.test_items, config.k)
-            }
-            None => {
-                let all: Vec<u32> = (0..num_items).collect();
-                let scores = scorer.score(case.group, &all);
-                assert_eq!(scores.len(), all.len(), "scorer returned wrong length");
-                // exclude known positives that are NOT test items
-                let exclude: Vec<u32> = case
-                    .known_positives
-                    .iter()
-                    .copied()
-                    .filter(|v| case.test_items.binary_search(v).is_err())
-                    .collect();
-                let ranked = crate::ranking::top_k_excluding(&scores, config.k, &exclude);
-                ranking_metrics(&ranked, &case.test_items, config.k)
-            }
-        };
+        let candidates = case_candidates(case, num_items, config, &mut rng);
+        let scores = scorer.score(case.group, &candidates);
+        let m = case_metrics(case, &candidates, &scores, config);
         if let Some(start) = case_start {
             kgag_obs::counter("eval.cases").add(1);
             kgag_obs::histogram("eval.case_ns").record(start.elapsed().as_nanos() as u64);
@@ -137,6 +137,111 @@ pub fn evaluate_group_ranking_detailed(
         per_case.push(m);
     }
     (acc.finish(), per_case)
+}
+
+/// [`evaluate_group_ranking`] through a [`BatchGroupScorer`]: one
+/// `score_batch` call covers every evaluable case. Candidate lists are
+/// drawn from the same RNG stream in the same case order as the
+/// per-case path, and the metrics pipeline is shared, so for a scorer
+/// whose batch scores match its per-case scores the two protocols are
+/// bit-identical.
+///
+/// # Panics
+/// Panics when no case is evaluable or the scorer returns misaligned
+/// results.
+pub fn evaluate_group_ranking_batched(
+    scorer: &dyn BatchGroupScorer,
+    num_items: u32,
+    cases: &[GroupEvalCase],
+    config: &EvalConfig,
+) -> MetricSummary {
+    evaluate_group_ranking_batched_detailed(scorer, num_items, cases, config).0
+}
+
+/// [`evaluate_group_ranking_batched`] also returning the per-case
+/// metrics, aligned with the evaluable cases in order.
+pub fn evaluate_group_ranking_batched_detailed(
+    scorer: &dyn BatchGroupScorer,
+    num_items: u32,
+    cases: &[GroupEvalCase],
+    config: &EvalConfig,
+) -> (MetricSummary, Vec<crate::RankingMetrics>) {
+    let _span = kgag_obs::span("eval.protocol_batched");
+    let telemetry = kgag_obs::enabled();
+    // phase 1: assemble every candidate list, advancing the sampling RNG
+    // exactly as the sequential loop does
+    let mut rng = SplitMix64::new(derive_seed(config.seed, "protocol"));
+    let mut evaluable: Vec<&GroupEvalCase> = Vec::with_capacity(cases.len());
+    let mut requests: Vec<(u32, Vec<u32>)> = Vec::with_capacity(cases.len());
+    for case in cases {
+        if case.test_items.is_empty() {
+            if telemetry {
+                kgag_obs::counter("eval.cases_skipped").add(1);
+            }
+            continue;
+        }
+        requests.push((case.group, case_candidates(case, num_items, config, &mut rng)));
+        evaluable.push(case);
+    }
+    // phase 2: one batched scoring pass over all cases
+    let all_scores = scorer.score_batch(&requests);
+    assert_eq!(all_scores.len(), requests.len(), "batch scorer returned wrong case count");
+    // phase 3: per-case metrics through the shared pipeline
+    let mut acc = MetricAccumulator::new();
+    let mut per_case = Vec::with_capacity(evaluable.len());
+    for ((case, (_, candidates)), scores) in evaluable.iter().zip(&requests).zip(&all_scores) {
+        let m = case_metrics(case, candidates, scores, config);
+        if telemetry {
+            kgag_obs::counter("eval.cases").add(1);
+        }
+        acc.add(m);
+        per_case.push(m);
+    }
+    (acc.finish(), per_case)
+}
+
+/// The candidate list one case is ranked over: sampled negatives plus
+/// test positives, or the full catalog.
+fn case_candidates(
+    case: &GroupEvalCase,
+    num_items: u32,
+    config: &EvalConfig,
+    rng: &mut SplitMix64,
+) -> Vec<u32> {
+    match config.num_negatives {
+        Some(n) => sample_candidates(case, num_items, n, rng),
+        None => (0..num_items).collect(),
+    }
+}
+
+/// Rank one case's scored candidates and reduce to metrics — shared
+/// verbatim by the sequential and batched protocols.
+fn case_metrics(
+    case: &GroupEvalCase,
+    candidates: &[u32],
+    scores: &[f32],
+    config: &EvalConfig,
+) -> crate::RankingMetrics {
+    assert_eq!(scores.len(), candidates.len(), "scorer returned wrong length");
+    match config.num_negatives {
+        Some(_) => {
+            let ranked_local = top_k(scores, config.k);
+            // map candidate positions back to item ids
+            let ranked: Vec<u32> = ranked_local.iter().map(|&p| candidates[p as usize]).collect();
+            ranking_metrics(&ranked, &case.test_items, config.k)
+        }
+        None => {
+            // exclude known positives that are NOT test items
+            let exclude: Vec<u32> = case
+                .known_positives
+                .iter()
+                .copied()
+                .filter(|v| case.test_items.binary_search(v).is_err())
+                .collect();
+            let ranked = crate::ranking::top_k_excluding(scores, config.k, &exclude);
+            ranking_metrics(&ranked, &case.test_items, config.k)
+        }
+    }
 }
 
 /// Candidate list: the test positives plus `n` sampled true negatives,
@@ -253,6 +358,46 @@ mod tests {
         let a = evaluate_group_ranking(&scorer, 100, &cases, &cfg);
         let b = evaluate_group_ranking(&scorer, 100, &cases, &cfg);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn batched_protocol_is_bit_identical_to_sequential() {
+        // a deterministic scorer with nontrivial structure: score depends
+        // on (group, item) so misrouted candidates would be caught
+        let scorer = |g: u32, items: &[u32]| -> Vec<f32> {
+            items
+                .iter()
+                .map(|&v| ((v.wrapping_mul(2654435761) ^ g) % 1000) as f32 / 1000.0)
+                .collect()
+        };
+        let cases = vec![
+            case(&[3, 4], &[3, 4]),
+            case(&[], &[]), // skipped — must not desync the RNG stream
+            GroupEvalCase { group: 7, test_items: vec![9], known_positives: vec![2, 9] },
+            GroupEvalCase { group: 2, test_items: vec![150], known_positives: vec![150] },
+        ];
+        for num_negatives in [Some(25), None] {
+            let cfg = EvalConfig { k: 5, num_negatives, seed: 77 };
+            let (seq_sum, seq_cases) = evaluate_group_ranking_detailed(&scorer, 200, &cases, &cfg);
+            let (bat_sum, bat_cases) =
+                evaluate_group_ranking_batched_detailed(&PerCaseBatch(&scorer), 200, &cases, &cfg);
+            assert_eq!(seq_cases, bat_cases, "per-case metrics ({num_negatives:?})");
+            assert_eq!(seq_sum, bat_sum, "summary ({num_negatives:?})");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong case count")]
+    fn batched_protocol_rejects_misaligned_scorer() {
+        struct Broken;
+        impl BatchGroupScorer for Broken {
+            fn score_batch(&self, _cases: &[(u32, Vec<u32>)]) -> Vec<Vec<f32>> {
+                Vec::new()
+            }
+        }
+        let cases = vec![case(&[1], &[1])];
+        let cfg = EvalConfig { k: 5, num_negatives: Some(10), seed: 5 };
+        evaluate_group_ranking_batched(&Broken, 50, &cases, &cfg);
     }
 
     #[test]

@@ -2,13 +2,14 @@
 //!
 //! Selection uses a *total* strength order on `(score, index)` pairs in
 //! which every NaN score ranks below every real number (see
-//! [`score_cmp`]). A model that emits a NaN — diverged parameters, a
+//! [`kgag_tensor::cmp::score_cmp`]). A model that emits a NaN — diverged parameters, a
 //! saturated exponent — can therefore never displace a valid item from
 //! the ranking, and two NaN scores tie deterministically by index. The
 //! previous comparator mapped incomparable pairs to `Equal`, which made
 //! the sort order (and thus the reported metrics) depend on where the
 //! NaN happened to sit in the candidate list.
 
+use kgag_tensor::cmp::score_cmp;
 use std::cmp::Ordering;
 
 /// Indices of the `k` highest-scoring entries, descending by score.
@@ -54,20 +55,6 @@ pub fn top_k_excluding(scores: &[f32], k: usize, exclude: &[u32]) -> Vec<u32> {
     }
     heap.sort_unstable_by(|a, b| cmp_strength(b, a));
     heap.into_iter().map(|(_, i)| i).collect()
-}
-
-/// Total order on scores: any NaN (either sign) is below every real
-/// number and all NaNs compare equal; non-NaN scores follow IEEE
-/// `total_cmp`. (`total_cmp` alone would rank a positive NaN *above*
-/// +∞ — exactly the corruption this order exists to rule out.)
-#[inline]
-fn score_cmp(x: f32, y: f32) -> Ordering {
-    match (x.is_nan(), y.is_nan()) {
-        (true, true) => Ordering::Equal,
-        (true, false) => Ordering::Less,
-        (false, true) => Ordering::Greater,
-        (false, false) => x.total_cmp(&y),
-    }
 }
 
 /// Strength order on `(score, index)`: higher score is stronger, score

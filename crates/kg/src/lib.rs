@@ -14,6 +14,9 @@
 //!   sampling producing the layered receptive-field tree that the
 //!   information propagation block consumes (and that the paper's
 //!   O(K^{H−h}·d²) complexity analysis assumes);
+//! * [`RfCache`] — per-entity memoization of those draws at a fixed
+//!   salt, turning receptive-field assembly during batched inference
+//!   into pure table lookup (bit-identical to live sampling);
 //! * [`transe`] — a TransE embedding trainer used to give the MoSAN
 //!   baseline knowledge-aware user representations (§IV-D);
 //! * [`paths`] — BFS connectivity utilities backing the interpretability
@@ -22,11 +25,13 @@
 pub mod collab;
 pub mod graph;
 pub mod paths;
+pub mod rf_cache;
 pub mod sampler;
 pub mod transe;
 pub mod triple;
 
 pub use collab::CollaborativeKg;
 pub use graph::KgGraph;
+pub use rf_cache::RfCache;
 pub use sampler::{NeighborSampler, ReceptiveField};
 pub use triple::{EntityId, RelationId, Triple, TripleStore};

@@ -60,6 +60,14 @@ impl NeighborSampler {
         self.k
     }
 
+    /// The per-field RNG base for a given `salt` — the quantity every
+    /// per-`(entity, level)` draw is keyed on. Shared with
+    /// [`crate::RfCache`] so cached fields reproduce live sampling
+    /// bit-for-bit.
+    pub(crate) fn field_base(&self, salt: u64) -> u64 {
+        self.seed ^ salt.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+    }
+
     /// Sample an `depth`-level receptive field for `targets`.
     ///
     /// Deterministic: the same `(seed, salt, targets)` always produces
@@ -80,7 +88,7 @@ impl NeighborSampler {
         depth: usize,
         salt: u64,
     ) -> ReceptiveField {
-        let base = self.seed ^ salt.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        let base = self.field_base(salt);
         let mut entities = Vec::with_capacity(depth + 1);
         let mut relations = Vec::with_capacity(depth);
         entities.push(targets.to_vec());
@@ -150,9 +158,9 @@ fn sampler_metrics() -> &'static SamplerMetrics {
 }
 
 /// Fill one parent's `k` neighbor slots (the per-parent body of
-/// [`NeighborSampler::receptive_field`], shared by the sequential and
-/// banded paths).
-fn sample_one(
+/// [`NeighborSampler::receptive_field`], shared by the banded live
+/// path and the [`crate::RfCache`] builder).
+pub(crate) fn sample_one(
     graph: &KgGraph,
     base: u64,
     l: usize,

@@ -7,10 +7,22 @@
 //!   per param: name len u32 | name bytes | rows u32 | cols u32 | f32 LE data
 //! ```
 //!
+//! Version 2 ([`save_with_optimizer`]) appends an Adam moment section
+//! after the parameters, so training can resume bit-identically:
+//!
+//! ```text
+//! section magic "ADM1" | entry count u32 |
+//!   per entry: name len u32 | name bytes | t u32 | rows u32 | cols u32 |
+//!              m data f32 LE | v data f32 LE
+//! ```
+//!
 //! Loading restores values *into an existing store by name*, so a model
 //! can be rebuilt from its config + dataset and then rehydrated — the
 //! structural metadata (graph, sampler seeds) never needs serialising.
+//! [`load`] accepts both versions (ignoring a v2 optimizer section);
+//! [`load_with_optimizer`] requires v2.
 
+use crate::optim::Adam;
 use crate::params::ParamStore;
 use crate::tensor::Tensor;
 
@@ -43,8 +55,12 @@ impl<'a> Reader<'a> {
 
 /// Format magic bytes.
 const MAGIC: &[u8; 4] = b"KGCP";
-/// Current format version.
+/// Params-only format version.
 const VERSION: u32 = 1;
+/// Params + optimizer-state format version.
+const VERSION_WITH_OPTIMIZER: u32 = 2;
+/// Magic opening the Adam moment section of a v2 checkpoint.
+const ADAM_MAGIC: &[u8; 4] = b"ADM1";
 
 /// Errors from checkpoint decoding.
 #[derive(Debug, PartialEq, Eq)]
@@ -61,6 +77,9 @@ pub enum CheckpointError {
     MissingParam(String),
     /// A parameter's stored shape disagrees with the target store.
     ShapeMismatch(String),
+    /// [`load_with_optimizer`] was given a checkpoint without an
+    /// optimizer section (a v1 file, or a corrupted section magic).
+    NoOptimizerState,
 }
 
 impl std::fmt::Display for CheckpointError {
@@ -76,34 +95,91 @@ impl std::fmt::Display for CheckpointError {
             CheckpointError::ShapeMismatch(n) => {
                 write!(f, "shape mismatch for parameter {n:?}")
             }
+            CheckpointError::NoOptimizerState => {
+                write!(f, "checkpoint has no optimizer-state section")
+            }
         }
     }
 }
 
 impl std::error::Error for CheckpointError {}
 
-/// Serialise every parameter of a store.
-pub fn save(store: &ParamStore) -> Vec<u8> {
+fn push_tensor_data(buf: &mut Vec<u8>, t: &Tensor) {
+    for &x in t.data() {
+        buf.extend_from_slice(&x.to_le_bytes());
+    }
+}
+
+fn save_params(store: &ParamStore, version: u32) -> Vec<u8> {
     let mut buf = Vec::with_capacity(64 + store.num_weights() * 4);
     buf.extend_from_slice(MAGIC);
-    buf.extend_from_slice(&VERSION.to_le_bytes());
+    buf.extend_from_slice(&version.to_le_bytes());
     buf.extend_from_slice(&(store.len() as u32).to_le_bytes());
     for (_, name, value) in store.iter() {
         buf.extend_from_slice(&(name.len() as u32).to_le_bytes());
         buf.extend_from_slice(name.as_bytes());
         buf.extend_from_slice(&(value.rows() as u32).to_le_bytes());
         buf.extend_from_slice(&(value.cols() as u32).to_le_bytes());
-        for &x in value.data() {
-            buf.extend_from_slice(&x.to_le_bytes());
-        }
+        push_tensor_data(&mut buf, value);
     }
     buf
 }
 
-/// Restore parameter values into `store` by name. Every parameter in the
-/// checkpoint must exist in the store with the same shape; parameters of
-/// the store absent from the checkpoint keep their current values.
-pub fn load(store: &mut ParamStore, bytes: &[u8]) -> Result<usize, CheckpointError> {
+/// Serialise every parameter of a store (v1, no optimizer state).
+pub fn save(store: &ParamStore) -> Vec<u8> {
+    save_params(store, VERSION)
+}
+
+/// Serialise parameters *and* the Adam moment state (v2), for
+/// bit-identical training resume. Entries are keyed by parameter name
+/// like the parameter section, and emitted in id order (the order
+/// [`Adam::export_state`] guarantees).
+pub fn save_with_optimizer(store: &ParamStore, opt: &Adam) -> Vec<u8> {
+    let mut buf = save_params(store, VERSION_WITH_OPTIMIZER);
+    let state = opt.export_state();
+    buf.extend_from_slice(ADAM_MAGIC);
+    buf.extend_from_slice(&(state.len() as u32).to_le_bytes());
+    for (id, t, m, v) in &state {
+        let name = store.name(*id);
+        buf.extend_from_slice(&(name.len() as u32).to_le_bytes());
+        buf.extend_from_slice(name.as_bytes());
+        buf.extend_from_slice(&t.to_le_bytes());
+        buf.extend_from_slice(&(m.rows() as u32).to_le_bytes());
+        buf.extend_from_slice(&(m.cols() as u32).to_le_bytes());
+        push_tensor_data(&mut buf, m);
+        push_tensor_data(&mut buf, v);
+    }
+    buf
+}
+
+fn read_name(buf: &mut Reader<'_>) -> Result<String, CheckpointError> {
+    if buf.remaining() < 4 {
+        return Err(CheckpointError::Truncated);
+    }
+    let name_len = buf.get_u32_le() as usize;
+    if buf.remaining() < name_len {
+        return Err(CheckpointError::Truncated);
+    }
+    let name =
+        std::str::from_utf8(&buf.buf[..name_len]).map_err(|_| CheckpointError::BadName)?.to_owned();
+    buf.advance(name_len);
+    Ok(name)
+}
+
+fn read_data(buf: &mut Reader<'_>, n: usize) -> Result<Vec<f32>, CheckpointError> {
+    if buf.remaining() < n * 4 {
+        return Err(CheckpointError::Truncated);
+    }
+    let mut data = Vec::with_capacity(n);
+    for _ in 0..n {
+        data.push(buf.get_f32_le());
+    }
+    Ok(data)
+}
+
+/// Validate the header and position the reader after it, returning the
+/// file's version.
+fn read_header<'a>(bytes: &'a [u8]) -> Result<(Reader<'a>, u32), CheckpointError> {
     let mut buf = Reader { buf: bytes };
     if buf.remaining() < 4 || &bytes[..4] != MAGIC {
         return Err(CheckpointError::BadMagic);
@@ -113,36 +189,29 @@ pub fn load(store: &mut ParamStore, bytes: &[u8]) -> Result<usize, CheckpointErr
         return Err(CheckpointError::Truncated);
     }
     let version = buf.get_u32_le();
-    if version != VERSION {
+    if version != VERSION && version != VERSION_WITH_OPTIMIZER {
         return Err(CheckpointError::BadVersion(version));
+    }
+    Ok((buf, version))
+}
+
+fn read_params_section(
+    store: &mut ParamStore,
+    buf: &mut Reader<'_>,
+) -> Result<usize, CheckpointError> {
+    if buf.remaining() < 4 {
+        return Err(CheckpointError::Truncated);
     }
     let count = buf.get_u32_le() as usize;
     let mut restored = 0usize;
     for _ in 0..count {
-        if buf.remaining() < 4 {
-            return Err(CheckpointError::Truncated);
-        }
-        let name_len = buf.get_u32_le() as usize;
-        if buf.remaining() < name_len {
-            return Err(CheckpointError::Truncated);
-        }
-        let name = std::str::from_utf8(&buf.buf[..name_len])
-            .map_err(|_| CheckpointError::BadName)?
-            .to_owned();
-        buf.advance(name_len);
+        let name = read_name(buf)?;
         if buf.remaining() < 8 {
             return Err(CheckpointError::Truncated);
         }
         let rows = buf.get_u32_le() as usize;
         let cols = buf.get_u32_le() as usize;
-        let n = rows * cols;
-        if buf.remaining() < n * 4 {
-            return Err(CheckpointError::Truncated);
-        }
-        let mut data = Vec::with_capacity(n);
-        for _ in 0..n {
-            data.push(buf.get_f32_le());
-        }
+        let data = read_data(buf, rows * cols)?;
         let id = store.id(&name).ok_or_else(|| CheckpointError::MissingParam(name.clone()))?;
         let shape = store.shape(id);
         if shape.rows != rows || shape.cols != cols {
@@ -151,6 +220,59 @@ pub fn load(store: &mut ParamStore, bytes: &[u8]) -> Result<usize, CheckpointErr
         *store.value_mut(id) = Tensor::from_vec(rows, cols, data);
         restored += 1;
     }
+    Ok(restored)
+}
+
+/// Restore parameter values into `store` by name. Every parameter in the
+/// checkpoint must exist in the store with the same shape; parameters of
+/// the store absent from the checkpoint keep their current values. A v2
+/// optimizer section, if present, is ignored.
+pub fn load(store: &mut ParamStore, bytes: &[u8]) -> Result<usize, CheckpointError> {
+    let (mut buf, _version) = read_header(bytes)?;
+    read_params_section(store, &mut buf)
+}
+
+/// Restore parameters *and* the Adam moment state from a v2 checkpoint.
+/// `opt`'s previous state is replaced wholesale; parameters without a
+/// stored entry (never stepped before the save) restart at t = 0,
+/// exactly as they would have in the original run.
+pub fn load_with_optimizer(
+    store: &mut ParamStore,
+    opt: &mut Adam,
+    bytes: &[u8],
+) -> Result<usize, CheckpointError> {
+    let (mut buf, version) = read_header(bytes)?;
+    if version != VERSION_WITH_OPTIMIZER {
+        return Err(CheckpointError::NoOptimizerState);
+    }
+    let restored = read_params_section(store, &mut buf)?;
+    if buf.remaining() < 4 || &buf.buf[..4] != ADAM_MAGIC {
+        return Err(CheckpointError::NoOptimizerState);
+    }
+    buf.advance(4);
+    if buf.remaining() < 4 {
+        return Err(CheckpointError::Truncated);
+    }
+    let count = buf.get_u32_le() as usize;
+    let mut state = Vec::with_capacity(count);
+    for _ in 0..count {
+        let name = read_name(&mut buf)?;
+        if buf.remaining() < 12 {
+            return Err(CheckpointError::Truncated);
+        }
+        let t = buf.get_u32_le();
+        let rows = buf.get_u32_le() as usize;
+        let cols = buf.get_u32_le() as usize;
+        let m = read_data(&mut buf, rows * cols)?;
+        let v = read_data(&mut buf, rows * cols)?;
+        let id = store.id(&name).ok_or_else(|| CheckpointError::MissingParam(name.clone()))?;
+        let shape = store.shape(id);
+        if shape.rows != rows || shape.cols != cols {
+            return Err(CheckpointError::ShapeMismatch(name));
+        }
+        state.push((id, t, Tensor::from_vec(rows, cols, m), Tensor::from_vec(rows, cols, v)));
+    }
+    opt.set_state(state);
     Ok(restored)
 }
 

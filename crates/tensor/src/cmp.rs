@@ -1,0 +1,89 @@
+//! NaN-safe total orders on `f32` scores, shared across the workspace.
+//!
+//! Model scores can turn NaN — diverged parameters, a saturated
+//! exponent — and `partial_cmp(..).unwrap_or(Equal)` comparators make
+//! the resulting order (and everything derived from it: rankings,
+//! "best item" picks, report sorting) depend on where the NaN happens
+//! to sit in the input. [`score_cmp`] is the single total order every
+//! score comparison in the workspace uses instead: any NaN ranks below
+//! every real number, NaNs tie with each other, and real numbers follow
+//! IEEE `total_cmp`. (`total_cmp` alone would rank a positive-sign NaN
+//! *above* +∞ — exactly the corruption this order rules out.)
+
+use std::cmp::Ordering;
+
+/// Total order on scores: any NaN (either sign) is below every real
+/// number and all NaNs compare equal; non-NaN scores follow IEEE
+/// `total_cmp`.
+#[inline]
+pub fn score_cmp(x: f32, y: f32) -> Ordering {
+    match (x.is_nan(), y.is_nan()) {
+        (true, true) => Ordering::Equal,
+        (true, false) => Ordering::Less,
+        (false, true) => Ordering::Greater,
+        (false, false) => x.total_cmp(&y),
+    }
+}
+
+/// [`score_cmp`] reversed — the comparator for descending sorts
+/// ("best first"), with NaN scores sinking to the end of the list.
+#[inline]
+pub fn score_cmp_desc(x: f32, y: f32) -> Ordering {
+    score_cmp(y, x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const NEG_NAN: f32 = f32::from_bits(f32::NAN.to_bits() | 0x8000_0000);
+
+    #[test]
+    fn nan_loses_to_every_real() {
+        for real in [f32::NEG_INFINITY, -1.0, 0.0, 1.0, f32::INFINITY] {
+            assert_eq!(score_cmp(f32::NAN, real), Ordering::Less);
+            assert_eq!(score_cmp(NEG_NAN, real), Ordering::Less);
+            assert_eq!(score_cmp(real, f32::NAN), Ordering::Greater);
+        }
+    }
+
+    #[test]
+    fn nans_tie_regardless_of_sign() {
+        assert_eq!(score_cmp(f32::NAN, NEG_NAN), Ordering::Equal);
+        assert_eq!(score_cmp(NEG_NAN, f32::NAN), Ordering::Equal);
+    }
+
+    #[test]
+    fn reals_follow_total_cmp() {
+        assert_eq!(score_cmp(1.0, 2.0), Ordering::Less);
+        assert_eq!(score_cmp(2.0, 1.0), Ordering::Greater);
+        assert_eq!(score_cmp(0.5, 0.5), Ordering::Equal);
+        assert_eq!(score_cmp(f32::NEG_INFINITY, f32::INFINITY), Ordering::Less);
+    }
+
+    #[test]
+    fn descending_sort_sinks_nans() {
+        let mut v = [0.3, f32::NAN, 0.9, NEG_NAN, 0.1];
+        v.sort_by(|a, b| score_cmp_desc(*a, *b));
+        assert_eq!(&v[..3], &[0.9, 0.3, 0.1]);
+        assert!(v[3].is_nan() && v[4].is_nan());
+    }
+
+    #[test]
+    fn is_a_total_order() {
+        // antisymmetry + transitivity spot-check over a mixed sample,
+        // which is what sort_by requires to avoid UB-adjacent panics
+        let xs = [f32::NAN, NEG_NAN, f32::NEG_INFINITY, -1.0, -0.0, 0.0, 1.0, f32::INFINITY];
+        for &a in &xs {
+            for &b in &xs {
+                assert_eq!(score_cmp(a, b), score_cmp(b, a).reverse());
+                for &c in &xs {
+                    if score_cmp(a, b) != Ordering::Greater && score_cmp(b, c) != Ordering::Greater
+                    {
+                        assert_ne!(score_cmp(a, c), Ordering::Greater, "{a} {b} {c}");
+                    }
+                }
+            }
+        }
+    }
+}

@@ -54,6 +54,7 @@
 //! ```
 
 pub mod checkpoint;
+pub mod cmp;
 pub mod init;
 pub mod optim;
 pub mod params;

@@ -101,6 +101,26 @@ impl Adam {
     pub fn steps(&self, id: ParamId) -> u32 {
         self.state.get(&id).map_or(0, |s| s.t)
     }
+
+    /// Snapshot the per-parameter moment state as `(id, t, m, v)`
+    /// entries, sorted by parameter id so serialisation is
+    /// deterministic regardless of hash-map iteration order.
+    pub fn export_state(&self) -> Vec<(ParamId, u32, Tensor, Tensor)> {
+        let mut out: Vec<_> =
+            self.state.iter().map(|(&id, s)| (id, s.t, s.m.clone(), s.v.clone())).collect();
+        out.sort_by_key(|&(id, ..)| id);
+        out
+    }
+
+    /// Replace the moment state wholesale (checkpoint restore). Entries
+    /// for the same id overwrite each other, last wins; parameters
+    /// absent from `state` start fresh at t = 0 on their next step.
+    pub fn set_state(&mut self, state: Vec<(ParamId, u32, Tensor, Tensor)>) {
+        self.state.clear();
+        for (id, t, m, v) in state {
+            self.state.insert(id, AdamState { m, v, t });
+        }
+    }
 }
 
 impl Optimizer for Adam {

@@ -40,6 +40,7 @@ enum Op {
     Constant,
     Param(ParamId),
     Gather { param: ParamId, rows: Vec<u32> },
+    GatherRowDot { param: ParamId, rows: Vec<u32>, other: NodeId },
     MatMul { a: NodeId, b: NodeId },
     Add { a: NodeId, b: NodeId },
     Sub { a: NodeId, b: NodeId },
@@ -140,6 +141,45 @@ impl<'p> Tape<'p> {
         });
         let value = Tensor::from_vec(rows.len(), d, data);
         self.push(Op::Gather { param, rows: rows.to_vec() }, value)
+    }
+
+    /// Fused gather + row-wise dot: result `[m, 1]` where row `i` is
+    /// `other.row(i) · param.row(rows[i])` — bit-identical to
+    /// `row_dot(other, gather(param, rows))` (forward *and* backward:
+    /// the per-row products and the scatter into `param` run in the
+    /// same order) without ever materialising the `[m, d]` gathered
+    /// table rows.
+    ///
+    /// # Panics
+    /// Panics when an index is out of bounds or `other` is not
+    /// `[rows.len(), param.cols()]`.
+    pub fn gather_row_dot(&mut self, param: ParamId, rows: &[u32], other: NodeId) -> NodeId {
+        let table = self.store.value(param);
+        let d = table.cols();
+        let n_rows = table.rows();
+        if let Some(&bad) = rows.iter().find(|&&r| (r as usize) >= n_rows) {
+            panic!(
+                "gather row {} out of bounds for parameter {:?} with {} rows",
+                bad,
+                self.store.name(param),
+                n_rows
+            );
+        }
+        let ov = &self.nodes[other.index()].value;
+        assert_eq!(ov.rows(), rows.len(), "gather_row_dot row-count mismatch");
+        assert_eq!(ov.cols(), d, "gather_row_dot width mismatch");
+        let m = rows.len();
+        let mut data = vec![0.0f32; m];
+        // each output element reads only its own pair of rows, so
+        // banding is bit-identical to the sequential loop
+        par_row_bands(&mut data, m, 1, m * d, |row0, band| {
+            for (local, o) in band.iter_mut().enumerate() {
+                let i = row0 + local;
+                *o = dot(ov.row(i), table.row(rows[i] as usize));
+            }
+        });
+        let value = Tensor::from_vec(m, 1, data);
+        self.push(Op::GatherRowDot { param, rows: rows.to_vec(), other }, value)
     }
 
     // ------------------------------------------------------------------
@@ -427,6 +467,31 @@ impl<'p> Tape<'p> {
                 Op::Gather { param, rows } => {
                     let shape = self.store.shape(*param);
                     grads.accumulate(*param, shape, |t| scatter_add_rows(t, rows, &g));
+                }
+                Op::GatherRowDot { param, rows, other } => {
+                    let table = self.store.value(*param);
+                    let ov = &self.nodes[other.index()].value;
+                    let (m, d) = (ov.rows(), ov.cols());
+                    // same products and the same scatter path as the
+                    // row_dot + gather composite, so gradients match it
+                    // bit for bit
+                    let mut d_other = Tensor::zeros(m, d);
+                    let mut d_rows = Tensor::zeros(m, d);
+                    for i in 0..m {
+                        let gi = g.data()[i];
+                        for ((x, y), (&tx, &ox)) in d_other
+                            .row_mut(i)
+                            .iter_mut()
+                            .zip(d_rows.row_mut(i).iter_mut())
+                            .zip(table.row(rows[i] as usize).iter().zip(ov.row(i)))
+                        {
+                            *x = gi * tx;
+                            *y = gi * ox;
+                        }
+                    }
+                    accumulate_node(&mut node_grads, *other, d_other);
+                    let shape = self.store.shape(*param);
+                    grads.accumulate(*param, shape, |t| scatter_add_rows(t, rows, &d_rows));
                 }
                 Op::MatMul { a, b } => {
                     let av = &self.nodes[a.index()].value;
@@ -774,6 +839,44 @@ mod tests {
         assert!(ge.row(1).iter().all(|&x| x == 2.0));
         assert!(ge.row(4).iter().all(|&x| x == 1.0));
         assert!(ge.row(0).iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn gather_row_dot_is_bit_identical_to_composite() {
+        let mut store = ParamStore::new();
+        let table = store.register("table", crate::init::uniform(7, 5, 1.0, 41));
+        let q = store.register("q", crate::init::uniform(6, 5, 1.0, 42));
+        let rows: Vec<u32> = vec![3, 0, 3, 6, 1, 3]; // repeats exercise the scatter
+        let run = |fused: bool| {
+            let mut tape = Tape::new(&store);
+            let qn = tape.param(q);
+            let d = if fused {
+                tape.gather_row_dot(table, &rows, qn)
+            } else {
+                let gathered = tape.gather(table, &rows);
+                tape.row_dot(qn, gathered)
+            };
+            let sg = tape.sigmoid(d);
+            let loss = tape.sum_all(sg);
+            let value = tape.value(d).clone();
+            (value, tape.backward(loss))
+        };
+        let (v_fused, g_fused) = run(true);
+        let (v_comp, g_comp) = run(false);
+        let bits = |t: &Tensor| t.data().iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&v_fused), bits(&v_comp), "forward");
+        assert_eq!(bits(g_fused.get(table).unwrap()), bits(g_comp.get(table).unwrap()), "d_table");
+        assert_eq!(bits(g_fused.get(q).unwrap()), bits(g_comp.get(q).unwrap()), "d_q");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn gather_row_dot_checks_bounds() {
+        let mut store = ParamStore::new();
+        let table = store.register("table", Tensor::zeros(3, 2));
+        let mut tape = Tape::new(&store);
+        let q = tape.constant(Tensor::zeros(1, 2));
+        tape.gather_row_dot(table, &[3], q);
     }
 
     #[test]

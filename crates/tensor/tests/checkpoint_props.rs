@@ -1,0 +1,227 @@
+//! Checkpoint round-trip properties: save → load must be *bit-identical*
+//! for parameter values and for the Adam moment state, across random
+//! stores that include empty and otherwise degenerate shapes (0×n, n×0,
+//! 0×0, 1×1). Bit-identity — not approximate equality — is the contract
+//! the golden-file gate and `--checkpoint` resume rely on, so values are
+//! compared through their bit patterns and the generated data includes
+//! subnormals and signed zeros.
+
+use kgag_tensor::checkpoint::{
+    load, load_with_optimizer, save, save_with_optimizer, CheckpointError,
+};
+use kgag_tensor::optim::{Adam, Optimizer};
+use kgag_tensor::params::Gradients;
+use kgag_tensor::{ParamStore, Tensor};
+use kgag_testkit::check::Runner;
+use kgag_testkit::gen::{u64_in, usize_in};
+use kgag_testkit::prop_assert;
+use kgag_testkit::SplitMix64;
+
+/// A value whose low bits exercise the full f32 range: mostly ordinary
+/// magnitudes, plus signed zeros and subnormals every few draws.
+fn random_value(rng: &mut SplitMix64) -> f32 {
+    match rng.next_u64() % 8 {
+        0 => 0.0,
+        1 => -0.0,
+        2 => f32::from_bits((rng.next_u64() % 0x7f_ffff) as u32 + 1), // subnormal
+        _ => ((rng.next_u64() % 2_000_001) as f32 / 1_000_000.0 - 1.0) * 3.0,
+    }
+}
+
+/// Random store with `count` parameters; shape list deliberately leads
+/// with the degenerate cases so every multi-param store contains them.
+fn random_store(seed: u64, count: usize) -> ParamStore {
+    let shapes: [(usize, usize); 7] = [(0, 0), (0, 3), (3, 0), (1, 1), (2, 3), (5, 1), (4, 4)];
+    let mut rng = SplitMix64::new(seed);
+    let mut store = ParamStore::new();
+    for i in 0..count {
+        let (rows, cols) = shapes[i % shapes.len()];
+        let data: Vec<f32> = (0..rows * cols).map(|_| random_value(&mut rng)).collect();
+        store.register(&format!("p{i}"), Tensor::from_vec(rows, cols, data));
+    }
+    store
+}
+
+/// A fresh store with the same names and shapes but different values —
+/// the "rebuilt from config" target that load() hydrates.
+fn blank_like(store: &ParamStore) -> ParamStore {
+    let mut fresh = ParamStore::new();
+    for (_, name, value) in store.iter() {
+        fresh.register(name, Tensor::full(value.rows(), value.cols(), 7.5));
+    }
+    fresh
+}
+
+fn bits(t: &Tensor) -> Vec<u32> {
+    t.data().iter().map(|x| x.to_bits()).collect()
+}
+
+/// Drive Adam over random parameter subsets so the exported state has a
+/// mix of stepped and never-stepped parameters with differing t.
+fn random_adam(store: &mut ParamStore, seed: u64, steps: usize) -> Adam {
+    let mut opt = Adam::new(0.01);
+    let mut rng = SplitMix64::new(seed ^ 0x5eed);
+    let ids: Vec<_> = store.iter().map(|(id, ..)| id).collect();
+    for _ in 0..steps {
+        let mut grads = Gradients::new();
+        for &id in &ids {
+            if rng.next_u64() % 2 == 0 {
+                let shape = store.shape(id);
+                let mut g = Vec::with_capacity(shape.len());
+                for _ in 0..shape.len() {
+                    g.push(random_value(&mut rng));
+                }
+                grads.accumulate(id, shape, |t| t.data_mut().copy_from_slice(&g));
+            }
+        }
+        opt.step(store, &grads);
+    }
+    opt
+}
+
+/// v1 round trip: every parameter value, including the degenerate
+/// shapes, survives bit for bit.
+#[test]
+fn params_round_trip_bit_identically() {
+    let gen = (u64_in(0..100_000), usize_in(0..12));
+    Runner::new("params_round_trip_bit_identically").cases(64).run(&gen, |&(seed, count)| {
+        let store = random_store(seed, count);
+        let bytes = save(&store);
+        let mut fresh = blank_like(&store);
+        let restored = load(&mut fresh, &bytes).map_err(|e| e.to_string())?;
+        prop_assert!(restored == count, "restored {restored} of {count}");
+        for (_, name, value) in store.iter() {
+            let got = fresh.value(fresh.id(name).unwrap());
+            prop_assert!(bits(value) == bits(got), "param {name} diverged");
+        }
+        Ok(())
+    });
+}
+
+/// v2 round trip: parameters *and* every Adam entry (t, m, v) survive
+/// bit for bit, and never-stepped parameters stay absent from the state.
+#[test]
+fn optimizer_state_round_trips_bit_identically() {
+    let gen = (u64_in(0..100_000), usize_in(1..10), usize_in(0..6));
+    Runner::new("optimizer_state_round_trips_bit_identically").cases(64).run(
+        &gen,
+        |&(seed, count, steps)| {
+            let mut store = random_store(seed, count);
+            let opt = random_adam(&mut store, seed, steps);
+            let bytes = save_with_optimizer(&store, &opt);
+
+            let mut fresh = blank_like(&store);
+            let mut fresh_opt = Adam::new(0.01);
+            load_with_optimizer(&mut fresh, &mut fresh_opt, &bytes).map_err(|e| e.to_string())?;
+
+            for (_, name, value) in store.iter() {
+                let got = fresh.value(fresh.id(name).unwrap());
+                prop_assert!(bits(value) == bits(got), "param {name} diverged");
+            }
+            let want = opt.export_state();
+            let got = fresh_opt.export_state();
+            prop_assert!(want.len() == got.len(), "state count {} vs {}", want.len(), got.len());
+            for ((wid, wt, wm, wv), (gid, gt, gm, gv)) in want.iter().zip(&got) {
+                prop_assert!(wid == gid && wt == gt, "entry id/t diverged");
+                prop_assert!(bits(wm) == bits(gm), "first moment diverged for {wid:?}");
+                prop_assert!(bits(wv) == bits(gv), "second moment diverged for {wid:?}");
+            }
+            Ok(())
+        },
+    );
+}
+
+/// The property the v2 format exists for: pause/resume produces the
+/// same trajectory as training straight through. k steps + save + load
+/// + n more steps must equal k+n uninterrupted steps bit for bit.
+#[test]
+fn resume_matches_uninterrupted_training() {
+    let gen = (u64_in(0..100_000), usize_in(1..8), usize_in(1..4), usize_in(1..4));
+    Runner::new("resume_matches_uninterrupted_training").cases(64).run(
+        &gen,
+        |&(seed, count, k, n)| {
+            // the same deterministic gradient schedule, applied two ways
+            let schedule = |store: &mut ParamStore, opt: &mut Adam, lo: usize, hi: usize| {
+                let ids: Vec<_> = store.iter().map(|(id, ..)| id).collect();
+                for step in lo..hi {
+                    let mut rng = SplitMix64::new(seed ^ (step as u64) << 8);
+                    let mut grads = Gradients::new();
+                    for &id in &ids {
+                        if rng.next_u64() % 3 != 0 {
+                            let shape = store.shape(id);
+                            let mut g = Vec::with_capacity(shape.len());
+                            for _ in 0..shape.len() {
+                                g.push(random_value(&mut rng));
+                            }
+                            grads.accumulate(id, shape, |t| t.data_mut().copy_from_slice(&g));
+                        }
+                    }
+                    opt.step(store, &grads);
+                }
+            };
+
+            let mut straight = random_store(seed, count);
+            let mut straight_opt = Adam::new(0.01);
+            schedule(&mut straight, &mut straight_opt, 0, k + n);
+
+            let mut paused = random_store(seed, count);
+            let mut paused_opt = Adam::new(0.01);
+            schedule(&mut paused, &mut paused_opt, 0, k);
+            let bytes = save_with_optimizer(&paused, &paused_opt);
+            let mut resumed = blank_like(&paused);
+            let mut resumed_opt = Adam::new(0.01);
+            load_with_optimizer(&mut resumed, &mut resumed_opt, &bytes)
+                .map_err(|e| e.to_string())?;
+            schedule(&mut resumed, &mut resumed_opt, k, k + n);
+
+            for (_, name, value) in straight.iter() {
+                let got = resumed.value(resumed.id(name).unwrap());
+                prop_assert!(bits(value) == bits(got), "resumed param {name} diverged");
+            }
+            Ok(())
+        },
+    );
+}
+
+/// Version interop: plain [`load`] accepts a v2 file (ignoring the
+/// moment section) and [`load_with_optimizer`] rejects a v1 file with
+/// the dedicated error rather than misparsing.
+#[test]
+fn version_interop_is_explicit() {
+    let mut store = random_store(3, 5);
+    let opt = random_adam(&mut store, 3, 3);
+
+    let v2 = save_with_optimizer(&store, &opt);
+    let mut fresh = blank_like(&store);
+    assert_eq!(load(&mut fresh, &v2), Ok(5), "plain load must accept v2");
+    for (_, name, value) in store.iter() {
+        assert_eq!(bits(value), bits(fresh.value(fresh.id(name).unwrap())), "param {name}");
+    }
+
+    let v1 = save(&store);
+    let mut fresh = blank_like(&store);
+    let mut fresh_opt = Adam::new(0.01);
+    assert_eq!(
+        load_with_optimizer(&mut fresh, &mut fresh_opt, &v1),
+        Err(CheckpointError::NoOptimizerState)
+    );
+}
+
+/// Truncating a v2 file anywhere inside the optimizer section is
+/// detected, never silently accepted.
+#[test]
+fn truncated_optimizer_section_is_detected() {
+    let mut store = random_store(9, 4);
+    let opt = random_adam(&mut store, 9, 4);
+    let bytes = save_with_optimizer(&store, &opt);
+    let params_only = save(&store).len();
+    for cut in [params_only + 1, params_only + 5, bytes.len() - 1] {
+        let mut fresh = blank_like(&store);
+        let mut fresh_opt = Adam::new(0.01);
+        let err = load_with_optimizer(&mut fresh, &mut fresh_opt, &bytes[..cut]).unwrap_err();
+        assert!(
+            matches!(err, CheckpointError::Truncated | CheckpointError::NoOptimizerState),
+            "cut at {cut}: got {err:?}"
+        );
+    }
+}

@@ -1,0 +1,290 @@
+//! Finite-difference gradient checks: for every tape op whose backward
+//! pass carries the model (gather and its fused dot, the matmul family,
+//! the grouped attention ops and peer concat), analytic gradients must
+//! match central differences on ≥64 random shapes per suite.
+//!
+//! These suites complement `autodiff_props.rs`: that file checks random
+//! op *chains* and structural invariants, these pin each op in
+//! isolation so a broken backward arm cannot hide behind a chain's
+//! loose tolerance. Central differences at `eps = 1e-3` on smooth f32
+//! ops carry O(eps²) truncation plus catastrophic-cancellation noise,
+//! so the tolerance band is relative (`2e-2`) — loose enough for f32,
+//! tight enough to catch any sign, transpose, scatter or indexing bug.
+
+use kgag_tensor::{init, NodeId, ParamId, ParamStore, Tape, Tensor};
+use kgag_testkit::check::Runner;
+use kgag_testkit::gen::{u64_in, usize_in, vec_of};
+use kgag_testkit::prop_assert;
+use kgag_testkit::SplitMix64;
+
+const EPS: f32 = 1e-3;
+const TOL: f32 = 2e-2;
+
+/// Numeric gradient of `f` w.r.t. `pid` via central differences.
+fn numeric_grad(store: &ParamStore, pid: ParamId, f: &dyn Fn(&ParamStore) -> f32) -> Tensor {
+    let mut store = store.clone();
+    let shape = store.shape(pid);
+    let mut out = Tensor::zeros(shape.rows, shape.cols);
+    for i in 0..shape.len() {
+        let orig = store.value(pid).data()[i];
+        store.value_mut(pid).data_mut()[i] = orig + EPS;
+        let up = f(&store);
+        store.value_mut(pid).data_mut()[i] = orig - EPS;
+        let down = f(&store);
+        store.value_mut(pid).data_mut()[i] = orig;
+        out.data_mut()[i] = (up - down) / (2.0 * EPS);
+    }
+    out
+}
+
+/// Assert analytic ≈ numeric under the relative band, with a zero
+/// analytic gradient treated as "numeric must be near zero too".
+fn check_close(name: &str, analytic: Option<&Tensor>, numeric: &Tensor) -> Result<(), String> {
+    let zeros;
+    let analytic = match analytic {
+        Some(t) => t,
+        None => {
+            zeros = Tensor::zeros(numeric.rows(), numeric.cols());
+            &zeros
+        }
+    };
+    for (i, (&a, &n)) in analytic.data().iter().zip(numeric.data()).enumerate() {
+        if (a - n).abs() > TOL * (1.0 + a.abs().max(n.abs())) {
+            return Err(format!("{name} element {i}: analytic {a} vs numeric {n}"));
+        }
+    }
+    Ok(())
+}
+
+/// Run one op under a smooth loss (`mean(tanh(x))` keeps values in a
+/// well-conditioned range) and compare every parameter's gradient.
+fn gradcheck(
+    store: &ParamStore,
+    params: &[(&str, ParamId)],
+    build: impl Fn(&mut Tape<'_>) -> NodeId + Copy,
+) -> Result<(), String> {
+    let loss = move |s: &ParamStore| -> f32 {
+        let mut tape = Tape::new(s);
+        let x = build(&mut tape);
+        let t = tape.tanh(x);
+        let l = tape.mean_all(t);
+        tape.value(l).item()
+    };
+    let mut tape = Tape::new(store);
+    let x = build(&mut tape);
+    let t = tape.tanh(x);
+    let l = tape.mean_all(t);
+    let grads = tape.backward(l);
+    for &(name, pid) in params {
+        let numeric = numeric_grad(store, pid, &loss);
+        check_close(name, grads.get(pid), &numeric)?;
+    }
+    Ok(())
+}
+
+/// Random row indices, deliberately with repeats so the scatter-add
+/// accumulation path is exercised.
+fn random_rows(seed: u64, count: usize, table_rows: usize) -> Vec<u32> {
+    let mut rng = SplitMix64::new(seed);
+    (0..count).map(|_| (rng.next_u64() % table_rows as u64) as u32).collect()
+}
+
+/// gather: d(table) must scatter-accumulate into exactly the gathered
+/// rows, including rows gathered more than once.
+#[test]
+fn gather_gradients_match_central_differences() {
+    let gen = (u64_in(0..10_000), usize_in(2..6), usize_in(1..5), usize_in(1..8));
+    Runner::new("gather_gradients_match_central_differences").cases(64).run(
+        &gen,
+        |&(seed, table_rows, d, picks)| {
+            let mut store = ParamStore::new();
+            let table = store.register("table", init::uniform(table_rows, d, 0.9, seed));
+            let rows = random_rows(seed ^ 0xa5, picks, table_rows);
+            let res = gradcheck(&store, &[("d_table", table)], |tape| {
+                let g = tape.gather(table, &rows);
+                tape.mul(g, g)
+            });
+            prop_assert!(res.is_ok(), "{res:?} (rows {rows:?})");
+            Ok(())
+        },
+    );
+}
+
+/// gather_row_dot: the fused op's two backward outputs (scatter into
+/// the table, dense grad for the query side) both match differences.
+#[test]
+fn gather_row_dot_gradients_match_central_differences() {
+    let gen = (u64_in(0..10_000), usize_in(2..6), usize_in(1..5), usize_in(1..8));
+    Runner::new("gather_row_dot_gradients_match_central_differences").cases(64).run(
+        &gen,
+        |&(seed, table_rows, d, picks)| {
+            let mut store = ParamStore::new();
+            let table = store.register("table", init::uniform(table_rows, d, 0.9, seed));
+            let query = store.register("query", init::uniform(picks, d, 0.9, seed ^ 3));
+            let rows = random_rows(seed ^ 0xb6, picks, table_rows);
+            let res = gradcheck(&store, &[("d_table", table), ("d_query", query)], |tape| {
+                let q = tape.param(query);
+                tape.gather_row_dot(table, &rows, q)
+            });
+            prop_assert!(res.is_ok(), "{res:?} (rows {rows:?})");
+            Ok(())
+        },
+    );
+}
+
+/// matmul: both factor gradients (the Bᵀ and Aᵀ products) match.
+#[test]
+fn matmul_gradients_match_central_differences() {
+    let gen = (u64_in(0..10_000), usize_in(1..5), usize_in(1..5), usize_in(1..5));
+    Runner::new("matmul_gradients_match_central_differences").cases(64).run(
+        &gen,
+        |&(seed, m, k, n)| {
+            let mut store = ParamStore::new();
+            let a = store.register("a", init::uniform(m, k, 0.9, seed));
+            let b = store.register("b", init::uniform(k, n, 0.9, seed ^ 1));
+            let res = gradcheck(&store, &[("dA", a), ("dB", b)], |tape| {
+                let an = tape.param(a);
+                let bn = tape.param(b);
+                tape.matmul(an, bn)
+            });
+            prop_assert!(res.is_ok(), "{res:?}");
+            Ok(())
+        },
+    );
+}
+
+/// row_dot — the matmul variant behind attention logits: per-row
+/// cross-gradients (d a row i = g_i · b row i) match.
+#[test]
+fn row_dot_gradients_match_central_differences() {
+    let gen = (u64_in(0..10_000), usize_in(1..8), usize_in(1..5));
+    Runner::new("row_dot_gradients_match_central_differences").cases(64).run(
+        &gen,
+        |&(seed, rows, d)| {
+            let mut store = ParamStore::new();
+            let a = store.register("a", init::uniform(rows, d, 0.9, seed));
+            let b = store.register("b", init::uniform(rows, d, 0.9, seed ^ 2));
+            let res = gradcheck(&store, &[("dA", a), ("dB", b)], |tape| {
+                let an = tape.param(a);
+                let bn = tape.param(b);
+                tape.row_dot(an, bn)
+            });
+            prop_assert!(res.is_ok(), "{res:?}");
+            Ok(())
+        },
+    );
+}
+
+/// softmax_groups: the full per-block Jacobian (diag(p) − p pᵀ) matches.
+#[test]
+fn softmax_groups_gradients_match_central_differences() {
+    let gen = (u64_in(0..10_000), usize_in(1..5), usize_in(2..6));
+    Runner::new("softmax_groups_gradients_match_central_differences").cases(64).run(
+        &gen,
+        |&(seed, blocks, group)| {
+            let mut store = ParamStore::new();
+            let logits = store.register("logits", init::uniform(blocks * group, 1, 1.5, seed));
+            // weight each probability differently so the softmax Jacobian's
+            // off-diagonal terms matter (a uniform loss would cancel them)
+            let weights = init::uniform(blocks * group, 1, 1.0, seed ^ 9);
+            let res = gradcheck(&store, &[("d_logits", logits)], |tape| {
+                let l = tape.param(logits);
+                let p = tape.softmax_groups(l, group);
+                let w = tape.constant(weights.clone());
+                tape.mul(p, w)
+            });
+            prop_assert!(res.is_ok(), "{res:?}");
+            Ok(())
+        },
+    );
+}
+
+/// group_weighted_sum: gradients w.r.t. both the weights column and the
+/// value rows match.
+#[test]
+fn group_weighted_sum_gradients_match_central_differences() {
+    let gen = (u64_in(0..10_000), usize_in(1..4), usize_in(2..5), usize_in(1..5));
+    Runner::new("group_weighted_sum_gradients_match_central_differences").cases(64).run(
+        &gen,
+        |&(seed, blocks, group, d)| {
+            let mut store = ParamStore::new();
+            let w = store.register("w", init::uniform(blocks * group, 1, 0.9, seed));
+            let v = store.register("v", init::uniform(blocks * group, d, 0.9, seed ^ 5));
+            let res = gradcheck(&store, &[("dW", w), ("dV", v)], |tape| {
+                let wn = tape.param(w);
+                let vn = tape.param(v);
+                tape.group_weighted_sum(wn, vn, group)
+            });
+            prop_assert!(res.is_ok(), "{res:?}");
+            Ok(())
+        },
+    );
+}
+
+/// peer_concat: each input row's gradient is the sum of its slices from
+/// the group-1 outputs that contain it.
+#[test]
+fn peer_concat_gradients_match_central_differences() {
+    let gen = (u64_in(0..10_000), usize_in(1..4), usize_in(2..5), usize_in(1..4));
+    Runner::new("peer_concat_gradients_match_central_differences").cases(64).run(
+        &gen,
+        |&(seed, blocks, group, d)| {
+            let mut store = ParamStore::new();
+            let x = store.register("x", init::uniform(blocks * group, d, 0.9, seed));
+            // square after concat so each copy of a row contributes a
+            // distinct gradient slice (a linear loss would make any
+            // mis-routing of slices invisible)
+            let res = gradcheck(&store, &[("dX", x)], |tape| {
+                let xn = tape.param(x);
+                let pc = tape.peer_concat(xn, group);
+                tape.mul(pc, pc)
+            });
+            prop_assert!(res.is_ok(), "{res:?}");
+            Ok(())
+        },
+    );
+}
+
+/// Composite propagation slice: repeat_rows → gather_row_dot →
+/// softmax_groups → group_weighted_sum — the exact op sequence of one
+/// KGAG propagation level — survives gradcheck end to end.
+#[test]
+fn propagation_level_gradients_match_central_differences() {
+    let gen = (u64_in(0..10_000), usize_in(1..3), usize_in(2..4), usize_in(1..4));
+    Runner::new("propagation_level_gradients_match_central_differences").cases(64).run(
+        &gen,
+        |&(seed, instances, k, d)| {
+            let mut store = ParamStore::new();
+            let rel = store.register("rel", init::uniform(3, d, 0.9, seed));
+            let query = store.register("query", init::uniform(instances, d, 0.9, seed ^ 4));
+            let vals = store.register("vals", init::uniform(instances * k, d, 0.9, seed ^ 8));
+            let rels = random_rows(seed ^ 0xc7, instances * k, 3);
+            let res = gradcheck(
+                &store,
+                &[("d_rel", rel), ("d_query", query), ("d_vals", vals)],
+                |tape| {
+                    let q = tape.param(query);
+                    let v = tape.param(vals);
+                    let q_rep = tape.repeat_rows(q, k);
+                    let pi = tape.gather_row_dot(rel, &rels, q_rep);
+                    let w = tape.softmax_groups(pi, k);
+                    tape.group_weighted_sum(w, v, k)
+                },
+            );
+            prop_assert!(res.is_ok(), "{res:?} (rels {rels:?})");
+            Ok(())
+        },
+    );
+}
+
+/// Generator sanity: vec_of-driven shapes in the other suites stay in
+/// range (guards the suite itself against a generator regression).
+#[test]
+fn random_rows_stay_in_bounds() {
+    let gen = (u64_in(0..10_000), usize_in(1..64), usize_in(1..32), vec_of(usize_in(0..4), 0..2));
+    Runner::new("random_rows_stay_in_bounds").cases(64).run(&gen, |&(seed, count, rows, _)| {
+        let picked = random_rows(seed, count, rows);
+        prop_assert!(picked.iter().all(|&r| (r as usize) < rows));
+        Ok(())
+    });
+}
