@@ -19,16 +19,24 @@
 #                   KGAG_EVAL_BATCH=7): batched scores must stay
 #                   bit-identical to the per-case path however the
 #                   engine is configured (DESIGN.md §11)
-#   5. telemetry  — smoke training with the JSONL telemetry sink
+#   5. serving    — the serve_check gate, at both thread counts: a
+#                   fixed request slice fanned out through 4 concurrent
+#                   clients of the in-process server and over loopback
+#                   TCP must score bit-identically to the offline
+#                   BatchScorer, the full evaluation protocol must
+#                   reproduce evaluate_batched exactly with the server
+#                   in the scorer seat, and graceful shutdown must
+#                   answer every accepted request (DESIGN.md §12)
+#   6. telemetry  — smoke training with the JSONL telemetry sink
 #                   enabled: model outputs must be bit-identical with
 #                   telemetry on vs off, and every emitted line must
 #                   pass the testkit JSON parser plus the per-kind
 #                   schema checks (DESIGN.md §10)
-#   6. golden     — fixed-seed smoke training compared *bit-identically*
+#   7. golden     — fixed-seed smoke training compared *bit-identically*
 #                   against results/golden_smoke.json; any numeric
 #                   drift fails. After an intentional numerics change:
 #                     ./ci.sh --golden-baseline
-#   7. bench gate — only with --bench: regenerate the micro-benchmark
+#   8. bench gate — only with --bench: regenerate the micro-benchmark
 #                   JSON artifacts and compare medians against the
 #                   committed results/bench_baseline.json; fails on
 #                   regressions beyond KGAG_BENCH_TOLERANCE (default
@@ -37,10 +45,10 @@
 #                     ./ci.sh --bench-baseline
 #
 # Usage:
-#   ./ci.sh                    # stages 1-6
+#   ./ci.sh                    # stages 1-7
 #   ./ci.sh --bench            # …plus the bench regression gate
 #   ./ci.sh --bench-baseline   # …instead rewrite results/bench_baseline.json
-#   ./ci.sh --golden-baseline  # stages 1-5, then rewrite results/golden_smoke.json
+#   ./ci.sh --golden-baseline  # stages 1-6, then rewrite results/golden_smoke.json
 set -eu
 
 cd "$(dirname "$0")"
@@ -50,35 +58,41 @@ cd "$(dirname "$0")"
 # iteration counts.
 BENCH_ENV="KGAG_BENCH_ITERS=5 KGAG_BENCH_WARMUP=1 KGAG_THREADS=4"
 
-echo "==> stage 1/7: cargo fmt --check"
+echo "==> stage 1/8: cargo fmt --check"
 cargo fmt --check
 
-echo "==> stage 2/7: cargo build --release --offline (deny warnings)"
+echo "==> stage 2/8: cargo build --release --offline (deny warnings)"
 RUSTFLAGS="-D warnings" cargo build --release --offline --workspace
 
-echo "==> stage 3/7: cargo test --offline (KGAG_THREADS=1)"
+echo "==> stage 3/8: cargo test --offline (KGAG_THREADS=1)"
 KGAG_THREADS=1 cargo test -q --offline --workspace
 
-echo "==> stage 3/7: cargo test --offline (KGAG_THREADS=4)"
+echo "==> stage 3/8: cargo test --offline (KGAG_THREADS=4)"
 KGAG_THREADS=4 cargo test -q --offline --workspace
 
-echo "==> stage 4/7: batched-inference cache equivalence (KGAG_THREADS=1)"
+echo "==> stage 4/8: batched-inference cache equivalence (KGAG_THREADS=1)"
 KGAG_THREADS=1 KGAG_RF_CACHE=0 KGAG_EVAL_BATCH=7 \
     cargo test -q --offline -p kgag --test batched_oracle
 
-echo "==> stage 4/7: batched-inference cache equivalence (KGAG_THREADS=4)"
+echo "==> stage 4/8: batched-inference cache equivalence (KGAG_THREADS=4)"
 KGAG_THREADS=4 KGAG_RF_CACHE=0 KGAG_EVAL_BATCH=7 \
     cargo test -q --offline -p kgag --test batched_oracle
 
-echo "==> stage 5/7: telemetry gate (passivity + JSONL schema)"
+echo "==> stage 5/8: serving gate (concurrent bit-identity + drain, KGAG_THREADS=1)"
+KGAG_THREADS=1 cargo run -q --release --offline -p kgag-bench --bin serve_check
+
+echo "==> stage 5/8: serving gate (concurrent bit-identity + drain, KGAG_THREADS=4)"
+KGAG_THREADS=4 cargo run -q --release --offline -p kgag-bench --bin serve_check
+
+echo "==> stage 6/8: telemetry gate (passivity + JSONL schema)"
 KGAG_THREADS=4 cargo run -q --release --offline -p kgag-bench --bin telemetry_check
 
 if [ "${1:-}" = "--golden-baseline" ]; then
-    echo "==> stage 6/7: rewriting golden baseline"
+    echo "==> stage 7/8: rewriting golden baseline"
     KGAG_THREADS=4 cargo run -q --release --offline -p kgag-bench --bin golden_check -- \
         --write-baseline
 else
-    echo "==> stage 6/7: golden-file gate (bit-identical smoke metrics)"
+    echo "==> stage 7/8: golden-file gate (bit-identical smoke metrics)"
     KGAG_THREADS=4 cargo run -q --release --offline -p kgag-bench --bin golden_check
 fi
 
@@ -89,12 +103,12 @@ run_benches() {
 
 case "${1:-}" in
 --bench)
-    echo "==> stage 7/7: bench regression gate"
+    echo "==> stage 8/8: bench regression gate"
     run_benches
     cargo run -q --release --offline -p kgag-bench --bin bench_check
     ;;
 --bench-baseline)
-    echo "==> stage 7/7: rewriting bench baseline"
+    echo "==> stage 8/8: rewriting bench baseline"
     run_benches
     cargo run -q --release --offline -p kgag-bench --bin bench_check -- --write-baseline
     ;;

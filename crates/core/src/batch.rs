@@ -77,7 +77,20 @@ impl Kgag {
     /// pass.
     pub fn evaluate_batched(&self, cases: &[GroupEvalCase], config: &EvalConfig) -> MetricSummary {
         let scorer = self.batch_scorer();
-        kgag_eval::evaluate_group_ranking_batched(&scorer, self.num_items(), cases, config)
+        self.evaluate_batched_with(&scorer, cases, config)
+    }
+
+    /// [`Kgag::evaluate_batched`] over a *borrowed* scorer, so callers
+    /// that keep a [`BatchScorer`] alive across many passes — the
+    /// serving front-end, sweep loops — pay the receptive-field cache
+    /// build once instead of per evaluation.
+    pub fn evaluate_batched_with(
+        &self,
+        scorer: &BatchScorer<'_>,
+        cases: &[GroupEvalCase],
+        config: &EvalConfig,
+    ) -> MetricSummary {
+        kgag_eval::evaluate_group_ranking_batched(scorer, self.num_items(), cases, config)
     }
 }
 
@@ -98,6 +111,13 @@ impl<'m> BatchScorer<'m> {
     /// Whether the receptive-field cache is active.
     pub fn cached(&self) -> bool {
         self.caches.is_some()
+    }
+
+    /// Approximate resident size of the receptive-field tables in bytes
+    /// (`None` when uncached) — what a serving process reports at
+    /// startup as the per-checkpoint memory cost of batched inference.
+    pub fn cache_bytes(&self) -> Option<usize> {
+        self.caches.as_ref().map(|(m, i)| m.approx_bytes() + i.approx_bytes())
     }
 
     /// Scores for one case — aligned with `items`, bit-identical to

@@ -72,25 +72,7 @@ pub fn split_group_interactions(
         if n == 0 {
             continue; // group without positives: nothing to split
         }
-        let (n_tr, n_va);
-        if n == 1 {
-            // single positive: send it to one bucket at the split ratios
-            let x = rng.next_f64();
-            if x < tr {
-                n_tr = 1;
-                n_va = 0;
-            } else if x < tr + va {
-                n_tr = 0;
-                n_va = 1;
-            } else {
-                n_tr = 0;
-                n_va = 0;
-            }
-        } else {
-            // at least one training item so the group is learnable
-            n_tr = ((n as f64 * tr).round() as usize).clamp(1, n);
-            n_va = ((n as f64 * va).round() as usize).min(n - n_tr);
-        }
+        let (n_tr, n_va) = apportion(n, tr, va, &mut rng);
         for (idx, &v) in items.iter().enumerate() {
             if idx < n_tr {
                 split.train.push((g, v));
@@ -110,6 +92,68 @@ pub fn split_group_interactions(
         }
     }
     split
+}
+
+/// Largest-remainder (Hamilton) apportionment of `n` positives over the
+/// `(train, val, test)` ratios; returns `(n_tr, n_va)` (test takes the
+/// rest).
+///
+/// Independent per-bucket rounding — the previous scheme — starves the
+/// smallest bucket at small `n`: at `(0.6, 0.2)` and `n = 3`,
+/// `round(1.8) = 2` and `round(0.6) = 1` leave test with 0 items *every
+/// time*, even though 20% of the mass belongs to it. Here every bucket
+/// first gets the floor of its exact quota `n·ratio`, then the leftover
+/// seats (at most two) go to buckets chosen by *systematic sampling over
+/// the fractional remainders*: one uniform draw `u` places `seats`
+/// equally spaced thresholds on the cumulative remainder scale, and a
+/// bucket wins a seat per threshold landing in its interval. Each
+/// remainder is `< 1`, so no bucket gains more than one seat, which
+/// pins every count to `⌊n·ratio⌋` or `⌈n·ratio⌉` (within ±1 of the
+/// exact quota) — and `P(extra seat) = remainder` makes the *expected*
+/// count exactly `n·ratio`, so the aggregate over many groups converges
+/// to the nominal 60/20/20 regardless of the group-size mix. Groups
+/// with `n ≥ 2` additionally always keep a training item (a seat is
+/// reclaimed from the fullest other bucket in the degenerate-ratio
+/// corner where `⌊n·train⌋ = 0`).
+fn apportion(n: usize, tr: f64, va: f64, rng: &mut SplitMix64) -> (usize, usize) {
+    let quotas = [n as f64 * tr, n as f64 * va, n as f64 * (1.0 - tr - va)];
+    let mut counts = [0usize; 3];
+    let mut rem = [0f64; 3];
+    for i in 0..3 {
+        counts[i] = quotas[i].floor() as usize;
+        rem[i] = quotas[i] - counts[i] as f64;
+    }
+    let seats = n - counts.iter().sum::<usize>();
+    if seats > 0 {
+        // systematic sampling: thresholds u + k for k in 0..seats on the
+        // cumulative remainder scale (rescaled so the total is exactly
+        // `seats` despite floating-point dust in the remainders)
+        let total: f64 = rem.iter().sum();
+        let u = rng.next_f64();
+        let mut cum = 0.0;
+        let mut next = 0usize; // next threshold index to place
+        for i in 0..3 {
+            cum += rem[i] * seats as f64 / total;
+            while next < seats && (u + next as f64) < cum {
+                counts[i] += 1;
+                next += 1;
+            }
+        }
+        // numeric safety net: any threshold lost to rounding goes to the
+        // largest remainder
+        while next < seats {
+            let i = (0..3).max_by(|&a, &b| rem[a].total_cmp(&rem[b])).unwrap();
+            counts[i] += 1;
+            next += 1;
+        }
+    }
+    // a group with 2+ positives must stay learnable: train keeps a seat
+    if n >= 2 && counts[0] == 0 {
+        let donor = if counts[1] >= counts[2] { 1 } else { 2 };
+        counts[donor] -= 1;
+        counts[0] = 1;
+    }
+    (counts[0], counts[1])
 }
 
 /// Everything a trainer needs: the group split plus the user–item
@@ -173,18 +217,51 @@ impl NegativeSampler {
         Self::new(y.pairs(), y.num_items())
     }
 
-    /// Sample one item not positively associated with `row`.
+    /// Sample one item not positively associated with `row`, or `None`
+    /// when the row is positive on the entire catalog.
     ///
-    /// Falls back to an arbitrary item after 100 rejections (only
-    /// possible when a row is positive on nearly the whole catalog).
-    pub fn sample(&self, row: u32, rng: &mut SplitMix64) -> u32 {
+    /// Rejection-samples uniformly; after 100 rejections (only possible
+    /// when the row is positive on nearly the whole catalog) it switches
+    /// to a deterministic scan from one more uniformly drawn start
+    /// position and returns the first true negative. An earlier version
+    /// instead returned the 101st draw *unchecked*, so dense rows could
+    /// silently hand a known positive to the pairwise margin loss
+    /// (Eq. 17) or the eval candidate sets; the scan closes that hole —
+    /// the result is never a known positive — at the price of a mild
+    /// ordering bias that only the dense-row fallback regime pays.
+    pub fn try_sample(&self, row: u32, rng: &mut SplitMix64) -> Option<u32> {
         for _ in 0..100 {
             let v = rng.next_below(self.num_items as usize) as u32;
             if !self.known.contains(&(row, v)) {
-                return v;
+                return Some(v);
             }
         }
-        rng.next_below(self.num_items as usize) as u32
+        let start = rng.next_below(self.num_items as usize) as u32;
+        (0..self.num_items)
+            .map(|off| {
+                let v = start + off;
+                if v >= self.num_items {
+                    v - self.num_items
+                } else {
+                    v
+                }
+            })
+            .find(|&v| !self.known.contains(&(row, v)))
+    }
+
+    /// Sample one item not positively associated with `row`.
+    ///
+    /// Same contract as [`NegativeSampler::try_sample`] — the result is
+    /// *never* a known positive.
+    ///
+    /// # Panics
+    /// Panics when `row` is positive on the entire catalog (no negative
+    /// exists); use [`NegativeSampler::try_sample`] to handle that case
+    /// explicitly.
+    pub fn sample(&self, row: u32, rng: &mut SplitMix64) -> u32 {
+        self.try_sample(row, rng).unwrap_or_else(|| {
+            panic!("row {row} is positive on all {} items: no negative exists", self.num_items)
+        })
     }
 
     /// True when `(row, item)` is a known positive.
@@ -268,5 +345,90 @@ mod tests {
     #[should_panic(expected = "bad split ratios")]
     fn bad_ratios_panic() {
         split_group_interactions(&toy_pos(), (0.9, 0.2), 0);
+    }
+
+    /// Regression for the silent false-negative fallback: a row positive
+    /// on all but one item forces the rejection loop to give up on most
+    /// draws, and the old code then returned an *unchecked* uniform draw
+    /// — a known positive with probability (n−1)/n. The deterministic
+    /// scan must always land on the single true negative.
+    #[test]
+    fn dense_row_fallback_returns_the_only_negative() {
+        let num_items = 1000u32;
+        let only_negative = 777u32;
+        let known = (0..num_items).filter(|&v| v != only_negative).map(|v| (0u32, v));
+        let sampler = NegativeSampler::new(known, num_items);
+        let mut rng = SplitMix64::new(0xfa11_bacc);
+        for call in 0..200 {
+            let v = sampler.sample(0, &mut rng);
+            assert_eq!(v, only_negative, "call {call} returned known positive {v}");
+        }
+    }
+
+    #[test]
+    fn try_sample_is_none_when_row_covers_the_catalog() {
+        let sampler = NegativeSampler::new((0..20).map(|v| (3u32, v)), 20);
+        let mut rng = SplitMix64::new(1);
+        assert_eq!(sampler.try_sample(3, &mut rng), None);
+        // other rows still have the whole catalog available
+        assert!(sampler.try_sample(0, &mut rng).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "no negative exists")]
+    fn sample_panics_when_row_covers_the_catalog() {
+        let sampler = NegativeSampler::new((0..5).map(|v| (0u32, v)), 5);
+        let mut rng = SplitMix64::new(2);
+        sampler.sample(0, &mut rng);
+    }
+
+    /// The small-`n` starvation regression: at `(0.6, 0.2)` and `n = 3`
+    /// the old per-bucket rounding gave test 0 items on *every* seed.
+    /// Largest-remainder assignment must keep every count within ±1 of
+    /// its exact quota, always leave train ≥ 1, and give test its 20%
+    /// mass over many seeds.
+    #[test]
+    fn apportion_small_n_within_one_of_quota_and_test_not_starved() {
+        for n in 2..=6usize {
+            let mut test_total = 0usize;
+            for seed in 0..400u64 {
+                let mut rng = SplitMix64::new(seed);
+                let (n_tr, n_va) = apportion(n, 0.6, 0.2, &mut rng);
+                let n_te = n - n_tr - n_va;
+                assert!(n_tr >= 1, "n={n} seed={seed}: train starved");
+                for (count, ratio, name) in
+                    [(n_tr, 0.6, "train"), (n_va, 0.2, "val"), (n_te, 0.2, "test")]
+                {
+                    let quota = n as f64 * ratio;
+                    assert!(
+                        (count as f64 - quota).abs() <= 1.0,
+                        "n={n} seed={seed}: {name} count {count} vs quota {quota}"
+                    );
+                }
+                test_total += n_te;
+            }
+            assert!(test_total > 0, "n={n}: test bucket starved across 400 seeds");
+        }
+    }
+
+    /// Aggregate mass over many groups of mixed sizes converges to the
+    /// nominal 60/20/20 (the unbiasedness of systematic remainder
+    /// sampling) — the check the ISSUE pins at 2%.
+    #[test]
+    fn aggregate_split_mass_tracks_ratios_within_two_percent() {
+        let mut y = Interactions::new(600, 40);
+        let mut total = 0usize;
+        for g in 0..600u32 {
+            let n = 1 + (g as usize % 9);
+            for v in 0..n as u32 {
+                y.insert(g, v);
+            }
+            total += n;
+        }
+        let split = split_group_interactions(&y, (0.6, 0.2), 0xa55);
+        let frac = |part: usize| part as f64 / total as f64;
+        assert!((frac(split.train.len()) - 0.6).abs() < 0.02, "train {}", frac(split.train.len()));
+        assert!((frac(split.val.len()) - 0.2).abs() < 0.02, "val {}", frac(split.val.len()));
+        assert!((frac(split.test.len()) - 0.2).abs() < 0.02, "test {}", frac(split.test.len()));
     }
 }

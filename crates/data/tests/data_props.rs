@@ -114,6 +114,75 @@ fn negative_sampler_rejects_positives() {
     });
 }
 
+/// Largest-remainder rebalance: every bucket's per-group count stays
+/// within ±1 of its exact quota `n·ratio` (the old independent rounding
+/// violated this for test at `n = 3`, starving it completely), and
+/// groups with 2+ positives always keep a training item.
+#[test]
+fn split_bucket_counts_within_one_of_quota() {
+    let gen = (pairs_gen(), u64_in(0..100));
+    Runner::new("split_bucket_counts_within_one_of_quota").cases(64).run(&gen, |(pairs, seed)| {
+        let y = interactions(pairs);
+        let split = split_group_interactions(&y, (0.6, 0.2), *seed);
+        for g in 0..y.num_users() {
+            let n = y.items_of(g).len();
+            if n == 0 {
+                continue;
+            }
+            let buckets = [
+                (split.train_items(g).len(), 0.6, "train"),
+                (split.val_items(g).len(), 0.2, "val"),
+                (split.test_items(g).len(), 0.2, "test"),
+            ];
+            for (count, ratio, name) in buckets {
+                let quota = n as f64 * ratio;
+                prop_assert!(
+                    (count as f64 - quota).abs() <= 1.0,
+                    "group {g} (n={n}): {name} count {count} vs quota {quota}"
+                );
+            }
+            if n >= 2 {
+                prop_assert!(!split.train_items(g).is_empty(), "group {g} (n={n}) train starved");
+            }
+        }
+        Ok(())
+    });
+}
+
+/// Dense rows force the sampler's fallback path; the scan must still
+/// return a true negative every time (the old unchecked 101st draw
+/// emitted a known positive with probability ≈ positives/items).
+#[test]
+fn negative_sampler_dense_rows_never_emit_positives() {
+    // (catalog size, number of true negatives, seed)
+    let gen = (u32_in(2..200), u32_in(1..4), u64_in(0..1000));
+    Runner::new("negative_sampler_dense_rows_never_emit_positives").cases(64).run(
+        &gen,
+        |(num_items, holes, seed)| {
+            let (num_items, holes) = (*num_items, (*holes).min(*num_items - 1));
+            // row 0 positive on everything except `holes` items spread
+            // over the catalog
+            let negatives: Vec<u32> = (0..holes).map(|i| i * (num_items / holes)).collect();
+            let known = (0..num_items)
+                .filter(|v| !negatives.contains(v))
+                .map(|v| (0u32, v))
+                .collect::<Vec<_>>();
+            let sampler = NegativeSampler::new(known, num_items);
+            let mut rng = SplitMix64::new(*seed);
+            for call in 0..50 {
+                let v = sampler.sample(0, &mut rng);
+                prop_assert!(
+                    negatives.contains(&v),
+                    "call {call}: sampled known positive {v} (catalog {num_items}, holes {holes})"
+                );
+                let t = sampler.try_sample(0, &mut rng);
+                prop_assert!(t.is_some_and(|v| negatives.contains(&v)), "try_sample: {t:?}");
+            }
+            Ok(())
+        },
+    );
+}
+
 /// Quorum semantics: results shrink as the quorum rises; the full
 /// quorum equals strict unanimity; every returned item passes both
 /// rules manually.

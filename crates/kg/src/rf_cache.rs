@@ -102,6 +102,20 @@ impl RfCache {
         self.num_entities
     }
 
+    /// Approximate resident size of the memoized tables in bytes —
+    /// `2 · 4 · num_entities · K` per level (children + relations). What
+    /// a serving process pays to keep one checkpoint's receptive fields
+    /// hot; the `kgag serve` startup log reports it.
+    pub fn approx_bytes(&self) -> usize {
+        self.levels
+            .iter()
+            .map(|l| {
+                std::mem::size_of_val(l.children.as_slice())
+                    + std::mem::size_of_val(l.relations.as_slice())
+            })
+            .sum()
+    }
+
     /// Assemble the receptive field for `targets` from the tables.
     ///
     /// Bit-identical to
@@ -203,6 +217,15 @@ mod tests {
                 assert_eq!(a.relations, b.relations, "level {l} at {threads} threads");
             }
         }
+    }
+
+    #[test]
+    fn approx_bytes_counts_both_tables_per_level() {
+        let graph = chain_graph();
+        let sampler = NeighborSampler::new(3, 1);
+        let cache = RfCache::build(&sampler, &graph, 2, 0);
+        // 2 levels × 2 tables × n·k u32s
+        assert_eq!(cache.approx_bytes(), 2 * 2 * graph.num_entities() * 3 * 4);
     }
 
     #[test]

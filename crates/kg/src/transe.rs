@@ -190,18 +190,31 @@ fn sgd_step(
     true
 }
 
-/// L2-normalise each row in place (rows of zeros are left untouched).
-/// Rows are independent, so banding over them is value-neutral.
+/// L2-normalise each row in place. Rows are independent, so banding
+/// over them is value-neutral.
+///
+/// Degenerate rows — zero, subnormal-norm, or non-finite (an SGD step
+/// can drive an embedding there) — cannot be divided by their norm:
+/// `x / 0` turns the row into NaNs that then poison every model reading
+/// these pretrained vectors (MoSAN's user-context replacement, §IV-D).
+/// Such rows are *re-initialised* to the deterministic unit basis vector
+/// `e_{row mod dim}`: unit norm like every healthy row, independent of
+/// thread count and band layout, and a live embedding again instead of a
+/// permanently dead all-zero one.
 fn normalize_rows(t: &mut Tensor) {
     let d = t.cols();
     let band_rows = t.rows().div_ceil(pool::num_threads()).max(1);
-    pool::par_chunks_mut(t.data_mut(), band_rows * d, |_, band| {
-        for row in band.chunks_mut(d) {
+    pool::par_chunks_mut(t.data_mut(), band_rows * d, |band_idx, band| {
+        for (j, row) in band.chunks_mut(d).enumerate() {
             let norm: f32 = row.iter().map(|x| x * x).sum::<f32>().sqrt();
-            if norm > 1e-12 {
+            if norm > 1e-12 && norm.is_finite() {
                 for x in row {
                     *x /= norm;
                 }
+            } else {
+                let r = band_idx * band_rows + j;
+                row.fill(0.0);
+                row[r % d] = 1.0;
             }
         }
     });
@@ -267,6 +280,62 @@ mod tests {
         let b = train(&store, &cfg);
         assert_eq!(a.entities, b.entities);
         assert_eq!(a.relations, b.relations);
+    }
+
+    /// An adversarially zeroed row must not become NaN (the old
+    /// divide-by-zero hazard) — it is re-initialised to a unit basis
+    /// vector while every healthy row normalises exactly as before.
+    #[test]
+    fn normalize_rows_revives_zeroed_rows_without_nan() {
+        let d = 4;
+        let mut t = Tensor::zeros(3, d);
+        for i in 0..d {
+            *t.row_mut(0).get_mut(i).unwrap() = (i + 1) as f32;
+            *t.row_mut(2).get_mut(i).unwrap() = -(i as f32) - 0.5;
+        }
+        // row 1 stays all-zero — the adversarial input
+        let mut reference = t.clone();
+        normalize_rows(&mut t);
+        assert!(t.data().iter().all(|x| x.is_finite()), "NaN/inf leaked: {:?}", t.data());
+        for r in [0usize, 1, 2] {
+            let norm: f32 = t.row(r).iter().map(|x| x * x).sum::<f32>().sqrt();
+            assert!((norm - 1.0).abs() < 1e-5, "row {r} norm {norm}");
+        }
+        // the zero row became the deterministic basis vector e_{1 % d}
+        assert_eq!(t.row(1), [0.0, 1.0, 0.0, 0.0]);
+        // healthy rows match a hand-rolled normalisation
+        for r in [0usize, 2] {
+            let norm: f32 = reference.row(r).iter().map(|x| x * x).sum::<f32>().sqrt();
+            for x in reference.row_mut(r) {
+                *x /= norm;
+            }
+            assert_eq!(t.row(r), reference.row(r), "row {r} changed semantics");
+        }
+    }
+
+    /// Subnormal and non-finite rows take the re-init path too, and the
+    /// result is bit-identical at any thread count (the basis index is a
+    /// function of the absolute row, not the band layout).
+    #[test]
+    fn normalize_rows_degenerate_rows_thread_invariant() {
+        use kgag_tensor::pool::with_threads;
+        let d = 3;
+        let build = || {
+            let mut t = Tensor::zeros(7, d);
+            *t.row_mut(1).get_mut(0).unwrap() = 1e-30; // subnormal norm
+            *t.row_mut(3).get_mut(2).unwrap() = f32::NAN;
+            *t.row_mut(4).get_mut(1).unwrap() = f32::INFINITY;
+            *t.row_mut(6).get_mut(0).unwrap() = 2.0;
+            t
+        };
+        let mut reference = build();
+        with_threads(1, || normalize_rows(&mut reference));
+        assert!(reference.data().iter().all(|x| x.is_finite()));
+        for threads in [2usize, 3, 4] {
+            let mut t = build();
+            with_threads(threads, || normalize_rows(&mut t));
+            assert_eq!(t, reference, "diverged at {threads} threads");
+        }
     }
 
     #[test]

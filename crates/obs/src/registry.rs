@@ -51,6 +51,15 @@ impl Gauge {
         self.bits.store(v.to_bits(), Ordering::Relaxed);
     }
 
+    /// Adjust the gauge by `delta` atomically — the level-tracking
+    /// primitive (queue depths, in-flight request counts) where
+    /// concurrent writers would race a read-modify-`set`.
+    pub fn add(&self, delta: f64) {
+        let _ = self.bits.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |bits| {
+            Some((f64::from_bits(bits) + delta).to_bits())
+        });
+    }
+
     /// Current value.
     pub fn get(&self) -> f64 {
         f64::from_bits(self.bits.load(Ordering::Relaxed))
@@ -103,6 +112,17 @@ impl Histogram {
     /// Sum of all observations.
     pub fn sum(&self) -> u64 {
         self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Mean of all observations (0 when empty). Exact — computed from
+    /// the atomic sum/count, not the log2 buckets.
+    pub fn mean(&self) -> f64 {
+        let count = self.count();
+        if count == 0 {
+            0.0
+        } else {
+            self.sum() as f64 / count as f64
+        }
     }
 
     /// Upper bound of the bucket containing the `q`-quantile (0 when
@@ -222,6 +242,33 @@ mod tests {
         g.set(1.5);
         g.set(-2.25);
         assert_eq!(g.get(), -2.25);
+    }
+
+    #[test]
+    fn gauge_add_accumulates_deltas_across_threads() {
+        let g = gauge("test.gauge.add");
+        g.set(0.0);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..250 {
+                        g.add(1.0);
+                        g.add(-0.5);
+                    }
+                });
+            }
+        });
+        assert_eq!(g.get(), 500.0);
+    }
+
+    #[test]
+    fn histogram_mean_is_exact() {
+        let h = Histogram::default();
+        assert_eq!(h.mean(), 0.0);
+        for v in [10u64, 20, 60] {
+            h.record(v);
+        }
+        assert_eq!(h.mean(), 30.0);
     }
 
     #[test]

@@ -1,0 +1,316 @@
+//! The adaptive micro-batcher: one bounded queue, worker threads that
+//! fuse queued requests into `score_batch` calls under a latency
+//! budget, and a graceful drain on shutdown.
+//!
+//! Invariants (tested in `tests/serve_props.rs`, enforced end-to-end by
+//! the `serve_check` CI gate):
+//!
+//! * **Exactly-one response.** Every request accepted by
+//!   [`ServeHandle::submit`] resolves exactly once — scores, or a
+//!   terminal [`ServeError`]. Shutdown drains the queue; nothing
+//!   accepted is dropped, nothing is answered twice.
+//! * **Fusion is value-neutral.** Workers only ever *group* requests
+//!   into [`BatchGroupScorer::score_batch`] calls; they never reorder
+//!   scores within a request or mix rows across requests. With a
+//!   chunking-invariant scorer (the engine's `BatchScorer`), served
+//!   scores are bit-identical to any offline scoring of the same cases.
+//! * **Bounded memory.** The queue never exceeds
+//!   [`ServeConfig::queue_capacity`]; overflow is an immediate
+//!   [`ServeError::Rejected`], so a slow model sheds load instead of
+//!   accumulating it.
+
+use crate::config::ServeConfig;
+use crate::{ServeError, ServeResult};
+use kgag_eval::protocol::BatchGroupScorer;
+use kgag_tensor::pool;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::time::Instant;
+
+/// One queued request: what to score, when it expires, and where the
+/// answer goes. The response channel has capacity 1 and each request is
+/// answered at most once, so worker sends never block.
+struct Pending {
+    group: u32,
+    items: Vec<u32>,
+    deadline: Option<Instant>,
+    enqueued: Instant,
+    tx: mpsc::SyncSender<ServeResult>,
+}
+
+struct QueueState {
+    queue: VecDeque<Pending>,
+    /// `false` once shutdown is triggered: no new submissions, workers
+    /// drain the remainder and exit.
+    open: bool,
+}
+
+/// Telemetry handles, interned once per process. Recording is a few
+/// relaxed atomics — passive by the kgag-obs contract, so it never
+/// perturbs scores.
+struct Metrics {
+    accepted: Arc<kgag_obs::Counter>,
+    rejected: Arc<kgag_obs::Counter>,
+    deadline_missed: Arc<kgag_obs::Counter>,
+    responses: Arc<kgag_obs::Counter>,
+    batches: Arc<kgag_obs::Counter>,
+    queue_depth: Arc<kgag_obs::Gauge>,
+    batch_requests: Arc<kgag_obs::Histogram>,
+    latency_ns: Arc<kgag_obs::Histogram>,
+    batch_score_ns: Arc<kgag_obs::Histogram>,
+}
+
+impl Metrics {
+    fn new() -> Metrics {
+        Metrics {
+            accepted: kgag_obs::counter("serve.requests_accepted"),
+            rejected: kgag_obs::counter("serve.requests_rejected"),
+            deadline_missed: kgag_obs::counter("serve.deadline_missed"),
+            responses: kgag_obs::counter("serve.responses"),
+            batches: kgag_obs::counter("serve.batches"),
+            queue_depth: kgag_obs::gauge("serve.queue_depth"),
+            batch_requests: kgag_obs::histogram("serve.batch_requests"),
+            latency_ns: kgag_obs::histogram("serve.latency_ns"),
+            batch_score_ns: kgag_obs::histogram("serve.batch_score_ns"),
+        }
+    }
+}
+
+struct Shared {
+    state: Mutex<QueueState>,
+    cv: Condvar,
+    cfg: ServeConfig,
+    metrics: Metrics,
+    /// Live requests: accepted but not yet responded to. Lets tests and
+    /// the drain guard observe "everything answered" directly.
+    in_flight: AtomicUsize,
+}
+
+/// A cloneable client handle to a running batcher. All methods are
+/// callable from any thread.
+#[derive(Clone)]
+pub struct ServeHandle {
+    shared: Arc<Shared>,
+}
+
+/// An accepted request's pending response. [`wait`](Self::wait) blocks
+/// until the batcher resolves it.
+pub struct PendingResponse {
+    rx: mpsc::Receiver<ServeResult>,
+}
+
+impl PendingResponse {
+    /// Block until the request resolves. Returns
+    /// [`ServeError::Canceled`] only if the server died abnormally
+    /// before answering.
+    pub fn wait(self) -> ServeResult {
+        self.rx.recv().unwrap_or(Err(ServeError::Canceled))
+    }
+}
+
+impl ServeHandle {
+    /// Enqueue one scoring request. Returns immediately:
+    /// `Ok(PendingResponse)` when accepted, [`ServeError::Rejected`]
+    /// when the queue is full or the server has shut down. A `deadline`
+    /// in the past (relative to worker drain time) resolves to
+    /// [`ServeError::DeadlineMissed`] without scoring.
+    pub fn submit(
+        &self,
+        group: u32,
+        items: Vec<u32>,
+        deadline: Option<Instant>,
+    ) -> Result<PendingResponse, ServeError> {
+        let shared = &self.shared;
+        let (tx, rx) = mpsc::sync_channel(1);
+        {
+            let mut st = shared.state.lock().unwrap();
+            if !st.open || st.queue.len() >= shared.cfg.queue_capacity {
+                drop(st);
+                shared.metrics.rejected.add(1);
+                return Err(ServeError::Rejected);
+            }
+            st.queue.push_back(Pending { group, items, deadline, enqueued: Instant::now(), tx });
+        }
+        shared.in_flight.fetch_add(1, Ordering::Relaxed);
+        shared.metrics.accepted.add(1);
+        shared.metrics.queue_depth.add(1.0);
+        shared.cv.notify_one();
+        Ok(PendingResponse { rx })
+    }
+
+    /// Submit and block for the scores — the synchronous convenience
+    /// used by per-connection server threads.
+    pub fn score(&self, group: u32, items: Vec<u32>) -> ServeResult {
+        self.submit(group, items, None)?.wait()
+    }
+
+    /// Like [`score`](Self::score) with an absolute expiry.
+    pub fn score_by(&self, group: u32, items: Vec<u32>, deadline: Instant) -> ServeResult {
+        self.submit(group, items, Some(deadline))?.wait()
+    }
+
+    /// Stop accepting new requests and wake every worker. Idempotent.
+    /// Already-accepted requests are still drained and answered.
+    pub fn shutdown(&self) {
+        let mut st = self.shared.state.lock().unwrap();
+        st.open = false;
+        drop(st);
+        self.shared.cv.notify_all();
+    }
+
+    /// Is the batcher still accepting submissions?
+    pub fn is_open(&self) -> bool {
+        self.shared.state.lock().unwrap().open
+    }
+
+    /// Requests currently queued (not yet picked up by a worker).
+    pub fn queue_depth(&self) -> usize {
+        self.shared.state.lock().unwrap().queue.len()
+    }
+
+    /// Requests accepted but not yet responded to (queued or scoring).
+    pub fn in_flight(&self) -> usize {
+        self.shared.in_flight.load(Ordering::Relaxed)
+    }
+}
+
+/// Run a batching server over `scorer` for the duration of `f`.
+///
+/// Spawns [`ServeConfig::workers`] worker threads borrowing `scorer`,
+/// hands `f` a [`ServeHandle`] (clone it into as many client threads as
+/// needed), and on exit — *including* a panic inside `f` — triggers
+/// shutdown, drains every accepted request, and joins the workers
+/// before returning. The caller's pool thread-count override is
+/// captured here and re-applied inside each worker, since the pool's
+/// thread-local override does not propagate to newly spawned threads.
+pub fn serve_in_process<S, R>(
+    scorer: &S,
+    config: &ServeConfig,
+    f: impl FnOnce(ServeHandle) -> R,
+) -> R
+where
+    S: BatchGroupScorer + Sync,
+{
+    let shared = Arc::new(Shared {
+        state: Mutex::new(QueueState { queue: VecDeque::new(), open: true }),
+        cv: Condvar::new(),
+        cfg: config.clone(),
+        metrics: Metrics::new(),
+        in_flight: AtomicUsize::new(0),
+    });
+    let handle = ServeHandle { shared: Arc::clone(&shared) };
+    let threads = pool::num_threads();
+    std::thread::scope(|s| {
+        for _ in 0..shared.cfg.workers.max(1) {
+            let shared = Arc::clone(&shared);
+            s.spawn(move || pool::with_threads(threads, || worker_loop(scorer, &shared)));
+        }
+        // Shutdown must fire even if `f` unwinds: thread::scope joins
+        // workers before propagating the panic, and workers only exit
+        // once the queue is closed — without this guard a panic in `f`
+        // would deadlock the join.
+        let _drain = DrainGuard(handle.clone());
+        f(handle)
+    })
+}
+
+struct DrainGuard(ServeHandle);
+
+impl Drop for DrainGuard {
+    fn drop(&mut self) {
+        self.0.shutdown();
+    }
+}
+
+/// One worker: wait for work, hold the batch window open, drain a
+/// chunk, score, respond; exit when the queue is closed *and* empty.
+fn worker_loop<S: BatchGroupScorer + ?Sized>(scorer: &S, shared: &Shared) {
+    let cfg = &shared.cfg;
+    loop {
+        let mut st = shared.state.lock().unwrap();
+        while st.queue.is_empty() && st.open {
+            st = shared.cv.wait(st).unwrap();
+        }
+        if st.queue.is_empty() {
+            return; // closed and fully drained
+        }
+        // Adaptive window: the first request of a batch waits up to
+        // `batch_window` for company, but a full chunk or a shutdown
+        // flushes immediately.
+        if st.open && st.queue.len() < cfg.max_batch && !cfg.batch_window.is_zero() {
+            let window_end = Instant::now() + cfg.batch_window;
+            loop {
+                let now = Instant::now();
+                if now >= window_end || st.queue.len() >= cfg.max_batch || !st.open {
+                    break;
+                }
+                let (guard, _) = shared.cv.wait_timeout(st, window_end - now).unwrap();
+                st = guard;
+            }
+        }
+        let take = st.queue.len().min(cfg.max_batch);
+        let batch: Vec<Pending> = st.queue.drain(..take).collect();
+        let backlog = !st.queue.is_empty();
+        drop(st);
+        if backlog {
+            // Leftovers belong to the next batch; wake a peer so they
+            // are not stranded until the next submission's notify.
+            shared.cv.notify_one();
+        }
+        shared.metrics.queue_depth.add(-(take as f64));
+        shared.metrics.batches.add(1);
+        shared.metrics.batch_requests.record(take as u64);
+        score_and_respond(scorer, shared, batch);
+    }
+}
+
+fn score_and_respond<S: BatchGroupScorer + ?Sized>(
+    scorer: &S,
+    shared: &Shared,
+    batch: Vec<Pending>,
+) {
+    // Expired requests are dropped *before* scoring — their slots do not
+    // inflate the fused batch.
+    let now = Instant::now();
+    let mut live = Vec::with_capacity(batch.len());
+    for p in batch {
+        if p.deadline.is_some_and(|d| d < now) {
+            shared.metrics.deadline_missed.add(1);
+            respond(shared, &p.tx, Err(ServeError::DeadlineMissed));
+        } else {
+            live.push(p);
+        }
+    }
+    if live.is_empty() {
+        return;
+    }
+    let mut cases = Vec::with_capacity(live.len());
+    let mut meta = Vec::with_capacity(live.len());
+    for p in live {
+        cases.push((p.group, p.items));
+        meta.push((p.tx, p.enqueued));
+    }
+    let t0 = Instant::now();
+    let scores = scorer.score_batch(&cases);
+    shared.metrics.batch_score_ns.record(t0.elapsed().as_nanos() as u64);
+    assert_eq!(
+        scores.len(),
+        meta.len(),
+        "scorer broke the BatchGroupScorer contract: {} cases, {} score rows",
+        meta.len(),
+        scores.len()
+    );
+    for (row, (tx, enqueued)) in scores.into_iter().zip(meta) {
+        shared.metrics.latency_ns.record(enqueued.elapsed().as_nanos() as u64);
+        respond(shared, &tx, Ok(row));
+    }
+}
+
+fn respond(shared: &Shared, tx: &mpsc::SyncSender<ServeResult>, result: ServeResult) {
+    shared.metrics.responses.add(1);
+    shared.in_flight.fetch_sub(1, Ordering::Relaxed);
+    // A client that dropped its PendingResponse just discards the
+    // answer; that must not take the worker down.
+    let _ = tx.send(result);
+}

@@ -1,0 +1,85 @@
+//! # kgag-serve
+//!
+//! A concurrent scoring front-end over any
+//! [`BatchGroupScorer`](kgag_eval::protocol::BatchGroupScorer): load a
+//! model once, share it read-only across threads, and turn many small
+//! independent `(group, candidates)` requests into the large fused
+//! batches the inference engine is fast at.
+//!
+//! The core is an **adaptive micro-batcher** ([`batcher`]): requests
+//! from any number of client threads land in one bounded queue; worker
+//! threads drain it in chunks, waiting up to a configurable latency
+//! budget ([`ServeConfig::batch_window`]) for more requests to fuse
+//! before calling
+//! [`score_batch`](kgag_eval::protocol::BatchGroupScorer::score_batch)
+//! once per chunk.
+//! Because the engine's batched scorer is bit-identical at *any*
+//! chunking (the PR 4 oracle guarantee, re-enforced for serving by
+//! `crates/bench/src/bin/serve_check.rs`), fusing arbitrary interleavings
+//! of concurrent requests is value-neutral: every client receives
+//! exactly the scores the offline evaluation path would have produced.
+//!
+//! Three layers, innermost first:
+//!
+//! * [`serve_in_process`] — spawn workers over a borrowed scorer, hand
+//!   the caller a cloneable [`ServeHandle`], drain gracefully on exit.
+//!   This is the API the CI bit-identity gate and the TCP layer build on.
+//! * [`wire`] — a tiny length-prefixed binary protocol (little-endian,
+//!   `u32` frame length) for request/response over a byte stream.
+//! * [`serve_tcp`] / [`ServeClient`] — a loopback-first TCP server:
+//!   one OS thread per connection feeding the shared batcher, shutdown
+//!   via a [`ShutdownToken`].
+//!
+//! Delivery contract: every request accepted by [`ServeHandle::submit`]
+//! receives **exactly one** response — a score vector, or a terminal
+//! [`ServeError`] — even across shutdown. Backpressure is explicit:
+//! submissions beyond [`ServeConfig::queue_capacity`] are rejected
+//! immediately rather than queued unboundedly.
+//!
+//! Everything is std-only, in keeping with the workspace's hermetic
+//! build policy (DESIGN.md §"Hermetic builds"); telemetry flows through
+//! `kgag-obs` under the `serve.*` namespace (DESIGN.md §12).
+
+pub mod batcher;
+pub mod config;
+pub mod server;
+pub mod wire;
+
+pub use batcher::{serve_in_process, PendingResponse, ServeHandle};
+pub use config::ServeConfig;
+pub use server::{serve_tcp, ServeClient, ShutdownToken};
+
+/// Terminal, per-request failure modes. Every accepted request resolves
+/// to scores or to exactly one of these.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ServeError {
+    /// The queue was at capacity, or the server had stopped accepting
+    /// (shutdown already triggered). The request was never enqueued.
+    Rejected,
+    /// The request sat in the queue past its deadline and was dropped
+    /// unscored.
+    DeadlineMissed,
+    /// The server terminated before producing a response (worker
+    /// panic). Accepted requests only see this on abnormal exit —
+    /// graceful shutdown drains the queue instead.
+    Canceled,
+    /// The wire-level request could not be decoded.
+    Invalid,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            ServeError::Rejected => "rejected: queue full or server shut down",
+            ServeError::DeadlineMissed => "deadline missed before scoring",
+            ServeError::Canceled => "server terminated before responding",
+            ServeError::Invalid => "malformed request",
+        })
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// What a request resolves to: scores aligned with the submitted items,
+/// or a terminal error.
+pub type ServeResult = Result<Vec<f32>, ServeError>;

@@ -1,0 +1,200 @@
+//! The loopback-first TCP front door and its client.
+//!
+//! Threading model: one acceptor loop (the caller's thread inside
+//! [`serve_tcp`]), one OS thread per connection, all feeding the shared
+//! [`crate::batcher`] — concurrency across clients comes from multiple
+//! connections, while each connection handles its requests in order
+//! (responses are written in request order, so the client can pipeline
+//! frames and match them by correlation id).
+//!
+//! Shutdown: trigger the [`ShutdownToken`]. The acceptor stops taking
+//! connections, per-connection threads finish their buffered requests
+//! and close, the batcher drains everything accepted, and
+//! [`serve_tcp`] returns. In-flight requests are answered, never
+//! dropped — the same exactly-one-response contract as the in-process
+//! layer.
+
+use crate::batcher::{serve_in_process, ServeHandle};
+use crate::config::ServeConfig;
+use crate::wire::{self, Request, Response};
+use crate::{ServeError, ServeResult};
+use kgag_eval::protocol::BatchGroupScorer;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// How often the acceptor re-checks the shutdown token while idle.
+const ACCEPT_POLL: Duration = Duration::from_millis(2);
+/// Read timeout per connection: the cadence at which handlers notice a
+/// triggered token on an otherwise-quiet socket.
+const READ_POLL: Duration = Duration::from_millis(50);
+
+/// A cloneable one-way shutdown switch shared between the server and
+/// whoever decides it is done (signal handler, test, CLI stdin watcher).
+#[derive(Clone, Default)]
+pub struct ShutdownToken(Arc<AtomicBool>);
+
+impl ShutdownToken {
+    pub fn new() -> ShutdownToken {
+        ShutdownToken::default()
+    }
+
+    /// Flip the switch. Idempotent; never blocks.
+    pub fn trigger(&self) {
+        self.0.store(true, Ordering::Release);
+    }
+
+    pub fn is_triggered(&self) -> bool {
+        self.0.load(Ordering::Acquire)
+    }
+}
+
+/// Serve `scorer` over TCP until `token` is triggered.
+///
+/// Binds `addr` (use `127.0.0.1:0` for an ephemeral loopback port),
+/// reports the bound address through `on_ready` once the batcher is
+/// accepting, then runs the accept loop on the calling thread. Returns
+/// after a graceful drain: every request accepted before shutdown has
+/// been answered and all connection threads have exited.
+pub fn serve_tcp<S>(
+    scorer: &S,
+    config: &ServeConfig,
+    addr: &str,
+    token: &ShutdownToken,
+    on_ready: impl FnOnce(SocketAddr),
+) -> std::io::Result<()>
+where
+    S: BatchGroupScorer + Sync,
+{
+    let listener = TcpListener::bind(addr)?;
+    listener.set_nonblocking(true)?;
+    let local = listener.local_addr()?;
+    serve_in_process(scorer, config, |handle| {
+        on_ready(local);
+        std::thread::scope(|s| {
+            while !token.is_triggered() {
+                match listener.accept() {
+                    Ok((stream, _peer)) => {
+                        let handle = handle.clone();
+                        let token = token.clone();
+                        s.spawn(move || handle_connection(stream, handle, token));
+                    }
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => std::thread::sleep(ACCEPT_POLL),
+                    Err(e) => {
+                        // transient accept failures (e.g. EMFILE) must
+                        // not kill the server; connections already open
+                        // keep working
+                        eprintln!("[kgag-serve] accept error: {e}");
+                        std::thread::sleep(ACCEPT_POLL);
+                    }
+                }
+            }
+        });
+    });
+    Ok(())
+}
+
+/// Per-connection loop: accumulate bytes, peel complete frames, answer
+/// each in order. Partial frames survive read timeouts — the buffer is
+/// only advanced on whole frames, so a client dribbling bytes across
+/// timeout boundaries is handled correctly.
+fn handle_connection(stream: TcpStream, handle: ServeHandle, token: ShutdownToken) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(READ_POLL));
+    let mut stream = stream;
+    let mut buf: Vec<u8> = Vec::new();
+    let mut tmp = [0u8; 4096];
+    loop {
+        loop {
+            match wire::take_frame(&mut buf) {
+                Ok(Some(payload)) => {
+                    if !answer(&mut stream, &handle, &payload) {
+                        return;
+                    }
+                }
+                Ok(None) => break,
+                // an invalid length prefix poisons the stream: there is
+                // no way to resynchronise, so drop the connection
+                Err(_) => return,
+            }
+        }
+        if token.is_triggered() {
+            return;
+        }
+        match stream.read(&mut tmp) {
+            Ok(0) => return, // client closed
+            Ok(n) => buf.extend_from_slice(&tmp[..n]),
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {}
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => return,
+        }
+    }
+}
+
+/// Decode, score through the batcher, write the response. Returns
+/// `false` when the connection is unusable and should close.
+fn answer(stream: &mut TcpStream, handle: &ServeHandle, payload: &[u8]) -> bool {
+    let result: (u64, ServeResult) = match wire::decode_request(payload) {
+        Ok(req) => {
+            let deadline = (req.deadline_us > 0)
+                .then(|| Instant::now() + Duration::from_micros(req.deadline_us));
+            let outcome = match handle.submit(req.group, req.items, deadline) {
+                Ok(pending) => pending.wait(),
+                Err(e) => Err(e),
+            };
+            (req.id, outcome)
+        }
+        Err(_) => (wire::salvage_id(payload), Err(ServeError::Invalid)),
+    };
+    let frame = wire::encode_response(&Response::from_result(result.0, result.1));
+    wire::write_frame(stream, &frame).is_ok()
+}
+
+/// A blocking client for the wire protocol — what the `kgag serve`
+/// smoke mode, the CI gate's load generator and the serving bench use.
+pub struct ServeClient {
+    stream: TcpStream,
+    next_id: u64,
+}
+
+impl ServeClient {
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> std::io::Result<ServeClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(ServeClient { stream, next_id: 1 })
+    }
+
+    /// Score one candidate list; blocks for the response. The outer
+    /// `Err` is transport failure, the inner [`ServeResult`] is the
+    /// server's verdict.
+    pub fn score(&mut self, group: u32, items: &[u32]) -> std::io::Result<ServeResult> {
+        self.score_with_deadline_us(group, items, 0)
+    }
+
+    /// Like [`score`](Self::score) with a latency budget in µs (0 = none).
+    pub fn score_with_deadline_us(
+        &mut self,
+        group: u32,
+        items: &[u32],
+        deadline_us: u64,
+    ) -> std::io::Result<ServeResult> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let frame =
+            wire::encode_request(&Request { id, group, deadline_us, items: items.to_vec() });
+        self.stream.write_all(&frame)?;
+        self.stream.flush()?;
+        let payload = wire::read_frame(&mut self.stream)?;
+        let resp = wire::decode_response(&payload)
+            .map_err(|e| std::io::Error::new(ErrorKind::InvalidData, e))?;
+        if resp.id != id {
+            return Err(std::io::Error::new(
+                ErrorKind::InvalidData,
+                format!("response id {} for request {id}", resp.id),
+            ));
+        }
+        Ok(resp.into_result())
+    }
+}

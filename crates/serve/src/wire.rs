@@ -1,0 +1,342 @@
+//! The length-prefixed binary serving protocol.
+//!
+//! Every message is one **frame**: a little-endian `u32` payload length
+//! followed by the payload. Payload layouts (all integers little-endian):
+//!
+//! ```text
+//! request  := id:u64  group:u32  deadline_us:u64  n:u32  items:[u32; n]
+//! response := id:u64  status:u8  n:u32  scores:[f32-bits; n]
+//! ```
+//!
+//! `deadline_us == 0` means no deadline; otherwise it is a budget in
+//! microseconds relative to server receipt. `status` maps to
+//! [`ServeError`] ([`Status::Ok`] carries scores, every other status
+//! carries `n == 0`). Scores travel as raw `f32` bit patterns, so the
+//! protocol preserves bit-identity end to end — the serve CI gate
+//! compares served bytes against offline evaluation exactly.
+//!
+//! Frames larger than [`MAX_FRAME`] are rejected without allocation, so
+//! a malformed or hostile length prefix cannot balloon server memory.
+
+use crate::{ServeError, ServeResult};
+use std::io::{self, Read, Write};
+
+/// Upper bound on one frame's payload (16 MiB — thousands of candidate
+/// lists; real requests are a few hundred bytes).
+pub const MAX_FRAME: usize = 16 << 20;
+
+/// A decoded scoring request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Request {
+    /// Client-chosen correlation id, echoed verbatim in the response.
+    pub id: u64,
+    /// Group to score for.
+    pub group: u32,
+    /// Latency budget in µs from server receipt; 0 = none.
+    pub deadline_us: u64,
+    /// Candidate items, scored in order.
+    pub items: Vec<u32>,
+}
+
+/// Response status byte.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Status {
+    Ok = 0,
+    Rejected = 1,
+    DeadlineMissed = 2,
+    Canceled = 3,
+    Invalid = 4,
+}
+
+impl Status {
+    fn from_byte(b: u8) -> Option<Status> {
+        match b {
+            0 => Some(Status::Ok),
+            1 => Some(Status::Rejected),
+            2 => Some(Status::DeadlineMissed),
+            3 => Some(Status::Canceled),
+            4 => Some(Status::Invalid),
+            _ => None,
+        }
+    }
+}
+
+/// A decoded scoring response.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Response {
+    /// The request's correlation id.
+    pub id: u64,
+    pub status: Status,
+    /// Aligned with the request's items; empty unless `status` is `Ok`.
+    pub scores: Vec<f32>,
+}
+
+impl Response {
+    /// Build the wire response for a batcher result.
+    pub fn from_result(id: u64, result: ServeResult) -> Response {
+        match result {
+            Ok(scores) => Response { id, status: Status::Ok, scores },
+            Err(e) => Response {
+                id,
+                status: match e {
+                    ServeError::Rejected => Status::Rejected,
+                    ServeError::DeadlineMissed => Status::DeadlineMissed,
+                    ServeError::Canceled => Status::Canceled,
+                    ServeError::Invalid => Status::Invalid,
+                },
+                scores: Vec::new(),
+            },
+        }
+    }
+
+    /// The client-side inverse of [`from_result`](Self::from_result).
+    pub fn into_result(self) -> ServeResult {
+        match self.status {
+            Status::Ok => Ok(self.scores),
+            Status::Rejected => Err(ServeError::Rejected),
+            Status::DeadlineMissed => Err(ServeError::DeadlineMissed),
+            Status::Canceled => Err(ServeError::Canceled),
+            Status::Invalid => Err(ServeError::Invalid),
+        }
+    }
+}
+
+/// Encode a request as one frame (length prefix included).
+pub fn encode_request(req: &Request) -> Vec<u8> {
+    let payload_len = 8 + 4 + 8 + 4 + 4 * req.items.len();
+    let mut out = Vec::with_capacity(4 + payload_len);
+    out.extend_from_slice(&(payload_len as u32).to_le_bytes());
+    out.extend_from_slice(&req.id.to_le_bytes());
+    out.extend_from_slice(&req.group.to_le_bytes());
+    out.extend_from_slice(&req.deadline_us.to_le_bytes());
+    out.extend_from_slice(&(req.items.len() as u32).to_le_bytes());
+    for &v in &req.items {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+/// Decode a request payload (frame prefix already stripped).
+pub fn decode_request(payload: &[u8]) -> Result<Request, String> {
+    let mut c = Cursor { buf: payload, pos: 0 };
+    let id = c.u64()?;
+    let group = c.u32()?;
+    let deadline_us = c.u64()?;
+    let n = c.u32()? as usize;
+    if payload.len() - c.pos != 4 * n {
+        return Err(format!(
+            "item count {n} disagrees with payload ({} trailing bytes)",
+            payload.len() - c.pos
+        ));
+    }
+    let mut items = Vec::with_capacity(n);
+    for _ in 0..n {
+        items.push(c.u32()?);
+    }
+    Ok(Request { id, group, deadline_us, items })
+}
+
+/// Best-effort correlation id of a payload that failed to decode, so
+/// the error response still reaches the right caller.
+pub fn salvage_id(payload: &[u8]) -> u64 {
+    if payload.len() >= 8 {
+        u64::from_le_bytes(payload[..8].try_into().unwrap())
+    } else {
+        0
+    }
+}
+
+/// Encode a response as one frame (length prefix included).
+pub fn encode_response(resp: &Response) -> Vec<u8> {
+    let payload_len = 8 + 1 + 4 + 4 * resp.scores.len();
+    let mut out = Vec::with_capacity(4 + payload_len);
+    out.extend_from_slice(&(payload_len as u32).to_le_bytes());
+    out.extend_from_slice(&resp.id.to_le_bytes());
+    out.push(resp.status as u8);
+    out.extend_from_slice(&(resp.scores.len() as u32).to_le_bytes());
+    for &s in &resp.scores {
+        out.extend_from_slice(&s.to_bits().to_le_bytes());
+    }
+    out
+}
+
+/// Decode a response payload (frame prefix already stripped).
+pub fn decode_response(payload: &[u8]) -> Result<Response, String> {
+    let mut c = Cursor { buf: payload, pos: 0 };
+    let id = c.u64()?;
+    let status = Status::from_byte(c.u8()?).ok_or_else(|| "unknown status byte".to_owned())?;
+    let n = c.u32()? as usize;
+    if payload.len() - c.pos != 4 * n {
+        return Err(format!("score count {n} disagrees with payload"));
+    }
+    let mut scores = Vec::with_capacity(n);
+    for _ in 0..n {
+        scores.push(f32::from_bits(c.u32()?));
+    }
+    Ok(Response { id, status, scores })
+}
+
+/// If `buf` starts with a complete frame, split off and return its
+/// payload. `Ok(None)` means more bytes are needed; `Err` means the
+/// length prefix itself is invalid and the stream is unrecoverable.
+pub fn take_frame(buf: &mut Vec<u8>) -> Result<Option<Vec<u8>>, String> {
+    if buf.len() < 4 {
+        return Ok(None);
+    }
+    let len = u32::from_le_bytes(buf[..4].try_into().unwrap()) as usize;
+    if len > MAX_FRAME {
+        return Err(format!("frame of {len} bytes exceeds MAX_FRAME ({MAX_FRAME})"));
+    }
+    if buf.len() < 4 + len {
+        return Ok(None);
+    }
+    let payload = buf[4..4 + len].to_vec();
+    buf.drain(..4 + len);
+    Ok(Some(payload))
+}
+
+/// Blocking-read one full frame's payload from `r` (client side: the
+/// socket has no read timeout, so `read_exact` framing is safe).
+pub fn read_frame(r: &mut impl Read) -> io::Result<Vec<u8>> {
+    let mut len_buf = [0u8; 4];
+    r.read_exact(&mut len_buf)?;
+    let len = u32::from_le_bytes(len_buf) as usize;
+    if len > MAX_FRAME {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "frame exceeds MAX_FRAME"));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(payload)
+}
+
+/// Write one pre-encoded frame.
+pub fn write_frame(w: &mut impl Write, frame: &[u8]) -> io::Result<()> {
+    w.write_all(frame)?;
+    w.flush()
+}
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl Cursor<'_> {
+    fn take(&mut self, n: usize) -> Result<&[u8], String> {
+        if self.pos + n > self.buf.len() {
+            return Err(format!("truncated payload at byte {}", self.pos));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, String> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, String> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, String> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_roundtrips() {
+        let req = Request { id: 42, group: 7, deadline_us: 1500, items: vec![0, 1, 99, u32::MAX] };
+        let frame = encode_request(&req);
+        let mut buf = frame.clone();
+        let payload = take_frame(&mut buf).unwrap().expect("complete frame");
+        assert!(buf.is_empty());
+        assert_eq!(decode_request(&payload).unwrap(), req);
+    }
+
+    #[test]
+    fn response_roundtrips_bit_exactly() {
+        // adversarial f32 bit patterns: -0.0, subnormal, NaN payload, inf
+        let scores =
+            vec![0.5f32, -0.0, f32::from_bits(1), f32::from_bits(0x7fc0_dead), f32::INFINITY];
+        let resp = Response { id: 9, status: Status::Ok, scores };
+        let frame = encode_response(&resp);
+        let mut buf = frame;
+        let payload = take_frame(&mut buf).unwrap().unwrap();
+        let back = decode_response(&payload).unwrap();
+        assert_eq!(back.id, 9);
+        assert_eq!(back.status, Status::Ok);
+        let a: Vec<u32> = resp.scores.iter().map(|s| s.to_bits()).collect();
+        let b: Vec<u32> = back.scores.iter().map(|s| s.to_bits()).collect();
+        assert_eq!(a, b, "scores must survive the wire bit-exactly");
+    }
+
+    #[test]
+    fn error_statuses_roundtrip_through_results() {
+        for err in [
+            ServeError::Rejected,
+            ServeError::DeadlineMissed,
+            ServeError::Canceled,
+            ServeError::Invalid,
+        ] {
+            let resp = Response::from_result(3, Err(err));
+            let back = decode_response(&encode_response(&resp)[4..]).unwrap();
+            assert_eq!(back.into_result(), Err(err));
+        }
+    }
+
+    #[test]
+    fn take_frame_handles_partial_and_split_frames() {
+        let req = Request { id: 1, group: 0, deadline_us: 0, items: vec![5, 6] };
+        let frame = encode_request(&req);
+        let mut buf = Vec::new();
+        // feed the frame one byte at a time: no prefix of it decodes
+        for (i, &b) in frame.iter().enumerate() {
+            buf.push(b);
+            let got = take_frame(&mut buf).unwrap();
+            if i + 1 < frame.len() {
+                assert!(got.is_none(), "byte {i}: incomplete frame must not decode");
+            } else {
+                assert_eq!(decode_request(&got.unwrap()).unwrap(), req);
+            }
+        }
+        // two frames back-to-back come out in order
+        let r2 = Request { id: 2, group: 1, deadline_us: 9, items: vec![] };
+        let mut buf = [encode_request(&req), encode_request(&r2)].concat();
+        assert_eq!(decode_request(&take_frame(&mut buf).unwrap().unwrap()).unwrap(), req);
+        assert_eq!(decode_request(&take_frame(&mut buf).unwrap().unwrap()).unwrap(), r2);
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected() {
+        let mut buf = ((MAX_FRAME + 1) as u32).to_le_bytes().to_vec();
+        assert!(take_frame(&mut buf).is_err());
+    }
+
+    #[test]
+    fn truncated_payloads_are_invalid_not_panics() {
+        let req = Request { id: 8, group: 2, deadline_us: 0, items: vec![1, 2, 3] };
+        let frame = encode_request(&req);
+        let payload = &frame[4..];
+        for cut in 0..payload.len() {
+            assert!(decode_request(&payload[..cut]).is_err(), "cut at {cut} must not decode");
+        }
+        // declared item count larger than the payload
+        let mut lying = payload.to_vec();
+        let n_off = 8 + 4 + 8;
+        lying[n_off..n_off + 4].copy_from_slice(&1000u32.to_le_bytes());
+        assert!(decode_request(&lying).is_err());
+    }
+
+    #[test]
+    fn salvage_id_recovers_what_it_can() {
+        let req = Request { id: 0xdead_beef_cafe, group: 0, deadline_us: 0, items: vec![] };
+        let frame = encode_request(&req);
+        assert_eq!(salvage_id(&frame[4..]), 0xdead_beef_cafe);
+        assert_eq!(salvage_id(&[1, 2, 3]), 0);
+    }
+}

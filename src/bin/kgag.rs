@@ -7,12 +7,16 @@
 //! kgag explain [--scale ..] [--dataset ..] [--epochs N] --group G [--item V]
 //! kgag import  --name NAME --users N --items M \
 //!              --interactions FILE --kg FILE --groups FILE [--epochs N]
+//! kgag serve   [--scale ..] [--dataset ..] [--epochs N] [--seed N]
+//!              [--checkpoint PATH] [--addr HOST:PORT]
 //! ```
 //!
 //! `train` reports validation and test metrics under the shared
 //! protocol and can persist the trained parameters; `import` runs the
 //! same pipeline on user-provided TSV files (see
-//! `kgag_data::import` for the formats).
+//! `kgag_data::import` for the formats); `serve` exposes a trained
+//! model over the `kgag_serve` wire protocol (DESIGN.md §12) until
+//! stdin closes.
 
 use kgag::harness::{eval_cases, EvalBucket};
 use kgag::{Kgag, KgagConfig};
@@ -43,6 +47,7 @@ fn main() -> ExitCode {
         "train" => cmd_train(&opts),
         "explain" => cmd_explain(&opts),
         "import" => cmd_import(&opts),
+        "serve" => cmd_serve(&opts),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -71,9 +76,16 @@ USAGE:
     kgag explain [--scale S] [--dataset D] [--epochs N] --group G [--item V]
     kgag import  --name NAME --users N --items M --interactions FILE
                  --kg FILE --groups FILE [--epochs N] [--json]
+    kgag serve   [--scale S] [--dataset D] [--epochs N] [--seed N]
+                 [--checkpoint PATH] [--addr HOST:PORT]
 
 --batched evaluates through the receptive-field-cached batch scorer
 (bit-identical metrics, faster; see KGAG_RF_CACHE / KGAG_EVAL_BATCH).
+serve loads --checkpoint if the file exists (training and writing it
+otherwise), binds --addr (default 127.0.0.1:0, port printed on stdout)
+and scores requests until stdin reaches EOF or reads \"quit\". Batching
+knobs: KGAG_SERVE_BATCH_WINDOW_US, KGAG_SERVE_MAX_BATCH,
+KGAG_SERVE_QUEUE, KGAG_SERVE_WORKERS.
 Formats for `import` are documented in kgag_data::import: interactions
 as `user<TAB>item`, KG as `head<TAB>rel<TAB>tail` (items = entities
 0..M), groups as `m1,m2,...<TAB>v1,v2,...`.";
@@ -213,6 +225,80 @@ fn cmd_explain(opts: &Flags) -> Result<(), String> {
         }
     };
     println!("\n{}", model.explain(group, item));
+    Ok(())
+}
+
+fn cmd_serve(opts: &Flags) -> Result<(), String> {
+    use kgag_serve::{serve_tcp, ServeConfig, ShutdownToken};
+    let ds = dataset(opts)?;
+    let cfg = config(opts)?;
+    let epochs = cfg.epochs;
+    let split = split_dataset(&ds, 0x5eed);
+    let mut model = Kgag::new(&ds, &split, cfg);
+    // load the checkpoint when it exists; otherwise train and (if a path
+    // was given) persist, so repeated `kgag serve --checkpoint P` runs
+    // train exactly once
+    match opts.get("checkpoint").filter(|p| std::path::Path::new(p.as_str()).is_file()) {
+        Some(path) => {
+            let bytes = std::fs::read(path).map_err(|e| format!("--checkpoint {path}: {e}"))?;
+            let n = model.load_checkpoint(&bytes).map_err(|e| e.to_string())?;
+            eprintln!("restored {n} tensors from {path}");
+        }
+        None => {
+            eprintln!("no checkpoint to load; training {epochs} epochs on {} first...", ds.name);
+            model.fit(&split);
+            if let Some(path) = opts.get("checkpoint") {
+                std::fs::write(path, model.save_checkpoint()).map_err(|e| e.to_string())?;
+                eprintln!("checkpoint written to {path}");
+            }
+        }
+    }
+    let scorer = model.batch_scorer();
+    match scorer.cache_bytes() {
+        Some(b) => eprintln!("receptive-field cache resident: {:.1} KiB", b as f64 / 1024.0),
+        None => eprintln!("receptive-field cache disabled"),
+    }
+    let serve_cfg = ServeConfig::from_env();
+    let addr = opts.get("addr").cloned().unwrap_or_else(|| "127.0.0.1:0".into());
+    let token = ShutdownToken::new();
+    {
+        // closing stdin (or typing "quit") is the shutdown signal — it
+        // works under pipes, terminals and process supervisors alike
+        let token = token.clone();
+        std::thread::spawn(move || {
+            let mut line = String::new();
+            loop {
+                line.clear();
+                match std::io::stdin().read_line(&mut line) {
+                    Ok(0) | Err(_) => break,
+                    Ok(_) if line.trim() == "quit" => break,
+                    Ok(_) => {}
+                }
+            }
+            token.trigger();
+        });
+    }
+    serve_tcp(&scorer, &serve_cfg, &addr, &token, |bound| {
+        println!("serving on {bound}");
+        eprintln!(
+            "batch window {:?}, max batch {}, queue {}, workers {} — close stdin or type \
+             \"quit\" to stop",
+            serve_cfg.batch_window,
+            serve_cfg.max_batch,
+            serve_cfg.queue_capacity,
+            serve_cfg.workers
+        );
+    })
+    .map_err(|e| e.to_string())?;
+    eprintln!(
+        "drained: {} responses in {} batches (mean fuse {:.2} requests), {} rejected, {} missed \
+         deadlines",
+        kgag_obs::counter("serve.responses").get(),
+        kgag_obs::counter("serve.batches").get(),
+        kgag_obs::histogram("serve.batch_requests").mean(),
+        kgag_obs::counter("serve.requests_rejected").get(),
+        kgag_obs::counter("serve.deadline_missed").get(),
+    );
     Ok(())
 }
 

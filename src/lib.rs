@@ -14,4 +14,5 @@ pub use kgag_data;
 pub use kgag_eval;
 pub use kgag_kg;
 pub use kgag_obs;
+pub use kgag_serve;
 pub use kgag_tensor;
