@@ -27,16 +27,25 @@
 #                   reproduce evaluate_batched exactly with the server
 #                   in the scorer seat, and graceful shutdown must
 #                   answer every accepted request (DESIGN.md §12)
-#   6. telemetry  — smoke training with the JSONL telemetry sink
+#   6. lifecycle  — dynamic-group gate (DESIGN.md §13): the
+#                   mutate-equals-rebuild oracle suite re-run with the
+#                   receptive-field cache disabled (the cached paths run
+#                   in stage 3; both must agree bit-for-bit), then the
+#                   lifecycle_check binary at both thread counts — 4
+#                   concurrent TCP clients creating/joining/leaving
+#                   disjoint groups while scoring, every response
+#                   bit-identical to the roster-level reference and
+#                   every malformed mutation a typed rejection
+#   7. telemetry  — smoke training with the JSONL telemetry sink
 #                   enabled: model outputs must be bit-identical with
 #                   telemetry on vs off, and every emitted line must
 #                   pass the testkit JSON parser plus the per-kind
 #                   schema checks (DESIGN.md §10)
-#   7. golden     — fixed-seed smoke training compared *bit-identically*
+#   8. golden     — fixed-seed smoke training compared *bit-identically*
 #                   against results/golden_smoke.json; any numeric
 #                   drift fails. After an intentional numerics change:
 #                     ./ci.sh --golden-baseline
-#   8. bench gate — only with --bench: regenerate the micro-benchmark
+#   9. bench gate — only with --bench: regenerate the micro-benchmark
 #                   JSON artifacts and compare medians against the
 #                   committed results/bench_baseline.json; fails on
 #                   regressions beyond KGAG_BENCH_TOLERANCE (default
@@ -45,10 +54,10 @@
 #                     ./ci.sh --bench-baseline
 #
 # Usage:
-#   ./ci.sh                    # stages 1-7
+#   ./ci.sh                    # stages 1-8
 #   ./ci.sh --bench            # …plus the bench regression gate
 #   ./ci.sh --bench-baseline   # …instead rewrite results/bench_baseline.json
-#   ./ci.sh --golden-baseline  # stages 1-6, then rewrite results/golden_smoke.json
+#   ./ci.sh --golden-baseline  # stages 1-7, then rewrite results/golden_smoke.json
 set -eu
 
 cd "$(dirname "$0")"
@@ -58,41 +67,53 @@ cd "$(dirname "$0")"
 # iteration counts.
 BENCH_ENV="KGAG_BENCH_ITERS=5 KGAG_BENCH_WARMUP=1 KGAG_THREADS=4"
 
-echo "==> stage 1/8: cargo fmt --check"
+echo "==> stage 1/9: cargo fmt --check"
 cargo fmt --check
 
-echo "==> stage 2/8: cargo build --release --offline (deny warnings)"
+echo "==> stage 2/9: cargo build --release --offline (deny warnings)"
 RUSTFLAGS="-D warnings" cargo build --release --offline --workspace
 
-echo "==> stage 3/8: cargo test --offline (KGAG_THREADS=1)"
+echo "==> stage 3/9: cargo test --offline (KGAG_THREADS=1)"
 KGAG_THREADS=1 cargo test -q --offline --workspace
 
-echo "==> stage 3/8: cargo test --offline (KGAG_THREADS=4)"
+echo "==> stage 3/9: cargo test --offline (KGAG_THREADS=4)"
 KGAG_THREADS=4 cargo test -q --offline --workspace
 
-echo "==> stage 4/8: batched-inference cache equivalence (KGAG_THREADS=1)"
+echo "==> stage 4/9: batched-inference cache equivalence (KGAG_THREADS=1)"
 KGAG_THREADS=1 KGAG_RF_CACHE=0 KGAG_EVAL_BATCH=7 \
     cargo test -q --offline -p kgag --test batched_oracle
 
-echo "==> stage 4/8: batched-inference cache equivalence (KGAG_THREADS=4)"
+echo "==> stage 4/9: batched-inference cache equivalence (KGAG_THREADS=4)"
 KGAG_THREADS=4 KGAG_RF_CACHE=0 KGAG_EVAL_BATCH=7 \
     cargo test -q --offline -p kgag --test batched_oracle
 
-echo "==> stage 5/8: serving gate (concurrent bit-identity + drain, KGAG_THREADS=1)"
+echo "==> stage 5/9: serving gate (concurrent bit-identity + drain, KGAG_THREADS=1)"
 KGAG_THREADS=1 cargo run -q --release --offline -p kgag-bench --bin serve_check
 
-echo "==> stage 5/8: serving gate (concurrent bit-identity + drain, KGAG_THREADS=4)"
+echo "==> stage 5/9: serving gate (concurrent bit-identity + drain, KGAG_THREADS=4)"
 KGAG_THREADS=4 cargo run -q --release --offline -p kgag-bench --bin serve_check
 
-echo "==> stage 6/8: telemetry gate (passivity + JSONL schema)"
+echo "==> stage 6/9: lifecycle gate (mutate-equals-rebuild, cache off, KGAG_THREADS=1)"
+KGAG_THREADS=1 KGAG_RF_CACHE=0 cargo test -q --release --offline -p kgag --test lifecycle_oracle
+
+echo "==> stage 6/9: lifecycle gate (mutate-equals-rebuild, cache off, KGAG_THREADS=4)"
+KGAG_THREADS=4 KGAG_RF_CACHE=0 cargo test -q --release --offline -p kgag --test lifecycle_oracle
+
+echo "==> stage 6/9: lifecycle gate (4-client concurrent mutate/score over TCP, KGAG_THREADS=1)"
+KGAG_THREADS=1 cargo run -q --release --offline -p kgag-bench --bin lifecycle_check
+
+echo "==> stage 6/9: lifecycle gate (4-client concurrent mutate/score over TCP, KGAG_THREADS=4)"
+KGAG_THREADS=4 cargo run -q --release --offline -p kgag-bench --bin lifecycle_check
+
+echo "==> stage 7/9: telemetry gate (passivity + JSONL schema)"
 KGAG_THREADS=4 cargo run -q --release --offline -p kgag-bench --bin telemetry_check
 
 if [ "${1:-}" = "--golden-baseline" ]; then
-    echo "==> stage 7/8: rewriting golden baseline"
+    echo "==> stage 8/9: rewriting golden baseline"
     KGAG_THREADS=4 cargo run -q --release --offline -p kgag-bench --bin golden_check -- \
         --write-baseline
 else
-    echo "==> stage 7/8: golden-file gate (bit-identical smoke metrics)"
+    echo "==> stage 8/9: golden-file gate (bit-identical smoke metrics)"
     KGAG_THREADS=4 cargo run -q --release --offline -p kgag-bench --bin golden_check
 fi
 
@@ -103,12 +124,12 @@ run_benches() {
 
 case "${1:-}" in
 --bench)
-    echo "==> stage 8/8: bench regression gate"
+    echo "==> stage 9/9: bench regression gate"
     run_benches
     cargo run -q --release --offline -p kgag-bench --bin bench_check
     ;;
 --bench-baseline)
-    echo "==> stage 8/8: rewriting bench baseline"
+    echo "==> stage 9/9: rewriting bench baseline"
     run_benches
     cargo run -q --release --offline -p kgag-bench --bin bench_check -- --write-baseline
     ;;

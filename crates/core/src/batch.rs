@@ -130,20 +130,59 @@ impl<'m> BatchScorer<'m> {
     /// from different cases are fused into uniform chunks and scored in
     /// parallel; the result is reassembled per case.
     pub fn score_cases(&self, cases: &[(u32, Vec<u32>)]) -> Vec<Vec<f32>> {
-        let l = self.model.group_size();
         // one member-entity lookup per case, shared by its instances
         let member_ents: Vec<Vec<u32>> =
             cases.iter().map(|&(g, _)| self.model.member_entities(g)).collect();
-        // flatten to (case index, item entity) instances in case order
-        let mut instances: Vec<(u32, u32)> = Vec::new();
-        for (ci, (_, items)) in cases.iter().enumerate() {
-            for ent in self.model.item_entities(items) {
-                instances.push((ci as u32, ent));
-            }
+        score_cases_with(
+            self.model,
+            self.caches.as_ref(),
+            self.batch_instances,
+            &member_ents,
+            cases,
+        )
+    }
+}
+
+/// The shared fused-scoring kernel behind [`BatchScorer`] and
+/// [`crate::DynamicScorer`]: resolve every case to `(case, item entity)`
+/// instances, bucket by member count `L` (groups of different sizes
+/// cannot share a flattened forward), chunk each bucket for the pool,
+/// score, and reassemble per case.
+///
+/// `member_ents[ci]` is case `ci`'s member entity list — the caller
+/// resolves it (from the model's bound groups or a live
+/// [`kgag_data::GroupStore`]). With uniform member counts the bucketing
+/// degenerates to one bucket holding every instance in case order, so
+/// chunk boundaries — and therefore bits — match the pre-lifecycle
+/// engine exactly.
+pub(crate) fn score_cases_with(
+    model: &Kgag,
+    caches: Option<&(RfCache, RfCache)>,
+    batch_instances: usize,
+    member_ents: &[Vec<u32>],
+    cases: &[(u32, Vec<u32>)],
+) -> Vec<Vec<f32>> {
+    debug_assert_eq!(member_ents.len(), cases.len());
+    // flatten to (case index, item entity) instances in case order,
+    // bucketed by member count (ascending L for determinism)
+    let mut buckets: std::collections::BTreeMap<usize, Vec<(u32, u32)>> =
+        std::collections::BTreeMap::new();
+    let mut total = 0usize;
+    for (ci, (_, items)) in cases.iter().enumerate() {
+        let bucket = buckets.entry(member_ents[ci].len()).or_default();
+        for ent in model.item_entities(items) {
+            bucket.push((ci as u32, ent));
         }
-        if kgag_obs::enabled() {
-            kgag_obs::counter("infer.batched_items_scored").add(instances.len() as u64);
-        }
+        total += items.len();
+    }
+    if kgag_obs::enabled() {
+        kgag_obs::counter("infer.batched_items_scored").add(total as u64);
+    }
+    let salt = model.eval_salt();
+    let mut out: Vec<Vec<f32>> =
+        cases.iter().map(|(_, items)| Vec::with_capacity(items.len())).collect();
+    for (l, instances) in &buckets {
+        let l = *l;
         // each chunk forwards independently: the receptive field of an
         // entity never depends on batch position, and every tape op is
         // per-instance, so any chunking is bit-identical — which frees
@@ -151,9 +190,8 @@ impl<'m> BatchScorer<'m> {
         // every pool worker gets several chunks, capped at
         // `batch_instances` to bound tape size
         let per_worker = instances.len().div_ceil(pool::num_threads() * 4).max(1);
-        let chunk_size = per_worker.min(self.batch_instances);
+        let chunk_size = per_worker.min(batch_instances);
         let chunks: Vec<&[(u32, u32)]> = instances.chunks(chunk_size).collect();
-        let salt = self.model.eval_salt();
         let scored = pool::par_map(&chunks, |_, chunk| {
             let mut flat_members = Vec::with_capacity(chunk.len() * l);
             let mut item_ents = Vec::with_capacity(chunk.len());
@@ -161,27 +199,27 @@ impl<'m> BatchScorer<'m> {
                 flat_members.extend_from_slice(&member_ents[ci as usize]);
                 item_ents.push(ent);
             }
-            let mut tape = Tape::new(self.model.store());
-            let fwd = match &self.caches {
-                Some((members, items)) => self.model.forward_group_cached(
+            let mut tape = Tape::new(model.store());
+            let fwd = match caches {
+                Some((members, items)) => model.forward_group_cached(
                     &mut tape,
                     &flat_members,
                     &item_ents,
+                    l,
                     members,
                     items,
                 ),
-                None => self.model.forward_group(&mut tape, &flat_members, &item_ents, salt, false),
+                None => model.forward_group(&mut tape, &flat_members, &item_ents, l, salt, false),
             };
             tape.value(fwd.score).data().iter().map(|&s| sigmoid(s)).collect::<Vec<f32>>()
         });
-        // reassemble per case, in instance order
-        let mut out: Vec<Vec<f32>> =
-            cases.iter().map(|(_, items)| Vec::with_capacity(items.len())).collect();
+        // reassemble per case, in instance order (one case lives in
+        // exactly one bucket, so its items arrive in request order)
         for (&(ci, _), s) in instances.iter().zip(scored.into_iter().flatten()) {
             out[ci as usize].push(s);
         }
-        out
     }
+    out
 }
 
 impl BatchGroupScorer for BatchScorer<'_> {

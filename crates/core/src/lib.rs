@@ -41,6 +41,7 @@
 pub mod attention;
 pub mod batch;
 pub mod config;
+pub mod dynamic;
 pub mod explain;
 pub mod harness;
 pub mod loss;
@@ -50,5 +51,6 @@ pub mod trainer;
 
 pub use batch::BatchScorer;
 pub use config::{Aggregator, GroupLoss, KgagConfig};
+pub use dynamic::{ColdStartError, DynamicScorer};
 pub use explain::GroupExplanation;
 pub use trainer::{EpochLoss, Kgag, TrainReport};

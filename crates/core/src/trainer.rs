@@ -256,9 +256,10 @@ impl Kgag {
         )
     }
 
-    /// Forward a batch of `B` group–item instances.
+    /// Forward a batch of `B` group–item instances with `l` members per
+    /// group.
     ///
-    /// `flat_members` holds `B · L` member *entity* ids (instance-major);
+    /// `flat_members` holds `B · l` member *entity* ids (instance-major);
     /// `item_ents` holds `B` item entity ids. Queries follow §III-C: the
     /// item propagates under the mean of the members' zero-order
     /// embeddings, each member under the candidate item's zero-order
@@ -268,10 +269,11 @@ impl Kgag {
         tape: &mut Tape<'_>,
         flat_members: &[u32],
         item_ents: &[u32],
+        l: usize,
         salt: u64,
         train: bool,
     ) -> GroupForward {
-        self.forward_group_any(tape, flat_members, item_ents, &Fields::Live { salt, train })
+        self.forward_group_any(tape, flat_members, item_ents, l, &Fields::Live { salt, train })
     }
 
     /// [`Kgag::forward_group`] reading receptive fields from prebuilt
@@ -281,10 +283,11 @@ impl Kgag {
         tape: &mut Tape<'_>,
         flat_members: &[u32],
         item_ents: &[u32],
+        l: usize,
         members: &RfCache,
         items: &RfCache,
     ) -> GroupForward {
-        self.forward_group_any(tape, flat_members, item_ents, &Fields::Cached { members, items })
+        self.forward_group_any(tape, flat_members, item_ents, l, &Fields::Cached { members, items })
     }
 
     fn forward_group_any(
@@ -292,9 +295,9 @@ impl Kgag {
         tape: &mut Tape<'_>,
         flat_members: &[u32],
         item_ents: &[u32],
+        l: usize,
         fields: &Fields<'_>,
     ) -> GroupForward {
-        let l = self.group_size;
         debug_assert_eq!(flat_members.len(), item_ents.len() * l);
         let m0 = tape.gather(self.params.prop.entity_emb, flat_members);
         let i0 = tape.gather(self.params.prop.entity_emb, item_ents);
@@ -314,7 +317,19 @@ impl Kgag {
                 self.represent_cached(tape, flat_members, q_members, members)
             }
         };
-        let attention = group_attention(tape, &self.params, &self.config, member_rep, item_rep, l);
+        // the peer-influence weights are tied to the trained group size
+        // (`att_w2` maps the (L−1)·d peer concatenation), so off-nominal
+        // groups — cold-start creations, lifecycle-mutated memberships —
+        // score with SP-only attention; nominal-size groups take the
+        // full path bit-identically to the static engine
+        let effective;
+        let config = if l == self.group_size {
+            &self.config
+        } else {
+            effective = self.config.clone().ablate_pi();
+            &effective
+        };
+        let attention = group_attention(tape, &self.params, config, member_rep, item_rep, l);
         let score = tape.row_dot(attention.group_rep, item_rep);
         GroupForward { attention, score }
     }
@@ -341,6 +356,30 @@ impl Kgag {
         self.groups[group as usize].iter().map(|&u| self.ckg.user_entity(u).0).collect()
     }
 
+    /// Member user ids → CKG entity ids, with the typed validation the
+    /// cold-start path needs (never panics on bad input).
+    pub(crate) fn member_entities_for(
+        &self,
+        members: &[u32],
+    ) -> Result<Vec<u32>, crate::dynamic::ColdStartError> {
+        use crate::dynamic::ColdStartError;
+        match members.len() {
+            0 => return Err(ColdStartError::EmptyGroup),
+            1 => return Err(ColdStartError::SingleMember),
+            _ => {}
+        }
+        members
+            .iter()
+            .map(|&u| {
+                if u < self.ckg.num_users() {
+                    Ok(self.ckg.user_entity(u).0)
+                } else {
+                    Err(ColdStartError::UnknownUser(u))
+                }
+            })
+            .collect()
+    }
+
     pub(crate) fn item_entities(&self, items: &[u32]) -> Vec<u32> {
         items.iter().map(|&v| self.ckg.item_entity(v).0).collect()
     }
@@ -358,9 +397,26 @@ impl Kgag {
         &self.eval_sampler
     }
 
-    /// Members per group in the bound dataset.
+    /// Nominal members per group in the bound dataset — the size the
+    /// peer-influence attention was shaped for. Lifecycle-mutated groups
+    /// may drift from it (see [`crate::dynamic`]).
     pub fn group_size(&self) -> usize {
         self.group_size
+    }
+
+    /// Snapshot the bound group table as a mutable lifecycle store —
+    /// the seed state of a [`crate::DynamicScorer`].
+    pub fn group_store(&self) -> kgag_data::GroupStore {
+        kgag_data::GroupStore::new(self.groups.clone(), self.ckg.num_users())
+    }
+
+    /// Zero-order embedding of one CKG entity (a row of the entity
+    /// table). Read-only hook for the cold-start reference tests, which
+    /// recompute the attention aggregation by hand from these rows.
+    pub fn entity_embedding(&self, entity: u32) -> Vec<f32> {
+        let t = self.store.value(self.params.prop.entity_emb);
+        let (e, d) = (entity as usize, t.cols());
+        t.data()[e * d..(e + 1) * d].to_vec()
     }
 
     // ------------------------------------------------------------------
@@ -369,6 +425,14 @@ impl Kgag {
 
     /// Train on a split with the paper's combined objective.
     pub fn fit(&mut self, split: &DatasetSplit) -> TrainReport {
+        // the training forward flattens members at the nominal size and
+        // the PI tower is shaped for it; variable-size group tables
+        // (rebuilt from a lifecycle store) are inference-only
+        assert!(
+            self.groups.iter().all(|m| m.len() == self.group_size),
+            "training requires uniform groups of the nominal size {}",
+            self.group_size
+        );
         let _fit_span = kgag_obs::span("trainer.fit");
         let telemetry = kgag_obs::enabled();
         let cfg = self.config.clone();
@@ -437,10 +501,22 @@ impl Kgag {
                     // same salt for both branches: the members' sampled
                     // subtrees coincide, so the margin compares the two
                     // items under identical group inputs
-                    let fwd_pos =
-                        self.forward_group(&mut tape, &flat_members, &pos_ents, salt, true);
-                    let fwd_neg =
-                        self.forward_group(&mut tape, &flat_members, &neg_ents, salt, true);
+                    let fwd_pos = self.forward_group(
+                        &mut tape,
+                        &flat_members,
+                        &pos_ents,
+                        self.group_size,
+                        salt,
+                        true,
+                    );
+                    let fwd_neg = self.forward_group(
+                        &mut tape,
+                        &flat_members,
+                        &neg_ents,
+                        self.group_size,
+                        salt,
+                        true,
+                    );
                     let lg = match cfg.group_loss {
                         GroupLoss::Margin => {
                             margin_group_loss(&mut tape, fwd_pos.score, fwd_neg.score, cfg.margin)
@@ -517,6 +593,34 @@ impl Kgag {
             kgag_obs::counter("infer.group_items_scored").add(items.len() as u64);
         }
         let member_ents = self.member_entities(group);
+        self.score_member_ents(&member_ents, items)
+    }
+
+    /// Cold-start scoring for an *ad-hoc* member list — a group that
+    /// never existed at training time. Members are aggregated by the
+    /// trained attention block over their propagated representations
+    /// (SP-only when the list is off the nominal size, see
+    /// [`Kgag::forward_group`]); a member list matching a bound group
+    /// scores bit-identically to [`Kgag::score_group_items`].
+    ///
+    /// Unlike the panicking in-process paths, every bad input is a typed
+    /// [`crate::dynamic::ColdStartError`].
+    pub fn score_members(
+        &self,
+        members: &[u32],
+        items: &[u32],
+    ) -> Result<Vec<f32>, crate::dynamic::ColdStartError> {
+        let member_ents = self.member_entities_for(members)?;
+        if let Some(&v) = items.iter().find(|&&v| v >= self.num_items) {
+            return Err(crate::dynamic::ColdStartError::UnknownItem(v));
+        }
+        Ok(self.score_member_ents(&member_ents, items))
+    }
+
+    /// Shared per-case scoring kernel: one member-entity list (any
+    /// length ≥ 1 the attention supports), live-sampled fields.
+    fn score_member_ents(&self, member_ents: &[u32], items: &[u32]) -> Vec<f32> {
+        let l = member_ents.len();
         // checkpoint-fixed salt: deterministic eval-time sampling, and
         // the same receptive field for an entity no matter which group
         // or candidate list asks — the invariant RfCache banks on
@@ -527,13 +631,13 @@ impl Kgag {
         // in parallel is bit-identical to one sequential pass
         let chunks: Vec<&[u32]> = items.chunks(128).collect();
         let scored = pool::par_map(&chunks, |_, chunk| {
-            let mut flat_members = Vec::with_capacity(chunk.len() * self.group_size);
+            let mut flat_members = Vec::with_capacity(chunk.len() * l);
             for _ in *chunk {
-                flat_members.extend_from_slice(&member_ents);
+                flat_members.extend_from_slice(member_ents);
             }
             let item_ents = self.item_entities(chunk);
             let mut tape = Tape::new(&self.store);
-            let fwd = self.forward_group(&mut tape, &flat_members, &item_ents, salt, false);
+            let fwd = self.forward_group(&mut tape, &flat_members, &item_ents, l, salt, false);
             tape.value(fwd.score)
                 .data()
                 .iter()
@@ -571,12 +675,13 @@ impl Kgag {
     /// interpretability interface.
     pub fn explain(&self, group: u32, item: u32) -> GroupExplanation {
         let flat_members = self.member_entities(group);
+        let l = flat_members.len();
         let item_ents = self.item_entities(&[item]);
         let mut tape = Tape::new(&self.store);
         // the serving salt, not a private stream: the attention weights
         // shown here decompose exactly the score score_group_items serves
         let salt = self.eval_salt();
-        let fwd = self.forward_group(&mut tape, &flat_members, &item_ents, salt, false);
+        let fwd = self.forward_group(&mut tape, &flat_members, &item_ents, l, salt, false);
         let read = |n: Option<NodeId>| n.map(|id| tape.value(id).data().to_vec());
         GroupExplanation {
             group,

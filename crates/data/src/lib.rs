@@ -27,6 +27,7 @@ pub mod dataset;
 pub mod groups;
 pub mod import;
 pub mod interactions;
+pub mod lifecycle;
 pub mod movielens;
 pub mod similarity;
 pub mod split;
@@ -36,6 +37,9 @@ pub mod yelp;
 
 pub use dataset::GroupDataset;
 pub use interactions::{Interactions, RatingTable};
+pub use lifecycle::{
+    Applied, GroupLifecycle, GroupStore, LifecycleAck, LifecycleError, LifecycleOp,
+};
 pub use split::{DatasetSplit, GroupSplit, UserSplit};
 pub use stats::DatasetStats;
 

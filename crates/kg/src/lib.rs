@@ -32,6 +32,6 @@ pub mod triple;
 
 pub use collab::CollaborativeKg;
 pub use graph::KgGraph;
-pub use rf_cache::RfCache;
+pub use rf_cache::{Invalidation, RfCache};
 pub use sampler::{NeighborSampler, ReceptiveField};
 pub use triple::{EntityId, RelationId, Triple, TripleStore};

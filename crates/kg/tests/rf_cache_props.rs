@@ -1,0 +1,140 @@
+//! Property suite for incremental [`RfCache`] invalidation (DESIGN.md
+//! §13): eviction is *precise* — after a mutation, every evicted entry
+//! is reachable from a touched entity within the cache depth, every
+//! entry in that ball is evicted (no under-invalidation), every
+//! retained entry is byte-equal to a fresh rebuild (no over-eviction
+//! side effects), and a repaired cache is byte-identical to building
+//! from scratch — including after a real topology change, where the
+//! fresh build runs on the *mutated* graph.
+
+use kgag_kg::triple::EntityId;
+use kgag_kg::{KgGraph, NeighborSampler, RfCache, TripleStore};
+use kgag_testkit::check::Runner;
+use kgag_testkit::gen::{u32_in, vec_of};
+use kgag_testkit::{prop_assert, prop_assert_eq};
+
+/// Fixed entity universe: both sides of the graph-delta property must
+/// agree on entity count, so the id space is reserved up front.
+const N: u32 = 24;
+const RELS: u32 = 3;
+const K: usize = 3;
+const DEPTH: usize = 2;
+const SALT: u64 = 0x9e_17;
+
+fn graph_from(triples: &[(u32, u32)]) -> KgGraph {
+    let mut s = TripleStore::with_capacity(N, RELS);
+    for &(h, t) in triples {
+        s.add_raw(h % N, (h ^ t) % RELS, t % N);
+    }
+    KgGraph::from_store(&s)
+}
+
+/// Independent hop-distance computation (plain level-order BFS), the
+/// cross-check for the eviction ball.
+fn hop_distances(graph: &KgGraph, sources: &[u32]) -> Vec<Option<usize>> {
+    let mut dist: Vec<Option<usize>> = vec![None; N as usize];
+    let mut frontier: Vec<u32> = Vec::new();
+    for &s in sources {
+        if dist[s as usize].is_none() {
+            dist[s as usize] = Some(0);
+            frontier.push(s);
+        }
+    }
+    let mut hops = 0usize;
+    while !frontier.is_empty() {
+        hops += 1;
+        let mut next = Vec::new();
+        for &e in &frontier {
+            for (nb, _r) in graph.neighbors(EntityId(e)) {
+                if dist[nb.0 as usize].is_none() {
+                    dist[nb.0 as usize] = Some(hops);
+                    next.push(nb.0);
+                }
+            }
+        }
+        frontier = next;
+    }
+    dist
+}
+
+fn entries_equal(a: &RfCache, b: &RfCache, entity: u32) -> bool {
+    (0..DEPTH).all(|l| a.entry(l, entity) == b.entry(l, entity))
+}
+
+fn caches_byte_equal(a: &RfCache, b: &RfCache) -> Result<(), String> {
+    for e in 0..N {
+        if !entries_equal(a, b, e) {
+            return Err(format!("entity {e}: repaired rows differ from a fresh build"));
+        }
+    }
+    Ok(())
+}
+
+type Input = (Vec<(u32, u32)>, Vec<u32>);
+
+fn gen_input() -> impl kgag_testkit::gen::Gen<Input> {
+    (vec_of((u32_in(0..N), u32_in(0..N)), 1..40), vec_of(u32_in(0..N), 1..4))
+}
+
+#[test]
+fn invalidation_is_precise_and_repair_restores_byte_equality() {
+    Runner::new("rf-invalidation-precision").run(&gen_input(), |(triples, touched)| {
+        let graph = graph_from(triples);
+        let sampler = NeighborSampler::new(K, 42);
+        let fresh = RfCache::build(&sampler, &graph, DEPTH, SALT);
+        let mut cache = fresh.clone();
+
+        let inv = cache.invalidate_reachable(&graph, touched);
+        let dist = hop_distances(&graph, touched);
+        for e in 0..N {
+            let in_ball = dist[e as usize].is_some_and(|d| d <= DEPTH);
+            if cache.is_valid(e) {
+                // retained ⇒ out of reach, and its rows are untouched
+                prop_assert!(
+                    !in_ball,
+                    "entity {e} is {:?} hops from the touched set but was retained",
+                    dist[e as usize]
+                );
+                prop_assert!(entries_equal(&cache, &fresh, e), "retained entity {e} mutated");
+            } else {
+                // evicted ⇒ reachable within the cache depth
+                prop_assert!(
+                    in_ball,
+                    "entity {e} evicted but unreachable within {DEPTH} hops of {touched:?}"
+                );
+            }
+        }
+        prop_assert_eq!(inv.evicted + inv.retained, N as usize);
+        prop_assert_eq!(inv.retained, (0..N).filter(|&e| cache.is_valid(e)).count());
+
+        // idempotent: the same touched set has nothing left to evict
+        let again = cache.invalidate_reachable(&graph, touched);
+        prop_assert_eq!(again.evicted, 0, "re-invalidation evicted new entries");
+
+        let repaired = cache.repair(&sampler, &graph);
+        prop_assert_eq!(repaired, inv.evicted);
+        prop_assert_eq!(cache.invalid_count(), 0);
+        caches_byte_equal(&cache, &fresh)
+    });
+}
+
+#[test]
+fn graph_delta_invalidate_repair_equals_fresh_build_on_mutated_graph() {
+    let gen = (gen_input(), (u32_in(0..N), u32_in(0..N)));
+    Runner::new("rf-graph-delta-repair").run(&gen, |((triples, _), (h, t))| {
+        let sampler = NeighborSampler::new(K, 7);
+        let g0 = graph_from(triples);
+        let mut with_delta = triples.clone();
+        with_delta.push((*h, *t));
+        let g1 = graph_from(&with_delta);
+
+        // cache built on the old topology, then the edge lands: evict
+        // around both endpoints, repair against the new graph
+        let mut cache = RfCache::build(&sampler, &g0, DEPTH, SALT);
+        cache.invalidate_reachable(&g1, &[*h, *t]);
+        cache.repair(&sampler, &g1);
+
+        let fresh = RfCache::build(&sampler, &g1, DEPTH, SALT);
+        caches_byte_equal(&cache, &fresh)
+    });
+}

@@ -30,6 +30,14 @@
 //!   one OS thread per connection feeding the shared batcher, shutdown
 //!   via a [`ShutdownToken`].
 //!
+//! [`serve_tcp_dynamic`] layers **group lifecycle** on the same socket
+//! (DESIGN.md §13): create/join/leave opcodes dispatched to a
+//! [`GroupLifecycle`](kgag_data::GroupLifecycle) backend synchronously
+//! on the connection thread — never through the batcher — so a
+//! client's next score request always observes its own mutation.
+//! Servers without a backend ([`serve_tcp`]) answer mutations with
+//! [`ServeError::Unsupported`] on a still-usable connection.
+//!
 //! Delivery contract: every request accepted by [`ServeHandle::submit`]
 //! receives **exactly one** response — a score vector, or a terminal
 //! [`ServeError`] — even across shutdown. Backpressure is explicit:
@@ -47,7 +55,7 @@ pub mod wire;
 
 pub use batcher::{serve_in_process, PendingResponse, ServeHandle};
 pub use config::ServeConfig;
-pub use server::{serve_tcp, ServeClient, ShutdownToken};
+pub use server::{serve_tcp, serve_tcp_dynamic, LifecycleResult, ServeClient, ShutdownToken};
 
 /// Terminal, per-request failure modes. Every accepted request resolves
 /// to scores or to exactly one of these.
@@ -63,18 +71,28 @@ pub enum ServeError {
     /// panic). Accepted requests only see this on abnormal exit —
     /// graceful shutdown drains the queue instead.
     Canceled,
-    /// The wire-level request could not be decoded.
+    /// The wire-level request could not be decoded, or a score request
+    /// named an out-of-range item on a lifecycle-aware server.
     Invalid,
+    /// A lifecycle opcode reached a server without a lifecycle backend
+    /// (static [`serve_tcp`]; mutations need
+    /// [`server::serve_tcp_dynamic`]).
+    Unsupported,
+    /// A well-formed lifecycle mutation the backend rejected (unknown
+    /// group, duplicate member, …); the serving state is unchanged.
+    Lifecycle(kgag_data::LifecycleError),
 }
 
 impl std::fmt::Display for ServeError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str(match self {
-            ServeError::Rejected => "rejected: queue full or server shut down",
-            ServeError::DeadlineMissed => "deadline missed before scoring",
-            ServeError::Canceled => "server terminated before responding",
-            ServeError::Invalid => "malformed request",
-        })
+        match self {
+            ServeError::Rejected => f.write_str("rejected: queue full or server shut down"),
+            ServeError::DeadlineMissed => f.write_str("deadline missed before scoring"),
+            ServeError::Canceled => f.write_str("server terminated before responding"),
+            ServeError::Invalid => f.write_str("malformed request"),
+            ServeError::Unsupported => f.write_str("lifecycle ops unsupported by this server"),
+            ServeError::Lifecycle(e) => write!(f, "lifecycle rejected: {e}"),
+        }
     }
 }
 

@@ -7,6 +7,17 @@
 //! (responses are written in request order, so the client can pipeline
 //! frames and match them by correlation id).
 //!
+//! Lifecycle dispatch: [`serve_tcp_dynamic`] additionally routes the
+//! create/join/leave opcodes to a
+//! [`GroupLifecycle`](kgag_data::GroupLifecycle) backend. Mutations are
+//! applied *synchronously on the connection thread* — they never enter
+//! the batcher queue, so a mutation is fully applied (store + caches)
+//! before its ack is written, and any score request the same client
+//! sends afterwards sees the new membership. Score requests are
+//! pre-validated against the live group/item bounds here, keeping the
+//! infallible batch path panic-free. [`serve_tcp`] answers every
+//! lifecycle opcode [`ServeError::Unsupported`].
+//!
 //! Shutdown: trigger the [`ShutdownToken`]. The acceptor stops taking
 //! connections, per-connection threads finish their buffered requests
 //! and close, the batcher drains everything accepted, and
@@ -16,8 +27,9 @@
 
 use crate::batcher::{serve_in_process, ServeHandle};
 use crate::config::ServeConfig;
-use crate::wire::{self, Request, Response};
+use crate::wire::{self, LifecycleRequest, Message, Reply, Request, Response};
 use crate::{ServeError, ServeResult};
+use kgag_data::{GroupLifecycle, LifecycleAck, LifecycleOp};
 use kgag_eval::protocol::BatchGroupScorer;
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -51,7 +63,8 @@ impl ShutdownToken {
     }
 }
 
-/// Serve `scorer` over TCP until `token` is triggered.
+/// Serve `scorer` over TCP until `token` is triggered — score requests
+/// only; lifecycle opcodes are answered [`ServeError::Unsupported`].
 ///
 /// Binds `addr` (use `127.0.0.1:0` for an ephemeral loopback port),
 /// reports the bound address through `on_ready` once the batcher is
@@ -60,6 +73,39 @@ impl ShutdownToken {
 /// been answered and all connection threads have exited.
 pub fn serve_tcp<S>(
     scorer: &S,
+    config: &ServeConfig,
+    addr: &str,
+    token: &ShutdownToken,
+    on_ready: impl FnOnce(SocketAddr),
+) -> std::io::Result<()>
+where
+    S: BatchGroupScorer + Sync,
+{
+    serve_tcp_inner(scorer, None, config, addr, token, on_ready)
+}
+
+/// [`serve_tcp`] plus a live group table: create/join/leave opcodes are
+/// applied through `lifecycle` and score requests are bounds-checked
+/// against it. Pass the same object as `scorer` and `lifecycle` (a
+/// `DynamicScorer` implements both traits) so scores always read the
+/// membership that mutations write.
+pub fn serve_tcp_dynamic<S>(
+    scorer: &S,
+    lifecycle: &(dyn GroupLifecycle + Sync),
+    config: &ServeConfig,
+    addr: &str,
+    token: &ShutdownToken,
+    on_ready: impl FnOnce(SocketAddr),
+) -> std::io::Result<()>
+where
+    S: BatchGroupScorer + Sync,
+{
+    serve_tcp_inner(scorer, Some(lifecycle), config, addr, token, on_ready)
+}
+
+fn serve_tcp_inner<S>(
+    scorer: &S,
+    lifecycle: Option<&(dyn GroupLifecycle + Sync)>,
     config: &ServeConfig,
     addr: &str,
     token: &ShutdownToken,
@@ -79,7 +125,7 @@ where
                     Ok((stream, _peer)) => {
                         let handle = handle.clone();
                         let token = token.clone();
-                        s.spawn(move || handle_connection(stream, handle, token));
+                        s.spawn(move || handle_connection(stream, handle, lifecycle, token));
                     }
                     Err(e) if e.kind() == ErrorKind::WouldBlock => std::thread::sleep(ACCEPT_POLL),
                     Err(e) => {
@@ -100,7 +146,12 @@ where
 /// each in order. Partial frames survive read timeouts — the buffer is
 /// only advanced on whole frames, so a client dribbling bytes across
 /// timeout boundaries is handled correctly.
-fn handle_connection(stream: TcpStream, handle: ServeHandle, token: ShutdownToken) {
+fn handle_connection(
+    stream: TcpStream,
+    handle: ServeHandle,
+    lifecycle: Option<&(dyn GroupLifecycle + Sync)>,
+    token: ShutdownToken,
+) {
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(READ_POLL));
     let mut stream = stream;
@@ -110,7 +161,7 @@ fn handle_connection(stream: TcpStream, handle: ServeHandle, token: ShutdownToke
         loop {
             match wire::take_frame(&mut buf) {
                 Ok(Some(payload)) => {
-                    if !answer(&mut stream, &handle, &payload) {
+                    if !answer(&mut stream, &handle, lifecycle, &payload) {
                         return;
                     }
                 }
@@ -133,27 +184,57 @@ fn handle_connection(stream: TcpStream, handle: ServeHandle, token: ShutdownToke
     }
 }
 
-/// Decode, score through the batcher, write the response. Returns
-/// `false` when the connection is unusable and should close.
-fn answer(stream: &mut TcpStream, handle: &ServeHandle, payload: &[u8]) -> bool {
-    let result: (u64, ServeResult) = match wire::decode_request(payload) {
-        Ok(req) => {
-            let deadline = (req.deadline_us > 0)
-                .then(|| Instant::now() + Duration::from_micros(req.deadline_us));
-            let outcome = match handle.submit(req.group, req.items, deadline) {
-                Ok(pending) => pending.wait(),
-                Err(e) => Err(e),
-            };
-            (req.id, outcome)
+/// Decode, dispatch (batcher for scores, lifecycle backend for
+/// mutations), write the response. Returns `false` when the connection
+/// is unusable and should close.
+fn answer(
+    stream: &mut TcpStream,
+    handle: &ServeHandle,
+    lifecycle: Option<&(dyn GroupLifecycle + Sync)>,
+    payload: &[u8],
+) -> bool {
+    let response = match wire::decode_request(payload) {
+        Ok(Message::Score(req)) => {
+            let outcome = score_request(handle, lifecycle, &req);
+            Response::from_result(req.id, outcome)
         }
-        Err(_) => (wire::salvage_id(payload), Err(ServeError::Invalid)),
+        Ok(Message::Lifecycle(LifecycleRequest { id, op })) => match lifecycle {
+            Some(l) => Response::from_ack(id, l.apply_op(&op)),
+            None => Response { id, reply: Err(ServeError::Unsupported) },
+        },
+        Err(_) => Response { id: wire::salvage_id(payload), reply: Err(ServeError::Invalid) },
     };
-    let frame = wire::encode_response(&Response::from_result(result.0, result.1));
+    let frame = wire::encode_response(&response);
     wire::write_frame(stream, &frame).is_ok()
 }
 
+/// Submit one score request to the batcher and wait. With a lifecycle
+/// backend, group and item ids are bounds-checked first: the dynamic
+/// scorer's batch path is infallible by contract, so out-of-range ids
+/// must be turned into typed errors here rather than reach it.
+fn score_request(
+    handle: &ServeHandle,
+    lifecycle: Option<&(dyn GroupLifecycle + Sync)>,
+    req: &Request,
+) -> ServeResult {
+    if let Some(l) = lifecycle {
+        if req.group >= l.group_count() {
+            return Err(ServeError::Lifecycle(kgag_data::LifecycleError::UnknownGroup));
+        }
+        if req.items.iter().any(|&v| v >= l.item_count()) {
+            return Err(ServeError::Invalid);
+        }
+    }
+    let deadline =
+        (req.deadline_us > 0).then(|| Instant::now() + Duration::from_micros(req.deadline_us));
+    match handle.submit(req.group, req.items.clone(), deadline) {
+        Ok(pending) => pending.wait(),
+        Err(e) => Err(e),
+    }
+}
+
 /// A blocking client for the wire protocol — what the `kgag serve`
-/// smoke mode, the CI gate's load generator and the serving bench use.
+/// smoke mode, the CI gates' load generators and the serving bench use.
 pub struct ServeClient {
     stream: TcpStream,
     next_id: u64,
@@ -180,11 +261,50 @@ impl ServeClient {
         items: &[u32],
         deadline_us: u64,
     ) -> std::io::Result<ServeResult> {
-        let id = self.next_id;
-        self.next_id += 1;
+        let id = self.fresh_id();
         let frame =
             wire::encode_request(&Request { id, group, deadline_us, items: items.to_vec() });
-        self.stream.write_all(&frame)?;
+        match self.transact(id, &frame)? {
+            Ok(Reply::Scores(scores)) => Ok(Ok(scores)),
+            Ok(Reply::Ack(_)) => Err(protocol_violation("ack reply to a score request")),
+            Err(e) => Ok(Err(e)),
+        }
+    }
+
+    /// Create a new group from `members`; the ack carries the new id.
+    pub fn create_group(&mut self, members: &[u32]) -> std::io::Result<LifecycleResult> {
+        self.lifecycle(LifecycleOp::Create { members: members.to_vec() })
+    }
+
+    /// Add `user` to `group`.
+    pub fn join_group(&mut self, group: u32, user: u32) -> std::io::Result<LifecycleResult> {
+        self.lifecycle(LifecycleOp::Join { group, user })
+    }
+
+    /// Remove `user` from `group`.
+    pub fn leave_group(&mut self, group: u32, user: u32) -> std::io::Result<LifecycleResult> {
+        self.lifecycle(LifecycleOp::Leave { group, user })
+    }
+
+    fn lifecycle(&mut self, op: LifecycleOp) -> std::io::Result<LifecycleResult> {
+        let id = self.fresh_id();
+        let frame = wire::encode_lifecycle(&LifecycleRequest { id, op });
+        match self.transact(id, &frame)? {
+            Ok(Reply::Ack(ack)) => Ok(Ok(ack)),
+            Ok(Reply::Scores(_)) => Err(protocol_violation("score reply to a lifecycle request")),
+            Err(e) => Ok(Err(e)),
+        }
+    }
+
+    fn fresh_id(&mut self) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        id
+    }
+
+    /// Write one frame, read one response, check the correlation id.
+    fn transact(&mut self, id: u64, frame: &[u8]) -> std::io::Result<Result<Reply, ServeError>> {
+        self.stream.write_all(frame)?;
         self.stream.flush()?;
         let payload = wire::read_frame(&mut self.stream)?;
         let resp = wire::decode_response(&payload)
@@ -197,4 +317,12 @@ impl ServeClient {
         }
         Ok(resp.into_result())
     }
+}
+
+/// What a lifecycle request resolves to: an applied-mutation receipt or
+/// a terminal error.
+pub type LifecycleResult = Result<LifecycleAck, ServeError>;
+
+fn protocol_violation(what: &str) -> std::io::Error {
+    std::io::Error::new(ErrorKind::InvalidData, format!("protocol violation: {what}"))
 }

@@ -1,31 +1,53 @@
 //! The length-prefixed binary serving protocol.
 //!
 //! Every message is one **frame**: a little-endian `u32` payload length
-//! followed by the payload. Payload layouts (all integers little-endian):
+//! followed by the payload. Request payloads lead with an opcode byte
+//! (all integers little-endian):
 //!
 //! ```text
-//! request  := id:u64  group:u32  deadline_us:u64  n:u32  items:[u32; n]
-//! response := id:u64  status:u8  n:u32  scores:[f32-bits; n]
+//! request  := op:u8  id:u64  body
+//!   op 0 score  : group:u32  deadline_us:u64  n:u32  items:[u32; n]
+//!   op 1 create : n:u32  members:[u32; n]
+//!   op 2 join   : group:u32  user:u32
+//!   op 3 leave  : group:u32  user:u32
+//! response := id:u64  status:u8  body
+//!   status 0 Ok          : n:u32  scores:[f32-bits; n]
+//!   status 5 Ack         : group:u32  members:u32
+//!   any other status     : empty body
 //! ```
 //!
 //! `deadline_us == 0` means no deadline; otherwise it is a budget in
-//! microseconds relative to server receipt. `status` maps to
-//! [`ServeError`] ([`Status::Ok`] carries scores, every other status
-//! carries `n == 0`). Scores travel as raw `f32` bit patterns, so the
-//! protocol preserves bit-identity end to end — the serve CI gate
-//! compares served bytes against offline evaluation exactly.
+//! microseconds relative to server receipt. Status bytes 1–4 and 6 map
+//! to the non-lifecycle [`ServeError`] variants; bytes `16..=21` carry
+//! [`LifecycleError`] as `16 + code` — see [`Status`]. Scores travel as
+//! raw `f32` bit patterns, so the protocol preserves bit-identity end
+//! to end — the serve CI gates compare served bytes against offline
+//! evaluation exactly.
+//!
+//! Robustness contract (enforced by the tests below and the lifecycle
+//! CI stage): truncated payloads, oversize frames, unknown opcodes and
+//! unknown status bytes are typed decode errors, never panics, and the
+//! server answers an undecodable payload with [`ServeError::Invalid`]
+//! under the best-effort [`salvage_id`].
 //!
 //! Frames larger than [`MAX_FRAME`] are rejected without allocation, so
 //! a malformed or hostile length prefix cannot balloon server memory.
 
 use crate::{ServeError, ServeResult};
+use kgag_data::{LifecycleAck, LifecycleError, LifecycleOp};
 use std::io::{self, Read, Write};
 
 /// Upper bound on one frame's payload (16 MiB — thousands of candidate
 /// lists; real requests are a few hundred bytes).
 pub const MAX_FRAME: usize = 16 << 20;
 
-/// A decoded scoring request.
+/// Request opcodes (the payload's leading byte).
+pub const OP_SCORE: u8 = 0;
+pub const OP_CREATE: u8 = 1;
+pub const OP_JOIN: u8 = 2;
+pub const OP_LEAVE: u8 = 3;
+
+/// A decoded scoring request (opcode [`OP_SCORE`]).
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Request {
     /// Client-chosen correlation id, echoed verbatim in the response.
@@ -38,74 +60,101 @@ pub struct Request {
     pub items: Vec<u32>,
 }
 
-/// Response status byte.
+/// A decoded lifecycle request (opcodes [`OP_CREATE`], [`OP_JOIN`],
+/// [`OP_LEAVE`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LifecycleRequest {
+    /// Client-chosen correlation id, echoed verbatim in the response.
+    pub id: u64,
+    pub op: LifecycleOp,
+}
+
+/// Any decoded request payload.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Message {
+    Score(Request),
+    Lifecycle(LifecycleRequest),
+}
+
+/// Response status byte (see the module docs for the full map).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum Status {
+enum Status {
     Ok = 0,
     Rejected = 1,
     DeadlineMissed = 2,
     Canceled = 3,
     Invalid = 4,
+    Ack = 5,
+    Unsupported = 6,
 }
 
-impl Status {
-    fn from_byte(b: u8) -> Option<Status> {
-        match b {
-            0 => Some(Status::Ok),
-            1 => Some(Status::Rejected),
-            2 => Some(Status::DeadlineMissed),
-            3 => Some(Status::Canceled),
-            4 => Some(Status::Invalid),
-            _ => None,
-        }
+/// First status byte of the [`LifecycleError`] range.
+const LIFECYCLE_STATUS_BASE: u8 = 16;
+
+fn lifecycle_to_byte(e: LifecycleError) -> u8 {
+    let code = match e {
+        LifecycleError::UnknownGroup => 0,
+        LifecycleError::UnknownUser => 1,
+        LifecycleError::AlreadyMember => 2,
+        LifecycleError::NotAMember => 3,
+        LifecycleError::TooFewMembers => 4,
+        LifecycleError::DuplicateMember => 5,
+    };
+    LIFECYCLE_STATUS_BASE + code
+}
+
+fn lifecycle_from_byte(b: u8) -> Option<LifecycleError> {
+    match b.checked_sub(LIFECYCLE_STATUS_BASE)? {
+        0 => Some(LifecycleError::UnknownGroup),
+        1 => Some(LifecycleError::UnknownUser),
+        2 => Some(LifecycleError::AlreadyMember),
+        3 => Some(LifecycleError::NotAMember),
+        4 => Some(LifecycleError::TooFewMembers),
+        5 => Some(LifecycleError::DuplicateMember),
+        _ => None,
     }
 }
 
-/// A decoded scoring response.
+/// The payload of a successful response.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Reply {
+    /// Aligned with a score request's items.
+    Scores(Vec<f32>),
+    /// Receipt of an applied lifecycle mutation.
+    Ack(LifecycleAck),
+}
+
+/// A decoded response.
 #[derive(Clone, Debug, PartialEq)]
 pub struct Response {
     /// The request's correlation id.
     pub id: u64,
-    pub status: Status,
-    /// Aligned with the request's items; empty unless `status` is `Ok`.
-    pub scores: Vec<f32>,
+    pub reply: Result<Reply, ServeError>,
 }
 
 impl Response {
-    /// Build the wire response for a batcher result.
+    /// Build the wire response for a batcher (score-path) result.
     pub fn from_result(id: u64, result: ServeResult) -> Response {
-        match result {
-            Ok(scores) => Response { id, status: Status::Ok, scores },
-            Err(e) => Response {
-                id,
-                status: match e {
-                    ServeError::Rejected => Status::Rejected,
-                    ServeError::DeadlineMissed => Status::DeadlineMissed,
-                    ServeError::Canceled => Status::Canceled,
-                    ServeError::Invalid => Status::Invalid,
-                },
-                scores: Vec::new(),
-            },
-        }
+        Response { id, reply: result.map(Reply::Scores) }
     }
 
-    /// The client-side inverse of [`from_result`](Self::from_result).
-    pub fn into_result(self) -> ServeResult {
-        match self.status {
-            Status::Ok => Ok(self.scores),
-            Status::Rejected => Err(ServeError::Rejected),
-            Status::DeadlineMissed => Err(ServeError::DeadlineMissed),
-            Status::Canceled => Err(ServeError::Canceled),
-            Status::Invalid => Err(ServeError::Invalid),
-        }
+    /// Build the wire response for a lifecycle-path result.
+    pub fn from_ack(id: u64, result: Result<LifecycleAck, LifecycleError>) -> Response {
+        Response { id, reply: result.map(Reply::Ack).map_err(ServeError::Lifecycle) }
+    }
+
+    /// The client-side inverse of the constructors.
+    pub fn into_result(self) -> Result<Reply, ServeError> {
+        self.reply
     }
 }
 
-/// Encode a request as one frame (length prefix included).
+/// Encode a score request as one frame (length prefix included).
 pub fn encode_request(req: &Request) -> Vec<u8> {
-    let payload_len = 8 + 4 + 8 + 4 + 4 * req.items.len();
+    let payload_len = 1 + 8 + 4 + 8 + 4 + 4 * req.items.len();
     let mut out = Vec::with_capacity(4 + payload_len);
     out.extend_from_slice(&(payload_len as u32).to_le_bytes());
+    out.push(OP_SCORE);
     out.extend_from_slice(&req.id.to_le_bytes());
     out.extend_from_slice(&req.group.to_le_bytes());
     out.extend_from_slice(&req.deadline_us.to_le_bytes());
@@ -116,31 +165,94 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
     out
 }
 
+/// Encode a lifecycle request as one frame (length prefix included).
+pub fn encode_lifecycle(req: &LifecycleRequest) -> Vec<u8> {
+    let mut payload = Vec::new();
+    match &req.op {
+        LifecycleOp::Create { members } => {
+            payload.push(OP_CREATE);
+            payload.extend_from_slice(&req.id.to_le_bytes());
+            payload.extend_from_slice(&(members.len() as u32).to_le_bytes());
+            for &u in members {
+                payload.extend_from_slice(&u.to_le_bytes());
+            }
+        }
+        LifecycleOp::Join { group, user } | LifecycleOp::Leave { group, user } => {
+            payload.push(if matches!(req.op, LifecycleOp::Join { .. }) {
+                OP_JOIN
+            } else {
+                OP_LEAVE
+            });
+            payload.extend_from_slice(&req.id.to_le_bytes());
+            payload.extend_from_slice(&group.to_le_bytes());
+            payload.extend_from_slice(&user.to_le_bytes());
+        }
+    }
+    let mut out = Vec::with_capacity(4 + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&payload);
+    out
+}
+
 /// Decode a request payload (frame prefix already stripped).
-pub fn decode_request(payload: &[u8]) -> Result<Request, String> {
+pub fn decode_request(payload: &[u8]) -> Result<Message, String> {
     let mut c = Cursor { buf: payload, pos: 0 };
+    let op = c.u8()?;
     let id = c.u64()?;
-    let group = c.u32()?;
-    let deadline_us = c.u64()?;
-    let n = c.u32()? as usize;
-    if payload.len() - c.pos != 4 * n {
-        return Err(format!(
-            "item count {n} disagrees with payload ({} trailing bytes)",
-            payload.len() - c.pos
-        ));
+    match op {
+        OP_SCORE => {
+            let group = c.u32()?;
+            let deadline_us = c.u64()?;
+            let n = c.u32()? as usize;
+            if payload.len() - c.pos != 4 * n {
+                return Err(format!(
+                    "item count {n} disagrees with payload ({} trailing bytes)",
+                    payload.len() - c.pos
+                ));
+            }
+            let mut items = Vec::with_capacity(n);
+            for _ in 0..n {
+                items.push(c.u32()?);
+            }
+            Ok(Message::Score(Request { id, group, deadline_us, items }))
+        }
+        OP_CREATE => {
+            let n = c.u32()? as usize;
+            if payload.len() - c.pos != 4 * n {
+                return Err(format!(
+                    "member count {n} disagrees with payload ({} trailing bytes)",
+                    payload.len() - c.pos
+                ));
+            }
+            let mut members = Vec::with_capacity(n);
+            for _ in 0..n {
+                members.push(c.u32()?);
+            }
+            Ok(Message::Lifecycle(LifecycleRequest { id, op: LifecycleOp::Create { members } }))
+        }
+        OP_JOIN | OP_LEAVE => {
+            let group = c.u32()?;
+            let user = c.u32()?;
+            if c.pos != payload.len() {
+                return Err(format!("{} trailing bytes after join/leave", payload.len() - c.pos));
+            }
+            let op = if op == OP_JOIN {
+                LifecycleOp::Join { group, user }
+            } else {
+                LifecycleOp::Leave { group, user }
+            };
+            Ok(Message::Lifecycle(LifecycleRequest { id, op }))
+        }
+        other => Err(format!("unknown opcode {other}")),
     }
-    let mut items = Vec::with_capacity(n);
-    for _ in 0..n {
-        items.push(c.u32()?);
-    }
-    Ok(Request { id, group, deadline_us, items })
 }
 
 /// Best-effort correlation id of a payload that failed to decode, so
-/// the error response still reaches the right caller.
+/// the error response still reaches the right caller. The id sits after
+/// the opcode byte.
 pub fn salvage_id(payload: &[u8]) -> u64 {
-    if payload.len() >= 8 {
-        u64::from_le_bytes(payload[..8].try_into().unwrap())
+    if payload.len() >= 9 {
+        u64::from_le_bytes(payload[1..9].try_into().unwrap())
     } else {
         0
     }
@@ -148,14 +260,38 @@ pub fn salvage_id(payload: &[u8]) -> u64 {
 
 /// Encode a response as one frame (length prefix included).
 pub fn encode_response(resp: &Response) -> Vec<u8> {
-    let payload_len = 8 + 1 + 4 + 4 * resp.scores.len();
+    let (status, body_len) = match &resp.reply {
+        Ok(Reply::Scores(s)) => (Status::Ok as u8, 4 + 4 * s.len()),
+        Ok(Reply::Ack(_)) => (Status::Ack as u8, 8),
+        Err(e) => {
+            let b = match e {
+                ServeError::Rejected => Status::Rejected as u8,
+                ServeError::DeadlineMissed => Status::DeadlineMissed as u8,
+                ServeError::Canceled => Status::Canceled as u8,
+                ServeError::Invalid => Status::Invalid as u8,
+                ServeError::Unsupported => Status::Unsupported as u8,
+                ServeError::Lifecycle(le) => lifecycle_to_byte(*le),
+            };
+            (b, 0)
+        }
+    };
+    let payload_len = 8 + 1 + body_len;
     let mut out = Vec::with_capacity(4 + payload_len);
     out.extend_from_slice(&(payload_len as u32).to_le_bytes());
     out.extend_from_slice(&resp.id.to_le_bytes());
-    out.push(resp.status as u8);
-    out.extend_from_slice(&(resp.scores.len() as u32).to_le_bytes());
-    for &s in &resp.scores {
-        out.extend_from_slice(&s.to_bits().to_le_bytes());
+    out.push(status);
+    match &resp.reply {
+        Ok(Reply::Scores(scores)) => {
+            out.extend_from_slice(&(scores.len() as u32).to_le_bytes());
+            for &s in scores {
+                out.extend_from_slice(&s.to_bits().to_le_bytes());
+            }
+        }
+        Ok(Reply::Ack(ack)) => {
+            out.extend_from_slice(&ack.group.to_le_bytes());
+            out.extend_from_slice(&ack.members.to_le_bytes());
+        }
+        Err(_) => {}
     }
     out
 }
@@ -164,16 +300,41 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
 pub fn decode_response(payload: &[u8]) -> Result<Response, String> {
     let mut c = Cursor { buf: payload, pos: 0 };
     let id = c.u64()?;
-    let status = Status::from_byte(c.u8()?).ok_or_else(|| "unknown status byte".to_owned())?;
-    let n = c.u32()? as usize;
-    if payload.len() - c.pos != 4 * n {
-        return Err(format!("score count {n} disagrees with payload"));
+    let status = c.u8()?;
+    let reply = match status {
+        b if b == Status::Ok as u8 => {
+            let n = c.u32()? as usize;
+            if payload.len() - c.pos != 4 * n {
+                return Err(format!("score count {n} disagrees with payload"));
+            }
+            let mut scores = Vec::with_capacity(n);
+            for _ in 0..n {
+                scores.push(f32::from_bits(c.u32()?));
+            }
+            Ok(Reply::Scores(scores))
+        }
+        b if b == Status::Ack as u8 => {
+            let group = c.u32()?;
+            let members = c.u32()?;
+            if c.pos != payload.len() {
+                return Err("trailing bytes after ack".to_owned());
+            }
+            Ok(Reply::Ack(LifecycleAck { group, members }))
+        }
+        b if b == Status::Rejected as u8 => Err(ServeError::Rejected),
+        b if b == Status::DeadlineMissed as u8 => Err(ServeError::DeadlineMissed),
+        b if b == Status::Canceled as u8 => Err(ServeError::Canceled),
+        b if b == Status::Invalid as u8 => Err(ServeError::Invalid),
+        b if b == Status::Unsupported as u8 => Err(ServeError::Unsupported),
+        b => match lifecycle_from_byte(b) {
+            Some(le) => Err(ServeError::Lifecycle(le)),
+            None => return Err(format!("unknown status byte {b}")),
+        },
+    };
+    if matches!(reply, Err(_)) && c.pos != payload.len() {
+        return Err("trailing bytes after error status".to_owned());
     }
-    let mut scores = Vec::with_capacity(n);
-    for _ in 0..n {
-        scores.push(f32::from_bits(c.u32()?));
-    }
-    Ok(Response { id, status, scores })
+    Ok(Response { id, reply })
 }
 
 /// If `buf` starts with a complete frame, split off and return its
@@ -254,7 +415,22 @@ mod tests {
         let mut buf = frame.clone();
         let payload = take_frame(&mut buf).unwrap().expect("complete frame");
         assert!(buf.is_empty());
-        assert_eq!(decode_request(&payload).unwrap(), req);
+        assert_eq!(decode_request(&payload).unwrap(), Message::Score(req));
+    }
+
+    #[test]
+    fn lifecycle_requests_roundtrip() {
+        for op in [
+            LifecycleOp::Create { members: vec![3, 1, 4, 1] },
+            LifecycleOp::Create { members: vec![] },
+            LifecycleOp::Join { group: 9, user: u32::MAX },
+            LifecycleOp::Leave { group: 0, user: 0 },
+        ] {
+            let req = LifecycleRequest { id: 0xfeed_beef, op };
+            let mut buf = encode_lifecycle(&req);
+            let payload = take_frame(&mut buf).unwrap().expect("complete frame");
+            assert_eq!(decode_request(&payload).unwrap(), Message::Lifecycle(req));
+        }
     }
 
     #[test]
@@ -262,26 +438,46 @@ mod tests {
         // adversarial f32 bit patterns: -0.0, subnormal, NaN payload, inf
         let scores =
             vec![0.5f32, -0.0, f32::from_bits(1), f32::from_bits(0x7fc0_dead), f32::INFINITY];
-        let resp = Response { id: 9, status: Status::Ok, scores };
+        let resp = Response { id: 9, reply: Ok(Reply::Scores(scores.clone())) };
         let frame = encode_response(&resp);
         let mut buf = frame;
         let payload = take_frame(&mut buf).unwrap().unwrap();
         let back = decode_response(&payload).unwrap();
         assert_eq!(back.id, 9);
-        assert_eq!(back.status, Status::Ok);
-        let a: Vec<u32> = resp.scores.iter().map(|s| s.to_bits()).collect();
-        let b: Vec<u32> = back.scores.iter().map(|s| s.to_bits()).collect();
+        let Ok(Reply::Scores(got)) = back.reply else { panic!("expected scores") };
+        let a: Vec<u32> = scores.iter().map(|s| s.to_bits()).collect();
+        let b: Vec<u32> = got.iter().map(|s| s.to_bits()).collect();
         assert_eq!(a, b, "scores must survive the wire bit-exactly");
     }
 
     #[test]
+    fn ack_responses_roundtrip() {
+        let resp = Response::from_ack(11, Ok(LifecycleAck { group: 42, members: 6 }));
+        let back = decode_response(&encode_response(&resp)[4..]).unwrap();
+        assert_eq!(back, resp);
+    }
+
+    #[test]
     fn error_statuses_roundtrip_through_results() {
-        for err in [
+        let mut errs = vec![
             ServeError::Rejected,
             ServeError::DeadlineMissed,
             ServeError::Canceled,
             ServeError::Invalid,
-        ] {
+            ServeError::Unsupported,
+        ];
+        errs.extend(
+            [
+                LifecycleError::UnknownGroup,
+                LifecycleError::UnknownUser,
+                LifecycleError::AlreadyMember,
+                LifecycleError::NotAMember,
+                LifecycleError::TooFewMembers,
+                LifecycleError::DuplicateMember,
+            ]
+            .map(ServeError::Lifecycle),
+        );
+        for err in errs {
             let resp = Response::from_result(3, Err(err));
             let back = decode_response(&encode_response(&resp)[4..]).unwrap();
             assert_eq!(back.into_result(), Err(err));
@@ -300,14 +496,20 @@ mod tests {
             if i + 1 < frame.len() {
                 assert!(got.is_none(), "byte {i}: incomplete frame must not decode");
             } else {
-                assert_eq!(decode_request(&got.unwrap()).unwrap(), req);
+                assert_eq!(decode_request(&got.unwrap()).unwrap(), Message::Score(req.clone()));
             }
         }
         // two frames back-to-back come out in order
-        let r2 = Request { id: 2, group: 1, deadline_us: 9, items: vec![] };
-        let mut buf = [encode_request(&req), encode_request(&r2)].concat();
-        assert_eq!(decode_request(&take_frame(&mut buf).unwrap().unwrap()).unwrap(), req);
-        assert_eq!(decode_request(&take_frame(&mut buf).unwrap().unwrap()).unwrap(), r2);
+        let r2 = LifecycleRequest { id: 2, op: LifecycleOp::Join { group: 1, user: 9 } };
+        let mut buf = [encode_request(&req), encode_lifecycle(&r2)].concat();
+        assert_eq!(
+            decode_request(&take_frame(&mut buf).unwrap().unwrap()).unwrap(),
+            Message::Score(req)
+        );
+        assert_eq!(
+            decode_request(&take_frame(&mut buf).unwrap().unwrap()).unwrap(),
+            Message::Lifecycle(r2)
+        );
         assert!(buf.is_empty());
     }
 
@@ -319,17 +521,54 @@ mod tests {
 
     #[test]
     fn truncated_payloads_are_invalid_not_panics() {
-        let req = Request { id: 8, group: 2, deadline_us: 0, items: vec![1, 2, 3] };
-        let frame = encode_request(&req);
-        let payload = &frame[4..];
-        for cut in 0..payload.len() {
-            assert!(decode_request(&payload[..cut]).is_err(), "cut at {cut} must not decode");
+        let frames = [
+            encode_request(&Request { id: 8, group: 2, deadline_us: 0, items: vec![1, 2, 3] }),
+            encode_lifecycle(&LifecycleRequest {
+                id: 8,
+                op: LifecycleOp::Create { members: vec![1, 2, 3] },
+            }),
+            encode_lifecycle(&LifecycleRequest {
+                id: 8,
+                op: LifecycleOp::Join { group: 1, user: 2 },
+            }),
+            encode_lifecycle(&LifecycleRequest {
+                id: 8,
+                op: LifecycleOp::Leave { group: 1, user: 2 },
+            }),
+        ];
+        for frame in &frames {
+            let payload = &frame[4..];
+            for cut in 0..payload.len() {
+                assert!(decode_request(&payload[..cut]).is_err(), "cut at {cut} must not decode");
+            }
         }
-        // declared item count larger than the payload
-        let mut lying = payload.to_vec();
-        let n_off = 8 + 4 + 8;
+        // declared counts larger than the payload (score items, create members)
+        let mut lying = frames[0][4..].to_vec();
+        let n_off = 1 + 8 + 4 + 8;
         lying[n_off..n_off + 4].copy_from_slice(&1000u32.to_le_bytes());
         assert!(decode_request(&lying).is_err());
+        let mut lying = frames[1][4..].to_vec();
+        lying[9..13].copy_from_slice(&1000u32.to_le_bytes());
+        assert!(decode_request(&lying).is_err());
+        // join/leave with trailing garbage
+        let mut padded = frames[2][4..].to_vec();
+        padded.push(0);
+        assert!(decode_request(&padded).is_err());
+    }
+
+    #[test]
+    fn unknown_opcodes_are_errors_with_salvageable_ids() {
+        let mut payload = vec![0xee];
+        payload.extend_from_slice(&77u64.to_le_bytes());
+        assert!(decode_request(&payload).is_err());
+        assert_eq!(salvage_id(&payload), 77);
+    }
+
+    #[test]
+    fn unknown_status_bytes_are_errors() {
+        let mut payload = 5u64.to_le_bytes().to_vec();
+        payload.push(200); // outside every defined status range
+        assert!(decode_response(&payload).is_err());
     }
 
     #[test]
@@ -337,6 +576,8 @@ mod tests {
         let req = Request { id: 0xdead_beef_cafe, group: 0, deadline_us: 0, items: vec![] };
         let frame = encode_request(&req);
         assert_eq!(salvage_id(&frame[4..]), 0xdead_beef_cafe);
+        let lr = LifecycleRequest { id: 0xcafe, op: LifecycleOp::Join { group: 1, user: 2 } };
+        assert_eq!(salvage_id(&encode_lifecycle(&lr)[4..]), 0xcafe);
         assert_eq!(salvage_id(&[1, 2, 3]), 0);
     }
 }

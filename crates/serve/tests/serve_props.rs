@@ -8,9 +8,11 @@
 //! gate; these tests pin the transport and scheduling semantics with
 //! scorers whose behaviour is fully controlled.
 
+use kgag_data::{GroupLifecycle, GroupStore, LifecycleAck, LifecycleError, LifecycleOp};
 use kgag_eval::protocol::BatchGroupScorer;
 use kgag_serve::{
-    serve_in_process, serve_tcp, ServeClient, ServeConfig, ServeError, ShutdownToken,
+    serve_in_process, serve_tcp, serve_tcp_dynamic, ServeClient, ServeConfig, ServeError,
+    ShutdownToken,
 };
 use kgag_testkit::check::Runner;
 use kgag_testkit::gen::{u32_in, u64_in, vec_of};
@@ -312,7 +314,8 @@ fn tcp_round_trip_with_concurrent_clients() {
         {
             use std::io::Write;
             let mut raw = std::net::TcpStream::connect(addr).unwrap();
-            let bogus_payload = 7u64.to_le_bytes(); // id only, nothing else
+            let mut bogus_payload = vec![kgag_serve::wire::OP_SCORE];
+            bogus_payload.extend_from_slice(&7u64.to_le_bytes()); // op + id, nothing else
             let mut frame = (bogus_payload.len() as u32).to_le_bytes().to_vec();
             frame.extend_from_slice(&bogus_payload);
             raw.write_all(&frame).unwrap();
@@ -321,7 +324,107 @@ fn tcp_round_trip_with_concurrent_clients() {
             assert_eq!(resp.id, 7);
             assert_eq!(resp.into_result(), Err(ServeError::Invalid));
         }
+        // lifecycle opcodes on a static server are Unsupported, typed,
+        // and leave the connection usable
+        {
+            let mut client = ServeClient::connect(addr).unwrap();
+            assert_eq!(client.create_group(&[1, 2, 3]).unwrap(), Err(ServeError::Unsupported));
+            assert_eq!(client.join_group(0, 9).unwrap(), Err(ServeError::Unsupported));
+            assert_eq!(client.leave_group(0, 9).unwrap(), Err(ServeError::Unsupported));
+            let items = request_items(3, 4);
+            let got = client.score(3, &items).unwrap().unwrap();
+            assert_eq!(got, expected(3, &items), "connection survives rejected lifecycle ops");
+        }
         token.trigger();
         server.join().unwrap().expect("serve_tcp exits cleanly");
+    });
+}
+
+/// Minimal lifecycle backend for transport tests: a locked
+/// [`GroupStore`], no caches, no model — exactly the trait surface the
+/// server dispatches through.
+struct StubLifecycle {
+    store: Mutex<GroupStore>,
+    num_items: u32,
+}
+
+impl GroupLifecycle for StubLifecycle {
+    fn apply_op(&self, op: &LifecycleOp) -> Result<LifecycleAck, LifecycleError> {
+        self.store.lock().unwrap().apply(op).map(|a| a.ack)
+    }
+
+    fn group_count(&self) -> u32 {
+        self.store.lock().unwrap().num_groups()
+    }
+
+    fn item_count(&self) -> u32 {
+        self.num_items
+    }
+}
+
+/// End-to-end lifecycle dispatch over TCP: acks carry the mutated
+/// membership, every rejection is the matching typed error, and score
+/// requests are bounds-checked against the *live* group table.
+#[test]
+fn tcp_dynamic_lifecycle_round_trip() {
+    let scorer = StubScorer::new();
+    let lifecycle = StubLifecycle {
+        store: Mutex::new(GroupStore::new(vec![vec![0, 1], vec![2, 3]], 10)),
+        num_items: 50,
+    };
+    let config = ServeConfig {
+        batch_window: Duration::from_micros(200),
+        max_batch: 16,
+        queue_capacity: 1024,
+        workers: 1,
+    };
+    let token = ShutdownToken::new();
+    let (addr_tx, addr_rx) = mpsc::channel();
+    std::thread::scope(|s| {
+        let server = {
+            let (token, scorer, lifecycle, config) = (token.clone(), &scorer, &lifecycle, &config);
+            s.spawn(move || {
+                serve_tcp_dynamic(scorer, lifecycle, config, "127.0.0.1:0", &token, |a| {
+                    addr_tx.send(a).unwrap()
+                })
+            })
+        };
+        let addr = addr_rx.recv().expect("server ready");
+        let mut client = ServeClient::connect(addr).unwrap();
+
+        // a group created over the wire becomes a valid score target
+        assert_eq!(
+            client.create_group(&[4, 5, 6]).unwrap(),
+            Ok(LifecycleAck { group: 2, members: 3 })
+        );
+        let items = vec![5, 17, 29, 41, 49]; // in range for num_items = 50
+        assert_eq!(client.score(2, &items).unwrap().unwrap(), expected(2, &items));
+
+        // join/leave acks report the membership after the mutation
+        assert_eq!(client.join_group(2, 7).unwrap(), Ok(LifecycleAck { group: 2, members: 4 }));
+        assert_eq!(client.leave_group(2, 7).unwrap(), Ok(LifecycleAck { group: 2, members: 3 }));
+
+        // every rejection is the matching typed error, connection intact
+        for (got, want) in [
+            (client.create_group(&[4]).unwrap(), LifecycleError::TooFewMembers),
+            (client.create_group(&[4, 4]).unwrap(), LifecycleError::DuplicateMember),
+            (client.create_group(&[4, 99]).unwrap(), LifecycleError::UnknownUser),
+            (client.join_group(99, 0).unwrap(), LifecycleError::UnknownGroup),
+            (client.join_group(2, 4).unwrap(), LifecycleError::AlreadyMember),
+            (client.leave_group(2, 9).unwrap(), LifecycleError::NotAMember),
+        ] {
+            assert_eq!(got, Err(ServeError::Lifecycle(want)));
+        }
+
+        // score pre-validation against the live bounds
+        assert_eq!(
+            client.score(99, &[0]).unwrap(),
+            Err(ServeError::Lifecycle(LifecycleError::UnknownGroup))
+        );
+        assert_eq!(client.score(0, &[50]).unwrap(), Err(ServeError::Invalid));
+        assert_eq!(client.score(0, &[49]).unwrap().unwrap(), expected(0, &[49]));
+
+        token.trigger();
+        server.join().unwrap().expect("serve_tcp_dynamic exits cleanly");
     });
 }

@@ -16,7 +16,9 @@
 //! same pipeline on user-provided TSV files (see
 //! `kgag_data::import` for the formats); `serve` exposes a trained
 //! model over the `kgag_serve` wire protocol (DESIGN.md §12) until
-//! stdin closes.
+//! stdin closes, with live group lifecycle — create/join/leave
+//! mutations take effect on the very next score request (DESIGN.md
+//! §13).
 
 use kgag::harness::{eval_cases, EvalBucket};
 use kgag::{Kgag, KgagConfig};
@@ -83,9 +85,14 @@ USAGE:
 (bit-identical metrics, faster; see KGAG_RF_CACHE / KGAG_EVAL_BATCH).
 serve loads --checkpoint if the file exists (training and writing it
 otherwise), binds --addr (default 127.0.0.1:0, port printed on stdout)
-and scores requests until stdin reaches EOF or reads \"quit\". Batching
-knobs: KGAG_SERVE_BATCH_WINDOW_US, KGAG_SERVE_MAX_BATCH,
-KGAG_SERVE_QUEUE, KGAG_SERVE_WORKERS.
+and scores requests until stdin reaches EOF or reads \"quit\". The
+server is lifecycle-aware: wire opcodes create/join/leave mutate the
+live group table and later score requests see the new membership
+(groups at the trained size use the full attention path, other sizes
+the cold-start path; DESIGN.md §13). Batching knobs:
+KGAG_SERVE_BATCH_WINDOW_US, KGAG_SERVE_MAX_BATCH, KGAG_SERVE_QUEUE,
+KGAG_SERVE_WORKERS; cache knob KGAG_RF_CACHE=0 disables the
+receptive-field cache (scores are bit-identical either way).
 Formats for `import` are documented in kgag_data::import: interactions
 as `user<TAB>item`, KG as `head<TAB>rel<TAB>tail` (items = entities
 0..M), groups as `m1,m2,...<TAB>v1,v2,...`.";
@@ -229,7 +236,7 @@ fn cmd_explain(opts: &Flags) -> Result<(), String> {
 }
 
 fn cmd_serve(opts: &Flags) -> Result<(), String> {
-    use kgag_serve::{serve_tcp, ServeConfig, ShutdownToken};
+    use kgag_serve::{serve_tcp_dynamic, ServeConfig, ShutdownToken};
     let ds = dataset(opts)?;
     let cfg = config(opts)?;
     let epochs = cfg.epochs;
@@ -253,11 +260,15 @@ fn cmd_serve(opts: &Flags) -> Result<(), String> {
             }
         }
     }
-    let scorer = model.batch_scorer();
+    // the dynamic scorer doubles as the lifecycle backend: the same
+    // server socket accepts create/join/leave mutations and scores
+    // against the live group table (DESIGN.md §13)
+    let scorer = model.dynamic_scorer();
     match scorer.cache_bytes() {
         Some(b) => eprintln!("receptive-field cache resident: {:.1} KiB", b as f64 / 1024.0),
         None => eprintln!("receptive-field cache disabled"),
     }
+    eprintln!("lifecycle enabled: {} groups live", scorer.num_groups());
     let serve_cfg = ServeConfig::from_env();
     let addr = opts.get("addr").cloned().unwrap_or_else(|| "127.0.0.1:0".into());
     let token = ShutdownToken::new();
@@ -278,7 +289,7 @@ fn cmd_serve(opts: &Flags) -> Result<(), String> {
             token.trigger();
         });
     }
-    serve_tcp(&scorer, &serve_cfg, &addr, &token, |bound| {
+    serve_tcp_dynamic(&scorer, &scorer, &serve_cfg, &addr, &token, |bound| {
         println!("serving on {bound}");
         eprintln!(
             "batch window {:?}, max batch {}, queue {}, workers {} — close stdin or type \
@@ -298,6 +309,14 @@ fn cmd_serve(opts: &Flags) -> Result<(), String> {
         kgag_obs::histogram("serve.batch_requests").mean(),
         kgag_obs::counter("serve.requests_rejected").get(),
         kgag_obs::counter("serve.deadline_missed").get(),
+    );
+    eprintln!(
+        "lifecycle: {} created, {} joins, {} leaves, {} cache entries evicted ({} groups final)",
+        kgag_obs::counter("lifecycle.groups_created").get(),
+        kgag_obs::counter("lifecycle.joins").get(),
+        kgag_obs::counter("lifecycle.leaves").get(),
+        kgag_obs::counter("lifecycle.cache_evicted").get(),
+        scorer.num_groups(),
     );
     Ok(())
 }
