@@ -6,138 +6,298 @@
 # crates.io dependency, the gate fails on the first stage instead of
 # only on a network-less machine.
 #
-# Stages (each fails fast):
-#   1. fmt        — cargo fmt --check
-#   2. build      — release build with RUSTFLAGS="-D warnings"
-#   3. test x2    — full suite at KGAG_THREADS=1 and KGAG_THREADS=4;
-#                   the determinism suite additionally compares both
-#                   thread counts bit-for-bit inside one process
-#                   (DESIGN.md §9)
-#   4. cache eq   — the batched-inference oracle suite again, at both
-#                   thread counts, with the *environment* knobs forced
-#                   to their non-default paths (KGAG_RF_CACHE=0,
-#                   KGAG_EVAL_BATCH=7): batched scores must stay
-#                   bit-identical to the per-case path however the
-#                   engine is configured (DESIGN.md §11)
-#   5. serving    — the serve_check gate, at both thread counts: a
-#                   fixed request slice fanned out through 4 concurrent
-#                   clients of the in-process server and over loopback
-#                   TCP must score bit-identically to the offline
-#                   BatchScorer, the full evaluation protocol must
-#                   reproduce evaluate_batched exactly with the server
-#                   in the scorer seat, and graceful shutdown must
-#                   answer every accepted request (DESIGN.md §12)
-#   6. lifecycle  — dynamic-group gate (DESIGN.md §13): the
-#                   mutate-equals-rebuild oracle suite re-run with the
-#                   receptive-field cache disabled (the cached paths run
-#                   in stage 3; both must agree bit-for-bit), then the
-#                   lifecycle_check binary at both thread counts — 4
-#                   concurrent TCP clients creating/joining/leaving
-#                   disjoint groups while scoring, every response
-#                   bit-identical to the roster-level reference and
-#                   every malformed mutation a typed rejection
-#   7. telemetry  — smoke training with the JSONL telemetry sink
-#                   enabled: model outputs must be bit-identical with
-#                   telemetry on vs off, and every emitted line must
-#                   pass the testkit JSON parser plus the per-kind
-#                   schema checks (DESIGN.md §10)
-#   8. golden     — fixed-seed smoke training compared *bit-identically*
-#                   against results/golden_smoke.json; any numeric
-#                   drift fails. After an intentional numerics change:
-#                     ./ci.sh --golden-baseline
-#   9. bench gate — only with --bench: regenerate the micro-benchmark
-#                   JSON artifacts and compare medians against the
-#                   committed results/bench_baseline.json; fails on
-#                   regressions beyond KGAG_BENCH_TOLERANCE (default
-#                   25%). Regenerate the baseline after intentional
-#                   perf changes with:
-#                     ./ci.sh --bench-baseline
+# The gate is a stage *manifest* plus a generic runner: each stage is a
+# name in $STAGES with a description and a shell function, the runner
+# prints generated "N/M" banners, times every stage, and writes the
+# machine-readable run summary to results/ci_summary.json (via the
+# kgag-bench ci_summary binary) whether the run passes or fails.
+#
+# Stages (./ci.sh --list prints this table):
+#   fmt        — cargo fmt --check
+#   build      — release build with RUSTFLAGS="-D warnings"
+#   test       — full suite at KGAG_THREADS=1 and KGAG_THREADS=4; the
+#                determinism suite additionally compares both thread
+#                counts bit-for-bit inside one process (DESIGN.md §9)
+#   cache      — the batched-inference oracle suite again, at both
+#                thread counts, with the *environment* knobs forced to
+#                their non-default paths (KGAG_RF_CACHE=0,
+#                KGAG_EVAL_BATCH=7) and one leg pinning
+#                KGAG_SCORE_DTYPE=f64 explicitly: batched scores must
+#                stay bit-identical to the per-case path however the
+#                engine is configured (DESIGN.md §11)
+#   serve      — the serve_check gate, at both thread counts: a fixed
+#                request slice fanned out through 4 concurrent clients
+#                of the in-process server and over loopback TCP must
+#                score bit-identically to the offline BatchScorer, the
+#                full evaluation protocol must reproduce
+#                evaluate_batched exactly with the server in the scorer
+#                seat, and graceful shutdown must answer every accepted
+#                request (DESIGN.md §12)
+#   lifecycle  — dynamic-group gate (DESIGN.md §13): the
+#                mutate-equals-rebuild oracle suite re-run with the
+#                receptive-field cache disabled (the cached paths run
+#                in the test stage; both must agree bit-for-bit), then
+#                the lifecycle_check binary at both thread counts — 4
+#                concurrent TCP clients creating/joining/leaving
+#                disjoint groups while scoring, every response
+#                bit-identical to the roster-level reference and every
+#                malformed mutation a typed rejection
+#   telemetry  — smoke training with the JSONL telemetry sink enabled:
+#                model outputs must be bit-identical with telemetry on
+#                vs off, and every emitted line must pass the testkit
+#                JSON parser plus the per-kind schema checks (§10)
+#   golden     — fixed-seed smoke training compared *bit-identically*
+#                against results/golden_smoke.json; any numeric drift
+#                fails. After an intentional numerics change:
+#                  ./ci.sh --golden-baseline
+#   accuracy   — f32-tier accuracy contract (DESIGN.md §14): the
+#                accuracy_check gate with KGAG_SCORE_DTYPE=f32, at
+#                KGAG_THREADS=1 and 4 (both tiers are thread-invariant,
+#                so the two legs must print identical numbers). Ranking
+#                agreement with the exact engine must satisfy the
+#                committed results/accuracy_contract.json. After an
+#                intentional kernel change:
+#                  ./ci.sh --accuracy-baseline
+#   bench      — only with --bench (or --stage bench): regenerate the
+#                micro-benchmark JSON artifacts into a scratch dir,
+#                move them into crates/bench/results atomically (an
+#                interrupted run never leaves a partial artifact set),
+#                and compare medians against the committed
+#                results/bench_baseline.json; fails on regressions
+#                beyond KGAG_BENCH_TOLERANCE (default 25%) and on any
+#                baseline suite with no artifact at all. Regenerate the
+#                baseline after intentional perf changes with:
+#                  ./ci.sh --bench-baseline
 #
 # Usage:
-#   ./ci.sh                    # stages 1-8
-#   ./ci.sh --bench            # …plus the bench regression gate
-#   ./ci.sh --bench-baseline   # …instead rewrite results/bench_baseline.json
-#   ./ci.sh --golden-baseline  # stages 1-7, then rewrite results/golden_smoke.json
+#   ./ci.sh                      # every stage except bench
+#   ./ci.sh --list               # print the stage table and exit
+#   ./ci.sh --stage golden       # run exactly one stage
+#   ./ci.sh --stage fmt,test     # run a comma-separated subset
+#   ./ci.sh --bench              # …default stages plus the bench gate
+#   ./ci.sh --bench-baseline     # …instead rewrite results/bench_baseline.json
+#   ./ci.sh --golden-baseline    # …instead rewrite results/golden_smoke.json
+#   ./ci.sh --accuracy-baseline  # …instead rewrite results/accuracy_contract.json
 set -eu
 
 cd "$(dirname "$0")"
+
+# ----------------------------------------------------------------- manifest
+
+STAGES="fmt build test cache serve lifecycle telemetry golden accuracy bench"
+# bench is opt-in: excluded from a default run, included by --bench /
+# --bench-baseline or an explicit --stage selection
+DEFAULT_STAGES="fmt build test cache serve lifecycle telemetry golden accuracy"
+
+stage_desc() {
+    case "$1" in
+    fmt) echo "cargo fmt --check" ;;
+    build) echo "release build, deny warnings" ;;
+    test) echo "full test suite at KGAG_THREADS=1 and 4" ;;
+    cache) echo "batched-inference cache equivalence (env knobs forced)" ;;
+    serve) echo "serving gate: concurrent bit-identity + drain" ;;
+    lifecycle) echo "lifecycle gate: mutate-equals-rebuild + TCP mutations" ;;
+    telemetry) echo "telemetry gate: passivity + JSONL schema" ;;
+    golden) echo "golden-file gate: bit-identical smoke metrics" ;;
+    accuracy) echo "f32-tier accuracy contract at KGAG_THREADS=1 and 4" ;;
+    bench) echo "bench regression gate (opt-in: --bench)" ;;
+    esac
+}
+
+run_fmt() {
+    cargo fmt --check
+}
+
+run_build() {
+    RUSTFLAGS="-D warnings" cargo build --release --offline --workspace
+}
+
+run_test() {
+    KGAG_THREADS=1 cargo test -q --offline --workspace
+    KGAG_THREADS=4 cargo test -q --offline --workspace
+}
+
+run_cache() {
+    # one leg pins the default tier explicitly: KGAG_SCORE_DTYPE=f64
+    # must be a spelled-out no-op, not an accidental third code path
+    KGAG_THREADS=1 KGAG_RF_CACHE=0 KGAG_EVAL_BATCH=7 KGAG_SCORE_DTYPE=f64 \
+        cargo test -q --offline -p kgag --test batched_oracle
+    KGAG_THREADS=4 KGAG_RF_CACHE=0 KGAG_EVAL_BATCH=7 \
+        cargo test -q --offline -p kgag --test batched_oracle
+}
+
+run_serve() {
+    KGAG_THREADS=1 KGAG_SCORE_DTYPE=f64 \
+        cargo run -q --release --offline -p kgag-bench --bin serve_check
+    KGAG_THREADS=4 cargo run -q --release --offline -p kgag-bench --bin serve_check
+}
+
+run_lifecycle() {
+    KGAG_THREADS=1 KGAG_RF_CACHE=0 KGAG_SCORE_DTYPE=f64 \
+        cargo test -q --release --offline -p kgag --test lifecycle_oracle
+    KGAG_THREADS=4 KGAG_RF_CACHE=0 \
+        cargo test -q --release --offline -p kgag --test lifecycle_oracle
+    KGAG_THREADS=1 cargo run -q --release --offline -p kgag-bench --bin lifecycle_check
+    KGAG_THREADS=4 cargo run -q --release --offline -p kgag-bench --bin lifecycle_check
+}
+
+run_telemetry() {
+    KGAG_THREADS=4 cargo run -q --release --offline -p kgag-bench --bin telemetry_check
+}
+
+run_golden() {
+    if [ "$GOLDEN_MODE" = "write" ]; then
+        KGAG_THREADS=4 cargo run -q --release --offline -p kgag-bench --bin golden_check -- \
+            --write-baseline
+    else
+        KGAG_THREADS=4 cargo run -q --release --offline -p kgag-bench --bin golden_check
+    fi
+}
+
+run_accuracy() {
+    if [ "$ACCURACY_MODE" = "write" ]; then
+        KGAG_THREADS=4 KGAG_SCORE_DTYPE=f32 \
+            cargo run -q --release --offline -p kgag-bench --bin accuracy_check -- \
+            --write-baseline
+    else
+        KGAG_THREADS=1 KGAG_SCORE_DTYPE=f32 \
+            cargo run -q --release --offline -p kgag-bench --bin accuracy_check
+        KGAG_THREADS=4 KGAG_SCORE_DTYPE=f32 \
+            cargo run -q --release --offline -p kgag-bench --bin accuracy_check
+    fi
+}
 
 # Bench settings shared by the gate and baseline generation — the 25%
 # tolerance only means something when both sides use identical
 # iteration counts.
 BENCH_ENV="KGAG_BENCH_ITERS=5 KGAG_BENCH_WARMUP=1 KGAG_THREADS=4"
 
-echo "==> stage 1/9: cargo fmt --check"
-cargo fmt --check
-
-echo "==> stage 2/9: cargo build --release --offline (deny warnings)"
-RUSTFLAGS="-D warnings" cargo build --release --offline --workspace
-
-echo "==> stage 3/9: cargo test --offline (KGAG_THREADS=1)"
-KGAG_THREADS=1 cargo test -q --offline --workspace
-
-echo "==> stage 3/9: cargo test --offline (KGAG_THREADS=4)"
-KGAG_THREADS=4 cargo test -q --offline --workspace
-
-echo "==> stage 4/9: batched-inference cache equivalence (KGAG_THREADS=1)"
-KGAG_THREADS=1 KGAG_RF_CACHE=0 KGAG_EVAL_BATCH=7 \
-    cargo test -q --offline -p kgag --test batched_oracle
-
-echo "==> stage 4/9: batched-inference cache equivalence (KGAG_THREADS=4)"
-KGAG_THREADS=4 KGAG_RF_CACHE=0 KGAG_EVAL_BATCH=7 \
-    cargo test -q --offline -p kgag --test batched_oracle
-
-echo "==> stage 5/9: serving gate (concurrent bit-identity + drain, KGAG_THREADS=1)"
-KGAG_THREADS=1 cargo run -q --release --offline -p kgag-bench --bin serve_check
-
-echo "==> stage 5/9: serving gate (concurrent bit-identity + drain, KGAG_THREADS=4)"
-KGAG_THREADS=4 cargo run -q --release --offline -p kgag-bench --bin serve_check
-
-echo "==> stage 6/9: lifecycle gate (mutate-equals-rebuild, cache off, KGAG_THREADS=1)"
-KGAG_THREADS=1 KGAG_RF_CACHE=0 cargo test -q --release --offline -p kgag --test lifecycle_oracle
-
-echo "==> stage 6/9: lifecycle gate (mutate-equals-rebuild, cache off, KGAG_THREADS=4)"
-KGAG_THREADS=4 KGAG_RF_CACHE=0 cargo test -q --release --offline -p kgag --test lifecycle_oracle
-
-echo "==> stage 6/9: lifecycle gate (4-client concurrent mutate/score over TCP, KGAG_THREADS=1)"
-KGAG_THREADS=1 cargo run -q --release --offline -p kgag-bench --bin lifecycle_check
-
-echo "==> stage 6/9: lifecycle gate (4-client concurrent mutate/score over TCP, KGAG_THREADS=4)"
-KGAG_THREADS=4 cargo run -q --release --offline -p kgag-bench --bin lifecycle_check
-
-echo "==> stage 7/9: telemetry gate (passivity + JSONL schema)"
-KGAG_THREADS=4 cargo run -q --release --offline -p kgag-bench --bin telemetry_check
-
-if [ "${1:-}" = "--golden-baseline" ]; then
-    echo "==> stage 8/9: rewriting golden baseline"
-    KGAG_THREADS=4 cargo run -q --release --offline -p kgag-bench --bin golden_check -- \
-        --write-baseline
-else
-    echo "==> stage 8/9: golden-file gate (bit-identical smoke metrics)"
-    KGAG_THREADS=4 cargo run -q --release --offline -p kgag-bench --bin golden_check
-fi
-
-run_benches() {
-    rm -f crates/bench/results/bench_*.json
-    env $BENCH_ENV cargo bench --offline -p kgag-bench
+run_bench() {
+    # regenerate into a scratch dir, then move finished artifacts into
+    # place one by one: the committed artifact set is either the old
+    # run or the new run, never a partially overwritten mix — and
+    # bench_check hard-fails if a whole suite ends up missing anyway
+    scratch="crates/bench/results/.regen.$$"
+    rm -rf "$scratch"
+    mkdir -p "$scratch"
+    # KGAG_BENCH_DIR is resolved from the bench processes' cwd
+    # (crates/bench), hence the shorter relative path
+    env $BENCH_ENV KGAG_BENCH_DIR="results/.regen.$$" cargo bench --offline -p kgag-bench
+    for f in "$scratch"/bench_*.json; do
+        [ -e "$f" ] || continue
+        mv -f "$f" "crates/bench/results/$(basename "$f")"
+    done
+    rmdir "$scratch"
+    if [ "$BENCH_MODE" = "write" ]; then
+        cargo run -q --release --offline -p kgag-bench --bin bench_check -- --write-baseline
+    else
+        cargo run -q --release --offline -p kgag-bench --bin bench_check
+    fi
 }
 
-case "${1:-}" in
---bench)
-    echo "==> stage 9/9: bench regression gate"
-    run_benches
-    cargo run -q --release --offline -p kgag-bench --bin bench_check
-    ;;
---bench-baseline)
-    echo "==> stage 9/9: rewriting bench baseline"
-    run_benches
-    cargo run -q --release --offline -p kgag-bench --bin bench_check -- --write-baseline
-    ;;
-"" | --golden-baseline) ;;
-*)
-    echo "usage: ./ci.sh [--bench | --bench-baseline | --golden-baseline]" >&2
-    exit 2
-    ;;
-esac
+# ------------------------------------------------------------------- runner
 
-echo "==> CI gate passed"
+GOLDEN_MODE=check
+ACCURACY_MODE=check
+BENCH_MODE=check
+SELECTED="$DEFAULT_STAGES"
+
+usage() {
+    echo "usage: ./ci.sh [--list] [--stage name[,name...]] [--bench |" >&2
+    echo "               --bench-baseline | --golden-baseline | --accuracy-baseline]" >&2
+}
+
+list_stages() {
+    echo "available stages:"
+    for s in $STAGES; do
+        printf '  %-10s %s\n' "$s" "$(stage_desc "$s")"
+    done
+}
+
+known_stage() {
+    # distinct loop variable: sh functions share the caller's scope, and
+    # the validation loop below iterates with `s` too
+    for ks in $STAGES; do
+        [ "$ks" = "$1" ] && return 0
+    done
+    return 1
+}
+
+while [ $# -gt 0 ]; do
+    case "$1" in
+    --list)
+        list_stages
+        exit 0
+        ;;
+    --stage)
+        [ $# -ge 2 ] || {
+            echo "--stage needs a comma-separated stage list" >&2
+            usage
+            exit 2
+        }
+        SELECTED=$(echo "$2" | tr ',' ' ')
+        for s in $SELECTED; do
+            known_stage "$s" || {
+                echo "unknown stage: $s" >&2
+                list_stages >&2
+                exit 2
+            }
+        done
+        [ -n "$SELECTED" ] || {
+            echo "--stage selected nothing" >&2
+            exit 2
+        }
+        shift
+        ;;
+    --bench) SELECTED="$SELECTED bench" ;;
+    --bench-baseline)
+        BENCH_MODE=write
+        SELECTED="$SELECTED bench"
+        ;;
+    --golden-baseline) GOLDEN_MODE=write ;;
+    --accuracy-baseline) ACCURACY_MODE=write ;;
+    *)
+        echo "unknown argument: $1" >&2
+        usage
+        exit 2
+        ;;
+    esac
+    shift
+done
+
+# per-stage timing log consumed by the ci_summary binary; the EXIT trap
+# turns it into results/ci_summary.json even when a stage fails
+STAGE_LOG=$(mktemp)
+write_summary() {
+    if [ -s "$STAGE_LOG" ]; then
+        cargo run -q --release --offline -p kgag-bench --bin ci_summary -- \
+            --stages "$STAGE_LOG" ||
+            echo "warning: could not write results/ci_summary.json" >&2
+    fi
+    rm -f "$STAGE_LOG"
+}
+trap write_summary EXIT
+
+TOTAL=0
+for s in $SELECTED; do
+    TOTAL=$((TOTAL + 1))
+done
+
+N=0
+for s in $SELECTED; do
+    N=$((N + 1))
+    echo "==> stage $N/$TOTAL: $s — $(stage_desc "$s")"
+    T0=$(date +%s)
+    if "run_$s"; then
+        STATUS=pass
+    else
+        STATUS=fail
+    fi
+    echo "$s $STATUS $(($(date +%s) - T0))" >>"$STAGE_LOG"
+    if [ "$STATUS" = "fail" ]; then
+        echo "==> CI gate FAILED at stage $N/$TOTAL: $s" >&2
+        exit 1
+    fi
+done
+
+echo "==> CI gate passed ($TOTAL stage(s))"

@@ -1,0 +1,130 @@
+//! Scoring-tier roofline benchmark (DESIGN.md §14): the exact tape
+//! engine against the fused f32 kernel tier on the steady-state serving
+//! workload (warm receptive-field cache, warm derived tables, every
+//! test group scoring the full catalog).
+//!
+//! Beyond wall-clock medians the artifact reports the roofline-style
+//! numbers the acceptance gate reads:
+//!
+//! * `ns_per_candidate_{exact,f32}` — median time per `(group, item)`
+//!   instance;
+//! * `speedup_f32` — exact median / f32 median (the headline);
+//! * `bytes_per_score_f32` — analytic table traffic per instance on the
+//!   f32 tier: every gathered entity/relation row at its blocked
+//!   stride, summed over both receptive fields. With the measured
+//!   ns/candidate this locates the kernel against memory bandwidth;
+//! * `tables_bytes` — resident size of the derived f32 tables.
+//!
+//! Cross-tier *correctness* is owned by `crates/core/tests/tier_oracle.rs`
+//! and the `accuracy_check` CI gate; this file measures time only.
+
+use kgag::harness::{eval_cases, EvalBucket};
+use kgag::{Kgag, KgagConfig, ScoreTier};
+use kgag_data::movielens::Scale;
+use kgag_data::split::split_dataset;
+use kgag_data::yelp::{yelp, YelpConfig};
+use kgag_tensor::infer::blocked_stride;
+use kgag_tensor::pool::with_threads;
+use kgag_testkit::bench::{black_box, BenchSuite};
+use kgag_testkit::json::Json;
+
+const THREADS: usize = 4;
+
+/// Analytic bytes of blocked-table rows one `(group, item)` instance
+/// gathers on the f32 tier: entity rows at every propagation level plus
+/// the relation rows their edges read, for `l` member targets and one
+/// item target.
+fn bytes_per_score(dim: usize, layers: usize, k: usize, l: usize) -> f64 {
+    let row_bytes = (blocked_stride(dim) * 4) as f64;
+    let mut entity_rows = 0f64;
+    let mut relation_rows = 0f64;
+    for lvl in 0..=layers {
+        entity_rows += (k as f64).powi(lvl as i32);
+        if lvl < layers {
+            relation_rows += (k as f64).powi(lvl as i32 + 1);
+        }
+    }
+    let targets = (l + 1) as f64;
+    targets * (entity_rows + relation_rows) * row_bytes
+}
+
+fn main() {
+    let ds = yelp(&YelpConfig::at_scale(Scale::Tiny));
+    let split = split_dataset(&ds, 11);
+    let mut model = Kgag::new(&ds, &split, KgagConfig { epochs: 2, ..Default::default() });
+    with_threads(THREADS, || model.fit(&split));
+
+    let items: Vec<u32> = (0..ds.num_items).collect();
+    let cases: Vec<(u32, Vec<u32>)> = eval_cases(&ds, &split.group, EvalBucket::Test)
+        .iter()
+        .map(|c| (c.group, items.clone()))
+        .collect();
+    let instances = (cases.len() * items.len()) as f64;
+
+    let mut suite = BenchSuite::new("kernel_tiers");
+    suite.annotate("cases", Json::Float(cases.len() as f64));
+    suite.annotate("instances", Json::Float(instances));
+    suite.annotate("threads", Json::Float(THREADS as f64));
+
+    // both scorers warm: rf cache and (for f32) derived tables built
+    // outside the timed region — the steady-state serving shape
+    let exact = model.batch_scorer_with(true);
+    let fused = model.batch_scorer_with(true).with_tier(ScoreTier::FusedF32);
+
+    let label = format!("exact warm {} cases t{THREADS}", cases.len());
+    with_threads(THREADS, || {
+        suite.bench(&label, || {
+            black_box(exact.score_cases(&cases));
+        })
+    });
+    let exact_ns = suite.results().last().unwrap().median_ns;
+
+    let label = format!("f32 warm {} cases t{THREADS}", cases.len());
+    with_threads(THREADS, || {
+        suite.bench(&label, || {
+            black_box(fused.score_cases(&cases));
+        })
+    });
+    let f32_ns = suite.results().last().unwrap().median_ns;
+
+    // single-thread legs separate kernel efficiency from pool scaling
+    let label = format!("exact warm {} cases t1", cases.len());
+    with_threads(1, || {
+        suite.bench(&label, || {
+            black_box(exact.score_cases(&cases));
+        })
+    });
+    let label = format!("f32 warm {} cases t1", cases.len());
+    with_threads(1, || {
+        suite.bench(&label, || {
+            black_box(fused.score_cases(&cases));
+        })
+    });
+
+    // table-derivation cost: what a checkpoint load pays to enter the
+    // f32 tier (compare against the rf-cache build in batched_inference)
+    suite.bench("derive tables", || {
+        black_box(model.batch_scorer_with(false).with_tier(ScoreTier::FusedF32));
+    });
+
+    let cfg = model.config();
+    let k = cfg.eval_neighbor_k.unwrap_or(cfg.neighbor_k);
+    let bps = bytes_per_score(cfg.dim, cfg.layers, k, model.group_size());
+    suite.annotate("ns_per_candidate_exact", Json::Float(exact_ns / instances));
+    suite.annotate("ns_per_candidate_f32", Json::Float(f32_ns / instances));
+    suite.annotate("speedup_f32", Json::Float(exact_ns / f32_ns));
+    suite.annotate("bytes_per_score_f32", Json::Float(bps));
+    suite.annotate(
+        "tables_bytes",
+        Json::Float(fused.tables_bytes().expect("f32 scorer has tables") as f64),
+    );
+    println!(
+        "\nkernel_tiers: {:.0} ns/candidate exact, {:.0} ns/candidate f32 \
+         (speedup {:.2}x), {:.0} analytic bytes/score",
+        exact_ns / instances,
+        f32_ns / instances,
+        exact_ns / f32_ns,
+        bps
+    );
+    suite.finish();
+}

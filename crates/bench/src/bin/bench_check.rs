@@ -19,9 +19,13 @@
 //!
 //! A benchmark regresses when `current_median > baseline_median * (1 +
 //! tol)` with `tol` from `KGAG_BENCH_TOLERANCE` (default 0.25).
-//! Benchmarks present only on one side are reported but never fail the
-//! gate — adding or retiring a benchmark shouldn't need a lockstep
-//! baseline edit to keep CI green.
+//! *Individual* benchmarks present only on one side are reported but
+//! never fail the gate — adding or retiring a benchmark shouldn't need
+//! a lockstep baseline edit to keep CI green. A whole *suite* from the
+//! baseline with zero current artifacts is a hard failure, though: that
+//! is the shape an interrupted or crashed bench run leaves behind, and
+//! silently skipping it would let the gate pass on stale or absent
+//! numbers.
 
 use kgag_testkit::bench::fmt_ns;
 use kgag_testkit::json::Json;
@@ -141,7 +145,31 @@ fn load_baseline(path: &Path) -> Result<Vec<(String, f64)>, String> {
         .collect()
 }
 
+/// Suite prefixes (`suite/name` → `suite`) present in a median list.
+fn suites(medians: &[(String, f64)]) -> Vec<&str> {
+    let mut out: Vec<&str> = medians.iter().filter_map(|(k, _)| k.split('/').next()).collect();
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
 fn compare(baseline: &[(String, f64)], current: &[(String, f64)], tol: f64) -> bool {
+    // a baseline suite with no current artifact at all means the bench
+    // run never produced (or lost) that file — fail instead of skipping
+    let current_suites = suites(current);
+    let missing: Vec<&str> =
+        suites(baseline).into_iter().filter(|s| !current_suites.contains(s)).collect();
+    if !missing.is_empty() {
+        for s in &missing {
+            eprintln!("  [MISSING] suite {s} — in baseline but produced no bench_{s}.json");
+        }
+        eprintln!(
+            "\nbench_check: {} suite(s) absent from this run — rerun `cargo bench` \
+             (an interrupted run leaves exactly this shape)",
+            missing.len()
+        );
+        return false;
+    }
     let mut failures = 0usize;
     for (key, base_ns) in baseline {
         let Some((_, cur_ns)) = current.iter().find(|(k, _)| k == key) else {

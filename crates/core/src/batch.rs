@@ -24,9 +24,11 @@
 //! chunk (default 256 — chunks shrink automatically when the batch is
 //! too small to keep every pool worker busy).
 
+use crate::infer::{score_cases_f32, InferenceTables, ScoreTier};
 use crate::trainer::{Kgag, SALT_ITEM, SALT_MEMBER};
 use kgag_eval::{BatchGroupScorer, EvalConfig, GroupEvalCase, MetricSummary};
 use kgag_kg::RfCache;
+use kgag_tensor::infer::ConvertError;
 use kgag_tensor::pool;
 use kgag_tensor::tensor::sigmoid;
 use kgag_tensor::Tape;
@@ -41,16 +43,19 @@ pub struct BatchScorer<'m> {
     /// fields exist to cache).
     caches: Option<(RfCache, RfCache)>,
     batch_instances: usize,
+    /// `Some` switches scoring onto the fused f32 tier (DESIGN.md §14);
+    /// `None` is the exact tape engine.
+    tables: Option<InferenceTables>,
 }
 
 impl Kgag {
     /// A [`BatchScorer`] configured from the environment:
-    /// `KGAG_RF_CACHE=0` disables the receptive-field cache and
+    /// `KGAG_RF_CACHE=0` disables the receptive-field cache,
     /// `KGAG_EVAL_BATCH` overrides the instances-per-chunk default of
-    /// 256.
+    /// 256 and `KGAG_SCORE_DTYPE=f32` selects the fused inference tier.
     pub fn batch_scorer(&self) -> BatchScorer<'_> {
         let cache = std::env::var("KGAG_RF_CACHE").map(|v| v != "0").unwrap_or(true);
-        let scorer = self.batch_scorer_with(cache);
+        let scorer = self.batch_scorer_with(cache).with_tier(ScoreTier::from_env());
         match std::env::var("KGAG_EVAL_BATCH").ok().and_then(|v| v.parse().ok()) {
             Some(n) if n > 0 => scorer.with_batch_instances(n),
             _ => scorer,
@@ -69,7 +74,7 @@ impl Kgag {
                 RfCache::build(self.eval_sampler(), graph, depth, salt ^ SALT_ITEM),
             )
         });
-        BatchScorer { model: self, caches, batch_instances: 256 }
+        BatchScorer { model: self, caches, batch_instances: 256, tables: None }
     }
 
     /// Evaluate prepared cases through the batched protocol — same
@@ -108,6 +113,43 @@ impl<'m> BatchScorer<'m> {
         self
     }
 
+    /// Select the scoring tier, deriving the [`InferenceTables`]
+    /// artifact for [`ScoreTier::FusedF32`] (a construction-time cost,
+    /// like the receptive-field cache build).
+    ///
+    /// # Panics
+    /// Panics when the checkpoint cannot be converted (non-finite
+    /// parameters) — use [`BatchScorer::try_with_tier`] to handle that
+    /// as a value.
+    pub fn with_tier(self, tier: ScoreTier) -> Self {
+        self.try_with_tier(tier).expect("checkpoint not convertible to the f32 tier")
+    }
+
+    /// [`BatchScorer::with_tier`] with the conversion failure surfaced
+    /// as a typed [`ConvertError`].
+    pub fn try_with_tier(mut self, tier: ScoreTier) -> Result<Self, ConvertError> {
+        self.tables = match tier {
+            ScoreTier::Exact => None,
+            ScoreTier::FusedF32 => Some(InferenceTables::derive(self.model)?),
+        };
+        Ok(self)
+    }
+
+    /// The scoring tier in force.
+    pub fn tier(&self) -> ScoreTier {
+        if self.tables.is_some() {
+            ScoreTier::FusedF32
+        } else {
+            ScoreTier::Exact
+        }
+    }
+
+    /// Resident size of the derived f32 tables in bytes (`None` on the
+    /// exact tier).
+    pub fn tables_bytes(&self) -> Option<usize> {
+        self.tables.as_ref().map(InferenceTables::bytes)
+    }
+
     /// Whether the receptive-field cache is active.
     pub fn cached(&self) -> bool {
         self.caches.is_some()
@@ -133,13 +175,23 @@ impl<'m> BatchScorer<'m> {
         // one member-entity lookup per case, shared by its instances
         let member_ents: Vec<Vec<u32>> =
             cases.iter().map(|&(g, _)| self.model.member_entities(g)).collect();
-        score_cases_with(
-            self.model,
-            self.caches.as_ref(),
-            self.batch_instances,
-            &member_ents,
-            cases,
-        )
+        match &self.tables {
+            Some(tables) => score_cases_f32(
+                self.model,
+                tables,
+                self.caches.as_ref(),
+                self.batch_instances,
+                &member_ents,
+                cases,
+            ),
+            None => score_cases_with(
+                self.model,
+                self.caches.as_ref(),
+                self.batch_instances,
+                &member_ents,
+                cases,
+            ),
+        }
     }
 }
 

@@ -38,10 +38,12 @@
 //! bit-identical to the static engine.
 
 use crate::batch::score_cases_with;
+use crate::infer::{score_cases_f32, InferenceTables, ScoreTier};
 use crate::trainer::{Kgag, SALT_ITEM, SALT_MEMBER};
 use kgag_data::{GroupLifecycle, GroupStore, LifecycleAck, LifecycleError, LifecycleOp};
 use kgag_eval::BatchGroupScorer;
 use kgag_kg::RfCache;
+use kgag_tensor::infer::ConvertError;
 use std::sync::RwLock;
 
 /// Typed rejection of an ad-hoc scoring request ([`Kgag::score_members`]
@@ -96,16 +98,21 @@ struct DynState {
 pub struct DynamicScorer<'m> {
     model: &'m Kgag,
     batch_instances: usize,
+    /// Fused f32 tier tables (DESIGN.md §14) — outside the state lock
+    /// because they derive from checkpoint parameters only: lifecycle
+    /// mutations touch membership and caches, never the model.
+    tables: Option<InferenceTables>,
     state: RwLock<DynState>,
 }
 
 impl Kgag {
     /// A [`DynamicScorer`] seeded with the model's bound groups and
     /// configured from the environment (`KGAG_RF_CACHE`,
-    /// `KGAG_EVAL_BATCH` — same knobs as [`Kgag::batch_scorer`]).
+    /// `KGAG_EVAL_BATCH`, `KGAG_SCORE_DTYPE` — same knobs as
+    /// [`Kgag::batch_scorer`]).
     pub fn dynamic_scorer(&self) -> DynamicScorer<'_> {
         let cache = std::env::var("KGAG_RF_CACHE").map(|v| v != "0").unwrap_or(true);
-        let scorer = self.dynamic_scorer_with(cache);
+        let scorer = self.dynamic_scorer_with(cache).with_tier(ScoreTier::from_env());
         match std::env::var("KGAG_EVAL_BATCH").ok().and_then(|v| v.parse().ok()) {
             Some(n) if n > 0 => scorer.with_batch_instances(n),
             _ => scorer,
@@ -133,6 +140,7 @@ impl Kgag {
         DynamicScorer {
             model: self,
             batch_instances: 256,
+            tables: None,
             state: RwLock::new(DynState { groups, caches }),
         }
     }
@@ -148,6 +156,42 @@ impl<'m> DynamicScorer<'m> {
         assert!(n > 0, "batch size must be positive");
         self.batch_instances = n;
         self
+    }
+
+    /// Select the scoring tier (see [`crate::BatchScorer::with_tier`]).
+    /// The lifecycle surface is tier-independent: mutations never touch
+    /// the derived tables, so mutate-≡-rebuild holds on both tiers.
+    ///
+    /// # Panics
+    /// Panics when the checkpoint cannot be converted (non-finite
+    /// parameters) — use [`DynamicScorer::try_with_tier`] instead.
+    pub fn with_tier(self, tier: ScoreTier) -> Self {
+        self.try_with_tier(tier).expect("checkpoint not convertible to the f32 tier")
+    }
+
+    /// [`DynamicScorer::with_tier`] with the conversion failure
+    /// surfaced as a typed [`ConvertError`].
+    pub fn try_with_tier(mut self, tier: ScoreTier) -> Result<Self, ConvertError> {
+        self.tables = match tier {
+            ScoreTier::Exact => None,
+            ScoreTier::FusedF32 => Some(InferenceTables::derive(self.model)?),
+        };
+        Ok(self)
+    }
+
+    /// The scoring tier in force.
+    pub fn tier(&self) -> ScoreTier {
+        if self.tables.is_some() {
+            ScoreTier::FusedF32
+        } else {
+            ScoreTier::Exact
+        }
+    }
+
+    /// Resident size of the derived f32 tables in bytes (`None` on the
+    /// exact tier).
+    pub fn tables_bytes(&self) -> Option<usize> {
+        self.tables.as_ref().map(InferenceTables::bytes)
     }
 
     /// Whether the receptive-field cache is active.
@@ -206,13 +250,23 @@ impl<'m> DynamicScorer<'m> {
                 return Err(ColdStartError::UnknownItem(v));
             }
         }
-        Ok(score_cases_with(
-            self.model,
-            state.caches.as_ref(),
-            self.batch_instances,
-            &member_ents,
-            cases,
-        ))
+        Ok(match &self.tables {
+            Some(tables) => score_cases_f32(
+                self.model,
+                tables,
+                state.caches.as_ref(),
+                self.batch_instances,
+                &member_ents,
+                cases,
+            ),
+            None => score_cases_with(
+                self.model,
+                state.caches.as_ref(),
+                self.batch_instances,
+                &member_ents,
+                cases,
+            ),
+        })
     }
 
     /// Apply one lifecycle op atomically: mutate the group table, then

@@ -1,0 +1,479 @@
+//! The fused f32 scoring tier (DESIGN.md §14).
+//!
+//! Serving has two precision tiers behind one seam:
+//!
+//! * **`f64` (default)** — the exact tape engine. Every batched score
+//!   is bit-identical to the per-case path; the golden gate and every
+//!   oracle suite pin this tier.
+//! * **`f32`** — this module. At scorer construction an
+//!   [`InferenceTables`] artifact is derived from the checkpoint:
+//!   entity/relation embeddings re-laid into cache-blocked
+//!   [`BlockedTable`]s (relation rows pre-scaled by the f64-computed
+//!   `1/√d` attention temperature), propagation and attention weights
+//!   sanitised into dense buffers. Scoring then runs the fused kernels
+//!   of [`kgag_tensor::infer`]: no tape, no backward bookkeeping, no
+//!   materialised `repeat_rows`/`peer_concat`/`concat_cols` copies.
+//!
+//! The f32 tier is *deterministic* — bit-identical to itself at any
+//! `KGAG_THREADS`, chunk size and cache setting, because every fused
+//! kernel computes each output row from its own instance rows only and
+//! the receptive-field draws are position-independent (same argument as
+//! the exact tier, DESIGN.md §11). Against the exact tier it agrees to
+//! a *ranking* contract, not bit equality: fusion reorders float sums.
+//! The `accuracy_check` CI gate enforces committed tolerances on top-K
+//! overlap, Recall/NDCG deltas and pairwise inversions
+//! (`results/accuracy_contract.json`).
+//!
+//! Tier selection: `KGAG_SCORE_DTYPE=f64|f32` read by
+//! [`Kgag::batch_scorer`] / [`Kgag::dynamic_scorer`] (construction
+//! time, never on the scoring path), or [`crate::BatchScorer::with_tier`]
+//! explicitly.
+
+use crate::config::Aggregator;
+use crate::trainer::{Kgag, SALT_ITEM, SALT_MEMBER};
+use kgag_kg::{ReceptiveField, RfCache};
+use kgag_tensor::infer::{self as kernels, Activation, BlockedTable, ConvertError};
+use kgag_tensor::pool;
+use kgag_tensor::tensor::sigmoid;
+
+/// Which scoring engine a batch scorer runs (`KGAG_SCORE_DTYPE`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ScoreTier {
+    /// The exact tape engine — the bit-identity oracle and the default.
+    #[default]
+    Exact,
+    /// The fused cache-blocked f32 kernels over [`InferenceTables`].
+    FusedF32,
+}
+
+impl ScoreTier {
+    /// Read `KGAG_SCORE_DTYPE`: unset or `f64` selects the exact tier,
+    /// `f32` the fused tier.
+    ///
+    /// # Panics
+    /// Panics on any other value — tier selection happens at scorer
+    /// construction (process startup for a server), where failing fast
+    /// beats silently serving the wrong precision.
+    pub fn from_env() -> Self {
+        match std::env::var("KGAG_SCORE_DTYPE") {
+            Err(_) => ScoreTier::Exact,
+            Ok(v) => match v.as_str() {
+                "" | "f64" => ScoreTier::Exact,
+                "f32" => ScoreTier::FusedF32,
+                other => panic!("KGAG_SCORE_DTYPE must be 'f64' or 'f32', got '{other}'"),
+            },
+        }
+    }
+
+    /// The `KGAG_SCORE_DTYPE` spelling of this tier.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ScoreTier::Exact => "f64",
+            ScoreTier::FusedF32 => "f32",
+        }
+    }
+}
+
+/// One propagation layer's weights in fused form: GraphSage's
+/// `[2d, d]` concat matmul is split into the self and neighbor halves
+/// so the concatenation is never materialised.
+struct LayerWeights {
+    /// Rows of `W_h` multiplying the node's own representation (`[d, d]`).
+    w_self: Vec<f32>,
+    /// Rows multiplying the aggregated neighborhood (`None` for GCN,
+    /// where both share `w_self` after an elementwise add).
+    w_neigh: Option<Vec<f32>>,
+    /// Layer bias (`[d]`).
+    bias: Vec<f32>,
+}
+
+/// Attention-tower weights (peer influence, Eq. 10).
+struct AttWeights {
+    /// `W_{c1}` (`[d, d]`).
+    w1: Vec<f32>,
+    /// `W_{c2}` (`[(L−1)·d, d]`), indexed per peer slot as `d×d` blocks.
+    w2: Vec<f32>,
+    /// Bias (`[d]`).
+    bias: Vec<f32>,
+    /// Projection `v_c` (`[d]`).
+    v: Vec<f32>,
+}
+
+/// The checkpoint-derived artifact of the f32 tier: every parameter the
+/// ranking forward reads, converted once (f64-accumulated, sanitised)
+/// into gather-friendly blocked tables and dense weight buffers. Owns
+/// its data — derived at construction, shared read-only across the
+/// pool's chunk workers.
+pub struct InferenceTables {
+    dim: usize,
+    layers: usize,
+    aggregator: Aggregator,
+    use_kg: bool,
+    use_sp: bool,
+    use_pi: bool,
+    /// `γ` of the residual combine; 0 disables it (matching the exact
+    /// tier's `residual`/`propagation_weight` pair).
+    residual_weight: f32,
+    /// The trained nominal group size the PI tower is shaped for.
+    nominal_l: usize,
+    /// The f32 attention temperature (`1/√d`), applied to SP/PI scores.
+    inv_sqrt_d: f32,
+    /// Entity embeddings, blocked (`[|E'|, d]`).
+    entity: BlockedTable,
+    /// Relation embeddings, blocked, pre-scaled by the f64 `1/√d` — the
+    /// propagation softmax temperature folded into the table.
+    relation_scaled: BlockedTable,
+    layer_w: Vec<LayerWeights>,
+    att: AttWeights,
+}
+
+impl InferenceTables {
+    /// Derive the f32 serving artifact from a model's current
+    /// parameters. Fails (typed) on non-finite parameters — a
+    /// checkpoint that cannot be served at reduced precision keeps the
+    /// exact tier.
+    pub fn derive(model: &Kgag) -> Result<Self, ConvertError> {
+        let cfg = model.config();
+        let store = model.store();
+        let p = model.params();
+        let d = cfg.dim;
+        let ent = store.value(p.prop.entity_emb);
+        let entity = BlockedTable::from_rows(ent.rows(), d, ent.data())?;
+        let rel = store.value(p.prop.relation_emb);
+        let relation_scaled =
+            BlockedTable::from_rows_scaled(rel.rows(), d, rel.data(), 1.0 / (d as f64).sqrt())?;
+        let mut layer_w = Vec::with_capacity(cfg.layers);
+        for h in 0..cfg.layers {
+            let w = store.value(p.prop.layer_w[h]);
+            let b = store.value(p.prop.layer_b[h]);
+            let dense = kernels::sanitize_dense(w.rows(), d, w.data())?;
+            let (w_self, w_neigh) = match cfg.aggregator {
+                Aggregator::Gcn => (dense, None),
+                Aggregator::GraphSage => {
+                    let (top, bottom) = dense.split_at(d * d);
+                    (top.to_vec(), Some(bottom.to_vec()))
+                }
+            };
+            layer_w.push(LayerWeights {
+                w_self,
+                w_neigh,
+                bias: kernels::sanitize_dense(1, d, b.data())?,
+            });
+        }
+        let w1 = store.value(p.att_w1);
+        let w2 = store.value(p.att_w2);
+        let att = AttWeights {
+            w1: kernels::sanitize_dense(w1.rows(), d, w1.data())?,
+            w2: kernels::sanitize_dense(w2.rows(), d, w2.data())?,
+            bias: kernels::sanitize_dense(1, d, store.value(p.att_b).data())?,
+            v: kernels::sanitize_dense(1, d, store.value(p.att_v).data())?,
+        };
+        Ok(InferenceTables {
+            dim: d,
+            layers: cfg.layers,
+            aggregator: cfg.aggregator,
+            use_kg: cfg.use_kg,
+            use_sp: cfg.use_sp,
+            use_pi: cfg.use_pi,
+            residual_weight: if cfg.residual { cfg.propagation_weight } else { 0.0 },
+            nominal_l: model.group_size(),
+            inv_sqrt_d: 1.0 / (d as f32).sqrt(),
+            entity,
+            relation_scaled,
+            layer_w,
+            att,
+        })
+    }
+
+    /// Resident size of the derived artifact in bytes — the table
+    /// traffic denominator of the roofline bench.
+    pub fn bytes(&self) -> usize {
+        let dense: usize = self
+            .layer_w
+            .iter()
+            .map(|l| l.w_self.len() + l.w_neigh.as_ref().map_or(0, Vec::len) + l.bias.len())
+            .sum::<usize>()
+            + self.att.w1.len()
+            + self.att.w2.len()
+            + self.att.bias.len()
+            + self.att.v.len();
+        self.entity.bytes() + self.relation_scaled.bytes() + dense * std::mem::size_of::<f32>()
+    }
+
+    /// Embedding row width.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Knowledge-aware representation of `targets` under per-target
+    /// `query` rows — the fused mirror of the exact tier's
+    /// `represent`/`propagate_with`.
+    fn represent(
+        &self,
+        model: &Kgag,
+        cache: Option<&RfCache>,
+        member_side: bool,
+        targets: &[u32],
+        query: &[f32],
+        rf_scratch: &mut ReceptiveField,
+    ) -> Vec<f32> {
+        if !self.use_kg {
+            let mut out = Vec::new();
+            self.entity.gather_into(targets, &mut out);
+            return out;
+        }
+        match cache {
+            Some(cache) => {
+                cache.receptive_field_into(targets, rf_scratch);
+                self.propagate(rf_scratch, query)
+            }
+            None => {
+                let side = if member_side { SALT_MEMBER } else { SALT_ITEM };
+                let rf = model.eval_sampler().receptive_field(
+                    model.collaborative_kg().graph(),
+                    targets,
+                    self.layers,
+                    model.eval_salt() ^ side,
+                );
+                self.propagate(&rf, query)
+            }
+        }
+    }
+
+    /// Fused propagation (§III-C): relation-attention weights per
+    /// level, then the triangular H-iteration update with the
+    /// matmul+bias+activation epilogue fused per layer.
+    fn propagate(&self, rf: &ReceptiveField, query: &[f32]) -> Vec<f32> {
+        let d = self.dim;
+        let k = rf.k;
+        let n = rf.entities[0].len();
+        debug_assert_eq!(rf.depth, self.layers);
+        debug_assert_eq!(query.len(), n * d);
+        let mut reps: Vec<Vec<f32>> = rf
+            .entities
+            .iter()
+            .map(|level| {
+                let mut out = Vec::new();
+                self.entity.gather_into(level, &mut out);
+                out
+            })
+            .collect();
+        // query- and level- but not iteration-dependent: precompute.
+        // `1/√d` is already folded into the relation table.
+        let mut level_weights: Vec<Vec<f32>> = Vec::with_capacity(self.layers);
+        for rels in &rf.relations {
+            let times = rels.len() / n;
+            let mut w = Vec::new();
+            kernels::gather_row_dot_rep(&self.relation_scaled, rels, query, d, times, &mut w);
+            kernels::softmax_groups_inplace(&mut w, k);
+            level_weights.push(w);
+        }
+        let e0 = (self.residual_weight > 0.0).then(|| reps[0].clone());
+        let mut e_n = Vec::new();
+        let mut sum = Vec::new();
+        let mut updated = Vec::new();
+        for h in 0..self.layers {
+            let act = if h + 1 == self.layers { Activation::Tanh } else { Activation::Relu };
+            let lw = &self.layer_w[h];
+            for lvl in 0..(self.layers - h) {
+                kernels::group_weighted_sum(&level_weights[lvl], &reps[lvl + 1], d, k, &mut e_n);
+                let rows = reps[lvl].len() / d;
+                match (self.aggregator, &lw.w_neigh) {
+                    (Aggregator::Gcn, _) => {
+                        kernels::add_into(&reps[lvl], &e_n, &mut sum);
+                        kernels::matmul_bias_act(
+                            &sum,
+                            rows,
+                            d,
+                            &lw.w_self,
+                            d,
+                            &lw.bias,
+                            act,
+                            &mut updated,
+                        );
+                    }
+                    (Aggregator::GraphSage, Some(w_neigh)) => {
+                        kernels::matmul2_bias_act(
+                            &reps[lvl],
+                            &e_n,
+                            rows,
+                            d,
+                            &lw.w_self,
+                            w_neigh,
+                            d,
+                            &lw.bias,
+                            act,
+                            &mut updated,
+                        );
+                    }
+                    (Aggregator::GraphSage, None) => unreachable!("GraphSage stores split weights"),
+                }
+                std::mem::swap(&mut reps[lvl], &mut updated);
+            }
+        }
+        let mut out = reps.swap_remove(0);
+        if let Some(e0) = e0 {
+            kernels::residual_inplace(&e0, self.residual_weight, &mut out);
+        }
+        out
+    }
+
+    /// Score one uniform-`l` chunk of `(group, item)` instances —
+    /// the fused mirror of the exact tier's `forward_group_any` +
+    /// sigmoid read-out. Per-row pure, so chunk boundaries are
+    /// value-neutral.
+    fn score_chunk(
+        &self,
+        model: &Kgag,
+        caches: Option<&(RfCache, RfCache)>,
+        flat_members: &[u32],
+        item_ents: &[u32],
+        l: usize,
+        rf_scratch: &mut ReceptiveField,
+    ) -> Vec<f32> {
+        debug_assert_eq!(flat_members.len(), item_ents.len() * l);
+        let d = self.dim;
+        let b = item_ents.len();
+        let mut m0 = Vec::new();
+        self.entity.gather_into(flat_members, &mut m0);
+        let mut i0 = Vec::new();
+        self.entity.gather_into(item_ents, &mut i0);
+        // §III-C queries: the item propagates under the members' mean
+        // zero-order embedding, each member under the item's
+        let mut q_item = Vec::new();
+        kernels::group_mean(&m0, d, l, &mut q_item);
+        let item_rep =
+            self.represent(model, caches.map(|c| &c.1), false, item_ents, &q_item, rf_scratch);
+        let mut q_members = Vec::with_capacity(b * l * d);
+        for i in 0..b * l {
+            q_members.extend_from_slice(&i0[(i / l) * d..(i / l + 1) * d]);
+        }
+        let member_rep =
+            self.represent(model, caches.map(|c| &c.0), true, flat_members, &q_members, rf_scratch);
+        // ---- preference aggregation (§III-D) -----------------------
+        let sp = self.use_sp.then(|| {
+            let mut sp = Vec::new();
+            kernels::row_dot_rep_scaled(&member_rep, &item_rep, d, l, self.inv_sqrt_d, &mut sp);
+            sp
+        });
+        // the PI tower is shape-tied to the trained size; off-nominal
+        // rosters score SP-only, exactly like the exact tier
+        let pi = (self.use_pi && l == self.nominal_l && l >= 2).then(|| {
+            let mut pi = Vec::with_capacity(b * l);
+            let mut hidden = vec![0.0f32; d];
+            for g in 0..b {
+                for j in 0..l {
+                    hidden.clear();
+                    hidden.resize(d, 0.0);
+                    let member = |m: usize| &member_rep[(g * l + m) * d..(g * l + m + 1) * d];
+                    kernels::accumulate_row(member(j), &self.att.w1, d, &mut hidden);
+                    // peer slot q holds the q-th other member in
+                    // ascending order — W₂'s d×d block q multiplies it
+                    for q in 0..l - 1 {
+                        let p = if q < j { q } else { q + 1 };
+                        kernels::accumulate_row(
+                            member(p),
+                            &self.att.w2[q * d * d..(q + 1) * d * d],
+                            d,
+                            &mut hidden,
+                        );
+                    }
+                    let mut raw = 0.0f32;
+                    for (c, (&h, &bias)) in hidden.iter().zip(&self.att.bias).enumerate() {
+                        raw += (h + bias).max(0.0) * self.att.v[c];
+                    }
+                    pi.push(raw * self.inv_sqrt_d);
+                }
+            }
+            pi
+        });
+        let mut alpha = match (sp, pi) {
+            (Some(mut s), Some(p)) => {
+                for (a, b) in s.iter_mut().zip(&p) {
+                    *a += b;
+                }
+                s
+            }
+            (Some(s), None) => s,
+            (None, Some(p)) => p,
+            (None, None) => vec![0.0; b * l], // uniform fallback
+        };
+        kernels::softmax_groups_inplace(&mut alpha, l);
+        let mut group_rep = Vec::new();
+        kernels::group_weighted_sum(&alpha, &member_rep, d, l, &mut group_rep);
+        (0..b)
+            .map(|g| {
+                sigmoid(kernels::dot_f32(
+                    &group_rep[g * d..(g + 1) * d],
+                    &item_rep[g * d..(g + 1) * d],
+                ))
+            })
+            .collect()
+    }
+}
+
+/// The f32 twin of `score_cases_with`: identical case flattening,
+/// L-bucketing and chunking (so mixed-size batches stay
+/// chunking-invariant), with each chunk forwarded through the fused
+/// kernels instead of the tape.
+pub(crate) fn score_cases_f32(
+    model: &Kgag,
+    tables: &InferenceTables,
+    caches: Option<&(RfCache, RfCache)>,
+    batch_instances: usize,
+    member_ents: &[Vec<u32>],
+    cases: &[(u32, Vec<u32>)],
+) -> Vec<Vec<f32>> {
+    debug_assert_eq!(member_ents.len(), cases.len());
+    let mut buckets: std::collections::BTreeMap<usize, Vec<(u32, u32)>> =
+        std::collections::BTreeMap::new();
+    let mut total = 0usize;
+    for (ci, (_, items)) in cases.iter().enumerate() {
+        let bucket = buckets.entry(member_ents[ci].len()).or_default();
+        for ent in model.item_entities(items) {
+            bucket.push((ci as u32, ent));
+        }
+        total += items.len();
+    }
+    if kgag_obs::enabled() {
+        kgag_obs::counter("infer.f32_items_scored").add(total as u64);
+        kgag_obs::counter("infer.f32_batches").add(1);
+    }
+    let mut out: Vec<Vec<f32>> =
+        cases.iter().map(|(_, items)| Vec::with_capacity(items.len())).collect();
+    for (l, instances) in &buckets {
+        let l = *l;
+        // same load-balance chunking as the exact tier; bit-neutral here
+        // too because every fused kernel is per-row pure
+        let per_worker = instances.len().div_ceil(pool::num_threads() * 4).max(1);
+        let chunk_size = per_worker.min(batch_instances);
+        let chunks: Vec<&[(u32, u32)]> = instances.chunks(chunk_size).collect();
+        let scored = pool::par_map(&chunks, |_, chunk| {
+            let mut flat_members = Vec::with_capacity(chunk.len() * l);
+            let mut item_ents = Vec::with_capacity(chunk.len());
+            for &(ci, ent) in *chunk {
+                flat_members.extend_from_slice(&member_ents[ci as usize]);
+                item_ents.push(ent);
+            }
+            let mut rf_scratch =
+                ReceptiveField { entities: Vec::new(), relations: Vec::new(), k: 0, depth: 0 };
+            tables.score_chunk(model, caches, &flat_members, &item_ents, l, &mut rf_scratch)
+        });
+        for (&(ci, _), s) in instances.iter().zip(scored.into_iter().flatten()) {
+            out[ci as usize].push(s);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tier_env_spellings() {
+        assert_eq!(ScoreTier::Exact.as_str(), "f64");
+        assert_eq!(ScoreTier::FusedF32.as_str(), "f32");
+        assert_eq!(ScoreTier::default(), ScoreTier::Exact);
+    }
+}

@@ -44,6 +44,7 @@ pub mod config;
 pub mod dynamic;
 pub mod explain;
 pub mod harness;
+pub mod infer;
 pub mod loss;
 pub mod model;
 pub mod propagation;
@@ -53,4 +54,5 @@ pub use batch::BatchScorer;
 pub use config::{Aggregator, GroupLoss, KgagConfig};
 pub use dynamic::{ColdStartError, DynamicScorer};
 pub use explain::GroupExplanation;
+pub use infer::{InferenceTables, ScoreTier};
 pub use trainer::{EpochLoss, Kgag, TrainReport};

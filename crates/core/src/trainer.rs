@@ -397,6 +397,12 @@ impl Kgag {
         &self.eval_sampler
     }
 
+    /// Parameter handles — read by the fused inference tier when it
+    /// derives its [`crate::InferenceTables`] from the store.
+    pub(crate) fn params(&self) -> &ModelParams {
+        &self.params
+    }
+
     /// Nominal members per group in the bound dataset — the size the
     /// peer-influence attention was shaped for. Lifecycle-mutated groups
     /// may drift from it (see [`crate::dynamic`]).

@@ -1,0 +1,209 @@
+//! Oracle suite for the fused f32 scoring tier (DESIGN.md §14).
+//!
+//! The f32 tier makes two distinct promises, tested separately:
+//!
+//! * **Within-tier determinism** — bit-identical to itself across the
+//!   cache × chunk-size × thread-count matrix, exactly like the exact
+//!   tier's batched-oracle guarantee. This is what makes the accuracy
+//!   contract's measurements reproducible.
+//! * **Cross-tier closeness** — scores agree with the exact tape
+//!   engine to float-fusion error, and the induced rankings agree at
+//!   the top. The committed tolerances live in
+//!   `results/accuracy_contract.json` and are CI-enforced by the
+//!   `accuracy_check` bin; the bounds here are looser smoke checks so
+//!   a broken kernel fails fast in `cargo test`.
+
+use kgag::harness::{eval_cases, EvalBucket};
+use kgag::{Aggregator, Kgag, KgagConfig, ScoreTier};
+use kgag_data::movielens::Scale;
+use kgag_data::split::split_dataset;
+use kgag_data::yelp::{yelp, YelpConfig};
+use kgag_data::{GroupDataset, LifecycleOp};
+use kgag_eval::EvalConfig;
+use kgag_tensor::pool::with_threads;
+
+fn smoke_model(config: KgagConfig) -> (GroupDataset, Kgag) {
+    let ds = yelp(&YelpConfig::at_scale(Scale::Tiny));
+    let split = split_dataset(&ds, 11);
+    let mut model = Kgag::new(&ds, &split, config);
+    with_threads(1, || model.fit(&split));
+    (ds, model)
+}
+
+fn smoke_cases(ds: &GroupDataset, groups: usize) -> Vec<(u32, Vec<u32>)> {
+    let items: Vec<u32> = (0..ds.num_items).collect();
+    (0..ds.num_groups().min(groups as u32)).map(|g| (g, items.clone())).collect()
+}
+
+/// Largest |a − b| over aligned per-case score lists.
+fn max_abs_diff(a: &[Vec<f32>], b: &[Vec<f32>]) -> f32 {
+    a.iter()
+        .zip(b)
+        .flat_map(|(x, y)| x.iter().zip(y).map(|(&p, &q)| (p - q).abs()))
+        .fold(0.0, f32::max)
+}
+
+fn top_k(scores: &[f32], k: usize) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..scores.len()).collect();
+    idx.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).unwrap().then_with(|| a.cmp(&b)));
+    idx.truncate(k);
+    idx
+}
+
+/// The f32 tier must be bit-identical to itself across the cache ×
+/// chunk × thread matrix — every fused kernel is per-row pure and the
+/// receptive-field draws are position-independent, so none of those
+/// knobs may change a single bit.
+#[test]
+fn f32_tier_is_deterministic_across_cache_chunk_threads() {
+    let (ds, model) = smoke_model(KgagConfig { epochs: 3, ..Default::default() });
+    let cases = smoke_cases(&ds, 6);
+    let reference = with_threads(2, || {
+        model.batch_scorer_with(true).with_tier(ScoreTier::FusedF32).score_cases(&cases)
+    });
+    for cache in [false, true] {
+        for chunk in [1usize, 7, 256] {
+            for threads in [1usize, 4] {
+                let got = with_threads(threads, || {
+                    model
+                        .batch_scorer_with(cache)
+                        .with_tier(ScoreTier::FusedF32)
+                        .with_batch_instances(chunk)
+                        .score_cases(&cases)
+                });
+                for (ci, (want, have)) in reference.iter().zip(&got).enumerate() {
+                    let diverged =
+                        want.iter().zip(have).position(|(a, b)| a.to_bits() != b.to_bits());
+                    assert_eq!(
+                        diverged, None,
+                        "cache={cache} chunk={chunk} threads={threads}: case {ci} diverged"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Cross-tier closeness on the trained default (GCN) model: scores
+/// within fusion error, top-5 sets near-identical per case.
+#[test]
+fn f32_scores_track_exact_tier_gcn() {
+    let (ds, model) = smoke_model(KgagConfig { epochs: 3, ..Default::default() });
+    let cases = smoke_cases(&ds, 8);
+    let exact = model.batch_scorer_with(true).score_cases(&cases);
+    let fused = model.batch_scorer_with(true).with_tier(ScoreTier::FusedF32).score_cases(&cases);
+    let diff = max_abs_diff(&exact, &fused);
+    assert!(diff < 1e-3, "fused tier drifted {diff} from the exact engine");
+    let mut overlap = 0usize;
+    let mut slots = 0usize;
+    for (e, f) in exact.iter().zip(&fused) {
+        let te = top_k(e, 5);
+        let tf = top_k(f, 5);
+        overlap += te.iter().filter(|i| tf.contains(i)).count();
+        slots += 5;
+    }
+    assert!(overlap * 10 >= slots * 9, "top-5 overlap collapsed: {overlap}/{slots} slots agree");
+}
+
+/// Same closeness under the GraphSage aggregator, whose concat matmul
+/// takes the split-weight fused path, and without the residual combine.
+#[test]
+fn f32_scores_track_exact_tier_graphsage() {
+    let (ds, model) = smoke_model(KgagConfig {
+        epochs: 3,
+        aggregator: Aggregator::GraphSage,
+        residual: false,
+        ..Default::default()
+    });
+    let cases = smoke_cases(&ds, 6);
+    let exact = model.batch_scorer_with(true).score_cases(&cases);
+    let fused = model.batch_scorer_with(true).with_tier(ScoreTier::FusedF32).score_cases(&cases);
+    let diff = max_abs_diff(&exact, &fused);
+    assert!(diff < 1e-3, "GraphSage fused tier drifted {diff}");
+}
+
+/// The KGAG-KG ablation (no propagation) reduces both tiers to a plain
+/// gather + attention forward; agreement should be near bit-level.
+#[test]
+fn f32_scores_track_exact_tier_without_kg() {
+    let (ds, model) = smoke_model(KgagConfig { epochs: 3, use_kg: false, ..Default::default() });
+    let cases = smoke_cases(&ds, 6);
+    let exact = model.batch_scorer_with(true).score_cases(&cases);
+    let fused = model.batch_scorer_with(true).with_tier(ScoreTier::FusedF32).score_cases(&cases);
+    let diff = max_abs_diff(&exact, &fused);
+    assert!(diff < 1e-4, "no-KG fused tier drifted {diff}");
+}
+
+/// Protocol-level agreement: ranking metrics under the sampled-negative
+/// eval protocol move by at most loose smoke bounds between tiers (the
+/// committed contract is tighter and lives in the CI gate).
+#[test]
+fn f32_eval_metrics_stay_close() {
+    let ds = yelp(&YelpConfig::at_scale(Scale::Tiny));
+    let split = split_dataset(&ds, 11);
+    let cases = eval_cases(&ds, &split.group, EvalBucket::Test);
+    let mut model = Kgag::new(&ds, &split, KgagConfig { epochs: 3, ..Default::default() });
+    with_threads(1, || model.fit(&split));
+    let ecfg = EvalConfig { k: 5, num_negatives: Some(100), seed: 0xe7a1 };
+    let exact_scorer = model.batch_scorer_with(true);
+    let fused_scorer = model.batch_scorer_with(true).with_tier(ScoreTier::FusedF32);
+    let exact = model.evaluate_batched_with(&exact_scorer, &cases, &ecfg);
+    let fused = model.evaluate_batched_with(&fused_scorer, &cases, &ecfg);
+    assert_eq!(exact.evaluated, fused.evaluated, "case counts must match");
+    assert!((exact.recall - fused.recall).abs() < 0.05, "recall drifted");
+    assert!((exact.ndcg - fused.ndcg).abs() < 0.05, "ndcg drifted");
+}
+
+/// The dynamic scorer on the f32 tier scores bound groups bit-identically
+/// to the static f32 batch scorer (same kernel, same tables), and keeps
+/// doing arithmetic that matches the exact tier after a mutation pushes
+/// a roster off the nominal size (PI dropped on both tiers).
+#[test]
+fn dynamic_f32_matches_batch_f32_and_survives_mutations() {
+    let (ds, model) = smoke_model(KgagConfig { epochs: 3, ..Default::default() });
+    let cases = smoke_cases(&ds, 5);
+    let batch = model.batch_scorer_with(true).with_tier(ScoreTier::FusedF32);
+    let dynamic = model.dynamic_scorer_with(true).with_tier(ScoreTier::FusedF32);
+    assert_eq!(dynamic.tier(), ScoreTier::FusedF32);
+    let want = batch.score_cases(&cases);
+    let got = dynamic.try_score_cases(&cases).expect("bound groups must score");
+    assert_eq!(want, got, "dynamic f32 diverged from batch f32 on bound groups");
+
+    // push group 0 off the nominal size, then compare tiers on the
+    // mutated roster: both drop the PI tower, so scores stay close
+    let joiner = (0..ds.num_users)
+        .find(|&u| !dynamic.members_of(0).unwrap().contains(&u))
+        .expect("a non-member user exists");
+    dynamic.apply(&LifecycleOp::Join { group: 0, user: joiner }).expect("join applies");
+    let exact_dyn = model.dynamic_scorer_over(
+        {
+            let mut s = model.group_store();
+            s.apply(&LifecycleOp::Join { group: 0, user: joiner }).unwrap();
+            s
+        },
+        true,
+    );
+    let items: Vec<u32> = (0..ds.num_items).collect();
+    let fused_scores = dynamic.score_case(0, &items).expect("mutated roster scores on f32");
+    let exact_scores = exact_dyn.score_case(0, &items).expect("mutated roster scores on f64");
+    let diff =
+        fused_scores.iter().zip(&exact_scores).map(|(a, b)| (a - b).abs()).fold(0.0f32, f32::max);
+    assert!(diff < 1e-3, "off-nominal roster drifted {diff} between tiers");
+    assert!(fused_scores.iter().all(|s| s.is_finite() && (0.0..=1.0).contains(s)));
+}
+
+/// Tier plumbing: default construction stays exact, the env spellings
+/// round-trip, and the derived-table footprint is reported.
+#[test]
+fn tier_selection_surface() {
+    let (_, model) = smoke_model(KgagConfig { epochs: 1, ..Default::default() });
+    let scorer = model.batch_scorer_with(true);
+    assert_eq!(scorer.tier(), ScoreTier::Exact);
+    assert_eq!(scorer.tables_bytes(), None);
+    let fused = scorer.with_tier(ScoreTier::FusedF32);
+    assert_eq!(fused.tier(), ScoreTier::FusedF32);
+    assert!(fused.tables_bytes().unwrap() > 0, "derived tables must report a footprint");
+    // switching back drops the tables
+    let back = fused.with_tier(ScoreTier::Exact);
+    assert_eq!(back.tier(), ScoreTier::Exact);
+}

@@ -1,0 +1,504 @@
+//! Fused f32 inference kernels over cache-blocked tables.
+//!
+//! The tape engine ([`crate::Tape`]) is the *exact* scoring tier: every
+//! op materialises its output tensor and records backward bookkeeping,
+//! which is what training and the bit-identity oracles need. Serving
+//! needs none of it — a ranking forward is a pure gather → propagate →
+//! dot pipeline — so this module provides the second tier: embedding
+//! tables rehomed into a cache-blocked layout ([`BlockedTable`]) plus
+//! fused kernels that run the same math with no tape, no intermediate
+//! tensor allocation and no materialised `repeat_rows`/`peer_concat`
+//! copies.
+//!
+//! Three properties the kernels guarantee (and the property suite in
+//! `tests/infer_props.rs` enforces):
+//!
+//! * **Per-row purity.** Every kernel computes output row `i` from its
+//!   own input rows only, so chunking a batch across the pool is
+//!   value-neutral — the same invariant the exact tier's batched path
+//!   relies on (DESIGN.md §11), now extended to the f32 tier.
+//! * **Reference closeness.** Each fused kernel matches a naive f64
+//!   evaluation of the same expression within a relative error bound
+//!   scaled by the reduction length. Bits may differ from the tape
+//!   (fusion reorders sums); ranking-level agreement is enforced one
+//!   layer up by the accuracy contract (DESIGN.md §14).
+//! * **Sanitised tables.** Table construction accumulates in f64 and
+//!   rounds once: non-finite inputs and overflowing products are typed
+//!   [`ConvertError`]s, subnormal results flush to zero (so the kernels
+//!   never hit the slow denormal path), and padding lanes are zero.
+
+use crate::tensor::softmax_inplace;
+
+/// Floats per cache block: rows are padded to a multiple of this, so a
+/// 64-byte line never straddles two rows and gathers stay aligned.
+pub const BLOCK_FLOATS: usize = 16;
+
+/// Typed failure of a table conversion — the input parameter tensor is
+/// unusable for serving and the caller must keep the exact tier.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ConvertError {
+    /// The source value was already NaN or ±∞.
+    NonFinite {
+        /// Row of the offending element.
+        row: usize,
+        /// Column of the offending element.
+        col: usize,
+    },
+    /// The scaled value left f32 range (finite in, ±∞ out).
+    Overflow {
+        /// Row of the offending element.
+        row: usize,
+        /// Column of the offending element.
+        col: usize,
+        /// The scaled f64 value that failed to round into f32 range.
+        value: f64,
+    },
+}
+
+impl std::fmt::Display for ConvertError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConvertError::NonFinite { row, col } => {
+                write!(f, "non-finite table element at [{row}, {col}]")
+            }
+            ConvertError::Overflow { row, col, value } => {
+                write!(f, "table element at [{row}, {col}] overflows f32: {value:e}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConvertError {}
+
+/// A dense `[rows, dim]` matrix with every row padded to a
+/// [`BLOCK_FLOATS`] boundary — the gather-friendly layout the fused
+/// kernels read. Padding lanes are zero, so a full-stride dot over a
+/// row is identical to a `dim`-length one.
+#[derive(Clone, Debug)]
+pub struct BlockedTable {
+    rows: usize,
+    dim: usize,
+    stride: usize,
+    data: Vec<f32>,
+}
+
+impl BlockedTable {
+    /// Build from a row-major `[rows, dim]` f32 slice, scaling every
+    /// element by `scale` in f64 before rounding back to f32 once —
+    /// the one place the pipeline converts precision, so it is also
+    /// where sanitisation lives: non-finite inputs and overflowing
+    /// results are errors, subnormal results flush to zero.
+    pub fn from_rows_scaled(
+        rows: usize,
+        dim: usize,
+        src: &[f32],
+        scale: f64,
+    ) -> Result<Self, ConvertError> {
+        assert_eq!(src.len(), rows * dim, "source length must be rows x dim");
+        let stride = blocked_stride(dim);
+        let mut data = vec![0.0f32; rows * stride];
+        for r in 0..rows {
+            for c in 0..dim {
+                let x = src[r * dim + c];
+                if !x.is_finite() {
+                    return Err(ConvertError::NonFinite { row: r, col: c });
+                }
+                let scaled = x as f64 * scale;
+                let v = scaled as f32;
+                if !v.is_finite() {
+                    return Err(ConvertError::Overflow { row: r, col: c, value: scaled });
+                }
+                data[r * stride + c] = flush_subnormal(v);
+            }
+        }
+        Ok(BlockedTable { rows, dim, stride, data })
+    }
+
+    /// Unscaled conversion (`scale = 1`): sanitisation only.
+    pub fn from_rows(rows: usize, dim: usize, src: &[f32]) -> Result<Self, ConvertError> {
+        Self::from_rows_scaled(rows, dim, src, 1.0)
+    }
+
+    /// Number of logical rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Logical row width (padding excluded).
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Physical floats per row (a [`BLOCK_FLOATS`] multiple).
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// Resident size in bytes, padding included — what the roofline
+    /// bench reports as table traffic.
+    pub fn bytes(&self) -> usize {
+        self.data.len() * std::mem::size_of::<f32>()
+    }
+
+    /// One logical row (padding excluded).
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f32] {
+        debug_assert!(r < self.rows, "row {r} out of {}", self.rows);
+        &self.data[r * self.stride..r * self.stride + self.dim]
+    }
+
+    /// Gather `ids` into a dense unpadded `[ids.len(), dim]` buffer
+    /// (cleared and refilled — callers reuse the allocation across
+    /// chunks).
+    pub fn gather_into(&self, ids: &[u32], out: &mut Vec<f32>) {
+        out.clear();
+        out.reserve(ids.len() * self.dim);
+        for &id in ids {
+            out.extend_from_slice(self.row(id as usize));
+        }
+    }
+}
+
+/// Sanitise a dense row-major `[rows, dim]` buffer without re-laying it
+/// out — the conversion path for the small weight matrices that are
+/// streamed whole (no gather) and so gain nothing from padding. Same
+/// checks and subnormal flush as [`BlockedTable::from_rows`].
+pub fn sanitize_dense(rows: usize, dim: usize, src: &[f32]) -> Result<Vec<f32>, ConvertError> {
+    assert_eq!(src.len(), rows * dim, "source length must be rows x dim");
+    let mut out = Vec::with_capacity(src.len());
+    for (i, &x) in src.iter().enumerate() {
+        if !x.is_finite() {
+            return Err(ConvertError::NonFinite { row: i / dim, col: i % dim });
+        }
+        out.push(flush_subnormal(x));
+    }
+    Ok(out)
+}
+
+/// Row stride for a logical width: `dim` rounded up to a
+/// [`BLOCK_FLOATS`] multiple.
+pub fn blocked_stride(dim: usize) -> usize {
+    dim.div_ceil(BLOCK_FLOATS) * BLOCK_FLOATS
+}
+
+/// Flush subnormals to zero so the kernels stay off the denormal slow
+/// path; normals (and ±0) pass through unchanged.
+#[inline]
+pub fn flush_subnormal(x: f32) -> f32 {
+    if x != 0.0 && x.abs() < f32::MIN_POSITIVE {
+        0.0
+    } else {
+        x
+    }
+}
+
+/// Fused gather + row-dot with an implicit row repeat:
+/// `out[i] = table.row(ids[i]) · query.row(i / rep)` where `query` is a
+/// dense `[ids.len() / rep, dim]` buffer. This is the tape's
+/// `repeat_rows` → `gather_row_dot` pair without materialising the
+/// repeated query (the tape path copies `ids.len()` full rows first).
+pub fn gather_row_dot_rep(
+    table: &BlockedTable,
+    ids: &[u32],
+    query: &[f32],
+    dim: usize,
+    rep: usize,
+    out: &mut Vec<f32>,
+) {
+    assert!(rep > 0, "repeat factor must be positive");
+    assert_eq!(ids.len() % rep, 0, "ids must be a whole number of repeats");
+    assert_eq!(query.len(), ids.len() / rep * dim, "query rows must be ids / rep");
+    out.clear();
+    out.reserve(ids.len());
+    for (i, &id) in ids.iter().enumerate() {
+        let q = &query[(i / rep) * dim..(i / rep + 1) * dim];
+        out.push(dot_f32(table.row(id as usize), q));
+    }
+}
+
+/// In-place softmax over consecutive `group`-sized blocks — the same
+/// per-block routine the tape uses, applied without the output clone.
+pub fn softmax_groups_inplace(xs: &mut [f32], group: usize) {
+    assert!(group > 0, "group must be positive");
+    assert_eq!(xs.len() % group, 0, "length must be a multiple of group");
+    for block in xs.chunks_mut(group) {
+        softmax_inplace(block);
+    }
+}
+
+/// Per-block weighted sum: `out.row(g) = Σ_k w[g·group + k] ·
+/// values.row(g·group + k)` for dense `[n·group, dim]` values. Zero
+/// weights skip their row (the tape does the same — a pruned row must
+/// not inject NaN·0).
+pub fn group_weighted_sum(
+    weights: &[f32],
+    values: &[f32],
+    dim: usize,
+    group: usize,
+    out: &mut Vec<f32>,
+) {
+    assert!(group > 0, "group must be positive");
+    assert_eq!(weights.len() % group, 0, "weights must be a multiple of group");
+    assert_eq!(values.len(), weights.len() * dim, "values rows must match weights");
+    let n = weights.len() / group;
+    out.clear();
+    out.resize(n * dim, 0.0);
+    for g in 0..n {
+        let acc = &mut out[g * dim..(g + 1) * dim];
+        for k in 0..group {
+            let w = weights[g * group + k];
+            if w == 0.0 {
+                continue;
+            }
+            let row = &values[(g * group + k) * dim..(g * group + k + 1) * dim];
+            for (o, &v) in acc.iter_mut().zip(row) {
+                *o += w * v;
+            }
+        }
+    }
+}
+
+/// Per-block mean of dense `[n·group, dim]` values —
+/// `out.row(g) = (1/group) · Σ_k values.row(g·group + k)`, accumulated
+/// then scaled like the tape's `group_mean`.
+pub fn group_mean(values: &[f32], dim: usize, group: usize, out: &mut Vec<f32>) {
+    assert!(group > 0, "group must be positive");
+    assert_eq!(values.len() % (group * dim), 0, "values must be whole blocks");
+    let n = values.len() / (group * dim);
+    let inv = 1.0 / group as f32;
+    out.clear();
+    out.resize(n * dim, 0.0);
+    for g in 0..n {
+        let acc = &mut out[g * dim..(g + 1) * dim];
+        for k in 0..group {
+            let row = &values[(g * group + k) * dim..(g * group + k + 1) * dim];
+            for (o, &v) in acc.iter_mut().zip(row) {
+                *o += v;
+            }
+        }
+        for o in acc.iter_mut() {
+            *o *= inv;
+        }
+    }
+}
+
+/// Epilogue activation of a fused matmul.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Activation {
+    /// Identity — bias only.
+    None,
+    /// `max(0, x)` (hidden propagation layers).
+    Relu,
+    /// `tanh(x)` (the last propagation layer).
+    Tanh,
+}
+
+#[inline]
+fn activate(x: f32, act: Activation) -> f32 {
+    match act {
+        Activation::None => x,
+        Activation::Relu => x.max(0.0),
+        Activation::Tanh => x.tanh(),
+    }
+}
+
+/// Fused `out = act(a · w + bias)` for dense row-major `a
+/// [rows, d_in]`, `w [d_in, d_out]`, `bias [d_out]`. Same i-k-j loop
+/// order (and zero-skip) as the tape matmul, with the bias-add and
+/// activation folded into the row epilogue instead of three extra
+/// tensor passes. Each output row reads only its own `a` row.
+pub fn matmul_bias_act(
+    a: &[f32],
+    rows: usize,
+    d_in: usize,
+    w: &[f32],
+    d_out: usize,
+    bias: &[f32],
+    act: Activation,
+    out: &mut Vec<f32>,
+) {
+    assert_eq!(a.len(), rows * d_in, "lhs length must be rows x d_in");
+    assert_eq!(w.len(), d_in * d_out, "weight length must be d_in x d_out");
+    assert_eq!(bias.len(), d_out, "bias length must be d_out");
+    out.clear();
+    out.resize(rows * d_out, 0.0);
+    for i in 0..rows {
+        let out_row = &mut out[i * d_out..(i + 1) * d_out];
+        accumulate_row(&a[i * d_in..(i + 1) * d_in], w, d_out, out_row);
+        for (o, &b) in out_row.iter_mut().zip(bias) {
+            *o = activate(*o + b, act);
+        }
+    }
+}
+
+/// Fused split form of the GraphSage concat matmul:
+/// `out = act(a · w_a + b · w_b + bias)` ≡
+/// `act(CONCAT(a, b) · [w_a; w_b] + bias)` without materialising the
+/// `[rows, 2·d_in]` concatenation. Summation runs `w_a` products first,
+/// then `w_b` — the same element order as the concatenated dot.
+#[allow(clippy::too_many_arguments)]
+pub fn matmul2_bias_act(
+    a: &[f32],
+    b: &[f32],
+    rows: usize,
+    d_in: usize,
+    w_a: &[f32],
+    w_b: &[f32],
+    d_out: usize,
+    bias: &[f32],
+    act: Activation,
+    out: &mut Vec<f32>,
+) {
+    assert_eq!(a.len(), rows * d_in, "lhs a length must be rows x d_in");
+    assert_eq!(b.len(), rows * d_in, "lhs b length must be rows x d_in");
+    assert_eq!(w_a.len(), d_in * d_out, "w_a length must be d_in x d_out");
+    assert_eq!(w_b.len(), d_in * d_out, "w_b length must be d_in x d_out");
+    assert_eq!(bias.len(), d_out, "bias length must be d_out");
+    out.clear();
+    out.resize(rows * d_out, 0.0);
+    for i in 0..rows {
+        let out_row = &mut out[i * d_out..(i + 1) * d_out];
+        accumulate_row(&a[i * d_in..(i + 1) * d_in], w_a, d_out, out_row);
+        accumulate_row(&b[i * d_in..(i + 1) * d_in], w_b, d_out, out_row);
+        for (o, &bb) in out_row.iter_mut().zip(bias) {
+            *o = activate(*o + bb, act);
+        }
+    }
+}
+
+/// `out_row += a_row · w` — the shared i-k-j inner kernel.
+#[inline]
+pub fn accumulate_row(a_row: &[f32], w: &[f32], d_out: usize, out_row: &mut [f32]) {
+    debug_assert_eq!(w.len(), a_row.len() * d_out);
+    debug_assert_eq!(out_row.len(), d_out);
+    for (kk, &x) in a_row.iter().enumerate() {
+        if x == 0.0 {
+            continue;
+        }
+        let w_row = &w[kk * d_out..(kk + 1) * d_out];
+        for (o, &wv) in out_row.iter_mut().zip(w_row) {
+            *o += x * wv;
+        }
+    }
+}
+
+/// Elementwise `out = a + b` over equal-length buffers.
+pub fn add_into(a: &[f32], b: &[f32], out: &mut Vec<f32>) {
+    assert_eq!(a.len(), b.len(), "operand lengths must match");
+    out.clear();
+    out.extend(a.iter().zip(b).map(|(&x, &y)| x + y));
+}
+
+/// Residual combine in place: `acc[i] = e0[i] + gamma · acc[i]`.
+pub fn residual_inplace(e0: &[f32], gamma: f32, acc: &mut [f32]) {
+    assert_eq!(e0.len(), acc.len(), "operand lengths must match");
+    for (a, &e) in acc.iter_mut().zip(e0) {
+        *a = e + gamma * *a;
+    }
+}
+
+/// Row-wise dot of two dense `[n, dim]` buffers, scaled:
+/// `out[i] = scale · (a.row(i) · b.row(i / rep))` — `rep > 1` folds the
+/// tape's `repeat_rows(b)` into the index instead of a copy.
+pub fn row_dot_rep_scaled(
+    a: &[f32],
+    b: &[f32],
+    dim: usize,
+    rep: usize,
+    scale: f32,
+    out: &mut Vec<f32>,
+) {
+    assert!(rep > 0, "repeat factor must be positive");
+    assert_eq!(a.len() % dim, 0, "a must be whole rows");
+    let n = a.len() / dim;
+    assert_eq!(n % rep, 0, "rows must be a whole number of repeats");
+    assert_eq!(b.len(), n / rep * dim, "b rows must be a / rep");
+    out.clear();
+    out.reserve(n);
+    for i in 0..n {
+        let ar = &a[i * dim..(i + 1) * dim];
+        let br = &b[(i / rep) * dim..(i / rep + 1) * dim];
+        out.push(scale * dot_f32(ar, br));
+    }
+}
+
+/// Sequential f32 dot — identical element order to the tape's
+/// `row_dot`, so the two tiers differ only where fusion reorders sums.
+#[inline]
+pub fn dot_f32(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(&x, &y)| x * y).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blocked_stride_rounds_up() {
+        assert_eq!(blocked_stride(1), 16);
+        assert_eq!(blocked_stride(16), 16);
+        assert_eq!(blocked_stride(17), 32);
+    }
+
+    #[test]
+    fn table_rows_are_padded_and_exact() {
+        let src: Vec<f32> = (0..6).map(|i| i as f32 + 0.5).collect();
+        let t = BlockedTable::from_rows(2, 3, &src).unwrap();
+        assert_eq!(t.stride(), 16);
+        assert_eq!(t.row(1), &[3.5, 4.5, 5.5]);
+        assert_eq!(t.bytes(), 2 * 16 * 4);
+    }
+
+    #[test]
+    fn conversion_rejects_non_finite() {
+        let err = BlockedTable::from_rows(1, 2, &[1.0, f32::NAN]).unwrap_err();
+        assert_eq!(err, ConvertError::NonFinite { row: 0, col: 1 });
+    }
+
+    #[test]
+    fn conversion_rejects_overflow() {
+        let err = BlockedTable::from_rows_scaled(1, 1, &[f32::MAX], 1e10).unwrap_err();
+        assert!(matches!(err, ConvertError::Overflow { row: 0, col: 0, .. }));
+    }
+
+    #[test]
+    fn conversion_flushes_subnormals() {
+        let sub = f32::MIN_POSITIVE / 2.0;
+        let t = BlockedTable::from_rows(1, 2, &[sub, f32::MIN_POSITIVE]).unwrap();
+        assert_eq!(t.row(0)[0], 0.0);
+        assert_eq!(t.row(0)[1], f32::MIN_POSITIVE);
+    }
+
+    #[test]
+    fn gather_row_dot_repeats_query_rows() {
+        let table = BlockedTable::from_rows(3, 2, &[1.0, 0.0, 0.0, 1.0, 1.0, 1.0]).unwrap();
+        let query = [2.0, 3.0, 4.0, 5.0]; // two query rows, rep = 2
+        let mut out = Vec::new();
+        gather_row_dot_rep(&table, &[0, 1, 2, 0], &query, 2, 2, &mut out);
+        assert_eq!(out, vec![2.0, 3.0, 9.0, 4.0]);
+    }
+
+    #[test]
+    fn matmul2_matches_concat_matmul() {
+        let (rows, d) = (2, 3);
+        let a: Vec<f32> = (0..rows * d).map(|i| i as f32 * 0.25).collect();
+        let b: Vec<f32> = (0..rows * d).map(|i| 1.0 - i as f32 * 0.125).collect();
+        let w_a: Vec<f32> = (0..d * d).map(|i| (i as f32 - 4.0) * 0.1).collect();
+        let w_b: Vec<f32> = (0..d * d).map(|i| (i as f32) * 0.05).collect();
+        let bias = [0.1, -0.2, 0.3];
+        let mut fused = Vec::new();
+        matmul2_bias_act(&a, &b, rows, d, &w_a, &w_b, d, &bias, Activation::None, &mut fused);
+        // reference: concat then one matmul
+        let mut cat = Vec::new();
+        for i in 0..rows {
+            cat.extend_from_slice(&a[i * d..(i + 1) * d]);
+            cat.extend_from_slice(&b[i * d..(i + 1) * d]);
+        }
+        let mut w = w_a.clone();
+        w.extend_from_slice(&w_b);
+        let mut reference = Vec::new();
+        matmul_bias_act(&cat, rows, 2 * d, &w, d, &bias, Activation::None, &mut reference);
+        assert_eq!(fused, reference);
+    }
+}

@@ -55,6 +55,7 @@
 
 pub mod checkpoint;
 pub mod cmp;
+pub mod infer;
 pub mod init;
 pub mod optim;
 pub mod params;

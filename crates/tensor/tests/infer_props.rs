@@ -1,0 +1,361 @@
+//! Property suites for the fused f32 inference kernels
+//! (`kgag_tensor::infer`, DESIGN.md §14).
+//!
+//! Each fused kernel is compared against a naive f64 evaluation of the
+//! same expression on random inputs. The bound is *relative*: for a
+//! reduction of length `n` over values bounded by `m`, the accumulated
+//! f32 rounding error is at most a small multiple of `n · m² · ε`, so
+//! every assertion scales its tolerance by the reduction length and the
+//! operand magnitude instead of hard-coding an absolute epsilon that
+//! would go stale when test ranges change.
+//!
+//! The conversion suite covers the edge cases the sanitiser exists
+//! for: subnormal flushing, overflow/NaN detection, exactness on
+//! normals, and zeroed padding lanes.
+
+use kgag_tensor::infer::{
+    add_into, blocked_stride, dot_f32, flush_subnormal, gather_row_dot_rep, group_mean,
+    group_weighted_sum, matmul2_bias_act, matmul_bias_act, residual_inplace, row_dot_rep_scaled,
+    sanitize_dense, softmax_groups_inplace, Activation, BlockedTable, ConvertError, BLOCK_FLOATS,
+};
+use kgag_tensor::rng::SplitMix64;
+use kgag_testkit::check::Runner;
+use kgag_testkit::gen::{f32_in, u64_in, usize_in};
+use kgag_testkit::{prop_assert, prop_assert_eq};
+
+/// Per-element relative-error bound for a length-`n` f32 reduction over
+/// operands of magnitude ≤ `scale`.
+fn tol(n: usize, scale: f64) -> f64 {
+    // n·ε for the summation + a couple of ulps for the products; the
+    // constant is generous but still catches any wrong-index or
+    // wrong-order bug (those produce O(scale) errors, not O(n·ε))
+    (n as f64 + 8.0) * (f32::EPSILON as f64) * scale.max(1.0) * 4.0
+}
+
+fn rand_vec(rng: &mut SplitMix64, n: usize, lo: f32, hi: f32) -> Vec<f32> {
+    (0..n).map(|_| lo + (hi - lo) * rng.next_f32()).collect()
+}
+
+#[test]
+fn gather_row_dot_matches_f64_reference() {
+    let gen =
+        (usize_in(1..40), usize_in(1..24), usize_in(1..6), usize_in(1..5), u64_in(0..u64::MAX));
+    Runner::new("infer-gather-row-dot-vs-f64").cases(96).run(
+        &gen,
+        |&(rows, dim, n_query, rep, seed)| {
+            let mut rng = SplitMix64::new(seed);
+            let src = rand_vec(&mut rng, rows * dim, -2.0, 2.0);
+            let table = BlockedTable::from_rows(rows, dim, &src).unwrap();
+            let query = rand_vec(&mut rng, n_query * dim, -2.0, 2.0);
+            let ids: Vec<u32> =
+                (0..n_query * rep).map(|_| (rng.next_u64() % rows as u64) as u32).collect();
+            let mut out = Vec::new();
+            gather_row_dot_rep(&table, &ids, &query, dim, rep, &mut out);
+            prop_assert_eq!(out.len(), ids.len(), "one dot per id");
+            for (i, &got) in out.iter().enumerate() {
+                let row = &src[(ids[i] as usize) * dim..(ids[i] as usize + 1) * dim];
+                let q = &query[(i / rep) * dim..(i / rep + 1) * dim];
+                let want: f64 = row.iter().zip(q).map(|(&a, &b)| a as f64 * b as f64).sum();
+                prop_assert!(
+                    (got as f64 - want).abs() <= tol(dim, 4.0),
+                    "dot {i}: got {got}, f64 reference {want}"
+                );
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn group_weighted_sum_matches_f64_reference() {
+    let gen = (usize_in(1..20), usize_in(1..8), usize_in(1..24), u64_in(0..u64::MAX));
+    Runner::new("infer-group-weighted-sum-vs-f64").cases(96).run(&gen, |&(n, group, dim, seed)| {
+        let mut rng = SplitMix64::new(seed);
+        let weights = rand_vec(&mut rng, n * group, -1.5, 1.5);
+        let values = rand_vec(&mut rng, n * group * dim, -2.0, 2.0);
+        let mut out = Vec::new();
+        group_weighted_sum(&weights, &values, dim, group, &mut out);
+        for g in 0..n {
+            for c in 0..dim {
+                let want: f64 = (0..group)
+                    .map(|k| {
+                        weights[g * group + k] as f64 * values[(g * group + k) * dim + c] as f64
+                    })
+                    .sum();
+                let got = out[g * dim + c] as f64;
+                prop_assert!(
+                    (got - want).abs() <= tol(group, 3.0),
+                    "block {g} col {c}: got {got}, want {want}"
+                );
+            }
+        }
+        Ok(())
+    });
+}
+
+#[test]
+fn group_mean_matches_f64_reference() {
+    let gen = (usize_in(1..20), usize_in(1..8), usize_in(1..24), u64_in(0..u64::MAX));
+    Runner::new("infer-group-mean-vs-f64").cases(96).run(&gen, |&(n, group, dim, seed)| {
+        let mut rng = SplitMix64::new(seed);
+        let values = rand_vec(&mut rng, n * group * dim, -3.0, 3.0);
+        let mut out = Vec::new();
+        group_mean(&values, dim, group, &mut out);
+        for g in 0..n {
+            for c in 0..dim {
+                let want: f64 =
+                    (0..group).map(|k| values[(g * group + k) * dim + c] as f64).sum::<f64>()
+                        / group as f64;
+                let got = out[g * dim + c] as f64;
+                prop_assert!(
+                    (got - want).abs() <= tol(group, 3.0),
+                    "block {g} col {c}: got {got}, want {want}"
+                );
+            }
+        }
+        Ok(())
+    });
+}
+
+#[test]
+fn softmax_groups_matches_f64_reference() {
+    let gen = (usize_in(1..30), usize_in(1..9), u64_in(0..u64::MAX));
+    Runner::new("infer-softmax-groups-vs-f64").cases(96).run(&gen, |&(n, group, seed)| {
+        let mut rng = SplitMix64::new(seed);
+        let src = rand_vec(&mut rng, n * group, -20.0, 20.0);
+        let mut xs = src.clone();
+        softmax_groups_inplace(&mut xs, group);
+        for g in 0..n {
+            let block = &src[g * group..(g + 1) * group];
+            let max = block.iter().cloned().fold(f32::NEG_INFINITY, f32::max) as f64;
+            let exps: Vec<f64> = block.iter().map(|&x| (x as f64 - max).exp()).collect();
+            let sum: f64 = exps.iter().sum();
+            let mut total = 0.0f64;
+            for (k, &e) in exps.iter().enumerate() {
+                let got = xs[g * group + k] as f64;
+                let want = e / sum;
+                prop_assert!(
+                    (got - want).abs() <= tol(group, 1.0),
+                    "block {g} slot {k}: got {got}, want {want}"
+                );
+                total += got;
+            }
+            prop_assert!((total - 1.0).abs() < 1e-5, "block {g} sums to {total}");
+        }
+        Ok(())
+    });
+}
+
+#[test]
+fn matmul_bias_act_matches_f64_reference() {
+    let gen =
+        (usize_in(1..16), usize_in(1..24), usize_in(1..24), usize_in(0..3), u64_in(0..u64::MAX));
+    Runner::new("infer-matmul-bias-act-vs-f64").cases(96).run(
+        &gen,
+        |&(rows, d_in, d_out, act_idx, seed)| {
+            let act = [Activation::None, Activation::Relu, Activation::Tanh][act_idx];
+            let mut rng = SplitMix64::new(seed);
+            let a = rand_vec(&mut rng, rows * d_in, -1.5, 1.5);
+            let w = rand_vec(&mut rng, d_in * d_out, -1.5, 1.5);
+            let bias = rand_vec(&mut rng, d_out, -1.0, 1.0);
+            let mut out = Vec::new();
+            matmul_bias_act(&a, rows, d_in, &w, d_out, &bias, act, &mut out);
+            for i in 0..rows {
+                for j in 0..d_out {
+                    let pre: f64 = (0..d_in)
+                        .map(|k| a[i * d_in + k] as f64 * w[k * d_out + j] as f64)
+                        .sum::<f64>()
+                        + bias[j] as f64;
+                    let want = match act {
+                        Activation::None => pre,
+                        Activation::Relu => pre.max(0.0),
+                        Activation::Tanh => pre.tanh(),
+                    };
+                    let got = out[i * d_out + j] as f64;
+                    prop_assert!(
+                        (got - want).abs() <= tol(d_in, 3.0),
+                        "[{i},{j}] act {act:?}: got {got}, want {want}"
+                    );
+                }
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn matmul2_matches_f64_concat_reference() {
+    let gen = (usize_in(1..12), usize_in(1..20), usize_in(1..20), u64_in(0..u64::MAX));
+    Runner::new("infer-split-matmul-vs-f64").cases(96).run(&gen, |&(rows, d_in, d_out, seed)| {
+        let mut rng = SplitMix64::new(seed);
+        let a = rand_vec(&mut rng, rows * d_in, -1.5, 1.5);
+        let b = rand_vec(&mut rng, rows * d_in, -1.5, 1.5);
+        let w_a = rand_vec(&mut rng, d_in * d_out, -1.5, 1.5);
+        let w_b = rand_vec(&mut rng, d_in * d_out, -1.5, 1.5);
+        let bias = rand_vec(&mut rng, d_out, -1.0, 1.0);
+        let mut out = Vec::new();
+        matmul2_bias_act(&a, &b, rows, d_in, &w_a, &w_b, d_out, &bias, Activation::Relu, &mut out);
+        for i in 0..rows {
+            for j in 0..d_out {
+                let pre: f64 = (0..d_in)
+                    .map(|k| a[i * d_in + k] as f64 * w_a[k * d_out + j] as f64)
+                    .chain((0..d_in).map(|k| b[i * d_in + k] as f64 * w_b[k * d_out + j] as f64))
+                    .sum::<f64>()
+                    + bias[j] as f64;
+                let want = pre.max(0.0);
+                let got = out[i * d_out + j] as f64;
+                prop_assert!(
+                    (got - want).abs() <= tol(2 * d_in, 3.0),
+                    "[{i},{j}]: got {got}, want {want}"
+                );
+            }
+        }
+        Ok(())
+    });
+}
+
+#[test]
+fn row_dot_and_residual_match_f64_reference() {
+    let gen = (usize_in(1..20), usize_in(1..24), usize_in(1..5), u64_in(0..u64::MAX));
+    Runner::new("infer-row-dot-residual-vs-f64").cases(96).run(&gen, |&(n_b, dim, rep, seed)| {
+        let mut rng = SplitMix64::new(seed);
+        let n = n_b * rep;
+        let a = rand_vec(&mut rng, n * dim, -2.0, 2.0);
+        let b = rand_vec(&mut rng, n_b * dim, -2.0, 2.0);
+        let scale = 0.25f32;
+        let mut out = Vec::new();
+        row_dot_rep_scaled(&a, &b, dim, rep, scale, &mut out);
+        for i in 0..n {
+            let want: f64 = (0..dim)
+                .map(|c| a[i * dim + c] as f64 * b[(i / rep) * dim + c] as f64)
+                .sum::<f64>()
+                * scale as f64;
+            prop_assert!(
+                (out[i] as f64 - want).abs() <= tol(dim, 4.0),
+                "row {i}: got {}, want {want}",
+                out[i]
+            );
+        }
+        // residual combine: acc = e0 + gamma * acc, elementwise
+        let e0 = rand_vec(&mut rng, n_b * dim, -2.0, 2.0);
+        let mut acc = b.clone();
+        residual_inplace(&e0, 0.5, &mut acc);
+        for i in 0..n_b * dim {
+            let want = e0[i] as f64 + 0.5 * b[i] as f64;
+            prop_assert!(
+                (acc[i] as f64 - want).abs() <= tol(1, 2.0),
+                "residual {i}: got {}, want {want}",
+                acc[i]
+            );
+        }
+        // add_into is exact per element (single f32 add)
+        let mut sum = Vec::new();
+        add_into(&e0, &b, &mut sum);
+        for i in 0..n_b * dim {
+            prop_assert_eq!(sum[i], e0[i] + b[i], "add_into {i}");
+        }
+        Ok(())
+    });
+}
+
+// ---------------------------------------------------------------------
+// f64→f32 table conversion edge cases
+// ---------------------------------------------------------------------
+
+#[test]
+fn conversion_preserves_normals_exactly() {
+    let gen = (usize_in(1..20), usize_in(1..40), u64_in(0..u64::MAX));
+    Runner::new("infer-convert-normals-exact").cases(96).run(&gen, |&(rows, dim, seed)| {
+        let mut rng = SplitMix64::new(seed);
+        let src = rand_vec(&mut rng, rows * dim, -5.0, 5.0);
+        let table = BlockedTable::from_rows(rows, dim, &src).unwrap();
+        prop_assert_eq!(table.stride() % BLOCK_FLOATS, 0, "stride must be blocked");
+        prop_assert_eq!(table.stride(), blocked_stride(dim), "stride formula");
+        for r in 0..rows {
+            // unscaled conversion of normal floats is the identity
+            prop_assert_eq!(table.row(r), &src[r * dim..(r + 1) * dim], "row {r} changed");
+        }
+        let dense = sanitize_dense(rows, dim, &src).unwrap();
+        prop_assert_eq!(&dense, &src, "dense sanitise of normals is identity");
+        Ok(())
+    });
+}
+
+#[test]
+fn conversion_flushes_scaled_subnormals_to_zero() {
+    // values whose scaled result lands in the subnormal range must come
+    // out exactly zero, not as a denormal the kernels would chew on
+    let gen = (f32_in(1.0..100.0), u64_in(0..u64::MAX));
+    Runner::new("infer-convert-flushes-subnormals").cases(64).run(&gen, |&(mag, _seed)| {
+        let tiny = mag * 1e-35f32; // normal f32
+        let table = BlockedTable::from_rows_scaled(1, 1, &[tiny], 1e-10).unwrap();
+        let got = table.row(0)[0];
+        prop_assert!(
+            got == 0.0 || got.abs() >= f32::MIN_POSITIVE,
+            "scaled conversion leaked a subnormal: {got:e}"
+        );
+        prop_assert_eq!(flush_subnormal(f32::MIN_POSITIVE / 4.0), 0.0, "direct flush");
+        prop_assert_eq!(flush_subnormal(-f32::MIN_POSITIVE / 4.0), 0.0, "negative flush");
+        prop_assert_eq!(flush_subnormal(1.5), 1.5, "normals untouched");
+        Ok(())
+    });
+}
+
+#[test]
+fn conversion_rejects_non_finite_and_overflow_with_position() {
+    let gen = (usize_in(1..8), usize_in(1..8), usize_in(0..64), u64_in(0..u64::MAX));
+    Runner::new("infer-convert-typed-errors").cases(64).run(
+        &gen,
+        |&(rows, dim, poison_idx, seed)| {
+            let mut rng = SplitMix64::new(seed);
+            let poison = poison_idx % (rows * dim);
+            let (pr, pc) = (poison / dim, poison % dim);
+            // NaN / infinity are NonFinite at the right coordinates
+            for bad in [f32::NAN, f32::INFINITY, f32::NEG_INFINITY] {
+                let mut src = rand_vec(&mut rng, rows * dim, -1.0, 1.0);
+                src[poison] = bad;
+                let err = BlockedTable::from_rows(rows, dim, &src).unwrap_err();
+                prop_assert_eq!(
+                    err,
+                    ConvertError::NonFinite { row: pr, col: pc },
+                    "bad value {bad}"
+                );
+                let derr = sanitize_dense(rows, dim, &src).unwrap_err();
+                prop_assert_eq!(derr, ConvertError::NonFinite { row: pr, col: pc }, "dense");
+            }
+            // a finite value whose scaled product leaves f32 range is
+            // Overflow, again with coordinates
+            let mut src = rand_vec(&mut rng, rows * dim, -1.0, 1.0);
+            src[poison] = f32::MAX;
+            let err = BlockedTable::from_rows_scaled(rows, dim, &src, 1e12).unwrap_err();
+            match err {
+                ConvertError::Overflow { row, col, value } => {
+                    prop_assert_eq!((row, col), (pr, pc), "overflow position");
+                    prop_assert!(value.is_finite(), "the f64 value itself is finite");
+                }
+                other => prop_assert!(false, "expected Overflow, got {other:?}"),
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn padding_lanes_are_zero_so_full_stride_dots_are_safe() {
+    let gen = (usize_in(1..10), usize_in(1..40), u64_in(0..u64::MAX));
+    Runner::new("infer-convert-padding-zero").cases(64).run(&gen, |&(rows, dim, seed)| {
+        let mut rng = SplitMix64::new(seed);
+        let src = rand_vec(&mut rng, rows * dim, -5.0, 5.0);
+        let table = BlockedTable::from_rows(rows, dim, &src).unwrap();
+        // a dot over the logical row equals a dot over the padded row
+        // against a probe that extends past dim — only if padding is 0
+        let probe = vec![1.0f32; table.stride()];
+        for r in 0..rows {
+            let logical = dot_f32(table.row(r), &probe[..dim]);
+            let full: f32 = src[r * dim..(r + 1) * dim].iter().sum();
+            prop_assert!((logical - full).abs() < 1e-4, "row {r} logical dot");
+        }
+        prop_assert_eq!(table.bytes(), rows * table.stride() * 4, "bytes accounts for padding");
+        Ok(())
+    });
+}

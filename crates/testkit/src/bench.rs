@@ -11,7 +11,12 @@
 //! Environment knobs:
 //!
 //! * `KGAG_BENCH_ITERS`  — timed iterations per benchmark (default 15);
-//! * `KGAG_BENCH_WARMUP` — warmup iterations per benchmark (default 3).
+//! * `KGAG_BENCH_WARMUP` — warmup iterations per benchmark (default 3);
+//! * `KGAG_BENCH_DIR`    — directory for the JSON artifacts (default
+//!   `results`, relative to the invocation directory). ci.sh points
+//!   this at a scratch directory and moves finished artifacts into
+//!   place atomically, so an interrupted bench run can never leave a
+//!   half-written or half-missing artifact set behind.
 
 use crate::json::{Json, ToJson};
 use std::time::Instant;
@@ -211,8 +216,9 @@ impl BenchSuite {
             fields.push((k.as_str(), v.clone()));
         }
         let payload = Json::obj(fields);
+        let dir = std::env::var("KGAG_BENCH_DIR").unwrap_or_else(|_| "results".into());
         match crate::json::write_json_file(
-            std::path::Path::new("results"),
+            std::path::Path::new(&dir),
             &format!("bench_{}", self.name),
             &payload,
         ) {

@@ -268,6 +268,14 @@ fn cmd_serve(opts: &Flags) -> Result<(), String> {
         Some(b) => eprintln!("receptive-field cache resident: {:.1} KiB", b as f64 / 1024.0),
         None => eprintln!("receptive-field cache disabled"),
     }
+    // scoring tier comes from KGAG_SCORE_DTYPE (DESIGN.md §14); the f32
+    // tier reports its derived-table footprint next to the rf cache's
+    match scorer.tables_bytes() {
+        Some(b) => {
+            eprintln!("scoring tier: f32 fused ({:.1} KiB inference tables)", b as f64 / 1024.0)
+        }
+        None => eprintln!("scoring tier: f64 exact"),
+    }
     eprintln!("lifecycle enabled: {} groups live", scorer.num_groups());
     let serve_cfg = ServeConfig::from_env();
     let addr = opts.get("addr").cloned().unwrap_or_else(|| "127.0.0.1:0".into());
@@ -310,6 +318,13 @@ fn cmd_serve(opts: &Flags) -> Result<(), String> {
         kgag_obs::counter("serve.requests_rejected").get(),
         kgag_obs::counter("serve.deadline_missed").get(),
     );
+    if scorer.tier() == kgag::ScoreTier::FusedF32 {
+        eprintln!(
+            "f32 tier: {} items scored in {} fused batches",
+            kgag_obs::counter("infer.f32_items_scored").get(),
+            kgag_obs::counter("infer.f32_batches").get(),
+        );
+    }
     eprintln!(
         "lifecycle: {} created, {} joins, {} leaves, {} cache entries evicted ({} groups final)",
         kgag_obs::counter("lifecycle.groups_created").get(),
