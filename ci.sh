@@ -33,6 +33,15 @@
 #                evaluate_batched exactly with the server in the scorer
 #                seat, and graceful shutdown must answer every accepted
 #                request (DESIGN.md §12)
+#   shard      — sharded-serving gate (DESIGN.md §15): the shard_check
+#                binary at both thread counts. It spawns 2 real shard
+#                processes, proves router-fused scatter-gather scores
+#                bit-identical to the single-node BatchScorer on the
+#                exact tier (and to the single-node f32 tier on the
+#                fused tier), round-trips the TCP front door, then
+#                SIGKILLs a shard mid-stream: affected requests must
+#                fail with typed errors while untouched ones stay
+#                bit-identical — no panic, no hang
 #   lifecycle  — dynamic-group gate (DESIGN.md §13): the
 #                mutate-equals-rebuild oracle suite re-run with the
 #                receptive-field cache disabled (the cached paths run
@@ -84,10 +93,10 @@ cd "$(dirname "$0")"
 
 # ----------------------------------------------------------------- manifest
 
-STAGES="fmt build test cache serve lifecycle telemetry golden accuracy bench"
+STAGES="fmt build test cache serve shard lifecycle telemetry golden accuracy bench"
 # bench is opt-in: excluded from a default run, included by --bench /
 # --bench-baseline or an explicit --stage selection
-DEFAULT_STAGES="fmt build test cache serve lifecycle telemetry golden accuracy"
+DEFAULT_STAGES="fmt build test cache serve shard lifecycle telemetry golden accuracy"
 
 stage_desc() {
     case "$1" in
@@ -96,6 +105,7 @@ stage_desc() {
     test) echo "full test suite at KGAG_THREADS=1 and 4" ;;
     cache) echo "batched-inference cache equivalence (env knobs forced)" ;;
     serve) echo "serving gate: concurrent bit-identity + drain" ;;
+    shard) echo "sharded gate: scatter-gather bit-identity + shard kill" ;;
     lifecycle) echo "lifecycle gate: mutate-equals-rebuild + TCP mutations" ;;
     telemetry) echo "telemetry gate: passivity + JSONL schema" ;;
     golden) echo "golden-file gate: bit-identical smoke metrics" ;;
@@ -130,6 +140,12 @@ run_serve() {
     KGAG_THREADS=1 KGAG_SCORE_DTYPE=f64 \
         cargo run -q --release --offline -p kgag-bench --bin serve_check
     KGAG_THREADS=4 cargo run -q --release --offline -p kgag-bench --bin serve_check
+}
+
+run_shard() {
+    KGAG_THREADS=1 KGAG_SCORE_DTYPE=f64 \
+        cargo run -q --release --offline -p kgag-bench --bin shard_check
+    KGAG_THREADS=4 cargo run -q --release --offline -p kgag-bench --bin shard_check
 }
 
 run_lifecycle() {

@@ -77,6 +77,7 @@ impl ScoreTier {
 /// One propagation layer's weights in fused form: GraphSage's
 /// `[2d, d]` concat matmul is split into the self and neighbor halves
 /// so the concatenation is never materialised.
+#[derive(Clone)]
 struct LayerWeights {
     /// Rows of `W_h` multiplying the node's own representation (`[d, d]`).
     w_self: Vec<f32>,
@@ -88,6 +89,7 @@ struct LayerWeights {
 }
 
 /// Attention-tower weights (peer influence, Eq. 10).
+#[derive(Clone)]
 struct AttWeights {
     /// `W_{c1}` (`[d, d]`).
     w1: Vec<f32>,
@@ -142,6 +144,17 @@ impl InferenceTables {
         let rel = store.value(p.prop.relation_emb);
         let relation_scaled =
             BlockedTable::from_rows_scaled(rel.rows(), d, rel.data(), 1.0 / (d as f64).sqrt())?;
+        Ok(Self::derive_small(model)?.with_tables(entity, relation_scaled))
+    }
+
+    /// The weight-only part of [`InferenceTables::derive`]: everything
+    /// except the two big embedding tables, which are left as empty
+    /// placeholders.
+    fn derive_small(model: &Kgag) -> Result<Self, ConvertError> {
+        let cfg = model.config();
+        let store = model.store();
+        let p = model.params();
+        let d = cfg.dim;
         let mut layer_w = Vec::with_capacity(cfg.layers);
         for h in 0..cfg.layers {
             let w = store.value(p.prop.layer_w[h]);
@@ -178,11 +191,48 @@ impl InferenceTables {
             residual_weight: if cfg.residual { cfg.propagation_weight } else { 0.0 },
             nominal_l: model.group_size(),
             inv_sqrt_d: 1.0 / (d as f32).sqrt(),
-            entity,
-            relation_scaled,
+            entity: BlockedTable::from_rows(0, d, &[])?,
+            relation_scaled: BlockedTable::from_rows(0, d, &[])?,
             layer_w,
             att,
         })
+    }
+
+    /// A copy of this artifact's weights over *different* blocked
+    /// tables — the scatter-gather router's seam: per chunk it builds
+    /// compact tables from shard-gathered rows ([`BlockedTable`]
+    /// conversion is row-local, so a compact table's rows are
+    /// bit-identical to the matching slices of the full one) and scores
+    /// through the same fused kernels.
+    pub(crate) fn with_tables(
+        &self,
+        entity: BlockedTable,
+        relation_scaled: BlockedTable,
+    ) -> InferenceTables {
+        InferenceTables {
+            dim: self.dim,
+            layers: self.layers,
+            aggregator: self.aggregator,
+            use_kg: self.use_kg,
+            use_sp: self.use_sp,
+            use_pi: self.use_pi,
+            residual_weight: self.residual_weight,
+            nominal_l: self.nominal_l,
+            inv_sqrt_d: self.inv_sqrt_d,
+            entity,
+            relation_scaled,
+            layer_w: self.layer_w.clone(),
+            att: self.att.clone(),
+        }
+    }
+
+    /// [`InferenceTables::derive`] with the big embedding tables left
+    /// as empty placeholders — what a router that never holds the full
+    /// tables keeps resident (weights only). Table rows arrive per
+    /// chunk via [`InferenceTables::with_tables`]; their sanitisation
+    /// (non-finite checks) consequently happens per chunk, not here.
+    pub(crate) fn derive_weights_only(model: &Kgag) -> Result<Self, ConvertError> {
+        Self::derive_small(model)
     }
 
     /// Resident size of the derived artifact in bytes — the table
@@ -350,7 +400,70 @@ impl InferenceTables {
         }
         let member_rep =
             self.represent(model, caches.map(|c| &c.0), true, flat_members, &q_members, rf_scratch);
-        // ---- preference aggregation (§III-D) -----------------------
+        self.aggregate_and_score(&member_rep, &item_rep, l, b)
+    }
+
+    /// [`InferenceTables::score_chunk`] over receptive fields the
+    /// caller already assembled (and, for a sharded router, remapped to
+    /// this artifact's compact id space) — same kernels, same bits.
+    /// `rf_*` are `None` under the KGAG-KG ablation.
+    pub(crate) fn score_chunk_prepared(
+        &self,
+        rf_members: Option<&ReceptiveField>,
+        rf_items: Option<&ReceptiveField>,
+        flat_members: &[u32],
+        item_ents: &[u32],
+        l: usize,
+    ) -> Vec<f32> {
+        debug_assert_eq!(flat_members.len(), item_ents.len() * l);
+        debug_assert_eq!(rf_members.is_some(), self.use_kg);
+        let d = self.dim;
+        let b = item_ents.len();
+        let mut m0 = Vec::new();
+        self.entity.gather_into(flat_members, &mut m0);
+        let mut i0 = Vec::new();
+        self.entity.gather_into(item_ents, &mut i0);
+        let mut q_item = Vec::new();
+        kernels::group_mean(&m0, d, l, &mut q_item);
+        let item_rep = self.represent_prepared(rf_items, item_ents, &q_item);
+        let mut q_members = Vec::with_capacity(b * l * d);
+        for i in 0..b * l {
+            q_members.extend_from_slice(&i0[(i / l) * d..(i / l + 1) * d]);
+        }
+        let member_rep = self.represent_prepared(rf_members, flat_members, &q_members);
+        self.aggregate_and_score(&member_rep, &item_rep, l, b)
+    }
+
+    /// The prepared-field mirror of [`InferenceTables::represent`]:
+    /// propagate over the given field, or gather zero-order rows when
+    /// there is none (the KGAG-KG ablation).
+    fn represent_prepared(
+        &self,
+        rf: Option<&ReceptiveField>,
+        targets: &[u32],
+        query: &[f32],
+    ) -> Vec<f32> {
+        match rf {
+            Some(rf) => self.propagate(rf, query),
+            None => {
+                let mut out = Vec::new();
+                self.entity.gather_into(targets, &mut out);
+                out
+            }
+        }
+    }
+
+    /// Preference aggregation (§III-D) and sigmoid read-out — the tail
+    /// shared by [`InferenceTables::score_chunk`] and the prepared-field
+    /// router path.
+    fn aggregate_and_score(
+        &self,
+        member_rep: &[f32],
+        item_rep: &[f32],
+        l: usize,
+        b: usize,
+    ) -> Vec<f32> {
+        let d = self.dim;
         let sp = self.use_sp.then(|| {
             let mut sp = Vec::new();
             kernels::row_dot_rep_scaled(&member_rep, &item_rep, d, l, self.inv_sqrt_d, &mut sp);

@@ -48,6 +48,7 @@ pub mod infer;
 pub mod loss;
 pub mod model;
 pub mod propagation;
+pub mod shard;
 pub mod trainer;
 
 pub use batch::BatchScorer;
@@ -55,4 +56,5 @@ pub use config::{Aggregator, GroupLoss, KgagConfig};
 pub use dynamic::{ColdStartError, DynamicScorer};
 pub use explain::GroupExplanation;
 pub use infer::{InferenceTables, ScoreTier};
+pub use shard::{LocalFetch, RouterCore, ShardError, ShardErrorKind, ShardFetch};
 pub use trainer::{EpochLoss, Kgag, TrainReport};

@@ -223,23 +223,6 @@ impl Kgag {
         self.propagate_rf(tape, &rf, query)
     }
 
-    /// [`Kgag::represent`] over memoized receptive-field tables instead
-    /// of live sampling (bit-identical for a cache built on the
-    /// eval sampler at the matching salt).
-    fn represent_cached(
-        &self,
-        tape: &mut Tape<'_>,
-        targets: &[u32],
-        query: NodeId,
-        cache: &RfCache,
-    ) -> NodeId {
-        if !self.config.use_kg {
-            return tape.gather(self.params.prop.entity_emb, targets);
-        }
-        let rf = cache.receptive_field(targets);
-        self.propagate_rf(tape, &rf, query)
-    }
-
     fn propagate_rf(
         &self,
         tape: &mut Tape<'_>,
@@ -298,40 +281,45 @@ impl Kgag {
         l: usize,
         fields: &Fields<'_>,
     ) -> GroupForward {
-        debug_assert_eq!(flat_members.len(), item_ents.len() * l);
-        let m0 = tape.gather(self.params.prop.entity_emb, flat_members);
-        let i0 = tape.gather(self.params.prop.entity_emb, item_ents);
-        let q_item = tape.group_mean(m0, l);
-        let item_rep = match *fields {
-            Fields::Live { salt, train } => {
-                self.represent(tape, item_ents, q_item, salt ^ SALT_ITEM, train)
-            }
-            Fields::Cached { items, .. } => self.represent_cached(tape, item_ents, q_item, items),
-        };
-        let q_members = tape.repeat_rows(i0, l);
-        let member_rep = match *fields {
-            Fields::Live { salt, train } => {
-                self.represent(tape, flat_members, q_members, salt ^ SALT_MEMBER, train)
-            }
-            Fields::Cached { members, .. } => {
-                self.represent_cached(tape, flat_members, q_members, members)
-            }
-        };
-        // the peer-influence weights are tied to the trained group size
-        // (`att_w2` maps the (L−1)·d peer concatenation), so off-nominal
-        // groups — cold-start creations, lifecycle-mutated memberships —
-        // score with SP-only attention; nominal-size groups take the
-        // full path bit-identically to the static engine
-        let effective;
-        let config = if l == self.group_size {
-            &self.config
+        // receptive fields are resolved *before* any tape op: a draw
+        // depends only on (seed, salt, entity, level), never on tape
+        // state, so hoisting the sampling leaves the op sequence — and
+        // therefore the bits — untouched
+        let (rf_members, rf_items) = if !self.config.use_kg {
+            (None, None)
         } else {
-            effective = self.config.clone().ablate_pi();
-            &effective
+            match *fields {
+                Fields::Live { salt, train } => {
+                    let sampler = if train { &self.sampler } else { &self.eval_sampler };
+                    let graph = self.ckg.graph();
+                    let depth = self.config.layers;
+                    (
+                        Some(sampler.receptive_field(
+                            graph,
+                            flat_members,
+                            depth,
+                            salt ^ SALT_MEMBER,
+                        )),
+                        Some(sampler.receptive_field(graph, item_ents, depth, salt ^ SALT_ITEM)),
+                    )
+                }
+                Fields::Cached { members, items } => (
+                    Some(members.receptive_field(flat_members)),
+                    Some(items.receptive_field(item_ents)),
+                ),
+            }
         };
-        let attention = group_attention(tape, &self.params, config, member_rep, item_rep, l);
-        let score = tape.row_dot(attention.group_rep, item_rep);
-        GroupForward { attention, score }
+        forward_group_prepared(
+            tape,
+            &self.params,
+            &self.config,
+            self.group_size,
+            flat_members,
+            item_ents,
+            l,
+            rf_members.as_ref(),
+            rf_items.as_ref(),
+        )
     }
 
     /// Forward a batch of user–item instances, returning `[B, 1]` logits
@@ -395,6 +383,12 @@ impl Kgag {
 
     pub(crate) fn eval_sampler(&self) -> &NeighborSampler {
         &self.eval_sampler
+    }
+
+    /// The bound group table (member user ids per group) — read by the
+    /// scatter-gather router when it detaches from the model.
+    pub(crate) fn groups(&self) -> &[Vec<u32>] {
+        &self.groups
     }
 
     /// Parameter handles — read by the fused inference tier when it
@@ -718,6 +712,79 @@ impl Kgag {
     pub fn evaluate(&self, cases: &[GroupEvalCase], config: &EvalConfig) -> MetricSummary {
         kgag_eval::evaluate_group_ranking(self, self.num_items, cases, config)
     }
+}
+
+/// The group forward as pure tape ops over *pre-resolved* receptive
+/// fields — the body shared by every exact-tier scoring path.
+///
+/// `params` may index any [`kgag_tensor::ParamStore`] whose registered
+/// tensors hold the model's rows: the full trained store, or a compact
+/// per-chunk store assembled by the scatter-gather router
+/// ([`crate::shard::RouterCore`]) from gathered shard rows with entity /
+/// relation ids remapped to match. Every op here computes each output
+/// row from its own instance rows, so the two stores produce identical
+/// bits — the invariant the sharded-equals-single-node gate rests on.
+///
+/// `rf_*` are `None` under the KGAG-KG ablation (zero-order embeddings,
+/// no propagation). The op sequence is the serving contract: gather
+/// members, gather items, item query = member mean, item propagation,
+/// member queries = repeated item rows, member propagation, attention,
+/// row-dot.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn forward_group_prepared(
+    tape: &mut Tape<'_>,
+    params: &ModelParams,
+    config: &KgagConfig,
+    nominal_size: usize,
+    flat_members: &[u32],
+    item_ents: &[u32],
+    l: usize,
+    rf_members: Option<&kgag_kg::ReceptiveField>,
+    rf_items: Option<&kgag_kg::ReceptiveField>,
+) -> GroupForward {
+    debug_assert_eq!(flat_members.len(), item_ents.len() * l);
+    let residual = if config.residual { config.propagation_weight } else { 0.0 };
+    let m0 = tape.gather(params.prop.entity_emb, flat_members);
+    let i0 = tape.gather(params.prop.entity_emb, item_ents);
+    let q_item = tape.group_mean(m0, l);
+    let item_rep = match rf_items {
+        Some(rf) => crate::propagation::propagate_with(
+            tape,
+            &params.prop,
+            config.aggregator,
+            rf,
+            q_item,
+            residual,
+        ),
+        None => tape.gather(params.prop.entity_emb, item_ents),
+    };
+    let q_members = tape.repeat_rows(i0, l);
+    let member_rep = match rf_members {
+        Some(rf) => crate::propagation::propagate_with(
+            tape,
+            &params.prop,
+            config.aggregator,
+            rf,
+            q_members,
+            residual,
+        ),
+        None => tape.gather(params.prop.entity_emb, flat_members),
+    };
+    // the peer-influence weights are tied to the trained group size
+    // (`att_w2` maps the (L−1)·d peer concatenation), so off-nominal
+    // groups — cold-start creations, lifecycle-mutated memberships —
+    // score with SP-only attention; nominal-size groups take the
+    // full path bit-identically to the static engine
+    let effective;
+    let config = if l == nominal_size {
+        config
+    } else {
+        effective = config.clone().ablate_pi();
+        &effective
+    };
+    let attention = group_attention(tape, params, config, member_rep, item_rep, l);
+    let score = tape.row_dot(attention.group_rep, item_rep);
+    GroupForward { attention, score }
 }
 
 impl GroupScorer for Kgag {

@@ -114,6 +114,12 @@ impl CollaborativeKg {
         self.item_entity[v as usize]
     }
 
+    /// The whole item → entity mapping table (index = item id). Lets a
+    /// scatter-gather router carry the mapping without the graph.
+    pub fn item_entities(&self) -> &[EntityId] {
+        &self.item_entity
+    }
+
     /// Inverse mapping: the user index of an entity, if it is a user node.
     pub fn entity_user(&self, e: EntityId) -> Option<u32> {
         (e.0 >= self.num_base_entities).then(|| e.0 - self.num_base_entities)

@@ -24,6 +24,7 @@
 
 pub mod collab;
 pub mod graph;
+pub mod partition;
 pub mod paths;
 pub mod rf_cache;
 pub mod sampler;
@@ -32,6 +33,7 @@ pub mod triple;
 
 pub use collab::CollaborativeKg;
 pub use graph::KgGraph;
+pub use partition::{Partition, ShardState};
 pub use rf_cache::{Invalidation, RfCache};
 pub use sampler::{NeighborSampler, ReceptiveField};
 pub use triple::{EntityId, RelationId, Triple, TripleStore};

@@ -1,0 +1,419 @@
+//! Row partitioning for sharded serving.
+//!
+//! A shard owns one contiguous, balanced slice of the entity universe
+//! (and, independently, of the relation table): its embedding rows and
+//! its entities' CSR adjacency rows. Because every receptive-field draw
+//! is keyed on `(sampler seed, salt, entity, level)` and reads only
+//! that entity's own adjacency (see [`crate::sampler`]), a shard can
+//! answer draw queries for its entities with *bit-identical* results to
+//! a single node holding the whole graph — the property the router
+//! leans on to make scatter-gather scoring value-neutral.
+//!
+//! [`Partition`] is the pure id arithmetic (used by routers to split a
+//! query across peers); [`ShardState`] is what one shard process
+//! actually holds in memory.
+
+use crate::graph::KgGraph;
+use crate::sampler::{sample_slices, NeighborSampler};
+use std::ops::Range;
+
+/// A balanced contiguous partition of `rows` rows into `shards` slices.
+///
+/// Shard `i` owns `base + 1` rows when `i < rows % shards` and `base`
+/// rows otherwise (`base = rows / shards`), so slice sizes differ by at
+/// most one and the mapping is closed-form in both directions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Partition {
+    rows: usize,
+    shards: usize,
+}
+
+impl Partition {
+    /// Partition `rows` rows into `shards` contiguous slices.
+    ///
+    /// # Panics
+    /// Panics when `shards == 0`.
+    pub fn new(rows: usize, shards: usize) -> Self {
+        assert!(shards > 0, "partition needs at least one shard");
+        Partition { rows, shards }
+    }
+
+    /// Total rows partitioned.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The row range shard `shard` owns.
+    ///
+    /// # Panics
+    /// Panics when `shard >= shards`.
+    pub fn range(&self, shard: usize) -> Range<usize> {
+        assert!(shard < self.shards, "shard {shard} out of {}", self.shards);
+        let base = self.rows / self.shards;
+        let rem = self.rows % self.shards;
+        let start = shard * base + shard.min(rem);
+        let len = base + usize::from(shard < rem);
+        start..start + len
+    }
+
+    /// The shard owning `row`.
+    ///
+    /// # Panics
+    /// Panics when `row >= rows`.
+    pub fn shard_of(&self, row: usize) -> usize {
+        assert!(row < self.rows, "row {row} out of {}", self.rows);
+        let base = self.rows / self.shards;
+        let rem = self.rows % self.shards;
+        let wide = rem * (base + 1);
+        if row < wide {
+            row / (base + 1)
+        } else {
+            rem + (row - wide) / base
+        }
+    }
+
+    /// Split global `ids` by owning shard, remembering each id's
+    /// position in the query so callers can scatter per-shard replies
+    /// back into query order. Shards with no ids get an empty bucket.
+    pub fn split(&self, ids: &[u32]) -> Vec<Vec<(usize, u32)>> {
+        let mut buckets = vec![Vec::new(); self.shards];
+        for (pos, &id) in ids.iter().enumerate() {
+            buckets[self.shard_of(id as usize)].push((pos, id));
+        }
+        buckets
+    }
+}
+
+/// Everything one shard holds: its slice of the entity and relation
+/// embedding tables plus the CSR adjacency rows of its entities, with
+/// the sampler identity needed to reproduce keyed draws.
+///
+/// Answers exactly two query shapes — keyed neighbor draws for owned
+/// entities, and embedding-row gathers — which is all the scatter-gather
+/// router needs to rebuild any receptive field and score it locally.
+#[derive(Clone, Debug)]
+pub struct ShardState {
+    index: usize,
+    entity_part: Partition,
+    relation_part: Partition,
+    dim: usize,
+    sampler: NeighborSampler,
+    /// Embedding rows for `entity_part.range(index)`, row-major.
+    entity_rows: Vec<f32>,
+    /// Embedding rows for `relation_part.range(index)`, row-major.
+    relation_rows: Vec<f32>,
+    /// Local CSR over owned entities: entity `e`'s adjacency lives at
+    /// `neighbors[offsets[e - start] .. offsets[e - start + 1]]`.
+    offsets: Vec<u32>,
+    neighbors: Vec<u32>,
+    relations: Vec<u32>,
+}
+
+impl ShardState {
+    /// Extract shard `index` of `count` from the full graph and tables.
+    ///
+    /// `entity_table` / `relation_table` are the full row-major
+    /// embedding tables (`num_entities * dim` / `num_relations * dim`
+    /// floats); only the owned slices are copied.
+    ///
+    /// # Panics
+    /// Panics when `index >= count`, when a table length is not a
+    /// multiple of `dim`, or when `entity_table` disagrees with the
+    /// graph's entity count.
+    pub fn extract(
+        index: usize,
+        count: usize,
+        graph: &KgGraph,
+        sampler: &NeighborSampler,
+        dim: usize,
+        entity_table: &[f32],
+        relation_table: &[f32],
+    ) -> Self {
+        assert!(dim > 0, "embedding dim must be positive");
+        assert_eq!(entity_table.len() % dim, 0, "entity table not a multiple of dim");
+        assert_eq!(relation_table.len() % dim, 0, "relation table not a multiple of dim");
+        assert_eq!(
+            entity_table.len() / dim,
+            graph.num_entities(),
+            "entity table rows disagree with the graph"
+        );
+        let entity_part = Partition::new(graph.num_entities(), count);
+        let relation_part = Partition::new(relation_table.len() / dim, count);
+        let er = entity_part.range(index);
+        let rr = relation_part.range(index);
+        let mut offsets = Vec::with_capacity(er.len() + 1);
+        let mut neighbors = Vec::new();
+        let mut relations = Vec::new();
+        offsets.push(0u32);
+        for e in er.clone() {
+            let (nbrs, rels) = graph.neighbor_slices(e as u32);
+            neighbors.extend_from_slice(nbrs);
+            relations.extend_from_slice(rels);
+            offsets.push(neighbors.len() as u32);
+        }
+        ShardState {
+            index,
+            entity_part,
+            relation_part,
+            dim,
+            sampler: sampler.clone(),
+            entity_rows: entity_table[er.start * dim..er.end * dim].to_vec(),
+            relation_rows: relation_table[rr.start * dim..rr.end * dim].to_vec(),
+            offsets,
+            neighbors,
+            relations,
+        }
+    }
+
+    /// This shard's index.
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// The entity partition this shard belongs to.
+    pub fn entity_partition(&self) -> Partition {
+        self.entity_part
+    }
+
+    /// The relation partition this shard belongs to.
+    pub fn relation_partition(&self) -> Partition {
+        self.relation_part
+    }
+
+    /// Embedding dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Neighbors drawn per node (`K`).
+    pub fn k(&self) -> usize {
+        self.sampler.k()
+    }
+
+    /// The entity id range this shard owns.
+    pub fn entity_range(&self) -> Range<usize> {
+        self.entity_part.range(self.index)
+    }
+
+    /// The relation id range this shard owns.
+    pub fn relation_range(&self) -> Range<usize> {
+        self.relation_part.range(self.index)
+    }
+
+    /// Does this shard own entity `e`?
+    pub fn owns_entity(&self, e: u32) -> bool {
+        self.entity_range().contains(&(e as usize))
+    }
+
+    /// Does this shard own relation row `r`?
+    pub fn owns_relation(&self, r: u32) -> bool {
+        self.relation_range().contains(&(r as usize))
+    }
+
+    /// Keyed neighbor draws for owned `entities` at `level` under
+    /// `salt`: `k` children and `k` edge relations per entity,
+    /// entity-major. Bit-identical to what
+    /// [`NeighborSampler::receptive_field`] draws for the same entities
+    /// on the full graph — the draw reads only the entity's own
+    /// adjacency row and an RNG keyed on `(seed, salt, entity, level)`.
+    ///
+    /// # Panics
+    /// Panics when an entity is outside the owned range.
+    pub fn draws(&self, salt: u64, level: usize, entities: &[u32]) -> (Vec<u32>, Vec<u32>) {
+        let k = self.sampler.k();
+        let base = self.sampler.field_base(salt);
+        let start = self.entity_range().start;
+        let mut out_e = vec![0u32; entities.len() * k];
+        let mut out_r = vec![0u32; entities.len() * k];
+        for (i, &e) in entities.iter().enumerate() {
+            assert!(self.owns_entity(e), "entity {e} not owned by shard {}", self.index);
+            let local = e as usize - start;
+            let (lo, hi) = (self.offsets[local] as usize, self.offsets[local + 1] as usize);
+            sample_slices(
+                base,
+                level,
+                e,
+                k,
+                &self.neighbors[lo..hi],
+                &self.relations[lo..hi],
+                &mut out_e[i * k..(i + 1) * k],
+                &mut out_r[i * k..(i + 1) * k],
+            );
+        }
+        (out_e, out_r)
+    }
+
+    /// Append the embedding rows of owned entity `ids` to `out`,
+    /// in query order.
+    ///
+    /// # Panics
+    /// Panics when an id is outside the owned range.
+    pub fn gather_entity_rows(&self, ids: &[u32], out: &mut Vec<f32>) {
+        let start = self.entity_range().start;
+        out.reserve(ids.len() * self.dim);
+        for &id in ids {
+            assert!(self.owns_entity(id), "entity {id} not owned by shard {}", self.index);
+            let local = id as usize - start;
+            out.extend_from_slice(&self.entity_rows[local * self.dim..(local + 1) * self.dim]);
+        }
+    }
+
+    /// Append the embedding rows of owned relation `ids` to `out`,
+    /// in query order.
+    ///
+    /// # Panics
+    /// Panics when an id is outside the owned range.
+    pub fn gather_relation_rows(&self, ids: &[u32], out: &mut Vec<f32>) {
+        let start = self.relation_range().start;
+        out.reserve(ids.len() * self.dim);
+        for &id in ids {
+            assert!(self.owns_relation(id), "relation {id} not owned by shard {}", self.index);
+            let local = id as usize - start;
+            out.extend_from_slice(&self.relation_rows[local * self.dim..(local + 1) * self.dim]);
+        }
+    }
+
+    /// Approximate resident bytes of the owned tables and CSR rows.
+    pub fn approx_bytes(&self) -> usize {
+        std::mem::size_of_val(self.entity_rows.as_slice())
+            + std::mem::size_of_val(self.relation_rows.as_slice())
+            + std::mem::size_of_val(self.offsets.as_slice())
+            + std::mem::size_of_val(self.neighbors.as_slice())
+            + std::mem::size_of_val(self.relations.as_slice())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::triple::TripleStore;
+
+    #[test]
+    fn ranges_are_contiguous_balanced_and_exhaustive() {
+        for rows in [0usize, 1, 5, 7, 16, 100] {
+            for shards in [1usize, 2, 3, 4, 7] {
+                let p = Partition::new(rows, shards);
+                let mut next = 0usize;
+                let (mut lo, mut hi) = (usize::MAX, 0usize);
+                for s in 0..shards {
+                    let r = p.range(s);
+                    assert_eq!(r.start, next, "{rows}/{shards} shard {s} not contiguous");
+                    lo = lo.min(r.len());
+                    hi = hi.max(r.len());
+                    for row in r.clone() {
+                        assert_eq!(p.shard_of(row), s, "{rows}/{shards} row {row}");
+                    }
+                    next = r.end;
+                }
+                assert_eq!(next, rows, "{rows}/{shards} not exhaustive");
+                assert!(hi - lo.min(hi) <= 1, "{rows}/{shards} unbalanced: {lo}..{hi}");
+            }
+        }
+    }
+
+    #[test]
+    fn split_preserves_positions_and_ownership() {
+        let p = Partition::new(10, 3);
+        let ids = [9u32, 0, 4, 4, 7, 1];
+        let buckets = p.split(&ids);
+        assert_eq!(buckets.len(), 3);
+        let mut seen = vec![false; ids.len()];
+        for (shard, bucket) in buckets.iter().enumerate() {
+            for &(pos, id) in bucket {
+                assert_eq!(ids[pos], id);
+                assert_eq!(p.shard_of(id as usize), shard);
+                seen[pos] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "split dropped a position");
+    }
+
+    /// 0-1-2-3 chain plus a hub 4 connected to everything.
+    fn chain_graph() -> KgGraph {
+        let mut s = TripleStore::with_capacity(5, 2);
+        s.add_raw(0, 0, 1);
+        s.add_raw(1, 0, 2);
+        s.add_raw(2, 0, 3);
+        for e in 0..4 {
+            s.add_raw(4, 1, e);
+        }
+        KgGraph::from_store(&s)
+    }
+
+    fn tables(graph: &KgGraph, dim: usize, num_rel: usize) -> (Vec<f32>, Vec<f32>) {
+        let ent: Vec<f32> = (0..graph.num_entities() * dim).map(|i| i as f32 * 0.5).collect();
+        let rel: Vec<f32> = (0..num_rel * dim).map(|i| -(i as f32)).collect();
+        (ent, rel)
+    }
+
+    #[test]
+    fn shard_draws_match_full_graph_sampler_bit_for_bit() {
+        let graph = chain_graph();
+        let sampler = NeighborSampler::new(3, 42);
+        let dim = 4;
+        let (ent, rel) = tables(&graph, dim, graph.num_relation_slots());
+        for count in 1..=4usize {
+            let shards: Vec<ShardState> = (0..count)
+                .map(|i| ShardState::extract(i, count, &graph, &sampler, dim, &ent, &rel))
+                .collect();
+            for salt in [0u64, 0x17e3, 0xdead_beef] {
+                for level in 0..3usize {
+                    let targets: Vec<u32> = (0..graph.num_entities() as u32).collect();
+                    // RfCache memoizes exactly the per-(entity, level)
+                    // draws the live sampler makes — the reference.
+                    let cache = crate::RfCache::build(&sampler, &graph, level + 1, salt);
+                    for &t in &targets {
+                        let shard = &shards
+                            [Partition::new(graph.num_entities(), count).shard_of(t as usize)];
+                        let (ch, rl) = shard.draws(salt, level, &[t]);
+                        let (want_ch, want_rl) = cache.entry(level, t);
+                        assert_eq!(ch, want_ch, "count {count} salt {salt} level {level} t {t}");
+                        assert_eq!(rl, want_rl, "count {count} salt {salt} level {level} t {t}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shard_gathers_return_the_exact_table_rows() {
+        let graph = chain_graph();
+        let sampler = NeighborSampler::new(2, 7);
+        let dim = 3;
+        let num_rel = graph.num_relation_slots();
+        let (ent, rel) = tables(&graph, dim, num_rel);
+        for count in 1..=3usize {
+            let shards: Vec<ShardState> = (0..count)
+                .map(|i| ShardState::extract(i, count, &graph, &sampler, dim, &ent, &rel))
+                .collect();
+            for e in 0..graph.num_entities() as u32 {
+                let shard = &shards[shards[0].entity_partition().shard_of(e as usize)];
+                let mut got = Vec::new();
+                shard.gather_entity_rows(&[e], &mut got);
+                assert_eq!(got, &ent[e as usize * dim..(e as usize + 1) * dim]);
+            }
+            for r in 0..num_rel as u32 {
+                let shard = &shards[shards[0].relation_partition().shard_of(r as usize)];
+                let mut got = Vec::new();
+                shard.gather_relation_rows(&[r], &mut got);
+                assert_eq!(got, &rel[r as usize * dim..(r as usize + 1) * dim]);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not owned")]
+    fn out_of_range_draw_panics() {
+        let graph = chain_graph();
+        let sampler = NeighborSampler::new(2, 7);
+        let (ent, rel) = tables(&graph, 2, graph.num_relation_slots());
+        let shard = ShardState::extract(0, 2, &graph, &sampler, 2, &ent, &rel);
+        let outside = shard.entity_range().end as u32;
+        shard.draws(0, 0, &[outside]);
+    }
+}

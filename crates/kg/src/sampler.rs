@@ -169,10 +169,30 @@ pub(crate) fn sample_one(
     out_e: &mut [u32],
     out_r: &mut [u32],
 ) {
+    let (nbrs, rels) = graph.neighbor_slices(p);
+    sample_slices(base, l, p, k, nbrs, rels, out_e, out_r);
+}
+
+/// The draw itself, given the parent's adjacency slices directly.
+///
+/// Split out of [`sample_one`] so a [`crate::partition::ShardState`] —
+/// which holds only its own entity range's CSR rows, not a whole
+/// [`KgGraph`] — produces bit-identical draws: the RNG is keyed on
+/// `(base, parent, level)` and the adjacency content only, never on
+/// which structure the slices came from.
+pub(crate) fn sample_slices(
+    base: u64,
+    l: usize,
+    p: u32,
+    k: usize,
+    nbrs: &[u32],
+    rels: &[u32],
+    out_e: &mut [u32],
+    out_r: &mut [u32],
+) {
     let mut rng = SplitMix64::new(
         base ^ (p as u64).wrapping_mul(0xd6e8_feb8_6659_fd93) ^ ((l as u64 + 1) << 56),
     );
-    let (nbrs, rels) = graph.neighbor_slices(p);
     debug_assert!(!nbrs.is_empty(), "graph invariant: no isolated nodes");
     if nbrs.len() <= k {
         if nbrs.len() == k {

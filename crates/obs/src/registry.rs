@@ -114,6 +114,24 @@ impl Histogram {
         self.sum.load(Ordering::Relaxed)
     }
 
+    /// Smallest observation recorded so far, `None` when empty.
+    pub fn min(&self) -> Option<u64> {
+        if self.count() == 0 {
+            None
+        } else {
+            Some(self.min.load(Ordering::Relaxed))
+        }
+    }
+
+    /// Largest observation recorded so far, `None` when empty.
+    pub fn max(&self) -> Option<u64> {
+        if self.count() == 0 {
+            None
+        } else {
+            Some(self.max.load(Ordering::Relaxed))
+        }
+    }
+
     /// Mean of all observations (0 when empty). Exact — computed from
     /// the atomic sum/count, not the log2 buckets.
     pub fn mean(&self) -> f64 {
@@ -207,13 +225,12 @@ pub fn snapshot() -> Vec<Event> {
     }
     for (name, h) in reg.histograms.lock().unwrap().iter() {
         let count = h.count();
-        let min = if count == 0 { 0 } else { h.min.load(Ordering::Relaxed) };
         out.push(
             Event::new("hist", name.clone())
                 .u64("count", count)
                 .u64("sum", h.sum())
-                .u64("min", min)
-                .u64("max", h.max.load(Ordering::Relaxed))
+                .u64("min", h.min().unwrap_or(0))
+                .u64("max", h.max().unwrap_or(0))
                 .u64("p50", h.quantile_upper(0.50))
                 .u64("p90", h.quantile_upper(0.90))
                 .u64("p99", h.quantile_upper(0.99)),
@@ -290,6 +307,11 @@ mod tests {
         let h = Histogram::default();
         assert_eq!(h.quantile_upper(0.5), 0);
         assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        h.record(7);
+        assert_eq!(h.min(), Some(7));
+        assert_eq!(h.max(), Some(7));
     }
 
     #[test]

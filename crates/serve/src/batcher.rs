@@ -20,8 +20,7 @@
 //!   accumulating it.
 
 use crate::config::ServeConfig;
-use crate::{ServeError, ServeResult};
-use kgag_eval::protocol::BatchGroupScorer;
+use crate::{ServeError, ServeResult, TryBatchGroupScorer};
 use kgag_tensor::pool;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -190,7 +189,21 @@ pub fn serve_in_process<S, R>(
     f: impl FnOnce(ServeHandle) -> R,
 ) -> R
 where
-    S: BatchGroupScorer + Sync,
+    S: kgag_eval::protocol::BatchGroupScorer + Sync + ?Sized,
+{
+    serve_in_process_try(&crate::Infallible(scorer), config, f)
+}
+
+/// [`serve_in_process`] for scorers whose cases can fail individually —
+/// the entry point the sharded [`ShardedScorer`](crate::ShardedScorer)
+/// uses, where a dead peer must fail only the requests that needed it.
+pub fn serve_in_process_try<S, R>(
+    scorer: &S,
+    config: &ServeConfig,
+    f: impl FnOnce(ServeHandle) -> R,
+) -> R
+where
+    S: TryBatchGroupScorer,
 {
     let shared = Arc::new(Shared {
         state: Mutex::new(QueueState { queue: VecDeque::new(), open: true }),
@@ -225,7 +238,7 @@ impl Drop for DrainGuard {
 
 /// One worker: wait for work, hold the batch window open, drain a
 /// chunk, score, respond; exit when the queue is closed *and* empty.
-fn worker_loop<S: BatchGroupScorer + ?Sized>(scorer: &S, shared: &Shared) {
+fn worker_loop<S: TryBatchGroupScorer + ?Sized>(scorer: &S, shared: &Shared) {
     let cfg = &shared.cfg;
     loop {
         let mut st = shared.state.lock().unwrap();
@@ -249,6 +262,14 @@ fn worker_loop<S: BatchGroupScorer + ?Sized>(scorer: &S, shared: &Shared) {
                 st = guard;
             }
         }
+        if st.queue.is_empty() {
+            // A peer worker can steal every queued request while this
+            // one sits in `wait_timeout` above. Draining the empty
+            // queue anyway would record a phantom batch (a 0-length
+            // `batch_requests` sample and a bogus `serve.batches`
+            // tick); go back to waiting instead.
+            continue;
+        }
         let take = st.queue.len().min(cfg.max_batch);
         let batch: Vec<Pending> = st.queue.drain(..take).collect();
         let backlog = !st.queue.is_empty();
@@ -265,7 +286,7 @@ fn worker_loop<S: BatchGroupScorer + ?Sized>(scorer: &S, shared: &Shared) {
     }
 }
 
-fn score_and_respond<S: BatchGroupScorer + ?Sized>(
+fn score_and_respond<S: TryBatchGroupScorer + ?Sized>(
     scorer: &S,
     shared: &Shared,
     batch: Vec<Pending>,
@@ -292,18 +313,18 @@ fn score_and_respond<S: BatchGroupScorer + ?Sized>(
         meta.push((p.tx, p.enqueued));
     }
     let t0 = Instant::now();
-    let scores = scorer.score_batch(&cases);
+    let results = scorer.try_score_batch(&cases);
     shared.metrics.batch_score_ns.record(t0.elapsed().as_nanos() as u64);
     assert_eq!(
-        scores.len(),
+        results.len(),
         meta.len(),
-        "scorer broke the BatchGroupScorer contract: {} cases, {} score rows",
+        "scorer broke the TryBatchGroupScorer contract: {} cases, {} results",
         meta.len(),
-        scores.len()
+        results.len()
     );
-    for (row, (tx, enqueued)) in scores.into_iter().zip(meta) {
+    for (result, (tx, enqueued)) in results.into_iter().zip(meta) {
         shared.metrics.latency_ns.record(enqueued.elapsed().as_nanos() as u64);
-        respond(shared, &tx, Ok(row));
+        respond(shared, &tx, result);
     }
 }
 

@@ -66,9 +66,10 @@ impl ServeConfig {
 }
 
 /// `val` parsed as `u64`, clamped to `min`; `default` when absent or
-/// unparseable. Factored out of [`ServeConfig::from_env`] so parsing is
-/// testable without touching process-global environment state.
-fn parse_or(val: Option<&str>, default: u64, min: u64) -> u64 {
+/// unparseable. Factored out of [`ServeConfig::from_env`] (and shared
+/// with [`crate::ShardConfig`]) so parsing is testable without touching
+/// process-global environment state.
+pub(crate) fn parse_or(val: Option<&str>, default: u64, min: u64) -> u64 {
     val.and_then(|v| v.trim().parse::<u64>().ok()).map(|v| v.max(min)).unwrap_or(default)
 }
 

@@ -51,11 +51,15 @@
 pub mod batcher;
 pub mod config;
 pub mod server;
+pub mod shard;
 pub mod wire;
 
-pub use batcher::{serve_in_process, PendingResponse, ServeHandle};
+pub use batcher::{serve_in_process, serve_in_process_try, PendingResponse, ServeHandle};
 pub use config::ServeConfig;
-pub use server::{serve_tcp, serve_tcp_dynamic, LifecycleResult, ServeClient, ShutdownToken};
+pub use server::{
+    serve_tcp, serve_tcp_dynamic, serve_tcp_try, LifecycleResult, ServeClient, ShutdownToken,
+};
+pub use shard::{serve_shard, ShardConfig, ShardPool, ShardedScorer};
 
 /// Terminal, per-request failure modes. Every accepted request resolves
 /// to scores or to exactly one of these.
@@ -81,6 +85,11 @@ pub enum ServeError {
     /// A well-formed lifecycle mutation the backend rejected (unknown
     /// group, duplicate member, …); the serving state is unchanged.
     Lifecycle(kgag_data::LifecycleError),
+    /// A sharded deployment could not reach every embedding row or draw
+    /// the request needs (peer down, timed out, or answering garbage).
+    /// Only requests whose receptive field touches the failed shard see
+    /// this; the rest of the batch is answered normally.
+    Shard(kgag::ShardErrorKind),
 }
 
 impl std::fmt::Display for ServeError {
@@ -92,6 +101,14 @@ impl std::fmt::Display for ServeError {
             ServeError::Invalid => f.write_str("malformed request"),
             ServeError::Unsupported => f.write_str("lifecycle ops unsupported by this server"),
             ServeError::Lifecycle(e) => write!(f, "lifecycle rejected: {e}"),
+            ServeError::Shard(kind) => {
+                let what = match kind {
+                    kgag::ShardErrorKind::Unavailable => "a shard is unavailable",
+                    kgag::ShardErrorKind::Timeout => "a shard timed out",
+                    kgag::ShardErrorKind::Protocol => "a shard answered garbage",
+                };
+                write!(f, "sharded scoring failed: {what}")
+            }
         }
     }
 }
@@ -101,3 +118,31 @@ impl std::error::Error for ServeError {}
 /// What a request resolves to: scores aligned with the submitted items,
 /// or a terminal error.
 pub type ServeResult = Result<Vec<f32>, ServeError>;
+
+/// A batch scorer whose cases can fail *individually* — the seam the
+/// batcher actually drains. Infallible scorers (anything implementing
+/// [`kgag_eval::protocol::BatchGroupScorer`]) are adapted automatically
+/// by the non-`_try` entry points, which wrap every row in `Ok`; the
+/// sharded [`ShardedScorer`] implements this directly, mapping per-case
+/// [`kgag::ShardError`]s to [`ServeError::Shard`] so one dead peer
+/// fails only the requests that needed it, never the whole batch.
+pub trait TryBatchGroupScorer: Sync {
+    /// One result per case, aligned with `cases`; `Ok` rows are aligned
+    /// with that case's items.
+    fn try_score_batch(&self, cases: &[(u32, Vec<u32>)]) -> Vec<ServeResult>;
+}
+
+/// Adapter giving every infallible [`BatchGroupScorer`] the fallible
+/// interface. Private on purpose: callers with an infallible scorer use
+/// the non-`_try` entry points, which wrap in this internally.
+///
+/// [`BatchGroupScorer`]: kgag_eval::protocol::BatchGroupScorer
+struct Infallible<'a, S: ?Sized>(&'a S);
+
+impl<S: kgag_eval::protocol::BatchGroupScorer + Sync + ?Sized> TryBatchGroupScorer
+    for Infallible<'_, S>
+{
+    fn try_score_batch(&self, cases: &[(u32, Vec<u32>)]) -> Vec<ServeResult> {
+        self.0.score_batch(cases).into_iter().map(Ok).collect()
+    }
+}

@@ -25,12 +25,11 @@
 //! dropped — the same exactly-one-response contract as the in-process
 //! layer.
 
-use crate::batcher::{serve_in_process, ServeHandle};
+use crate::batcher::{serve_in_process_try, ServeHandle};
 use crate::config::ServeConfig;
 use crate::wire::{self, LifecycleRequest, Message, Reply, Request, Response};
-use crate::{ServeError, ServeResult};
+use crate::{ServeError, ServeResult, TryBatchGroupScorer};
 use kgag_data::{GroupLifecycle, LifecycleAck, LifecycleOp};
-use kgag_eval::protocol::BatchGroupScorer;
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -38,10 +37,12 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// How often the acceptor re-checks the shutdown token while idle.
-const ACCEPT_POLL: Duration = Duration::from_millis(2);
+/// Shared with the shard server (`crate::shard`), which runs the same
+/// accept-loop shape.
+pub(crate) const ACCEPT_POLL: Duration = Duration::from_millis(2);
 /// Read timeout per connection: the cadence at which handlers notice a
 /// triggered token on an otherwise-quiet socket.
-const READ_POLL: Duration = Duration::from_millis(50);
+pub(crate) const READ_POLL: Duration = Duration::from_millis(50);
 
 /// A cloneable one-way shutdown switch shared between the server and
 /// whoever decides it is done (signal handler, test, CLI stdin watcher).
@@ -79,7 +80,24 @@ pub fn serve_tcp<S>(
     on_ready: impl FnOnce(SocketAddr),
 ) -> std::io::Result<()>
 where
-    S: BatchGroupScorer + Sync,
+    S: kgag_eval::protocol::BatchGroupScorer + Sync + ?Sized,
+{
+    serve_tcp_inner(&crate::Infallible(scorer), None, config, addr, token, on_ready)
+}
+
+/// [`serve_tcp`] for fallible scorers — the front door of a sharded
+/// deployment (`kgag serve --shards …`). Per-case failures surface as
+/// typed wire errors (status bytes 24..=26) on exactly the requests
+/// that hit them; the connection stays usable.
+pub fn serve_tcp_try<S>(
+    scorer: &S,
+    config: &ServeConfig,
+    addr: &str,
+    token: &ShutdownToken,
+    on_ready: impl FnOnce(SocketAddr),
+) -> std::io::Result<()>
+where
+    S: TryBatchGroupScorer,
 {
     serve_tcp_inner(scorer, None, config, addr, token, on_ready)
 }
@@ -98,9 +116,9 @@ pub fn serve_tcp_dynamic<S>(
     on_ready: impl FnOnce(SocketAddr),
 ) -> std::io::Result<()>
 where
-    S: BatchGroupScorer + Sync,
+    S: kgag_eval::protocol::BatchGroupScorer + Sync + ?Sized,
 {
-    serve_tcp_inner(scorer, Some(lifecycle), config, addr, token, on_ready)
+    serve_tcp_inner(&crate::Infallible(scorer), Some(lifecycle), config, addr, token, on_ready)
 }
 
 fn serve_tcp_inner<S>(
@@ -112,12 +130,12 @@ fn serve_tcp_inner<S>(
     on_ready: impl FnOnce(SocketAddr),
 ) -> std::io::Result<()>
 where
-    S: BatchGroupScorer + Sync,
+    S: TryBatchGroupScorer,
 {
     let listener = TcpListener::bind(addr)?;
     listener.set_nonblocking(true)?;
     let local = listener.local_addr()?;
-    serve_in_process(scorer, config, |handle| {
+    serve_in_process_try(scorer, config, |handle| {
         on_ready(local);
         std::thread::scope(|s| {
             while !token.is_triggered() {
@@ -204,7 +222,16 @@ fn answer(
         },
         Err(_) => Response { id: wire::salvage_id(payload), reply: Err(ServeError::Invalid) },
     };
-    let frame = wire::encode_response(&response);
+    let frame = match wire::encode_response(&response) {
+        Ok(frame) => frame,
+        // A response too large for one frame (pathological score count)
+        // degrades to a typed error under the same correlation id —
+        // error responses have empty bodies, so this always encodes.
+        Err(_) => {
+            let fallback = Response { id: response.id, reply: Err(ServeError::Invalid) };
+            wire::encode_response(&fallback).expect("error responses fit one frame")
+        }
+    };
     wire::write_frame(stream, &frame).is_ok()
 }
 
@@ -263,7 +290,8 @@ impl ServeClient {
     ) -> std::io::Result<ServeResult> {
         let id = self.fresh_id();
         let frame =
-            wire::encode_request(&Request { id, group, deadline_us, items: items.to_vec() });
+            wire::encode_request(&Request { id, group, deadline_us, items: items.to_vec() })
+                .map_err(|e| std::io::Error::new(ErrorKind::InvalidInput, e))?;
         match self.transact(id, &frame)? {
             Ok(Reply::Scores(scores)) => Ok(Ok(scores)),
             Ok(Reply::Ack(_)) => Err(protocol_violation("ack reply to a score request")),
@@ -288,7 +316,8 @@ impl ServeClient {
 
     fn lifecycle(&mut self, op: LifecycleOp) -> std::io::Result<LifecycleResult> {
         let id = self.fresh_id();
-        let frame = wire::encode_lifecycle(&LifecycleRequest { id, op });
+        let frame = wire::encode_lifecycle(&LifecycleRequest { id, op })
+            .map_err(|e| std::io::Error::new(ErrorKind::InvalidInput, e))?;
         match self.transact(id, &frame)? {
             Ok(Reply::Ack(ack)) => Ok(Ok(ack)),
             Ok(Reply::Scores(_)) => Err(protocol_violation("score reply to a lifecycle request")),

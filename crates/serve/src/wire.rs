@@ -19,10 +19,15 @@
 //! `deadline_us == 0` means no deadline; otherwise it is a budget in
 //! microseconds relative to server receipt. Status bytes 1–4 and 6 map
 //! to the non-lifecycle [`ServeError`] variants; bytes `16..=21` carry
-//! [`LifecycleError`] as `16 + code` — see [`Status`]. Scores travel as
-//! raw `f32` bit patterns, so the protocol preserves bit-identity end
-//! to end — the serve CI gates compare served bytes against offline
+//! [`LifecycleError`] as `16 + code`; bytes `24..=26` carry
+//! [`ServeError::Shard`] as `24 + kind` — see [`Status`]. Scores travel
+//! as raw `f32` bit patterns, so the protocol preserves bit-identity
+//! end to end — the serve CI gates compare served bytes against offline
 //! evaluation exactly.
+//!
+//! The router↔shard protocol shares this framing (`u32` length prefix,
+//! [`MAX_FRAME`]) but is a separate vocabulary on separate connections —
+//! see [`crate::shard`].
 //!
 //! Robustness contract (enforced by the tests below and the lifecycle
 //! CI stage): truncated payloads, oversize frames, unknown opcodes and
@@ -40,6 +45,34 @@ use std::io::{self, Read, Write};
 /// Upper bound on one frame's payload (16 MiB — thousands of candidate
 /// lists; real requests are a few hundred bytes).
 pub const MAX_FRAME: usize = 16 << 20;
+
+/// Encode-time rejection of a payload that would not fit one frame.
+///
+/// The length prefix is a `u32` and receivers reject anything above
+/// [`MAX_FRAME`], so writing an oversize payload would either wrap the
+/// prefix or desync the peer. Encoders check the bound *before*
+/// serialising and return this instead.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FrameTooLarge {
+    /// The payload size that exceeded [`MAX_FRAME`].
+    pub payload_len: usize,
+}
+
+impl std::fmt::Display for FrameTooLarge {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "payload of {} bytes exceeds MAX_FRAME ({MAX_FRAME})", self.payload_len)
+    }
+}
+
+impl std::error::Error for FrameTooLarge {}
+
+fn check_frame(payload_len: usize) -> Result<usize, FrameTooLarge> {
+    if payload_len > MAX_FRAME {
+        Err(FrameTooLarge { payload_len })
+    } else {
+        Ok(payload_len)
+    }
+}
 
 /// Request opcodes (the payload's leading byte).
 pub const OP_SCORE: u8 = 0;
@@ -90,6 +123,29 @@ enum Status {
 
 /// First status byte of the [`LifecycleError`] range.
 const LIFECYCLE_STATUS_BASE: u8 = 16;
+
+/// First status byte of the [`ServeError::Shard`] range. The shard
+/// index is a deployment detail and is dropped on the wire; the failure
+/// *kind* is what a client can act on (retry, back off, re-resolve).
+const SHARD_STATUS_BASE: u8 = 24;
+
+fn shard_to_byte(kind: kgag::ShardErrorKind) -> u8 {
+    let code = match kind {
+        kgag::ShardErrorKind::Unavailable => 0,
+        kgag::ShardErrorKind::Timeout => 1,
+        kgag::ShardErrorKind::Protocol => 2,
+    };
+    SHARD_STATUS_BASE + code
+}
+
+fn shard_from_byte(b: u8) -> Option<kgag::ShardErrorKind> {
+    match b.checked_sub(SHARD_STATUS_BASE)? {
+        0 => Some(kgag::ShardErrorKind::Unavailable),
+        1 => Some(kgag::ShardErrorKind::Timeout),
+        2 => Some(kgag::ShardErrorKind::Protocol),
+        _ => None,
+    }
+}
 
 fn lifecycle_to_byte(e: LifecycleError) -> u8 {
     let code = match e {
@@ -150,8 +206,12 @@ impl Response {
 }
 
 /// Encode a score request as one frame (length prefix included).
-pub fn encode_request(req: &Request) -> Vec<u8> {
-    let payload_len = 1 + 8 + 4 + 8 + 4 + 4 * req.items.len();
+/// Requests with more items than fit under [`MAX_FRAME`] are rejected
+/// with [`FrameTooLarge`] instead of emitting a frame the peer would
+/// refuse (or, past `u32::MAX`, a wrapped length prefix that desyncs
+/// the stream).
+pub fn encode_request(req: &Request) -> Result<Vec<u8>, FrameTooLarge> {
+    let payload_len = check_frame(1 + 8 + 4 + 8 + 4 + 4 * req.items.len())?;
     let mut out = Vec::with_capacity(4 + payload_len);
     out.extend_from_slice(&(payload_len as u32).to_le_bytes());
     out.push(OP_SCORE);
@@ -162,12 +222,18 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
     for &v in &req.items {
         out.extend_from_slice(&v.to_le_bytes());
     }
-    out
+    Ok(out)
 }
 
 /// Encode a lifecycle request as one frame (length prefix included).
-pub fn encode_lifecycle(req: &LifecycleRequest) -> Vec<u8> {
-    let mut payload = Vec::new();
+/// Create requests with too many members for one frame are rejected
+/// with [`FrameTooLarge`].
+pub fn encode_lifecycle(req: &LifecycleRequest) -> Result<Vec<u8>, FrameTooLarge> {
+    let payload_len = match &req.op {
+        LifecycleOp::Create { members } => check_frame(1 + 8 + 4 + 4 * members.len())?,
+        LifecycleOp::Join { .. } | LifecycleOp::Leave { .. } => 1 + 8 + 4 + 4,
+    };
+    let mut payload = Vec::with_capacity(payload_len);
     match &req.op {
         LifecycleOp::Create { members } => {
             payload.push(OP_CREATE);
@@ -188,10 +254,11 @@ pub fn encode_lifecycle(req: &LifecycleRequest) -> Vec<u8> {
             payload.extend_from_slice(&user.to_le_bytes());
         }
     }
+    debug_assert_eq!(payload.len(), payload_len);
     let mut out = Vec::with_capacity(4 + payload.len());
     out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
     out.extend_from_slice(&payload);
-    out
+    Ok(out)
 }
 
 /// Decode a request payload (frame prefix already stripped).
@@ -258,8 +325,11 @@ pub fn salvage_id(payload: &[u8]) -> u64 {
     }
 }
 
-/// Encode a response as one frame (length prefix included).
-pub fn encode_response(resp: &Response) -> Vec<u8> {
+/// Encode a response as one frame (length prefix included). Responses
+/// with too many scores for one frame are rejected with
+/// [`FrameTooLarge`] (the server falls back to a typed error response
+/// that always fits).
+pub fn encode_response(resp: &Response) -> Result<Vec<u8>, FrameTooLarge> {
     let (status, body_len) = match &resp.reply {
         Ok(Reply::Scores(s)) => (Status::Ok as u8, 4 + 4 * s.len()),
         Ok(Reply::Ack(_)) => (Status::Ack as u8, 8),
@@ -271,11 +341,12 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
                 ServeError::Invalid => Status::Invalid as u8,
                 ServeError::Unsupported => Status::Unsupported as u8,
                 ServeError::Lifecycle(le) => lifecycle_to_byte(*le),
+                ServeError::Shard(kind) => shard_to_byte(*kind),
             };
             (b, 0)
         }
     };
-    let payload_len = 8 + 1 + body_len;
+    let payload_len = check_frame(8 + 1 + body_len)?;
     let mut out = Vec::with_capacity(4 + payload_len);
     out.extend_from_slice(&(payload_len as u32).to_le_bytes());
     out.extend_from_slice(&resp.id.to_le_bytes());
@@ -293,7 +364,7 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
         }
         Err(_) => {}
     }
-    out
+    Ok(out)
 }
 
 /// Decode a response payload (frame prefix already stripped).
@@ -328,7 +399,10 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, String> {
         b if b == Status::Unsupported as u8 => Err(ServeError::Unsupported),
         b => match lifecycle_from_byte(b) {
             Some(le) => Err(ServeError::Lifecycle(le)),
-            None => return Err(format!("unknown status byte {b}")),
+            None => match shard_from_byte(b) {
+                Some(kind) => Err(ServeError::Shard(kind)),
+                None => return Err(format!("unknown status byte {b}")),
+            },
         },
     };
     if matches!(reply, Err(_)) && c.pos != payload.len() {
@@ -411,7 +485,7 @@ mod tests {
     #[test]
     fn request_roundtrips() {
         let req = Request { id: 42, group: 7, deadline_us: 1500, items: vec![0, 1, 99, u32::MAX] };
-        let frame = encode_request(&req);
+        let frame = encode_request(&req).unwrap();
         let mut buf = frame.clone();
         let payload = take_frame(&mut buf).unwrap().expect("complete frame");
         assert!(buf.is_empty());
@@ -427,7 +501,7 @@ mod tests {
             LifecycleOp::Leave { group: 0, user: 0 },
         ] {
             let req = LifecycleRequest { id: 0xfeed_beef, op };
-            let mut buf = encode_lifecycle(&req);
+            let mut buf = encode_lifecycle(&req).unwrap();
             let payload = take_frame(&mut buf).unwrap().expect("complete frame");
             assert_eq!(decode_request(&payload).unwrap(), Message::Lifecycle(req));
         }
@@ -439,7 +513,7 @@ mod tests {
         let scores =
             vec![0.5f32, -0.0, f32::from_bits(1), f32::from_bits(0x7fc0_dead), f32::INFINITY];
         let resp = Response { id: 9, reply: Ok(Reply::Scores(scores.clone())) };
-        let frame = encode_response(&resp);
+        let frame = encode_response(&resp).unwrap();
         let mut buf = frame;
         let payload = take_frame(&mut buf).unwrap().unwrap();
         let back = decode_response(&payload).unwrap();
@@ -453,7 +527,7 @@ mod tests {
     #[test]
     fn ack_responses_roundtrip() {
         let resp = Response::from_ack(11, Ok(LifecycleAck { group: 42, members: 6 }));
-        let back = decode_response(&encode_response(&resp)[4..]).unwrap();
+        let back = decode_response(&encode_response(&resp).unwrap()[4..]).unwrap();
         assert_eq!(back, resp);
     }
 
@@ -477,9 +551,17 @@ mod tests {
             ]
             .map(ServeError::Lifecycle),
         );
+        errs.extend(
+            [
+                kgag::ShardErrorKind::Unavailable,
+                kgag::ShardErrorKind::Timeout,
+                kgag::ShardErrorKind::Protocol,
+            ]
+            .map(ServeError::Shard),
+        );
         for err in errs {
             let resp = Response::from_result(3, Err(err));
-            let back = decode_response(&encode_response(&resp)[4..]).unwrap();
+            let back = decode_response(&encode_response(&resp).unwrap()[4..]).unwrap();
             assert_eq!(back.into_result(), Err(err));
         }
     }
@@ -487,7 +569,7 @@ mod tests {
     #[test]
     fn take_frame_handles_partial_and_split_frames() {
         let req = Request { id: 1, group: 0, deadline_us: 0, items: vec![5, 6] };
-        let frame = encode_request(&req);
+        let frame = encode_request(&req).unwrap();
         let mut buf = Vec::new();
         // feed the frame one byte at a time: no prefix of it decodes
         for (i, &b) in frame.iter().enumerate() {
@@ -501,7 +583,7 @@ mod tests {
         }
         // two frames back-to-back come out in order
         let r2 = LifecycleRequest { id: 2, op: LifecycleOp::Join { group: 1, user: 9 } };
-        let mut buf = [encode_request(&req), encode_lifecycle(&r2)].concat();
+        let mut buf = [encode_request(&req).unwrap(), encode_lifecycle(&r2).unwrap()].concat();
         assert_eq!(
             decode_request(&take_frame(&mut buf).unwrap().unwrap()).unwrap(),
             Message::Score(req)
@@ -522,19 +604,23 @@ mod tests {
     #[test]
     fn truncated_payloads_are_invalid_not_panics() {
         let frames = [
-            encode_request(&Request { id: 8, group: 2, deadline_us: 0, items: vec![1, 2, 3] }),
+            encode_request(&Request { id: 8, group: 2, deadline_us: 0, items: vec![1, 2, 3] })
+                .unwrap(),
             encode_lifecycle(&LifecycleRequest {
                 id: 8,
                 op: LifecycleOp::Create { members: vec![1, 2, 3] },
-            }),
+            })
+            .unwrap(),
             encode_lifecycle(&LifecycleRequest {
                 id: 8,
                 op: LifecycleOp::Join { group: 1, user: 2 },
-            }),
+            })
+            .unwrap(),
             encode_lifecycle(&LifecycleRequest {
                 id: 8,
                 op: LifecycleOp::Leave { group: 1, user: 2 },
-            }),
+            })
+            .unwrap(),
         ];
         for frame in &frames {
             let payload = &frame[4..];
@@ -571,13 +657,75 @@ mod tests {
         assert!(decode_response(&payload).is_err());
     }
 
+    /// Item counts straddling the frame bound: the largest request that
+    /// fits encodes (and the receiver accepts it); one more item is a
+    /// typed [`FrameTooLarge`], not a wrapped/oversize frame. Pre-fix,
+    /// the oversize request encoded "successfully" and the peer's
+    /// `take_frame` then poisoned the whole stream.
+    #[test]
+    fn encode_request_rejects_oversize_at_the_boundary() {
+        let header = 1 + 8 + 4 + 8 + 4;
+        let max_items = (MAX_FRAME - header) / 4;
+        let req = Request { id: 1, group: 0, deadline_us: 0, items: vec![7u32; max_items] };
+        let frame = encode_request(&req).expect("max-size request must encode");
+        assert!(frame.len() - 4 <= MAX_FRAME);
+        let mut buf = frame;
+        let payload = take_frame(&mut buf).unwrap().expect("complete frame");
+        let Message::Score(back) = decode_request(&payload).unwrap() else {
+            panic!("expected score request")
+        };
+        assert_eq!(back.items.len(), max_items);
+
+        let req = Request { id: 1, group: 0, deadline_us: 0, items: vec![7u32; max_items + 1] };
+        let err = encode_request(&req).expect_err("oversize request must not encode");
+        assert!(err.payload_len > MAX_FRAME);
+        assert!(err.to_string().contains("MAX_FRAME"));
+    }
+
+    #[test]
+    fn encode_response_rejects_oversize_at_the_boundary() {
+        let header = 8 + 1 + 4;
+        let max_scores = (MAX_FRAME - header) / 4;
+        let ok = Response { id: 2, reply: Ok(Reply::Scores(vec![0.5; max_scores])) };
+        let frame = encode_response(&ok).expect("max-size response must encode");
+        let mut buf = frame;
+        let payload = take_frame(&mut buf).unwrap().expect("complete frame");
+        assert!(decode_response(&payload).is_ok());
+
+        let big = Response { id: 2, reply: Ok(Reply::Scores(vec![0.5; max_scores + 1])) };
+        assert_eq!(
+            encode_response(&big),
+            Err(FrameTooLarge { payload_len: header + 4 * (max_scores + 1) })
+        );
+        // error responses always fit, whatever the request looked like
+        let err_resp = Response { id: 2, reply: Err(ServeError::Invalid) };
+        assert!(encode_response(&err_resp).is_ok());
+    }
+
+    #[test]
+    fn encode_lifecycle_rejects_oversize_create() {
+        let header = 1 + 8 + 4;
+        let max_members = (MAX_FRAME - header) / 4;
+        let ok =
+            LifecycleRequest { id: 3, op: LifecycleOp::Create { members: vec![1; max_members] } };
+        assert!(encode_lifecycle(&ok).is_ok());
+        let big = LifecycleRequest {
+            id: 3,
+            op: LifecycleOp::Create { members: vec![1; max_members + 1] },
+        };
+        assert_eq!(
+            encode_lifecycle(&big),
+            Err(FrameTooLarge { payload_len: header + 4 * (max_members + 1) })
+        );
+    }
+
     #[test]
     fn salvage_id_recovers_what_it_can() {
         let req = Request { id: 0xdead_beef_cafe, group: 0, deadline_us: 0, items: vec![] };
-        let frame = encode_request(&req);
+        let frame = encode_request(&req).unwrap();
         assert_eq!(salvage_id(&frame[4..]), 0xdead_beef_cafe);
         let lr = LifecycleRequest { id: 0xcafe, op: LifecycleOp::Join { group: 1, user: 2 } };
-        assert_eq!(salvage_id(&encode_lifecycle(&lr)[4..]), 0xcafe);
+        assert_eq!(salvage_id(&encode_lifecycle(&lr).unwrap()[4..]), 0xcafe);
         assert_eq!(salvage_id(&[1, 2, 3]), 0);
     }
 }

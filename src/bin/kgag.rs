@@ -8,7 +8,9 @@
 //! kgag import  --name NAME --users N --items M \
 //!              --interactions FILE --kg FILE --groups FILE [--epochs N]
 //! kgag serve   [--scale ..] [--dataset ..] [--epochs N] [--seed N]
-//!              [--checkpoint PATH] [--addr HOST:PORT]
+//!              [--checkpoint PATH] [--addr HOST:PORT] [--shards A,B,..]
+//! kgag shard   --index I --count N [--scale ..] [--dataset ..]
+//!              [--epochs N] [--seed N] [--checkpoint PATH] [--addr HOST:PORT]
 //! ```
 //!
 //! `train` reports validation and test metrics under the shared
@@ -50,6 +52,7 @@ fn main() -> ExitCode {
         "explain" => cmd_explain(&opts),
         "import" => cmd_import(&opts),
         "serve" => cmd_serve(&opts),
+        "shard" => cmd_shard(&opts),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -79,7 +82,9 @@ USAGE:
     kgag import  --name NAME --users N --items M --interactions FILE
                  --kg FILE --groups FILE [--epochs N] [--json]
     kgag serve   [--scale S] [--dataset D] [--epochs N] [--seed N]
-                 [--checkpoint PATH] [--addr HOST:PORT]
+                 [--checkpoint PATH] [--addr HOST:PORT] [--shards A,B,..]
+    kgag shard   --index I --count N [--scale S] [--dataset D] [--epochs N]
+                 [--seed N] [--checkpoint PATH] [--addr HOST:PORT]
 
 --batched evaluates through the receptive-field-cached batch scorer
 (bit-identical metrics, faster; see KGAG_RF_CACHE / KGAG_EVAL_BATCH).
@@ -93,6 +98,15 @@ the cold-start path; DESIGN.md §13). Batching knobs:
 KGAG_SERVE_BATCH_WINDOW_US, KGAG_SERVE_MAX_BATCH, KGAG_SERVE_QUEUE,
 KGAG_SERVE_WORKERS; cache knob KGAG_RF_CACHE=0 disables the
 receptive-field cache (scores are bit-identical either way).
+`serve --shards A,B,..` runs the scatter-gather router instead: shard
+peers (started with `kgag shard --index I --count N` on the same
+dataset/config/checkpoint) hold the embedding-table slices and answer
+draw/row queries; the router fuses scores bit-identically to
+single-node serving on the f64 tier (DESIGN.md §15). Knobs:
+KGAG_SHARD_TIMEOUT_MS (per-reply deadline, default 2000) and
+KGAG_SHARD_QUEUE (per-peer queue depth, default 64). A dead shard
+fails only the requests that needed it, with typed errors; lifecycle
+mutations are unavailable in sharded mode.
 Formats for `import` are documented in kgag_data::import: interactions
 as `user<TAB>item`, KG as `head<TAB>rel<TAB>tail` (items = entities
 0..M), groups as `m1,m2,...<TAB>v1,v2,...`.";
@@ -235,16 +249,15 @@ fn cmd_explain(opts: &Flags) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_serve(opts: &Flags) -> Result<(), String> {
-    use kgag_serve::{serve_tcp_dynamic, ServeConfig, ShutdownToken};
-    let ds = dataset(opts)?;
+/// Load the checkpoint when it exists; otherwise train and (if a path
+/// was given) persist, so repeated `--checkpoint P` runs train exactly
+/// once. Shared by `serve` and `shard` — a sharded deployment's peers
+/// all reconstruct the identical model this way.
+fn load_or_train(ds: &GroupDataset, opts: &Flags) -> Result<Kgag, String> {
     let cfg = config(opts)?;
     let epochs = cfg.epochs;
-    let split = split_dataset(&ds, 0x5eed);
-    let mut model = Kgag::new(&ds, &split, cfg);
-    // load the checkpoint when it exists; otherwise train and (if a path
-    // was given) persist, so repeated `kgag serve --checkpoint P` runs
-    // train exactly once
+    let split = split_dataset(ds, 0x5eed);
+    let mut model = Kgag::new(ds, &split, cfg);
     match opts.get("checkpoint").filter(|p| std::path::Path::new(p.as_str()).is_file()) {
         Some(path) => {
             let bytes = std::fs::read(path).map_err(|e| format!("--checkpoint {path}: {e}"))?;
@@ -260,6 +273,35 @@ fn cmd_serve(opts: &Flags) -> Result<(), String> {
             }
         }
     }
+    Ok(model)
+}
+
+/// Spawn the stdin watcher: closing stdin (or typing "quit") triggers
+/// the shutdown token — works under pipes, terminals and process
+/// supervisors alike.
+fn shutdown_on_stdin(token: &kgag_serve::ShutdownToken) {
+    let token = token.clone();
+    std::thread::spawn(move || {
+        let mut line = String::new();
+        loop {
+            line.clear();
+            match std::io::stdin().read_line(&mut line) {
+                Ok(0) | Err(_) => break,
+                Ok(_) if line.trim() == "quit" => break,
+                Ok(_) => {}
+            }
+        }
+        token.trigger();
+    });
+}
+
+fn cmd_serve(opts: &Flags) -> Result<(), String> {
+    use kgag_serve::{serve_tcp_dynamic, ServeConfig, ShutdownToken};
+    if opts.contains_key("shards") {
+        return cmd_serve_sharded(opts);
+    }
+    let ds = dataset(opts)?;
+    let model = load_or_train(&ds, opts)?;
     // the dynamic scorer doubles as the lifecycle backend: the same
     // server socket accepts create/join/leave mutations and scores
     // against the live group table (DESIGN.md §13)
@@ -280,23 +322,7 @@ fn cmd_serve(opts: &Flags) -> Result<(), String> {
     let serve_cfg = ServeConfig::from_env();
     let addr = opts.get("addr").cloned().unwrap_or_else(|| "127.0.0.1:0".into());
     let token = ShutdownToken::new();
-    {
-        // closing stdin (or typing "quit") is the shutdown signal — it
-        // works under pipes, terminals and process supervisors alike
-        let token = token.clone();
-        std::thread::spawn(move || {
-            let mut line = String::new();
-            loop {
-                line.clear();
-                match std::io::stdin().read_line(&mut line) {
-                    Ok(0) | Err(_) => break,
-                    Ok(_) if line.trim() == "quit" => break,
-                    Ok(_) => {}
-                }
-            }
-            token.trigger();
-        });
-    }
+    shutdown_on_stdin(&token);
     serve_tcp_dynamic(&scorer, &scorer, &serve_cfg, &addr, &token, |bound| {
         println!("serving on {bound}");
         eprintln!(
@@ -334,6 +360,94 @@ fn cmd_serve(opts: &Flags) -> Result<(), String> {
         scorer.num_groups(),
     );
     Ok(())
+}
+
+/// `kgag serve --shards a,b,…` — the scatter-gather router (DESIGN.md
+/// §15). Holds only the dense parameters; entity/relation rows and
+/// adjacency live on the shard peers, which must be running the same
+/// dataset/config/checkpoint (`kgag shard`). Scores are bit-identical
+/// to single-node serving on the exact tier; shard failures surface as
+/// typed per-request errors. Lifecycle mutations are not available in
+/// sharded mode.
+fn cmd_serve_sharded(opts: &Flags) -> Result<(), String> {
+    use kgag_serve::{
+        serve_tcp_try, ServeConfig, ShardConfig, ShardPool, ShardedScorer, ShutdownToken,
+    };
+    let ds = dataset(opts)?;
+    let model = load_or_train(&ds, opts)?;
+    let addrs: Vec<String> = opts
+        .get("shards")
+        .expect("checked by cmd_serve")
+        .split(',')
+        .map(|a| a.trim().to_owned())
+        .filter(|a| !a.is_empty())
+        .collect();
+    if addrs.is_empty() {
+        return Err("--shards needs at least one HOST:PORT".into());
+    }
+    let shard_cfg = ShardConfig::from_env();
+    let pool = ShardPool::connect(&addrs, &shard_cfg).map_err(|e| format!("--shards: {e}"))?;
+    let core = model.router_core();
+    eprintln!(
+        "router over {} shard(s): {} entities, {} relation slots, timeout {:?}, queue {}",
+        pool.count(),
+        core.num_entities(),
+        core.num_relation_slots(),
+        shard_cfg.timeout,
+        shard_cfg.queue,
+    );
+    match core.tier() {
+        kgag::ScoreTier::FusedF32 => eprintln!("scoring tier: f32 fused"),
+        _ => eprintln!("scoring tier: f64 exact"),
+    }
+    let scorer = ShardedScorer::new(core, pool);
+    let serve_cfg = ServeConfig::from_env();
+    let addr = opts.get("addr").cloned().unwrap_or_else(|| "127.0.0.1:0".into());
+    let token = ShutdownToken::new();
+    shutdown_on_stdin(&token);
+    serve_tcp_try(&scorer, &serve_cfg, &addr, &token, |bound| {
+        println!("serving on {bound}");
+        eprintln!("sharded router up — close stdin or type \"quit\" to stop");
+    })
+    .map_err(|e| e.to_string())?;
+    eprintln!(
+        "drained: {} responses in {} batches, {} rejected",
+        kgag_obs::counter("serve.responses").get(),
+        kgag_obs::counter("serve.batches").get(),
+        kgag_obs::counter("serve.requests_rejected").get(),
+    );
+    Ok(())
+}
+
+/// `kgag shard --index I --count N` — one shard peer: its contiguous
+/// slice of the embedding tables plus the adjacency rows needed for
+/// keyed neighbour draws, served over the shard wire protocol until
+/// stdin closes. All peers and the router must load the same model
+/// (same dataset/config/checkpoint).
+fn cmd_shard(opts: &Flags) -> Result<(), String> {
+    use kgag_serve::{serve_shard, ShutdownToken};
+    let index = num_flag::<usize>(opts, "index")?.ok_or("--index is required")?;
+    let count = num_flag::<usize>(opts, "count")?.ok_or("--count is required")?;
+    if count == 0 || index >= count {
+        return Err(format!("--index {index} out of --count {count}"));
+    }
+    let ds = dataset(opts)?;
+    let model = load_or_train(&ds, opts)?;
+    let state = model.shard_state(index, count);
+    eprintln!(
+        "shard {index}/{count}: entities {:?}, relations {:?}, ~{:.1} KiB resident",
+        state.entity_range(),
+        state.relation_range(),
+        state.approx_bytes() as f64 / 1024.0,
+    );
+    let addr = opts.get("addr").cloned().unwrap_or_else(|| "127.0.0.1:0".into());
+    let token = ShutdownToken::new();
+    shutdown_on_stdin(&token);
+    serve_shard(&state, &addr, &token, |bound| {
+        println!("shard {index}/{count} serving on {bound}");
+        eprintln!("close stdin or type \"quit\" to stop");
+    })
+    .map_err(|e| e.to_string())
 }
 
 fn cmd_import(opts: &Flags) -> Result<(), String> {
