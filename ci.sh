@@ -42,6 +42,18 @@
 #                SIGKILLs a shard mid-stream: affected requests must
 #                fail with typed errors while untouched ones stay
 #                bit-identical — no panic, no hang
+#   registry   — multi-tenant registry gate (DESIGN.md §16): the
+#                registry_check binary at both thread counts. Against a
+#                real serve_tcp_registry server it LOADs two
+#                checkpoints by path, proves a shadow candidate on live
+#                traffic (every mirrored request bit-identical to the
+#                candidate's offline scores), promotes with zero
+#                downtime, storms wire ROLLBACKs under 4 concurrent
+#                clients (every response must match exactly one
+#                checkpoint's bits — never a torn mix), and pins the
+#                burst-5 no-refill governor to exactly 5 admissions +
+#                3 Quota rejections per tenant with obs counters
+#                matching
 #   lifecycle  — dynamic-group gate (DESIGN.md §13): the
 #                mutate-equals-rebuild oracle suite re-run with the
 #                receptive-field cache disabled (the cached paths run
@@ -93,10 +105,10 @@ cd "$(dirname "$0")"
 
 # ----------------------------------------------------------------- manifest
 
-STAGES="fmt build test cache serve shard lifecycle telemetry golden accuracy bench"
+STAGES="fmt build test cache serve shard registry lifecycle telemetry golden accuracy bench"
 # bench is opt-in: excluded from a default run, included by --bench /
 # --bench-baseline or an explicit --stage selection
-DEFAULT_STAGES="fmt build test cache serve shard lifecycle telemetry golden accuracy"
+DEFAULT_STAGES="fmt build test cache serve shard registry lifecycle telemetry golden accuracy"
 
 stage_desc() {
     case "$1" in
@@ -106,6 +118,7 @@ stage_desc() {
     cache) echo "batched-inference cache equivalence (env knobs forced)" ;;
     serve) echo "serving gate: concurrent bit-identity + drain" ;;
     shard) echo "sharded gate: scatter-gather bit-identity + shard kill" ;;
+    registry) echo "registry gate: shadow-proven swap + quota determinism" ;;
     lifecycle) echo "lifecycle gate: mutate-equals-rebuild + TCP mutations" ;;
     telemetry) echo "telemetry gate: passivity + JSONL schema" ;;
     golden) echo "golden-file gate: bit-identical smoke metrics" ;;
@@ -146,6 +159,12 @@ run_shard() {
     KGAG_THREADS=1 KGAG_SCORE_DTYPE=f64 \
         cargo run -q --release --offline -p kgag-bench --bin shard_check
     KGAG_THREADS=4 cargo run -q --release --offline -p kgag-bench --bin shard_check
+}
+
+run_registry() {
+    KGAG_THREADS=1 KGAG_SCORE_DTYPE=f64 \
+        cargo run -q --release --offline -p kgag-bench --bin registry_check
+    KGAG_THREADS=4 cargo run -q --release --offline -p kgag-bench --bin registry_check
 }
 
 run_lifecycle() {

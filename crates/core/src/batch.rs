@@ -65,7 +65,23 @@ impl Kgag {
     /// A [`BatchScorer`] with the cache explicitly on or off (the knob
     /// the equivalence tests and benches sweep).
     pub fn batch_scorer_with(&self, cache: bool) -> BatchScorer<'_> {
-        let caches = (cache && self.config().use_kg).then(|| {
+        BatchScorer {
+            model: self,
+            caches: self.eval_rf_caches(cache),
+            batch_instances: 256,
+            tables: None,
+        }
+    }
+
+    /// The `(member-side, item-side)` receptive-field cache pair every
+    /// scoring engine shares — [`BatchScorer`], [`crate::DynamicScorer`]
+    /// and the registry's owned entries ([`crate::RegistryModel`]) all
+    /// build their caches through this one seam, so a cache built here
+    /// reproduces live sampling bit-identically wherever it is mounted.
+    /// `None` when caching is off or the KGAG-KG ablation leaves nothing
+    /// to cache.
+    pub(crate) fn eval_rf_caches(&self, cache: bool) -> Option<(RfCache, RfCache)> {
+        (cache && self.config().use_kg).then(|| {
             let salt = self.eval_salt();
             let graph = self.collaborative_kg().graph();
             let depth = self.config().layers;
@@ -73,8 +89,7 @@ impl Kgag {
                 RfCache::build(self.eval_sampler(), graph, depth, salt ^ SALT_MEMBER),
                 RfCache::build(self.eval_sampler(), graph, depth, salt ^ SALT_ITEM),
             )
-        });
-        BatchScorer { model: self, caches, batch_instances: 256, tables: None }
+        })
     }
 
     /// Evaluate prepared cases through the batched protocol — same

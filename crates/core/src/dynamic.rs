@@ -39,7 +39,7 @@
 
 use crate::batch::score_cases_with;
 use crate::infer::{score_cases_f32, InferenceTables, ScoreTier};
-use crate::trainer::{Kgag, SALT_ITEM, SALT_MEMBER};
+use crate::trainer::Kgag;
 use kgag_data::{GroupLifecycle, GroupStore, LifecycleAck, LifecycleError, LifecycleOp};
 use kgag_eval::BatchGroupScorer;
 use kgag_kg::RfCache;
@@ -128,20 +128,11 @@ impl Kgag {
     /// A [`DynamicScorer`] over an explicit [`GroupStore`] — how the
     /// oracle tests stand up the "rebuilt from final membership" side.
     pub fn dynamic_scorer_over(&self, groups: GroupStore, cache: bool) -> DynamicScorer<'_> {
-        let caches = (cache && self.config().use_kg).then(|| {
-            let salt = self.eval_salt();
-            let graph = self.collaborative_kg().graph();
-            let depth = self.config().layers;
-            (
-                RfCache::build(self.eval_sampler(), graph, depth, salt ^ SALT_MEMBER),
-                RfCache::build(self.eval_sampler(), graph, depth, salt ^ SALT_ITEM),
-            )
-        });
         DynamicScorer {
             model: self,
             batch_instances: 256,
             tables: None,
-            state: RwLock::new(DynState { groups, caches }),
+            state: RwLock::new(DynState { groups, caches: self.eval_rf_caches(cache) }),
         }
     }
 }

@@ -48,6 +48,7 @@ pub mod infer;
 pub mod loss;
 pub mod model;
 pub mod propagation;
+pub mod registry;
 pub mod shard;
 pub mod trainer;
 
@@ -56,5 +57,8 @@ pub use config::{Aggregator, GroupLoss, KgagConfig};
 pub use dynamic::{ColdStartError, DynamicScorer};
 pub use explain::GroupExplanation;
 pub use infer::{InferenceTables, ScoreTier};
+pub use registry::{
+    checkpoint_hash, Admission, ModelRegistry, RegistryError, RegistryModel, ShadowStatus,
+};
 pub use shard::{LocalFetch, RouterCore, ShardError, ShardErrorKind, ShardFetch};
 pub use trainer::{EpochLoss, Kgag, TrainReport};

@@ -58,6 +58,7 @@ struct Metrics {
     batch_requests: Arc<kgag_obs::Histogram>,
     latency_ns: Arc<kgag_obs::Histogram>,
     batch_score_ns: Arc<kgag_obs::Histogram>,
+    scorer_panics: Arc<kgag_obs::Counter>,
 }
 
 impl Metrics {
@@ -72,6 +73,7 @@ impl Metrics {
             batch_requests: kgag_obs::histogram("serve.batch_requests"),
             latency_ns: kgag_obs::histogram("serve.latency_ns"),
             batch_score_ns: kgag_obs::histogram("serve.batch_score_ns"),
+            scorer_panics: kgag_obs::counter("serve.scorer_panics"),
         }
     }
 }
@@ -191,7 +193,7 @@ pub fn serve_in_process<S, R>(
 where
     S: kgag_eval::protocol::BatchGroupScorer + Sync + ?Sized,
 {
-    serve_in_process_try(&crate::Infallible(scorer), config, f)
+    serve_in_process_try(&crate::InfallibleScorer(scorer), config, f)
 }
 
 /// [`serve_in_process`] for scorers whose cases can fail individually —
@@ -234,6 +236,76 @@ impl Drop for DrainGuard {
     fn drop(&mut self) {
         self.0.shutdown();
     }
+}
+
+/// An *owned* running batcher: workers hold an `Arc` to the scorer
+/// instead of borrowing it, so the batcher's lifetime is dynamic — the
+/// shape the model registry needs, where entries (and their batchers)
+/// are created by `LOAD` requests and retired at runtime rather than
+/// scoped to a stack frame.
+///
+/// Same delivery contract as [`serve_in_process_try`]: dropping the
+/// guard (or calling [`shutdown`](Self::shutdown)) stops admissions,
+/// drains every accepted request, and joins the workers. The scorer is
+/// freed when the last `Arc` drops — after the workers exit.
+pub struct BatcherGuard {
+    handle: ServeHandle,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl BatcherGuard {
+    /// A cloneable client handle to this batcher.
+    pub fn handle(&self) -> ServeHandle {
+        self.handle.clone()
+    }
+
+    /// Stop accepting, drain, and join — the explicit form of `Drop`.
+    pub fn shutdown(self) {
+        drop(self);
+    }
+}
+
+impl Drop for BatcherGuard {
+    fn drop(&mut self) {
+        self.handle.shutdown();
+        for w in self.workers.drain(..) {
+            // A worker that panicked already answered or stranded
+            // nothing new (score_and_respond catches scorer unwinds;
+            // anything else is a batcher bug) — surfacing the panic
+            // here would abort an otherwise-sound teardown.
+            let _ = w.join();
+        }
+    }
+}
+
+/// Spawn [`ServeConfig::workers`] detached-lifetime workers over an
+/// owned scorer and return the [`BatcherGuard`] that drains and joins
+/// them on drop. The caller's pool thread-count override is captured
+/// here and re-applied inside each worker, exactly as
+/// [`serve_in_process_try`] does for scoped workers.
+pub fn spawn_batcher<S>(scorer: Arc<S>, config: &ServeConfig) -> BatcherGuard
+where
+    S: TryBatchGroupScorer + Send + Sync + 'static,
+{
+    let shared = Arc::new(Shared {
+        state: Mutex::new(QueueState { queue: VecDeque::new(), open: true }),
+        cv: Condvar::new(),
+        cfg: config.clone(),
+        metrics: Metrics::new(),
+        in_flight: AtomicUsize::new(0),
+    });
+    let handle = ServeHandle { shared: Arc::clone(&shared) };
+    let threads = pool::num_threads();
+    let workers = (0..shared.cfg.workers.max(1))
+        .map(|_| {
+            let shared = Arc::clone(&shared);
+            let scorer = Arc::clone(&scorer);
+            std::thread::spawn(move || {
+                pool::with_threads(threads, || worker_loop(&*scorer, &shared))
+            })
+        })
+        .collect();
+    BatcherGuard { handle, workers }
 }
 
 /// One worker: wait for work, hold the batch window open, drain a
@@ -313,8 +385,26 @@ fn score_and_respond<S: TryBatchGroupScorer + ?Sized>(
         meta.push((p.tx, p.enqueued));
     }
     let t0 = Instant::now();
-    let results = scorer.try_score_batch(&cases);
+    // A panicking scorer must not take the worker down: queued requests
+    // would strand unanswered and the drain join would deadlock. The
+    // panic is confined to this batch — every live request in it is
+    // answered `Canceled` — and the worker survives to score the next
+    // one. (`AssertUnwindSafe` is sound here: the scorer is `&S`, and a
+    // scorer left inconsistent by its own panic is the scorer's bug —
+    // the batcher's own state is untouched by the unwind.)
+    let results =
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| scorer.try_score_batch(&cases)));
     shared.metrics.batch_score_ns.record(t0.elapsed().as_nanos() as u64);
+    let results = match results {
+        Ok(results) => results,
+        Err(_) => {
+            shared.metrics.scorer_panics.add(1);
+            for (tx, _) in meta {
+                respond(shared, &tx, Err(ServeError::Canceled));
+            }
+            return;
+        }
+    };
     assert_eq!(
         results.len(),
         meta.len(),

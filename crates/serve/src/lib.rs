@@ -50,14 +50,20 @@
 
 pub mod batcher;
 pub mod config;
+pub mod registry;
 pub mod server;
 pub mod shard;
 pub mod wire;
 
-pub use batcher::{serve_in_process, serve_in_process_try, PendingResponse, ServeHandle};
+pub use batcher::{
+    serve_in_process, serve_in_process_try, spawn_batcher, BatcherGuard, PendingResponse,
+    ServeHandle,
+};
 pub use config::ServeConfig;
+pub use registry::{serve_tcp_registry, Governor, ModelFactory, RegistryConfig, RegistryServer};
 pub use server::{
-    serve_tcp, serve_tcp_dynamic, serve_tcp_try, LifecycleResult, ServeClient, ShutdownToken,
+    serve_tcp, serve_tcp_dynamic, serve_tcp_try, ClientError, LifecycleResult, RegistryResult,
+    ServeClient, ShutdownToken,
 };
 pub use shard::{serve_shard, ShardConfig, ShardPool, ShardedScorer};
 
@@ -90,6 +96,18 @@ pub enum ServeError {
     /// Only requests whose receptive field touches the failed shard see
     /// this; the rest of the batch is answered normally.
     Shard(kgag::ShardErrorKind),
+    /// The tenant's admission quota is exhausted (token bucket empty on
+    /// a registry server, DESIGN.md §16). The request was never
+    /// enqueued; the client should back off.
+    Quota,
+    /// A `LOAD` could not produce a model from the named checkpoint
+    /// (unreadable file, shape mismatch). The detail is logged
+    /// server-side; the registry is unchanged.
+    LoadFailed,
+    /// A well-formed registry transition the state machine rejected
+    /// (unknown tenant or model, unproven shadow, …); the registry is
+    /// unchanged.
+    Registry(kgag::RegistryError),
 }
 
 impl std::fmt::Display for ServeError {
@@ -109,6 +127,9 @@ impl std::fmt::Display for ServeError {
                 };
                 write!(f, "sharded scoring failed: {what}")
             }
+            ServeError::Quota => f.write_str("tenant admission quota exhausted"),
+            ServeError::LoadFailed => f.write_str("checkpoint load failed"),
+            ServeError::Registry(e) => write!(f, "registry rejected: {e}"),
         }
     }
 }
@@ -133,16 +154,77 @@ pub trait TryBatchGroupScorer: Sync {
 }
 
 /// Adapter giving every infallible [`BatchGroupScorer`] the fallible
-/// interface. Private on purpose: callers with an infallible scorer use
-/// the non-`_try` entry points, which wrap in this internally.
+/// interface. The non-`_try` entry points wrap in this internally;
+/// it is public so test harnesses (e.g. [`FaultScorer`] over a plain
+/// [`BatchGroupScorer`]) can compose the same adaptation explicitly.
 ///
 /// [`BatchGroupScorer`]: kgag_eval::protocol::BatchGroupScorer
-struct Infallible<'a, S: ?Sized>(&'a S);
+pub struct InfallibleScorer<'a, S: ?Sized>(pub &'a S);
 
 impl<S: kgag_eval::protocol::BatchGroupScorer + Sync + ?Sized> TryBatchGroupScorer
-    for Infallible<'_, S>
+    for InfallibleScorer<'_, S>
 {
     fn try_score_batch(&self, cases: &[(u32, Vec<u32>)]) -> Vec<ServeResult> {
         self.0.score_batch(cases).into_iter().map(Ok).collect()
+    }
+}
+
+/// A [`TryBatchGroupScorer`] that misbehaves on a scripted schedule —
+/// the interpreter for [`kgag_testkit::FaultPlan`] (which owns the
+/// schedule; this wrapper owns the scorer it wraps). One scoring call
+/// draws one [`FaultAction`](kgag_testkit::FaultAction):
+///
+/// * `Pass` — delegate untouched;
+/// * `Panic` — panic mid-batch (the batcher must survive and answer);
+/// * `Delay(d)` — sleep, then delegate (drives queued requests past
+///   their deadlines);
+/// * `Error` — fail every case with [`ServeError::Shard`] /
+///   `Unavailable`, the typed dependency-outage shape;
+/// * `Corrupt` — delegate, then flip the low mantissa bit of the first
+///   score (the minimal bit-identity violation, for circuit-breaker
+///   tests).
+///
+/// The property suites in `crates/serve/tests/fault_props.rs` wrap the
+/// batcher's scorer in this and prove the exactly-once delivery
+/// contract under every action.
+pub struct FaultScorer<S> {
+    inner: S,
+    plan: kgag_testkit::FaultPlan,
+}
+
+impl<S> FaultScorer<S> {
+    /// Wrap `inner`, misbehaving per `plan`.
+    pub fn new(inner: S, plan: kgag_testkit::FaultPlan) -> Self {
+        FaultScorer { inner, plan }
+    }
+
+    /// The schedule (for asserting on calls drawn / faults injected).
+    pub fn plan(&self) -> &kgag_testkit::FaultPlan {
+        &self.plan
+    }
+}
+
+impl<S: TryBatchGroupScorer> TryBatchGroupScorer for FaultScorer<S> {
+    fn try_score_batch(&self, cases: &[(u32, Vec<u32>)]) -> Vec<ServeResult> {
+        use kgag_testkit::FaultAction;
+        match self.plan.next_action() {
+            FaultAction::Pass => self.inner.try_score_batch(cases),
+            FaultAction::Panic => panic!("injected fault: scorer panic"),
+            FaultAction::Delay(d) => {
+                std::thread::sleep(d);
+                self.inner.try_score_batch(cases)
+            }
+            FaultAction::Error => cases
+                .iter()
+                .map(|_| Err(ServeError::Shard(kgag::ShardErrorKind::Unavailable)))
+                .collect(),
+            FaultAction::Corrupt => {
+                let mut out = self.inner.try_score_batch(cases);
+                if let Some(s) = out.iter_mut().filter_map(|r| r.as_mut().ok()).flatten().next() {
+                    *s = f32::from_bits(s.to_bits() ^ 1);
+                }
+                out
+            }
+        }
     }
 }

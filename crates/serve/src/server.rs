@@ -82,7 +82,7 @@ pub fn serve_tcp<S>(
 where
     S: kgag_eval::protocol::BatchGroupScorer + Sync + ?Sized,
 {
-    serve_tcp_inner(&crate::Infallible(scorer), None, config, addr, token, on_ready)
+    serve_tcp_inner(&crate::InfallibleScorer(scorer), None, config, addr, token, on_ready)
 }
 
 /// [`serve_tcp`] for fallible scorers — the front door of a sharded
@@ -118,7 +118,14 @@ pub fn serve_tcp_dynamic<S>(
 where
     S: kgag_eval::protocol::BatchGroupScorer + Sync + ?Sized,
 {
-    serve_tcp_inner(&crate::Infallible(scorer), Some(lifecycle), config, addr, token, on_ready)
+    serve_tcp_inner(
+        &crate::InfallibleScorer(scorer),
+        Some(lifecycle),
+        config,
+        addr,
+        token,
+        on_ready,
+    )
 }
 
 fn serve_tcp_inner<S>(
@@ -137,39 +144,56 @@ where
     let local = listener.local_addr()?;
     serve_in_process_try(scorer, config, |handle| {
         on_ready(local);
-        std::thread::scope(|s| {
-            while !token.is_triggered() {
-                match listener.accept() {
-                    Ok((stream, _peer)) => {
-                        let handle = handle.clone();
-                        let token = token.clone();
-                        s.spawn(move || handle_connection(stream, handle, lifecycle, token));
-                    }
-                    Err(e) if e.kind() == ErrorKind::WouldBlock => std::thread::sleep(ACCEPT_POLL),
-                    Err(e) => {
-                        // transient accept failures (e.g. EMFILE) must
-                        // not kill the server; connections already open
-                        // keep working
-                        eprintln!("[kgag-serve] accept error: {e}");
-                        std::thread::sleep(ACCEPT_POLL);
-                    }
-                }
-            }
-        });
+        let dispatch = BatcherDispatch { handle, lifecycle };
+        serve_connections(&listener, token, &dispatch);
     });
     Ok(())
+}
+
+/// What a server *does* with a decoded request — the seam between the
+/// shared framing/connection machinery and the two dispatch models:
+/// single-model ([`BatcherDispatch`]: one batcher, optional lifecycle
+/// backend) and multi-tenant (`crate::registry`: per-entry batchers
+/// behind admission control). One call handles one request and must
+/// return exactly one response.
+pub(crate) trait Dispatch: Sync {
+    fn dispatch(&self, msg: Message) -> Response;
+}
+
+/// Accept-loop body shared by every TCP front door: take connections
+/// until the token triggers, one scoped OS thread per connection, all
+/// answering through `dispatch`. The listener must already be
+/// nonblocking.
+pub(crate) fn serve_connections<D: Dispatch>(
+    listener: &TcpListener,
+    token: &ShutdownToken,
+    dispatch: &D,
+) {
+    std::thread::scope(|s| {
+        while !token.is_triggered() {
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    let token = token.clone();
+                    s.spawn(move || handle_connection(stream, dispatch, token));
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => std::thread::sleep(ACCEPT_POLL),
+                Err(e) => {
+                    // transient accept failures (e.g. EMFILE) must
+                    // not kill the server; connections already open
+                    // keep working
+                    eprintln!("[kgag-serve] accept error: {e}");
+                    std::thread::sleep(ACCEPT_POLL);
+                }
+            }
+        }
+    });
 }
 
 /// Per-connection loop: accumulate bytes, peel complete frames, answer
 /// each in order. Partial frames survive read timeouts — the buffer is
 /// only advanced on whole frames, so a client dribbling bytes across
 /// timeout boundaries is handled correctly.
-fn handle_connection(
-    stream: TcpStream,
-    handle: ServeHandle,
-    lifecycle: Option<&(dyn GroupLifecycle + Sync)>,
-    token: ShutdownToken,
-) {
+fn handle_connection<D: Dispatch + ?Sized>(stream: TcpStream, dispatch: &D, token: ShutdownToken) {
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(READ_POLL));
     let mut stream = stream;
@@ -179,7 +203,7 @@ fn handle_connection(
         loop {
             match wire::take_frame(&mut buf) {
                 Ok(Some(payload)) => {
-                    if !answer(&mut stream, &handle, lifecycle, &payload) {
+                    if !answer(&mut stream, dispatch, &payload) {
                         return;
                     }
                 }
@@ -202,24 +226,11 @@ fn handle_connection(
     }
 }
 
-/// Decode, dispatch (batcher for scores, lifecycle backend for
-/// mutations), write the response. Returns `false` when the connection
-/// is unusable and should close.
-fn answer(
-    stream: &mut TcpStream,
-    handle: &ServeHandle,
-    lifecycle: Option<&(dyn GroupLifecycle + Sync)>,
-    payload: &[u8],
-) -> bool {
+/// Decode, dispatch, write the response. Returns `false` when the
+/// connection is unusable and should close.
+fn answer<D: Dispatch + ?Sized>(stream: &mut TcpStream, dispatch: &D, payload: &[u8]) -> bool {
     let response = match wire::decode_request(payload) {
-        Ok(Message::Score(req)) => {
-            let outcome = score_request(handle, lifecycle, &req);
-            Response::from_result(req.id, outcome)
-        }
-        Ok(Message::Lifecycle(LifecycleRequest { id, op })) => match lifecycle {
-            Some(l) => Response::from_ack(id, l.apply_op(&op)),
-            None => Response { id, reply: Err(ServeError::Unsupported) },
-        },
+        Ok(msg) => dispatch.dispatch(msg),
         Err(_) => Response { id: wire::salvage_id(payload), reply: Err(ServeError::Invalid) },
     };
     let frame = match wire::encode_response(&response) {
@@ -233,6 +244,33 @@ fn answer(
         }
     };
     wire::write_frame(stream, &frame).is_ok()
+}
+
+/// The single-model dispatch: scores through one shared batcher,
+/// mutations through the optional lifecycle backend, and every
+/// protocol-v3 opcode answered [`ServeError::Unsupported`] — this
+/// server has no registry, exactly as a lifecycle opcode is
+/// unsupported on a static server.
+struct BatcherDispatch<'a> {
+    handle: ServeHandle,
+    lifecycle: Option<&'a (dyn GroupLifecycle + Sync)>,
+}
+
+impl Dispatch for BatcherDispatch<'_> {
+    fn dispatch(&self, msg: Message) -> Response {
+        match msg {
+            Message::Score(req) => {
+                let outcome = score_request(&self.handle, self.lifecycle, &req);
+                Response::from_result(req.id, outcome)
+            }
+            Message::Lifecycle(LifecycleRequest { id, op }) => match self.lifecycle {
+                Some(l) => Response::from_ack(id, l.apply_op(&op)),
+                None => Response { id, reply: Err(ServeError::Unsupported) },
+            },
+            Message::Tenant(req) => Response { id: req.id, reply: Err(ServeError::Unsupported) },
+            Message::Registry(req) => Response { id: req.id, reply: Err(ServeError::Unsupported) },
+        }
+    }
 }
 
 /// Submit one score request to the batcher and wait. With a lifecycle
@@ -260,24 +298,79 @@ fn score_request(
     }
 }
 
+/// Client-side transport failure. Everything the *server* decides is a
+/// [`ServeError`] inside the inner result; this type is about the
+/// connection itself.
+#[derive(Debug)]
+pub enum ClientError {
+    /// No response within the client's read timeout
+    /// (`KGAG_CLIENT_TIMEOUT_MS` / [`ServeClient::set_timeout`]). The
+    /// connection may have a stale response in flight afterwards, so
+    /// treat it as poisoned: drop it and reconnect.
+    Timeout,
+    /// Any other transport failure (refused, reset, undecodable bytes).
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Timeout => f.write_str("no response within the client read timeout"),
+            ClientError::Io(e) => write!(f, "transport failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> ClientError {
+        if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) {
+            ClientError::Timeout
+        } else {
+            ClientError::Io(e)
+        }
+    }
+}
+
 /// A blocking client for the wire protocol — what the `kgag serve`
 /// smoke mode, the CI gates' load generators and the serving bench use.
+///
+/// A read timeout (off by default; `KGAG_CLIENT_TIMEOUT_MS=<ms>` or
+/// [`ServeClient::set_timeout`]) bounds how long any call blocks on a
+/// stalled server: the call returns [`ClientError::Timeout`] instead of
+/// hanging forever.
 pub struct ServeClient {
     stream: TcpStream,
     next_id: u64,
 }
 
 impl ServeClient {
-    pub fn connect<A: ToSocketAddrs>(addr: A) -> std::io::Result<ServeClient> {
-        let stream = TcpStream::connect(addr)?;
-        stream.set_nodelay(true)?;
-        Ok(ServeClient { stream, next_id: 1 })
+    /// Connect, honouring `KGAG_CLIENT_TIMEOUT_MS` (unset or 0 = no
+    /// read timeout).
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<ServeClient, ClientError> {
+        let stream = TcpStream::connect(addr).map_err(ClientError::Io)?;
+        stream.set_nodelay(true).map_err(ClientError::Io)?;
+        let mut client = ServeClient { stream, next_id: 1 };
+        let env_ms = std::env::var("KGAG_CLIENT_TIMEOUT_MS")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .filter(|&ms| ms > 0);
+        if let Some(ms) = env_ms {
+            client.set_timeout(Some(Duration::from_millis(ms)))?;
+        }
+        Ok(client)
+    }
+
+    /// Set or clear the per-response read timeout.
+    pub fn set_timeout(&mut self, timeout: Option<Duration>) -> Result<(), ClientError> {
+        self.stream.set_read_timeout(timeout).map_err(ClientError::Io)
     }
 
     /// Score one candidate list; blocks for the response. The outer
     /// `Err` is transport failure, the inner [`ServeResult`] is the
     /// server's verdict.
-    pub fn score(&mut self, group: u32, items: &[u32]) -> std::io::Result<ServeResult> {
+    pub fn score(&mut self, group: u32, items: &[u32]) -> Result<ServeResult, ClientError> {
         self.score_with_deadline_us(group, items, 0)
     }
 
@@ -287,40 +380,124 @@ impl ServeClient {
         group: u32,
         items: &[u32],
         deadline_us: u64,
-    ) -> std::io::Result<ServeResult> {
+    ) -> Result<ServeResult, ClientError> {
         let id = self.fresh_id();
         let frame =
             wire::encode_request(&Request { id, group, deadline_us, items: items.to_vec() })
-                .map_err(|e| std::io::Error::new(ErrorKind::InvalidInput, e))?;
-        match self.transact(id, &frame)? {
-            Ok(Reply::Scores(scores)) => Ok(Ok(scores)),
-            Ok(Reply::Ack(_)) => Err(protocol_violation("ack reply to a score request")),
-            Err(e) => Ok(Err(e)),
-        }
+                .map_err(invalid_input)?;
+        self.expect_scores(id, &frame)
+    }
+
+    /// Score against a tenant's active model on a registry server
+    /// (protocol v3).
+    pub fn score_tenant(
+        &mut self,
+        tenant: u32,
+        group: u32,
+        items: &[u32],
+    ) -> Result<ServeResult, ClientError> {
+        self.score_tenant_with_deadline_us(tenant, group, items, 0)
+    }
+
+    /// Like [`score_tenant`](Self::score_tenant) with a latency budget
+    /// in µs (0 = none).
+    pub fn score_tenant_with_deadline_us(
+        &mut self,
+        tenant: u32,
+        group: u32,
+        items: &[u32],
+        deadline_us: u64,
+    ) -> Result<ServeResult, ClientError> {
+        let id = self.fresh_id();
+        let frame = wire::encode_tenant_request(&wire::TenantRequest {
+            id,
+            tenant,
+            group,
+            deadline_us,
+            items: items.to_vec(),
+        })
+        .map_err(invalid_input)?;
+        self.expect_scores(id, &frame)
     }
 
     /// Create a new group from `members`; the ack carries the new id.
-    pub fn create_group(&mut self, members: &[u32]) -> std::io::Result<LifecycleResult> {
+    pub fn create_group(&mut self, members: &[u32]) -> Result<LifecycleResult, ClientError> {
         self.lifecycle(LifecycleOp::Create { members: members.to_vec() })
     }
 
     /// Add `user` to `group`.
-    pub fn join_group(&mut self, group: u32, user: u32) -> std::io::Result<LifecycleResult> {
+    pub fn join_group(&mut self, group: u32, user: u32) -> Result<LifecycleResult, ClientError> {
         self.lifecycle(LifecycleOp::Join { group, user })
     }
 
     /// Remove `user` from `group`.
-    pub fn leave_group(&mut self, group: u32, user: u32) -> std::io::Result<LifecycleResult> {
+    pub fn leave_group(&mut self, group: u32, user: u32) -> Result<LifecycleResult, ClientError> {
         self.lifecycle(LifecycleOp::Leave { group, user })
     }
 
-    fn lifecycle(&mut self, op: LifecycleOp) -> std::io::Result<LifecycleResult> {
+    /// Load a server-local checkpoint into the registry; the ack
+    /// carries its content hash (protocol v3).
+    pub fn load_model(&mut self, path: &str) -> Result<RegistryResult, ClientError> {
+        self.registry(wire::RegistryOp::Load { path: path.to_owned() })
+    }
+
+    /// Bind a fresh tenant to a resident checkpoint.
+    pub fn bind_tenant(&mut self, tenant: u32, hash: u64) -> Result<RegistryResult, ClientError> {
+        self.registry(wire::RegistryOp::Bind { tenant, hash })
+    }
+
+    /// Stage a candidate as the tenant's shadow with a clean quota.
+    pub fn stage_shadow(
+        &mut self,
+        tenant: u32,
+        hash: u64,
+        min_clean: u64,
+    ) -> Result<RegistryResult, ClientError> {
+        self.registry(wire::RegistryOp::Shadow { tenant, hash, min_clean })
+    }
+
+    /// Promote the tenant's proven shadow; the ack carries the new
+    /// active hash.
+    pub fn promote(&mut self, tenant: u32) -> Result<RegistryResult, ClientError> {
+        self.registry(wire::RegistryOp::Promote { tenant })
+    }
+
+    /// Roll the tenant back to its previous version; the ack carries
+    /// the new active hash.
+    pub fn rollback(&mut self, tenant: u32) -> Result<RegistryResult, ClientError> {
+        self.registry(wire::RegistryOp::Rollback { tenant })
+    }
+
+    /// Drop an unreferenced resident checkpoint.
+    pub fn retire(&mut self, hash: u64) -> Result<RegistryResult, ClientError> {
+        self.registry(wire::RegistryOp::Retire { hash })
+    }
+
+    fn lifecycle(&mut self, op: LifecycleOp) -> Result<LifecycleResult, ClientError> {
         let id = self.fresh_id();
-        let frame = wire::encode_lifecycle(&LifecycleRequest { id, op })
-            .map_err(|e| std::io::Error::new(ErrorKind::InvalidInput, e))?;
+        let frame = wire::encode_lifecycle(&LifecycleRequest { id, op }).map_err(invalid_input)?;
         match self.transact(id, &frame)? {
             Ok(Reply::Ack(ack)) => Ok(Ok(ack)),
-            Ok(Reply::Scores(_)) => Err(protocol_violation("score reply to a lifecycle request")),
+            Ok(_) => Err(protocol_violation("non-ack reply to a lifecycle request")),
+            Err(e) => Ok(Err(e)),
+        }
+    }
+
+    fn registry(&mut self, op: wire::RegistryOp) -> Result<RegistryResult, ClientError> {
+        let id = self.fresh_id();
+        let frame =
+            wire::encode_registry(&wire::RegistryRequest { id, op }).map_err(invalid_input)?;
+        match self.transact(id, &frame)? {
+            Ok(Reply::RegistryAck(hash)) => Ok(Ok(hash)),
+            Ok(_) => Err(protocol_violation("non-registry reply to a registry request")),
+            Err(e) => Ok(Err(e)),
+        }
+    }
+
+    fn expect_scores(&mut self, id: u64, frame: &[u8]) -> Result<ServeResult, ClientError> {
+        match self.transact(id, frame)? {
+            Ok(Reply::Scores(scores)) => Ok(Ok(scores)),
+            Ok(_) => Err(protocol_violation("non-score reply to a score request")),
             Err(e) => Ok(Err(e)),
         }
     }
@@ -332,17 +509,21 @@ impl ServeClient {
     }
 
     /// Write one frame, read one response, check the correlation id.
-    fn transact(&mut self, id: u64, frame: &[u8]) -> std::io::Result<Result<Reply, ServeError>> {
+    fn transact(
+        &mut self,
+        id: u64,
+        frame: &[u8],
+    ) -> Result<Result<Reply, ServeError>, ClientError> {
         self.stream.write_all(frame)?;
         self.stream.flush()?;
         let payload = wire::read_frame(&mut self.stream)?;
         let resp = wire::decode_response(&payload)
-            .map_err(|e| std::io::Error::new(ErrorKind::InvalidData, e))?;
+            .map_err(|e| ClientError::Io(std::io::Error::new(ErrorKind::InvalidData, e)))?;
         if resp.id != id {
-            return Err(std::io::Error::new(
+            return Err(ClientError::Io(std::io::Error::new(
                 ErrorKind::InvalidData,
                 format!("response id {} for request {id}", resp.id),
-            ));
+            )));
         }
         Ok(resp.into_result())
     }
@@ -352,6 +533,17 @@ impl ServeClient {
 /// a terminal error.
 pub type LifecycleResult = Result<LifecycleAck, ServeError>;
 
-fn protocol_violation(what: &str) -> std::io::Error {
-    std::io::Error::new(ErrorKind::InvalidData, format!("protocol violation: {what}"))
+/// What a registry request resolves to: the checkpoint hash the
+/// transition settled on, or a terminal error.
+pub type RegistryResult = Result<u64, ServeError>;
+
+fn invalid_input(e: wire::FrameTooLarge) -> ClientError {
+    ClientError::Io(std::io::Error::new(ErrorKind::InvalidInput, e))
+}
+
+fn protocol_violation(what: &str) -> ClientError {
+    ClientError::Io(std::io::Error::new(
+        ErrorKind::InvalidData,
+        format!("protocol violation: {what}"),
+    ))
 }

@@ -6,24 +6,45 @@
 //!
 //! ```text
 //! request  := op:u8  id:u64  body
-//!   op 0 score  : group:u32  deadline_us:u64  n:u32  items:[u32; n]
-//!   op 1 create : n:u32  members:[u32; n]
-//!   op 2 join   : group:u32  user:u32
-//!   op 3 leave  : group:u32  user:u32
+//!   op 0 score   : group:u32  deadline_us:u64  n:u32  items:[u32; n]
+//!   op 1 create  : n:u32  members:[u32; n]
+//!   op 2 join    : group:u32  user:u32
+//!   op 3 leave   : group:u32  user:u32
+//!   op 4 tscore  : tenant:u32  group:u32  deadline_us:u64  n:u32  items:[u32; n]
+//!   op 5 load    : n:u32  path:utf8[n]
+//!   op 6 bind    : tenant:u32  hash:u64
+//!   op 7 shadow  : tenant:u32  hash:u64  min_clean:u64
+//!   op 8 promote : tenant:u32
+//!   op 9 rollback: tenant:u32
+//!   op 10 retire : hash:u64
 //! response := id:u64  status:u8  body
 //!   status 0 Ok          : n:u32  scores:[f32-bits; n]
 //!   status 5 Ack         : group:u32  members:u32
+//!   status 7 RegistryAck : hash:u64
 //!   any other status     : empty body
 //! ```
 //!
+//! Opcodes 4–10 are **protocol v3** (the multi-tenant registry,
+//! DESIGN.md §16): scores tagged with a tenant id, and the registry
+//! transitions LOAD / BIND / SHADOW / PROMOTE / ROLLBACK / RETIRE. A
+//! LOAD carries a checkpoint *path* the server reads locally — model
+//! parameters never cross this socket (they would blow [`MAX_FRAME`];
+//! real registries reference artifact storage the same way). Version
+//! skew is typed in both directions: single-model servers answer v3
+//! opcodes with [`ServeError::Unsupported`] (exactly as static servers
+//! answer lifecycle opcodes), and registry servers answer un-tenanted
+//! v2 score/lifecycle opcodes with [`ServeError::Unsupported`] — there
+//! is no "default model" to guess.
+//!
 //! `deadline_us == 0` means no deadline; otherwise it is a budget in
-//! microseconds relative to server receipt. Status bytes 1–4 and 6 map
-//! to the non-lifecycle [`ServeError`] variants; bytes `16..=21` carry
-//! [`LifecycleError`] as `16 + code`; bytes `24..=26` carry
-//! [`ServeError::Shard`] as `24 + kind` — see [`Status`]. Scores travel
-//! as raw `f32` bit patterns, so the protocol preserves bit-identity
-//! end to end — the serve CI gates compare served bytes against offline
-//! evaluation exactly.
+//! microseconds relative to server receipt. Status bytes 1–4, 6, 8 and
+//! 9 map to the body-less [`ServeError`] variants; bytes `16..=21`
+//! carry [`LifecycleError`] as `16 + code`; bytes `24..=26` carry
+//! [`ServeError::Shard`] as `24 + kind`; bytes `32..=39` carry
+//! [`ServeError::Registry`] as `32 + code` — see [`Status`]. Scores
+//! travel as raw `f32` bit patterns, so the protocol preserves
+//! bit-identity end to end — the serve CI gates compare served bytes
+//! against offline evaluation exactly.
 //!
 //! The router↔shard protocol shares this framing (`u32` length prefix,
 //! [`MAX_FRAME`]) but is a separate vocabulary on separate connections —
@@ -79,6 +100,14 @@ pub const OP_SCORE: u8 = 0;
 pub const OP_CREATE: u8 = 1;
 pub const OP_JOIN: u8 = 2;
 pub const OP_LEAVE: u8 = 3;
+/// Protocol-v3 opcodes (registry servers, DESIGN.md §16).
+pub const OP_TSCORE: u8 = 4;
+pub const OP_LOAD: u8 = 5;
+pub const OP_BIND: u8 = 6;
+pub const OP_SHADOW: u8 = 7;
+pub const OP_PROMOTE: u8 = 8;
+pub const OP_ROLLBACK: u8 = 9;
+pub const OP_RETIRE: u8 = 10;
 
 /// A decoded scoring request (opcode [`OP_SCORE`]).
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -102,11 +131,54 @@ pub struct LifecycleRequest {
     pub op: LifecycleOp,
 }
 
+/// A decoded tenant-tagged scoring request (opcode [`OP_TSCORE`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TenantRequest {
+    /// Client-chosen correlation id, echoed verbatim in the response.
+    pub id: u64,
+    /// Traffic partition whose active model scores this request.
+    pub tenant: u32,
+    /// Group to score for (in the tenant's active checkpoint).
+    pub group: u32,
+    /// Latency budget in µs from server receipt; 0 = none.
+    pub deadline_us: u64,
+    /// Candidate items, scored in order.
+    pub items: Vec<u32>,
+}
+
+/// A registry transition (protocol v3; see [`kgag::ModelRegistry`] for
+/// the state machine each variant drives).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RegistryOp {
+    /// Read a checkpoint from a server-local path and make it resident.
+    Load { path: String },
+    /// Bind a fresh tenant to a resident checkpoint.
+    Bind { tenant: u32, hash: u64 },
+    /// Stage a candidate as the tenant's shadow with a clean quota.
+    Shadow { tenant: u32, hash: u64, min_clean: u64 },
+    /// Promote the tenant's proven shadow to active.
+    Promote { tenant: u32 },
+    /// Swap the tenant back to its previous version.
+    Rollback { tenant: u32 },
+    /// Drop an unreferenced resident checkpoint.
+    Retire { hash: u64 },
+}
+
+/// A decoded registry request (opcodes [`OP_LOAD`]..=[`OP_RETIRE`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RegistryRequest {
+    /// Client-chosen correlation id, echoed verbatim in the response.
+    pub id: u64,
+    pub op: RegistryOp,
+}
+
 /// Any decoded request payload.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Message {
     Score(Request),
     Lifecycle(LifecycleRequest),
+    Tenant(TenantRequest),
+    Registry(RegistryRequest),
 }
 
 /// Response status byte (see the module docs for the full map).
@@ -119,6 +191,9 @@ enum Status {
     Invalid = 4,
     Ack = 5,
     Unsupported = 6,
+    RegistryAck = 7,
+    Quota = 8,
+    LoadFailed = 9,
 }
 
 /// First status byte of the [`LifecycleError`] range.
@@ -171,6 +246,37 @@ fn lifecycle_from_byte(b: u8) -> Option<LifecycleError> {
     }
 }
 
+/// First status byte of the [`ServeError::Registry`] range.
+const REGISTRY_STATUS_BASE: u8 = 32;
+
+fn registry_to_byte(e: kgag::RegistryError) -> u8 {
+    let code = match e {
+        kgag::RegistryError::UnknownTenant => 0,
+        kgag::RegistryError::UnknownModel => 1,
+        kgag::RegistryError::DuplicateModel => 2,
+        kgag::RegistryError::TenantBound => 3,
+        kgag::RegistryError::Quarantined => 4,
+        kgag::RegistryError::ShadowNotClean => 5,
+        kgag::RegistryError::NoPrevious => 6,
+        kgag::RegistryError::ModelInUse => 7,
+    };
+    REGISTRY_STATUS_BASE + code
+}
+
+fn registry_from_byte(b: u8) -> Option<kgag::RegistryError> {
+    match b.checked_sub(REGISTRY_STATUS_BASE)? {
+        0 => Some(kgag::RegistryError::UnknownTenant),
+        1 => Some(kgag::RegistryError::UnknownModel),
+        2 => Some(kgag::RegistryError::DuplicateModel),
+        3 => Some(kgag::RegistryError::TenantBound),
+        4 => Some(kgag::RegistryError::Quarantined),
+        5 => Some(kgag::RegistryError::ShadowNotClean),
+        6 => Some(kgag::RegistryError::NoPrevious),
+        7 => Some(kgag::RegistryError::ModelInUse),
+        _ => None,
+    }
+}
+
 /// The payload of a successful response.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Reply {
@@ -178,6 +284,10 @@ pub enum Reply {
     Scores(Vec<f32>),
     /// Receipt of an applied lifecycle mutation.
     Ack(LifecycleAck),
+    /// Receipt of an applied registry transition, carrying the
+    /// checkpoint hash the transition resolved to (the loaded / bound /
+    /// staged / newly-active / retired version).
+    RegistryAck(u64),
 }
 
 /// A decoded response.
@@ -197,6 +307,11 @@ impl Response {
     /// Build the wire response for a lifecycle-path result.
     pub fn from_ack(id: u64, result: Result<LifecycleAck, LifecycleError>) -> Response {
         Response { id, reply: result.map(Reply::Ack).map_err(ServeError::Lifecycle) }
+    }
+
+    /// Build the wire response for a registry-transition result.
+    pub fn from_registry(id: u64, result: Result<u64, ServeError>) -> Response {
+        Response { id, reply: result.map(Reply::RegistryAck) }
     }
 
     /// The client-side inverse of the constructors.
@@ -261,6 +376,77 @@ pub fn encode_lifecycle(req: &LifecycleRequest) -> Result<Vec<u8>, FrameTooLarge
     Ok(out)
 }
 
+/// Encode a tenant-tagged score request as one frame (length prefix
+/// included). Same size discipline as [`encode_request`].
+pub fn encode_tenant_request(req: &TenantRequest) -> Result<Vec<u8>, FrameTooLarge> {
+    let payload_len = check_frame(1 + 8 + 4 + 4 + 8 + 4 + 4 * req.items.len())?;
+    let mut out = Vec::with_capacity(4 + payload_len);
+    out.extend_from_slice(&(payload_len as u32).to_le_bytes());
+    out.push(OP_TSCORE);
+    out.extend_from_slice(&req.id.to_le_bytes());
+    out.extend_from_slice(&req.tenant.to_le_bytes());
+    out.extend_from_slice(&req.group.to_le_bytes());
+    out.extend_from_slice(&req.deadline_us.to_le_bytes());
+    out.extend_from_slice(&(req.items.len() as u32).to_le_bytes());
+    for &v in &req.items {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    Ok(out)
+}
+
+/// Encode a registry request as one frame (length prefix included).
+/// Load paths longer than one frame are rejected with [`FrameTooLarge`].
+pub fn encode_registry(req: &RegistryRequest) -> Result<Vec<u8>, FrameTooLarge> {
+    let payload_len = match &req.op {
+        RegistryOp::Load { path } => check_frame(1 + 8 + 4 + path.len())?,
+        RegistryOp::Bind { .. } => 1 + 8 + 4 + 8,
+        RegistryOp::Shadow { .. } => 1 + 8 + 4 + 8 + 8,
+        RegistryOp::Promote { .. } | RegistryOp::Rollback { .. } => 1 + 8 + 4,
+        RegistryOp::Retire { .. } => 1 + 8 + 8,
+    };
+    let mut payload = Vec::with_capacity(payload_len);
+    match &req.op {
+        RegistryOp::Load { path } => {
+            payload.push(OP_LOAD);
+            payload.extend_from_slice(&req.id.to_le_bytes());
+            payload.extend_from_slice(&(path.len() as u32).to_le_bytes());
+            payload.extend_from_slice(path.as_bytes());
+        }
+        RegistryOp::Bind { tenant, hash } => {
+            payload.push(OP_BIND);
+            payload.extend_from_slice(&req.id.to_le_bytes());
+            payload.extend_from_slice(&tenant.to_le_bytes());
+            payload.extend_from_slice(&hash.to_le_bytes());
+        }
+        RegistryOp::Shadow { tenant, hash, min_clean } => {
+            payload.push(OP_SHADOW);
+            payload.extend_from_slice(&req.id.to_le_bytes());
+            payload.extend_from_slice(&tenant.to_le_bytes());
+            payload.extend_from_slice(&hash.to_le_bytes());
+            payload.extend_from_slice(&min_clean.to_le_bytes());
+        }
+        RegistryOp::Promote { tenant } | RegistryOp::Rollback { tenant } => {
+            payload.push(if matches!(req.op, RegistryOp::Promote { .. }) {
+                OP_PROMOTE
+            } else {
+                OP_ROLLBACK
+            });
+            payload.extend_from_slice(&req.id.to_le_bytes());
+            payload.extend_from_slice(&tenant.to_le_bytes());
+        }
+        RegistryOp::Retire { hash } => {
+            payload.push(OP_RETIRE);
+            payload.extend_from_slice(&req.id.to_le_bytes());
+            payload.extend_from_slice(&hash.to_le_bytes());
+        }
+    }
+    debug_assert_eq!(payload.len(), payload_len);
+    let mut out = Vec::with_capacity(4 + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&payload);
+    Ok(out)
+}
+
 /// Decode a request payload (frame prefix already stripped).
 pub fn decode_request(payload: &[u8]) -> Result<Message, String> {
     let mut c = Cursor { buf: payload, pos: 0 };
@@ -310,6 +496,78 @@ pub fn decode_request(payload: &[u8]) -> Result<Message, String> {
             };
             Ok(Message::Lifecycle(LifecycleRequest { id, op }))
         }
+        OP_TSCORE => {
+            let tenant = c.u32()?;
+            let group = c.u32()?;
+            let deadline_us = c.u64()?;
+            let n = c.u32()? as usize;
+            if payload.len() - c.pos != 4 * n {
+                return Err(format!(
+                    "item count {n} disagrees with payload ({} trailing bytes)",
+                    payload.len() - c.pos
+                ));
+            }
+            let mut items = Vec::with_capacity(n);
+            for _ in 0..n {
+                items.push(c.u32()?);
+            }
+            Ok(Message::Tenant(TenantRequest { id, tenant, group, deadline_us, items }))
+        }
+        OP_LOAD => {
+            let n = c.u32()? as usize;
+            if payload.len() - c.pos != n {
+                return Err(format!(
+                    "path length {n} disagrees with payload ({} trailing bytes)",
+                    payload.len() - c.pos
+                ));
+            }
+            let path = std::str::from_utf8(c.take(n)?)
+                .map_err(|_| "load path is not UTF-8".to_owned())?
+                .to_owned();
+            Ok(Message::Registry(RegistryRequest { id, op: RegistryOp::Load { path } }))
+        }
+        OP_BIND => {
+            let tenant = c.u32()?;
+            let hash = c.u64()?;
+            if c.pos != payload.len() {
+                return Err(format!("{} trailing bytes after bind", payload.len() - c.pos));
+            }
+            Ok(Message::Registry(RegistryRequest { id, op: RegistryOp::Bind { tenant, hash } }))
+        }
+        OP_SHADOW => {
+            let tenant = c.u32()?;
+            let hash = c.u64()?;
+            let min_clean = c.u64()?;
+            if c.pos != payload.len() {
+                return Err(format!("{} trailing bytes after shadow", payload.len() - c.pos));
+            }
+            Ok(Message::Registry(RegistryRequest {
+                id,
+                op: RegistryOp::Shadow { tenant, hash, min_clean },
+            }))
+        }
+        OP_PROMOTE | OP_ROLLBACK => {
+            let tenant = c.u32()?;
+            if c.pos != payload.len() {
+                return Err(format!(
+                    "{} trailing bytes after promote/rollback",
+                    payload.len() - c.pos
+                ));
+            }
+            let op = if op == OP_PROMOTE {
+                RegistryOp::Promote { tenant }
+            } else {
+                RegistryOp::Rollback { tenant }
+            };
+            Ok(Message::Registry(RegistryRequest { id, op }))
+        }
+        OP_RETIRE => {
+            let hash = c.u64()?;
+            if c.pos != payload.len() {
+                return Err(format!("{} trailing bytes after retire", payload.len() - c.pos));
+            }
+            Ok(Message::Registry(RegistryRequest { id, op: RegistryOp::Retire { hash } }))
+        }
         other => Err(format!("unknown opcode {other}")),
     }
 }
@@ -333,6 +591,7 @@ pub fn encode_response(resp: &Response) -> Result<Vec<u8>, FrameTooLarge> {
     let (status, body_len) = match &resp.reply {
         Ok(Reply::Scores(s)) => (Status::Ok as u8, 4 + 4 * s.len()),
         Ok(Reply::Ack(_)) => (Status::Ack as u8, 8),
+        Ok(Reply::RegistryAck(_)) => (Status::RegistryAck as u8, 8),
         Err(e) => {
             let b = match e {
                 ServeError::Rejected => Status::Rejected as u8,
@@ -340,8 +599,11 @@ pub fn encode_response(resp: &Response) -> Result<Vec<u8>, FrameTooLarge> {
                 ServeError::Canceled => Status::Canceled as u8,
                 ServeError::Invalid => Status::Invalid as u8,
                 ServeError::Unsupported => Status::Unsupported as u8,
+                ServeError::Quota => Status::Quota as u8,
+                ServeError::LoadFailed => Status::LoadFailed as u8,
                 ServeError::Lifecycle(le) => lifecycle_to_byte(*le),
                 ServeError::Shard(kind) => shard_to_byte(*kind),
+                ServeError::Registry(re) => registry_to_byte(*re),
             };
             (b, 0)
         }
@@ -361,6 +623,9 @@ pub fn encode_response(resp: &Response) -> Result<Vec<u8>, FrameTooLarge> {
         Ok(Reply::Ack(ack)) => {
             out.extend_from_slice(&ack.group.to_le_bytes());
             out.extend_from_slice(&ack.members.to_le_bytes());
+        }
+        Ok(Reply::RegistryAck(hash)) => {
+            out.extend_from_slice(&hash.to_le_bytes());
         }
         Err(_) => {}
     }
@@ -392,16 +657,28 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, String> {
             }
             Ok(Reply::Ack(LifecycleAck { group, members }))
         }
+        b if b == Status::RegistryAck as u8 => {
+            let hash = c.u64()?;
+            if c.pos != payload.len() {
+                return Err("trailing bytes after registry ack".to_owned());
+            }
+            Ok(Reply::RegistryAck(hash))
+        }
         b if b == Status::Rejected as u8 => Err(ServeError::Rejected),
         b if b == Status::DeadlineMissed as u8 => Err(ServeError::DeadlineMissed),
         b if b == Status::Canceled as u8 => Err(ServeError::Canceled),
         b if b == Status::Invalid as u8 => Err(ServeError::Invalid),
         b if b == Status::Unsupported as u8 => Err(ServeError::Unsupported),
+        b if b == Status::Quota as u8 => Err(ServeError::Quota),
+        b if b == Status::LoadFailed as u8 => Err(ServeError::LoadFailed),
         b => match lifecycle_from_byte(b) {
             Some(le) => Err(ServeError::Lifecycle(le)),
             None => match shard_from_byte(b) {
                 Some(kind) => Err(ServeError::Shard(kind)),
-                None => return Err(format!("unknown status byte {b}")),
+                None => match registry_from_byte(b) {
+                    Some(re) => Err(ServeError::Registry(re)),
+                    None => return Err(format!("unknown status byte {b}")),
+                },
             },
         },
     };
@@ -717,6 +994,147 @@ mod tests {
             encode_lifecycle(&big),
             Err(FrameTooLarge { payload_len: header + 4 * (max_members + 1) })
         );
+    }
+
+    fn registry_ops() -> Vec<RegistryOp> {
+        vec![
+            RegistryOp::Load { path: "results/ckpt.bin".to_owned() },
+            RegistryOp::Load { path: String::new() },
+            RegistryOp::Bind { tenant: 7, hash: u64::MAX },
+            RegistryOp::Shadow { tenant: 0, hash: 0xfeed, min_clean: 128 },
+            RegistryOp::Promote { tenant: u32::MAX },
+            RegistryOp::Rollback { tenant: 3 },
+            RegistryOp::Retire { hash: 0xdead_beef },
+        ]
+    }
+
+    #[test]
+    fn tenant_requests_roundtrip() {
+        let req = TenantRequest {
+            id: 0xabad_cafe,
+            tenant: 42,
+            group: 7,
+            deadline_us: 1500,
+            items: vec![0, 1, 99, u32::MAX],
+        };
+        let mut buf = encode_tenant_request(&req).unwrap();
+        let payload = take_frame(&mut buf).unwrap().expect("complete frame");
+        assert!(buf.is_empty());
+        assert_eq!(decode_request(&payload).unwrap(), Message::Tenant(req));
+    }
+
+    #[test]
+    fn registry_requests_roundtrip() {
+        for op in registry_ops() {
+            let req = RegistryRequest { id: 0x5eed, op };
+            let mut buf = encode_registry(&req).unwrap();
+            let payload = take_frame(&mut buf).unwrap().expect("complete frame");
+            assert_eq!(decode_request(&payload).unwrap(), Message::Registry(req));
+        }
+    }
+
+    #[test]
+    fn registry_ack_roundtrips() {
+        let resp = Response::from_registry(19, Ok(0xdead_beef_dead_beef));
+        let back = decode_response(&encode_response(&resp).unwrap()[4..]).unwrap();
+        assert_eq!(back, resp);
+        // trailing bytes after the hash are a decode error
+        let mut padded = encode_response(&resp).unwrap()[4..].to_vec();
+        padded.push(0);
+        assert!(decode_response(&padded).is_err());
+    }
+
+    #[test]
+    fn v3_error_statuses_roundtrip_through_results() {
+        let mut errs = vec![ServeError::Quota, ServeError::LoadFailed];
+        errs.extend(
+            [
+                kgag::RegistryError::UnknownTenant,
+                kgag::RegistryError::UnknownModel,
+                kgag::RegistryError::DuplicateModel,
+                kgag::RegistryError::TenantBound,
+                kgag::RegistryError::Quarantined,
+                kgag::RegistryError::ShadowNotClean,
+                kgag::RegistryError::NoPrevious,
+                kgag::RegistryError::ModelInUse,
+            ]
+            .map(ServeError::Registry),
+        );
+        for err in errs {
+            let resp = Response::from_registry(3, Err(err));
+            let back = decode_response(&encode_response(&resp).unwrap()[4..]).unwrap();
+            assert_eq!(back.into_result(), Err(err));
+        }
+        // bytes just outside the registry range stay unknown
+        for b in [31u8, 40, 200] {
+            let mut payload = 5u64.to_le_bytes().to_vec();
+            payload.push(b);
+            assert!(decode_response(&payload).is_err(), "status {b} must not decode");
+        }
+    }
+
+    #[test]
+    fn v3_truncated_payloads_are_invalid_not_panics() {
+        let mut frames = vec![encode_tenant_request(&TenantRequest {
+            id: 8,
+            tenant: 1,
+            group: 2,
+            deadline_us: 9,
+            items: vec![1, 2, 3],
+        })
+        .unwrap()];
+        frames.extend(
+            registry_ops()
+                .into_iter()
+                .map(|op| encode_registry(&RegistryRequest { id: 8, op }).unwrap()),
+        );
+        for frame in &frames {
+            let payload = &frame[4..];
+            for cut in 0..payload.len() {
+                assert!(decode_request(&payload[..cut]).is_err(), "cut at {cut} must not decode");
+            }
+            // every complete v3 payload still salvages its id
+            assert_eq!(salvage_id(payload), 8);
+            // one trailing garbage byte must not decode either
+            let mut padded = payload.to_vec();
+            padded.push(0);
+            assert!(decode_request(&padded).is_err(), "trailing byte must not decode");
+        }
+        // a load path that is not UTF-8 is a typed error
+        let mut payload = vec![OP_LOAD];
+        payload.extend_from_slice(&8u64.to_le_bytes());
+        payload.extend_from_slice(&2u32.to_le_bytes());
+        payload.extend_from_slice(&[0xff, 0xfe]);
+        assert!(decode_request(&payload).unwrap_err().contains("UTF-8"));
+        // a tenant request lying about its item count
+        let mut lying = frames[0][4..].to_vec();
+        let n_off = 1 + 8 + 4 + 4 + 8;
+        lying[n_off..n_off + 4].copy_from_slice(&1000u32.to_le_bytes());
+        assert!(decode_request(&lying).is_err());
+    }
+
+    #[test]
+    fn encode_tenant_request_rejects_oversize_at_the_boundary() {
+        let header = 1 + 8 + 4 + 4 + 8 + 4;
+        let max_items = (MAX_FRAME - header) / 4;
+        let req = TenantRequest {
+            id: 1,
+            tenant: 0,
+            group: 0,
+            deadline_us: 0,
+            items: vec![7u32; max_items],
+        };
+        let frame = encode_tenant_request(&req).expect("max-size request must encode");
+        assert!(frame.len() - 4 <= MAX_FRAME);
+        let req = TenantRequest {
+            id: 1,
+            tenant: 0,
+            group: 0,
+            deadline_us: 0,
+            items: vec![7u32; max_items + 1],
+        };
+        let err = encode_tenant_request(&req).expect_err("oversize request must not encode");
+        assert!(err.payload_len > MAX_FRAME);
     }
 
     #[test]

@@ -1,0 +1,140 @@
+//! Deterministic fault injection for serving-stack tests.
+//!
+//! The serve crates promise that every *accepted* request is answered
+//! exactly once — through panics, stalls and typed scorer failures, not
+//! just on the happy path. Proving that needs a scorer that misbehaves
+//! on demand, reproducibly: [`FaultPlan`] is a scripted schedule of
+//! [`FaultAction`]s consumed one per scoring call, and the serve crate
+//! wraps any scorer with it (`kgag_serve::FaultScorer`) to replay the
+//! exact same failure at the exact same batch on every run.
+//!
+//! The plan lives here rather than in `kgag-serve` because it is pure
+//! test substrate (no serve types, no model types — testkit depends
+//! only on `kgag-tensor`); the trait impl that interprets the actions
+//! against a real scorer lives next to the trait it implements.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Duration;
+
+/// What one scoring call should do instead of (or around) real work.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Score normally.
+    Pass,
+    /// Panic mid-batch — models a scorer bug; the batcher must answer
+    /// the batch's requests anyway and keep serving later ones.
+    Panic,
+    /// Sleep before scoring — long enough delays push queued requests
+    /// past their deadlines and must surface as deadline misses, not
+    /// hangs or drops.
+    Delay(Duration),
+    /// Fail every case in the batch with a typed error — models a
+    /// dependency outage (e.g. an unreachable shard).
+    Error,
+    /// Score normally, then flip one mantissa bit of the first score —
+    /// the minimal bit-identity violation, used to prove the shadow
+    /// circuit breaker quarantines a divergent model.
+    Corrupt,
+}
+
+/// A scripted, thread-safe schedule of [`FaultAction`]s: call `n`
+/// performs `actions[n]`, and calls past the end of the script pass
+/// through untouched. The cursor is atomic, so concurrent batcher
+/// workers draw distinct script positions — which positions interleave
+/// is scheduling-dependent, but the *multiset* of injected faults is
+/// exact, which is what the exactly-once properties count.
+#[derive(Debug, Default)]
+pub struct FaultPlan {
+    actions: Vec<FaultAction>,
+    cursor: AtomicUsize,
+}
+
+impl FaultPlan {
+    /// A plan that replays `actions` in order, then passes forever.
+    pub fn script(actions: Vec<FaultAction>) -> Self {
+        FaultPlan { actions, cursor: AtomicUsize::new(0) }
+    }
+
+    /// A plan that behaves normally except for `action` on call `n`
+    /// (0-based) — "fail the Nth call", the canonical regression shape.
+    pub fn nth(n: usize, action: FaultAction) -> Self {
+        let mut actions = vec![FaultAction::Pass; n + 1];
+        actions[n] = action;
+        Self::script(actions)
+    }
+
+    /// A plan that never injects anything (control arm).
+    pub fn clean() -> Self {
+        Self::script(Vec::new())
+    }
+
+    /// Draw the next scheduled action and advance the cursor.
+    pub fn next_action(&self) -> FaultAction {
+        let n = self.cursor.fetch_add(1, Ordering::Relaxed);
+        self.actions.get(n).copied().unwrap_or(FaultAction::Pass)
+    }
+
+    /// How many calls have drawn an action so far.
+    pub fn calls(&self) -> usize {
+        self.cursor.load(Ordering::Relaxed)
+    }
+
+    /// How many scripted actions are *not* [`FaultAction::Pass`] — the
+    /// number of faults the plan will inject in total.
+    pub fn fault_count(&self) -> usize {
+        self.actions.iter().filter(|a| !matches!(a, FaultAction::Pass)).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn script_plays_in_order_then_passes() {
+        let plan = FaultPlan::script(vec![
+            FaultAction::Panic,
+            FaultAction::Pass,
+            FaultAction::Delay(Duration::from_millis(5)),
+        ]);
+        assert_eq!(plan.next_action(), FaultAction::Panic);
+        assert_eq!(plan.next_action(), FaultAction::Pass);
+        assert_eq!(plan.next_action(), FaultAction::Delay(Duration::from_millis(5)));
+        assert_eq!(plan.next_action(), FaultAction::Pass);
+        assert_eq!(plan.next_action(), FaultAction::Pass);
+        assert_eq!(plan.calls(), 5);
+        assert_eq!(plan.fault_count(), 2);
+    }
+
+    #[test]
+    fn nth_targets_one_call() {
+        let plan = FaultPlan::nth(2, FaultAction::Error);
+        assert_eq!(plan.next_action(), FaultAction::Pass);
+        assert_eq!(plan.next_action(), FaultAction::Pass);
+        assert_eq!(plan.next_action(), FaultAction::Error);
+        assert_eq!(plan.next_action(), FaultAction::Pass);
+        assert_eq!(plan.fault_count(), 1);
+    }
+
+    #[test]
+    fn concurrent_draws_cover_the_script_exactly_once() {
+        let plan = FaultPlan::script(vec![FaultAction::Panic; 8]);
+        let drawn: Vec<FaultAction> = std::thread::scope(|s| {
+            let handles: Vec<_> =
+                (0..4).map(|_| s.spawn(|| [plan.next_action(), plan.next_action()])).collect();
+            handles.into_iter().flat_map(|h| h.join().unwrap()).collect()
+        });
+        assert_eq!(drawn.len(), 8);
+        assert!(drawn.iter().all(|a| *a == FaultAction::Panic));
+        assert_eq!(plan.next_action(), FaultAction::Pass);
+    }
+
+    #[test]
+    fn clean_plan_never_faults() {
+        let plan = FaultPlan::clean();
+        for _ in 0..16 {
+            assert_eq!(plan.next_action(), FaultAction::Pass);
+        }
+        assert_eq!(plan.fault_count(), 0);
+    }
+}

@@ -12,7 +12,10 @@
 //! * [`bench`] — a wall-clock micro-benchmark harness (warmup + timed
 //!   iterations, median/p95) that writes JSON artifacts;
 //! * [`json`] — a minimal JSON value model, [`json::ToJson`] trait and
-//!   pretty writer for experiment artifacts.
+//!   pretty writer for experiment artifacts;
+//! * [`fault`] — scripted fault schedules ([`FaultPlan`]) that the
+//!   serve stack's exactly-once properties replay against the batcher,
+//!   shard pool and model registry.
 //!
 //! Everything is seeded through `kgag_tensor::rng` (`SplitMix64` +
 //! `derive_seed`), so test inputs are identical run-to-run and across
@@ -20,11 +23,13 @@
 
 pub mod bench;
 pub mod check;
+pub mod fault;
 pub mod gen;
 pub mod json;
 
 pub use bench::{BenchConfig, BenchResult, BenchSuite};
 pub use check::{check, Runner};
+pub use fault::{FaultAction, FaultPlan};
 pub use gen::Gen;
 pub use json::{Json, ToJson};
 

@@ -9,6 +9,7 @@
 //!              --interactions FILE --kg FILE --groups FILE [--epochs N]
 //! kgag serve   [--scale ..] [--dataset ..] [--epochs N] [--seed N]
 //!              [--checkpoint PATH] [--addr HOST:PORT] [--shards A,B,..]
+//!              [--registry]
 //! kgag shard   --index I --count N [--scale ..] [--dataset ..]
 //!              [--epochs N] [--seed N] [--checkpoint PATH] [--addr HOST:PORT]
 //! ```
@@ -83,6 +84,7 @@ USAGE:
                  --kg FILE --groups FILE [--epochs N] [--json]
     kgag serve   [--scale S] [--dataset D] [--epochs N] [--seed N]
                  [--checkpoint PATH] [--addr HOST:PORT] [--shards A,B,..]
+                 [--registry]
     kgag shard   --index I --count N [--scale S] [--dataset D] [--epochs N]
                  [--seed N] [--checkpoint PATH] [--addr HOST:PORT]
 
@@ -107,6 +109,15 @@ KGAG_SHARD_TIMEOUT_MS (per-reply deadline, default 2000) and
 KGAG_SHARD_QUEUE (per-peer queue depth, default 64). A dead shard
 fails only the requests that needed it, with typed errors; lifecycle
 mutations are unavailable in sharded mode.
+`serve --registry` runs the multi-tenant registry server instead
+(DESIGN.md §16): the trained/loaded model is the bootstrap checkpoint
+with tenant 0 bound, and the wire's v3 opcodes manage the rest —
+LOAD server-local checkpoints, BIND tenants, stage SHADOW candidates
+(promotion is refused until the candidate reproduces live traffic
+bit-for-bit), PROMOTE with zero downtime, ROLLBACK, RETIRE. Knobs:
+KGAG_QUOTA_RATE / KGAG_QUOTA_BURST (per-tenant token-bucket admission,
+burst 0 = off), KGAG_SHADOW_SAMPLE (mirror every Nth request, 0 = off),
+and KGAG_CLIENT_TIMEOUT_MS (client-side read timeout).
 Formats for `import` are documented in kgag_data::import: interactions
 as `user<TAB>item`, KG as `head<TAB>rel<TAB>tail` (items = entities
 0..M), groups as `m1,m2,...<TAB>v1,v2,...`.";
@@ -120,7 +131,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         let Some(key) = a.strip_prefix("--") else {
             return Err(format!("unexpected argument {a:?}"));
         };
-        if key == "json" || key == "batched" {
+        if key == "json" || key == "batched" || key == "registry" {
             out.insert(key.to_owned(), "true".into());
             continue;
         }
@@ -300,6 +311,9 @@ fn cmd_serve(opts: &Flags) -> Result<(), String> {
     if opts.contains_key("shards") {
         return cmd_serve_sharded(opts);
     }
+    if opts.contains_key("registry") {
+        return cmd_serve_registry(opts);
+    }
     let ds = dataset(opts)?;
     let model = load_or_train(&ds, opts)?;
     // the dynamic scorer doubles as the lifecycle backend: the same
@@ -415,6 +429,69 @@ fn cmd_serve_sharded(opts: &Flags) -> Result<(), String> {
         kgag_obs::counter("serve.responses").get(),
         kgag_obs::counter("serve.batches").get(),
         kgag_obs::counter("serve.requests_rejected").get(),
+    );
+    Ok(())
+}
+
+/// `kgag serve --registry` — the multi-tenant registry server
+/// (DESIGN.md §16). The trained/loaded model becomes the bootstrap
+/// entry with tenant 0 bound to it; everything else happens over the
+/// wire: LOAD more checkpoints by server-local path (rebuilt over the
+/// same dataset through the model factory), BIND tenants, stage
+/// SHADOW candidates that must reproduce live traffic bit-for-bit
+/// before PROMOTE swaps them in with zero downtime, ROLLBACK, RETIRE.
+/// Admission control and shadow sampling come from KGAG_QUOTA_RATE /
+/// KGAG_QUOTA_BURST / KGAG_SHADOW_SAMPLE.
+fn cmd_serve_registry(opts: &Flags) -> Result<(), String> {
+    use kgag_serve::{
+        serve_tcp_registry, ModelFactory, RegistryConfig, RegistryServer, ShutdownToken,
+    };
+    let ds = dataset(opts)?;
+    let model = load_or_train(&ds, opts)?;
+    let bytes = model.save_checkpoint();
+    let hash = kgag::checkpoint_hash(&bytes);
+    drop(model); // the factory rebuilds it below — one construction path
+    let cfg = config(opts)?;
+    let cache = std::env::var("KGAG_RF_CACHE").map(|v| v != "0").unwrap_or(true);
+    let tier = kgag::ScoreTier::from_env();
+    let factory: ModelFactory = {
+        let ds = ds.clone();
+        Box::new(move |ckpt_bytes, ckpt_hash| {
+            let split = split_dataset(&ds, 0x5eed);
+            let mut m = Kgag::new(&ds, &split, cfg.clone());
+            m.load_checkpoint(ckpt_bytes).map_err(|e| e.to_string())?;
+            kgag::RegistryModel::try_new(m, ckpt_hash, cache, tier).map_err(|e| format!("{e:?}"))
+        })
+    };
+    let entry = factory(&bytes, hash)?;
+    let rcfg = RegistryConfig::from_env();
+    let server = RegistryServer::new(rcfg.clone(), factory);
+    let resident = server.install(entry).map_err(|e| e.to_string())?;
+    server.registry().bind(0, resident).map_err(|e| e.to_string())?;
+    eprintln!(
+        "registry: bootstrap checkpoint {resident:016x} resident, tenant 0 bound; quota \
+         rate {} burst {} (0 = admission off), shadow sample {}",
+        rcfg.quota_rate, rcfg.quota_burst, rcfg.shadow_sample
+    );
+    let addr = opts.get("addr").cloned().unwrap_or_else(|| "127.0.0.1:0".into());
+    let token = ShutdownToken::new();
+    shutdown_on_stdin(&token);
+    serve_tcp_registry(&server, &addr, &token, |bound| {
+        println!("serving on {bound} (registry)");
+        eprintln!("close stdin or type \"quit\" to stop");
+    })
+    .map_err(|e| e.to_string())?;
+    eprintln!(
+        "drained: {} responses; registry: {} loads, {} promotions, {} rollbacks, {} \
+         retirements, shadow {} clean / {} mismatch, {} models resident",
+        kgag_obs::counter("serve.responses").get(),
+        kgag_obs::counter("registry.loads").get(),
+        kgag_obs::counter("registry.promotions").get(),
+        kgag_obs::counter("registry.rollbacks").get(),
+        kgag_obs::counter("registry.retirements").get(),
+        kgag_obs::counter("registry.shadow_clean").get(),
+        kgag_obs::counter("registry.shadow_mismatch").get(),
+        server.registry().num_models(),
     );
     Ok(())
 }
