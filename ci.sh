@@ -54,6 +54,15 @@
 #                burst-5 no-refill governor to exactly 5 admissions +
 #                3 Quota rejections per tenant with obs counters
 #                matching
+#   backend    — propagation-backend parity gate (DESIGN.md §17): the
+#                backend_oracle suite at KGAG_THREADS=1 and 4, one leg
+#                with KGAG_SCORE_DTYPE pinned to each tier. All four
+#                backends must be self-identical across the cache ×
+#                chunk × thread matrix, KGNN-LS at ls_weight=0 must
+#                reproduce GCN training bit-for-bit, checkpoints must
+#                refuse cross-backend restores typed, and fused-tier
+#                claims must match the kernels (interaction falls back
+#                to the exact tier)
 #   lifecycle  — dynamic-group gate (DESIGN.md §13): the
 #                mutate-equals-rebuild oracle suite re-run with the
 #                receptive-field cache disabled (the cached paths run
@@ -105,10 +114,10 @@ cd "$(dirname "$0")"
 
 # ----------------------------------------------------------------- manifest
 
-STAGES="fmt build test cache serve shard registry lifecycle telemetry golden accuracy bench"
+STAGES="fmt build test cache serve shard registry backend lifecycle telemetry golden accuracy bench"
 # bench is opt-in: excluded from a default run, included by --bench /
 # --bench-baseline or an explicit --stage selection
-DEFAULT_STAGES="fmt build test cache serve shard registry lifecycle telemetry golden accuracy"
+DEFAULT_STAGES="fmt build test cache serve shard registry backend lifecycle telemetry golden accuracy"
 
 stage_desc() {
     case "$1" in
@@ -119,6 +128,7 @@ stage_desc() {
     serve) echo "serving gate: concurrent bit-identity + drain" ;;
     shard) echo "sharded gate: scatter-gather bit-identity + shard kill" ;;
     registry) echo "registry gate: shadow-proven swap + quota determinism" ;;
+    backend) echo "backend gate: 4-backend parity oracle at both tiers" ;;
     lifecycle) echo "lifecycle gate: mutate-equals-rebuild + TCP mutations" ;;
     telemetry) echo "telemetry gate: passivity + JSONL schema" ;;
     golden) echo "golden-file gate: bit-identical smoke metrics" ;;
@@ -165,6 +175,16 @@ run_registry() {
     KGAG_THREADS=1 KGAG_SCORE_DTYPE=f64 \
         cargo run -q --release --offline -p kgag-bench --bin registry_check
     KGAG_THREADS=4 cargo run -q --release --offline -p kgag-bench --bin registry_check
+}
+
+run_backend() {
+    # the suite pins ScoreTier::Exact on every oracle scorer, so the
+    # KGAG_SCORE_DTYPE pin per leg proves the env knob cannot leak into
+    # backend parity — and the f32 leg exercises resolve_for fallback
+    KGAG_THREADS=1 KGAG_SCORE_DTYPE=f64 \
+        cargo test -q --release --offline -p kgag --test backend_oracle
+    KGAG_THREADS=4 KGAG_SCORE_DTYPE=f32 \
+        cargo test -q --release --offline -p kgag --test backend_oracle
 }
 
 run_lifecycle() {

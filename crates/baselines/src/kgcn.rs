@@ -84,7 +84,7 @@ impl Kgcn {
         let kcfg = kgag::KgagConfig {
             dim: config.base.dim,
             layers: config.layers,
-            aggregator: config.aggregator,
+            backend: config.aggregator,
             seed: config.base.seed,
             ..kgag::KgagConfig::default()
         };

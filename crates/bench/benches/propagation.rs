@@ -23,7 +23,7 @@ fn fixture(
     let split = split_dataset(&ds, 1);
     let ckg = ds.collaborative_kg_from(&split.user_train);
     let mut store = ParamStore::new();
-    let cfg = KgagConfig { dim, layers, aggregator, ..Default::default() };
+    let cfg = KgagConfig { dim, layers, backend: aggregator, ..Default::default() };
     let params = PropagationParams::register_for_graph(
         &mut store,
         ckg.num_entities(),

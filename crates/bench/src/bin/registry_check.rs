@@ -54,7 +54,7 @@ fn fusing_config() -> RegistryConfig {
             workers: 2,
         },
         quota_rate: 0.0,
-        quota_burst: 0,
+        quota_burst: None,
         shadow_sample: 1,
     }
 }
@@ -253,7 +253,7 @@ fn main() {
     server_thread.join().unwrap();
 
     // 3. deterministic quota shedding, counters exact
-    let qcfg = RegistryConfig { quota_burst: 5, shadow_sample: 0, ..fusing_config() };
+    let qcfg = RegistryConfig { quota_burst: Some(5), shadow_sample: 0, ..fusing_config() };
     let qserver = Arc::new(RegistryServer::new(qcfg, factory(&ds)));
     let qhash = qserver.install(entry_from(&ds, &ckpt_a)).expect("install");
     for tenant in [91u32, 92] {

@@ -1,25 +1,33 @@
-//! Table IV — influence of the aggregation function.
+//! Table IV — influence of the propagation backend.
 //!
-//! GCN vs GraphSage representation-update aggregators on both
-//! MovieLens-style datasets. Paper shape: GCN wins on both (it models
-//! the interaction between `e` and `e_N`; GraphSage only concatenates).
+//! The paper's GCN vs GraphSage aggregator comparison on both
+//! MovieLens-style datasets (paper shape: GCN wins on both — it models
+//! the interaction between `e` and `e_N`; GraphSage only concatenates),
+//! extended with the two repo backends: KGNN-LS (label-smoothness
+//! regularised training over the collaborative KG) and the
+//! interaction-pattern member-mixing backend (DESIGN.md §17).
 
-use kgag::Aggregator;
+use kgag::Backend;
 use kgag_bench::{
     dataset_trio, kgag_config_for, prepare, run_kgag, scale_from_env, write_json, ResultRow,
 };
 
 fn main() {
     let scale = scale_from_env();
-    println!("== Table IV: aggregation function (scale {scale:?}) ==\n");
+    println!("== Table IV: propagation backend (scale {scale:?}) ==\n");
     let (rand, simi, _) = dataset_trio(scale);
     let mut rows = Vec::new();
     println!("{:<12}{:>10}{:>10}{:>12}{:>10}", "", "Rand rec@5", "hit@5", "Simi rec@5", "hit@5");
-    for (name, agg) in [("GCN", Aggregator::Gcn), ("GraphSage", Aggregator::GraphSage)] {
+    for (name, agg) in [
+        ("GCN", Backend::Gcn),
+        ("GraphSage", Backend::GraphSage),
+        ("KGNN-LS", Backend::KgnnLs),
+        ("Interaction", Backend::InteractionPattern),
+    ] {
         let mut line = format!("{name:<12}");
         for ds in [&rand, &simi] {
             let prep = prepare(ds);
-            let cfg = kgag::KgagConfig { aggregator: agg, ..kgag_config_for(ds) };
+            let cfg = kgag::KgagConfig { backend: agg, ..kgag_config_for(ds) };
             let s = run_kgag(ds, &prep, cfg);
             line.push_str(&format!("{:>10.4}{:>10.4}", s.recall, s.hit));
             rows.push(ResultRow::new(

@@ -52,10 +52,13 @@ impl Kgag {
     /// A [`BatchScorer`] configured from the environment:
     /// `KGAG_RF_CACHE=0` disables the receptive-field cache,
     /// `KGAG_EVAL_BATCH` overrides the instances-per-chunk default of
-    /// 256 and `KGAG_SCORE_DTYPE=f32` selects the fused inference tier.
+    /// 256 and `KGAG_SCORE_DTYPE=f32` selects the fused inference tier
+    /// (backends without fused kernels resolve back to the exact tier,
+    /// see [`ScoreTier::resolve_for`]).
     pub fn batch_scorer(&self) -> BatchScorer<'_> {
         let cache = std::env::var("KGAG_RF_CACHE").map(|v| v != "0").unwrap_or(true);
-        let scorer = self.batch_scorer_with(cache).with_tier(ScoreTier::from_env());
+        let tier = ScoreTier::from_env().resolve_for(self.config().backend);
+        let scorer = self.batch_scorer_with(cache).with_tier(tier);
         match std::env::var("KGAG_EVAL_BATCH").ok().and_then(|v| v.parse().ok()) {
             Some(n) if n > 0 => scorer.with_batch_instances(n),
             _ => scorer,

@@ -2,13 +2,60 @@
 
 use kgag_testkit::json::{Json, ToJson};
 
-/// Aggregation function of the representation-update step (Eq. 4–6).
+/// Propagation backend: the representation-update rule of §III-C plus
+/// any backend-specific training or aggregation hooks. The first two
+/// variants are the paper's aggregators (Eq. 4–6); the last two are
+/// related-work backends behind the same
+/// [`crate::backend::PropagationBackend`] seam.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum Aggregator {
+pub enum Backend {
     /// `σ(W(e + e_N) + b)` — Eq. 5. The paper's best (Table IV).
     Gcn,
     /// `σ(W[e ‖ e_N] + b)` — Eq. 6.
     GraphSage,
+    /// GCN updates plus KGNN-LS label-smoothness regularization over
+    /// the collaborative KG (weight [`KgagConfig::ls_weight`], train
+    /// time only — inference is bit-identical to [`Backend::Gcn`] at
+    /// equal weights).
+    KgnnLs,
+    /// GCN updates plus a member–member interaction-pattern pass over
+    /// the group roster, layered under the attention aggregator (the
+    /// 2021 GNN group-recommendation lineage).
+    InteractionPattern,
+}
+
+/// Pre-refactor name of [`Backend`], kept so existing call sites
+/// (baselines, benches, tests) read unchanged.
+pub type Aggregator = Backend;
+
+impl Backend {
+    /// The stable lowercase tag of this backend — the spelling used by
+    /// checkpoint tags, the CLI `--backend` flag and JSON reports.
+    pub fn tag(self) -> &'static str {
+        match self {
+            Backend::Gcn => "gcn",
+            Backend::GraphSage => "graphsage",
+            Backend::KgnnLs => "kgnn-ls",
+            Backend::InteractionPattern => "interaction",
+        }
+    }
+
+    /// Parse a [`Backend::tag`] spelling (case-sensitive).
+    pub fn from_tag(tag: &str) -> Option<Backend> {
+        match tag {
+            "gcn" => Some(Backend::Gcn),
+            "graphsage" => Some(Backend::GraphSage),
+            "kgnn-ls" => Some(Backend::KgnnLs),
+            "interaction" => Some(Backend::InteractionPattern),
+            _ => None,
+        }
+    }
+
+    /// Every backend, in declaration order — what ablation sweeps
+    /// iterate.
+    pub fn all() -> [Backend; 4] {
+        [Backend::Gcn, Backend::GraphSage, Backend::KgnnLs, Backend::InteractionPattern]
+    }
 }
 
 /// Pairwise group ranking loss (optimization block).
@@ -21,15 +68,9 @@ pub enum GroupLoss {
     Bpr,
 }
 
-impl ToJson for Aggregator {
+impl ToJson for Backend {
     fn to_json(&self) -> Json {
-        Json::Str(
-            match self {
-                Aggregator::Gcn => "Gcn",
-                Aggregator::GraphSage => "GraphSage",
-            }
-            .to_owned(),
-        )
+        Json::Str(self.tag().to_owned())
     }
 }
 
@@ -54,8 +95,14 @@ pub struct KgagConfig {
     pub layers: usize,
     /// Neighbors sampled per node `K`.
     pub neighbor_k: usize,
-    /// Representation-update aggregator (Table IV).
-    pub aggregator: Aggregator,
+    /// Propagation backend: the representation-update rule (Table IV
+    /// for the paper's two aggregators) plus backend-specific hooks.
+    pub backend: Backend,
+    /// Weight of the KGNN-LS label-smoothness regularizer added to the
+    /// training loss. Only read under [`Backend::KgnnLs`]; `0` disables
+    /// the term entirely (training is then bit-identical to
+    /// [`Backend::Gcn`]).
+    pub ls_weight: f32,
     /// Group ranking loss.
     pub group_loss: GroupLoss,
     /// Margin `M` of Eq. 16/17 (paper sweeps 0.2–0.6, Fig. 4).
@@ -112,7 +159,8 @@ impl Default for KgagConfig {
             dim: 16,
             layers: 2,
             neighbor_k: 4,
-            aggregator: Aggregator::Gcn,
+            backend: Backend::Gcn,
+            ls_weight: 0.1,
             group_loss: GroupLoss::Margin,
             margin: 0.4,
             beta: 0.7,
@@ -139,7 +187,8 @@ impl ToJson for KgagConfig {
             ("dim", self.dim.to_json()),
             ("layers", self.layers.to_json()),
             ("neighbor_k", self.neighbor_k.to_json()),
-            ("aggregator", self.aggregator.to_json()),
+            ("backend", self.backend.to_json()),
+            ("ls_weight", self.ls_weight.to_json()),
             ("group_loss", self.group_loss.to_json()),
             ("margin", self.margin.to_json()),
             ("beta", self.beta.to_json()),
@@ -185,7 +234,16 @@ impl KgagConfig {
         if self.learning_rate <= 0.0 {
             errs.push("learning rate must be positive".into());
         }
+        if !self.ls_weight.is_finite() || self.ls_weight < 0.0 {
+            errs.push(format!("ls_weight {} must be finite and ≥ 0", self.ls_weight));
+        }
         errs
+    }
+
+    /// Select a propagation backend (sweep/CLI convenience).
+    pub fn with_backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
     }
 
     /// The KGAG-KG ablation: no information propagation block.
@@ -235,6 +293,23 @@ mod tests {
         assert!(cfg.validate().is_empty());
         let cfg = KgagConfig { layers: 0, ..Default::default() };
         assert!(!cfg.validate().is_empty());
+    }
+
+    #[test]
+    fn backend_tags_round_trip() {
+        for b in Backend::all() {
+            assert_eq!(Backend::from_tag(b.tag()), Some(b), "{b:?}");
+        }
+        assert_eq!(Backend::from_tag("Gcn"), None, "tags are lowercase");
+        assert_eq!(Backend::from_tag(""), None);
+    }
+
+    #[test]
+    fn bad_ls_weight_is_flagged() {
+        for bad in [-0.5f32, f32::NAN, f32::INFINITY] {
+            let cfg = KgagConfig { ls_weight: bad, ..Default::default() };
+            assert!(!cfg.validate().is_empty(), "ls_weight {bad} must be rejected");
+        }
     }
 
     #[test]

@@ -112,7 +112,8 @@ impl Kgag {
     /// [`Kgag::batch_scorer`]).
     pub fn dynamic_scorer(&self) -> DynamicScorer<'_> {
         let cache = std::env::var("KGAG_RF_CACHE").map(|v| v != "0").unwrap_or(true);
-        let scorer = self.dynamic_scorer_with(cache).with_tier(ScoreTier::from_env());
+        let tier = ScoreTier::from_env().resolve_for(self.config().backend);
+        let scorer = self.dynamic_scorer_with(cache).with_tier(tier);
         match std::env::var("KGAG_EVAL_BATCH").ok().and_then(|v| v.parse().ok()) {
             Some(n) if n > 0 => scorer.with_batch_instances(n),
             _ => scorer,

@@ -29,7 +29,8 @@
 //! time, never on the scoring path), or [`crate::BatchScorer::with_tier`]
 //! explicitly.
 
-use crate::config::Aggregator;
+use crate::backend::FusedAggregation;
+use crate::config::Backend;
 use crate::trainer::{Kgag, SALT_ITEM, SALT_MEMBER};
 use kgag_kg::{ReceptiveField, RfCache};
 use kgag_tensor::infer::{self as kernels, Activation, BlockedTable, ConvertError};
@@ -72,6 +73,18 @@ impl ScoreTier {
             ScoreTier::FusedF32 => "f32",
         }
     }
+
+    /// The tier a scorer for `backend` actually runs: a fused-tier
+    /// request falls back to [`ScoreTier::Exact`] when the backend has
+    /// no fused kernels (env-driven construction must not panic on a
+    /// tier the backend cannot honour; explicit
+    /// [`crate::BatchScorer::try_with_tier`] requests stay typed).
+    pub fn resolve_for(self, backend: Backend) -> Self {
+        match self {
+            ScoreTier::FusedF32 if !backend.claims_fused_tier() => ScoreTier::Exact,
+            tier => tier,
+        }
+    }
 }
 
 /// One propagation layer's weights in fused form: GraphSage's
@@ -109,7 +122,9 @@ struct AttWeights {
 pub struct InferenceTables {
     dim: usize,
     layers: usize,
-    aggregator: Aggregator,
+    /// The backend's fused kernel plan (backends without one cannot
+    /// derive tables at all — see [`ConvertError::Unsupported`]).
+    fused: FusedAggregation,
     use_kg: bool,
     use_sp: bool,
     use_pi: bool,
@@ -155,14 +170,19 @@ impl InferenceTables {
         let store = model.store();
         let p = model.params();
         let d = cfg.dim;
+        let fused = cfg
+            .backend
+            .dispatch()
+            .fused_aggregation()
+            .ok_or(ConvertError::Unsupported(cfg.backend.tag()))?;
         let mut layer_w = Vec::with_capacity(cfg.layers);
         for h in 0..cfg.layers {
             let w = store.value(p.prop.layer_w[h]);
             let b = store.value(p.prop.layer_b[h]);
             let dense = kernels::sanitize_dense(w.rows(), d, w.data())?;
-            let (w_self, w_neigh) = match cfg.aggregator {
-                Aggregator::Gcn => (dense, None),
-                Aggregator::GraphSage => {
+            let (w_self, w_neigh) = match fused {
+                FusedAggregation::SumSelf => (dense, None),
+                FusedAggregation::SplitConcat => {
                     let (top, bottom) = dense.split_at(d * d);
                     (top.to_vec(), Some(bottom.to_vec()))
                 }
@@ -184,7 +204,7 @@ impl InferenceTables {
         Ok(InferenceTables {
             dim: d,
             layers: cfg.layers,
-            aggregator: cfg.aggregator,
+            fused,
             use_kg: cfg.use_kg,
             use_sp: cfg.use_sp,
             use_pi: cfg.use_pi,
@@ -212,7 +232,7 @@ impl InferenceTables {
         InferenceTables {
             dim: self.dim,
             layers: self.layers,
-            aggregator: self.aggregator,
+            fused: self.fused,
             use_kg: self.use_kg,
             use_sp: self.use_sp,
             use_pi: self.use_pi,
@@ -328,8 +348,8 @@ impl InferenceTables {
             for lvl in 0..(self.layers - h) {
                 kernels::group_weighted_sum(&level_weights[lvl], &reps[lvl + 1], d, k, &mut e_n);
                 let rows = reps[lvl].len() / d;
-                match (self.aggregator, &lw.w_neigh) {
-                    (Aggregator::Gcn, _) => {
+                match (self.fused, &lw.w_neigh) {
+                    (FusedAggregation::SumSelf, _) => {
                         kernels::add_into(&reps[lvl], &e_n, &mut sum);
                         kernels::matmul_bias_act(
                             &sum,
@@ -342,7 +362,7 @@ impl InferenceTables {
                             &mut updated,
                         );
                     }
-                    (Aggregator::GraphSage, Some(w_neigh)) => {
+                    (FusedAggregation::SplitConcat, Some(w_neigh)) => {
                         kernels::matmul2_bias_act(
                             &reps[lvl],
                             &e_n,
@@ -356,7 +376,9 @@ impl InferenceTables {
                             &mut updated,
                         );
                     }
-                    (Aggregator::GraphSage, None) => unreachable!("GraphSage stores split weights"),
+                    (FusedAggregation::SplitConcat, None) => {
+                        unreachable!("split-concat backends store split weights")
+                    }
                 }
                 std::mem::swap(&mut reps[lvl], &mut updated);
             }
@@ -588,5 +610,16 @@ mod tests {
         assert_eq!(ScoreTier::Exact.as_str(), "f64");
         assert_eq!(ScoreTier::FusedF32.as_str(), "f32");
         assert_eq!(ScoreTier::default(), ScoreTier::Exact);
+    }
+
+    #[test]
+    fn fused_requests_fall_back_for_unfused_backends() {
+        assert_eq!(ScoreTier::FusedF32.resolve_for(Backend::Gcn), ScoreTier::FusedF32);
+        assert_eq!(ScoreTier::FusedF32.resolve_for(Backend::GraphSage), ScoreTier::FusedF32);
+        assert_eq!(ScoreTier::FusedF32.resolve_for(Backend::KgnnLs), ScoreTier::FusedF32);
+        assert_eq!(ScoreTier::FusedF32.resolve_for(Backend::InteractionPattern), ScoreTier::Exact);
+        for b in Backend::all() {
+            assert_eq!(ScoreTier::Exact.resolve_for(b), ScoreTier::Exact, "{b:?}");
+        }
     }
 }

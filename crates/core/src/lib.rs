@@ -39,6 +39,7 @@
 //! ```
 
 pub mod attention;
+pub mod backend;
 pub mod batch;
 pub mod config;
 pub mod dynamic;
@@ -52,8 +53,9 @@ pub mod registry;
 pub mod shard;
 pub mod trainer;
 
+pub use backend::{FusedAggregation, PropagationBackend};
 pub use batch::BatchScorer;
-pub use config::{Aggregator, GroupLoss, KgagConfig};
+pub use config::{Aggregator, Backend, GroupLoss, KgagConfig};
 pub use dynamic::{ColdStartError, DynamicScorer};
 pub use explain::GroupExplanation;
 pub use infer::{InferenceTables, ScoreTier};

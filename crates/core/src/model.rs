@@ -1,6 +1,6 @@
 //! Model parameters and their registration.
 
-use crate::config::{Aggregator, KgagConfig};
+use crate::config::{Backend, KgagConfig};
 use kgag_kg::CollaborativeKg;
 use kgag_tensor::rng::derive_seed;
 use kgag_tensor::{init, ParamId, ParamStore, Tensor};
@@ -43,10 +43,7 @@ impl PropagationParams {
         let mut layer_w = Vec::with_capacity(config.layers);
         let mut layer_b = Vec::with_capacity(config.layers);
         for h in 0..config.layers {
-            let rows = match config.aggregator {
-                Aggregator::Gcn => d,
-                Aggregator::GraphSage => 2 * d,
-            };
+            let rows = config.backend.dispatch().layer_w_rows(d);
             layer_w.push(store.register(
                 &format!("layer_{h}_w"),
                 init::xavier_uniform(rows, d, seed(&format!("layer_{h}_w"))),
@@ -55,6 +52,16 @@ impl PropagationParams {
         }
         PropagationParams { entity_emb, relation_emb, layer_w, layer_b }
     }
+}
+
+/// Parameters of the interaction-pattern member–member mixing pass
+/// (registered only under [`Backend::InteractionPattern`]).
+#[derive(Clone, Debug)]
+pub struct InteractionParams {
+    /// Mixing weight over `[m ‖ peer_mean]`: `[2d, d]`.
+    pub w: ParamId,
+    /// Mixing bias: `[1, d]`.
+    pub b: ParamId,
 }
 
 /// Handles to every trainable tensor of a KGAG model.
@@ -70,6 +77,11 @@ pub struct ModelParams {
     pub att_b: ParamId,
     /// Peer-influence projection `v_c`: `[d, 1]`.
     pub att_v: ParamId,
+    /// Member–member mixing parameters; `Some` only under
+    /// [`Backend::InteractionPattern`]. Registered last so every other
+    /// backend's parameter layout (and therefore its checkpoints and
+    /// golden bits) is byte-for-byte unchanged by the seam.
+    pub interaction: Option<InteractionParams>,
 }
 
 impl ModelParams {
@@ -98,7 +110,12 @@ impl ModelParams {
         // exactly zero (uniform attention prior) and only departs from it
         // when the group loss pushes it to — the last-layer-zero trick.
         let att_v = store.register("att_v", Tensor::zeros(d, 1));
-        ModelParams { prop, att_w1, att_w2, att_b, att_v }
+        let interaction = (config.backend == Backend::InteractionPattern).then(|| {
+            let w = store.register("ip_w", init::xavier_uniform(2 * d, d, seed("ip_w")));
+            let b = store.register("ip_b", Tensor::zeros(1, d));
+            InteractionParams { w, b }
+        });
+        ModelParams { prop, att_w1, att_w2, att_b, att_v, interaction }
     }
 }
 
@@ -132,10 +149,29 @@ mod tests {
     #[test]
     fn graphsage_layers_are_wider() {
         let ckg = tiny_ckg();
-        let cfg = KgagConfig { dim: 8, aggregator: Aggregator::GraphSage, ..Default::default() };
+        let cfg = KgagConfig { dim: 8, backend: Backend::GraphSage, ..Default::default() };
         let mut store = ParamStore::new();
         let p = ModelParams::register(&mut store, &ckg, &cfg, 3);
         assert_eq!(store.shape(p.prop.layer_w[0]), (16, 8).into());
+    }
+
+    #[test]
+    fn interaction_params_only_for_that_backend() {
+        let ckg = tiny_ckg();
+        let cfg = KgagConfig { dim: 8, backend: Backend::InteractionPattern, ..Default::default() };
+        let mut store = ParamStore::new();
+        let p = ModelParams::register(&mut store, &ckg, &cfg, 3);
+        let ip = p.interaction.expect("interaction-pattern registers mixing params");
+        assert_eq!(store.shape(ip.w), (16, 8).into());
+        assert_eq!(store.shape(ip.b), (1, 8).into());
+        let mut plain = ParamStore::new();
+        let q = ModelParams::register(
+            &mut plain,
+            &ckg,
+            &KgagConfig { dim: 8, ..Default::default() },
+            3,
+        );
+        assert!(q.interaction.is_none(), "other backends keep the legacy layout");
     }
 
     #[test]

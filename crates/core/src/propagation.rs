@@ -21,7 +21,7 @@
 //! (DESIGN.md §9). Per-group aggregation batches therefore scale with
 //! `KGAG_THREADS` without this module holding any threading code.
 
-use crate::config::Aggregator;
+use crate::config::Backend;
 use crate::model::PropagationParams;
 use kgag_kg::ReceptiveField;
 use kgag_tensor::{NodeId, Tape};
@@ -36,11 +36,11 @@ use kgag_tensor::{NodeId, Tape};
 pub fn propagate(
     tape: &mut Tape<'_>,
     params: &PropagationParams,
-    aggregator: Aggregator,
+    backend: Backend,
     rf: &ReceptiveField,
     query: NodeId,
 ) -> NodeId {
-    propagate_with(tape, params, aggregator, rf, query, 1.0)
+    propagate_with(tape, params, backend, rf, query, 1.0)
 }
 
 /// [`propagate`] with an explicit residual weight: the result is
@@ -49,7 +49,7 @@ pub fn propagate(
 pub fn propagate_with(
     tape: &mut Tape<'_>,
     params: &PropagationParams,
-    aggregator: Aggregator,
+    backend: Backend,
     rf: &ReceptiveField,
     query: NodeId,
     residual_weight: f32,
@@ -86,7 +86,7 @@ pub fn propagate_with(
         let is_last = h + 1 == h_layers;
         for lvl in 0..(h_layers - h) {
             let e_n = tape.group_weighted_sum(level_weights[lvl], reps[lvl + 1], k);
-            reps[lvl] = aggregate(tape, params, aggregator, h, reps[lvl], e_n, is_last);
+            reps[lvl] = aggregate(tape, params, backend, h, reps[lvl], e_n, is_last);
         }
     }
     if residual_weight > 0.0 {
@@ -98,11 +98,13 @@ pub fn propagate_with(
 }
 
 /// One representation update `e' = f_aggregate(e, e_N)` with layer-`h`
-/// parameters.
+/// parameters. The backend-specific combine rule is dispatched through
+/// [`crate::backend::PropagationBackend::combine`]; the bias and the
+/// ReLU/tanh activation schedule are shared across backends.
 fn aggregate(
     tape: &mut Tape<'_>,
     params: &PropagationParams,
-    aggregator: Aggregator,
+    backend: Backend,
     layer: usize,
     e: NodeId,
     e_n: NodeId,
@@ -110,16 +112,7 @@ fn aggregate(
 ) -> NodeId {
     let w = tape.param(params.layer_w[layer]);
     let b = tape.param(params.layer_b[layer]);
-    let pre = match aggregator {
-        Aggregator::Gcn => {
-            let sum = tape.add(e, e_n);
-            tape.matmul(sum, w)
-        }
-        Aggregator::GraphSage => {
-            let cat = tape.concat_cols(e, e_n);
-            tape.matmul(cat, w)
-        }
-    };
+    let pre = backend.dispatch().combine(tape, w, e, e_n);
     let biased = tape.add_row(pre, b);
     if is_last {
         tape.tanh(biased)
@@ -138,9 +131,7 @@ mod tests {
     use kgag_kg::CollaborativeKg;
     use kgag_tensor::{ParamStore, Tensor};
 
-    fn fixture(
-        aggregator: Aggregator,
-    ) -> (CollaborativeKg, ParamStore, PropagationParams, KgagConfig) {
+    fn fixture(backend: Backend) -> (CollaborativeKg, ParamStore, PropagationParams, KgagConfig) {
         let mut s = TripleStore::with_capacity(6, 2);
         s.add_raw(0, 0, 4); // item 0 —genre— 4
         s.add_raw(1, 0, 4);
@@ -148,8 +139,7 @@ mod tests {
         s.add_raw(3, 1, 5);
         let items: Vec<EntityId> = (0..4).map(EntityId).collect();
         let ckg = CollaborativeKg::build(&s, &items, 3, &[(0, 0), (1, 1), (2, 2), (0, 2)]);
-        let config =
-            KgagConfig { dim: 6, layers: 2, neighbor_k: 3, aggregator, ..Default::default() };
+        let config = KgagConfig { dim: 6, layers: 2, neighbor_k: 3, backend, ..Default::default() };
         let mut store = ParamStore::new();
         let params = ModelParams::register(&mut store, &ckg, &config, 3);
         (ckg, store, params.prop, config)
@@ -157,17 +147,17 @@ mod tests {
 
     #[test]
     fn output_shape_matches_targets() {
-        let (ckg, store, params, config) = fixture(Aggregator::Gcn);
+        let (ckg, store, params, config) = fixture(Backend::Gcn);
         let sampler = NeighborSampler::new(config.neighbor_k, 1);
         let targets = [ckg.user_entity(0).0, ckg.user_entity(1).0, ckg.item_entity(2).0];
         let rf = sampler.receptive_field(ckg.graph(), &targets, config.layers, 0);
         let mut tape = Tape::new(&store);
         let q = tape.constant(Tensor::full(3, 6, 0.1));
-        let out = propagate(&mut tape, &params, config.aggregator, &rf, q);
+        let out = propagate(&mut tape, &params, config.backend, &rf, q);
         assert_eq!(tape.value(out).rows(), 3);
         assert_eq!(tape.value(out).cols(), 6);
         // without the residual, the tanh output is bounded
-        let bare = propagate_with(&mut tape, &params, config.aggregator, &rf, q, 0.0);
+        let bare = propagate_with(&mut tape, &params, config.backend, &rf, q, 0.0);
         assert!(tape.value(bare).data().iter().all(|x| x.abs() <= 1.0));
         // the residual variant differs from the bare one by exactly e0
         let diff: Vec<f32> = tape
@@ -187,24 +177,24 @@ mod tests {
 
     #[test]
     fn graphsage_also_runs() {
-        let (ckg, store, params, config) = fixture(Aggregator::GraphSage);
+        let (ckg, store, params, config) = fixture(Backend::GraphSage);
         let sampler = NeighborSampler::new(config.neighbor_k, 1);
         let rf = sampler.receptive_field(ckg.graph(), &[0, 1], config.layers, 0);
         let mut tape = Tape::new(&store);
         let q = tape.constant(Tensor::full(2, 6, -0.2));
-        let out = propagate(&mut tape, &params, config.aggregator, &rf, q);
+        let out = propagate(&mut tape, &params, config.backend, &rf, q);
         assert_eq!(tape.value(out).rows(), 2);
         assert!(!tape.value(out).has_non_finite());
     }
 
     #[test]
     fn gradients_flow_to_all_parameter_groups() {
-        let (ckg, store, params, config) = fixture(Aggregator::Gcn);
+        let (ckg, store, params, config) = fixture(Backend::Gcn);
         let sampler = NeighborSampler::new(config.neighbor_k, 2);
         let rf = sampler.receptive_field(ckg.graph(), &[0, 2], config.layers, 0);
         let mut tape = Tape::new(&store);
         let q = tape.constant(Tensor::full(2, 6, 0.3));
-        let out = propagate(&mut tape, &params, config.aggregator, &rf, q);
+        let out = propagate(&mut tape, &params, config.backend, &rf, q);
         let loss = {
             let sq = tape.mul(out, out);
             tape.mean_all(sq)
@@ -224,7 +214,7 @@ mod tests {
     fn different_queries_give_different_representations() {
         // query-dependence is the point of Eq. 2: the same entity must
         // read differently for different interaction objects
-        let (ckg, store, params, config) = fixture(Aggregator::Gcn);
+        let (ckg, store, params, config) = fixture(Backend::Gcn);
         let sampler = NeighborSampler::new(config.neighbor_k, 3);
         let rf = sampler.receptive_field(ckg.graph(), &[0], config.layers, 0);
         let run = |qval: f32| -> Tensor {
@@ -234,7 +224,7 @@ mod tests {
                 6,
                 (0..6).map(|i| qval * (i as f32 + 1.0)).collect(),
             ));
-            let out = propagate(&mut tape, &params, config.aggregator, &rf, q);
+            let out = propagate(&mut tape, &params, config.backend, &rf, q);
             tape.value(out).clone()
         };
         let a = run(0.5);
@@ -245,11 +235,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "depth")]
     fn depth_mismatch_panics() {
-        let (ckg, store, params, config) = fixture(Aggregator::Gcn);
+        let (ckg, store, params, config) = fixture(Backend::Gcn);
         let sampler = NeighborSampler::new(config.neighbor_k, 1);
         let rf = sampler.receptive_field(ckg.graph(), &[0], 1, 0); // depth 1, layers 2
         let mut tape = Tape::new(&store);
         let q = tape.constant(Tensor::zeros(1, 6));
-        propagate(&mut tape, &params, config.aggregator, &rf, q);
+        propagate(&mut tape, &params, config.backend, &rf, q);
     }
 }

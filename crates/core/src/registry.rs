@@ -154,7 +154,8 @@ impl RegistryModel {
     /// value.
     pub fn from_env(model: Kgag, hash: u64) -> Self {
         let cache = std::env::var("KGAG_RF_CACHE").map(|v| v != "0").unwrap_or(true);
-        let mut entry = Self::try_new(model, hash, cache, ScoreTier::from_env())
+        let tier = ScoreTier::from_env().resolve_for(model.config().backend);
+        let mut entry = Self::try_new(model, hash, cache, tier)
             .expect("checkpoint not convertible to the f32 tier");
         if let Some(n) = std::env::var("KGAG_EVAL_BATCH").ok().and_then(|v| v.parse().ok()) {
             if n > 0 {

@@ -226,6 +226,9 @@ pub struct RouterCore {
     att_w2: Tensor,
     att_b: Tensor,
     att_v: Tensor,
+    /// `(ip_w, ip_b)` of the interaction-pattern mixing pass — `Some`
+    /// only when the detached model's backend registers them.
+    interaction: Option<(Tensor, Tensor)>,
     /// `Some` scores on the fused f32 tier: a weights-only
     /// [`InferenceTables`] template whose embedding tables are swapped
     /// per chunk for compact gathered ones.
@@ -257,7 +260,8 @@ impl Kgag {
     /// `KGAG_SCORE_DTYPE=f32` selects the fused tier.
     pub fn router_core(&self) -> RouterCore {
         let memo = std::env::var("KGAG_RF_CACHE").map(|v| v != "0").unwrap_or(true);
-        let core = RouterCore::from_model(self, ScoreTier::from_env(), memo);
+        let tier = ScoreTier::from_env().resolve_for(self.config().backend);
+        let core = RouterCore::from_model(self, tier, memo);
         match std::env::var("KGAG_EVAL_BATCH").ok().and_then(|v| v.parse().ok()) {
             Some(n) if n > 0 => core.with_batch_instances(n),
             _ => core,
@@ -301,6 +305,10 @@ impl RouterCore {
             att_w2: store.value(p.att_w2).clone(),
             att_b: store.value(p.att_b).clone(),
             att_v: store.value(p.att_v).clone(),
+            interaction: p
+                .interaction
+                .as_ref()
+                .map(|ip| (store.value(ip.w).clone(), store.value(ip.b).clone())),
             tables,
             batch_instances: 256,
             memo: (memo && model.config().use_kg).then(|| Mutex::new(HashMap::new())),
@@ -577,6 +585,12 @@ impl RouterCore {
                     att_w2: store.register("att_w2", self.att_w2.clone()),
                     att_b: store.register("att_b", self.att_b.clone()),
                     att_v: store.register("att_v", self.att_v.clone()),
+                    interaction: self.interaction.as_ref().map(|(w, b)| {
+                        crate::model::InteractionParams {
+                            w: store.register("ip_w", w.clone()),
+                            b: store.register("ip_b", b.clone()),
+                        }
+                    }),
                 };
                 let mut tape = Tape::new(&store);
                 let fwd = forward_group_prepared(

@@ -26,6 +26,7 @@ use kgag_tensor::pool;
 use kgag_tensor::rng::{derive_seed, SplitMix64};
 use kgag_tensor::{NodeId, ParamStore, Tape, Tensor};
 use kgag_testkit::json::{Json, ToJson};
+use std::collections::HashSet;
 use std::time::Instant;
 
 /// Per-epoch training losses.
@@ -115,6 +116,9 @@ pub(crate) const SALT_ITEM: u64 = 0x17e3;
 pub(crate) const SALT_MEMBER: u64 = 0x3e2b;
 const SALT_USER: u64 = 0x5a11;
 const SALT_USER_ITEM: u64 = 0x77d9;
+/// KGNN-LS label-propagation fields draw on their own stream so turning
+/// the regularizer on never perturbs the representation fields above.
+const SALT_LS: u64 = 0x6c5d;
 
 /// A KGAG model bound to one dataset.
 pub struct Kgag {
@@ -232,7 +236,7 @@ impl Kgag {
         crate::propagation::propagate_with(
             tape,
             &self.params.prop,
-            self.config.aggregator,
+            self.config.backend,
             rf,
             query,
             if self.config.residual { self.config.propagation_weight } else { 0.0 },
@@ -446,6 +450,22 @@ impl Kgag {
         let group_neg = NegativeSampler::new(group_known, self.num_items);
         let user_neg = NegativeSampler::from_interactions(&split.user_train);
 
+        // KGNN-LS: known-positive set for the label-propagation masks,
+        // in CKG entity ids. Only consulted via `contains`, so the
+        // HashSet's iteration order never touches the bits.
+        let ls_enabled =
+            cfg.backend.dispatch().label_smoothness() && cfg.ls_weight > 0.0 && cfg.use_kg;
+        let ls_pos: HashSet<(u32, u32)> = if ls_enabled {
+            split
+                .user_train
+                .pairs()
+                .into_iter()
+                .map(|(u, v)| (self.ckg.user_entity(u).0, self.ckg.item_entity(v).0))
+                .collect()
+        } else {
+            HashSet::new()
+        };
+
         let mut group_pairs = split.group.train.clone();
         let user_pairs = split.user_train.pairs();
         assert!(!group_pairs.is_empty(), "no group training data");
@@ -527,7 +547,29 @@ impl Kgag {
                     let lu = user_log_loss(&mut tape, logits, Tensor::col_vector(&u_targets));
                     let lg_w = tape.scale(lg, cfg.beta);
                     let lu_w = tape.scale(lu, 1.0 - cfg.beta);
-                    let total = tape.add(lg_w, lu_w);
+                    let mut total = tape.add(lg_w, lu_w);
+                    if ls_enabled {
+                        // label propagation over the user instances'
+                        // target-item fields, on a dedicated salt stream
+                        let rf = self.sampler.receptive_field(
+                            self.ckg.graph(),
+                            &u_items,
+                            cfg.layers,
+                            salt ^ SALT_LS,
+                        );
+                        let labels = ls_level_labels(&ls_pos, &rf, &u_users, &u_items);
+                        let q_users = tape.gather(self.params.prop.entity_emb, &u_users);
+                        let ls = crate::backend::label_smoothness_loss(
+                            &mut tape,
+                            &self.params.prop,
+                            &rf,
+                            q_users,
+                            &labels,
+                            &u_targets,
+                        );
+                        let ls_w = tape.scale(ls, cfg.ls_weight);
+                        total = tape.add(total, ls_w);
+                    }
                     let grads = tape.backward(total);
                     (grads, tape.value(lg).item(), tape.value(lu).item())
                 };
@@ -694,17 +736,24 @@ impl Kgag {
         }
     }
 
-    /// Serialise the trained parameters to a checkpoint buffer.
+    /// Serialise the trained parameters to a checkpoint buffer. The
+    /// buffer carries the backend tag, so a restore into a model built
+    /// for a different backend fails typed instead of silently loading
+    /// parameters trained under another update rule.
     pub fn save_checkpoint(&self) -> Vec<u8> {
-        kgag_tensor::checkpoint::save(&self.store)
+        kgag_tensor::checkpoint::save_tagged(&self.store, self.config.backend.tag())
     }
 
     /// Restore parameters from a checkpoint produced by a model with the
     /// same configuration and dataset (names and shapes must match).
+    /// Tagged checkpoints must carry this model's backend tag
+    /// ([`kgag_tensor::checkpoint::CheckpointError::TagMismatch`]
+    /// otherwise); legacy untagged buffers load as before.
     pub fn load_checkpoint(
         &mut self,
         bytes: &[u8],
     ) -> Result<usize, kgag_tensor::checkpoint::CheckpointError> {
+        kgag_tensor::checkpoint::verify_tag(bytes, self.config.backend.tag())?;
         kgag_tensor::checkpoint::load(&mut self.store, bytes)
     }
 
@@ -751,7 +800,7 @@ pub(crate) fn forward_group_prepared(
         Some(rf) => crate::propagation::propagate_with(
             tape,
             &params.prop,
-            config.aggregator,
+            config.backend,
             rf,
             q_item,
             residual,
@@ -763,13 +812,17 @@ pub(crate) fn forward_group_prepared(
         Some(rf) => crate::propagation::propagate_with(
             tape,
             &params.prop,
-            config.aggregator,
+            config.backend,
             rf,
             q_members,
             residual,
         ),
         None => tape.gather(params.prop.entity_emb, flat_members),
     };
+    // backend hook: the interaction-pattern backend mixes each member
+    // with its roster peers here; every other backend is a no-op that
+    // emits zero tape ops (bit-identity preserved)
+    let member_rep = config.backend.dispatch().member_interaction(tape, params, member_rep, l);
     // the peer-influence weights are tied to the trained group size
     // (`att_w2` maps the (L−1)·d peer concatenation), so off-nominal
     // groups — cold-start creations, lifecycle-mutated memberships —
@@ -785,6 +838,45 @@ pub(crate) fn forward_group_prepared(
     let attention = group_attention(tape, params, config, member_rep, item_rep, l);
     let score = tape.row_dot(attention.group_rep, item_rep);
     GroupForward { attention, score }
+}
+
+/// Known-positive label masks for the KGNN-LS regularizer, one per
+/// receptive-field level below the targets.
+///
+/// `rf` is the depth-`H` field of `target_ents` (instance-major:
+/// `rf.entities[lvl][i·K^lvl .. (i+1)·K^lvl]` belong to instance `i`);
+/// entry `j` of level `lvl` is 1 iff that entity is an item the
+/// instance's user interacted with in training — *except* the
+/// instance's own target item, which is held out (its label is what the
+/// propagation must predict; leaving it in would let the self-loop
+/// leak the answer).
+fn ls_level_labels(
+    pos: &HashSet<(u32, u32)>,
+    rf: &kgag_kg::ReceptiveField,
+    user_ents: &[u32],
+    target_ents: &[u32],
+) -> Vec<Vec<f32>> {
+    debug_assert_eq!(rf.entities[0].len(), user_ents.len());
+    debug_assert_eq!(rf.entities[0].len(), target_ents.len());
+    let k = rf.k;
+    (1..=rf.depth)
+        .map(|lvl| {
+            let span = k.pow(lvl as u32);
+            rf.entities[lvl]
+                .iter()
+                .enumerate()
+                .map(|(j, &e)| {
+                    let i = j / span;
+                    let known = pos.contains(&(user_ents[i], e)) && e != target_ents[i];
+                    if known {
+                        1.0
+                    } else {
+                        0.0
+                    }
+                })
+                .collect()
+        })
+        .collect()
 }
 
 impl GroupScorer for Kgag {

@@ -150,8 +150,13 @@ fn propagation_is_shape_stable() {
             let (seed, layers, k, sage) = (*seed, *layers, *k, *sage);
             let ckg = random_ckg(8, 3, 6, edges);
             let aggregator = if sage { Aggregator::GraphSage } else { Aggregator::Gcn };
-            let config =
-                KgagConfig { dim: 4, layers, neighbor_k: k, aggregator, ..Default::default() };
+            let config = KgagConfig {
+                dim: 4,
+                layers,
+                neighbor_k: k,
+                backend: aggregator,
+                ..Default::default()
+            };
             let mut store = ParamStore::new();
             let params = PropagationParams::register_for_graph(
                 &mut store,

@@ -111,7 +111,7 @@ fn f32_scores_track_exact_tier_gcn() {
 fn f32_scores_track_exact_tier_graphsage() {
     let (ds, model) = smoke_model(KgagConfig {
         epochs: 3,
-        aggregator: Aggregator::GraphSage,
+        backend: Aggregator::GraphSage,
         residual: false,
         ..Default::default()
     });

@@ -30,7 +30,7 @@ pub mod registry;
 pub mod span;
 
 pub use event::{Event, Value};
-pub use registry::{counter, gauge, histogram, Counter, Gauge, Histogram};
+pub use registry::{counter, gauge, histogram, Counter, Gauge, Histogram, HistogramSnapshot};
 pub use span::{span, Span};
 
 use std::io::Write;

@@ -5,14 +5,18 @@
 //! it on first use. Hot call sites cache the handle in a `OnceLock` so
 //! the intern lock is taken once per process, not per event.
 //!
-//! All metric state is atomic: recording never blocks and is safe from
-//! pool worker threads. Values accumulate for the life of the process;
-//! [`snapshot`] renders the current totals as one [`Event`] per metric
-//! (in registration order, so streams diff cleanly), which is what
-//! [`crate::flush`] appends to the JSONL sink.
+//! All metric state is atomic and safe from pool worker threads.
+//! Counters and gauges are plain lock-free atomics; histograms guard
+//! their multi-word state with a seqlock (recorders serialize among
+//! themselves with a brief spin, readers retry instead of blocking) so
+//! a [`HistogramSnapshot`] is always one coherent point in time —
+//! `sum`/`count`/`min`/`max` never mix observations. Values accumulate
+//! for the life of the process; [`snapshot`] renders the current totals
+//! as one [`Event`] per metric (in registration order, so streams diff
+//! cleanly), which is what [`crate::flush`] appends to the JSONL sink.
 
 use crate::event::Event;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{fence, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
 /// A monotonically increasing event count.
@@ -71,9 +75,20 @@ impl Gauge {
 /// covering everything from ~9 minutes (in nanoseconds) up.
 pub const HIST_BUCKETS: usize = 40;
 
-/// A lock-free log2-bucketed histogram (nanosecond durations, sizes).
+/// A log2-bucketed histogram (nanosecond durations, sizes).
+///
+/// Recording and reading are coordinated by a seqlock (`seq` is odd
+/// while a recorder is mid-update): recorders serialize among
+/// themselves with a short CAS spin — never an OS block — and readers
+/// retry until they observe a quiescent, unchanged sequence. Every
+/// accessor goes through [`Histogram::snap`], so derived values like
+/// [`mean`](Histogram::mean) and the JSONL emitter's
+/// `sum`/`count`/`min`/`max` row always come from one coherent state,
+/// not a torn mix of loads interleaved with concurrent `record`s.
 #[derive(Debug)]
 pub struct Histogram {
+    /// Seqlock generation: even = quiescent, odd = a write in flight.
+    seq: AtomicU64,
     buckets: [AtomicU64; HIST_BUCKETS],
     count: AtomicU64,
     sum: AtomicU64,
@@ -84,6 +99,7 @@ pub struct Histogram {
 impl Default for Histogram {
     fn default() -> Self {
         Histogram {
+            seq: AtomicU64::new(0),
             buckets: std::array::from_fn(|_| AtomicU64::new(0)),
             count: AtomicU64::new(0),
             sum: AtomicU64::new(0),
@@ -93,53 +109,39 @@ impl Default for Histogram {
     }
 }
 
-impl Histogram {
-    /// Record one observation.
-    pub fn record(&self, v: u64) {
-        let idx = if v == 0 { 0 } else { (64 - v.leading_zeros() as usize).min(HIST_BUCKETS - 1) };
-        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
-        self.count.fetch_add(1, Ordering::Relaxed);
-        self.sum.fetch_add(v, Ordering::Relaxed);
-        self.min.fetch_min(v, Ordering::Relaxed);
-        self.max.fetch_max(v, Ordering::Relaxed);
-    }
-
-    /// Observations recorded so far.
-    pub fn count(&self) -> u64 {
-        self.count.load(Ordering::Relaxed)
-    }
-
+/// One coherent point-in-time copy of a [`Histogram`]'s state. All
+/// fields were read under the same seqlock generation, so invariants
+/// across them hold: `sum` is exactly the sum of the `count`
+/// observations counted, and the buckets total `count`.
+#[derive(Clone, Copy, Debug)]
+pub struct HistogramSnapshot {
+    /// Observations recorded.
+    pub count: u64,
     /// Sum of all observations.
-    pub fn sum(&self) -> u64 {
-        self.sum.load(Ordering::Relaxed)
-    }
+    pub sum: u64,
+    min: u64,
+    max: u64,
+    buckets: [u64; HIST_BUCKETS],
+}
 
-    /// Smallest observation recorded so far, `None` when empty.
+impl HistogramSnapshot {
+    /// Smallest observation, `None` when empty.
     pub fn min(&self) -> Option<u64> {
-        if self.count() == 0 {
-            None
-        } else {
-            Some(self.min.load(Ordering::Relaxed))
-        }
+        (self.count > 0).then_some(self.min)
     }
 
-    /// Largest observation recorded so far, `None` when empty.
+    /// Largest observation, `None` when empty.
     pub fn max(&self) -> Option<u64> {
-        if self.count() == 0 {
-            None
-        } else {
-            Some(self.max.load(Ordering::Relaxed))
-        }
+        (self.count > 0).then_some(self.max)
     }
 
     /// Mean of all observations (0 when empty). Exact — computed from
-    /// the atomic sum/count, not the log2 buckets.
+    /// the sum/count pair, not the log2 buckets.
     pub fn mean(&self) -> f64 {
-        let count = self.count();
-        if count == 0 {
+        if self.count == 0 {
             0.0
         } else {
-            self.sum() as f64 / count as f64
+            self.sum as f64 / self.count as f64
         }
     }
 
@@ -147,19 +149,98 @@ impl Histogram {
     /// empty). Log2 buckets make this an order-of-magnitude estimate,
     /// which is all the overhead dashboards need.
     pub fn quantile_upper(&self, q: f64) -> u64 {
-        let total = self.count();
-        if total == 0 {
+        if self.count == 0 {
             return 0;
         }
-        let target = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
         let mut seen = 0u64;
-        for (idx, b) in self.buckets.iter().enumerate() {
-            seen += b.load(Ordering::Relaxed);
+        for (idx, &b) in self.buckets.iter().enumerate() {
+            seen += b;
             if seen >= target {
                 return bucket_upper(idx);
             }
         }
         bucket_upper(HIST_BUCKETS - 1)
+    }
+}
+
+impl Histogram {
+    /// Record one observation.
+    pub fn record(&self, v: u64) {
+        let idx = if v == 0 { 0 } else { (64 - v.leading_zeros() as usize).min(HIST_BUCKETS - 1) };
+        // Seqlock writer: claim the generation (even -> odd). Recorders
+        // spin against each other here; the critical section below is a
+        // handful of relaxed stores, so contention is brief and there
+        // is no OS-level blocking on the hot path.
+        let mut s = self.seq.load(Ordering::Relaxed) & !1;
+        while let Err(cur) =
+            self.seq.compare_exchange_weak(s, s + 1, Ordering::Acquire, Ordering::Relaxed)
+        {
+            s = cur & !1;
+            std::hint::spin_loop();
+        }
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+        self.seq.store(s + 2, Ordering::Release);
+    }
+
+    /// A coherent snapshot of the whole histogram — the seqlock reader.
+    /// Retries while a `record` is in flight or raced the reads; never
+    /// blocks recorders.
+    pub fn snap(&self) -> HistogramSnapshot {
+        loop {
+            let s1 = self.seq.load(Ordering::Acquire);
+            if s1 & 1 == 1 {
+                std::hint::spin_loop();
+                continue;
+            }
+            let snapshot = HistogramSnapshot {
+                count: self.count.load(Ordering::Relaxed),
+                sum: self.sum.load(Ordering::Relaxed),
+                min: self.min.load(Ordering::Relaxed),
+                max: self.max.load(Ordering::Relaxed),
+                buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+            };
+            fence(Ordering::Acquire);
+            if self.seq.load(Ordering::Relaxed) == s1 {
+                return snapshot;
+            }
+        }
+    }
+
+    /// Observations recorded so far.
+    pub fn count(&self) -> u64 {
+        self.snap().count
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> u64 {
+        self.snap().sum
+    }
+
+    /// Smallest observation recorded so far, `None` when empty.
+    pub fn min(&self) -> Option<u64> {
+        self.snap().min()
+    }
+
+    /// Largest observation recorded so far, `None` when empty.
+    pub fn max(&self) -> Option<u64> {
+        self.snap().max()
+    }
+
+    /// Mean of all observations (0 when empty), from one coherent
+    /// snapshot.
+    pub fn mean(&self) -> f64 {
+        self.snap().mean()
+    }
+
+    /// Upper bound of the bucket containing the `q`-quantile (0 when
+    /// empty), from one coherent snapshot.
+    pub fn quantile_upper(&self, q: f64) -> u64 {
+        self.snap().quantile_upper(q)
     }
 }
 
@@ -224,16 +305,19 @@ pub fn snapshot() -> Vec<Event> {
         out.push(Event::new("gauge", name.clone()).f64("value", g.get()));
     }
     for (name, h) in reg.histograms.lock().unwrap().iter() {
-        let count = h.count();
+        // One coherent snapshot per histogram: every field of the
+        // emitted record describes the same point in time even while
+        // recorders are running.
+        let snap = h.snap();
         out.push(
             Event::new("hist", name.clone())
-                .u64("count", count)
-                .u64("sum", h.sum())
-                .u64("min", h.min().unwrap_or(0))
-                .u64("max", h.max().unwrap_or(0))
-                .u64("p50", h.quantile_upper(0.50))
-                .u64("p90", h.quantile_upper(0.90))
-                .u64("p99", h.quantile_upper(0.99)),
+                .u64("count", snap.count)
+                .u64("sum", snap.sum)
+                .u64("min", snap.min().unwrap_or(0))
+                .u64("max", snap.max().unwrap_or(0))
+                .u64("p50", snap.quantile_upper(0.50))
+                .u64("p90", snap.quantile_upper(0.90))
+                .u64("p99", snap.quantile_upper(0.99)),
         );
     }
     out
@@ -295,11 +379,52 @@ mod tests {
             h.record(v);
         }
         assert_eq!(h.count(), 7);
-        assert_eq!(h.min.load(Ordering::Relaxed), 0);
-        assert_eq!(h.max.load(Ordering::Relaxed), u64::MAX);
+        assert_eq!(h.min(), Some(0));
+        assert_eq!(h.max(), Some(u64::MAX));
         // p50 of 7 obs = 4th smallest (3) -> bucket [2,4) upper bound 3
         assert_eq!(h.quantile_upper(0.5), 3);
         assert!(h.quantile_upper(0.99) >= 1_000_000);
+    }
+
+    #[test]
+    fn histogram_snapshots_are_coherent_under_concurrent_recording() {
+        // Every recorder writes the constant 10, so any coherent state
+        // satisfies sum == 10 * count and the buckets total count. The
+        // old per-field relaxed loads could interleave with a record()
+        // between reading count and sum and break both invariants.
+        let h = Histogram::default();
+        let done = std::sync::atomic::AtomicBool::new(false);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..5_000 {
+                        h.record(10);
+                    }
+                });
+            }
+            for _ in 0..2 {
+                s.spawn(|| {
+                    while !done.load(Ordering::Relaxed) {
+                        let snap = h.snap();
+                        assert_eq!(snap.sum, 10 * snap.count, "snapshot tore sum against count");
+                        assert_eq!(snap.min().unwrap_or(10), 10);
+                        assert_eq!(snap.max().unwrap_or(10), 10);
+                        assert_eq!(
+                            snap.buckets.iter().sum::<u64>(),
+                            snap.count,
+                            "snapshot tore buckets against count"
+                        );
+                    }
+                });
+            }
+            // give the readers a window that overlaps the recorders,
+            // then flag them down so the scope can join everything
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            done.store(true, Ordering::Relaxed);
+        });
+        let snap = h.snap();
+        assert_eq!(snap.count, 4 * 5_000);
+        assert_eq!(snap.sum, 10 * snap.count);
     }
 
     #[test]

@@ -14,10 +14,12 @@
 //!   machine synchronously on the connection thread, like lifecycle
 //!   mutations; v2 un-tenanted opcodes answered
 //!   [`ServeError::Unsupported`].
-//! * [`Governor`] — per-tenant token buckets. `burst == 0` disables
-//!   admission control; `rate == 0` never refills, so a bucket admits
-//!   exactly `burst` requests — the deterministic configuration the
-//!   quota tests and the `registry_check` CI stage pin.
+//! * [`Governor`] — per-tenant token buckets. Admission control is off
+//!   only when no capacity is configured ([`Governor::unlimited`],
+//!   `quota_burst: None`); a configured `burst == 0` is a closed valve
+//!   that sheds everything. `rate == 0` never refills, so a bucket
+//!   admits exactly `burst` requests — the deterministic configuration
+//!   the quota tests and the `registry_check` CI stage pin.
 //!
 //! Zero-downtime by construction: scoring pins its entry via
 //! [`kgag::ModelRegistry::resolve`] (an `Arc` clone) *and* its batcher
@@ -47,7 +49,7 @@ use std::collections::BTreeMap;
 use std::net::{SocketAddr, TcpListener};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::{Duration, Instant};
+use std::time::Instant;
 
 /// Builds a [`RegistryModel`] from raw checkpoint bytes and their
 /// content hash — the seam between the transport (which only moves
@@ -67,9 +69,11 @@ pub struct RegistryConfig {
     /// refills (each bucket is spent once), which is what deterministic
     /// tests pin.
     pub quota_rate: f64,
-    /// Token-bucket capacity per tenant; `0` disables admission control
-    /// entirely (every request admitted).
-    pub quota_burst: u64,
+    /// Token-bucket capacity per tenant. `None` disables admission
+    /// control entirely (every request admitted); `Some(0)` is a closed
+    /// valve that sheds *everything* — a real capacity of zero, not a
+    /// disable switch.
+    pub quota_burst: Option<u64>,
     /// Mirror every Nth admitted request of a shadowing tenant onto the
     /// staged candidate; `1` shadows everything, `0` never samples
     /// (candidates then only prove themselves via `min_clean == 0`).
@@ -81,7 +85,7 @@ impl Default for RegistryConfig {
         RegistryConfig {
             serve: ServeConfig::default(),
             quota_rate: 0.0,
-            quota_burst: 0,
+            quota_burst: None,
             shadow_sample: 1,
         }
     }
@@ -89,9 +93,10 @@ impl Default for RegistryConfig {
 
 impl RegistryConfig {
     /// Read the config from the environment, falling back to defaults:
-    /// `KGAG_QUOTA_RATE` (tokens/sec, f64), `KGAG_QUOTA_BURST`,
-    /// `KGAG_SHADOW_SAMPLE`, plus the batcher's own `KGAG_SERVE_*`
-    /// knobs. Unparseable values are ignored.
+    /// `KGAG_QUOTA_RATE` (tokens/sec, f64), `KGAG_QUOTA_BURST` (unset
+    /// = no admission control; any set value, including `0`, is a real
+    /// capacity), `KGAG_SHADOW_SAMPLE`, plus the batcher's own
+    /// `KGAG_SERVE_*` knobs. Unparseable values are ignored.
     pub fn from_env() -> Self {
         let d = RegistryConfig::default();
         RegistryConfig {
@@ -101,11 +106,10 @@ impl RegistryConfig {
                 .and_then(|v| v.trim().parse::<f64>().ok())
                 .filter(|r| r.is_finite() && *r >= 0.0)
                 .unwrap_or(d.quota_rate),
-            quota_burst: parse_or(
-                std::env::var("KGAG_QUOTA_BURST").ok().as_deref(),
-                d.quota_burst,
-                0,
-            ),
+            quota_burst: std::env::var("KGAG_QUOTA_BURST")
+                .ok()
+                .and_then(|v| v.trim().parse::<u64>().ok())
+                .or(d.quota_burst),
             shadow_sample: parse_or(
                 std::env::var("KGAG_SHADOW_SAMPLE").ok().as_deref(),
                 d.shadow_sample,
@@ -123,33 +127,47 @@ struct Bucket {
 /// Per-tenant token-bucket admission control. Buckets start full
 /// (`burst` tokens), spend one token per admitted request, and refill
 /// continuously at `rate` tokens/sec up to `burst`.
+///
+/// Disabling admission control is an explicit mode
+/// ([`Governor::unlimited`]), not a magic capacity value: a limiting
+/// governor with `burst == 0` has an always-empty bucket and sheds
+/// every request deterministically.
 pub struct Governor {
     rate: f64,
-    burst: f64,
+    /// `None` = unlimited (admit everything); `Some(b)` = real capacity,
+    /// including `Some(0.0)` (shed everything).
+    burst: Option<f64>,
     buckets: Mutex<BTreeMap<u32, Bucket>>,
 }
 
 impl Governor {
     /// A governor admitting `burst` requests per tenant up front and
-    /// `rate` per second steady-state. `burst == 0` disables admission
+    /// `rate` per second steady-state. Always limits — `burst == 0`
+    /// admits nothing; use [`Governor::unlimited`] to disable admission
     /// control.
     pub fn new(rate: f64, burst: u64) -> Governor {
-        Governor { rate, burst: burst as f64, buckets: Mutex::new(BTreeMap::new()) }
+        Governor { rate, burst: Some(burst as f64), buckets: Mutex::new(BTreeMap::new()) }
+    }
+
+    /// A governor with admission control disabled: every request from
+    /// every tenant is admitted, no bucket state is kept.
+    pub fn unlimited() -> Governor {
+        Governor { rate: 0.0, burst: None, buckets: Mutex::new(BTreeMap::new()) }
     }
 
     /// Spend one token from the tenant's bucket. `false` means the
     /// request must be shed ([`ServeError::Quota`]).
     pub fn admit(&self, tenant: u32) -> bool {
-        if self.burst == 0.0 {
-            return true;
-        }
+        let burst = match self.burst {
+            None => return true,
+            Some(b) => b,
+        };
         let now = Instant::now();
         let mut buckets = self.buckets.lock().unwrap();
-        let bucket =
-            buckets.entry(tenant).or_insert_with(|| Bucket { tokens: self.burst, last: now });
+        let bucket = buckets.entry(tenant).or_insert_with(|| Bucket { tokens: burst, last: now });
         if self.rate > 0.0 {
             let dt = now.saturating_duration_since(bucket.last).as_secs_f64();
-            bucket.tokens = (bucket.tokens + dt * self.rate).min(self.burst);
+            bucket.tokens = (bucket.tokens + dt * self.rate).min(burst);
         }
         bucket.last = now;
         if bucket.tokens >= 1.0 {
@@ -238,7 +256,10 @@ impl RegistryServer {
             registry: ModelRegistry::new(),
             factory,
             batchers: Mutex::new(BTreeMap::new()),
-            governor: Governor::new(cfg.quota_rate, cfg.quota_burst),
+            governor: match cfg.quota_burst {
+                Some(burst) => Governor::new(cfg.quota_rate, burst),
+                None => Governor::unlimited(),
+            },
             cfg,
             shadow_tick: AtomicU64::new(0),
             metrics: Metrics::new(),
@@ -321,8 +342,7 @@ impl RegistryServer {
             Some(h) => h,
             None => return Err(ServeError::Rejected), // entry retired mid-resolve
         };
-        let deadline =
-            (req.deadline_us > 0).then(|| Instant::now() + Duration::from_micros(req.deadline_us));
+        let deadline = crate::server::wire_deadline(req.deadline_us);
         let result = match handle.submit(req.group, req.items.clone(), deadline) {
             Ok(pending) => pending.wait(),
             Err(e) => Err(e),
@@ -455,12 +475,26 @@ pub fn serve_tcp_registry(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::time::Duration;
 
     #[test]
     fn governor_disabled_admits_everything() {
-        let g = Governor::new(0.0, 0);
+        let g = Governor::unlimited();
         for _ in 0..1000 {
             assert!(g.admit(7));
+        }
+    }
+
+    #[test]
+    fn governor_zero_burst_sheds_everything() {
+        // A configured capacity of zero is a closed valve, not the old
+        // "0 disables admission control" footgun: even with a generous
+        // refill rate the bucket can never reach one token.
+        let g = Governor::new(1000.0, 0);
+        for tenant in [0u32, 7] {
+            for _ in 0..100 {
+                assert!(!g.admit(tenant), "zero-burst governor must shed everything");
+            }
         }
     }
 
@@ -497,7 +531,7 @@ mod tests {
     #[test]
     fn registry_config_defaults() {
         let d = RegistryConfig::default();
-        assert_eq!(d.quota_burst, 0, "admission control off by default");
+        assert_eq!(d.quota_burst, None, "admission control off by default");
         assert_eq!(d.shadow_sample, 1, "shadow everything by default");
         assert_eq!(d.quota_rate, 0.0);
     }

@@ -273,6 +273,18 @@ impl Dispatch for BatcherDispatch<'_> {
     }
 }
 
+/// Turn the wire's µs latency budget into a batcher deadline. Zero
+/// means "no deadline", and a budget so large that `now + budget`
+/// overflows `Instant` saturates to no deadline too — the field is
+/// untrusted client input, and `Instant + Duration` panics on overflow,
+/// so a hostile `deadline_us = u64::MAX` must not take the connection
+/// thread down.
+pub(crate) fn wire_deadline(deadline_us: u64) -> Option<Instant> {
+    (deadline_us > 0)
+        .then(|| Instant::now().checked_add(Duration::from_micros(deadline_us)))
+        .flatten()
+}
+
 /// Submit one score request to the batcher and wait. With a lifecycle
 /// backend, group and item ids are bounds-checked first: the dynamic
 /// scorer's batch path is infallible by contract, so out-of-range ids
@@ -290,9 +302,7 @@ fn score_request(
             return Err(ServeError::Invalid);
         }
     }
-    let deadline =
-        (req.deadline_us > 0).then(|| Instant::now() + Duration::from_micros(req.deadline_us));
-    match handle.submit(req.group, req.items.clone(), deadline) {
+    match handle.submit(req.group, req.items.clone(), wire_deadline(req.deadline_us)) {
         Ok(pending) => pending.wait(),
         Err(e) => Err(e),
     }

@@ -302,7 +302,8 @@ fn version_skew_is_typed_unsupported_in_both_directions() {
 #[test]
 fn quota_sheds_deterministically_and_counters_match() {
     let fx = fixture();
-    let cfg = RegistryConfig { quota_rate: 0.0, quota_burst: 5, shadow_sample: 0, ..fast_config() };
+    let cfg =
+        RegistryConfig { quota_rate: 0.0, quota_burst: Some(5), shadow_sample: 0, ..fast_config() };
     let server = Arc::new(RegistryServer::new(cfg, factory()));
     let hash = server.install(entry_from(&fx.ckpt_b)).unwrap();
     server.registry().bind(42, hash).unwrap();
@@ -325,6 +326,31 @@ fn quota_sheds_deterministically_and_counters_match() {
         let accepted = kgag_obs::counter(&format!("registry.tenant{tenant}.accepted")).get();
         let rejected = kgag_obs::counter(&format!("registry.tenant{tenant}.quota_rejected")).get();
         assert_eq!((accepted, rejected), (5, 3), "tenant {tenant} counters disagree");
+    }
+}
+
+/// The tenant-tagged score path has the same untrusted `deadline_us`
+/// field as v2: an overflowing value must saturate to "no deadline"
+/// and score bit-identically, never panic the connection thread.
+#[test]
+fn tenant_scoring_survives_overflowing_deadline() {
+    let fx = fixture();
+    let cases = cases();
+    let want = offline_bits(&fx.ckpt_a, &cases);
+    let server = Arc::new(RegistryServer::new(fast_config(), factory()));
+    let hash = server.install(entry_from(&fx.ckpt_a)).unwrap();
+    server.registry().bind(77, hash).unwrap();
+    let proc = RegProc::spawn(&server);
+    let mut client = ServeClient::connect(proc.addr).unwrap();
+    // bound the test if a regression kills the connection thread
+    client.set_timeout(Some(Duration::from_secs(10))).unwrap();
+    let (g, items) = &cases[0];
+    for deadline_us in [u64::MAX, 1 << 62] {
+        let got = client
+            .score_tenant_with_deadline_us(77, *g, items, deadline_us)
+            .expect("connection must survive a hostile deadline")
+            .expect("an effectively-infinite deadline must score");
+        assert_eq!(bits(&got), want[0], "deadline_us = {deadline_us}");
     }
 }
 

@@ -266,6 +266,50 @@ fn expired_requests_are_dropped_unscored() {
     });
 }
 
+/// A hostile wire deadline — `deadline_us` large enough that
+/// `Instant::now() + Duration::from_micros(...)` would overflow and
+/// panic the connection thread — must saturate to "no deadline" and
+/// score normally. Regression for the unchecked `Instant + Duration`
+/// on the untrusted `deadline_us` field.
+#[test]
+fn overflowing_wire_deadline_saturates_and_scores() {
+    let scorer = StubScorer::new();
+    let config = ServeConfig {
+        batch_window: Duration::from_micros(200),
+        max_batch: 16,
+        queue_capacity: 1024,
+        workers: 1,
+    };
+    let token = ShutdownToken::new();
+    let (addr_tx, addr_rx) = mpsc::channel();
+    std::thread::scope(|s| {
+        let server = {
+            let token = token.clone();
+            let (scorer, config) = (&scorer, &config);
+            s.spawn(move || {
+                serve_tcp(scorer, config, "127.0.0.1:0", &token, |a| addr_tx.send(a).unwrap())
+            })
+        };
+        let addr = addr_rx.recv().expect("server ready");
+        let mut client = ServeClient::connect(addr).unwrap();
+        // bound the test if a regression kills the connection thread
+        client.set_timeout(Some(Duration::from_secs(10))).unwrap();
+        let items = request_items(5, 4);
+        for deadline_us in [u64::MAX, u64::MAX / 2, 1 << 62] {
+            let got = client
+                .score_with_deadline_us(5, &items, deadline_us)
+                .expect("connection must survive a hostile deadline")
+                .expect("an effectively-infinite deadline must score");
+            assert_eq!(got, expected(5, &items), "deadline_us = {deadline_us}");
+        }
+        // a sane deadline on the same connection still works
+        let got = client.score_with_deadline_us(5, &items, 5_000_000).unwrap().unwrap();
+        assert_eq!(got, expected(5, &items));
+        token.trigger();
+        server.join().unwrap().expect("serve_tcp exits cleanly");
+    });
+}
+
 /// End-to-end over TCP: concurrent connections, bit-exact scores, a
 /// deliberately malformed frame answered `Invalid`, graceful stop.
 #[test]

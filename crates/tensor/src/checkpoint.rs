@@ -16,11 +16,22 @@
 //!              m data f32 LE | v data f32 LE
 //! ```
 //!
+//! An optional *tag* section may trail either version
+//! ([`save_tagged`]): an opaque caller string — e.g. the propagation
+//! backend the parameters were trained under — that restore paths can
+//! check before loading ([`read_tag`] / [`verify_tag`]):
+//!
+//! ```text
+//! section magic "TAG1" | tag len u32 | tag bytes
+//! ```
+//!
 //! Loading restores values *into an existing store by name*, so a model
 //! can be rebuilt from its config + dataset and then rehydrated — the
 //! structural metadata (graph, sampler seeds) never needs serialising.
 //! [`load`] accepts both versions (ignoring a v2 optimizer section);
-//! [`load_with_optimizer`] requires v2.
+//! [`load_with_optimizer`] requires v2. Both ignore a trailing tag
+//! section, and tag readers treat untagged buffers as legacy (`None`) —
+//! old checkpoints stay loadable in every combination.
 
 use crate::optim::Adam;
 use crate::params::ParamStore;
@@ -61,6 +72,8 @@ const VERSION: u32 = 1;
 const VERSION_WITH_OPTIMIZER: u32 = 2;
 /// Magic opening the Adam moment section of a v2 checkpoint.
 const ADAM_MAGIC: &[u8; 4] = b"ADM1";
+/// Magic opening the trailing tag section of a tagged checkpoint.
+const TAG_MAGIC: &[u8; 4] = b"TAG1";
 
 /// Errors from checkpoint decoding.
 #[derive(Debug, PartialEq, Eq)]
@@ -80,6 +93,9 @@ pub enum CheckpointError {
     /// [`load_with_optimizer`] was given a checkpoint without an
     /// optimizer section (a v1 file, or a corrupted section magic).
     NoOptimizerState,
+    /// [`verify_tag`] found a tag section carrying a different tag than
+    /// the caller requires: `(expected, found)`.
+    TagMismatch(String, String),
 }
 
 impl std::fmt::Display for CheckpointError {
@@ -97,6 +113,9 @@ impl std::fmt::Display for CheckpointError {
             }
             CheckpointError::NoOptimizerState => {
                 write!(f, "checkpoint has no optimizer-state section")
+            }
+            CheckpointError::TagMismatch(expected, found) => {
+                write!(f, "checkpoint tagged {found:?} but {expected:?} is required")
             }
         }
     }
@@ -128,6 +147,18 @@ fn save_params(store: &ParamStore, version: u32) -> Vec<u8> {
 /// Serialise every parameter of a store (v1, no optimizer state).
 pub fn save(store: &ParamStore) -> Vec<u8> {
     save_params(store, VERSION)
+}
+
+/// [`save`] plus a trailing tag section carrying `tag` verbatim.
+/// Readers that don't know about tags ([`load`]) ignore the section;
+/// [`verify_tag`] lets restore paths refuse a mismatched buffer before
+/// touching the store.
+pub fn save_tagged(store: &ParamStore, tag: &str) -> Vec<u8> {
+    let mut buf = save_params(store, VERSION);
+    buf.extend_from_slice(TAG_MAGIC);
+    buf.extend_from_slice(&(tag.len() as u32).to_le_bytes());
+    buf.extend_from_slice(tag.as_bytes());
+    buf
 }
 
 /// Serialise parameters *and* the Adam moment state (v2), for
@@ -276,6 +307,82 @@ pub fn load_with_optimizer(
     Ok(restored)
 }
 
+/// Advance past the parameter section without a target store (shapes
+/// are read from the buffer alone).
+fn skip_params_section(buf: &mut Reader<'_>) -> Result<(), CheckpointError> {
+    if buf.remaining() < 4 {
+        return Err(CheckpointError::Truncated);
+    }
+    let count = buf.get_u32_le() as usize;
+    for _ in 0..count {
+        read_name(buf)?;
+        if buf.remaining() < 8 {
+            return Err(CheckpointError::Truncated);
+        }
+        let rows = buf.get_u32_le() as usize;
+        let cols = buf.get_u32_le() as usize;
+        if buf.remaining() < rows * cols * 4 {
+            return Err(CheckpointError::Truncated);
+        }
+        buf.advance(rows * cols * 4);
+    }
+    Ok(())
+}
+
+/// Advance past an Adam moment section if one opens at the cursor.
+/// Returns `false` (cursor untouched) when the next bytes are not an
+/// `ADM1` magic — the caller decides whether that's legal.
+fn skip_adam_section(buf: &mut Reader<'_>) -> Result<bool, CheckpointError> {
+    if buf.remaining() < 4 || &buf.buf[..4] != ADAM_MAGIC {
+        return Ok(false);
+    }
+    buf.advance(4);
+    if buf.remaining() < 4 {
+        return Err(CheckpointError::Truncated);
+    }
+    let count = buf.get_u32_le() as usize;
+    for _ in 0..count {
+        read_name(buf)?;
+        if buf.remaining() < 12 {
+            return Err(CheckpointError::Truncated);
+        }
+        buf.advance(4); // t
+        let rows = buf.get_u32_le() as usize;
+        let cols = buf.get_u32_le() as usize;
+        if buf.remaining() < 2 * rows * cols * 4 {
+            return Err(CheckpointError::Truncated);
+        }
+        buf.advance(2 * rows * cols * 4); // m + v
+    }
+    Ok(true)
+}
+
+/// Read the tag of a checkpoint, if it carries one. `Ok(None)` for
+/// legacy buffers without a tag section (including v2 buffers whose
+/// trailing bytes are not a recognisable `TAG1` section). Structural
+/// errors (bad magic, truncation mid-section) stay typed.
+pub fn read_tag(bytes: &[u8]) -> Result<Option<String>, CheckpointError> {
+    let (mut buf, _version) = read_header(bytes)?;
+    skip_params_section(&mut buf)?;
+    skip_adam_section(&mut buf)?;
+    if buf.remaining() < 4 || &buf.buf[..4] != TAG_MAGIC {
+        return Ok(None);
+    }
+    buf.advance(4);
+    let tag = read_name(&mut buf)?;
+    Ok(Some(tag))
+}
+
+/// Require a tagged checkpoint to carry exactly `expected`
+/// ([`CheckpointError::TagMismatch`] otherwise). Untagged legacy
+/// buffers pass — they predate tagging and stay loadable everywhere.
+pub fn verify_tag(bytes: &[u8], expected: &str) -> Result<(), CheckpointError> {
+    match read_tag(bytes)? {
+        Some(tag) if tag != expected => Err(CheckpointError::TagMismatch(expected.to_owned(), tag)),
+        _ => Ok(()),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -345,6 +452,62 @@ mod tests {
         other.register("b", Tensor::zeros(1, 3));
         let err = load(&mut other, &bytes).unwrap_err();
         assert!(matches!(err, CheckpointError::ShapeMismatch(n) if n == "emb"));
+    }
+
+    #[test]
+    fn tagged_round_trip_loads_and_reports_tag() {
+        let original = store();
+        let bytes = save_tagged(&original, "gcn");
+        assert_eq!(read_tag(&bytes).unwrap().as_deref(), Some("gcn"));
+        assert_eq!(verify_tag(&bytes, "gcn"), Ok(()));
+        assert_eq!(
+            verify_tag(&bytes, "graphsage"),
+            Err(CheckpointError::TagMismatch("graphsage".into(), "gcn".into()))
+        );
+        // the tag section is transparent to a plain load
+        let mut fresh = ParamStore::new();
+        fresh.register("emb", Tensor::zeros(7, 3));
+        fresh.register("w", Tensor::zeros(3, 3));
+        fresh.register("b", Tensor::full(1, 3, 9.0));
+        assert_eq!(load(&mut fresh, &bytes).unwrap(), 3);
+        for (_, name, value) in original.iter() {
+            let id = fresh.id(name).unwrap();
+            assert_eq!(fresh.value(id), value, "param {name}");
+        }
+    }
+
+    #[test]
+    fn untagged_buffers_are_legacy() {
+        let bytes = save(&store());
+        assert_eq!(read_tag(&bytes).unwrap(), None);
+        assert_eq!(verify_tag(&bytes, "anything"), Ok(()));
+    }
+
+    #[test]
+    fn tag_survives_an_optimizer_section() {
+        let mut s = store();
+        let mut adam = Adam::new(1e-2);
+        // one step so the optimizer has state to serialise
+        let mut tape = crate::Tape::new(&s);
+        let w = tape.param(s.id("w").unwrap());
+        let sq = tape.mul(w, w);
+        let loss = tape.mean_all(sq);
+        let grads = tape.backward(loss);
+        crate::optim::Optimizer::step(&mut adam, &mut s, &grads);
+        let mut bytes = save_with_optimizer(&s, &adam);
+        bytes.extend_from_slice(TAG_MAGIC);
+        bytes.extend_from_slice(&3u32.to_le_bytes());
+        bytes.extend_from_slice(b"gcn");
+        assert_eq!(read_tag(&bytes).unwrap().as_deref(), Some("gcn"));
+        let mut fresh = store();
+        let mut fresh_adam = Adam::new(1e-2);
+        assert!(load_with_optimizer(&mut fresh, &mut fresh_adam, &bytes).is_ok());
+    }
+
+    #[test]
+    fn truncated_tag_section_is_detected() {
+        let bytes = save_tagged(&store(), "interaction");
+        assert_eq!(read_tag(&bytes[..bytes.len() - 2]), Err(CheckpointError::Truncated));
     }
 
     #[test]

@@ -53,6 +53,10 @@ pub enum ConvertError {
         /// The scaled f64 value that failed to round into f32 range.
         value: f64,
     },
+    /// The scoring configuration has no fused-kernel plan at all (e.g.
+    /// a propagation backend without f32 kernels); the payload names
+    /// the unsupported configuration.
+    Unsupported(&'static str),
 }
 
 impl std::fmt::Display for ConvertError {
@@ -63,6 +67,9 @@ impl std::fmt::Display for ConvertError {
             }
             ConvertError::Overflow { row, col, value } => {
                 write!(f, "table element at [{row}, {col}] overflows f32: {value:e}")
+            }
+            ConvertError::Unsupported(what) => {
+                write!(f, "no fused f32 kernels for '{what}'")
             }
         }
     }

@@ -8,11 +8,17 @@
 //! depends on the dataset, and none of them adapts to the group or the
 //! candidate item.
 //!
+//! For contrast, the tail rows train the full KGAG model once per
+//! propagation backend (gcn, graphsage, kgnn-ls, interaction;
+//! DESIGN.md §17) — the learned-attention counterpart every static
+//! strategy is being compared against.
+//!
 //! ```text
 //! cargo run --release --example compare_aggregators
 //! ```
 
 use kgag::harness::{eval_cases, EvalBucket};
+use kgag::{Backend, Kgag, KgagConfig};
 use kgag_baselines::{
     AggregatedGroupScorer, BaselineConfig, Kgcn, KgcnConfig, MatrixFactorization, MfConfig,
     Popularity, ScoreAggregator,
@@ -57,6 +63,16 @@ fn main() {
         }
         let s = evaluate_group_ranking(&pop, ds.num_items, &cases, &ecfg);
         upsert(&mut rows, "Popularity", di, s.hit);
+
+        // the learned model, once per propagation backend
+        for backend in Backend::all() {
+            let name = format!("KGAG/{}", backend.tag());
+            let mut model =
+                Kgag::new(ds, &split, KgagConfig { epochs: 3, backend, ..Default::default() });
+            model.fit(&split);
+            let s = model.evaluate(&cases, &ecfg);
+            upsert(&mut rows, &name, di, s.hit);
+        }
     }
 
     for (name, vals) in &rows {

@@ -3,13 +3,14 @@
 //! ```text
 //! kgag stats   [--scale tiny|small|medium] [--dataset rand|simi|yelp]
 //! kgag train   [--scale ..] [--dataset ..] [--epochs N] [--seed N]
-//!              [--checkpoint PATH] [--json] [--batched]
+//!              [--backend B] [--ls-weight F] [--checkpoint PATH]
+//!              [--json] [--batched]
 //! kgag explain [--scale ..] [--dataset ..] [--epochs N] --group G [--item V]
 //! kgag import  --name NAME --users N --items M \
 //!              --interactions FILE --kg FILE --groups FILE [--epochs N]
 //! kgag serve   [--scale ..] [--dataset ..] [--epochs N] [--seed N]
-//!              [--checkpoint PATH] [--addr HOST:PORT] [--shards A,B,..]
-//!              [--registry]
+//!              [--backend B] [--checkpoint PATH] [--addr HOST:PORT]
+//!              [--shards A,B,..] [--registry]
 //! kgag shard   --index I --count N [--scale ..] [--dataset ..]
 //!              [--epochs N] [--seed N] [--checkpoint PATH] [--addr HOST:PORT]
 //! ```
@@ -78,16 +79,22 @@ kgag — knowledge-aware group recommendation (ICDE 2021 reproduction)
 USAGE:
     kgag stats   [--scale tiny|small|medium] [--dataset rand|simi|yelp]
     kgag train   [--scale S] [--dataset D] [--epochs N] [--seed N]
-                 [--checkpoint PATH] [--json] [--batched]
+                 [--backend B] [--ls-weight F] [--checkpoint PATH]
+                 [--json] [--batched]
     kgag explain [--scale S] [--dataset D] [--epochs N] --group G [--item V]
     kgag import  --name NAME --users N --items M --interactions FILE
                  --kg FILE --groups FILE [--epochs N] [--json]
     kgag serve   [--scale S] [--dataset D] [--epochs N] [--seed N]
-                 [--checkpoint PATH] [--addr HOST:PORT] [--shards A,B,..]
-                 [--registry]
+                 [--backend B] [--checkpoint PATH] [--addr HOST:PORT]
+                 [--shards A,B,..] [--registry]
     kgag shard   --index I --count N [--scale S] [--dataset D] [--epochs N]
                  [--seed N] [--checkpoint PATH] [--addr HOST:PORT]
 
+--backend picks the propagation backend: gcn (default), graphsage,
+kgnn-ls (label-smoothness regularised training; strength --ls-weight,
+default 0.1), or interaction (member-interaction mixing; exact scoring
+tier only — KGAG_SCORE_DTYPE=f32 falls back). Checkpoints carry the
+backend tag, so --checkpoint restores refuse a mismatched --backend.
 --batched evaluates through the receptive-field-cached batch scorer
 (bit-identical metrics, faster; see KGAG_RF_CACHE / KGAG_EVAL_BATCH).
 serve loads --checkpoint if the file exists (training and writing it
@@ -115,8 +122,9 @@ with tenant 0 bound, and the wire's v3 opcodes manage the rest —
 LOAD server-local checkpoints, BIND tenants, stage SHADOW candidates
 (promotion is refused until the candidate reproduces live traffic
 bit-for-bit), PROMOTE with zero downtime, ROLLBACK, RETIRE. Knobs:
-KGAG_QUOTA_RATE / KGAG_QUOTA_BURST (per-tenant token-bucket admission,
-burst 0 = off), KGAG_SHADOW_SAMPLE (mirror every Nth request, 0 = off),
+KGAG_QUOTA_RATE / KGAG_QUOTA_BURST (per-tenant token-bucket admission;
+burst unset = off, burst 0 = shed everything),
+KGAG_SHADOW_SAMPLE (mirror every Nth request, 0 = off),
 and KGAG_CLIENT_TIMEOUT_MS (client-side read timeout).
 Formats for `import` are documented in kgag_data::import: interactions
 as `user<TAB>item`, KG as `head<TAB>rel<TAB>tail` (items = entities
@@ -173,6 +181,19 @@ fn config(opts: &Flags) -> Result<KgagConfig, String> {
     }
     if let Some(s) = num_flag::<u64>(opts, "seed")? {
         cfg.seed = s;
+    }
+    if let Some(tag) = opts.get("backend") {
+        cfg.backend = kgag::Backend::from_tag(tag).ok_or_else(|| {
+            let tags: Vec<&str> = kgag::Backend::all().iter().map(|b| b.tag()).collect();
+            format!("--backend: unknown backend {tag:?} (one of {})", tags.join(", "))
+        })?;
+    }
+    if let Some(w) = num_flag::<f32>(opts, "ls-weight")? {
+        cfg.ls_weight = w;
+    }
+    let errs = cfg.validate();
+    if !errs.is_empty() {
+        return Err(format!("invalid config: {}", errs.join("; ")));
     }
     Ok(cfg)
 }
@@ -468,10 +489,14 @@ fn cmd_serve_registry(opts: &Flags) -> Result<(), String> {
     let server = RegistryServer::new(rcfg.clone(), factory);
     let resident = server.install(entry).map_err(|e| e.to_string())?;
     server.registry().bind(0, resident).map_err(|e| e.to_string())?;
+    let burst = match rcfg.quota_burst {
+        Some(b) => b.to_string(),
+        None => "unlimited (admission off)".into(),
+    };
     eprintln!(
         "registry: bootstrap checkpoint {resident:016x} resident, tenant 0 bound; quota \
-         rate {} burst {} (0 = admission off), shadow sample {}",
-        rcfg.quota_rate, rcfg.quota_burst, rcfg.shadow_sample
+         rate {} burst {burst}, shadow sample {}",
+        rcfg.quota_rate, rcfg.shadow_sample
     );
     let addr = opts.get("addr").cloned().unwrap_or_else(|| "127.0.0.1:0".into());
     let token = ShutdownToken::new();
